@@ -1,0 +1,136 @@
+// Experiment F2 — paper Figure 2: the "diagonal data distribution" of
+// time-of-creation clustering, and why it makes SMAs effective.
+//
+// The paper's figure is qualitative (order tuples plotted by introduction
+// date vs order date, all points right of and near the diagonal). We
+// reproduce it quantitatively: ORDERS is loaded in entry order (orderdate +
+// normally distributed data-entry lag) and we report
+//   * the per-bucket [min, max] orderdate span (tightness of the diagonal),
+//   * the ambivalent-bucket fraction of a one-month predicate as the entry
+//     lag grows (blurrier diagonal -> more ambivalence),
+//   * an ASCII rendition of the diagonal itself.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "sma/builder.h"
+#include "sma/grade.h"
+#include "tpch/loader.h"
+#include "tpch/schemas.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
+
+  bench::PrintHeader(util::Format(
+      "F2: diagonal data distribution / TOC clustering (paper Fig. 2), "
+      "SF %.3f", sf));
+
+  tpch::Dbgen gen({sf, 19980401});
+  std::vector<tpch::OrderRow> orders;
+  std::vector<tpch::LineItemRow> lineitems;
+  gen.GenOrdersAndLineItems(&orders, &lineitems);
+
+  // ASCII diagonal: bucket index (introduction order) vs orderdate decile.
+  {
+    bench::BenchDb db(65536);
+    tpch::LoadOptions load;
+    load.mode = tpch::ClusterMode::kDiagonal;
+    load.lag_stddev_days = 15.0;
+    storage::Table* t =
+        Check(tpch::LoadOrders(&db.catalog, orders, load, "orders"));
+    const int rows = 18, cols = 60;
+    std::vector<std::string> grid(rows, std::string(cols, ' '));
+    const double total_days = tpch::kEndDate - tpch::kStartDate;
+    for (uint32_t b = 0; b < t->num_buckets(); ++b) {
+      const int x = static_cast<int>(static_cast<double>(b) /
+                                     t->num_buckets() * cols);
+      Check(t->ForEachTupleInBucket(
+          b, [&](const storage::TupleRef& tup, storage::Rid) {
+            const double frac =
+                (tup.GetDate(tpch::orders::kOrderDate) - tpch::kStartDate) /
+                total_days;
+            const int y =
+                rows - 1 -
+                std::clamp(static_cast<int>(frac * rows), 0, rows - 1);
+            grid[static_cast<size_t>(y)][static_cast<size_t>(
+                std::clamp(x, 0, cols - 1))] = '*';
+          }));
+    }
+    std::printf("\norderdate (y) vs position in warehouse (x):\n");
+    for (const std::string& line : grid) std::printf("|%s\n", line.c_str());
+    std::printf("+%s\n", std::string(cols, '-').c_str());
+
+    // Per-bucket span statistics.
+    sma::SmaSet smas(t);
+    const expr::ExprPtr od =
+        Check(expr::Column(&t->schema(), "o_orderdate"));
+    Check(smas.Add(Check(sma::BuildSma(t, sma::SmaSpec::Min("min", od)))));
+    Check(smas.Add(Check(sma::BuildSma(t, sma::SmaSpec::Max("max", od)))));
+    const sma::Sma* mn = *smas.Find("min");
+    const sma::Sma* mx = *smas.Find("max");
+    double total_span = 0;
+    for (uint64_t b = 0; b < mn->num_buckets(); ++b) {
+      total_span += static_cast<double>(Check(mx->group_file(0)->Get(b)) -
+                                        Check(mn->group_file(0)->Get(b)));
+    }
+    std::printf("\nmean per-bucket orderdate span: %.1f days "
+                "(7-year calendar = 2556 days)\n",
+                total_span / static_cast<double>(mn->num_buckets()));
+  }
+
+  // Lag sweep: ambivalence of a one-month predicate vs entry lag.
+  std::printf("\n%-18s %12s %12s %12s %10s\n", "entry lag stddev",
+              "qualifying", "disqualif.", "ambivalent", "fetch%");
+  for (double lag : {0.0, 5.0, 15.0, 30.0, 60.0, 120.0}) {
+    bench::BenchDb db(65536);
+    tpch::LoadOptions load;
+    load.mode = tpch::ClusterMode::kDiagonal;
+    load.lag_stddev_days = lag;
+    storage::Table* t = Check(
+        tpch::LoadOrders(&db.catalog, orders, load, "orders"));
+    sma::SmaSet smas(t);
+    const expr::ExprPtr od =
+        Check(expr::Column(&t->schema(), "o_orderdate"));
+    Check(smas.Add(Check(sma::BuildSma(t, sma::SmaSpec::Min("min", od)))));
+    Check(smas.Add(Check(sma::BuildSma(t, sma::SmaSpec::Max("max", od)))));
+
+    expr::PredicatePtr pred = expr::Predicate::And(
+        Check(expr::Predicate::AtomConst(
+            &t->schema(), "o_orderdate", expr::CmpOp::kGe,
+            util::Value::MakeDate(util::Date::FromYmd(1995, 6, 1)))),
+        Check(expr::Predicate::AtomConst(
+            &t->schema(), "o_orderdate", expr::CmpOp::kLt,
+            util::Value::MakeDate(util::Date::FromYmd(1995, 7, 1)))));
+    auto grader = sma::BucketGrader::Create(pred, &smas);
+    uint64_t q = 0, d = 0, a = 0;
+    for (uint64_t b = 0; b < t->num_buckets(); ++b) {
+      switch (Check(grader->GradeBucket(b))) {
+        case sma::Grade::kQualifies:
+          ++q;
+          break;
+        case sma::Grade::kDisqualifies:
+          ++d;
+          break;
+        case sma::Grade::kAmbivalent:
+          ++a;
+          break;
+      }
+    }
+    std::printf("%15.0f d %12llu %12llu %12llu %9.2f%%\n", lag,
+                static_cast<unsigned long long>(q),
+                static_cast<unsigned long long>(d),
+                static_cast<unsigned long long>(a),
+                100.0 * static_cast<double>(q + a) /
+                    static_cast<double>(std::max<uint64_t>(1, q + d + a)));
+  }
+
+  bench::PrintPaperNote(
+      "the diagonal is visible and tight; realistic entry lags (days to a "
+      "few weeks, the paper's normal-distribution argument) keep a "
+      "one-month predicate's fetch fraction in single-digit percent, i.e. "
+      "imperfect TOC clustering is 'imperfect but still exploitable'");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Experiment T1 — paper §2.4 creation-time & size table:
+//
+//   sma file      count max  min  qty   dis   ext   extdis extdistax
+//   creation time 117s  116s 103s 104s  100s  101s  95s    99s
+//   size          736p  184p 184p 1468p 1468p 1468p 1468p  1468p
+//
+// Paper layout invariants this must reproduce at any scale factor:
+//   * min = max size (one 4-byte entry per bucket),
+//   * count = 4 x min (four groups of 4-byte counts),
+//   * every grouped sum = 8 x min (four groups of 8-byte sums),
+//   * total SMA footprint ≈ 4% of LINEITEM,
+//   * per-SMA creation times roughly equal (each is one sequential scan).
+
+#include "bench/bench_util.h"
+#include "sma/builder.h"
+#include "sma/sma_set.h"
+#include "tpch/loader.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
+  bench::BenchDb db(65536);
+
+  bench::PrintHeader(util::Format(
+      "T1: creation time & size of the 8 Q1 SMAs (paper §2.4), SF %.3f", sf));
+
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  util::Stopwatch gen_watch;
+  storage::Table* lineitem = Check(
+      tpch::GenerateAndLoadLineItem(&db.catalog, {sf, 19980401}, load));
+  std::printf("LINEITEM: %s tuples, %u pages (%s) [generated in %.1fs]\n",
+              util::WithThousands(
+                  static_cast<long long>(lineitem->num_tuples()))
+                  .c_str(),
+              lineitem->num_pages(),
+              util::HumanBytes(static_cast<double>(lineitem->SizeBytes()))
+                  .c_str(),
+              gen_watch.ElapsedSeconds());
+
+  sma::SmaSet smas(lineitem);
+  std::vector<sma::SmaSpec> specs =
+      Check(workloads::MakeQ1SmaSpecs(lineitem));
+
+  std::printf("\n%-10s %14s %14s %10s %8s %10s\n", "sma", "wall time",
+              "modeled disk", "pages", "files", "bytes");
+  uint64_t min_pages = 0;
+  double total_build_modeled = 0;
+  for (sma::SmaSpec& spec : specs) {
+    const std::string name = spec.name;
+    Check(db.pool.DropAll());
+    const storage::IoStats base = db.disk.stats();
+    util::Stopwatch watch;
+    auto sma = Check(sma::BuildSma(lineitem, std::move(spec)));
+    Check(db.pool.FlushAll());
+    const double wall = watch.ElapsedSeconds();
+    const double modeled = db.ModeledSeconds(base);
+    total_build_modeled += modeled;
+    if (name == "min") min_pages = sma->TotalPages();
+    std::printf("%-10s %12.3fs %12.1fs %9llup %8zu %10llu\n", name.c_str(),
+                wall, modeled,
+                static_cast<unsigned long long>(sma->TotalPages()),
+                sma->num_groups(),
+                static_cast<unsigned long long>(sma->SizeBytes()));
+    Check(smas.Add(std::move(sma)));
+  }
+
+  const uint64_t total_pages = smas.TotalPages();
+  const double pct = 100.0 * static_cast<double>(total_pages) /
+                     static_cast<double>(lineitem->num_pages());
+  std::printf("\ntotal: %llu pages = %s (%.2f%% of LINEITEM)\n",
+              static_cast<unsigned long long>(total_pages),
+              util::HumanBytes(static_cast<double>(total_pages) * 4096.0)
+                  .c_str(),
+              pct);
+  std::printf("all 8 SMAs built in %.1f modeled disk seconds\n",
+              total_build_modeled);
+
+  // Layout-invariant checks against the paper's table.
+  const sma::Sma* min_sma = *smas.Find("min");
+  const sma::Sma* max_sma = *smas.Find("max");
+  const sma::Sma* count_sma = *smas.Find("count");
+  const sma::Sma* qty_sma = *smas.Find("qty");
+  std::printf("\nlayout ratios (paper: max=min, count=4xmin, sums=8xmin):\n");
+  std::printf("  max/min   = %.2f (paper 1.00: 184p/184p)\n",
+              static_cast<double>(max_sma->TotalPages()) /
+                  static_cast<double>(min_sma->TotalPages()));
+  std::printf("  count/min = %.2f (paper 4.00: 736p/184p)\n",
+              static_cast<double>(count_sma->TotalPages()) /
+                  static_cast<double>(min_sma->TotalPages()));
+  std::printf("  qty/min   = %.2f (paper 7.98: 1468p/184p)\n",
+              static_cast<double>(qty_sma->TotalPages()) /
+                  static_cast<double>(min_sma->TotalPages()));
+  (void)min_pages;
+
+  bench::PrintPaperNote(util::Format(
+      "paper (SF 1): 8444 SMA pages = 33.8 MB = ~4%% of a 733 MB LINEITEM, "
+      "each SMA built in ~100s on a 1997 disk. measured: %.2f%%, with the "
+      "same 1:1:4:8 min:max:count:sum size ratios%s",
+      pct,
+      sf < 0.5 ? " (percentage is higher at small SF because every SMA-file "
+                 "occupies at least one page)"
+               : ""));
+  return 0;
+}

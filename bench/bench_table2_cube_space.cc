@@ -1,0 +1,101 @@
+// Experiment T2 — paper §2.4 storage comparison against the materialized
+// data cube:
+//
+//   one date dimension:    479.25 KB   (2556^1 x 4 x 48 B)
+//   two date dimensions:   1196.25 MB  (2556^2 x 4 x 48 B)
+//   three date dimensions: 2985.95 GB  (2556^3 x 4 x 48 B)
+//   vs SMAs for all three dates: 51.12 MB total.
+//
+// The cube formula is analytic (as in the paper); we also build a *real*
+// cube at bench scale to show the measured footprint and the flexibility
+// difference.
+
+#include "baseline/datacube.h"
+#include "bench/bench_util.h"
+#include "sma/builder.h"
+#include "tpch/loader.h"
+#include "tpch/schemas.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.02);
+
+  bench::PrintHeader("T2: SMA vs data-cube storage (paper §2.4)");
+
+  // --- Analytic sizing, exactly the paper's formula. ---------------------
+  baseline::CubeSizing sizing;  // 4 flag combos x 2556-day dates x 48 B
+  std::printf("analytic data-cube sizes (2556-day date dimensions, 4 flag\n"
+              "combinations, 6 aggregates x 8 B = 48 B per entry):\n");
+  for (int dims = 1; dims <= 3; ++dims) {
+    std::printf("  %d date dim%s: %14s   (paper: %s)\n", dims,
+                dims == 1 ? " " : "s",
+                util::HumanBytes(sizing.SizeBytes(dims)).c_str(),
+                dims == 1   ? "479.25 KB"
+                : dims == 2 ? "1196.25 MB"
+                            : "2985.95 GB");
+  }
+
+  // --- SMA side: the Fig. 4 set + two more date SMA pairs. ----------------
+  bench::BenchDb db(65536);
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  storage::Table* lineitem = Check(
+      tpch::GenerateAndLoadLineItem(&db.catalog, {sf, 19980401}, load));
+  sma::SmaSet smas(lineitem);
+  Check(workloads::BuildQ1Smas(lineitem, &smas));
+  const uint64_t q1_bytes = smas.TotalSizeBytes();
+
+  // "Adding SMAs for the two missing dates would require an additional
+  // 17.34 MB" — min/max for commitdate and receiptdate.
+  for (const char* col : {"l_commitdate", "l_receiptdate"}) {
+    const expr::ExprPtr c = Check(expr::Column(&lineitem->schema(), col));
+    Check(smas.Add(Check(sma::BuildSma(
+        lineitem, sma::SmaSpec::Min(std::string("min_") + col, c)))));
+    Check(smas.Add(Check(sma::BuildSma(
+        lineitem, sma::SmaSpec::Max(std::string("max_") + col, c)))));
+  }
+  const uint64_t all_bytes = smas.TotalSizeBytes();
+  std::printf("\nSMA footprint at SF %.3f (LINEITEM = %s):\n", sf,
+              util::HumanBytes(static_cast<double>(lineitem->SizeBytes()))
+                  .c_str());
+  std::printf("  8 Q1 SMAs:               %12s\n",
+              util::HumanBytes(static_cast<double>(q1_bytes)).c_str());
+  std::printf("  + 2 more date min/max:   %12s  (paper: 51.12 MB total "
+              "at SF 1)\n",
+              util::HumanBytes(static_cast<double>(all_bytes)).c_str());
+  const double scaled_to_sf1 = static_cast<double>(all_bytes) / sf;
+  std::printf("  linear projection to SF1: %11s\n",
+              util::HumanBytes(scaled_to_sf1).c_str());
+  std::printf("  3-date cube / SMAs(SF1) = %.0fx\n",
+              sizing.SizeBytes(3) / scaled_to_sf1);
+
+  // --- A real (small) cube, to measure and to show inflexibility. --------
+  const storage::Schema* schema = &lineitem->schema();
+  const expr::ExprPtr qty = Check(expr::Column(schema, "l_quantity"));
+  auto cube = Check(baseline::DataCube::Build(
+      lineitem,
+      {tpch::lineitem::kReturnFlag, tpch::lineitem::kLineStatus,
+       tpch::lineitem::kShipDate},
+      {exec::AggSpec::Sum(qty, "sum_qty"), exec::AggSpec::Count("n")}));
+  std::printf("\nmaterialized cube over (returnflag, linestatus, shipdate):\n");
+  std::printf("  cells: %zu, measured bytes: %s\n", cube->num_cells(),
+              util::HumanBytes(
+                  static_cast<double>(cube->MaterializedSizeBytes()))
+                  .c_str());
+  // Inflexibility: restrict a non-dimension column.
+  const util::Status applicable =
+      cube->CheckApplicable(tpch::lineitem::kCommitDate);
+  std::printf("  query restricting l_commitdate? %s\n",
+              applicable.ok() ? "applicable (unexpected!)"
+                              : applicable.ToString().c_str());
+
+  bench::PrintPaperNote(
+      "shape holds: cube cost explodes exponentially with date dimensions "
+      "(479 KB -> 1.2 GB -> 3 TB) while SMAs stay linear (~51 MB at SF 1, "
+      "~4-7% of the relation), and the cube cannot serve predicates on "
+      "non-dimension columns at any size");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Experiment T3 — paper §2.4 Query 1 response time (the headline result):
+//
+//   Query 1 without SMAs (cold & warm): 128 s
+//   with SMAs (cold):                   4.9 s
+//   with SMAs (warm):                   1.9 s
+//
+// "Processing Query 1 with SMAs becomes two orders of magnitude faster!"
+//
+// Setup mirrors the paper's optimal case: LINEITEM sorted on l_shipdate.
+// Cold = buffer pool dropped before the run; warm = SMA files resident
+// from the previous run. We report wall-clock, page I/O, and modeled
+// 1997-disk seconds (the paper's regime was I/O-bound).
+
+#include "bench/bench_util.h"
+#include "planner/planner.h"
+#include "tpch/loader.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+namespace {
+
+struct RunStats {
+  double wall = 0;
+  double modeled = 0;
+  uint64_t reads = 0;
+  std::string result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.1);
+  // Pool sized like the paper's: 8 MB against 1 GB of data, i.e. the base
+  // relation does not fit, but the SMA complement does. LINEITEM is about
+  // 215k pages per unit of scale factor.
+  const size_t pool_pages = std::max<size_t>(
+      2048, static_cast<size_t>(sf * 215000.0 / 100.0) * 2);
+  bench::BenchDb db(pool_pages);
+
+  bench::PrintHeader(
+      util::Format("T3: Query 1 with and without SMAs (paper §2.4), SF %.3f",
+                   sf));
+
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  storage::Table* lineitem = Check(
+      tpch::GenerateAndLoadLineItem(&db.catalog, {sf, 19980401}, load));
+  sma::SmaSet smas(lineitem);
+  Check(workloads::BuildQ1Smas(lineitem, &smas));
+  std::printf("LINEITEM %u pages; SMAs %llu pages\n", lineitem->num_pages(),
+              static_cast<unsigned long long>(smas.TotalPages()));
+
+  const plan::AggQuery q1 = Check(workloads::MakeQ1Query(lineitem, 90));
+  plan::Planner planner(&smas);
+
+  auto run = [&](plan::PlanKind kind, bool cold) -> RunStats {
+    if (cold) Check(db.pool.DropAll());
+    const storage::IoStats base = db.disk.stats();
+    auto op = Check(planner.Build(q1, kind));
+    util::Stopwatch watch;
+    plan::QueryResult r = Check(plan::RunToCompletion(op.get()));
+    RunStats stats;
+    stats.wall = watch.ElapsedSeconds();
+    stats.modeled = db.ModeledSeconds(base);
+    stats.reads = (db.disk.stats() - base).page_reads;
+    stats.result = r.ToString();
+    return stats;
+  };
+
+  std::printf("\n%-28s %10s %14s %12s\n", "plan", "wall", "modeled disk",
+              "page reads");
+  const RunStats scan_cold = run(plan::PlanKind::kScanAggr, /*cold=*/true);
+  std::printf("%-28s %9.3fs %13.2fs %12llu\n",
+              "without SMAs (cold)", scan_cold.wall, scan_cold.modeled,
+              static_cast<unsigned long long>(scan_cold.reads));
+  const RunStats scan_warm = run(plan::PlanKind::kScanAggr, /*cold=*/false);
+  std::printf("%-28s %9.3fs %13.2fs %12llu\n",
+              "without SMAs (warm)", scan_warm.wall, scan_warm.modeled,
+              static_cast<unsigned long long>(scan_warm.reads));
+  const RunStats sma_cold = run(plan::PlanKind::kSmaGAggr, /*cold=*/true);
+  std::printf("%-28s %9.3fs %13.2fs %12llu\n", "with SMAs (cold)",
+              sma_cold.wall, sma_cold.modeled,
+              static_cast<unsigned long long>(sma_cold.reads));
+  const RunStats sma_warm = run(plan::PlanKind::kSmaGAggr, /*cold=*/false);
+  std::printf("%-28s %9.3fs %13.2fs %12llu\n", "with SMAs (warm)",
+              sma_warm.wall, sma_warm.modeled,
+              static_cast<unsigned long long>(sma_warm.reads));
+
+  if (scan_cold.result != sma_cold.result ||
+      scan_cold.result != sma_warm.result) {
+    std::fprintf(stderr, "RESULT MISMATCH between plans!\n");
+    return 1;
+  }
+  std::printf("\nall plans return identical results; Q1 output:\n%s",
+              scan_cold.result.c_str());
+
+  const double modeled_speedup =
+      scan_cold.modeled / std::max(1e-9, sma_cold.modeled);
+  const double warm_ratio = sma_cold.modeled / std::max(1e-9, sma_warm.wall);
+  (void)warm_ratio;
+  std::printf("\nmodeled-disk speedup (cold): %.0fx"
+              "   wall-clock speedup: %.1fx\n",
+              modeled_speedup,
+              scan_cold.wall / std::max(1e-9, sma_cold.wall));
+
+  bench::PrintPaperNote(util::Format(
+      "paper: 128s scan vs 4.9s cold / 1.9s warm SMA = 26-67x ('two orders "
+      "of magnitude'). measured on the modeled 1997 disk: %.0fx cold, with "
+      "the same cold>warm ordering (%0.2fs vs %0.2fs modeled) because warm "
+      "runs keep the SMA-files buffer-resident",
+      modeled_speedup, sma_cold.modeled, sma_warm.modeled));
+  return 0;
+}

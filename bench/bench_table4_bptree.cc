@@ -1,0 +1,126 @@
+// Experiment T4 — paper §2.4 comparison against a traditional index:
+//
+//   "In comparison, a B+ tree on shipdate (though of no use for Query 1)
+//    consumes about 230 MB. Its creation time is far beyond the 15 minutes
+//    needed to create all SMAs."
+//
+// We build both over the same LINEITEM and compare footprint and creation
+// cost, then demonstrate the "of no use" claim: driving Query 1's 95%+
+// selectivity through index lookups costs orders of magnitude more I/O than
+// the scan it is supposed to beat.
+
+#include "baseline/bptree.h"
+#include "bench/bench_util.h"
+#include "planner/planner.h"
+#include "tpch/loader.h"
+#include "tpch/schemas.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
+  bench::BenchDb db(65536);
+
+  bench::PrintHeader(util::Format(
+      "T4: B+-tree on l_shipdate vs the 8 SMAs (paper §2.4), SF %.3f", sf));
+
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  storage::Table* lineitem = Check(
+      tpch::GenerateAndLoadLineItem(&db.catalog, {sf, 19980401}, load));
+  std::printf("LINEITEM: %s (%u pages)\n",
+              util::HumanBytes(static_cast<double>(lineitem->SizeBytes()))
+                  .c_str(),
+              lineitem->num_pages());
+
+  // --- All eight SMAs. -----------------------------------------------------
+  Check(db.pool.DropAll());
+  storage::IoStats base = db.disk.stats();
+  util::Stopwatch sma_watch;
+  sma::SmaSet smas(lineitem);
+  Check(workloads::BuildQ1Smas(lineitem, &smas));
+  Check(db.pool.FlushAll());
+  const double sma_wall = sma_watch.ElapsedSeconds();
+  const double sma_modeled = db.ModeledSeconds(base);
+
+  // --- B+-tree on shipdate. ------------------------------------------------
+  Check(db.pool.DropAll());
+  base = db.disk.stats();
+  util::Stopwatch bt_watch;
+  auto tree = Check(baseline::BPlusTree::BuildForColumn(
+      lineitem, tpch::lineitem::kShipDate, "shipdate"));
+  Check(db.pool.FlushAll());
+  const double bt_wall = bt_watch.ElapsedSeconds();
+  const double bt_modeled = db.ModeledSeconds(base);
+
+  std::printf("\n%-22s %14s %14s %14s\n", "structure", "size",
+              "wall build", "modeled build");
+  std::printf("%-22s %14s %13.2fs %13.2fs\n", "all 8 SMAs (26 files)",
+              util::HumanBytes(static_cast<double>(smas.TotalSizeBytes()))
+                  .c_str(),
+              sma_wall, sma_modeled);
+  std::printf("%-22s %14s %13.2fs %13.2fs\n", "B+-tree(l_shipdate)",
+              util::HumanBytes(static_cast<double>(tree->SizeBytes()))
+                  .c_str(),
+              bt_wall, bt_modeled);
+  std::printf("\nB+-tree / SMA size ratio: %.1fx   (paper: 230 MB / 33.8 MB "
+              "= 6.8x)\n",
+              static_cast<double>(tree->SizeBytes()) /
+                  static_cast<double>(smas.TotalSizeBytes()));
+
+  // --- "though of no use for Query 1": index-driven Q1 I/O. ----------------
+  // A realistic warehouse is appended in order-entry order, so a shipdate
+  // B+-tree is non-clustered; use such a copy for the access-path duel.
+  tpch::LoadOptions toc_load;
+  toc_load.mode = tpch::ClusterMode::kOrderKey;
+  storage::Table* lineitem_toc =
+      Check(tpch::GenerateAndLoadLineItem(&db.catalog, {sf, 19980401},
+                                          toc_load, nullptr, "lineitem_toc"));
+  auto toc_tree = Check(baseline::BPlusTree::BuildForColumn(
+      lineitem_toc, tpch::lineitem::kShipDate, "shipdate_toc"));
+
+  const plan::AggQuery q1 = Check(workloads::MakeQ1Query(lineitem_toc, 90));
+  // Cutoff date of Q1's predicate.
+  const int64_t cutoff = q1.pred->constant();
+
+  Check(db.pool.DropAll());
+  base = db.disk.stats();
+  const auto rids = Check(toc_tree->RangeLookup(INT64_MIN + 1, cutoff));
+  // Fetch every qualifying tuple through the index, in key order —
+  // non-clustered access turns this into scattered page reads.
+  uint64_t fetched = 0;
+  for (const storage::Rid rid : rids) {
+    auto guard = Check(lineitem_toc->FetchPage(rid.page_no));
+    ++fetched;
+  }
+  const double index_q1_modeled = db.ModeledSeconds(base);
+
+  Check(db.pool.DropAll());
+  base = db.disk.stats();
+  {
+    sma::SmaSet no_smas(lineitem_toc);
+    plan::Planner planner(&no_smas);
+    auto op = Check(planner.Build(q1, plan::PlanKind::kScanAggr));
+    (void)Check(plan::RunToCompletion(op.get()));
+  }
+  const double scan_q1_modeled = db.ModeledSeconds(base);
+
+  std::printf("\nQuery 1 via index lookups: %.1f modeled s for %llu tuple "
+              "fetches\n",
+              index_q1_modeled, static_cast<unsigned long long>(fetched));
+  std::printf("Query 1 via plain scan:    %.1f modeled s\n",
+              scan_q1_modeled);
+  std::printf("index plan is %.1fx slower than the scan it should beat\n",
+              index_q1_modeled / std::max(1e-9, scan_q1_modeled));
+
+  bench::PrintPaperNote(util::Format(
+      "shape holds: the B+-tree costs %.1fx the SMA complement to store, "
+      "takes longer to build, and is useless for Q1 (its 95%%+ selectivity "
+      "makes index-driven access slower than scanning — 'the only effect of "
+      "using an index is to turn sequential I/O into random I/O')",
+      static_cast<double>(tree->SizeBytes()) /
+          static_cast<double>(smas.TotalSizeBytes())));
+  return 0;
+}

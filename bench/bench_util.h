@@ -1,0 +1,78 @@
+// Shared scaffolding for the paper-reproduction benchmark binaries.
+//
+// Each binary reproduces one table or figure of the paper (see DESIGN.md's
+// experiment index), prints the measured rows in the paper's layout, and
+// closes with a "paper vs measured" note. Absolute numbers are expected to
+// differ (simulated 1997 disk vs the authors' Sparc/Barracuda testbed, and
+// laptop scale factors); the *shape* — who wins, by what rough factor,
+// where crossovers fall — is the reproduction target.
+
+#ifndef SMADB_BENCH_BENCH_UTIL_H_
+#define SMADB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/disk.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace smadb::bench {
+
+inline void Check(const util::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "benchmark error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(util::Result<T> r) {
+  Check(r.status());
+  return std::move(r).value();
+}
+
+/// Scale factor from argv[1] (default `def`); clamped to something sane.
+inline double ScaleFromArgs(int argc, char** argv, double def) {
+  if (argc > 1) {
+    const double sf = std::atof(argv[1]);
+    if (sf > 0 && sf <= 2.0) return sf;
+    std::fprintf(stderr, "usage: %s [scale_factor in (0, 2]]\n", argv[0]);
+    std::exit(2);
+  }
+  return def;
+}
+
+/// One database instance per benchmark (64 MB buffer pool by default —
+/// large relative to laptop-scale data, as the paper's 8 MB was to 1 GB).
+struct BenchDb {
+  explicit BenchDb(size_t pool_pages = 16384)
+      : pool(&disk, pool_pages), catalog(&pool) {}
+
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool;
+  storage::Catalog catalog;
+
+  /// Simulated seconds the 1997 disk model assigns to the I/O recorded
+  /// since `base`.
+  double ModeledSeconds(const storage::IoStats& base) const {
+    return (disk.stats() - base).ModeledSeconds(model);
+  }
+
+  storage::DiskModel model;  // paper-era disk: 8 ms seek, 9 MB/s
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintPaperNote(const std::string& note) {
+  std::printf("\npaper-vs-measured: %s\n", note.c_str());
+}
+
+}  // namespace smadb::bench
+
+#endif  // SMADB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// Experiment X2 — paper §4 hierarchical SMAs:
+//
+//   "If a second level bucket qualifies or disqualifies, the first level
+//    SMA-file need not to be accessed, which saves some I/O. ... the second
+//    level SMA is useful for rather high and rather low selectivities."
+//
+// Sweep the predicate cutoff (selectivity 0..1) and compare first-level
+// SMA pages read by flat grading vs two-level grading, verifying both
+// produce identical grades.
+
+#include "bench/bench_util.h"
+#include "sma/builder.h"
+#include "sma/hierarchical.h"
+#include "tpch/loader.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.25);
+  bench::BenchDb db(262144);
+
+  bench::PrintHeader(util::Format(
+      "X2: hierarchical (two-level) SMAs (paper §4), SF %.3f", sf));
+
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kDiagonal;
+  load.lag_stddev_days = 10.0;
+  storage::Table* lineitem = Check(
+      tpch::GenerateAndLoadLineItem(&db.catalog, {sf, 19980401}, load));
+
+  sma::SmaSet smas(lineitem);
+  const expr::ExprPtr shipdate =
+      Check(expr::Column(&lineitem->schema(), "l_shipdate"));
+  Check(smas.Add(
+      Check(sma::BuildSma(lineitem, sma::SmaSpec::Min("min", shipdate)))));
+  Check(smas.Add(
+      Check(sma::BuildSma(lineitem, sma::SmaSpec::Max("max", shipdate)))));
+  const sma::Sma* min_sma = *smas.Find("min");
+  const sma::Sma* max_sma = *smas.Find("max");
+  auto hier = Check(sma::HierarchicalMinMax::Build(min_sma, max_sma));
+
+  std::printf("buckets: %llu; L1 SMA pages: %u+%u; L2 SMA pages: %u+%u\n",
+              static_cast<unsigned long long>(hier->num_buckets()),
+              min_sma->group_file(0)->num_pages(),
+              max_sma->group_file(0)->num_pages(),
+              hier->level2_min()->num_pages(),
+              hier->level2_max()->num_pages());
+
+  std::printf("\npredicate l_shipdate <= c, sweeping c across the calendar:\n");
+  std::printf("%12s %14s %16s %16s %10s\n", "cutoff", "selectivity",
+              "flat L1 pages", "hier L1 pages", "saved");
+  const util::Date start = util::Date::FromYmd(1992, 1, 1);
+  for (int pct : {0, 5, 25, 50, 75, 95, 100}) {
+    const util::Date c = start.AddDays(pct * 2556 / 100);
+    std::vector<sma::Grade> flat, hier_grades;
+    uint64_t flat_pages = 0, hier_pages = 0;
+    Check(hier->GradeAllFlat(expr::CmpOp::kLe, c.days(), &flat, &flat_pages));
+    Check(hier->GradeAll(expr::CmpOp::kLe, c.days(), &hier_grades,
+                         &hier_pages));
+    if (flat != hier_grades) {
+      std::fprintf(stderr, "GRADES DIVERGE at %s!\n", c.ToString().c_str());
+      return 1;
+    }
+    std::printf("%12s %13d%% %16llu %16llu %9.0f%%\n", c.ToString().c_str(),
+                pct, static_cast<unsigned long long>(flat_pages),
+                static_cast<unsigned long long>(hier_pages),
+                100.0 * (1.0 - static_cast<double>(hier_pages) /
+                                   static_cast<double>(
+                                       std::max<uint64_t>(1, flat_pages))));
+  }
+
+  bench::PrintPaperNote(
+      "shape holds: at extreme selectivities the second level settles "
+      "almost every first-level page without reading it (large savings); "
+      "mid-range cutoffs on imperfectly clustered data need the fine grain, "
+      "so savings shrink — 'useful for rather high and rather low "
+      "selectivities', and the L2 files are tiny");
+  return 0;
+}

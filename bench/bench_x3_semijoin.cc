@@ -1,0 +1,122 @@
+// Experiment X3 — paper §4 semi-join SMAs:
+//
+//   "select R.* from R, S where R.A θ S.B — if we can associate a minimax
+//    value of the S.B values with each bucket of R, SMAs can be used to
+//    decrease the input to the semi-join."
+//
+// R = LINEITEM (shipdate-clustered), S = orders restricted to a window of
+// the calendar. Sweep the width of S's window and report how much of R the
+// reducer can drop before the join runs, plus the modeled I/O of the
+// reduced vs unreduced semi-join input.
+
+#include "bench/bench_util.h"
+#include "sma/builder.h"
+#include "sma/semijoin.h"
+#include "tpch/loader.h"
+#include "tpch/schemas.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
+  bench::BenchDb db(262144);
+
+  bench::PrintHeader(util::Format(
+      "X3: semi-join SMAs (paper §4), SF %.3f", sf));
+
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  std::vector<tpch::OrderRow> all_orders;
+  storage::Table* lineitem = Check(tpch::GenerateAndLoadLineItem(
+      &db.catalog, {sf, 19980401}, load, &all_orders));
+  sma::SmaSet r_smas(lineitem);
+  const expr::ExprPtr shipdate =
+      Check(expr::Column(&lineitem->schema(), "l_shipdate"));
+  Check(r_smas.Add(
+      Check(sma::BuildSma(lineitem, sma::SmaSpec::Min("min", shipdate)))));
+  Check(r_smas.Add(
+      Check(sma::BuildSma(lineitem, sma::SmaSpec::Max("max", shipdate)))));
+  const size_t r_col = tpch::lineitem::kShipDate;
+  const size_t s_col = tpch::orders::kOrderDate;
+
+  std::printf("R = LINEITEM, %u buckets; predicate: "
+              "R.l_shipdate = S.o_orderdate\n",
+              lineitem->num_buckets());
+  std::printf("\n%-22s %10s %14s %14s %12s\n", "S window (orderdate)",
+              "S rows", "candidates", "all-match", "R dropped");
+
+  int widx = 0;
+  for (int window_months : {1, 3, 12, 36, 84}) {
+    std::vector<tpch::OrderRow> orders = all_orders;
+    const util::Date lo = util::Date::FromYmd(1994, 1, 1);
+    const util::Date hi = lo.AddDays(window_months * 30);
+    std::erase_if(orders, [&](const tpch::OrderRow& o) {
+      return o.orderdate < lo || o.orderdate >= hi;
+    });
+    storage::Table* s = Check(tpch::LoadOrders(
+        &db.catalog, orders, {}, "orders_w" + std::to_string(widx++)));
+
+    auto red = Check(sma::ReduceSemiJoin(&r_smas, r_col, expr::CmpOp::kEq, s,
+                                         s_col, nullptr));
+    const uint64_t total = lineitem->num_buckets();
+    const uint64_t cand = red.candidates.Count();
+    std::printf("%-22s %10llu %8llu/%llu %14llu %11.1f%%\n",
+                util::Format("%d month(s)", window_months).c_str(),
+                static_cast<unsigned long long>(s->num_tuples()),
+                static_cast<unsigned long long>(cand),
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(red.all_match.Count()),
+                100.0 * (1.0 - static_cast<double>(cand) /
+                                   static_cast<double>(total)));
+  }
+
+  // Modeled I/O of feeding the semi-join: unreduced vs reduced (1-year S).
+  {
+    std::vector<tpch::OrderRow> orders = all_orders;
+    const util::Date lo = util::Date::FromYmd(1994, 1, 1);
+    const util::Date hi = util::Date::FromYmd(1995, 1, 1);
+    std::erase_if(orders, [&](const tpch::OrderRow& o) {
+      return o.orderdate < lo || o.orderdate >= hi;
+    });
+    storage::Table* s =
+        Check(tpch::LoadOrders(&db.catalog, orders, {}, "orders_io"));
+    auto red = Check(sma::ReduceSemiJoin(&r_smas, r_col, expr::CmpOp::kEq, s,
+                                         s_col, nullptr));
+
+    // Unreduced: read every R bucket.
+    Check(db.pool.DropAll());
+    storage::IoStats base = db.disk.stats();
+    uint64_t rows = 0;
+    for (uint32_t b = 0; b < lineitem->num_buckets(); ++b) {
+      Check(lineitem->ForEachTupleInBucket(
+          b, [&](const storage::TupleRef&, storage::Rid) { ++rows; }));
+    }
+    const double full = db.ModeledSeconds(base);
+
+    // Reduced: only candidate buckets.
+    Check(db.pool.DropAll());
+    base = db.disk.stats();
+    uint64_t reduced_rows = 0;
+    for (uint32_t b = 0; b < lineitem->num_buckets(); ++b) {
+      if (!red.candidates.Get(b)) continue;
+      Check(lineitem->ForEachTupleInBucket(
+          b, [&](const storage::TupleRef&, storage::Rid) {
+            ++reduced_rows;
+          }));
+    }
+    const double reduced = db.ModeledSeconds(base);
+    std::printf("\nsemi-join input with S = one year of orders:\n");
+    std::printf("  unreduced: %llu tuples, %.2f modeled s\n",
+                static_cast<unsigned long long>(rows), full);
+    std::printf("  reduced:   %llu tuples, %.2f modeled s (%.1fx less I/O)\n",
+                static_cast<unsigned long long>(reduced_rows), reduced,
+                full / std::max(1e-9, reduced));
+  }
+
+  bench::PrintPaperNote(
+      "shape holds: the narrower S's value range, the more of R the minimax "
+      "reducer eliminates before the join; with a wide S (covering R's full "
+      "range) nothing can be dropped — exactly the behaviour §4 sketches");
+  return 0;
+}

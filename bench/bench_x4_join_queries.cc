@@ -1,0 +1,110 @@
+// Experiment X4 — SMAs inside join pipelines (the flexibility argument of
+// §2.3 taken to multi-table queries): TPC-D Q3 (3-way join + grouping) and
+// Q4 (EXISTS as the §4 semi-join), each with and without selection SMAs on
+// the date-restricted leaves.
+
+#include "bench/bench_util.h"
+#include "tpch/loader.h"
+#include "workloads/q3.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+namespace {
+
+uint64_t Drain(exec::Operator* op) {
+  Check(op->Init());
+  storage::TupleRef row;
+  uint64_t n = 0;
+  bool more = Check(op->Next(&row));
+  while (more) {
+    ++n;
+    more = Check(op->Next(&row));
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
+  bench::BenchDb db(262144);
+
+  bench::PrintHeader(util::Format(
+      "X4: SMA pruning inside join pipelines (Q3, Q4), SF %.3f", sf));
+
+  tpch::Dbgen gen({sf, 19980401});
+  std::vector<tpch::OrderRow> orows;
+  std::vector<tpch::LineItemRow> lrows;
+  gen.GenOrdersAndLineItems(&orows, &lrows);
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kDiagonal;
+  load.lag_stddev_days = 10.0;
+  storage::Table* orders = Check(tpch::LoadOrders(&db.catalog, orows, load));
+  storage::Table* lineitem =
+      Check(tpch::LoadLineItem(&db.catalog, lrows, load));
+  storage::Table* customer =
+      Check(tpch::LoadCustomers(&db.catalog, gen.GenCustomers()));
+
+  sma::SmaSet orders_smas(orders);
+  sma::SmaSet lineitem_smas(lineitem);
+  Check(workloads::BuildQ3Smas(orders, &orders_smas, lineitem,
+                               &lineitem_smas));
+
+  struct Row {
+    const char* name;
+    double with_s, without_s;
+    uint64_t with_reads, without_reads;
+  };
+  std::vector<Row> rows;
+
+  auto measure = [&](auto&& make_plan) {
+    Check(db.pool.DropAll());
+    db.disk.ResetAccessPositions();
+    const storage::IoStats base = db.disk.stats();
+    auto plan = make_plan();
+    (void)Drain(plan.get());
+    const storage::IoStats used = db.disk.stats() - base;
+    return std::make_pair(used.ModeledSeconds(db.model), used.page_reads);
+  };
+
+  // Q3.
+  {
+    workloads::Q3Tables with{customer, orders, lineitem, &orders_smas,
+                             &lineitem_smas};
+    workloads::Q3Tables without{customer, orders, lineitem, nullptr,
+                                nullptr};
+    auto [ws, wr] =
+        measure([&] { return *workloads::MakeQ3Plan(with); });
+    auto [ns, nr] =
+        measure([&] { return *workloads::MakeQ3Plan(without); });
+    rows.push_back({"Q3 (3-way join)", ws, ns, wr, nr});
+  }
+  // Q4.
+  {
+    auto [ws, wr] = measure([&] {
+      return *workloads::MakeQ4Plan(orders, lineitem, &orders_smas);
+    });
+    auto [ns, nr] = measure([&] {
+      return *workloads::MakeQ4Plan(orders, lineitem, nullptr);
+    });
+    rows.push_back({"Q4 (EXISTS semi-join)", ws, ns, wr, nr});
+  }
+
+  std::printf("\n%-24s %14s %14s %10s\n", "query", "with SMAs",
+              "without SMAs", "saving");
+  for (const Row& r : rows) {
+    std::printf("%-24s %12.2fs  %12.2fs  %8.1fx   (%llu vs %llu pages)\n",
+                r.name, r.with_s, r.without_s,
+                r.without_s / std::max(1e-9, r.with_s),
+                static_cast<unsigned long long>(r.with_reads),
+                static_cast<unsigned long long>(r.without_reads));
+  }
+
+  bench::PrintPaperNote(
+      "SMAs keep paying inside join pipelines: Q3's date-restricted ORDERS "
+      "and LINEITEM leaves and Q4's date-graded semi-join skip the "
+      "disqualified buckets of the fact tables, which dominate the join "
+      "input cost — the versatility §2.3 claims over the data cube");
+  return 0;
+}

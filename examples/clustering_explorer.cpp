@@ -1,0 +1,127 @@
+// Clustering explorer: how physical clustering quality drives SMA
+// effectiveness (paper §2.2, Fig. 2's "diagonal data distribution").
+//
+// Loads the same LINEITEM rows under four clustering modes and reports, for
+// a sliding one-month shipdate predicate, how the buckets partition into
+// qualifying / disqualifying / ambivalent under each mode.
+//
+// Usage: clustering_explorer [scale_factor]   (default 0.01)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "expr/predicate.h"
+#include "sma/builder.h"
+#include "sma/grade.h"
+#include "storage/catalog.h"
+#include "tpch/loader.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT: example brevity
+
+namespace {
+
+void Check(const util::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(util::Result<T> r) {
+  Check(r.status());
+  return std::move(r).value();
+}
+
+const char* ModeName(tpch::ClusterMode m) {
+  switch (m) {
+    case tpch::ClusterMode::kOrderKey:
+      return "orderkey (dbgen order)";
+    case tpch::ClusterMode::kShipdateSorted:
+      return "sorted on shipdate";
+    case tpch::ClusterMode::kDiagonal:
+      return "diagonal (TOC, Fig. 2)";
+    case tpch::ClusterMode::kShuffled:
+      return "shuffled";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool(&disk, 8192);
+  storage::Catalog catalog(&pool);
+
+  // Generate once, load four times under different clusterings.
+  tpch::Dbgen gen({sf, 19980401});
+  std::vector<tpch::OrderRow> orders;
+  std::vector<tpch::LineItemRow> lineitems;
+  gen.GenOrdersAndLineItems(&orders, &lineitems);
+  std::printf("%zu lineitems; probing predicate: one month of shipdates\n\n",
+              lineitems.size());
+
+  const util::Date lo = util::Date::FromYmd(1995, 6, 1);
+  const util::Date hi = util::Date::FromYmd(1995, 7, 1);
+
+  std::printf("%-26s %12s %12s %12s %10s\n", "clustering", "qualifying",
+              "disqualif.", "ambivalent", "fetch%");
+  for (tpch::ClusterMode mode :
+       {tpch::ClusterMode::kShipdateSorted, tpch::ClusterMode::kDiagonal,
+        tpch::ClusterMode::kOrderKey, tpch::ClusterMode::kShuffled}) {
+    tpch::LoadOptions load;
+    load.mode = mode;
+    load.lag_stddev_days = 15.0;
+    storage::Table* table = Check(tpch::LoadLineItem(
+        &catalog, lineitems, load,
+        "lineitem_" + std::to_string(static_cast<int>(mode))));
+
+    sma::SmaSet smas(table);
+    const expr::ExprPtr shipdate =
+        Check(expr::Column(&table->schema(), "l_shipdate"));
+    Check(smas.Add(
+        Check(sma::BuildSma(table, sma::SmaSpec::Min("min", shipdate)))));
+    Check(smas.Add(
+        Check(sma::BuildSma(table, sma::SmaSpec::Max("max", shipdate)))));
+
+    expr::PredicatePtr pred = expr::Predicate::And(
+        Check(expr::Predicate::AtomConst(&table->schema(), "l_shipdate",
+                                         expr::CmpOp::kGe,
+                                         util::Value::MakeDate(lo))),
+        Check(expr::Predicate::AtomConst(&table->schema(), "l_shipdate",
+                                         expr::CmpOp::kLt,
+                                         util::Value::MakeDate(hi))));
+
+    auto grader = sma::BucketGrader::Create(pred, &smas);
+    uint64_t q = 0, d = 0, a = 0;
+    for (uint64_t b = 0; b < table->num_buckets(); ++b) {
+      switch (Check(grader->GradeBucket(b))) {
+        case sma::Grade::kQualifies:
+          ++q;
+          break;
+        case sma::Grade::kDisqualifies:
+          ++d;
+          break;
+        case sma::Grade::kAmbivalent:
+          ++a;
+          break;
+      }
+    }
+    std::printf("%-26s %12llu %12llu %12llu %9.1f%%\n", ModeName(mode),
+                static_cast<unsigned long long>(q),
+                static_cast<unsigned long long>(d),
+                static_cast<unsigned long long>(a),
+                100.0 * static_cast<double>(q + a) /
+                    static_cast<double>(std::max<uint64_t>(1, q + d + a)));
+  }
+
+  std::printf(
+      "\nreading: sorted data isolates the predicate to a few buckets;\n"
+      "the diagonal (time-of-creation) clustering stays close to it, while\n"
+      "uncorrelated physical orders leave every bucket ambivalent.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Semi-join SMA demo (paper §4): use the minimax of S.B to shrink the input
+// of  select R.* from R, S where R.A <= S.B.
+//
+// R = lineitem clustered on shipdate, S = a small "late orders" table whose
+// o_orderdate range covers only a slice of the calendar. The reducer proves
+// most R buckets can contain no join partner without reading them.
+//
+// Usage: semijoin_demo [scale_factor]   (default 0.01)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sma/builder.h"
+#include "sma/semijoin.h"
+#include "storage/catalog.h"
+#include "tpch/loader.h"
+
+using namespace smadb;  // NOLINT: example brevity
+
+namespace {
+
+void Check(const util::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(util::Result<T> r) {
+  Check(r.status());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool(&disk, 8192);
+  storage::Catalog catalog(&pool);
+
+  // R: lineitem, shipdate-clustered, with min/max SMAs on l_shipdate.
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  storage::Table* lineitem =
+      Check(tpch::GenerateAndLoadLineItem(&catalog, {sf, 7}, load));
+  sma::SmaSet r_smas(lineitem);
+  const expr::ExprPtr shipdate =
+      Check(expr::Column(&lineitem->schema(), "l_shipdate"));
+  Check(r_smas.Add(
+      Check(sma::BuildSma(lineitem, sma::SmaSpec::Min("min", shipdate)))));
+  Check(r_smas.Add(
+      Check(sma::BuildSma(lineitem, sma::SmaSpec::Max("max", shipdate)))));
+
+  // S: orders from a narrow window (1997 only).
+  tpch::Dbgen gen({sf / 4, 99});
+  std::vector<tpch::OrderRow> orders;
+  std::vector<tpch::LineItemRow> ignored;
+  gen.GenOrdersAndLineItems(&orders, &ignored);
+  std::erase_if(orders, [](const tpch::OrderRow& o) {
+    return o.orderdate.year() != 1997;
+  });
+  storage::Table* late_orders =
+      Check(tpch::LoadOrders(&catalog, orders, {}, "late_orders"));
+  std::printf("R = lineitem: %u buckets; S = late_orders: %llu tuples "
+              "(orderdates within 1997)\n",
+              lineitem->num_buckets(),
+              static_cast<unsigned long long>(late_orders->num_tuples()));
+
+  // Reduce: R.l_shipdate <= S.o_orderdate.
+  const size_t r_col =
+      Check(lineitem->schema().FieldIndex("l_shipdate"));
+  const size_t s_col =
+      Check(late_orders->schema().FieldIndex("o_orderdate"));
+  sma::SemiJoinReduction red =
+      Check(sma::ReduceSemiJoin(&r_smas, r_col, expr::CmpOp::kLe, late_orders,
+                                s_col, /*s_smas=*/nullptr));
+
+  const uint64_t total = lineitem->num_buckets();
+  const uint64_t candidates = red.candidates.Count();
+  std::printf("\nsemi-join R.l_shipdate <= S.o_orderdate\n");
+  std::printf("  S.B range           : [%s, %s]\n",
+              util::Date(static_cast<int32_t>(*red.s_min)).ToString().c_str(),
+              util::Date(static_cast<int32_t>(*red.s_max)).ToString().c_str());
+  std::printf("  candidate buckets   : %llu / %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(candidates),
+              static_cast<unsigned long long>(total),
+              100.0 * static_cast<double>(candidates) /
+                  static_cast<double>(total));
+  std::printf("  proven all-matching : %llu (tuple-level probe skippable)\n",
+              static_cast<unsigned long long>(red.all_match.Count()));
+
+  // Verify the reduction is sound: every tuple in a pruned bucket really
+  // has no join partner.
+  uint64_t pruned_violations = 0;
+  for (uint32_t b = 0; b < total; ++b) {
+    if (red.candidates.Get(b)) continue;
+    Check(lineitem->ForEachTupleInBucket(
+        b, [&](const storage::TupleRef& t, storage::Rid) {
+          if (t.GetRawInt(r_col) <= *red.s_max) ++pruned_violations;
+        }));
+  }
+  std::printf("\nsoundness check: %llu pruned tuples with a partner "
+              "(expect 0)\n",
+              static_cast<unsigned long long>(pruned_violations));
+  return pruned_violations == 0 ? 0 : 1;
+}

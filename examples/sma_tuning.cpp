@@ -1,0 +1,133 @@
+// SMA tuning walkthrough (paper §4): bucket size and hierarchical SMAs.
+//
+// Shows the trade-off the paper describes — small buckets make SMA-files
+// large (more SMA I/O), large buckets make more tuples ambivalent — and how
+// a second-level SMA recovers most of the SMA-file I/O.
+//
+// Usage: sma_tuning [scale_factor]   (default 0.01)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sma/builder.h"
+#include "sma/hierarchical.h"
+#include "storage/catalog.h"
+#include "tpch/loader.h"
+
+using namespace smadb;  // NOLINT: example brevity
+
+namespace {
+
+void Check(const util::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(util::Result<T> r) {
+  Check(r.status());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool(&disk, 16384);
+  storage::Catalog catalog(&pool);
+
+  tpch::Dbgen gen({sf, 19980401});
+  std::vector<tpch::OrderRow> orders;
+  std::vector<tpch::LineItemRow> lineitems;
+  gen.GenOrdersAndLineItems(&orders, &lineitems);
+
+  const util::Date lo = util::Date::FromYmd(1995, 3, 1);
+  const util::Date hi = util::Date::FromYmd(1995, 9, 1);
+
+  std::printf("predicate: shipdate in [%s, %s); diagonal clustering\n\n",
+              lo.ToString().c_str(), hi.ToString().c_str());
+  std::printf("%-14s %10s %12s %14s %14s\n", "bucket_pages", "sma_pages",
+              "ambiv.buckets", "ambiv.tuples", "fetch pages");
+
+  for (uint32_t bucket_pages : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    tpch::LoadOptions load;
+    load.mode = tpch::ClusterMode::kDiagonal;
+    load.lag_stddev_days = 20.0;
+    load.bucket_pages = bucket_pages;
+    storage::Table* table = Check(tpch::LoadLineItem(
+        &catalog, lineitems, load, "li_bp" + std::to_string(bucket_pages)));
+
+    sma::SmaSet smas(table);
+    const expr::ExprPtr shipdate =
+        Check(expr::Column(&table->schema(), "l_shipdate"));
+    Check(smas.Add(
+        Check(sma::BuildSma(table, sma::SmaSpec::Min("min", shipdate)))));
+    Check(smas.Add(
+        Check(sma::BuildSma(table, sma::SmaSpec::Max("max", shipdate)))));
+
+    expr::PredicatePtr pred = expr::Predicate::And(
+        Check(expr::Predicate::AtomConst(&table->schema(), "l_shipdate",
+                                         expr::CmpOp::kGe,
+                                         util::Value::MakeDate(lo))),
+        Check(expr::Predicate::AtomConst(&table->schema(), "l_shipdate",
+                                         expr::CmpOp::kLt,
+                                         util::Value::MakeDate(hi))));
+    auto grader = sma::BucketGrader::Create(pred, &smas);
+    uint64_t ambiv_buckets = 0, fetch_pages = 0, ambiv_tuples = 0;
+    for (uint64_t b = 0; b < table->num_buckets(); ++b) {
+      const sma::Grade g = Check(grader->GradeBucket(b));
+      if (g == sma::Grade::kDisqualifies) continue;
+      const auto [first, end] =
+          table->BucketPageRange(static_cast<uint32_t>(b));
+      fetch_pages += end - first;
+      if (g == sma::Grade::kAmbivalent) {
+        ++ambiv_buckets;
+        ambiv_tuples +=
+            static_cast<uint64_t>(end - first) * table->tuples_per_page();
+      }
+    }
+    std::printf("%-14u %10llu %12llu %14llu %14llu\n", bucket_pages,
+                static_cast<unsigned long long>(smas.TotalPages()),
+                static_cast<unsigned long long>(ambiv_buckets),
+                static_cast<unsigned long long>(ambiv_tuples),
+                static_cast<unsigned long long>(fetch_pages));
+  }
+
+  // Hierarchical SMA on the bucket_pages=1 table.
+  std::printf("\nhierarchical (two-level) SMA, bucket_pages=1:\n");
+  {
+    tpch::LoadOptions load;
+    load.mode = tpch::ClusterMode::kDiagonal;
+    load.lag_stddev_days = 20.0;
+    storage::Table* table =
+        Check(tpch::LoadLineItem(&catalog, lineitems, load, "li_hier"));
+    sma::SmaSet smas(table);
+    const expr::ExprPtr shipdate =
+        Check(expr::Column(&table->schema(), "l_shipdate"));
+    Check(smas.Add(
+        Check(sma::BuildSma(table, sma::SmaSpec::Min("min", shipdate)))));
+    Check(smas.Add(
+        Check(sma::BuildSma(table, sma::SmaSpec::Max("max", shipdate)))));
+    auto h = Check(sma::HierarchicalMinMax::Build(
+        Check(smas.Find("min")), Check(smas.Find("max"))));
+
+    std::vector<sma::Grade> flat, hier;
+    uint64_t flat_pages = 0, hier_pages = 0;
+    Check(h->GradeAllFlat(expr::CmpOp::kLe, lo.days(), &flat, &flat_pages));
+    Check(h->GradeAll(expr::CmpOp::kLe, lo.days(), &hier, &hier_pages));
+    if (flat != hier) {
+      std::fprintf(stderr, "hierarchical grades diverge from flat!\n");
+      return 1;
+    }
+    std::printf("  L1 pages read: flat=%llu, hierarchical=%llu "
+                "(L2 size: %u + %u pages)\n",
+                static_cast<unsigned long long>(flat_pages),
+                static_cast<unsigned long long>(hier_pages),
+                h->level2_min()->num_pages(), h->level2_max()->num_pages());
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// TPC-D Query 1 end to end: generate LINEITEM, build the paper's eight
+// SMAs (Fig. 4), and run Q1 three ways — plain scan, SMA-pruned scan, and
+// SMA_GAggr — verifying all three agree and reporting work saved.
+//
+// Usage: tpcd_q1 [scale_factor]   (default 0.02)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "planner/planner.h"
+#include "storage/catalog.h"
+#include "tpch/loader.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT: example brevity
+
+namespace {
+
+void Check(const util::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(util::Result<T> r) {
+  Check(r.status());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.02;
+
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool(&disk, 4096);
+  storage::Catalog catalog(&pool);
+
+  std::printf("generating TPC-D LINEITEM at SF %.3f ...\n", sf);
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;  // the paper's optimal case
+  storage::Table* lineitem =
+      Check(tpch::GenerateAndLoadLineItem(&catalog, {sf, 19980401}, load));
+  std::printf("  %s tuples, %u pages (%s)\n",
+              util::WithThousands(
+                  static_cast<long long>(lineitem->num_tuples()))
+                  .c_str(),
+              lineitem->num_pages(),
+              util::HumanBytes(static_cast<double>(lineitem->SizeBytes()))
+                  .c_str());
+
+  std::printf("building the 8 SMAs of paper Fig. 4 ...\n");
+  util::Stopwatch build_watch;
+  sma::SmaSet smas(lineitem);
+  Check(workloads::BuildQ1Smas(lineitem, &smas));
+  std::printf("  %zu SMAs, %llu SMA-files, %llu pages (%s, %.2f%% of table) "
+              "in %.2fs\n",
+              smas.size(),
+              static_cast<unsigned long long>([&] {
+                uint64_t files = 0;
+                for (const sma::Sma* s : smas.all()) files += s->num_groups();
+                return files;
+              }()),
+              static_cast<unsigned long long>(smas.TotalPages()),
+              util::HumanBytes(static_cast<double>(smas.TotalSizeBytes()))
+                  .c_str(),
+              100.0 * static_cast<double>(smas.TotalPages()) /
+                  lineitem->num_pages(),
+              build_watch.ElapsedSeconds());
+
+  plan::AggQuery q1 = Check(workloads::MakeQ1Query(lineitem, 90));
+
+  struct RunResult {
+    plan::QueryResult result;
+    double seconds;
+    uint64_t page_reads;
+  };
+  auto run = [&](plan::PlanKind kind) -> RunResult {
+    Check(pool.DropAll());
+    disk.ResetStats();
+    plan::Planner planner(&smas);
+    auto op = Check(planner.Build(q1, kind));
+    util::Stopwatch watch;
+    plan::QueryResult r = Check(plan::RunToCompletion(op.get()));
+    return RunResult{std::move(r), watch.ElapsedSeconds(),
+                     disk.stats().page_reads};
+  };
+
+  std::printf("\nQuery 1 (delta = 90 days):\n");
+  RunResult scan = run(plan::PlanKind::kScanAggr);
+  std::printf("  GAggr(TableScan): %7.3fs  %8llu page reads\n", scan.seconds,
+              static_cast<unsigned long long>(scan.page_reads));
+  RunResult smascan = run(plan::PlanKind::kSmaScanAggr);
+  std::printf("  GAggr(SMA_Scan) : %7.3fs  %8llu page reads\n",
+              smascan.seconds,
+              static_cast<unsigned long long>(smascan.page_reads));
+  RunResult smag = run(plan::PlanKind::kSmaGAggr);
+  std::printf("  SMA_GAggr       : %7.3fs  %8llu page reads\n", smag.seconds,
+              static_cast<unsigned long long>(smag.page_reads));
+
+  // All three must agree.
+  const std::string a = scan.result.ToString();
+  if (a != smascan.result.ToString() || a != smag.result.ToString()) {
+    std::fprintf(stderr, "RESULT MISMATCH between plans!\n%s\nvs\n%s\nvs\n%s",
+                 a.c_str(), smascan.result.ToString().c_str(),
+                 smag.result.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nall plans agree; result:\n%s", a.c_str());
+  std::printf("\nspeedup: %.0fx fewer page reads, %.1fx faster wall-clock\n",
+              static_cast<double>(scan.page_reads) /
+                  static_cast<double>(std::max<uint64_t>(1, smag.page_reads)),
+              scan.seconds / std::max(1e-9, smag.seconds));
+
+  // Let the planner decide on its own.
+  plan::Planner planner(&smas);
+  plan::PlanChoice choice = Check(planner.Choose(q1));
+  std::printf("planner picks: %s — %s\n",
+              std::string(PlanKindToString(choice.kind)).c_str(),
+              choice.explanation.c_str());
+  return 0;
+}

@@ -1,0 +1,358 @@
+#include "baseline/bptree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace smadb::baseline {
+
+using storage::Page;
+using storage::PageGuard;
+using storage::Rid;
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Node layout:
+//   0: uint16 count      2: uint8 is_leaf     4: uint32 next (leaf chain)
+//   16...: entries — leaf: {int64 key, uint32 page, uint16 slot, pad2} (16B)
+//                  internal: {int64 sep_key, uint32 child} (12B)
+constexpr size_t kHeader = 16;
+constexpr uint32_t kNoNext = UINT32_MAX;
+
+uint16_t Count(const Page& p) { return p.ReadAt<uint16_t>(0); }
+void SetCount(Page* p, uint16_t c) { p->WriteAt<uint16_t>(0, c); }
+bool IsLeaf(const Page& p) { return p.ReadAt<uint8_t>(2) != 0; }
+void SetIsLeaf(Page* p, bool leaf) {
+  p->WriteAt<uint8_t>(2, leaf ? 1 : 0);
+}
+uint32_t NextLeaf(const Page& p) { return p.ReadAt<uint32_t>(4); }
+void SetNextLeaf(Page* p, uint32_t n) { p->WriteAt<uint32_t>(4, n); }
+
+int64_t LeafKey(const Page& p, uint32_t i) {
+  return p.ReadAt<int64_t>(kHeader + i * 16);
+}
+Rid LeafRid(const Page& p, uint32_t i) {
+  Rid r;
+  r.page_no = p.ReadAt<uint32_t>(kHeader + i * 16 + 8);
+  r.slot = p.ReadAt<uint16_t>(kHeader + i * 16 + 12);
+  return r;
+}
+void SetLeafEntry(Page* p, uint32_t i, int64_t key, Rid rid) {
+  p->WriteAt<int64_t>(kHeader + i * 16, key);
+  p->WriteAt<uint32_t>(kHeader + i * 16 + 8, rid.page_no);
+  p->WriteAt<uint16_t>(kHeader + i * 16 + 12, rid.slot);
+}
+
+int64_t InternalKey(const Page& p, uint32_t i) {
+  return p.ReadAt<int64_t>(kHeader + i * 12);
+}
+uint32_t InternalChild(const Page& p, uint32_t i) {
+  return p.ReadAt<uint32_t>(kHeader + i * 12 + 8);
+}
+void SetInternalEntry(Page* p, uint32_t i, int64_t key, uint32_t child) {
+  p->WriteAt<int64_t>(kHeader + i * 12, key);
+  p->WriteAt<uint32_t>(kHeader + i * 12 + 8, child);
+}
+
+// Index of the child to descend into on the *insert* path: last entry whose
+// separator <= key (append after duplicates). Entry 0's separator acts as
+// -infinity.
+uint32_t ChildIndexFor(const Page& p, int64_t key) {
+  const uint16_t n = Count(p);
+  uint32_t lo = 0;
+  for (uint32_t i = 1; i < n; ++i) {
+    if (InternalKey(p, i) <= key) {
+      lo = i;
+    } else {
+      break;
+    }
+  }
+  return lo;
+}
+
+// Index of the child to descend into on the *read* path: last entry whose
+// separator is strictly below key. With duplicate keys straddling a leaf
+// boundary, the first occurrence of `key` may live in the leaf left of the
+// separator equal to it; starting there and walking the leaf chain forward
+// (which RangeLookup does) sees every occurrence.
+uint32_t ChildIndexForFirst(const Page& p, int64_t key) {
+  const uint16_t n = Count(p);
+  uint32_t lo = 0;
+  for (uint32_t i = 1; i < n; ++i) {
+    if (InternalKey(p, i) < key) {
+      lo = i;
+    } else {
+      break;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(
+    storage::BufferPool* pool, const std::string& name) {
+  SMADB_ASSIGN_OR_RETURN(storage::FileId file,
+                         pool->disk()->CreateFile("idx." + name));
+  return std::unique_ptr<BPlusTree>(new BPlusTree(pool, file));
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::BulkBuild(
+    storage::BufferPool* pool, const std::string& name,
+    std::vector<Entry> sorted_entries, double fill_factor) {
+  if (fill_factor <= 0.0 || fill_factor > 1.0) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<BPlusTree> tree, Create(pool, name));
+  if (sorted_entries.empty()) return tree;
+
+  const uint32_t leaf_fill = std::max<uint32_t>(
+      1, static_cast<uint32_t>(kLeafCapacity * fill_factor));
+  const uint32_t internal_fill = std::max<uint32_t>(
+      2, static_cast<uint32_t>(kInternalCapacity * fill_factor));
+
+  // Level 0: pack leaves, remembering each leaf's first key.
+  std::vector<std::pair<int64_t, uint32_t>> level;  // (first key, page)
+  {
+    size_t i = 0;
+    uint32_t prev_leaf = kNoNext;
+    PageGuard prev_guard;
+    while (i < sorted_entries.size()) {
+      uint32_t page_no;
+      SMADB_ASSIGN_OR_RETURN(PageGuard guard,
+                             pool->NewPage(tree->file_, &page_no));
+      Page* p = guard.MutablePage();
+      SetIsLeaf(p, true);
+      SetNextLeaf(p, kNoNext);
+      uint16_t n = 0;
+      while (i < sorted_entries.size() && n < leaf_fill) {
+        SetLeafEntry(p, n, sorted_entries[i].key, sorted_entries[i].rid);
+        ++n;
+        ++i;
+      }
+      SetCount(p, n);
+      level.emplace_back(LeafKey(*p, 0), page_no);
+      if (prev_leaf != kNoNext) {
+        SetNextLeaf(prev_guard.MutablePage(), page_no);
+      }
+      prev_leaf = page_no;
+      prev_guard = std::move(guard);
+    }
+  }
+  tree->num_entries_ = sorted_entries.size();
+  tree->height_ = 1;
+
+  // Upper levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::pair<int64_t, uint32_t>> next_level;
+    size_t i = 0;
+    while (i < level.size()) {
+      uint32_t page_no;
+      SMADB_ASSIGN_OR_RETURN(PageGuard guard,
+                             pool->NewPage(tree->file_, &page_no));
+      Page* p = guard.MutablePage();
+      SetIsLeaf(p, false);
+      uint16_t n = 0;
+      while (i < level.size() && n < internal_fill) {
+        SetInternalEntry(p, n, level[i].first, level[i].second);
+        ++n;
+        ++i;
+      }
+      SetCount(p, n);
+      next_level.emplace_back(InternalKey(*p, 0), page_no);
+    }
+    level = std::move(next_level);
+    ++tree->height_;
+  }
+  tree->root_ = level[0].second;
+  return tree;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::BuildForColumn(
+    storage::Table* table, size_t col, const std::string& name) {
+  std::vector<Entry> entries;
+  entries.reserve(table->num_tuples());
+  for (uint32_t b = 0; b < table->num_buckets(); ++b) {
+    SMADB_RETURN_NOT_OK(table->ForEachTupleInBucket(
+        b, [&](const storage::TupleRef& t, Rid rid) {
+          entries.push_back(Entry{t.GetRawInt(col), rid});
+        }));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  return BulkBuild(table->pool(), name, std::move(entries));
+}
+
+Result<uint32_t> BPlusTree::FindLeaf(int64_t key) const {
+  if (height_ == 0) return Status::NotFound("empty tree");
+  uint32_t page_no = root_;
+  while (true) {
+    SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(file_, page_no));
+    if (IsLeaf(*guard.page())) return page_no;
+    page_no =
+        InternalChild(*guard.page(), ChildIndexForFirst(*guard.page(), key));
+  }
+}
+
+Result<std::vector<Rid>> BPlusTree::Lookup(int64_t key) const {
+  return RangeLookup(key, key);
+}
+
+Result<std::vector<Rid>> BPlusTree::RangeLookup(int64_t lo, int64_t hi) const {
+  std::vector<Rid> out;
+  if (height_ == 0 || lo > hi) return out;
+  SMADB_ASSIGN_OR_RETURN(uint32_t page_no, FindLeaf(lo));
+  while (page_no != kNoNext) {
+    SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(file_, page_no));
+    const Page& p = *guard.page();
+    const uint16_t n = Count(p);
+    for (uint16_t i = 0; i < n; ++i) {
+      const int64_t k = LeafKey(p, i);
+      if (k > hi) return out;
+      if (k >= lo) out.push_back(LeafRid(p, i));
+    }
+    page_no = NextLeaf(p);
+  }
+  return out;
+}
+
+Result<BPlusTree::SplitInfo> BPlusTree::InsertInto(uint32_t page_no,
+                                                   int64_t key, Rid rid) {
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(file_, page_no));
+  SplitInfo info;
+
+  if (IsLeaf(*guard.page())) {
+    Page* p = guard.MutablePage();
+    uint16_t n = Count(*p);
+    // Position: first index with key greater (insert after duplicates).
+    uint16_t pos = 0;
+    while (pos < n && LeafKey(*p, pos) <= key) ++pos;
+    if (n < kLeafCapacity) {
+      for (uint16_t i = n; i > pos; --i) {
+        SetLeafEntry(p, i, LeafKey(*p, i - 1), LeafRid(*p, i - 1));
+      }
+      SetLeafEntry(p, pos, key, rid);
+      SetCount(p, static_cast<uint16_t>(n + 1));
+      return info;
+    }
+    // Split: move the upper half to a fresh leaf, then insert.
+    uint32_t new_page;
+    SMADB_ASSIGN_OR_RETURN(PageGuard new_guard,
+                           pool_->NewPage(file_, &new_page));
+    Page* np = new_guard.MutablePage();
+    SetIsLeaf(np, true);
+    const uint16_t mid = n / 2;
+    uint16_t moved = 0;
+    for (uint16_t i = mid; i < n; ++i, ++moved) {
+      SetLeafEntry(np, moved, LeafKey(*p, i), LeafRid(*p, i));
+    }
+    SetCount(np, moved);
+    SetCount(p, mid);
+    SetNextLeaf(np, NextLeaf(*p));
+    SetNextLeaf(p, new_page);
+    // Insert into the proper half.
+    Page* target = key < LeafKey(*np, 0) ? p : np;
+    uint16_t tn = Count(*target);
+    pos = 0;
+    while (pos < tn && LeafKey(*target, pos) <= key) ++pos;
+    for (uint16_t i = tn; i > pos; --i) {
+      SetLeafEntry(target, i, LeafKey(*target, i - 1), LeafRid(*target, i - 1));
+    }
+    SetLeafEntry(target, pos, key, rid);
+    SetCount(target, static_cast<uint16_t>(tn + 1));
+    if (target == np) new_guard.MutablePage();
+    info.split = true;
+    info.separator = LeafKey(*np, 0);
+    info.new_page = new_page;
+    return info;
+  }
+
+  // Internal node: descend, then absorb a child split if one happened.
+  const uint32_t child_idx = ChildIndexFor(*guard.page(), key);
+  const uint32_t child = InternalChild(*guard.page(), child_idx);
+  guard.Release();  // avoid holding pins across the recursive descent
+  SMADB_ASSIGN_OR_RETURN(SplitInfo child_split, InsertInto(child, key, rid));
+  if (!child_split.split) return info;
+
+  SMADB_ASSIGN_OR_RETURN(guard, pool_->Fetch(file_, page_no));
+  Page* p = guard.MutablePage();
+  uint16_t n = Count(*p);
+  uint16_t pos = 0;
+  while (pos < n && InternalKey(*p, pos) <= child_split.separator) ++pos;
+  if (n < kInternalCapacity) {
+    for (uint16_t i = n; i > pos; --i) {
+      SetInternalEntry(p, i, InternalKey(*p, i - 1), InternalChild(*p, i - 1));
+    }
+    SetInternalEntry(p, pos, child_split.separator, child_split.new_page);
+    SetCount(p, static_cast<uint16_t>(n + 1));
+    return info;
+  }
+  // Split the internal node.
+  uint32_t new_page;
+  SMADB_ASSIGN_OR_RETURN(PageGuard new_guard, pool_->NewPage(file_, &new_page));
+  Page* np = new_guard.MutablePage();
+  SetIsLeaf(np, false);
+  const uint16_t mid = n / 2;
+  uint16_t moved = 0;
+  for (uint16_t i = mid; i < n; ++i, ++moved) {
+    SetInternalEntry(np, moved, InternalKey(*p, i), InternalChild(*p, i));
+  }
+  SetCount(np, moved);
+  SetCount(p, mid);
+  Page* target = child_split.separator < InternalKey(*np, 0) ? p : np;
+  uint16_t tn = Count(*target);
+  pos = 0;
+  while (pos < tn && InternalKey(*target, pos) <= child_split.separator) ++pos;
+  for (uint16_t i = tn; i > pos; --i) {
+    SetInternalEntry(target, i, InternalKey(*target, i - 1),
+                     InternalChild(*target, i - 1));
+  }
+  SetInternalEntry(target, pos, child_split.separator, child_split.new_page);
+  SetCount(target, static_cast<uint16_t>(tn + 1));
+  info.split = true;
+  info.separator = InternalKey(*np, 0);
+  info.new_page = new_page;
+  return info;
+}
+
+Status BPlusTree::Insert(int64_t key, Rid rid) {
+  if (height_ == 0) {
+    uint32_t page_no;
+    SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage(file_, &page_no));
+    Page* p = guard.MutablePage();
+    SetIsLeaf(p, true);
+    SetNextLeaf(p, kNoNext);
+    SetLeafEntry(p, 0, key, rid);
+    SetCount(p, 1);
+    root_ = page_no;
+    height_ = 1;
+    num_entries_ = 1;
+    return Status::OK();
+  }
+  SMADB_ASSIGN_OR_RETURN(SplitInfo split, InsertInto(root_, key, rid));
+  if (split.split) {
+    // Grow a new root above the two halves.
+    uint32_t page_no;
+    SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage(file_, &page_no));
+    Page* p = guard.MutablePage();
+    SetIsLeaf(p, false);
+    // The old root's smallest key separates nothing; entry 0 is -infinity.
+    SetInternalEntry(p, 0, INT64_MIN, root_);
+    SetInternalEntry(p, 1, split.separator, split.new_page);
+    SetCount(p, 2);
+    root_ = page_no;
+    ++height_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+uint32_t BPlusTree::num_pages() const {
+  auto pages = pool_->disk()->NumPages(file_);
+  return pages.ok() ? *pages : 0;
+}
+
+}  // namespace smadb::baseline

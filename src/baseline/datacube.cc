@@ -1,0 +1,197 @@
+#include "baseline/datacube.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace smadb::baseline {
+
+using exec::AggKind;
+using exec::AggSpec;
+using util::Result;
+using util::Status;
+using util::TypeId;
+using util::Value;
+
+namespace {
+
+std::string SerializeKey(const std::vector<Value>& key) {
+  std::string out;
+  for (const Value& v : key) {
+    out += v.ToString();
+    out += '\x1f';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DataCube>> DataCube::Build(
+    storage::Table* table, std::vector<size_t> dims,
+    std::vector<AggSpec> aggs) {
+  SMADB_RETURN_NOT_OK(exec::ValidateAggs(aggs));
+  if (dims.empty()) {
+    return Status::InvalidArgument("cube needs at least one dimension");
+  }
+  for (size_t d : dims) {
+    if (d >= table->schema().num_fields()) {
+      return Status::OutOfRange("dimension column out of range");
+    }
+  }
+  std::unique_ptr<DataCube> cube(
+      new DataCube(table, std::move(dims), std::move(aggs)));
+
+  std::vector<Value> key(cube->dims_.size());
+  for (uint32_t b = 0; b < table->num_buckets(); ++b) {
+    SMADB_RETURN_NOT_OK(table->ForEachTupleInBucket(
+        b, [&](const storage::TupleRef& t, storage::Rid) {
+          for (size_t i = 0; i < cube->dims_.size(); ++i) {
+            key[i] = t.GetValue(cube->dims_[i]);
+          }
+          const std::string skey = SerializeKey(key);
+          auto it = cube->cells_.find(skey);
+          if (it == cube->cells_.end()) {
+            Cell cell;
+            cell.key = key;
+            cell.acc.assign(cube->aggs_.size(), 0);
+            cell.defined.assign(cube->aggs_.size(), false);
+            it = cube->cells_.emplace(skey, std::move(cell)).first;
+          }
+          Cell& cell = it->second;
+          ++cell.count;
+          for (size_t i = 0; i < cube->aggs_.size(); ++i) {
+            const AggSpec& a = cube->aggs_[i];
+            if (a.kind == AggKind::kCount) continue;
+            const int64_t v = a.arg->EvalInt(t);
+            switch (a.kind) {
+              case AggKind::kSum:
+              case AggKind::kAvg:
+                cell.acc[i] += v;
+                break;
+              case AggKind::kMin:
+                cell.acc[i] = cell.defined[i] ? std::min(cell.acc[i], v) : v;
+                cell.defined[i] = true;
+                break;
+              case AggKind::kMax:
+                cell.acc[i] = cell.defined[i] ? std::max(cell.acc[i], v) : v;
+                cell.defined[i] = true;
+                break;
+              case AggKind::kCount:
+                break;
+            }
+          }
+        }));
+  }
+  return cube;
+}
+
+std::vector<Value> DataCube::FinalizeCell(const Cell& cell) const {
+  std::vector<Value> out;
+  out.reserve(aggs_.size());
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& a = aggs_[i];
+    switch (a.kind) {
+      case AggKind::kCount:
+        out.push_back(Value::Int64(cell.count));
+        break;
+      case AggKind::kSum:
+        if (a.OutputType() == TypeId::kDecimal) {
+          out.push_back(Value::MakeDecimal(util::Decimal(cell.acc[i])));
+        } else {
+          out.push_back(Value::Int64(cell.acc[i]));
+        }
+        break;
+      case AggKind::kAvg: {
+        double sum = static_cast<double>(cell.acc[i]);
+        if (a.arg->type() == TypeId::kDecimal) sum /= 100.0;
+        out.push_back(Value::MakeDouble(
+            cell.count == 0 ? 0.0 : sum / static_cast<double>(cell.count)));
+        break;
+      }
+      case AggKind::kMin:
+      case AggKind::kMax:
+        out.push_back(Value::Int64(cell.acc[i]));
+        break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Value>> DataCube::CellAggregates(
+    const std::vector<Value>& dim_values) const {
+  if (dim_values.size() != dims_.size()) {
+    return Status::InvalidArgument("wrong number of dimension values");
+  }
+  auto it = cells_.find(SerializeKey(dim_values));
+  if (it == cells_.end()) {
+    return Status::NotFound("no tuples for this dimension combination");
+  }
+  return FinalizeCell(it->second);
+}
+
+Result<std::vector<Value>> DataCube::SliceAggregates(size_t dim_idx,
+                                                     expr::CmpOp op,
+                                                     int64_t c) const {
+  if (dim_idx >= dims_.size()) {
+    return Status::OutOfRange("dimension index out of range");
+  }
+  Cell total;
+  total.acc.assign(aggs_.size(), 0);
+  total.defined.assign(aggs_.size(), false);
+  for (const auto& [skey, cell] : cells_) {
+    const Value& dim_value = cell.key[dim_idx];
+    if (dim_value.type() == TypeId::kString) {
+      return Status::NotSupported("slice over a string dimension");
+    }
+    if (!expr::CompareInt(dim_value.RawInt(), op, c)) continue;
+    total.count += cell.count;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      switch (aggs_[i].kind) {
+        case AggKind::kCount:
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          total.acc[i] += cell.acc[i];
+          break;
+        case AggKind::kMin:
+          if (cell.defined[i]) {
+            total.acc[i] = total.defined[i]
+                               ? std::min(total.acc[i], cell.acc[i])
+                               : cell.acc[i];
+            total.defined[i] = true;
+          }
+          break;
+        case AggKind::kMax:
+          if (cell.defined[i]) {
+            total.acc[i] = total.defined[i]
+                               ? std::max(total.acc[i], cell.acc[i])
+                               : cell.acc[i];
+            total.defined[i] = true;
+          }
+          break;
+      }
+    }
+  }
+  return FinalizeCell(total);
+}
+
+Status DataCube::CheckApplicable(size_t column) const {
+  if (std::find(dims_.begin(), dims_.end(), column) == dims_.end()) {
+    return Status::NotSupported(util::Format(
+        "column '%s' is not a cube dimension; the data cube cannot answer "
+        "queries restricting it",
+        table_->schema().field(column).name.c_str()));
+  }
+  return Status::OK();
+}
+
+uint64_t DataCube::MaterializedSizeBytes() const {
+  // Key bytes + accumulator bytes per cell (hash-map organization).
+  uint64_t bytes = 0;
+  for (const auto& [skey, cell] : cells_) {
+    bytes += skey.size() + cell.acc.size() * 8 + 8;
+  }
+  return bytes;
+}
+
+}  // namespace smadb::baseline

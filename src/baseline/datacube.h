@@ -1,0 +1,102 @@
+// Materialized data cube: the alternative SMAs are pitched against.
+//
+// Two parts mirror the paper's §2.4 comparison:
+//  * CubeSizing — the analytic storage formula of [5, 18]: one entry per
+//    combination of dimension values, Π|dim_i| × entry bytes. This is what
+//    produces the paper's 479.25 KB / 1196.25 MB / 2985.95 GB series.
+//  * DataCube — an actual (dense-keyed, hash-backed) cube implementation
+//    over discrete dimension columns, demonstrating both its lookup speed
+//    and its inflexibility (a query restricting a non-dimension column
+//    cannot use it — Status::NotSupported, exactly the paper's argument).
+
+#ifndef SMADB_BASELINE_DATACUBE_H_
+#define SMADB_BASELINE_DATACUBE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "expr/predicate.h"
+#include "storage/table.h"
+
+namespace smadb::baseline {
+
+/// Analytic cube sizing (§2.4).
+struct CubeSizing {
+  /// Combinations of the non-date grouping attributes (4 for Q1's
+  /// returnflag × linestatus).
+  uint64_t flag_combinations = 4;
+  /// Cardinality of each date dimension (2556 days = 7 years).
+  uint64_t date_range_days = 2556;
+  /// Entry width: aggregates per cell × bytes (6 × 8 = 48 for Q1).
+  uint64_t entry_bytes = 48;
+
+  /// Bytes for a cube over `num_date_dims` date dimensions.
+  double SizeBytes(int num_date_dims) const {
+    double cells = static_cast<double>(flag_combinations);
+    for (int i = 0; i < num_date_dims; ++i) {
+      cells *= static_cast<double>(date_range_days);
+    }
+    return cells * static_cast<double>(entry_bytes);
+  }
+};
+
+/// A materialized cube: per combination of dimension values, the requested
+/// aggregates. Storage is per *existing* combination (hash map), but
+/// ReportedSizeBytes() also gives the dense allocation a real system would
+/// reserve — the number the paper's formula computes.
+class DataCube {
+ public:
+  /// Builds the cube over `dims` (column ordinals; values must be discrete)
+  /// computing `aggs`. One full scan.
+  static util::Result<std::unique_ptr<DataCube>> Build(
+      storage::Table* table, std::vector<size_t> dims,
+      std::vector<exec::AggSpec> aggs);
+
+  /// Point query: aggregates of one cell. NotFound when the combination has
+  /// no tuples.
+  util::Result<std::vector<util::Value>> CellAggregates(
+      const std::vector<util::Value>& dim_values) const;
+
+  /// Slice query: total aggregates over all cells whose dimension `dim_idx`
+  /// satisfies `op c` (other dims unrestricted). Supports exactly the
+  /// queries the cube was designed for.
+  util::Result<std::vector<util::Value>> SliceAggregates(
+      size_t dim_idx, expr::CmpOp op, int64_t c) const;
+
+  /// The inflexibility check: NotSupported when `column` is not one of the
+  /// cube's dimensions — "as soon as an additional selection condition
+  /// occurs in the query, the data cube might not be applicable any more."
+  util::Status CheckApplicable(size_t column) const;
+
+  size_t num_cells() const { return cells_.size(); }
+  uint64_t MaterializedSizeBytes() const;
+  const std::vector<size_t>& dims() const { return dims_; }
+
+ private:
+  struct Cell {
+    std::vector<util::Value> key;
+    std::vector<int64_t> acc;
+    std::vector<bool> defined;
+    int64_t count = 0;
+  };
+
+  DataCube(storage::Table* table, std::vector<size_t> dims,
+           std::vector<exec::AggSpec> aggs)
+      : table_(table), dims_(std::move(dims)), aggs_(std::move(aggs)) {}
+
+  std::vector<util::Value> FinalizeCell(const Cell& cell) const;
+
+  storage::Table* table_;
+  std::vector<size_t> dims_;
+  std::vector<exec::AggSpec> aggs_;
+  std::map<std::string, Cell> cells_;
+};
+
+}  // namespace smadb::baseline
+
+#endif  // SMADB_BASELINE_DATACUBE_H_

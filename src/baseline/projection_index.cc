@@ -1,0 +1,66 @@
+#include "baseline/projection_index.h"
+
+namespace smadb::baseline {
+
+using util::Result;
+using util::Status;
+using util::TypeId;
+
+Result<std::unique_ptr<ProjectionIndex>> ProjectionIndex::Build(
+    storage::Table* table, size_t col) {
+  if (col >= table->schema().num_fields()) {
+    return Status::OutOfRange("column out of range");
+  }
+  const TypeId t = table->schema().field(col).type;
+  if (t == TypeId::kDouble || t == TypeId::kString) {
+    return Status::NotSupported(
+        "projection index supports the integral family only");
+  }
+  const uint32_t width =
+      (t == TypeId::kInt32 || t == TypeId::kDate) ? 4 : 8;
+  SMADB_ASSIGN_OR_RETURN(
+      std::unique_ptr<sma::SmaFile> file,
+      sma::SmaFile::Create(table->pool(),
+                           "proj." + table->name() + "." +
+                               table->schema().field(col).name,
+                           width));
+  for (uint32_t b = 0; b < table->num_buckets(); ++b) {
+    Status status = Status::OK();
+    SMADB_RETURN_NOT_OK(table->ForEachTupleInBucket(
+        b, [&](const storage::TupleRef& tup, storage::Rid) {
+          if (!status.ok()) return;
+          status = file->Append(tup.GetRawInt(col));
+        }));
+    SMADB_RETURN_NOT_OK(status);
+  }
+  return std::unique_ptr<ProjectionIndex>(
+      new ProjectionIndex(std::move(file), col));
+}
+
+Result<int64_t> ProjectionIndex::Get(uint64_t i) const { return file_->Get(i); }
+
+Result<uint64_t> ProjectionIndex::CountMatching(expr::CmpOp op,
+                                                int64_t c) const {
+  uint64_t count = 0;
+  sma::SmaFile::Cursor cur = file_->NewCursor();
+  const uint64_t n = file_->num_entries();
+  for (uint64_t i = 0; i < n; ++i) {
+    SMADB_ASSIGN_OR_RETURN(int64_t v, cur.Get(i));
+    if (expr::CompareInt(v, op, c)) ++count;
+  }
+  return count;
+}
+
+Result<util::BitVector> ProjectionIndex::MatchingPositions(expr::CmpOp op,
+                                                           int64_t c) const {
+  const uint64_t n = file_->num_entries();
+  util::BitVector out(n);
+  sma::SmaFile::Cursor cur = file_->NewCursor();
+  for (uint64_t i = 0; i < n; ++i) {
+    SMADB_ASSIGN_OR_RETURN(int64_t v, cur.Get(i));
+    if (expr::CompareInt(v, op, c)) out.Set(i);
+  }
+  return out;
+}
+
+}  // namespace smadb::baseline

@@ -1,0 +1,55 @@
+// Projection index (O'Neil & Quass [16]): "In a projection index on a
+// certain attribute, for all tuples in the relation to index, the attribute
+// value is stored sequentially in a file."
+//
+// The paper positions SMAs as a generalization of projection indexes — a
+// SMA whose bucket holds exactly one tuple degenerates to one. Implemented
+// here as a baseline for selection-heavy workloads: the predicate is
+// evaluated over the (narrow) value file instead of the (wide) relation.
+
+#ifndef SMADB_BASELINE_PROJECTION_INDEX_H_
+#define SMADB_BASELINE_PROJECTION_INDEX_H_
+
+#include <memory>
+
+#include "expr/predicate.h"
+#include "sma/sma_file.h"
+#include "storage/table.h"
+#include "util/bitvector.h"
+
+namespace smadb::baseline {
+
+class ProjectionIndex {
+ public:
+  /// Materializes column `col` of `table` into a sequential value file.
+  static util::Result<std::unique_ptr<ProjectionIndex>> Build(
+      storage::Table* table, size_t col);
+
+  /// Value of tuple `i` (positional).
+  util::Result<int64_t> Get(uint64_t i) const;
+
+  /// Counts tuples with value `op c` by scanning only the value file.
+  util::Result<uint64_t> CountMatching(expr::CmpOp op, int64_t c) const;
+
+  /// Marks matching tuple positions (for rid-list style consumption).
+  util::Result<util::BitVector> MatchingPositions(expr::CmpOp op,
+                                                  int64_t c) const;
+
+  uint64_t num_values() const { return file_->num_entries(); }
+  uint32_t num_pages() const { return file_->num_pages(); }
+  uint64_t SizeBytes() const { return file_->SizeBytes(); }
+  size_t column() const { return col_; }
+
+ private:
+  ProjectionIndex(std::unique_ptr<sma::SmaFile> file, size_t col)
+      : file_(std::move(file)), col_(col) {}
+
+  // Reuses the headerless packed-entry file format: a projection index *is*
+  // a SMA-file with one entry per tuple.
+  std::unique_ptr<sma::SmaFile> file_;
+  size_t col_;
+};
+
+}  // namespace smadb::baseline
+
+#endif  // SMADB_BASELINE_PROJECTION_INDEX_H_

@@ -1,0 +1,108 @@
+#include "db/database.h"
+
+#include "db/sql.h"
+#include "expr/parser.h"
+#include "sma/parser.h"
+
+namespace smadb::db {
+
+using storage::Rid;
+using storage::Table;
+using util::Result;
+using util::Status;
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      pool_(std::make_unique<storage::BufferPool>(&disk_,
+                                                  options.pool_pages)),
+      catalog_(std::make_unique<storage::Catalog>(pool_.get())) {}
+
+Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
+                                     storage::TableOptions options) {
+  SMADB_ASSIGN_OR_RETURN(
+      Table * table,
+      catalog_->CreateTable(name, std::move(schema), options));
+  TableState state;
+  state.smas = std::make_unique<sma::SmaSet>(table);
+  state.maintainer =
+      std::make_unique<sma::SmaMaintainer>(table, state.smas.get());
+  states_.emplace(std::move(name), std::move(state));
+  return table;
+}
+
+Result<Database::TableState*> Database::StateFor(std::string_view table) {
+  auto it = states_.find(std::string(table));
+  if (it == states_.end()) {
+    return Status::NotFound("no table named '" + std::string(table) + "'");
+  }
+  return &it->second;
+}
+
+Status Database::Insert(std::string_view table,
+                        const storage::TupleBuffer& tuple, Rid* rid) {
+  SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+  return state->maintainer->Insert(tuple, rid);
+}
+
+Status Database::Update(std::string_view table, Rid rid, size_t col,
+                        const util::Value& v) {
+  SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+  return state->maintainer->UpdateColumn(rid, col, v);
+}
+
+Status Database::Delete(std::string_view table, Rid rid) {
+  SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+  return state->maintainer->Delete(rid);
+}
+
+Result<sma::SmaSet*> Database::Smas(std::string_view table) {
+  SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+  return state->smas.get();
+}
+
+Status Database::Execute(std::string_view statement) {
+  // Dispatch on the first keyword.
+  SMADB_ASSIGN_OR_RETURN(auto tokens,
+                         expr::internal::Tokenize(statement));
+  if (tokens.empty() || tokens[0].kind != expr::internal::TokKind::kIdent) {
+    return Status::InvalidArgument("empty statement");
+  }
+  if (tokens[0].text == "define") {
+    // `define sma ...` — find the from-table, then delegate.
+    SMADB_ASSIGN_OR_RETURN(std::string table, ExtractTableName(statement));
+    SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+    return sma::DefineSma(catalog_.get(), state->smas.get(), statement);
+  }
+  return Status::NotSupported("unknown statement; supported: 'define sma'");
+}
+
+Result<plan::QueryResult> Database::Query(std::string_view sql) {
+  SMADB_ASSIGN_OR_RETURN(std::string table_name, ExtractTableName(sql));
+  SMADB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(table_name));
+  SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table_name));
+  SMADB_ASSIGN_OR_RETURN(ParsedQuery parsed,
+                         ParseQuery(&table->schema(), sql));
+
+  plan::Planner planner(state->smas.get(), options_.planner);
+  if (parsed.select_star) {
+    plan::SelectQuery query;
+    query.table = table;
+    query.pred = parsed.pred;
+    SMADB_ASSIGN_OR_RETURN(plan::PlanChoice choice,
+                           planner.ChooseSelect(query));
+    SMADB_ASSIGN_OR_RETURN(auto op, planner.BuildSelect(query, choice.kind));
+    SMADB_ASSIGN_OR_RETURN(plan::QueryResult result,
+                           plan::RunToCompletion(op.get()));
+    result.plan = choice;
+    return result;
+  }
+
+  plan::AggQuery query;
+  query.table = table;
+  query.pred = parsed.pred;
+  query.group_by = parsed.group_by;
+  query.aggs = parsed.aggs;
+  return planner.Execute(query);
+}
+
+}  // namespace smadb::db

@@ -1,0 +1,102 @@
+// Database: the top-level facade a downstream user works with — one object
+// owning the simulated disk, buffer pool, catalog, the SMA sets of every
+// table, and a planner per query. Accepts the paper's textual SMA
+// definitions and a SQL-ish query dialect:
+//
+//   Database db;
+//   db.CreateTable("shipments", schema);
+//   ... load ...
+//   db.Execute("define sma min select min(shipdate) from shipments");
+//   db.Execute("define sma max select max(shipdate) from shipments");
+//   auto result = db.Query(
+//       "select count(*) from shipments where shipdate <= '1997-04-30'");
+//
+// Queries are planned against the table's SMAs with the Fig. 5 break-even
+// cost model; result.plan reports which plan ran.
+
+#ifndef SMADB_DB_DATABASE_H_
+#define SMADB_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "planner/planner.h"
+#include "sma/maintenance.h"
+#include "sma/sma_set.h"
+#include "storage/catalog.h"
+
+namespace smadb::db {
+
+struct DatabaseOptions {
+  /// Buffer pool capacity in 4 KiB frames (default 8 MB — the paper's).
+  size_t pool_pages = 2048;
+  plan::PlannerOptions planner;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- schema & data -------------------------------------------------------
+  util::Result<storage::Table*> CreateTable(
+      std::string name, storage::Schema schema,
+      storage::TableOptions options = {});
+
+  util::Result<storage::Table*> GetTable(std::string_view name) const {
+    return catalog_->GetTable(name);
+  }
+
+  /// Appends a tuple, keeping the table's SMAs maintained.
+  util::Status Insert(std::string_view table,
+                      const storage::TupleBuffer& tuple,
+                      storage::Rid* rid = nullptr);
+
+  /// Updates / deletes through the maintainer.
+  util::Status Update(std::string_view table, storage::Rid rid, size_t col,
+                      const util::Value& v);
+  util::Status Delete(std::string_view table, storage::Rid rid);
+
+  // --- SMAs ----------------------------------------------------------------
+  /// The SMA set of a table (created lazily, initially empty).
+  util::Result<sma::SmaSet*> Smas(std::string_view table);
+
+  // --- statements ----------------------------------------------------------
+  /// Executes a DDL-ish statement. Currently: `define sma ...` (§2.1).
+  util::Status Execute(std::string_view statement);
+
+  /// Runs a query:
+  ///   select <aggregates and group columns> from <table>
+  ///     [where <predicate>] [group by <columns>]
+  /// or a pure selection:
+  ///   select * from <table> [where <predicate>]
+  /// Aggregates: sum/avg/min/max(expr), count(*); `as alias` supported.
+  util::Result<plan::QueryResult> Query(std::string_view sql);
+
+  // --- plumbing ------------------------------------------------------------
+  storage::SimulatedDisk* disk() { return &disk_; }
+  storage::BufferPool* pool() { return pool_.get(); }
+  storage::Catalog* catalog() { return catalog_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  struct TableState {
+    std::unique_ptr<sma::SmaSet> smas;
+    std::unique_ptr<sma::SmaMaintainer> maintainer;
+  };
+
+  util::Result<TableState*> StateFor(std::string_view table);
+
+  DatabaseOptions options_;
+  storage::SimulatedDisk disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unordered_map<std::string, TableState> states_;
+};
+
+}  // namespace smadb::db
+
+#endif  // SMADB_DB_DATABASE_H_

@@ -1,0 +1,44 @@
+// Filter: per-tuple predicate evaluation over any child operator. Used for
+// post-join selections, where bucket-level SMA pruning no longer applies.
+
+#ifndef SMADB_EXEC_FILTER_H_
+#define SMADB_EXEC_FILTER_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "expr/predicate.h"
+
+namespace smadb::exec {
+
+class Filter final : public Operator {
+ public:
+  Filter(std::unique_ptr<Operator> child, expr::PredicatePtr pred)
+      : child_(std::move(child)), pred_(std::move(pred)) {}
+
+  const storage::Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+  util::Status Init() override { return child_->Init(); }
+
+  util::Result<bool> Next(storage::TupleRef* out) override {
+    storage::TupleRef t;
+    while (true) {
+      SMADB_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+      if (!has) return false;
+      if (pred_->Eval(t)) {
+        *out = t;
+        return true;
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  expr::PredicatePtr pred_;
+};
+
+}  // namespace smadb::exec
+
+#endif  // SMADB_EXEC_FILTER_H_

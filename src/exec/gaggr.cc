@@ -1,0 +1,49 @@
+#include "exec/gaggr.h"
+
+namespace smadb::exec {
+
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+using util::Value;
+
+Result<std::unique_ptr<GAggr>> GAggr::Make(std::unique_ptr<Operator> child,
+                                           std::vector<size_t> group_by,
+                                           std::vector<AggSpec> aggs) {
+  SMADB_ASSIGN_OR_RETURN(
+      storage::Schema schema,
+      AggResultSchema(child->output_schema(), group_by, aggs));
+  return std::unique_ptr<GAggr>(new GAggr(std::move(child),
+                                          std::move(group_by),
+                                          std::move(aggs),
+                                          std::move(schema)));
+}
+
+Status GAggr::Init() {
+  results_.clear();
+  next_ = 0;
+  SMADB_RETURN_NOT_OK(child_->Init());
+
+  GroupTable groups(&aggs_);
+  std::vector<Value> key(group_by_.size());
+  TupleRef t;
+  while (true) {
+    SMADB_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+    if (!has) break;
+    for (size_t i = 0; i < group_by_.size(); ++i) {
+      key[i] = t.GetValue(group_by_[i]);
+    }
+    groups.Get(key)->AddTuple(t);
+  }
+  SMADB_RETURN_NOT_OK(groups.Emit(&schema_, &results_));
+  return Status::OK();
+}
+
+Result<bool> GAggr::Next(TupleRef* out) {
+  if (next_ >= results_.size()) return false;
+  *out = results_[next_].AsRef();
+  ++next_;
+  return true;
+}
+
+}  // namespace smadb::exec

@@ -1,0 +1,261 @@
+#include "exec/join.h"
+
+#include "util/string_util.h"
+
+namespace smadb::exec {
+
+using expr::CmpOp;
+using storage::Field;
+using storage::Schema;
+using storage::TupleBuffer;
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+using util::TypeId;
+
+namespace {
+
+Status CheckJoinColumn(const Schema& schema, size_t col, const char* side) {
+  if (col >= schema.num_fields()) {
+    return Status::OutOfRange(
+        util::Format("%s join column %zu out of range", side, col));
+  }
+  const TypeId t = schema.field(col).type;
+  if (t == TypeId::kDouble || t == TypeId::kString) {
+    return Status::NotSupported(
+        util::Format("%s join column must be integral-family", side));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HashJoin>> HashJoin::Make(
+    std::unique_ptr<Operator> left, size_t left_col,
+    std::unique_ptr<Operator> right, size_t right_col) {
+  SMADB_RETURN_NOT_OK(CheckJoinColumn(left->output_schema(), left_col,
+                                      "left"));
+  SMADB_RETURN_NOT_OK(CheckJoinColumn(right->output_schema(), right_col,
+                                      "right"));
+  std::vector<Field> fields = left->output_schema().fields();
+  for (const Field& f : right->output_schema().fields()) {
+    fields.push_back(f);
+  }
+  Schema schema(std::move(fields));
+  if (schema.tuple_size() > storage::kPageSize) {
+    return Status::NotSupported("joined tuple too wide");
+  }
+  return std::unique_ptr<HashJoin>(new HashJoin(std::move(left), left_col,
+                                                std::move(right), right_col,
+                                                std::move(schema)));
+}
+
+Status HashJoin::Init() {
+  build_rows_.clear();
+  build_index_.clear();
+  matches_ = nullptr;
+  match_pos_ = 0;
+
+  SMADB_RETURN_NOT_OK(right_->Init());
+  const Schema& rs = right_->output_schema();
+  TupleRef t;
+  while (true) {
+    SMADB_ASSIGN_OR_RETURN(bool has, right_->Next(&t));
+    if (!has) break;
+    TupleBuffer row(&rs);
+    for (size_t c = 0; c < rs.num_fields(); ++c) {
+      row.SetValue(c, t.GetValue(c));
+    }
+    build_index_[t.GetRawInt(right_col_)].push_back(build_rows_.size());
+    build_rows_.push_back(std::move(row));
+  }
+  return left_->Init();
+}
+
+void HashJoin::EmitCombined(const TupleRef& left_tuple, size_t right_idx) {
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+  const TupleRef right_tuple = build_rows_[right_idx].AsRef();
+  for (size_t c = 0; c < ls.num_fields(); ++c) {
+    out_buffer_.SetValue(c, left_tuple.GetValue(c));
+  }
+  for (size_t c = 0; c < rs.num_fields(); ++c) {
+    out_buffer_.SetValue(ls.num_fields() + c, right_tuple.GetValue(c));
+  }
+}
+
+Result<bool> HashJoin::Next(TupleRef* out) {
+  while (true) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      EmitCombined(current_left_, (*matches_)[match_pos_]);
+      ++match_pos_;
+      *out = out_buffer_.AsRef();
+      return true;
+    }
+    SMADB_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+    if (!has) return false;
+    auto it = build_index_.find(current_left_.GetRawInt(left_col_));
+    matches_ = it == build_index_.end() ? nullptr : &it->second;
+    match_pos_ = 0;
+  }
+}
+
+Result<std::unique_ptr<SmaSemiJoin>> SmaSemiJoin::Make(
+    storage::Table* r, size_t r_col, CmpOp op, storage::Table* s,
+    size_t s_col, const sma::SmaSet* r_smas, const sma::SmaSet* s_smas,
+    expr::PredicatePtr r_pred, expr::PredicatePtr s_pred) {
+  SMADB_RETURN_NOT_OK(CheckJoinColumn(r->schema(), r_col, "R"));
+  SMADB_RETURN_NOT_OK(CheckJoinColumn(s->schema(), s_col, "S"));
+  if (r_smas != nullptr && r_smas->table() != r) {
+    return Status::InvalidArgument("r_smas belongs to a different table");
+  }
+  return std::unique_ptr<SmaSemiJoin>(
+      new SmaSemiJoin(r, r_col, op, s, s_col, r_smas, s_smas,
+                      std::move(r_pred), std::move(s_pred)));
+}
+
+Status SmaSemiJoin::Init() {
+  curr_bucket_ = -1;
+  done_ = false;
+  buckets_pruned_ = 0;
+  buckets_unprobed_ = 0;
+  s_values_.clear();
+
+  // Minimax of S.B — over the s_pred-filtered tuples when a filter is set
+  // (the unfiltered shortcut via S's SMAs would be unsound for all_match).
+  std::optional<int64_t> s_min, s_max;
+  const bool need_values = op_ == CmpOp::kEq || op_ == CmpOp::kNe;
+  if (s_pred_ == nullptr && !need_values) {
+    SMADB_ASSIGN_OR_RETURN(auto range, sma::ColumnMinMax(s_, s_col_, s_smas_));
+    s_min = range.first;
+    s_max = range.second;
+  } else {
+    for (uint32_t b = 0; b < s_->num_buckets(); ++b) {
+      SMADB_RETURN_NOT_OK(s_->ForEachTupleInBucket(
+          b, [&](const TupleRef& t, storage::Rid) {
+            if (s_pred_ != nullptr && !s_pred_->Eval(t)) return;
+            const int64_t v = t.GetRawInt(s_col_);
+            s_min = s_min.has_value() ? std::min(*s_min, v) : v;
+            s_max = s_max.has_value() ? std::max(*s_max, v) : v;
+            if (need_values) s_values_.insert(v);
+          }));
+    }
+  }
+
+  if (r_smas_ != nullptr) {
+    SMADB_ASSIGN_OR_RETURN(
+        reduction_,
+        sma::ReduceSemiJoinWithRange(r_smas_, r_col_, op_, s_min, s_max));
+  } else {
+    // No reduction possible; everything is a candidate (unless S is empty).
+    const bool s_empty = !s_min.has_value();
+    reduction_.candidates = util::BitVector(r_->num_buckets(), !s_empty);
+    reduction_.all_match = util::BitVector(r_->num_buckets(), false);
+    reduction_.s_min = s_min;
+    reduction_.s_max = s_max;
+  }
+
+  // R-side predicate: grade it against R's SMAs so qualifying buckets skip
+  // per-tuple evaluation and disqualifying ones are skipped entirely.
+  if (r_pred_ != nullptr && r_smas_ != nullptr) {
+    r_grader_ = sma::BucketGrader::Create(r_pred_, r_smas_);
+  } else {
+    r_grader_ = nullptr;
+  }
+  return NextBucket();
+}
+
+bool SmaSemiJoin::Matches(int64_t a) const {
+  switch (op_) {
+    case CmpOp::kEq:
+      return s_values_.count(a) > 0;
+    case CmpOp::kNe:
+      // ∃ b ≠ a ⇔ S has a value other than a.
+      if (s_values_.empty()) return false;
+      if (s_values_.size() > 1) return true;
+      return s_values_.count(a) == 0;
+    case CmpOp::kLe:
+      return reduction_.s_max.has_value() && a <= *reduction_.s_max;
+    case CmpOp::kLt:
+      return reduction_.s_max.has_value() && a < *reduction_.s_max;
+    case CmpOp::kGe:
+      return reduction_.s_min.has_value() && a >= *reduction_.s_min;
+    case CmpOp::kGt:
+      return reduction_.s_min.has_value() && a > *reduction_.s_min;
+  }
+  return false;
+}
+
+Status SmaSemiJoin::NextBucket() {
+  guard_.Release();
+  const uint64_t buckets = r_->num_buckets();
+  while (true) {
+    ++curr_bucket_;
+    if (static_cast<uint64_t>(curr_bucket_) >= buckets) {
+      done_ = true;
+      return Status::OK();
+    }
+    if (!reduction_.candidates.Get(static_cast<size_t>(curr_bucket_))) {
+      ++buckets_pruned_;
+      continue;
+    }
+    // R-side predicate grading: disqualified buckets are skipped too.
+    curr_r_grade_ = sma::Grade::kAmbivalent;
+    if (r_pred_ == nullptr) {
+      curr_r_grade_ = sma::Grade::kQualifies;
+    } else if (r_grader_ != nullptr) {
+      SMADB_ASSIGN_OR_RETURN(
+          curr_r_grade_,
+          r_grader_->GradeBucket(static_cast<uint64_t>(curr_bucket_)));
+      if (curr_r_grade_ == sma::Grade::kDisqualifies) {
+        ++buckets_pruned_;
+        continue;
+      }
+    }
+    curr_all_match_ =
+        reduction_.all_match.Get(static_cast<size_t>(curr_bucket_));
+    if (curr_all_match_ && curr_r_grade_ == sma::Grade::kQualifies) {
+      ++buckets_unprobed_;
+    }
+    break;
+  }
+  const auto [first, end] =
+      r_->BucketPageRange(static_cast<uint32_t>(curr_bucket_));
+  page_ = first;
+  page_end_ = end;
+  slot_ = 0;
+  SMADB_ASSIGN_OR_RETURN(guard_, r_->FetchPage(page_));
+  page_count_ = storage::Table::PageTupleCount(*guard_.page());
+  return Status::OK();
+}
+
+Result<bool> SmaSemiJoin::Next(TupleRef* out) {
+  while (!done_) {
+    if (slot_ >= page_count_) {
+      if (page_ + 1 < page_end_) {
+        ++page_;
+        slot_ = 0;
+        SMADB_ASSIGN_OR_RETURN(guard_, r_->FetchPage(page_));
+        page_count_ = storage::Table::PageTupleCount(*guard_.page());
+      } else {
+        SMADB_RETURN_NOT_OK(NextBucket());
+      }
+      continue;
+    }
+    if (storage::Table::PageSlotDeleted(*guard_.page(), slot_)) {
+      ++slot_;
+      continue;
+    }
+    const TupleRef t = r_->PageTuple(*guard_.page(), slot_);
+    ++slot_;
+    const bool r_ok = curr_r_grade_ == sma::Grade::kQualifies ||
+                      r_pred_ == nullptr || r_pred_->Eval(t);
+    if (r_ok && (curr_all_match_ || Matches(t.GetRawInt(r_col_)))) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace smadb::exec

@@ -1,0 +1,33 @@
+// Physical-algebra operator interface: the iterator concept of Graefe [7]
+// the paper's SMA_Scan / SMA_GAggr plug into (Init / Next / implicit close
+// via destructor).
+
+#ifndef SMADB_EXEC_OPERATOR_H_
+#define SMADB_EXEC_OPERATOR_H_
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace smadb::exec {
+
+/// Pull-based physical operator. Usage:
+///   op.Init();  while (op.Next(&t) yields true) consume(t);
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Schema of the tuples Next() produces.
+  virtual const storage::Schema& output_schema() const = 0;
+
+  /// Prepares the operator; pipeline breakers do their work here.
+  virtual util::Status Init() = 0;
+
+  /// Produces the next tuple into `*out`. The view stays valid until the
+  /// following Next()/destruction. Returns false at end of stream.
+  virtual util::Result<bool> Next(storage::TupleRef* out) = 0;
+};
+
+}  // namespace smadb::exec
+
+#endif  // SMADB_EXEC_OPERATOR_H_

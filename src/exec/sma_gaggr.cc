@@ -1,0 +1,213 @@
+#include "exec/sma_gaggr.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace smadb::exec {
+
+using sma::AggFunc;
+using sma::Grade;
+using sma::Sma;
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+using util::Value;
+
+namespace {
+
+// func/kind correspondence between query aggregates and SMA functions.
+AggFunc SmaFuncFor(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      return AggFunc::kSum;
+    case AggKind::kCount:
+      return AggFunc::kCount;
+    case AggKind::kMin:
+      return AggFunc::kMin;
+    case AggKind::kMax:
+      return AggFunc::kMax;
+  }
+  return AggFunc::kCount;
+}
+
+// True when every query group-by column appears in the SMA's group-by
+// (the SMA grouping refines the query grouping).
+bool GroupingRefines(const std::vector<size_t>& query_groups,
+                     const std::vector<size_t>& sma_groups) {
+  for (size_t qcol : query_groups) {
+    if (std::find(sma_groups.begin(), sma_groups.end(), qcol) ==
+        sma_groups.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SmaGAggr::AggBinding SmaGAggr::BindAggregate(AggFunc func,
+                                             const expr::Expr* arg) const {
+  AggBinding binding;
+  const std::string arg_sig = arg != nullptr ? arg->ToString() : "";
+  const Sma* best = nullptr;
+  for (const Sma* sma : smas_->all()) {
+    const sma::SmaSpec& spec = sma->spec();
+    if (spec.func != func) continue;
+    const std::string spec_sig =
+        spec.arg != nullptr ? spec.arg->ToString() : "";
+    if (spec_sig != arg_sig) continue;
+    if (!GroupingRefines(group_by_, spec.group_by)) continue;
+    // Prefer the coarsest refining grouping (fewest files to read).
+    if (best == nullptr ||
+        spec.group_by.size() < best->spec().group_by.size()) {
+      best = sma;
+    }
+  }
+  if (best == nullptr) return binding;
+
+  binding.sma = best;
+  // Project each SMA group key onto the query group-by columns.
+  std::vector<size_t> positions;  // query col -> index in SMA group key
+  for (size_t qcol : group_by_) {
+    const auto& sg = best->spec().group_by;
+    positions.push_back(static_cast<size_t>(
+        std::find(sg.begin(), sg.end(), qcol) - sg.begin()));
+  }
+  for (size_t g = 0; g < best->num_groups(); ++g) {
+    binding.cursors.push_back(best->group_file(g)->NewCursor());
+    const std::vector<Value>& key = best->group_key(g);
+    std::vector<Value> projected;
+    projected.reserve(positions.size());
+    for (size_t pos : positions) projected.push_back(key[pos]);
+    binding.result_keys.push_back(std::move(projected));
+  }
+  return binding;
+}
+
+Result<std::unique_ptr<SmaGAggr>> SmaGAggr::Make(
+    storage::Table* table, expr::PredicatePtr pred,
+    std::vector<size_t> group_by, std::vector<AggSpec> aggs,
+    const sma::SmaSet* smas, SmaGAggrOptions options) {
+  SMADB_ASSIGN_OR_RETURN(storage::Schema schema,
+                         AggResultSchema(table->schema(), group_by, aggs));
+  std::unique_ptr<SmaGAggr> op(
+      new SmaGAggr(table, std::move(pred), std::move(group_by),
+                   std::move(aggs), smas, std::move(schema), options));
+
+  // The count(*) binding is mandatory (group cardinalities + emptiness).
+  op->count_binding_ = op->BindAggregate(AggFunc::kCount, nullptr);
+  if (op->count_binding_.sma == nullptr) {
+    return Status::NotSupported(
+        "SMA_GAggr needs a count(*) SMA whose grouping refines the query's");
+  }
+  op->covered_buckets_ = op->count_binding_.sma->num_buckets();
+
+  for (const AggSpec& a : op->aggs_) {
+    AggBinding binding;
+    if (a.kind == AggKind::kCount) {
+      // Rides on count_binding_; leave sma null in bindings_.
+    } else {
+      binding = op->BindAggregate(SmaFuncFor(a.kind), a.arg.get());
+      if (binding.sma == nullptr) {
+        return Status::NotSupported(util::Format(
+            "no SMA matches aggregate %s(%s) with the query's grouping",
+            std::string(AggKindToString(a.kind)).c_str(),
+            a.arg->ToString().c_str()));
+      }
+      op->covered_buckets_ =
+          std::min(op->covered_buckets_, binding.sma->num_buckets());
+    }
+    op->bindings_.push_back(std::move(binding));
+  }
+  return op;
+}
+
+Status SmaGAggr::ProcessQualifying(GroupTable* groups, uint64_t b) {
+  // Group cardinalities first: they establish which groups exist.
+  for (size_t g = 0; g < count_binding_.cursors.size(); ++g) {
+    SMADB_ASSIGN_OR_RETURN(int64_t count, count_binding_.cursors[g].Get(b));
+    if (count > 0) {
+      groups->Get(count_binding_.result_keys[g])->AddBucketCount(count);
+    }
+  }
+  // Then each aggregate from its own SMA.
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggBinding& binding = bindings_[i];
+    if (binding.sma == nullptr) continue;  // count(*): handled above
+    for (size_t g = 0; g < binding.cursors.size(); ++g) {
+      SMADB_ASSIGN_OR_RETURN(int64_t v, binding.cursors[g].Get(b));
+      if (binding.sma->IsUndefined(v)) continue;  // empty min/max group
+      if (v == 0 && (binding.sma->spec().func == AggFunc::kSum)) {
+        // Zero sums are identity; skip the group-table touch.
+        continue;
+      }
+      groups->Get(binding.result_keys[g])->AddSummary(i, v);
+    }
+  }
+  return Status::OK();
+}
+
+Status SmaGAggr::ProcessAmbivalent(GroupTable* groups, uint64_t b) {
+  std::vector<Value> key(group_by_.size());
+  return table_->ForEachTupleInBucket(
+      static_cast<uint32_t>(b), [&](const TupleRef& t, storage::Rid) {
+        if (!pred_->Eval(t)) return;
+        for (size_t i = 0; i < group_by_.size(); ++i) {
+          key[i] = t.GetValue(group_by_[i]);
+        }
+        groups->Get(key)->AddTuple(t);
+      });
+}
+
+Status SmaGAggr::Init() {
+  results_.clear();
+  next_ = 0;
+  stats_ = SmaScanStats();
+
+  auto grader = sma::BucketGrader::Create(pred_, smas_);
+  GroupTable groups(&aggs_);
+  const uint64_t buckets = table_->num_buckets();
+  for (uint64_t b = 0; b < buckets; ++b) {
+    SMADB_ASSIGN_OR_RETURN(Grade g, grader->GradeBucket(b));
+    // A qualifying bucket beyond aggregate-SMA coverage must be inspected.
+    if (g == Grade::kQualifies && b >= covered_buckets_) {
+      g = Grade::kAmbivalent;
+    }
+    // Experiment knob: demote a deterministic fraction of buckets so the
+    // Fig. 5 sweep can control the investigated percentage.
+    if (options_.force_ambivalent_fraction > 0.0) {
+      util::Rng bucket_rng(options_.force_seed ^ (b * 0x9E3779B9ULL));
+      if (bucket_rng.NextDouble() < options_.force_ambivalent_fraction) {
+        g = Grade::kAmbivalent;
+      }
+    }
+    switch (g) {
+      case Grade::kQualifies:
+        ++stats_.qualifying_buckets;
+        SMADB_RETURN_NOT_OK(ProcessQualifying(&groups, b));
+        break;
+      case Grade::kDisqualifies:
+        ++stats_.disqualifying_buckets;
+        break;  // "do nothing"
+      case Grade::kAmbivalent:
+        ++stats_.ambivalent_buckets;
+        SMADB_RETURN_NOT_OK(ProcessAmbivalent(&groups, b));
+        break;
+    }
+  }
+  // Phase 3 (average finalization) happens inside Emit/Finalize.
+  SMADB_RETURN_NOT_OK(groups.Emit(&schema_, &results_));
+  return Status::OK();
+}
+
+Result<bool> SmaGAggr::Next(TupleRef* out) {
+  if (next_ >= results_.size()) return false;
+  *out = results_[next_].AsRef();
+  ++next_;
+  return true;
+}
+
+}  // namespace smadb::exec

@@ -1,0 +1,114 @@
+// SMA_GAggr (paper §3.3, Fig. 7): grouping-aggregation computed from SMAs.
+//
+// Selection SMAs partition the buckets; for qualifying buckets the queried
+// aggregates are advanced straight from the aggregate SMA entries, only
+// ambivalent buckets are fetched and aggregated tuple-by-tuple, and
+// averages are finalized as sum/count in the last phase. The operator scans
+// the relation and all SMA-files "in parallel" (one synchronized sequential
+// pass).
+//
+// Matching rules: an aggregate SMA serves a query aggregate when function
+// and argument expression match and the SMA's grouping *refines* the
+// query's (query group-by columns ⊆ SMA group-by columns; SMA groups are
+// projected onto query groups, cf. §2.3 "a SMA has to reflect the grouping
+// of the query or a finer grouping"). A count(*) SMA with compatible
+// grouping is always required: it carries group cardinalities (for count
+// and avg results) and decides which groups have qualifying tuples at all.
+
+#ifndef SMADB_EXEC_SMA_GAGGR_H_
+#define SMADB_EXEC_SMA_GAGGR_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/operator.h"
+#include "exec/sma_scan.h"
+#include "expr/predicate.h"
+#include "sma/grade.h"
+#include "storage/table.h"
+
+namespace smadb::exec {
+
+/// Experiment knobs; defaults are production behaviour.
+struct SmaGAggrOptions {
+  /// Demotes this fraction of buckets to ambivalent after grading
+  /// (deterministically by bucket hash). Used by the Fig. 5 reproduction to
+  /// control "the percentage of buckets that have to be investigated";
+  /// results stay correct because ambivalent processing re-evaluates the
+  /// predicate per tuple.
+  double force_ambivalent_fraction = 0.0;
+  uint64_t force_seed = 0x5eed;
+};
+
+class SmaGAggr final : public Operator {
+ public:
+  /// Binds the query (pred / group_by / aggs over `table`) against `smas`.
+  /// Fails with NotSupported when some aggregate has no matching SMA — the
+  /// planner then falls back to GAggr over SmaScan.
+  static util::Result<std::unique_ptr<SmaGAggr>> Make(
+      storage::Table* table, expr::PredicatePtr pred,
+      std::vector<size_t> group_by, std::vector<AggSpec> aggs,
+      const sma::SmaSet* smas, SmaGAggrOptions options = {});
+
+  const storage::Schema& output_schema() const override { return schema_; }
+
+  /// Pipeline breaker: "Within its init function, the result is computed."
+  util::Status Init() override;
+
+  /// "The next function then merely returns one result after another."
+  util::Result<bool> Next(storage::TupleRef* out) override;
+
+  const SmaScanStats& stats() const { return stats_; }
+  size_t num_groups() const { return results_.size(); }
+
+ private:
+  /// One aggregate's SMA source: the SMA, a cursor per group file, and each
+  /// SMA group's key projected onto the query's group-by columns.
+  struct AggBinding {
+    const sma::Sma* sma = nullptr;
+    std::vector<sma::SmaFile::Cursor> cursors;
+    std::vector<std::vector<util::Value>> result_keys;
+  };
+
+  SmaGAggr(storage::Table* table, expr::PredicatePtr pred,
+           std::vector<size_t> group_by, std::vector<AggSpec> aggs,
+           const sma::SmaSet* smas, storage::Schema schema,
+           SmaGAggrOptions options)
+      : table_(table),
+        pred_(std::move(pred)),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)),
+        smas_(smas),
+        schema_(std::move(schema)),
+        options_(options) {}
+
+  /// Finds a SMA for (func, arg signature) whose grouping refines the
+  /// query's; builds the binding. Null sma on no match.
+  AggBinding BindAggregate(sma::AggFunc func, const expr::Expr* arg) const;
+
+  util::Status ProcessQualifying(GroupTable* groups, uint64_t b);
+  util::Status ProcessAmbivalent(GroupTable* groups, uint64_t b);
+
+  storage::Table* table_;
+  expr::PredicatePtr pred_;
+  std::vector<size_t> group_by_;
+  std::vector<AggSpec> aggs_;
+  const sma::SmaSet* smas_;
+  storage::Schema schema_;
+  SmaGAggrOptions options_;
+
+  // One binding per aggregate (avg binds its sum SMA; count binds null and
+  // rides on count_binding_), plus the mandatory count(*) binding.
+  std::vector<AggBinding> bindings_;
+  AggBinding count_binding_;
+  uint64_t covered_buckets_ = 0;  // min SMA coverage across bindings
+
+  std::vector<storage::TupleBuffer> results_;
+  size_t next_ = 0;
+  SmaScanStats stats_;
+};
+
+}  // namespace smadb::exec
+
+#endif  // SMADB_EXEC_SMA_GAGGR_H_

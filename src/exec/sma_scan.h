@@ -1,0 +1,78 @@
+// SMA_Scan (paper §3.2, Fig. 6): a selection scan that uses SMAs to skip
+// disqualifying buckets entirely, return qualifying buckets' tuples without
+// per-tuple predicate evaluation, and fall back to predicate evaluation
+// only inside ambivalent buckets.
+
+#ifndef SMADB_EXEC_SMA_SCAN_H_
+#define SMADB_EXEC_SMA_SCAN_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "expr/predicate.h"
+#include "sma/grade.h"
+#include "storage/table.h"
+
+namespace smadb::exec {
+
+/// Per-run skip statistics (what Fig. 5's x-axis is made of).
+struct SmaScanStats {
+  uint64_t qualifying_buckets = 0;
+  uint64_t disqualifying_buckets = 0;
+  uint64_t ambivalent_buckets = 0;
+
+  uint64_t BucketsTotal() const {
+    return qualifying_buckets + disqualifying_buckets + ambivalent_buckets;
+  }
+  /// Fraction of buckets whose pages had to be fetched.
+  double ProcessedFraction() const {
+    const uint64_t total = BucketsTotal();
+    return total == 0
+               ? 0.0
+               : static_cast<double>(qualifying_buckets +
+                                     ambivalent_buckets) /
+                     static_cast<double>(total);
+  }
+};
+
+class SmaScan final : public Operator {
+ public:
+  /// `smas` supplies the selection SMAs; atoms without SMA support simply
+  /// grade ambivalent (still correct, just slower).
+  SmaScan(storage::Table* table, expr::PredicatePtr pred,
+          const sma::SmaSet* smas)
+      : table_(table), pred_(std::move(pred)), smas_(smas) {}
+
+  const storage::Schema& output_schema() const override {
+    return table_->schema();
+  }
+
+  util::Status Init() override;
+  util::Result<bool> Next(storage::TupleRef* out) override;
+
+  const SmaScanStats& stats() const { return stats_; }
+
+ private:
+  /// Fig. 6's getBucket(): advances to the next qualifying or ambivalent
+  /// bucket, fetching its first page. Sets done_ when no buckets remain.
+  util::Status GetBucket();
+
+  storage::Table* table_;
+  expr::PredicatePtr pred_;
+  const sma::SmaSet* smas_;
+  std::unique_ptr<sma::BucketGrader> grader_;
+
+  int64_t curr_bucket_ = -1;
+  sma::Grade curr_grade_ = sma::Grade::kAmbivalent;
+  uint32_t page_ = 0;       // current page within curr bucket
+  uint32_t page_end_ = 0;   // one past the bucket's last page
+  uint16_t slot_ = 0;
+  uint16_t page_count_ = 0;
+  storage::PageGuard guard_;
+  bool done_ = false;
+  SmaScanStats stats_;
+};
+
+}  // namespace smadb::exec
+
+#endif  // SMADB_EXEC_SMA_SCAN_H_

@@ -1,0 +1,72 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace smadb::exec {
+
+using storage::TupleBuffer;
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<Sort>> Sort::Make(std::unique_ptr<Operator> child,
+                                         std::vector<SortKey> keys,
+                                         size_t limit) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("sort needs at least one key");
+  }
+  for (const SortKey& k : keys) {
+    if (k.column >= child->output_schema().num_fields()) {
+      return Status::OutOfRange(
+          util::Format("sort column %zu out of range", k.column));
+    }
+  }
+  return std::unique_ptr<Sort>(
+      new Sort(std::move(child), std::move(keys), limit));
+}
+
+Status Sort::Init() {
+  rows_.clear();
+  next_ = 0;
+  SMADB_RETURN_NOT_OK(child_->Init());
+  const storage::Schema& schema = child_->output_schema();
+  TupleRef t;
+  while (true) {
+    SMADB_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+    if (!has) break;
+    TupleBuffer row(&schema);
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      row.SetValue(c, t.GetValue(c));
+    }
+    rows_.push_back(std::move(row));
+  }
+  std::stable_sort(
+      rows_.begin(), rows_.end(),
+      [&](const TupleBuffer& a, const TupleBuffer& b) {
+        const TupleRef ra = a.AsRef();
+        const TupleRef rb = b.AsRef();
+        for (const SortKey& k : keys_) {
+          const auto cmp = ra.GetValue(k.column).Compare(
+              rb.GetValue(k.column));
+          if (cmp == std::strong_ordering::equal) continue;
+          const bool less = cmp == std::strong_ordering::less;
+          return k.descending ? !less : less;
+        }
+        return false;
+      });
+  if (limit_ > 0 && rows_.size() > limit_) {
+    rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(limit_), rows_.end());
+  }
+  return Status::OK();
+}
+
+Result<bool> Sort::Next(TupleRef* out) {
+  if (next_ >= rows_.size()) return false;
+  *out = rows_[next_].AsRef();
+  ++next_;
+  return true;
+}
+
+}  // namespace smadb::exec

@@ -1,0 +1,40 @@
+// Plain sequential scan with tuple-at-a-time predicate evaluation — the
+// paper's baseline ("a sequential scan is the only possibility to
+// 'efficiently' evaluate this query").
+
+#ifndef SMADB_EXEC_TABLE_SCAN_H_
+#define SMADB_EXEC_TABLE_SCAN_H_
+
+#include "exec/operator.h"
+#include "expr/predicate.h"
+#include "storage/table.h"
+
+namespace smadb::exec {
+
+class TableScan final : public Operator {
+ public:
+  /// Scans `table`, returning tuples satisfying `pred` (Predicate::True()
+  /// for all).
+  TableScan(storage::Table* table, expr::PredicatePtr pred)
+      : table_(table), pred_(std::move(pred)) {}
+
+  const storage::Schema& output_schema() const override {
+    return table_->schema();
+  }
+
+  util::Status Init() override;
+  util::Result<bool> Next(storage::TupleRef* out) override;
+
+ private:
+  storage::Table* table_;
+  expr::PredicatePtr pred_;
+  storage::PageGuard guard_;
+  uint32_t page_ = 0;
+  uint16_t slot_ = 0;
+  uint16_t page_count_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace smadb::exec
+
+#endif  // SMADB_EXEC_TABLE_SCAN_H_

@@ -1,0 +1,181 @@
+#include "expr/predicate.h"
+
+#include "util/string_util.h"
+
+namespace smadb::expr {
+
+using storage::Schema;
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+using util::TypeId;
+using util::Value;
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+Status CheckGradableColumn(const Schema* schema, size_t idx) {
+  const TypeId t = schema->field(idx).type;
+  if (t == TypeId::kDouble || t == TypeId::kString) {
+    return Status::NotSupported(util::Format(
+        "predicate column '%s' must be integral-family (int/date/decimal)",
+        schema->field(idx).name.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::shared_ptr<const Predicate> Predicate::True() {
+  static const std::shared_ptr<const Predicate> kTrue(
+      new Predicate(Kind::kTrue));
+  return kTrue;
+}
+
+Result<PredicatePtr> Predicate::AtomConst(const Schema* schema,
+                                          std::string_view column, CmpOp op,
+                                          Value constant) {
+  SMADB_ASSIGN_OR_RETURN(size_t idx, schema->FieldIndex(column));
+  SMADB_RETURN_NOT_OK(CheckGradableColumn(schema, idx));
+  const TypeId col_type = schema->field(idx).type;
+  const TypeId const_type = constant.type();
+  // Allow identical types, plus int literals against any integer width.
+  const bool both_plain_int =
+      (col_type == TypeId::kInt32 || col_type == TypeId::kInt64) &&
+      (const_type == TypeId::kInt32 || const_type == TypeId::kInt64);
+  if (col_type != const_type && !both_plain_int) {
+    return Status::InvalidArgument(util::Format(
+        "constant type %s does not match column '%s' of type %s",
+        std::string(util::TypeIdToString(const_type)).c_str(),
+        schema->field(idx).name.c_str(),
+        std::string(util::TypeIdToString(col_type)).c_str()));
+  }
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kAtomConst));
+  p->column_ = idx;
+  p->op_ = op;
+  p->constant_ = constant.RawInt();
+  return PredicatePtr(p);
+}
+
+Result<PredicatePtr> Predicate::AtomTwoCols(const Schema* schema,
+                                            std::string_view column_a,
+                                            CmpOp op,
+                                            std::string_view column_b) {
+  SMADB_ASSIGN_OR_RETURN(size_t a, schema->FieldIndex(column_a));
+  SMADB_ASSIGN_OR_RETURN(size_t b, schema->FieldIndex(column_b));
+  SMADB_RETURN_NOT_OK(CheckGradableColumn(schema, a));
+  SMADB_RETURN_NOT_OK(CheckGradableColumn(schema, b));
+  if (schema->field(a).type != schema->field(b).type) {
+    return Status::InvalidArgument(util::Format(
+        "columns '%s' and '%s' have different types",
+        schema->field(a).name.c_str(), schema->field(b).name.c_str()));
+  }
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kAtomTwoCols));
+  p->column_ = a;
+  p->op_ = op;
+  p->rhs_column_ = b;
+  return PredicatePtr(p);
+}
+
+Result<PredicatePtr> Predicate::AtomString(const Schema* schema,
+                                           std::string_view column, CmpOp op,
+                                           std::string literal) {
+  SMADB_ASSIGN_OR_RETURN(size_t idx, schema->FieldIndex(column));
+  if (schema->field(idx).type != TypeId::kString) {
+    return Status::InvalidArgument(
+        "AtomString needs a string column; '" + std::string(column) +
+        "' is " + std::string(util::TypeIdToString(schema->field(idx).type)));
+  }
+  if (op != CmpOp::kEq && op != CmpOp::kNe) {
+    return Status::NotSupported(
+        "string atoms support equality comparisons only");
+  }
+  if (literal.size() > schema->field(idx).capacity) {
+    return Status::InvalidArgument("literal exceeds column capacity");
+  }
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kAtomString));
+  p->column_ = idx;
+  p->op_ = op;
+  p->str_constant_ = std::move(literal);
+  return PredicatePtr(p);
+}
+
+PredicatePtr Predicate::And(PredicatePtr a, PredicatePtr b) {
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kAnd));
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return p;
+}
+
+PredicatePtr Predicate::Or(PredicatePtr a, PredicatePtr b) {
+  auto p = std::shared_ptr<Predicate>(new Predicate(Kind::kOr));
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return p;
+}
+
+bool Predicate::Eval(const TupleRef& t) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kAtomConst:
+      return CompareInt(t.GetRawInt(column_), op_, constant_);
+    case Kind::kAtomTwoCols:
+      return CompareInt(t.GetRawInt(column_), op_, t.GetRawInt(rhs_column_));
+    case Kind::kAtomString: {
+      const bool eq = t.GetString(column_) == str_constant_;
+      return op_ == CmpOp::kEq ? eq : !eq;
+    }
+    case Kind::kAnd:
+      return left_->Eval(t) && right_->Eval(t);
+    case Kind::kOr:
+      return left_->Eval(t) || right_->Eval(t);
+  }
+  return false;
+}
+
+std::string Predicate::ToString(const Schema* schema) const {
+  auto col_name = [&](size_t idx) {
+    return schema != nullptr ? schema->field(idx).name
+                             : "#" + std::to_string(idx);
+  };
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kAtomConst:
+      return col_name(column_) + " " + std::string(CmpOpToString(op_)) + " " +
+             std::to_string(constant_);
+    case Kind::kAtomTwoCols:
+      return col_name(column_) + " " + std::string(CmpOpToString(op_)) + " " +
+             col_name(rhs_column_);
+    case Kind::kAtomString:
+      return col_name(column_) + " " + std::string(CmpOpToString(op_)) +
+             " '" + str_constant_ + "'";
+    case Kind::kAnd:
+      return "(" + left_->ToString(schema) + " and " +
+             right_->ToString(schema) + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString(schema) + " or " +
+             right_->ToString(schema) + ")";
+  }
+  return "?";
+}
+
+}  // namespace smadb::expr

@@ -1,0 +1,227 @@
+#include "planner/planner.h"
+
+#include "util/string_util.h"
+
+namespace smadb::plan {
+
+using exec::GAggr;
+using exec::Operator;
+using exec::SmaGAggr;
+using exec::SmaScan;
+using exec::TableScan;
+using sma::Grade;
+using storage::TupleBuffer;
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+
+std::string_view PlanKindToString(PlanKind k) {
+  switch (k) {
+    case PlanKind::kScanAggr:
+      return "GAggr(TableScan)";
+    case PlanKind::kSmaScanAggr:
+      return "GAggr(SMA_Scan)";
+    case PlanKind::kSmaGAggr:
+      return "SMA_GAggr";
+    case PlanKind::kScan:
+      return "TableScan";
+    case PlanKind::kSmaScan:
+      return "SMA_Scan";
+  }
+  return "?";
+}
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (size_t c = 0; c < schema->num_fields(); ++c) {
+    if (c > 0) out += " | ";
+    out += schema->field(c).name;
+  }
+  out += '\n';
+  for (const TupleBuffer& row : rows) {
+    const TupleRef ref = row.AsRef();
+    for (size_t c = 0; c < schema->num_fields(); ++c) {
+      if (c > 0) out += " | ";
+      out += ref.GetValue(c).ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status Planner::Census(storage::Table* table, const expr::PredicatePtr& pred,
+                       PlanChoice* choice) const {
+  auto grader = sma::BucketGrader::Create(pred, smas_);
+  if (!grader->has_sma_support()) {
+    // No SMA grades anything; report everything ambivalent without reading.
+    choice->ambivalent = table->num_buckets();
+    return Status::OK();
+  }
+  for (uint64_t b = 0; b < table->num_buckets(); ++b) {
+    SMADB_ASSIGN_OR_RETURN(Grade g, grader->GradeBucket(b));
+    switch (g) {
+      case Grade::kQualifies:
+        ++choice->qualifying;
+        break;
+      case Grade::kDisqualifies:
+        ++choice->disqualifying;
+        break;
+      case Grade::kAmbivalent:
+        ++choice->ambivalent;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
+  PlanChoice choice;
+  if (smas_ == nullptr || smas_->size() == 0) {
+    choice.kind = PlanKind::kScanAggr;
+    choice.ambivalent = query.table->num_buckets();
+    choice.fetch_fraction = 1.0;
+    choice.explanation = "no SMAs available";
+    return choice;
+  }
+  SMADB_RETURN_NOT_OK(Census(query.table, query.pred, &choice));
+  const double total =
+      std::max<double>(1.0, static_cast<double>(choice.total_buckets()));
+  const double ambivalent_frac =
+      static_cast<double>(choice.ambivalent) / total;
+  const double processed_frac =
+      static_cast<double>(choice.qualifying + choice.ambivalent) / total;
+
+  // Can SMA_GAggr be bound at all? (Probe construction; cheap.)
+  const bool gaggr_available =
+      SmaGAggr::Make(query.table, query.pred, query.group_by, query.aggs,
+                     smas_)
+          .ok();
+
+  if (gaggr_available &&
+      (options_.force_sma || ambivalent_frac < options_.breakeven_fraction)) {
+    choice.kind = PlanKind::kSmaGAggr;
+    choice.fetch_fraction = ambivalent_frac;
+    choice.explanation = util::Format(
+        "SMA_GAggr fetches %.1f%% of buckets (break-even %.0f%%)",
+        ambivalent_frac * 100.0, options_.breakeven_fraction * 100.0);
+  } else if (choice.disqualifying > 0 &&
+             (options_.force_sma ||
+              processed_frac < options_.breakeven_fraction)) {
+    choice.kind = PlanKind::kSmaScanAggr;
+    choice.fetch_fraction = processed_frac;
+    choice.explanation = util::Format(
+        "SMA_Scan fetches %.1f%% of buckets%s", processed_frac * 100.0,
+        gaggr_available ? "" : " (no matching aggregate SMAs)");
+  } else {
+    choice.kind = PlanKind::kScanAggr;
+    choice.fetch_fraction = 1.0;
+    choice.explanation = util::Format(
+        "sequential scan: SMA plan would fetch %.1f%% of buckets "
+        "(break-even %.0f%%)",
+        (gaggr_available ? ambivalent_frac : processed_frac) * 100.0,
+        options_.breakeven_fraction * 100.0);
+  }
+  return choice;
+}
+
+Result<PlanChoice> Planner::ChooseSelect(const SelectQuery& query) const {
+  PlanChoice choice;
+  if (smas_ == nullptr || smas_->size() == 0) {
+    choice.kind = PlanKind::kScan;
+    choice.ambivalent = query.table->num_buckets();
+    choice.fetch_fraction = 1.0;
+    choice.explanation = "no SMAs available";
+    return choice;
+  }
+  SMADB_RETURN_NOT_OK(Census(query.table, query.pred, &choice));
+  const double total =
+      std::max<double>(1.0, static_cast<double>(choice.total_buckets()));
+  const double processed_frac =
+      static_cast<double>(choice.qualifying + choice.ambivalent) / total;
+  if (choice.disqualifying > 0 &&
+      (options_.force_sma || processed_frac < options_.breakeven_fraction)) {
+    choice.kind = PlanKind::kSmaScan;
+    choice.fetch_fraction = processed_frac;
+    choice.explanation =
+        util::Format("SMA_Scan fetches %.1f%% of buckets",
+                     processed_frac * 100.0);
+  } else {
+    choice.kind = PlanKind::kScan;
+    choice.fetch_fraction = 1.0;
+    choice.explanation = "sequential scan";
+  }
+  return choice;
+}
+
+Result<std::unique_ptr<Operator>> Planner::Build(const AggQuery& query,
+                                                 PlanKind kind) const {
+  switch (kind) {
+    case PlanKind::kSmaGAggr: {
+      SMADB_ASSIGN_OR_RETURN(
+          std::unique_ptr<SmaGAggr> op,
+          SmaGAggr::Make(query.table, query.pred, query.group_by, query.aggs,
+                         smas_));
+      return std::unique_ptr<Operator>(std::move(op));
+    }
+    case PlanKind::kSmaScanAggr: {
+      auto scan = std::make_unique<SmaScan>(query.table, query.pred, smas_);
+      SMADB_ASSIGN_OR_RETURN(
+          std::unique_ptr<GAggr> aggr,
+          GAggr::Make(std::move(scan), query.group_by, query.aggs));
+      return std::unique_ptr<Operator>(std::move(aggr));
+    }
+    case PlanKind::kScanAggr: {
+      auto scan = std::make_unique<TableScan>(query.table, query.pred);
+      SMADB_ASSIGN_OR_RETURN(
+          std::unique_ptr<GAggr> aggr,
+          GAggr::Make(std::move(scan), query.group_by, query.aggs));
+      return std::unique_ptr<Operator>(std::move(aggr));
+    }
+    default:
+      return Status::InvalidArgument(
+          "selection plan kind passed to aggregate Build");
+  }
+}
+
+Result<std::unique_ptr<Operator>> Planner::BuildSelect(
+    const SelectQuery& query, PlanKind kind) const {
+  switch (kind) {
+    case PlanKind::kSmaScan:
+      return std::unique_ptr<Operator>(
+          std::make_unique<SmaScan>(query.table, query.pred, smas_));
+    case PlanKind::kScan:
+      return std::unique_ptr<Operator>(
+          std::make_unique<TableScan>(query.table, query.pred));
+    default:
+      return Status::InvalidArgument(
+          "aggregate plan kind passed to BuildSelect");
+  }
+}
+
+Result<QueryResult> RunToCompletion(Operator* op) {
+  SMADB_RETURN_NOT_OK(op->Init());
+  QueryResult result;
+  result.schema = std::make_shared<storage::Schema>(op->output_schema());
+  TupleRef t;
+  while (true) {
+    SMADB_ASSIGN_OR_RETURN(bool has, op->Next(&t));
+    if (!has) break;
+    TupleBuffer row(result.schema.get());
+    for (size_t c = 0; c < result.schema->num_fields(); ++c) {
+      row.SetValue(c, t.GetValue(c));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Result<QueryResult> Planner::Execute(const AggQuery& query) const {
+  SMADB_ASSIGN_OR_RETURN(PlanChoice choice, Choose(query));
+  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
+                         Build(query, choice.kind));
+  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(op.get()));
+  result.plan = choice;
+  return result;
+}
+
+}  // namespace smadb::plan

@@ -1,0 +1,119 @@
+// Plan generation in the presence of SMAs (paper §3).
+//
+// The optimizer's job here is the one the paper flags as the "slight
+// disadvantage" of SMAs: deciding *when* they pay off. The cost model is
+// the empirical break-even of Fig. 5: SMA plans win while the fraction of
+// buckets that must still be fetched stays below ~25%; beyond that a plain
+// sequential scan is faster (and the erroneous-SMA overhead stays ~2%
+// because grading reads only the tiny SMA-files).
+//
+// Plans for an aggregation query, best first:
+//   SMA_GAggr            — aggregates from SMAs; fetches only ambivalent
+//                          buckets. Needs matching aggregate SMAs.
+//   GAggr ∘ SMA_Scan     — selection pruning only; fetches qualifying +
+//                          ambivalent buckets.
+//   GAggr ∘ TableScan    — the fallback the paper measures against.
+
+#ifndef SMADB_PLANNER_PLANNER_H_
+#define SMADB_PLANNER_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/gaggr.h"
+#include "exec/sma_gaggr.h"
+#include "exec/sma_scan.h"
+#include "exec/table_scan.h"
+#include "sma/sma_set.h"
+
+namespace smadb::plan {
+
+/// A grouping-aggregation query block (select aggs ... where pred group by).
+struct AggQuery {
+  storage::Table* table = nullptr;
+  expr::PredicatePtr pred;  // Predicate::True() when unrestricted
+  std::vector<size_t> group_by;
+  std::vector<exec::AggSpec> aggs;
+};
+
+/// A pure selection query block (select * ... where pred).
+struct SelectQuery {
+  storage::Table* table = nullptr;
+  expr::PredicatePtr pred;
+};
+
+enum class PlanKind { kScanAggr, kSmaScanAggr, kSmaGAggr, kScan, kSmaScan };
+
+std::string_view PlanKindToString(PlanKind k);
+
+/// The chosen plan plus the bucket census that justified it.
+struct PlanChoice {
+  PlanKind kind = PlanKind::kScanAggr;
+  uint64_t qualifying = 0;
+  uint64_t disqualifying = 0;
+  uint64_t ambivalent = 0;
+  /// Fraction of buckets the chosen plan will fetch.
+  double fetch_fraction = 1.0;
+  std::string explanation;
+
+  uint64_t total_buckets() const {
+    return qualifying + disqualifying + ambivalent;
+  }
+};
+
+/// Fully materialized query result. The schema lives behind a shared_ptr
+/// because each row's TupleBuffer refers to it; the indirection keeps those
+/// references valid across moves of the QueryResult.
+struct QueryResult {
+  std::shared_ptr<const storage::Schema> schema;
+  std::vector<storage::TupleBuffer> rows;
+  PlanChoice plan;
+
+  /// Formatted as a text table (column header + rows).
+  std::string ToString() const;
+};
+
+struct PlannerOptions {
+  /// Fig. 5 break-even: SMA plans are only chosen while the fraction of
+  /// buckets they would fetch stays below this.
+  double breakeven_fraction = 0.25;
+  /// Force a plan regardless of cost (for experiments like Fig. 5's
+  /// "erroneously applied" curve). kScanAggr means "no forcing".
+  bool force_sma = false;
+};
+
+class Planner {
+ public:
+  /// `smas` may be null (no SMAs on the table).
+  explicit Planner(const sma::SmaSet* smas, PlannerOptions options = {})
+      : smas_(smas), options_(options) {}
+
+  /// Grades all buckets (cheap: SMA-files only) and picks a plan.
+  util::Result<PlanChoice> Choose(const AggQuery& query) const;
+  util::Result<PlanChoice> ChooseSelect(const SelectQuery& query) const;
+
+  /// Instantiates the operator tree for a choice.
+  util::Result<std::unique_ptr<exec::Operator>> Build(const AggQuery& query,
+                                                      PlanKind kind) const;
+  util::Result<std::unique_ptr<exec::Operator>> BuildSelect(
+      const SelectQuery& query, PlanKind kind) const;
+
+  /// Choose + Build + run to completion.
+  util::Result<QueryResult> Execute(const AggQuery& query) const;
+
+ private:
+  /// Bucket census for a predicate: fills q/d/a of `choice`.
+  util::Status Census(storage::Table* table, const expr::PredicatePtr& pred,
+                      PlanChoice* choice) const;
+
+  const sma::SmaSet* smas_;
+  PlannerOptions options_;
+};
+
+/// Runs any operator to completion, copying its output rows.
+util::Result<QueryResult> RunToCompletion(exec::Operator* op);
+
+}  // namespace smadb::plan
+
+#endif  // SMADB_PLANNER_PLANNER_H_

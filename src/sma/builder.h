@@ -1,0 +1,29 @@
+// Bulk-loading SMAs (paper §2.1: "bulkloading a SMA-file requires only
+// simple algorithms and is very efficient ... only one page access is needed
+// for 1000 pages of tuples").
+
+#ifndef SMADB_SMA_BUILDER_H_
+#define SMADB_SMA_BUILDER_H_
+
+#include <memory>
+
+#include "sma/sma.h"
+#include "storage/table.h"
+
+namespace smadb::sma {
+
+/// Builds a SMA over the current contents of `table` with one sequential
+/// scan. Each bucket's summary is computed independently, so creation cost
+/// is linear in the bucket count (§2.4).
+util::Result<std::unique_ptr<Sma>> BuildSma(storage::Table* table,
+                                            SmaSpec spec);
+
+/// Recomputes every group's entry of `bucket` from the base data (used after
+/// in-place updates/deletes, where incremental min/max maintenance is
+/// impossible). Touches exactly the bucket's pages plus one SMA page per
+/// group file.
+util::Status RecomputeBucket(storage::Table* table, Sma* sma, uint64_t bucket);
+
+}  // namespace smadb::sma
+
+#endif  // SMADB_SMA_BUILDER_H_

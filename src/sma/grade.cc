@@ -1,0 +1,349 @@
+#include "sma/grade.h"
+
+#include <cassert>
+
+namespace smadb::sma {
+
+using expr::CmpOp;
+using expr::Predicate;
+using util::Result;
+using util::Status;
+
+std::string_view GradeToString(Grade g) {
+  switch (g) {
+    case Grade::kQualifies:
+      return "qualifies";
+    case Grade::kDisqualifies:
+      return "disqualifies";
+    case Grade::kAmbivalent:
+      return "ambivalent";
+  }
+  return "?";
+}
+
+Grade CombineAnd(Grade a, Grade b) {
+  if (a == Grade::kDisqualifies || b == Grade::kDisqualifies) {
+    return Grade::kDisqualifies;
+  }
+  if (a == Grade::kQualifies && b == Grade::kQualifies) {
+    return Grade::kQualifies;
+  }
+  return Grade::kAmbivalent;
+}
+
+Grade CombineOr(Grade a, Grade b) {
+  if (a == Grade::kQualifies || b == Grade::kQualifies) {
+    return Grade::kQualifies;
+  }
+  if (a == Grade::kDisqualifies && b == Grade::kDisqualifies) {
+    return Grade::kDisqualifies;
+  }
+  return Grade::kAmbivalent;
+}
+
+Grade GradeMinMaxConst(CmpOp op, std::optional<int64_t> mn,
+                       std::optional<int64_t> mx, int64_t c) {
+  switch (op) {
+    case CmpOp::kEq:
+      if (mx.has_value() && *mx < c) return Grade::kDisqualifies;
+      if (mn.has_value() && *mn > c) return Grade::kDisqualifies;
+      if (mn.has_value() && mx.has_value() && *mn == c && *mx == c) {
+        return Grade::kQualifies;  // refinement, see header
+      }
+      return Grade::kAmbivalent;
+    case CmpOp::kNe:
+      if (mx.has_value() && *mx < c) return Grade::kQualifies;
+      if (mn.has_value() && *mn > c) return Grade::kQualifies;
+      if (mn.has_value() && mx.has_value() && *mn == c && *mx == c) {
+        return Grade::kDisqualifies;
+      }
+      return Grade::kAmbivalent;
+    case CmpOp::kLe:
+      if (mx.has_value() && *mx <= c) return Grade::kQualifies;
+      if (mn.has_value() && *mn > c) return Grade::kDisqualifies;
+      return Grade::kAmbivalent;
+    case CmpOp::kLt:
+      if (mx.has_value() && *mx < c) return Grade::kQualifies;
+      if (mn.has_value() && *mn >= c) return Grade::kDisqualifies;
+      return Grade::kAmbivalent;
+    case CmpOp::kGe:
+      if (mn.has_value() && *mn >= c) return Grade::kQualifies;
+      if (mx.has_value() && *mx < c) return Grade::kDisqualifies;
+      return Grade::kAmbivalent;
+    case CmpOp::kGt:
+      if (mn.has_value() && *mn > c) return Grade::kQualifies;
+      if (mx.has_value() && *mx <= c) return Grade::kDisqualifies;
+      return Grade::kAmbivalent;
+  }
+  return Grade::kAmbivalent;
+}
+
+Grade GradeMinMaxTwoCols(CmpOp op, std::optional<int64_t> mn_a,
+                         std::optional<int64_t> mx_a,
+                         std::optional<int64_t> mn_b,
+                         std::optional<int64_t> mx_b) {
+  switch (op) {
+    case CmpOp::kLe:
+      if (mx_a.has_value() && mn_b.has_value() && *mx_a <= *mn_b) {
+        return Grade::kQualifies;
+      }
+      if (mn_a.has_value() && mx_b.has_value() && *mn_a > *mx_b) {
+        return Grade::kDisqualifies;
+      }
+      return Grade::kAmbivalent;
+    case CmpOp::kLt:
+      if (mx_a.has_value() && mn_b.has_value() && *mx_a < *mn_b) {
+        return Grade::kQualifies;
+      }
+      if (mn_a.has_value() && mx_b.has_value() && *mn_a >= *mx_b) {
+        return Grade::kDisqualifies;
+      }
+      return Grade::kAmbivalent;
+    case CmpOp::kGe:
+      return GradeMinMaxTwoCols(CmpOp::kLe, mn_b, mx_b, mn_a, mx_a);
+    case CmpOp::kGt:
+      return GradeMinMaxTwoCols(CmpOp::kLt, mn_b, mx_b, mn_a, mx_a);
+    case CmpOp::kEq: {
+      // Disjoint ranges disqualify; both ranges pinned to the same single
+      // value qualify.
+      if (mx_a.has_value() && mn_b.has_value() && *mx_a < *mn_b) {
+        return Grade::kDisqualifies;
+      }
+      if (mn_a.has_value() && mx_b.has_value() && *mn_a > *mx_b) {
+        return Grade::kDisqualifies;
+      }
+      if (mn_a.has_value() && mx_a.has_value() && mn_b.has_value() &&
+          mx_b.has_value() && *mn_a == *mx_a && *mn_b == *mx_b &&
+          *mn_a == *mn_b) {
+        return Grade::kQualifies;
+      }
+      return Grade::kAmbivalent;
+    }
+    case CmpOp::kNe: {
+      if (mx_a.has_value() && mn_b.has_value() && *mx_a < *mn_b) {
+        return Grade::kQualifies;
+      }
+      if (mn_a.has_value() && mx_b.has_value() && *mn_a > *mx_b) {
+        return Grade::kQualifies;
+      }
+      if (mn_a.has_value() && mx_a.has_value() && mn_b.has_value() &&
+          mx_b.has_value() && *mn_a == *mx_a && *mn_b == *mx_b &&
+          *mn_a == *mn_b) {
+        return Grade::kDisqualifies;
+      }
+      return Grade::kAmbivalent;
+    }
+  }
+  return Grade::kAmbivalent;
+}
+
+BucketGrader::BucketGrader(expr::PredicatePtr pred, const SmaSet* smas)
+    : pred_(std::move(pred)), smas_(smas) {}
+
+std::unique_ptr<BucketGrader> BucketGrader::Create(expr::PredicatePtr pred,
+                                                   const SmaSet* smas) {
+  std::unique_ptr<BucketGrader> grader(
+      new BucketGrader(std::move(pred), smas));
+  grader->root_ = grader->Bind(grader->pred_.get());
+  return grader;
+}
+
+namespace {
+
+void BindMinMax(const SmaSet* smas, size_t col, const Sma** min_sma,
+                const Sma** max_sma, std::vector<SmaFile::Cursor>* min_cursors,
+                std::vector<SmaFile::Cursor>* max_cursors) {
+  *min_sma = smas->FindMinMax(AggFunc::kMin, col);
+  *max_sma = smas->FindMinMax(AggFunc::kMax, col);
+  if (*min_sma != nullptr) {
+    for (size_t g = 0; g < (*min_sma)->num_groups(); ++g) {
+      min_cursors->push_back((*min_sma)->group_file(g)->NewCursor());
+    }
+  }
+  if (*max_sma != nullptr) {
+    for (size_t g = 0; g < (*max_sma)->num_groups(); ++g) {
+      max_cursors->push_back((*max_sma)->group_file(g)->NewCursor());
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<BucketGrader::Node> BucketGrader::Bind(const Predicate* pred) {
+  auto node = std::make_unique<Node>();
+  node->pred = pred;
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+      break;
+    case Predicate::Kind::kAtomConst: {
+      BindMinMax(smas_, pred->column(), &node->min_sma, &node->max_sma,
+                 &node->min_cursors, &node->max_cursors);
+      node->count_sma = smas_->FindCountByValue(pred->column());
+      if (node->count_sma != nullptr) {
+        for (size_t g = 0; g < node->count_sma->num_groups(); ++g) {
+          node->count_cursors.push_back(
+              node->count_sma->group_file(g)->NewCursor());
+        }
+      }
+      if (node->min_sma != nullptr || node->max_sma != nullptr ||
+          node->count_sma != nullptr) {
+        has_sma_support_ = true;
+      }
+      break;
+    }
+    case Predicate::Kind::kAtomTwoCols: {
+      BindMinMax(smas_, pred->column(), &node->min_sma, &node->max_sma,
+                 &node->min_cursors, &node->max_cursors);
+      BindMinMax(smas_, pred->rhs_column(), &node->rhs_min_sma,
+                 &node->rhs_max_sma, &node->rhs_min_cursors,
+                 &node->rhs_max_cursors);
+      if ((node->min_sma != nullptr || node->max_sma != nullptr) &&
+          (node->rhs_min_sma != nullptr || node->rhs_max_sma != nullptr)) {
+        has_sma_support_ = true;
+      }
+      break;
+    }
+    case Predicate::Kind::kAtomString: {
+      // String equality grades through a count-by-value SMA only.
+      node->count_sma = smas_->FindCountByValue(pred->column());
+      if (node->count_sma != nullptr) {
+        for (size_t g = 0; g < node->count_sma->num_groups(); ++g) {
+          node->count_cursors.push_back(
+              node->count_sma->group_file(g)->NewCursor());
+        }
+        has_sma_support_ = true;
+      }
+      break;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      node->left = Bind(pred->left());
+      node->right = Bind(pred->right());
+      break;
+  }
+  return node;
+}
+
+Result<std::optional<int64_t>> BucketGrader::Extreme(
+    const Sma* sma, std::vector<SmaFile::Cursor>* cursors, uint64_t b) {
+  std::optional<int64_t> extreme;
+  if (sma == nullptr || b >= sma->num_buckets()) return extreme;
+  for (size_t g = 0; g < cursors->size(); ++g) {
+    SMADB_ASSIGN_OR_RETURN(int64_t e, (*cursors)[g].Get(b));
+    if (sma->IsUndefined(e)) continue;
+    if (!extreme.has_value()) {
+      extreme = e;
+    } else if (sma->spec().func == AggFunc::kMin) {
+      extreme = std::min(*extreme, e);
+    } else {
+      extreme = std::max(*extreme, e);
+    }
+  }
+  return extreme;
+}
+
+Result<Grade> BucketGrader::GradeAtom(Node* node, uint64_t b) {
+  const Predicate* pred = node->pred;
+
+  if (pred->kind() == Predicate::Kind::kAtomString) {
+    // §3.1 count rules applied to the string domain: a bucket qualifies
+    // when every present value satisfies the equality, disqualifies when
+    // none does.
+    if (node->count_sma == nullptr || b >= node->count_sma->num_buckets()) {
+      return Grade::kAmbivalent;
+    }
+    bool any_present = false;
+    bool all_satisfy = true;
+    bool none_satisfy = true;
+    for (size_t g = 0; g < node->count_cursors.size(); ++g) {
+      SMADB_ASSIGN_OR_RETURN(int64_t count, node->count_cursors[g].Get(b));
+      if (count <= 0) continue;
+      any_present = true;
+      const util::Value& x = node->count_sma->group_key(g)[0];
+      const bool eq = x.AsString() == pred->string_constant();
+      const bool sat = pred->op() == expr::CmpOp::kEq ? eq : !eq;
+      all_satisfy &= sat;
+      none_satisfy &= !sat;
+    }
+    if (!any_present) return Grade::kAmbivalent;
+    if (all_satisfy) return Grade::kQualifies;
+    if (none_satisfy) return Grade::kDisqualifies;
+    return Grade::kAmbivalent;
+  }
+
+  SMADB_ASSIGN_OR_RETURN(std::optional<int64_t> mn,
+                         Extreme(node->min_sma, &node->min_cursors, b));
+  SMADB_ASSIGN_OR_RETURN(std::optional<int64_t> mx,
+                         Extreme(node->max_sma, &node->max_cursors, b));
+
+  Grade grade = Grade::kAmbivalent;
+  if (pred->kind() == Predicate::Kind::kAtomConst) {
+    grade = GradeMinMaxConst(pred->op(), mn, mx, pred->constant());
+
+    // Count-by-value source (§3.1 count rules, intended semantics).
+    if (grade == Grade::kAmbivalent && node->count_sma != nullptr &&
+        b < node->count_sma->num_buckets()) {
+      bool any_present = false;
+      bool all_satisfy = true;
+      bool none_satisfy = true;
+      for (size_t g = 0; g < node->count_cursors.size(); ++g) {
+        SMADB_ASSIGN_OR_RETURN(int64_t count, node->count_cursors[g].Get(b));
+        if (count <= 0) continue;
+        any_present = true;
+        // Group key is the attribute value x.
+        const util::Value& x = node->count_sma->group_key(g)[0];
+        const bool sat = expr::CompareInt(x.RawInt(), pred->op(),
+                                          pred->constant());
+        all_satisfy &= sat;
+        none_satisfy &= !sat;
+      }
+      if (any_present) {
+        if (all_satisfy) {
+          grade = Grade::kQualifies;
+        } else if (none_satisfy) {
+          grade = Grade::kDisqualifies;
+        }
+      }
+    }
+  } else {
+    SMADB_ASSIGN_OR_RETURN(
+        std::optional<int64_t> rhs_mn,
+        Extreme(node->rhs_min_sma, &node->rhs_min_cursors, b));
+    SMADB_ASSIGN_OR_RETURN(
+        std::optional<int64_t> rhs_mx,
+        Extreme(node->rhs_max_sma, &node->rhs_max_cursors, b));
+    grade = GradeMinMaxTwoCols(pred->op(), mn, mx, rhs_mn, rhs_mx);
+  }
+  return grade;
+}
+
+Result<Grade> BucketGrader::GradeNode(Node* node, uint64_t b) {
+  switch (node->pred->kind()) {
+    case Predicate::Kind::kTrue:
+      return Grade::kQualifies;
+    case Predicate::Kind::kAtomConst:
+    case Predicate::Kind::kAtomTwoCols:
+    case Predicate::Kind::kAtomString:
+      return GradeAtom(node, b);
+    case Predicate::Kind::kAnd: {
+      SMADB_ASSIGN_OR_RETURN(Grade l, GradeNode(node->left.get(), b));
+      // Short-circuit: a disqualifying conjunct settles the bucket.
+      if (l == Grade::kDisqualifies) return Grade::kDisqualifies;
+      SMADB_ASSIGN_OR_RETURN(Grade r, GradeNode(node->right.get(), b));
+      return CombineAnd(l, r);
+    }
+    case Predicate::Kind::kOr: {
+      SMADB_ASSIGN_OR_RETURN(Grade l, GradeNode(node->left.get(), b));
+      if (l == Grade::kQualifies) return Grade::kQualifies;
+      SMADB_ASSIGN_OR_RETURN(Grade r, GradeNode(node->right.get(), b));
+      return CombineOr(l, r);
+    }
+  }
+  return Grade::kAmbivalent;
+}
+
+Result<Grade> BucketGrader::GradeBucket(uint64_t b) {
+  return GradeNode(root_.get(), b);
+}
+
+}  // namespace smadb::sma

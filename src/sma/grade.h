@@ -1,0 +1,116 @@
+// grade: partitioning the buckets of a relation into qualifying,
+// disqualifying and ambivalent buckets for a selection predicate (paper
+// §3.1), given the SMAs available on the table.
+//
+// Atom rules implemented exactly as in the paper for
+//   A = c, A <= c, A < c, A >= c, A > c, A <= B, A < B  (min/max SMAs)
+// and the count-by-value rules for count SMAs grouped solely by A —
+// with two documented refinements:
+//   * A = c additionally *qualifies* when min = max = c (the paper only
+//     ever disqualifies for equality; the refinement is sound and strictly
+//     more precise).
+//   * the paper's literal ∩-over-all-x combination for count SMAs yields an
+//     empty qualifying set; we implement the evident intent: a bucket
+//     qualifies when every value present in it satisfies the predicate and
+//     disqualifies when none does.
+// A != c / A != B are supported as extensions with the dual rules.
+
+#ifndef SMADB_SMA_GRADE_H_
+#define SMADB_SMA_GRADE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "sma/sma_set.h"
+
+namespace smadb::sma {
+
+/// The three-way bucket classification of §2.2/§3.1.
+enum class Grade { kQualifies, kDisqualifies, kAmbivalent };
+
+std::string_view GradeToString(Grade g);
+
+/// Conjunctive combination (paper §3.1):
+///   BUq = BUq1 ∩ BUq2,  BUd = BUd1 ∪ BUd2.
+Grade CombineAnd(Grade a, Grade b);
+
+/// Disjunctive combination (paper §3.1):
+///   BUq = BUq1 ∪ BUq2,  BUd = BUd1 ∩ BUd2.
+Grade CombineOr(Grade a, Grade b);
+
+/// Grades `A op c` from the bucket's min/max of A. Either side may be
+/// unknown (no SMA, or aggregate undefined), in which case only the
+/// conclusions that do not need it are drawn.
+Grade GradeMinMaxConst(expr::CmpOp op, std::optional<int64_t> mn,
+                       std::optional<int64_t> mx, int64_t c);
+
+/// Grades `A op B` (both attributes of the tuple) from both columns'
+/// bucket min/max.
+Grade GradeMinMaxTwoCols(expr::CmpOp op, std::optional<int64_t> mn_a,
+                         std::optional<int64_t> mx_a,
+                         std::optional<int64_t> mn_b,
+                         std::optional<int64_t> mx_b);
+
+/// Streams grades for the buckets of a table, one predicate, binding each
+/// atom to whatever SMAs the set offers (min/max — grouped or not — and
+/// count-by-value). Buckets beyond the SMAs' coverage grade ambivalent.
+///
+/// Grading is designed to run "in sync" with a sequential scan (§2.3):
+/// all SMA-files are read through cursors, so non-decreasing bucket numbers
+/// touch each SMA page exactly once.
+class BucketGrader {
+ public:
+  /// Binds `pred` against `smas`. Never fails on missing SMAs — atoms
+  /// without a usable SMA simply grade ambivalent.
+  static std::unique_ptr<BucketGrader> Create(expr::PredicatePtr pred,
+                                              const SmaSet* smas);
+
+  /// Grade of bucket `b`. Most efficient when called with non-decreasing b.
+  util::Result<Grade> GradeBucket(uint64_t b);
+
+  /// True when at least one atom is backed by a SMA — otherwise every
+  /// bucket will grade ambivalent and a plain scan is the better plan.
+  bool has_sma_support() const { return has_sma_support_; }
+
+ private:
+  struct Node {
+    const expr::Predicate* pred = nullptr;
+    // min/max sources for the lhs column (one cursor per group file).
+    const Sma* min_sma = nullptr;
+    const Sma* max_sma = nullptr;
+    std::vector<SmaFile::Cursor> min_cursors;
+    std::vector<SmaFile::Cursor> max_cursors;
+    // min/max sources for the rhs column (two-column atoms).
+    const Sma* rhs_min_sma = nullptr;
+    const Sma* rhs_max_sma = nullptr;
+    std::vector<SmaFile::Cursor> rhs_min_cursors;
+    std::vector<SmaFile::Cursor> rhs_max_cursors;
+    // count-by-value source (count SMA grouped solely by the lhs column).
+    const Sma* count_sma = nullptr;
+    std::vector<SmaFile::Cursor> count_cursors;
+    // children for and/or.
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  BucketGrader(expr::PredicatePtr pred, const SmaSet* smas);
+
+  std::unique_ptr<Node> Bind(const expr::Predicate* pred);
+  util::Result<Grade> GradeNode(Node* node, uint64_t b);
+  util::Result<Grade> GradeAtom(Node* node, uint64_t b);
+
+  /// Bucket-level extreme across a min/max SMA's groups via cursors.
+  static util::Result<std::optional<int64_t>> Extreme(
+      const Sma* sma, std::vector<SmaFile::Cursor>* cursors, uint64_t b);
+
+  expr::PredicatePtr pred_;
+  const SmaSet* smas_;
+  std::unique_ptr<Node> root_;
+  bool has_sma_support_ = false;
+};
+
+}  // namespace smadb::sma
+
+#endif  // SMADB_SMA_GRADE_H_

@@ -1,0 +1,142 @@
+#include "sma/hierarchical.h"
+
+#include <algorithm>
+
+namespace smadb::sma {
+
+using expr::CmpOp;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<HierarchicalMinMax>> HierarchicalMinMax::Build(
+    const Sma* min_sma, const Sma* max_sma) {
+  if (min_sma == nullptr || max_sma == nullptr ||
+      min_sma->spec().func != AggFunc::kMin ||
+      max_sma->spec().func != AggFunc::kMax ||
+      !min_sma->spec().group_by.empty() || !max_sma->spec().group_by.empty()) {
+    return Status::InvalidArgument(
+        "hierarchical SMA needs ungrouped min and max SMAs");
+  }
+  if (min_sma->table() != max_sma->table() ||
+      min_sma->num_buckets() != max_sma->num_buckets()) {
+    return Status::InvalidArgument("min/max SMAs must cover the same table");
+  }
+
+  std::unique_ptr<HierarchicalMinMax> h(
+      new HierarchicalMinMax(min_sma, max_sma));
+  storage::BufferPool* pool = min_sma->pool();
+
+  // Level-2 entries inherit the level-1 entry width so the sentinel space
+  // matches.
+  SMADB_ASSIGN_OR_RETURN(
+      h->l2_min_,
+      SmaFile::Create(pool,
+                      "sma2." + min_sma->table()->name() + "." +
+                          min_sma->spec().name,
+                      min_sma->spec().EntryWidth()));
+  SMADB_ASSIGN_OR_RETURN(
+      h->l2_max_,
+      SmaFile::Create(pool,
+                      "sma2." + max_sma->table()->name() + "." +
+                          max_sma->spec().name,
+                      max_sma->spec().EntryWidth()));
+
+  // One pass per level-1 file; each level-2 entry summarizes one L1 page.
+  const auto summarize = [&](const Sma* sma, SmaFile* l2,
+                             bool is_min) -> Status {
+    const SmaFile* l1 = sma->group_file(0);
+    SmaFile::Cursor cursor = l1->NewCursor();
+    const uint64_t n = l1->num_entries();
+    const uint32_t per_page = l1->entries_per_page();
+    uint64_t i = 0;
+    while (i < n) {
+      const uint64_t end = std::min<uint64_t>(n, i + per_page);
+      int64_t agg = sma->IdentityEntry();
+      for (; i < end; ++i) {
+        SMADB_ASSIGN_OR_RETURN(int64_t e, cursor.Get(i));
+        if (sma->IsUndefined(e)) continue;
+        if (sma->IsUndefined(agg)) {
+          agg = e;
+        } else {
+          agg = is_min ? std::min(agg, e) : std::max(agg, e);
+        }
+      }
+      SMADB_RETURN_NOT_OK(l2->Append(agg));
+    }
+    return Status::OK();
+  };
+  SMADB_RETURN_NOT_OK(summarize(min_sma, h->l2_min_.get(), /*is_min=*/true));
+  SMADB_RETURN_NOT_OK(summarize(max_sma, h->l2_max_.get(), /*is_min=*/false));
+  return h;
+}
+
+Status HierarchicalMinMax::GradeAll(CmpOp op, int64_t c,
+                                    std::vector<Grade>* grades,
+                                    uint64_t* l1_pages_read) const {
+  const SmaFile* l1_min = min_sma_->group_file(0);
+  const SmaFile* l1_max = max_sma_->group_file(0);
+  const uint64_t buckets = num_buckets();
+  const uint32_t per_page = l1_min->entries_per_page();
+  grades->assign(buckets, Grade::kAmbivalent);
+  uint64_t pages = 0;
+
+  SmaFile::Cursor l2_min_cur = l2_min_->NewCursor();
+  SmaFile::Cursor l2_max_cur = l2_max_->NewCursor();
+  SmaFile::Cursor l1_min_cur = l1_min->NewCursor();
+  SmaFile::Cursor l1_max_cur = l1_max->NewCursor();
+
+  for (uint64_t l2 = 0; l2 < l2_min_->num_entries(); ++l2) {
+    SMADB_ASSIGN_OR_RETURN(int64_t mn_raw, l2_min_cur.Get(l2));
+    SMADB_ASSIGN_OR_RETURN(int64_t mx_raw, l2_max_cur.Get(l2));
+    std::optional<int64_t> mn, mx;
+    if (!min_sma_->IsUndefined(mn_raw)) mn = mn_raw;
+    if (!max_sma_->IsUndefined(mx_raw)) mx = mx_raw;
+    const Grade coarse = GradeMinMaxConst(op, mn, mx, c);
+    const uint64_t first = l2 * per_page;
+    const uint64_t end = std::min<uint64_t>(buckets, first + per_page);
+    if (coarse != Grade::kAmbivalent) {
+      // Whole L1 page settled without reading it.
+      std::fill(grades->begin() + static_cast<ptrdiff_t>(first),
+                grades->begin() + static_cast<ptrdiff_t>(end), coarse);
+      continue;
+    }
+    // Ambivalent at level 2: refine from the L1 page (min + max files).
+    pages += 2;
+    for (uint64_t b = first; b < end; ++b) {
+      SMADB_ASSIGN_OR_RETURN(int64_t bmn_raw, l1_min_cur.Get(b));
+      SMADB_ASSIGN_OR_RETURN(int64_t bmx_raw, l1_max_cur.Get(b));
+      std::optional<int64_t> bmn, bmx;
+      if (!min_sma_->IsUndefined(bmn_raw)) bmn = bmn_raw;
+      if (!max_sma_->IsUndefined(bmx_raw)) bmx = bmx_raw;
+      (*grades)[b] = GradeMinMaxConst(op, bmn, bmx, c);
+    }
+  }
+  if (l1_pages_read != nullptr) *l1_pages_read = pages;
+  return Status::OK();
+}
+
+Status HierarchicalMinMax::GradeAllFlat(CmpOp op, int64_t c,
+                                        std::vector<Grade>* grades,
+                                        uint64_t* l1_pages_read) const {
+  const SmaFile* l1_min = min_sma_->group_file(0);
+  const SmaFile* l1_max = max_sma_->group_file(0);
+  const uint64_t buckets = num_buckets();
+  grades->assign(buckets, Grade::kAmbivalent);
+  SmaFile::Cursor min_cur = l1_min->NewCursor();
+  SmaFile::Cursor max_cur = l1_max->NewCursor();
+  for (uint64_t b = 0; b < buckets; ++b) {
+    SMADB_ASSIGN_OR_RETURN(int64_t mn_raw, min_cur.Get(b));
+    SMADB_ASSIGN_OR_RETURN(int64_t mx_raw, max_cur.Get(b));
+    std::optional<int64_t> mn, mx;
+    if (!min_sma_->IsUndefined(mn_raw)) mn = mn_raw;
+    if (!max_sma_->IsUndefined(mx_raw)) mx = mx_raw;
+    (*grades)[b] = GradeMinMaxConst(op, mn, mx, c);
+  }
+  if (l1_pages_read != nullptr) {
+    *l1_pages_read =
+        static_cast<uint64_t>(l1_min->num_pages()) + l1_max->num_pages();
+  }
+  return Status::OK();
+}
+
+}  // namespace smadb::sma

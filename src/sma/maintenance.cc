@@ -1,0 +1,53 @@
+#include "sma/maintenance.h"
+
+namespace smadb::sma {
+
+using storage::Rid;
+using storage::TupleBuffer;
+using util::Status;
+using util::Value;
+
+Status SmaMaintainer::Insert(const TupleBuffer& tuple, Rid* rid_out) {
+  Rid rid;
+  SMADB_RETURN_NOT_OK(table_->Append(tuple, &rid));
+  if (rid_out != nullptr) *rid_out = rid;
+  const uint64_t bucket = table_->BucketOfPage(rid.page_no);
+  const storage::TupleRef ref = tuple.AsRef();
+  for (Sma* sma : smas_->mutable_all()) {
+    SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
+    SMADB_ASSIGN_OR_RETURN(size_t g,
+                           sma->GetOrCreateGroup(sma->GroupKeyOf(ref)));
+    SmaFile* file = sma->group_file(g);
+    SMADB_ASSIGN_OR_RETURN(int64_t entry, file->Get(bucket));
+    SMADB_RETURN_NOT_OK(
+        file->Set(bucket, sma->Merge(entry, sma->ArgOf(ref))));
+  }
+  return Status::OK();
+}
+
+Status SmaMaintainer::Delete(Rid rid) {
+  SMADB_RETURN_NOT_OK(table_->DeleteTuple(rid));
+  const uint64_t bucket = table_->BucketOfPage(rid.page_no);
+  for (Sma* sma : smas_->mutable_all()) {
+    SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
+    SMADB_RETURN_NOT_OK(RecomputeBucket(table_, sma, bucket));
+  }
+  return Status::OK();
+}
+
+Status SmaMaintainer::UpdateColumn(Rid rid, size_t col, const Value& v) {
+  SMADB_RETURN_NOT_OK(table_->UpdateColumn(rid, col, v));
+  const uint64_t bucket = table_->BucketOfPage(rid.page_no);
+  for (Sma* sma : smas_->mutable_all()) {
+    const SmaSpec& spec = sma->spec();
+    bool affected =
+        spec.arg != nullptr && spec.arg->ReferencesColumn(col);
+    for (size_t gcol : spec.group_by) affected |= gcol == col;
+    if (!affected) continue;
+    SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
+    SMADB_RETURN_NOT_OK(RecomputeBucket(table_, sma, bucket));
+  }
+  return Status::OK();
+}
+
+}  // namespace smadb::sma

@@ -1,0 +1,44 @@
+// Parser for the paper's SMA definition language (§2.1/§2.3):
+//
+//     define sma qty
+//     select   sum(l_quantity)
+//     from     lineitem
+//     group by l_returnflag, l_linestatus
+//
+// Restrictions enforced exactly as in the paper: the select clause contains
+// a single aggregate (min/max/sum/count), a single relation in the from
+// clause (no joins), no order specification.
+
+#ifndef SMADB_SMA_PARSER_H_
+#define SMADB_SMA_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "sma/sma_def.h"
+#include "sma/sma_set.h"
+#include "storage/catalog.h"
+
+namespace smadb::sma {
+
+/// A parsed definition: the spec plus the target table name.
+struct ParsedSmaDefinition {
+  std::string table;
+  SmaSpec spec;
+};
+
+/// Parses a `define sma` statement against `schema` (the schema of the
+/// table the statement's from-clause names; the caller resolves the name —
+/// use ParseAndBuildSma for the catalog-driven one-step version).
+util::Result<ParsedSmaDefinition> ParseSmaDefinition(
+    const storage::Schema* schema, std::string_view text);
+
+/// One-step convenience: parse `text`, resolve the table in `catalog`,
+/// bulk-build the SMA, and register it in `smas` (which must belong to the
+/// same table the statement names).
+util::Status DefineSma(storage::Catalog* catalog, SmaSet* smas,
+                       std::string_view text);
+
+}  // namespace smadb::sma
+
+#endif  // SMADB_SMA_PARSER_H_

@@ -1,0 +1,153 @@
+#include "sma/semijoin.h"
+
+#include <algorithm>
+
+namespace smadb::sma {
+
+using expr::CmpOp;
+using storage::Table;
+using util::Result;
+using util::Status;
+
+Result<std::pair<std::optional<int64_t>, std::optional<int64_t>>> ColumnMinMax(
+    Table* s_table, size_t s_col, const SmaSet* s_smas) {
+  std::optional<int64_t> mn, mx;
+
+  const Sma* min_sma =
+      s_smas != nullptr ? s_smas->FindMinMax(AggFunc::kMin, s_col) : nullptr;
+  const Sma* max_sma =
+      s_smas != nullptr ? s_smas->FindMinMax(AggFunc::kMax, s_col) : nullptr;
+
+  if (min_sma != nullptr && max_sma != nullptr &&
+      min_sma->num_buckets() >= s_table->num_buckets() &&
+      max_sma->num_buckets() >= s_table->num_buckets()) {
+    // Fold the SMA-files: reads ~0.1% of the pages a scan would.
+    for (const Sma* sma : {min_sma, max_sma}) {
+      const bool is_min = sma == min_sma;
+      for (size_t g = 0; g < sma->num_groups(); ++g) {
+        SmaFile::Cursor cur = sma->group_file(g)->NewCursor();
+        for (uint64_t b = 0; b < sma->num_buckets(); ++b) {
+          SMADB_ASSIGN_OR_RETURN(int64_t e, cur.Get(b));
+          if (sma->IsUndefined(e)) continue;
+          if (is_min) {
+            mn = mn.has_value() ? std::min(*mn, e) : e;
+          } else {
+            mx = mx.has_value() ? std::max(*mx, e) : e;
+          }
+        }
+      }
+    }
+    return std::make_pair(mn, mx);
+  }
+
+  // No SMA coverage: sequential scan of S.
+  for (uint32_t b = 0; b < s_table->num_buckets(); ++b) {
+    SMADB_RETURN_NOT_OK(s_table->ForEachTupleInBucket(
+        b, [&](const storage::TupleRef& t, storage::Rid) {
+          const int64_t v = t.GetRawInt(s_col);
+          mn = mn.has_value() ? std::min(*mn, v) : v;
+          mx = mx.has_value() ? std::max(*mx, v) : v;
+        }));
+  }
+  return std::make_pair(mn, mx);
+}
+
+Result<SemiJoinReduction> ReduceSemiJoin(const SmaSet* r_smas, size_t r_col,
+                                         CmpOp op, Table* s_table,
+                                         size_t s_col, const SmaSet* s_smas) {
+  SMADB_ASSIGN_OR_RETURN(auto s_range, ColumnMinMax(s_table, s_col, s_smas));
+  return ReduceSemiJoinWithRange(r_smas, r_col, op, s_range.first,
+                                 s_range.second);
+}
+
+Result<SemiJoinReduction> ReduceSemiJoinWithRange(
+    const SmaSet* r_smas, size_t r_col, CmpOp op, std::optional<int64_t> s_min,
+    std::optional<int64_t> s_max) {
+  SemiJoinReduction out;
+  const Table* r_table = r_smas->table();
+  const uint64_t buckets = r_table->num_buckets();
+  out.candidates = util::BitVector(buckets, true);
+  out.all_match = util::BitVector(buckets, false);
+
+  out.s_min = s_min;
+  out.s_max = s_max;
+  if (!out.s_min.has_value()) {
+    // Empty S: nothing joins.
+    out.candidates = util::BitVector(buckets, false);
+    return out;
+  }
+
+  const Sma* min_sma = r_smas->FindMinMax(AggFunc::kMin, r_col);
+  const Sma* max_sma = r_smas->FindMinMax(AggFunc::kMax, r_col);
+  if (min_sma == nullptr && max_sma == nullptr) {
+    return out;  // no pruning possible; all buckets stay candidates
+  }
+
+  std::vector<SmaFile::Cursor> min_curs, max_curs;
+  if (min_sma != nullptr) {
+    for (size_t g = 0; g < min_sma->num_groups(); ++g) {
+      min_curs.push_back(min_sma->group_file(g)->NewCursor());
+    }
+  }
+  if (max_sma != nullptr) {
+    for (size_t g = 0; g < max_sma->num_groups(); ++g) {
+      max_curs.push_back(max_sma->group_file(g)->NewCursor());
+    }
+  }
+
+  for (uint64_t b = 0; b < buckets; ++b) {
+    std::optional<int64_t> mn, mx;
+    if (min_sma != nullptr && b < min_sma->num_buckets()) {
+      for (auto& cur : min_curs) {
+        SMADB_ASSIGN_OR_RETURN(int64_t e, cur.Get(b));
+        if (min_sma->IsUndefined(e)) continue;
+        mn = mn.has_value() ? std::min(*mn, e) : e;
+      }
+    }
+    if (max_sma != nullptr && b < max_sma->num_buckets()) {
+      for (auto& cur : max_curs) {
+        SMADB_ASSIGN_OR_RETURN(int64_t e, cur.Get(b));
+        if (max_sma->IsUndefined(e)) continue;
+        mx = mx.has_value() ? std::max(*mx, e) : e;
+      }
+    }
+    // The semi-join predicate is existential: a tuple with value a matches
+    // iff ∃ b ∈ S.B with a θ b. For the order comparisons that collapses to
+    // a single constant comparison against S's extreme value:
+    //   a <= b for some b  ⇔  a <= max(S.B)      (similarly <, >=, >)
+    //   a  = b for some b  ⇒  min(S.B) <= a <= max(S.B)   (necessary only)
+    //   a != b for some b  ⇔  ¬(S.B = {a})
+    Grade g = Grade::kAmbivalent;
+    switch (op) {
+      case CmpOp::kLe:
+        g = GradeMinMaxConst(CmpOp::kLe, mn, mx, *out.s_max);
+        break;
+      case CmpOp::kLt:
+        g = GradeMinMaxConst(CmpOp::kLt, mn, mx, *out.s_max);
+        break;
+      case CmpOp::kGe:
+        g = GradeMinMaxConst(CmpOp::kGe, mn, mx, *out.s_min);
+        break;
+      case CmpOp::kGt:
+        g = GradeMinMaxConst(CmpOp::kGt, mn, mx, *out.s_min);
+        break;
+      case CmpOp::kEq:
+        // Outside [min(S.B), max(S.B)] nothing can match; equality inside
+        // the range stays ambivalent unless both sides are singletons.
+        g = GradeMinMaxTwoCols(CmpOp::kEq, mn, mx, out.s_min, out.s_max);
+        break;
+      case CmpOp::kNe:
+        if (*out.s_min < *out.s_max) {
+          g = Grade::kQualifies;  // S has two distinct values; any a matches
+        } else {
+          g = GradeMinMaxConst(CmpOp::kNe, mn, mx, *out.s_min);
+        }
+        break;
+    }
+    if (g == Grade::kDisqualifies) out.candidates.Set(b, false);
+    if (g == Grade::kQualifies) out.all_match.Set(b, true);
+  }
+  return out;
+}
+
+}  // namespace smadb::sma

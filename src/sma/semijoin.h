@@ -1,0 +1,62 @@
+// Semi-join SMAs, paper §4.
+//
+// For queries of the pattern
+//     select R.*  from R, S  where R.A θ S.B
+// "if we can associate a minimax value of the S.B values with each bucket
+// of R, SMAs can be used to decrease the input to the semi-join."
+//
+// The minimax of S.B is the same for every R bucket (it summarizes S as a
+// whole), so the reducer computes [min(S.B), max(S.B)] once — from S's SMAs
+// when available, else by scanning S — and then grades each R bucket's
+// [min(A), max(A)] against it with the two-sided rules of §3.1. Buckets
+// graded `disqualifies` cannot contain any tuple joining with S and are
+// dropped from the semi-join input.
+
+#ifndef SMADB_SMA_SEMIJOIN_H_
+#define SMADB_SMA_SEMIJOIN_H_
+
+#include <optional>
+
+#include "expr/predicate.h"
+#include "sma/grade.h"
+#include "sma/sma_set.h"
+#include "util/bitvector.h"
+
+namespace smadb::sma {
+
+/// Result of a semi-join reduction: which R buckets may contain matches.
+struct SemiJoinReduction {
+  /// candidate.Get(b) == true  ⇔  bucket b must be fed to the semi-join.
+  util::BitVector candidates;
+  /// Buckets proven to contain only matching tuples (every tuple of such a
+  /// bucket joins; the per-tuple probe can be skipped for them).
+  util::BitVector all_match;
+  std::optional<int64_t> s_min;
+  std::optional<int64_t> s_max;
+};
+
+/// Computes the global min/max of column `s_col` of `s_table`, preferring
+/// SMAs from `s_smas` (may be null). Returns nullopt extremes for an empty
+/// table.
+util::Result<std::pair<std::optional<int64_t>, std::optional<int64_t>>>
+ColumnMinMax(storage::Table* s_table, size_t s_col, const SmaSet* s_smas);
+
+/// Grades R's buckets for `R.r_col op S.s_col` and returns the reduced
+/// semi-join input. Requires min/max SMAs on R.r_col in `r_smas` to prune
+/// anything; without them every bucket stays a candidate.
+util::Result<SemiJoinReduction> ReduceSemiJoin(const SmaSet* r_smas,
+                                               size_t r_col, expr::CmpOp op,
+                                               storage::Table* s_table,
+                                               size_t s_col,
+                                               const SmaSet* s_smas);
+
+/// Same, against an already-known S.B range (e.g. computed over a
+/// *filtered* S, or supplied by a remote site). The != case concludes
+/// "all match" only when the range itself proves two distinct values.
+util::Result<SemiJoinReduction> ReduceSemiJoinWithRange(
+    const SmaSet* r_smas, size_t r_col, expr::CmpOp op,
+    std::optional<int64_t> s_min, std::optional<int64_t> s_max);
+
+}  // namespace smadb::sma
+
+#endif  // SMADB_SMA_SEMIJOIN_H_

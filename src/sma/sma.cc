@@ -1,0 +1,156 @@
+#include "sma/sma.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace smadb::sma {
+
+using util::Result;
+using util::Status;
+using util::Value;
+
+Result<std::unique_ptr<Sma>> Sma::Create(storage::BufferPool* pool,
+                                         const storage::Table* table,
+                                         SmaSpec spec) {
+  SMADB_RETURN_NOT_OK(spec.Validate(table->schema()));
+  std::unique_ptr<Sma> sma(new Sma(pool, table, std::move(spec)));
+  if (sma->spec_.group_by.empty()) {
+    // Ungrouped SMAs have exactly one (key-less) file, created eagerly.
+    SMADB_ASSIGN_OR_RETURN(size_t g, sma->GetOrCreateGroup({}));
+    (void)g;
+  }
+  return sma;
+}
+
+std::string Sma::SerializeKey(const std::vector<Value>& key) {
+  std::string out;
+  for (const Value& v : key) {
+    out += v.ToString();
+    out += '\x1f';  // unit separator: cannot appear in our data
+  }
+  return out;
+}
+
+int64_t Sma::FindGroup(const std::vector<Value>& key) const {
+  auto it = group_index_.find(SerializeKey(key));
+  return it == group_index_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+Result<size_t> Sma::GetOrCreateGroup(const std::vector<Value>& key) {
+  const std::string skey = SerializeKey(key);
+  auto it = group_index_.find(skey);
+  if (it != group_index_.end()) return it->second;
+
+  std::string file_name =
+      "sma." + table_->name() + "." + spec_.name;
+  if (!spec_.group_by.empty()) {
+    file_name += util::Format(".g%zu", groups_.size());
+  }
+  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<SmaFile> file,
+                         SmaFile::Create(pool_, file_name, spec_.EntryWidth()));
+  // Backfill identity entries for the buckets this group missed.
+  const int64_t identity = IdentityEntry();
+  for (uint64_t b = 0; b < num_buckets_; ++b) {
+    SMADB_RETURN_NOT_OK(file->Append(identity));
+  }
+  const size_t g = groups_.size();
+  groups_.push_back(Group{key, std::move(file)});
+  group_index_[skey] = g;
+  return g;
+}
+
+Status Sma::EnsureBuckets(uint64_t n) {
+  if (n <= num_buckets_) return Status::OK();
+  const int64_t identity = IdentityEntry();
+  for (Group& g : groups_) {
+    for (uint64_t b = num_buckets_; b < n; ++b) {
+      SMADB_RETURN_NOT_OK(g.file->Append(identity));
+    }
+  }
+  num_buckets_ = n;
+  return Status::OK();
+}
+
+Status Sma::AppendBucket(const std::map<size_t, int64_t>& acc) {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    auto it = acc.find(g);
+    const int64_t entry = it == acc.end() ? IdentityEntry() : it->second;
+    SMADB_RETURN_NOT_OK(groups_[g].file->Append(entry));
+  }
+  ++num_buckets_;
+  return Status::OK();
+}
+
+int64_t Sma::IdentityEntry() const {
+  const bool narrow = spec_.EntryWidth() == 4;
+  switch (spec_.func) {
+    case AggFunc::kSum:
+    case AggFunc::kCount:
+      return 0;
+    case AggFunc::kMin:
+      return narrow ? kUndefinedMin32 : kUndefinedMin64;
+    case AggFunc::kMax:
+      return narrow ? kUndefinedMax32 : kUndefinedMax64;
+  }
+  return 0;
+}
+
+bool Sma::IsUndefined(int64_t entry) const {
+  if (spec_.func == AggFunc::kSum || spec_.func == AggFunc::kCount) {
+    return false;
+  }
+  return entry == IdentityEntry();
+}
+
+int64_t Sma::Merge(int64_t entry, int64_t v) const {
+  switch (spec_.func) {
+    case AggFunc::kSum:
+      return entry + v;
+    case AggFunc::kCount:
+      return entry + 1;
+    case AggFunc::kMin:
+      return IsUndefined(entry) ? v : std::min(entry, v);
+    case AggFunc::kMax:
+      return IsUndefined(entry) ? v : std::max(entry, v);
+  }
+  return entry;
+}
+
+std::vector<Value> Sma::GroupKeyOf(const storage::TupleRef& t) const {
+  std::vector<Value> key;
+  key.reserve(spec_.group_by.size());
+  for (size_t col : spec_.group_by) key.push_back(t.GetValue(col));
+  return key;
+}
+
+uint64_t Sma::TotalPages() const {
+  uint64_t pages = 0;
+  for (const Group& g : groups_) pages += g.file->num_pages();
+  return pages;
+}
+
+uint64_t Sma::SizeBytes() const {
+  return TotalPages() * storage::kPageSize;
+}
+
+Result<std::optional<int64_t>> Sma::BucketExtreme(uint64_t bucket) const {
+  if (spec_.func != AggFunc::kMin && spec_.func != AggFunc::kMax) {
+    return Status::InvalidArgument("BucketExtreme needs a min/max SMA");
+  }
+  std::optional<int64_t> extreme;
+  for (const Group& g : groups_) {
+    SMADB_ASSIGN_OR_RETURN(int64_t e, g.file->Get(bucket));
+    if (IsUndefined(e)) continue;
+    if (!extreme.has_value()) {
+      extreme = e;
+    } else if (spec_.func == AggFunc::kMin) {
+      extreme = std::min(*extreme, e);
+    } else {
+      extreme = std::max(*extreme, e);
+    }
+  }
+  return extreme;
+}
+
+}  // namespace smadb::sma

@@ -1,0 +1,77 @@
+#include "sma/sma_def.h"
+
+#include "util/string_util.h"
+
+namespace smadb::sma {
+
+using util::Status;
+using util::TypeId;
+
+std::string_view AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+Status SmaSpec::Validate(const storage::Schema& schema) const {
+  if (name.empty()) return Status::InvalidArgument("SMA needs a name");
+  if (func == AggFunc::kCount) {
+    if (arg != nullptr) {
+      return Status::InvalidArgument("count(*) SMA must not have an argument");
+    }
+  } else {
+    if (arg == nullptr) {
+      return Status::InvalidArgument(
+          util::Format("%s SMA needs an argument expression",
+                       std::string(AggFuncToString(func)).c_str()));
+    }
+    const TypeId t = arg->type();
+    if (t == TypeId::kDouble || t == TypeId::kString) {
+      return Status::NotSupported(
+          "SMA aggregation is restricted to the exact integral family "
+          "(int/date/decimal); got " +
+          std::string(util::TypeIdToString(t)));
+    }
+  }
+  for (size_t col : group_by) {
+    if (col >= schema.num_fields()) {
+      return Status::OutOfRange(
+          util::Format("group-by column %zu out of range", col));
+    }
+  }
+  return Status::OK();
+}
+
+std::string SmaSpec::Signature(const storage::Schema& schema) const {
+  std::string sig(AggFuncToString(func));
+  sig += '(';
+  sig += arg != nullptr ? arg->ToString() : "*";
+  sig += ')';
+  if (!group_by.empty()) {
+    sig += " group by ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) sig += ',';
+      sig += schema.field(group_by[i]).name;
+    }
+  }
+  return sig;
+}
+
+uint32_t SmaSpec::EntryWidth() const {
+  if (func == AggFunc::kCount) return 4;
+  if ((func == AggFunc::kMin || func == AggFunc::kMax) && arg != nullptr) {
+    const TypeId t = arg->type();
+    if (t == TypeId::kDate || t == TypeId::kInt32) return 4;
+  }
+  return 8;
+}
+
+}  // namespace smadb::sma

@@ -1,0 +1,79 @@
+// SMA definitions (paper §2.1, §2.3).
+//
+// A SMA is declared like
+//
+//     define sma qty
+//     select   sum(L_QUANTITY)
+//     from     L_LINEITEM
+//     group by L_RETURNFLAG, L_LINESTATUS
+//
+// i.e. one aggregate function over one expression, optionally grouped. The
+// select clause may contain only a single entry; joins and order-by are
+// disallowed (the semi-join generalization of §4 lives in semijoin.h).
+
+#ifndef SMADB_SMA_SMA_DEF_H_
+#define SMADB_SMA_SMA_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace smadb::sma {
+
+/// The aggregate functions a SMA may materialize (paper §2.1: "Besides min,
+/// we allow for the aggregate functions max, sum, and count").
+enum class AggFunc { kMin, kMax, kSum, kCount };
+
+std::string_view AggFuncToString(AggFunc f);
+
+/// One SMA declaration, bound to a table schema.
+struct SmaSpec {
+  /// Name of the SMA ("min", "qty", ...). Unique per table.
+  std::string name;
+  AggFunc func = AggFunc::kCount;
+  /// Aggregated expression; null exactly when func == kCount (count(*)).
+  expr::ExprPtr arg;
+  /// Grouping column ordinals (empty = ungrouped). String columns allowed.
+  std::vector<size_t> group_by;
+
+  /// "select min(l_shipdate) from t [group by ...]" shorthand constructors.
+  static SmaSpec Min(std::string name, expr::ExprPtr arg,
+                     std::vector<size_t> group_by = {}) {
+    return SmaSpec{std::move(name), AggFunc::kMin, std::move(arg),
+                   std::move(group_by)};
+  }
+  static SmaSpec Max(std::string name, expr::ExprPtr arg,
+                     std::vector<size_t> group_by = {}) {
+    return SmaSpec{std::move(name), AggFunc::kMax, std::move(arg),
+                   std::move(group_by)};
+  }
+  static SmaSpec Sum(std::string name, expr::ExprPtr arg,
+                     std::vector<size_t> group_by = {}) {
+    return SmaSpec{std::move(name), AggFunc::kSum, std::move(arg),
+                   std::move(group_by)};
+  }
+  static SmaSpec Count(std::string name, std::vector<size_t> group_by = {}) {
+    return SmaSpec{std::move(name), AggFunc::kCount, nullptr,
+                   std::move(group_by)};
+  }
+
+  /// Validates the spec against a schema: count has no argument, other
+  /// functions need an integral-family argument, group columns exist.
+  util::Status Validate(const storage::Schema& schema) const;
+
+  /// Canonical "func(arg) group by c1,c2" form used for matching.
+  std::string Signature(const storage::Schema& schema) const;
+
+  /// Bytes of one materialized entry: 4 for counts and for min/max of
+  /// 4-byte-typed expressions (dates, int32), else 8 — the paper's §2.4
+  /// layout ("For counts and dates, 4 bytes are needed. For all other
+  /// aggregate values we used 8 bytes.").
+  uint32_t EntryWidth() const;
+};
+
+}  // namespace smadb::sma
+
+#endif  // SMADB_SMA_SMA_DEF_H_

@@ -1,0 +1,96 @@
+#include "sma/sma_file.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace smadb::sma {
+
+using storage::Page;
+using storage::PageGuard;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<SmaFile>> SmaFile::Create(storage::BufferPool* pool,
+                                                 const std::string& file_name,
+                                                 uint32_t entry_width) {
+  if (entry_width != 4 && entry_width != 8) {
+    return Status::InvalidArgument(
+        util::Format("SMA entry width must be 4 or 8, got %u", entry_width));
+  }
+  SMADB_ASSIGN_OR_RETURN(storage::FileId file, pool->disk()->CreateFile(file_name));
+  return std::unique_ptr<SmaFile>(new SmaFile(pool, file, entry_width));
+}
+
+int64_t SmaFile::DecodeAt(const Page& page, uint64_t idx) const {
+  const size_t off = (idx % entries_per_page_) * entry_width_;
+  if (entry_width_ == 4) {
+    return page.ReadAt<int32_t>(off);
+  }
+  return page.ReadAt<int64_t>(off);
+}
+
+void SmaFile::EncodeAt(Page* page, uint64_t idx, int64_t value) const {
+  const size_t off = (idx % entries_per_page_) * entry_width_;
+  if (entry_width_ == 4) {
+    assert(value >= INT32_MIN && value <= INT32_MAX);
+    page->WriteAt<int32_t>(off, static_cast<int32_t>(value));
+  } else {
+    page->WriteAt<int64_t>(off, value);
+  }
+}
+
+Status SmaFile::Append(int64_t value) {
+  const uint64_t idx = num_entries_;
+  PageGuard guard;
+  if (idx % entries_per_page_ == 0) {
+    SMADB_ASSIGN_OR_RETURN(guard, pool_->NewPage(file_, nullptr));
+    ++num_pages_;
+  } else {
+    SMADB_ASSIGN_OR_RETURN(guard, pool_->Fetch(file_, num_pages_ - 1));
+  }
+  EncodeAt(guard.MutablePage(), idx, value);
+  ++num_entries_;
+  return Status::OK();
+}
+
+Result<int64_t> SmaFile::Get(uint64_t idx) const {
+  if (idx >= num_entries_) {
+    return Status::OutOfRange(util::Format(
+        "SMA entry %llu out of range (%llu entries)",
+        static_cast<unsigned long long>(idx),
+        static_cast<unsigned long long>(num_entries_)));
+  }
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(file_, PageOfEntry(idx)));
+  return DecodeAt(*guard.page(), idx);
+}
+
+Status SmaFile::Set(uint64_t idx, int64_t value) {
+  if (idx >= num_entries_) {
+    return Status::OutOfRange(util::Format(
+        "SMA entry %llu out of range (%llu entries)",
+        static_cast<unsigned long long>(idx),
+        static_cast<unsigned long long>(num_entries_)));
+  }
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(file_, PageOfEntry(idx)));
+  EncodeAt(guard.MutablePage(), idx, value);
+  return Status::OK();
+}
+
+Result<int64_t> SmaFile::Cursor::Get(uint64_t idx) {
+  if (idx >= file_->num_entries_) {
+    return Status::OutOfRange(util::Format(
+        "SMA entry %llu out of range (%llu entries)",
+        static_cast<unsigned long long>(idx),
+        static_cast<unsigned long long>(file_->num_entries_)));
+  }
+  const int64_t page = file_->PageOfEntry(idx);
+  if (page != cached_page_) {
+    SMADB_ASSIGN_OR_RETURN(
+        guard_, file_->pool_->Fetch(file_->file_, static_cast<uint32_t>(page)));
+    cached_page_ = page;
+  }
+  return file_->DecodeAt(*guard_.page(), idx);
+}
+
+}  // namespace smadb::sma

@@ -1,0 +1,87 @@
+#include "sma/sma_set.h"
+
+namespace smadb::sma {
+
+using util::Result;
+using util::Status;
+
+Status SmaSet::Add(std::unique_ptr<Sma> sma) {
+  if (sma->table() != table_) {
+    return Status::InvalidArgument("SMA belongs to a different table");
+  }
+  for (const auto& existing : smas_) {
+    if (existing->spec().name == sma->spec().name) {
+      return Status::AlreadyExists("SMA '" + sma->spec().name +
+                                   "' already registered");
+    }
+  }
+  smas_.push_back(std::move(sma));
+  return Status::OK();
+}
+
+Result<Sma*> SmaSet::Find(std::string_view name) const {
+  for (const auto& sma : smas_) {
+    if (sma->spec().name == name) return sma.get();
+  }
+  return Status::NotFound("no SMA named '" + std::string(name) + "'");
+}
+
+const Sma* SmaSet::FindMinMax(AggFunc func, size_t col) const {
+  if (func != AggFunc::kMin && func != AggFunc::kMax) return nullptr;
+  const std::string& col_name = table_->schema().field(col).name;
+  const Sma* grouped_fallback = nullptr;
+  for (const auto& sma : smas_) {
+    const SmaSpec& spec = sma->spec();
+    if (spec.func != func || spec.arg == nullptr) continue;
+    if (spec.arg->ToString() != col_name) continue;
+    if (spec.group_by.empty()) return sma.get();
+    if (grouped_fallback == nullptr) grouped_fallback = sma.get();
+  }
+  return grouped_fallback;
+}
+
+const Sma* SmaSet::FindCountByValue(size_t col) const {
+  for (const auto& sma : smas_) {
+    const SmaSpec& spec = sma->spec();
+    if (spec.func == AggFunc::kCount && spec.group_by.size() == 1 &&
+        spec.group_by[0] == col) {
+      return sma.get();
+    }
+  }
+  return nullptr;
+}
+
+const Sma* SmaSet::FindBySignature(std::string_view signature) const {
+  for (const auto& sma : smas_) {
+    if (sma->spec().Signature(table_->schema()) == signature) {
+      return sma.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Sma*> SmaSet::all() const {
+  std::vector<const Sma*> out;
+  out.reserve(smas_.size());
+  for (const auto& sma : smas_) out.push_back(sma.get());
+  return out;
+}
+
+std::vector<Sma*> SmaSet::mutable_all() {
+  std::vector<Sma*> out;
+  out.reserve(smas_.size());
+  for (const auto& sma : smas_) out.push_back(sma.get());
+  return out;
+}
+
+uint64_t SmaSet::TotalPages() const {
+  uint64_t pages = 0;
+  for (const auto& sma : smas_) pages += sma->TotalPages();
+  return pages;
+}
+
+uint64_t SmaSet::TotalSizeBytes() const {
+  return TotalPages() * storage::kPageSize;
+}
+
+}  // namespace smadb::sma

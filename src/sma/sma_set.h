@@ -1,0 +1,61 @@
+// SmaSet: the SMAs materialized over one table, with the discovery queries
+// the grader and planner need ("whenever we have a selection predicate
+// involving an attribute A ... and a SMA-definition in which A occurs, we
+// can compute a partitioning", §3.1).
+
+#ifndef SMADB_SMA_SMA_SET_H_
+#define SMADB_SMA_SMA_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sma/sma.h"
+
+namespace smadb::sma {
+
+class SmaSet {
+ public:
+  explicit SmaSet(const storage::Table* table) : table_(table) {}
+
+  SmaSet(const SmaSet&) = delete;
+  SmaSet& operator=(const SmaSet&) = delete;
+
+  const storage::Table* table() const { return table_; }
+
+  /// Registers a SMA (unique name per set).
+  util::Status Add(std::unique_ptr<Sma> sma);
+
+  /// Lookup by SMA name.
+  util::Result<Sma*> Find(std::string_view name) const;
+
+  /// A min (or max) SMA whose argument is exactly column `col` — grouped or
+  /// ungrouped, both are exploitable for selections (§3.1). Prefers
+  /// ungrouped (fewer files to read). Null when none exists.
+  const Sma* FindMinMax(AggFunc func, size_t col) const;
+
+  /// A count SMA grouped solely by column `col` (the per-bucket value
+  /// histogram of §3.1's count rules). Null when none exists.
+  const Sma* FindCountByValue(size_t col) const;
+
+  /// A SMA with exactly this signature (see SmaSpec::Signature); used by
+  /// SMA_GAggr to match query aggregates. Null when none exists.
+  const Sma* FindBySignature(std::string_view signature) const;
+
+  std::vector<const Sma*> all() const;
+  /// Mutable view for maintenance.
+  std::vector<Sma*> mutable_all();
+  size_t size() const { return smas_.size(); }
+
+  /// Accumulated footprint across all SMAs (paper §2.4 space accounting).
+  uint64_t TotalPages() const;
+  uint64_t TotalSizeBytes() const;
+
+ private:
+  const storage::Table* table_;
+  std::vector<std::unique_ptr<Sma>> smas_;
+};
+
+}  // namespace smadb::sma
+
+#endif  // SMADB_SMA_SMA_SET_H_

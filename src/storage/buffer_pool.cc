@@ -1,0 +1,182 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace smadb::storage {
+
+using util::Result;
+using util::Status;
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    page_ = o.page_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+Page* PageGuard::MutablePage() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+  return page_;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(frame_, /*dirty=*/false);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+}
+
+BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
+    : disk_(disk), frames_(capacity_pages) {
+  assert(capacity_pages > 0);
+  free_list_.reserve(capacity_pages);
+  // Hand out low indices first.
+  for (size_t i = capacity_pages; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+Result<PageGuard> BufferPool::Fetch(FileId file, uint32_t page_no) {
+  const uint64_t key = Key(file, page_no);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++stats_.hits;
+    Frame& fr = frames_[it->second];
+    if (fr.pin_count == 0 && fr.in_lru) {
+      lru_.erase(fr.lru_pos);
+      fr.in_lru = false;
+    }
+    ++fr.pin_count;
+    return PageGuard(this, it->second, &fr.page);
+  }
+  ++stats_.misses;
+  SMADB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
+  Frame& fr = frames_[idx];
+  SMADB_RETURN_NOT_OK(disk_->ReadPage(file, page_no, &fr.page));
+  fr.file = file;
+  fr.page_no = page_no;
+  fr.pin_count = 1;
+  fr.dirty = false;
+  fr.used = true;
+  fr.in_lru = false;
+  table_[key] = idx;
+  return PageGuard(this, idx, &fr.page);
+}
+
+Result<PageGuard> BufferPool::NewPage(FileId file, uint32_t* page_no_out) {
+  SMADB_ASSIGN_OR_RETURN(uint32_t page_no, disk_->AllocatePage(file));
+  if (page_no_out != nullptr) *page_no_out = page_no;
+  SMADB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
+  Frame& fr = frames_[idx];
+  fr.page.Zero();
+  fr.file = file;
+  fr.page_no = page_no;
+  fr.pin_count = 1;
+  fr.dirty = true;  // must reach disk eventually
+  fr.used = true;
+  fr.in_lru = false;
+  table_[Key(file, page_no)] = idx;
+  return PageGuard(this, idx, &fr.page);
+}
+
+void BufferPool::Unpin(size_t frame, bool dirty) {
+  Frame& fr = frames_[frame];
+  assert(fr.pin_count > 0);
+  if (dirty) fr.dirty = true;
+  if (--fr.pin_count == 0) {
+    lru_.push_front(frame);
+    fr.lru_pos = lru_.begin();
+    fr.in_lru = true;
+  }
+}
+
+Result<size_t> BufferPool::GetFreeFrame() {
+  if (!free_list_.empty()) {
+    const size_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  // Evict the least recently used unpinned frame.
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all frames pinned");
+  }
+  const size_t victim = lru_.back();
+  lru_.pop_back();
+  frames_[victim].in_lru = false;
+  ++stats_.evictions;
+  SMADB_RETURN_NOT_OK(EvictFrame(victim));
+  return victim;
+}
+
+Status BufferPool::EvictFrame(size_t idx) {
+  Frame& fr = frames_[idx];
+  assert(fr.used && fr.pin_count == 0);
+  if (fr.dirty) {
+    SMADB_RETURN_NOT_OK(disk_->WritePage(fr.file, fr.page_no, fr.page));
+    ++stats_.dirty_writebacks;
+    fr.dirty = false;
+  }
+  table_.erase(Key(fr.file, fr.page_no));
+  fr.used = false;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& fr : frames_) {
+    if (fr.used && fr.dirty) {
+      SMADB_RETURN_NOT_OK(disk_->WritePage(fr.file, fr.page_no, fr.page));
+      ++stats_.dirty_writebacks;
+      fr.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& fr = frames_[i];
+    if (!fr.used) continue;
+    if (fr.pin_count > 0) {
+      return Status::Internal(
+          util::Format("DropAll with pinned page (file %u page %u)", fr.file,
+                       fr.page_no));
+    }
+    if (fr.in_lru) {
+      lru_.erase(fr.lru_pos);
+      fr.in_lru = false;
+    }
+    SMADB_RETURN_NOT_OK(EvictFrame(i));
+    free_list_.push_back(i);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropFile(FileId file) {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& fr = frames_[i];
+    if (!fr.used || fr.file != file) continue;
+    if (fr.pin_count > 0) {
+      return Status::Internal(
+          util::Format("DropFile with pinned page (file %u page %u)", fr.file,
+                       fr.page_no));
+    }
+    if (fr.in_lru) {
+      lru_.erase(fr.lru_pos);
+      fr.in_lru = false;
+    }
+    SMADB_RETURN_NOT_OK(EvictFrame(i));
+    free_list_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace smadb::storage

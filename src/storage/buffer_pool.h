@@ -1,0 +1,123 @@
+// LRU buffer pool over the simulated disk.
+//
+// The pool is what makes the paper's cold/warm distinction measurable:
+// "cold" = DropAll() before the run (every access faults to disk), "warm" =
+// run again with the SMA-files resident. The paper's AODB was configured
+// with an 8 MB buffer; the default capacity matches (2048 4K frames).
+
+#ifndef SMADB_STORAGE_BUFFER_POOL_H_
+#define SMADB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace smadb::storage {
+
+/// Buffer-pool hit/miss counters.
+struct PoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Movable, not copyable. While alive, the
+/// frame cannot be evicted and `page()` stays valid.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame, Page* page)
+      : pool_(pool), frame_(frame), page_(page) {}
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  bool valid() const { return page_ != nullptr; }
+  const Page* page() const { return page_; }
+  /// Grants write access and marks the frame dirty.
+  Page* MutablePage();
+
+  /// Releases the pin early (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  Page* page_ = nullptr;
+};
+
+/// Fixed-capacity LRU buffer pool. Single-threaded, like the experiments.
+class BufferPool {
+ public:
+  /// `capacity_pages` frames of kPageSize each; default 8 MB.
+  explicit BufferPool(SimulatedDisk* disk, size_t capacity_pages = 2048);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins (fetching from disk on miss) page `page_no` of `file`.
+  util::Result<PageGuard> Fetch(FileId file, uint32_t page_no);
+
+  /// Appends a fresh zeroed page to `file` and pins it (for bulk loading).
+  util::Result<PageGuard> NewPage(FileId file, uint32_t* page_no_out);
+
+  /// Writes back all dirty frames (keeps them cached).
+  util::Status FlushAll();
+
+  /// Writes back and evicts everything — simulates a cold start.
+  util::Status DropAll();
+
+  /// Evicts (after write-back) every cached page of one file. Used to warm
+  /// selectively, e.g. keep SMA-files hot but drop the base relation.
+  util::Status DropFile(FileId file);
+
+  const PoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PoolStats(); }
+
+  size_t capacity() const { return frames_.size(); }
+  size_t num_cached() const { return table_.size(); }
+  SimulatedDisk* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    FileId file = kInvalidFile;
+    uint32_t page_no = 0;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool used = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pinned == 0 && used
+    bool in_lru = false;
+  };
+
+  static uint64_t Key(FileId f, uint32_t p) {
+    return (static_cast<uint64_t>(f) << 32) | p;
+  }
+
+  void Unpin(size_t frame, bool dirty);
+  util::Result<size_t> GetFreeFrame();
+  util::Status EvictFrame(size_t idx);
+
+  SimulatedDisk* disk_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_list_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, size_t> table_;
+  PoolStats stats_;
+};
+
+}  // namespace smadb::storage
+
+#endif  // SMADB_STORAGE_BUFFER_POOL_H_

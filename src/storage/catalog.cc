@@ -1,0 +1,37 @@
+#include "storage/catalog.h"
+
+namespace smadb::storage {
+
+using util::Result;
+using util::Status;
+
+Result<Table*> Catalog::CreateTable(std::string name, Schema schema,
+                                    TableOptions options) {
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  SMADB_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      Table::Create(pool_, name, std::move(schema), options));
+  Table* raw = table.get();
+  by_name_[name] = tables_.size();
+  tables_.push_back(std::move(table));
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  return tables_[it->second].get();
+}
+
+std::vector<Table*> Catalog::Tables() const {
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+}  // namespace smadb::storage

@@ -1,0 +1,45 @@
+// Catalog: owns the tables of one database instance.
+
+#ifndef SMADB_STORAGE_CATALOG_H_
+#define SMADB_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace smadb::storage {
+
+/// Name → Table registry. The SMA layer keeps its own per-table registry
+/// (sma::SmaSet); the catalog is deliberately index-agnostic.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates and registers a table.
+  util::Result<Table*> CreateTable(std::string name, Schema schema,
+                                   TableOptions options = {});
+
+  /// Looks up a table by name.
+  util::Result<Table*> GetTable(std::string_view name) const;
+
+  /// All registered tables, in creation order.
+  std::vector<Table*> Tables() const;
+
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace smadb::storage
+
+#endif  // SMADB_STORAGE_CATALOG_H_

@@ -1,0 +1,101 @@
+#include "storage/disk.h"
+
+#include "util/string_util.h"
+
+namespace smadb::storage {
+
+using util::Result;
+using util::Status;
+
+Result<FileId> SimulatedDisk::CreateFile(std::string name) {
+  for (const File& f : files_) {
+    if (f.name == name) {
+      return Status::AlreadyExists("file '" + name + "' already exists");
+    }
+  }
+  files_.push_back(File{std::move(name), {}, -2, -2});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+Result<FileId> SimulatedDisk::FindFile(std::string_view name) const {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == name) return static_cast<FileId>(i);
+  }
+  return Status::NotFound("no file named '" + std::string(name) + "'");
+}
+
+Result<uint32_t> SimulatedDisk::AllocatePage(FileId file) {
+  if (file >= files_.size()) {
+    return Status::InvalidArgument(util::Format("bad file id %u", file));
+  }
+  auto page = std::make_unique<Page>();
+  page->Zero();
+  files_[file].pages.push_back(std::move(page));
+  return static_cast<uint32_t>(files_[file].pages.size() - 1);
+}
+
+Status SimulatedDisk::CheckBounds(FileId file, uint32_t page_no) const {
+  if (file >= files_.size()) {
+    return Status::InvalidArgument(util::Format("bad file id %u", file));
+  }
+  if (page_no >= files_[file].pages.size()) {
+    return Status::OutOfRange(
+        util::Format("page %u out of range for file '%s' (%zu pages)", page_no,
+                     files_[file].name.c_str(), files_[file].pages.size()));
+  }
+  return Status::OK();
+}
+
+Status SimulatedDisk::ReadPage(FileId file, uint32_t page_no, Page* out) {
+  SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
+  File& f = files_[file];
+  *out = *f.pages[page_no];
+  ++stats_.page_reads;
+  const int64_t gap = static_cast<int64_t>(page_no) - f.last_read;
+  if (gap == 1) {
+    ++stats_.sequential_reads;
+  } else if (gap > 1 && gap <= kNearSeekWindowPages) {
+    ++stats_.near_reads;
+  } else {
+    ++stats_.random_reads;
+  }
+  f.last_read = page_no;
+  return Status::OK();
+}
+
+Status SimulatedDisk::WritePage(FileId file, uint32_t page_no,
+                                const Page& page) {
+  SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
+  File& f = files_[file];
+  *f.pages[page_no] = page;
+  ++stats_.page_writes;
+  const int64_t gap = static_cast<int64_t>(page_no) - f.last_write;
+  if (gap == 1) {
+    ++stats_.sequential_writes;
+  } else if (gap > 1 && gap <= kNearSeekWindowPages) {
+    ++stats_.near_writes;
+  } else {
+    ++stats_.random_writes;
+  }
+  f.last_write = page_no;
+  return Status::OK();
+}
+
+Status SimulatedDisk::TruncateFile(FileId file) {
+  if (file >= files_.size()) {
+    return Status::InvalidArgument(util::Format("bad file id %u", file));
+  }
+  files_[file].pages.clear();
+  files_[file].last_read = -2;
+  files_[file].last_write = -2;
+  return Status::OK();
+}
+
+Result<uint32_t> SimulatedDisk::NumPages(FileId file) const {
+  if (file >= files_.size()) {
+    return Status::InvalidArgument(util::Format("bad file id %u", file));
+  }
+  return static_cast<uint32_t>(files_[file].pages.size());
+}
+
+}  // namespace smadb::storage

@@ -1,0 +1,158 @@
+// SimulatedDisk: an in-memory page store that *accounts* like a 1997 disk.
+//
+// The paper's measurements (Sparc Ultra I, Barracuda 4 GB disks) are
+// I/O-bound; what SMAs buy is fewer pages touched. We therefore keep all
+// pages in RAM but count every page read/write, classify it as sequential or
+// random, and map the counts to seconds through a parameterized disk model.
+// Benchmarks report both real wall-clock time (CPU-side pruning effect) and
+// modeled disk seconds (paper-scale shape).
+
+#ifndef SMADB_STORAGE_DISK_H_
+#define SMADB_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace smadb::storage {
+
+/// Identifies one simulated file (a table heap, one SMA-file, an index...).
+using FileId = uint32_t;
+
+/// Invalid file sentinel.
+inline constexpr FileId kInvalidFile = UINT32_MAX;
+
+/// Time model of a late-90s SCSI disk (Seagate Barracuda 4GB class).
+/// Three access classes:
+///   sequential — the next page; streams at the transfer rate.
+///   near       — a short forward skip within the same region
+///                (skip-sequential scan of scattered qualifying buckets,
+///                §2.3 "a sequential scan of the ambivalent pages");
+///                pays a short track-to-track seek.
+///   random     — everything else; pays the full average seek +
+///                rotational delay.
+struct DiskModel {
+  double seek_ms = 8.0;            ///< average seek + rotational latency
+  double short_seek_ms = 1.5;      ///< track-to-track class seek
+  double transfer_mb_per_s = 9.0;  ///< sustained sequential bandwidth
+
+  /// Seconds to service the given access counts.
+  double Seconds(uint64_t sequential_pages, uint64_t near_pages,
+                 uint64_t random_pages) const {
+    const double bytes = static_cast<double>(sequential_pages + near_pages +
+                                             random_pages) *
+                         kPageSize;
+    return bytes / (transfer_mb_per_s * 1024.0 * 1024.0) +
+           static_cast<double>(near_pages) * short_seek_ms / 1000.0 +
+           static_cast<double>(random_pages) * seek_ms / 1000.0;
+  }
+};
+
+/// Forward skips up to this many pages (4 MB) count as "near" accesses.
+inline constexpr int64_t kNearSeekWindowPages = 1024;
+
+/// Cumulative I/O counters.
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t sequential_reads = 0;
+  uint64_t near_reads = 0;
+  uint64_t random_reads = 0;
+  uint64_t sequential_writes = 0;
+  uint64_t near_writes = 0;
+  uint64_t random_writes = 0;
+
+  /// Seconds the modeled disk would take for all recorded accesses.
+  double ModeledSeconds(const DiskModel& model) const {
+    return model.Seconds(sequential_reads + sequential_writes,
+                         near_reads + near_writes,
+                         random_reads + random_writes);
+  }
+
+  IoStats operator-(const IoStats& base) const {
+    IoStats d;
+    d.page_reads = page_reads - base.page_reads;
+    d.page_writes = page_writes - base.page_writes;
+    d.sequential_reads = sequential_reads - base.sequential_reads;
+    d.near_reads = near_reads - base.near_reads;
+    d.random_reads = random_reads - base.random_reads;
+    d.sequential_writes = sequential_writes - base.sequential_writes;
+    d.near_writes = near_writes - base.near_writes;
+    d.random_writes = random_writes - base.random_writes;
+    return d;
+  }
+};
+
+/// The simulated disk. Thread-compatible (external synchronization); all
+/// smadb experiments are single-threaded, like the paper's.
+class SimulatedDisk {
+ public:
+  SimulatedDisk() = default;
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  /// Creates an empty file and returns its id. Names are for diagnostics and
+  /// must be unique.
+  util::Result<FileId> CreateFile(std::string name);
+
+  /// Looks up a file by name.
+  util::Result<FileId> FindFile(std::string_view name) const;
+
+  /// Appends a zeroed page to `file`; returns its page number.
+  util::Result<uint32_t> AllocatePage(FileId file);
+
+  /// Reads page `page_no` of `file` into `*out`, recording the access.
+  util::Status ReadPage(FileId file, uint32_t page_no, Page* out);
+
+  /// Writes `page` to `file` at `page_no`, recording the access.
+  util::Status WritePage(FileId file, uint32_t page_no, const Page& page);
+
+  /// Drops all pages of a file (keeps the id valid with zero pages).
+  util::Status TruncateFile(FileId file);
+
+  /// Number of pages currently allocated in `file`.
+  util::Result<uint32_t> NumPages(FileId file) const;
+
+  const std::string& FileName(FileId file) const { return files_[file].name; }
+  size_t NumFiles() const { return files_.size(); }
+
+  /// Total bytes across the given file.
+  uint64_t FileBytes(FileId file) const {
+    return static_cast<uint64_t>(files_[file].pages.size()) * kPageSize;
+  }
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats(); }
+
+  /// Forgets per-file head positions so the next access of every file
+  /// classifies independently of earlier runs (fair A/B timing).
+  void ResetAccessPositions() {
+    for (File& f : files_) {
+      f.last_read = -2;
+      f.last_write = -2;
+    }
+  }
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<std::unique_ptr<Page>> pages;
+    // Last page touched, for sequential/random classification.
+    int64_t last_read = -2;
+    int64_t last_write = -2;
+  };
+
+  util::Status CheckBounds(FileId file, uint32_t page_no) const;
+
+  std::vector<File> files_;
+  IoStats stats_;
+};
+
+}  // namespace smadb::storage
+
+#endif  // SMADB_STORAGE_DISK_H_

@@ -1,0 +1,38 @@
+// Fixed-size page: the unit of simulated I/O and the default SMA bucket.
+
+#ifndef SMADB_STORAGE_PAGE_H_
+#define SMADB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace smadb::storage {
+
+/// Page size in bytes. The paper assumes 4 K pages throughout ("Assume that a
+/// bucket corresponds to a 4K-page ...").
+inline constexpr size_t kPageSize = 4096;
+
+/// Raw page buffer. Layout interpretation is up to the owner (slotted data
+/// page, SMA-entry page, B+-tree node, ...).
+struct alignas(64) Page {
+  uint8_t data[kPageSize];
+
+  void Zero() { std::memset(data, 0, kPageSize); }
+
+  template <typename T>
+  T ReadAt(size_t offset) const {
+    T v;
+    std::memcpy(&v, data + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteAt(size_t offset, const T& v) {
+    std::memcpy(data + offset, &v, sizeof(T));
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace smadb::storage
+
+#endif  // SMADB_STORAGE_PAGE_H_

@@ -1,0 +1,68 @@
+#include "storage/schema.h"
+
+namespace smadb::storage {
+
+using util::Result;
+using util::Status;
+using util::TypeId;
+
+size_t Field::width() const {
+  switch (type) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return 4;
+    case TypeId::kInt64:
+    case TypeId::kDouble:
+    case TypeId::kDecimal:
+      return 8;
+    case TypeId::kString:
+      return capacity;
+  }
+  return 0;
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  offsets_.reserve(fields_.size());
+  size_t off = 0;
+  for (const Field& f : fields_) {
+    offsets_.push_back(off);
+    off += f.width();
+  }
+  tuple_size_ = off;
+}
+
+Result<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type ||
+        fields_[i].width() != other.fields_[i].width()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ' ';
+    out += util::TypeIdToString(fields_[i].type);
+    if (fields_[i].type == TypeId::kString) {
+      out += '(' + std::to_string(fields_[i].capacity) + ')';
+    }
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace smadb::storage

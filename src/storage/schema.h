@@ -1,0 +1,82 @@
+// Schema: ordered, fixed-width column layout.
+//
+// Every column occupies a fixed slot so that page capacity is deterministic
+// and bucket aggregation is branch-free — a prerequisite for the paper's
+// SMA-file size accounting (§2.4 size table).
+
+#ifndef SMADB_STORAGE_SCHEMA_H_
+#define SMADB_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/value.h"
+
+namespace smadb::storage {
+
+/// One column: name, type, and (for strings) inline capacity in bytes.
+struct Field {
+  std::string name;
+  util::TypeId type;
+  /// Capacity for kString columns; ignored otherwise. Strings are stored
+  /// zero-padded, so the contents must not contain NUL bytes.
+  uint16_t capacity = 0;
+
+  static Field Int32(std::string name) {
+    return Field{std::move(name), util::TypeId::kInt32, 0};
+  }
+  static Field Int64(std::string name) {
+    return Field{std::move(name), util::TypeId::kInt64, 0};
+  }
+  static Field Double(std::string name) {
+    return Field{std::move(name), util::TypeId::kDouble, 0};
+  }
+  static Field Decimal(std::string name) {
+    return Field{std::move(name), util::TypeId::kDecimal, 0};
+  }
+  static Field Date(std::string name) {
+    return Field{std::move(name), util::TypeId::kDate, 0};
+  }
+  static Field String(std::string name, uint16_t capacity) {
+    return Field{std::move(name), util::TypeId::kString, capacity};
+  }
+
+  /// Bytes this field occupies in a tuple.
+  size_t width() const;
+};
+
+/// Immutable column layout. Construct once, share by const reference.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Byte offset of field `i` within a tuple.
+  size_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Total tuple width in bytes.
+  size_t tuple_size() const { return tuple_size_; }
+
+  /// Index of the column named `name` (case-sensitive).
+  util::Result<size_t> FieldIndex(std::string_view name) const;
+
+  /// True if `other` has the same fields in the same order.
+  bool Equals(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<size_t> offsets_;
+  size_t tuple_size_ = 0;
+};
+
+}  // namespace smadb::storage
+
+#endif  // SMADB_STORAGE_SCHEMA_H_

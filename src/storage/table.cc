@@ -1,0 +1,184 @@
+#include "storage/table.h"
+
+#include "util/string_util.h"
+
+namespace smadb::storage {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Slots per page given the tombstone bitmap: solve
+//   header + ceil(n/8) + n * tuple_size <= kPageSize.
+uint32_t ComputeCapacity(size_t tuple_size) {
+  const size_t budget_bits = (kPageSize - kPageHeaderSize) * 8;
+  uint32_t n = static_cast<uint32_t>(budget_bits / (tuple_size * 8 + 1));
+  while (kPageHeaderSize + (n + 7) / 8 + n * tuple_size > kPageSize) --n;
+  return n;
+}
+
+}  // namespace
+
+Table::Table(BufferPool* pool, FileId file, std::string name, Schema schema,
+             TableOptions options)
+    : pool_(pool),
+      file_(file),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(options),
+      tuples_per_page_(ComputeCapacity(schema_.tuple_size())),
+      tuple_area_offset_(kPageHeaderSize + (tuples_per_page_ + 7) / 8) {}
+
+Result<std::unique_ptr<Table>> Table::Create(BufferPool* pool,
+                                             std::string name, Schema schema,
+                                             TableOptions options) {
+  if (schema.num_fields() == 0) {
+    return Status::InvalidArgument("table '" + name + "' needs columns");
+  }
+  if (schema.tuple_size() > kPageSize - kPageHeaderSize) {
+    return Status::InvalidArgument(
+        util::Format("tuple of %zu bytes exceeds page capacity",
+                     schema.tuple_size()));
+  }
+  if (options.bucket_pages == 0) {
+    return Status::InvalidArgument("bucket_pages must be >= 1");
+  }
+  SMADB_ASSIGN_OR_RETURN(FileId file,
+                         pool->disk()->CreateFile("tbl." + name));
+  return std::unique_ptr<Table>(new Table(pool, file, std::move(name),
+                                          std::move(schema), options));
+}
+
+Status Table::Append(const TupleBuffer& tuple, Rid* rid) {
+  if (!tuple.schema().Equals(schema_)) {
+    return Status::InvalidArgument("tuple schema mismatch for table '" +
+                                   name_ + "'");
+  }
+  PageGuard guard;
+  uint32_t page_no;
+  uint16_t slot;
+  if (num_pages_ > 0) {
+    page_no = num_pages_ - 1;
+    SMADB_ASSIGN_OR_RETURN(guard, FetchPage(page_no));
+    slot = PageTupleCount(*guard.page());
+    if (slot >= tuples_per_page_) {
+      guard.Release();
+      SMADB_ASSIGN_OR_RETURN(guard, pool_->NewPage(file_, &page_no));
+      ++num_pages_;
+      slot = 0;
+    }
+  } else {
+    SMADB_ASSIGN_OR_RETURN(guard, pool_->NewPage(file_, &page_no));
+    ++num_pages_;
+    slot = 0;
+  }
+  Page* page = guard.MutablePage();
+  std::memcpy(page->data + tuple_area_offset_ + slot * schema_.tuple_size(),
+              tuple.data(), schema_.tuple_size());
+  page->WriteAt<uint16_t>(0, static_cast<uint16_t>(slot + 1));
+  ++num_tuples_;
+  if (rid != nullptr) *rid = Rid{page_no, slot};
+  return Status::OK();
+}
+
+Result<TupleBuffer> Table::ReadTuple(Rid rid) {
+  if (rid.page_no >= num_pages_) {
+    return Status::OutOfRange(util::Format("page %u >= %u", rid.page_no,
+                                           num_pages_));
+  }
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
+  if (rid.slot >= PageTupleCount(*guard.page())) {
+    return Status::OutOfRange(util::Format("slot %u beyond page tuple count",
+                                           rid.slot));
+  }
+  if (PageSlotDeleted(*guard.page(), rid.slot)) {
+    return Status::NotFound("tuple is deleted");
+  }
+  TupleBuffer out(&schema_);
+  TupleRef ref = PageTuple(*guard.page(), rid.slot);
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    out.SetValue(c, ref.GetValue(c));
+  }
+  return out;
+}
+
+Status Table::UpdateColumn(Rid rid, size_t col, const util::Value& v) {
+  if (rid.page_no >= num_pages_) {
+    return Status::OutOfRange(util::Format("page %u >= %u", rid.page_no,
+                                           num_pages_));
+  }
+  if (col >= schema_.num_fields()) {
+    return Status::OutOfRange(util::Format("column %zu out of range", col));
+  }
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
+  if (rid.slot >= PageTupleCount(*guard.page())) {
+    return Status::OutOfRange(util::Format("slot %u beyond page tuple count",
+                                           rid.slot));
+  }
+  if (PageSlotDeleted(*guard.page(), rid.slot)) {
+    return Status::NotFound("tuple is deleted");
+  }
+  // Assemble the new column bytes via a scratch buffer, then splice in place.
+  TupleBuffer scratch(&schema_);
+  scratch.SetValue(col, v);
+  Page* page = guard.MutablePage();
+  uint8_t* tuple =
+      page->data + tuple_area_offset_ + rid.slot * schema_.tuple_size();
+  std::memcpy(tuple + schema_.offset(col), scratch.data() + schema_.offset(col),
+              schema_.field(col).width());
+  return Status::OK();
+}
+
+Status Table::Vacuum() {
+  if (num_deleted_ == 0) return Status::OK();
+  const size_t bitmap_bytes = (tuples_per_page_ + 7) / 8;
+  for (uint32_t p = 0; p < num_pages_; ++p) {
+    SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(p));
+    const uint16_t n = PageTupleCount(*guard.page());
+    bool any_deleted = false;
+    for (uint16_t s = 0; s < n && !any_deleted; ++s) {
+      any_deleted = PageSlotDeleted(*guard.page(), s);
+    }
+    if (!any_deleted) continue;
+    Page* page = guard.MutablePage();
+    uint16_t write = 0;
+    for (uint16_t s = 0; s < n; ++s) {
+      if (PageSlotDeleted(*page, s)) continue;
+      if (write != s) {
+        std::memmove(
+            page->data + tuple_area_offset_ + write * schema_.tuple_size(),
+            page->data + tuple_area_offset_ + s * schema_.tuple_size(),
+            schema_.tuple_size());
+      }
+      ++write;
+    }
+    std::memset(page->data + kPageHeaderSize, 0, bitmap_bytes);
+    page->WriteAt<uint16_t>(0, write);
+  }
+  num_tuples_ -= num_deleted_;
+  num_deleted_ = 0;
+  return Status::OK();
+}
+
+Status Table::DeleteTuple(Rid rid) {
+  if (rid.page_no >= num_pages_) {
+    return Status::OutOfRange(util::Format("page %u >= %u", rid.page_no,
+                                           num_pages_));
+  }
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
+  if (rid.slot >= PageTupleCount(*guard.page())) {
+    return Status::OutOfRange(util::Format("slot %u beyond page tuple count",
+                                           rid.slot));
+  }
+  if (PageSlotDeleted(*guard.page(), rid.slot)) {
+    return Status::NotFound("tuple already deleted");
+  }
+  Page* page = guard.MutablePage();
+  page->data[kPageHeaderSize + rid.slot / 8] |=
+      static_cast<uint8_t>(1u << (rid.slot % 8));
+  ++num_deleted_;
+  return Status::OK();
+}
+
+}  // namespace smadb::storage

@@ -1,0 +1,170 @@
+// Bucketed heap table.
+//
+// A table is a sequence of fixed-layout data pages in one simulated file.
+// Pages are grouped into *buckets* of `bucket_pages` consecutive pages — the
+// unit the SMA layer summarizes (paper §2.1: "buckets can only be sets of
+// consecutive tuples on disk"). The heap is append-ordered, which is exactly
+// what gives time-of-creation clustering its power (§2.2).
+
+#ifndef SMADB_STORAGE_TABLE_H_
+#define SMADB_STORAGE_TABLE_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "storage/buffer_pool.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace smadb::storage {
+
+/// Table creation knobs.
+struct TableOptions {
+  /// Pages per bucket (paper §4 tuning dimension). 1 = bucket == page.
+  uint32_t bucket_pages = 1;
+};
+
+/// Physical tuple address.
+struct Rid {
+  uint32_t page_no = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+};
+
+/// Data-page layout: an 8-byte header (uint16 slot count), a tombstone
+/// bitmap of ceil(capacity/8) bytes, then fixed-width tuple slots. Deleted
+/// tuples keep their slot (stable Rids, positional SMA correspondence) and
+/// are skipped by iteration.
+inline constexpr size_t kPageHeaderSize = 8;
+
+class Table {
+ public:
+  /// Creates an empty table backed by a fresh file named "tbl.<name>".
+  static util::Result<std::unique_ptr<Table>> Create(BufferPool* pool,
+                                                     std::string name,
+                                                     Schema schema,
+                                                     TableOptions options = {});
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  FileId file() const { return file_; }
+  BufferPool* pool() const { return pool_; }
+  uint32_t bucket_pages() const { return options_.bucket_pages; }
+
+  /// Tuples that fit on one page.
+  uint32_t tuples_per_page() const { return tuples_per_page_; }
+
+  uint64_t num_tuples() const { return num_tuples_; }
+  uint32_t num_pages() const { return num_pages_; }
+  /// Buckets currently present (last one may be partial).
+  uint32_t num_buckets() const {
+    return (num_pages_ + options_.bucket_pages - 1) / options_.bucket_pages;
+  }
+
+  /// Appends one tuple at the tail (bulk-load path). Optionally reports the
+  /// assigned Rid.
+  util::Status Append(const TupleBuffer& tuple, Rid* rid = nullptr);
+
+  /// Pins a data page.
+  util::Result<PageGuard> FetchPage(uint32_t page_no) {
+    return pool_->Fetch(file_, page_no);
+  }
+
+  /// Slots used on a page (including tombstoned ones).
+  static uint16_t PageTupleCount(const Page& page) {
+    return page.ReadAt<uint16_t>(0);
+  }
+
+  /// True when slot `slot` of `page` holds a deleted tuple.
+  static bool PageSlotDeleted(const Page& page, uint16_t slot) {
+    return (page.data[kPageHeaderSize + slot / 8] >> (slot % 8)) & 1;
+  }
+
+  /// Byte offset where tuple slots start (header + tombstone bitmap).
+  size_t TupleAreaOffset() const { return tuple_area_offset_; }
+
+  /// View of tuple `slot` on `page` (page must stay pinned). The caller is
+  /// responsible for skipping deleted slots.
+  TupleRef PageTuple(const Page& page, uint16_t slot) const {
+    return TupleRef(
+        page.data + tuple_area_offset_ + slot * schema_.tuple_size(),
+        &schema_);
+  }
+
+  /// Copies tuple `rid` out of its page.
+  util::Result<TupleBuffer> ReadTuple(Rid rid);
+
+  /// Overwrites column `col` of tuple `rid` in place. Fails on deleted
+  /// tuples.
+  util::Status UpdateColumn(Rid rid, size_t col, const util::Value& v);
+
+  /// Tombstones tuple `rid`. Idempotent-error: deleting twice fails with
+  /// NotFound. The slot is not reused; Rids of other tuples are stable.
+  util::Status DeleteTuple(Rid rid);
+
+  /// Live tuples (appends minus deletes).
+  uint64_t num_live_tuples() const { return num_tuples_ - num_deleted_; }
+  uint64_t num_deleted() const { return num_deleted_; }
+
+  /// Vacuum: compacts every page in place, squeezing out tombstoned slots.
+  /// Pages keep their position, so the bucket ↔ SMA-entry correspondence —
+  /// and therefore every SMA — stays valid without a rebuild. Rids of
+  /// tuples behind a removed slot shift down; callers holding Rids must
+  /// refresh them. Slots freed on the last page become appendable again.
+  util::Status Vacuum();
+
+  /// Bucket of a page / first-and-end page of a bucket [first, end).
+  uint32_t BucketOfPage(uint32_t page_no) const {
+    return page_no / options_.bucket_pages;
+  }
+  std::pair<uint32_t, uint32_t> BucketPageRange(uint32_t bucket) const {
+    const uint32_t first = bucket * options_.bucket_pages;
+    const uint32_t end =
+        std::min(first + options_.bucket_pages, num_pages_);
+    return {first, end};
+  }
+
+  /// Invokes `fn(TupleRef, Rid)` for every *live* tuple of `bucket`, in
+  /// physical order. `fn` must not retain the TupleRef beyond the call.
+  template <typename Fn>
+  util::Status ForEachTupleInBucket(uint32_t bucket, Fn&& fn) {
+    const auto [first, end] = BucketPageRange(bucket);
+    for (uint32_t p = first; p < end; ++p) {
+      SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(p));
+      const uint16_t n = PageTupleCount(*guard.page());
+      for (uint16_t s = 0; s < n; ++s) {
+        if (PageSlotDeleted(*guard.page(), s)) continue;
+        fn(PageTuple(*guard.page(), s), Rid{p, s});
+      }
+    }
+    return util::Status::OK();
+  }
+
+  /// Total base-data bytes (pages * page size).
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(num_pages_) * kPageSize;
+  }
+
+ private:
+  Table(BufferPool* pool, FileId file, std::string name, Schema schema,
+        TableOptions options);
+
+  BufferPool* pool_;
+  FileId file_;
+  std::string name_;
+  Schema schema_;
+  TableOptions options_;
+  uint32_t tuples_per_page_;
+  size_t tuple_area_offset_;
+  uint64_t num_tuples_ = 0;
+  uint64_t num_deleted_ = 0;
+  uint32_t num_pages_ = 0;
+};
+
+}  // namespace smadb::storage
+
+#endif  // SMADB_STORAGE_TABLE_H_

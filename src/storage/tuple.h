@@ -1,0 +1,185 @@
+// Zero-copy views over fixed-layout tuples.
+//
+// TupleRef reads a tuple in place on a (pinned) page; TupleBuffer owns the
+// bytes of one tuple being assembled. Hot code paths use the typed getters
+// directly; GetValue() is the generic escape hatch.
+
+#ifndef SMADB_STORAGE_TUPLE_H_
+#define SMADB_STORAGE_TUPLE_H_
+
+#include <cassert>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "storage/schema.h"
+#include "util/value.h"
+
+namespace smadb::storage {
+
+/// Read-only view of one tuple. Valid only while the underlying page stays
+/// pinned / the underlying buffer stays alive.
+class TupleRef {
+ public:
+  TupleRef() : data_(nullptr), schema_(nullptr) {}
+  TupleRef(const uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  bool valid() const { return data_ != nullptr; }
+  const Schema& schema() const { return *schema_; }
+  const uint8_t* data() const { return data_; }
+
+  int32_t GetInt32(size_t col) const {
+    assert(schema_->field(col).type == util::TypeId::kInt32);
+    return Load<int32_t>(col);
+  }
+  int64_t GetInt64(size_t col) const {
+    assert(schema_->field(col).type == util::TypeId::kInt64);
+    return Load<int64_t>(col);
+  }
+  double GetDouble(size_t col) const {
+    assert(schema_->field(col).type == util::TypeId::kDouble);
+    return Load<double>(col);
+  }
+  util::Decimal GetDecimal(size_t col) const {
+    assert(schema_->field(col).type == util::TypeId::kDecimal);
+    return util::Decimal(Load<int64_t>(col));
+  }
+  util::Date GetDate(size_t col) const {
+    assert(schema_->field(col).type == util::TypeId::kDate);
+    return util::Date(Load<int32_t>(col));
+  }
+  std::string_view GetString(size_t col) const {
+    assert(schema_->field(col).type == util::TypeId::kString);
+    const Field& f = schema_->field(col);
+    const char* p =
+        reinterpret_cast<const char*>(data_ + schema_->offset(col));
+    return std::string_view(p, strnlen(p, f.capacity));
+  }
+
+  /// Generic accessor (allocates for strings).
+  util::Value GetValue(size_t col) const {
+    const Field& f = schema_->field(col);
+    switch (f.type) {
+      case util::TypeId::kInt32:
+        return util::Value::Int32(GetInt32(col));
+      case util::TypeId::kInt64:
+        return util::Value::Int64(GetInt64(col));
+      case util::TypeId::kDouble:
+        return util::Value::MakeDouble(GetDouble(col));
+      case util::TypeId::kDecimal:
+        return util::Value::MakeDecimal(GetDecimal(col));
+      case util::TypeId::kDate:
+        return util::Value::MakeDate(GetDate(col));
+      case util::TypeId::kString:
+        return util::Value::String(std::string(GetString(col)));
+    }
+    return util::Value();
+  }
+
+  /// Integral payload of a non-double, non-string column as int64 — the
+  /// uniform representation the SMA layer aggregates over.
+  int64_t GetRawInt(size_t col) const {
+    const Field& f = schema_->field(col);
+    switch (f.type) {
+      case util::TypeId::kInt32:
+      case util::TypeId::kDate:
+        return Load<int32_t>(col);
+      case util::TypeId::kInt64:
+      case util::TypeId::kDecimal:
+        return Load<int64_t>(col);
+      default:
+        assert(false && "GetRawInt on double/string column");
+        return 0;
+    }
+  }
+
+ private:
+  template <typename T>
+  T Load(size_t col) const {
+    T v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(T));
+    return v;
+  }
+
+  const uint8_t* data_;
+  const Schema* schema_;
+};
+
+/// Owning buffer for assembling one tuple before Append().
+class TupleBuffer {
+ public:
+  explicit TupleBuffer(const Schema* schema)
+      : schema_(schema), bytes_(schema->tuple_size(), 0) {}
+
+  const Schema& schema() const { return *schema_; }
+  const uint8_t* data() const { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+
+  TupleRef AsRef() const { return TupleRef(bytes_.data(), schema_); }
+
+  void SetInt32(size_t col, int32_t v) {
+    assert(schema_->field(col).type == util::TypeId::kInt32);
+    Store(col, v);
+  }
+  void SetInt64(size_t col, int64_t v) {
+    assert(schema_->field(col).type == util::TypeId::kInt64);
+    Store(col, v);
+  }
+  void SetDouble(size_t col, double v) {
+    assert(schema_->field(col).type == util::TypeId::kDouble);
+    Store(col, v);
+  }
+  void SetDecimal(size_t col, util::Decimal v) {
+    assert(schema_->field(col).type == util::TypeId::kDecimal);
+    Store(col, v.cents());
+  }
+  void SetDate(size_t col, util::Date v) {
+    assert(schema_->field(col).type == util::TypeId::kDate);
+    Store(col, v.days());
+  }
+  void SetString(size_t col, std::string_view v) {
+    const Field& f = schema_->field(col);
+    assert(f.type == util::TypeId::kString);
+    assert(v.size() <= f.capacity);
+    uint8_t* dst = bytes_.data() + schema_->offset(col);
+    std::memset(dst, 0, f.capacity);
+    std::memcpy(dst, v.data(), v.size());
+  }
+
+  void SetValue(size_t col, const util::Value& v) {
+    switch (schema_->field(col).type) {
+      case util::TypeId::kInt32:
+        SetInt32(col, v.AsInt32());
+        break;
+      case util::TypeId::kInt64:
+        SetInt64(col, v.AsInt64());
+        break;
+      case util::TypeId::kDouble:
+        SetDouble(col, v.AsDouble());
+        break;
+      case util::TypeId::kDecimal:
+        SetDecimal(col, v.AsDecimal());
+        break;
+      case util::TypeId::kDate:
+        SetDate(col, v.AsDate());
+        break;
+      case util::TypeId::kString:
+        SetString(col, v.AsString());
+        break;
+    }
+  }
+
+ private:
+  template <typename T>
+  void Store(size_t col, T v) {
+    std::memcpy(bytes_.data() + schema_->offset(col), &v, sizeof(T));
+  }
+
+  const Schema* schema_;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace smadb::storage
+
+#endif  // SMADB_STORAGE_TUPLE_H_

@@ -1,0 +1,224 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tpch/text.h"
+#include "util/string_util.h"
+
+namespace smadb::tpch {
+
+using util::Date;
+using util::Decimal;
+using util::Rng;
+
+namespace {
+
+// Orderdate range: orders must ship within 121 days and still be receipted
+// by ENDDATE, so the spec stops orderdates 151 days before ENDDATE.
+const Date kLastOrderDate = kEndDate.AddDays(-151);
+
+Decimal RandomMoney(Rng* rng, int64_t lo_cents, int64_t hi_cents) {
+  return Decimal(rng->Uniform(lo_cents, hi_cents));
+}
+
+}  // namespace
+
+Dbgen::Dbgen(DbgenOptions options) : options_(options) {
+  const double sf = options_.scale_factor;
+  assert(sf > 0);
+  num_orders_ = std::max<int64_t>(1, static_cast<int64_t>(1'500'000 * sf));
+  num_customers_ = std::max<int64_t>(1, static_cast<int64_t>(150'000 * sf));
+  num_parts_ = std::max<int64_t>(1, static_cast<int64_t>(200'000 * sf));
+  num_suppliers_ = std::max<int64_t>(1, static_cast<int64_t>(10'000 * sf));
+}
+
+Decimal Dbgen::RetailPrice(int64_t partkey) {
+  // Spec 4.2.3: (90000 + ((partkey/10) mod 20001) + 100*(partkey mod 1000))/100
+  const int64_t cents =
+      90000 + ((partkey / 10) % 20001) + 100 * (partkey % 1000);
+  return Decimal(cents);
+}
+
+void Dbgen::GenOrdersAndLineItems(std::vector<OrderRow>* orders,
+                                  std::vector<LineItemRow>* lineitems) {
+  Rng rng(options_.seed ^ 0x0001);
+  orders->clear();
+  lineitems->clear();
+  orders->reserve(static_cast<size_t>(num_orders_));
+  lineitems->reserve(static_cast<size_t>(num_orders_) * 4);
+
+  const int32_t max_orderdate_offset = kLastOrderDate - kStartDate;
+  for (int64_t o = 1; o <= num_orders_; ++o) {
+    OrderRow order;
+    // dbgen spreads orderkeys sparsely (8 of every 32); dense keys serve the
+    // same workloads and keep joins simple.
+    order.orderkey = o;
+    order.custkey =
+        static_cast<int32_t>(rng.Uniform(1, num_customers_));
+    order.orderdate =
+        kStartDate.AddDays(static_cast<int32_t>(
+            rng.Uniform(0, max_orderdate_offset)));
+    order.orderpriority = std::string(Pick(&rng, lists::kPriorities));
+    order.clerk = NumberedName(
+        "Clerk", rng.Uniform(1, std::max<int64_t>(1, num_orders_ / 1000)));
+    order.shippriority = 0;
+    order.comment = RandomText(&rng, 19, 78);
+
+    const int num_lines = static_cast<int>(rng.Uniform(1, 7));
+    Decimal total(0);
+    int f_count = 0;
+    for (int l = 1; l <= num_lines; ++l) {
+      LineItemRow li;
+      li.orderkey = order.orderkey;
+      li.partkey = static_cast<int32_t>(rng.Uniform(1, num_parts_));
+      // Spec: suppkey = (partkey + (i-1) * (S/4 + (partkey-1)/S)) mod S + 1.
+      const int64_t s = num_suppliers_;
+      const int64_t i = rng.Uniform(0, 3);
+      li.suppkey = static_cast<int32_t>(
+          (li.partkey + i * (s / 4 + (li.partkey - 1) / s)) % s + 1);
+      li.linenumber = l;
+      li.quantity = Decimal(rng.Uniform(1, 50) * 100);
+      li.extendedprice =
+          Decimal(RetailPrice(li.partkey).cents() *
+                  (li.quantity.cents() / 100));
+      li.discount = Decimal(rng.Uniform(0, 10));   // 0.00 .. 0.10
+      li.tax = Decimal(rng.Uniform(0, 8));         // 0.00 .. 0.08
+      li.shipdate = order.orderdate.AddDays(
+          static_cast<int32_t>(rng.Uniform(1, 121)));
+      li.commitdate = order.orderdate.AddDays(
+          static_cast<int32_t>(rng.Uniform(30, 90)));
+      li.receiptdate =
+          li.shipdate.AddDays(static_cast<int32_t>(rng.Uniform(1, 30)));
+      if (li.receiptdate <= kCurrentDate) {
+        li.returnflag = rng.NextBool(0.5) ? 'R' : 'A';
+      } else {
+        li.returnflag = 'N';
+      }
+      li.linestatus = li.shipdate > kCurrentDate ? 'O' : 'F';
+      if (li.linestatus == 'F') ++f_count;
+      li.shipinstruct = std::string(Pick(&rng, lists::kInstructions));
+      li.shipmode = std::string(Pick(&rng, lists::kModes));
+      li.comment = RandomText(&rng, 10, 43);
+
+      // o_totalprice = sum(extendedprice * (1+tax) * (1-discount)).
+      const Decimal one(100);
+      total += li.extendedprice * (one - li.discount) * (one + li.tax);
+      lineitems->push_back(std::move(li));
+    }
+    order.orderstatus =
+        f_count == num_lines ? 'F' : (f_count == 0 ? 'O' : 'P');
+    order.totalprice = total;
+    orders->push_back(std::move(order));
+  }
+}
+
+std::vector<CustomerRow> Dbgen::GenCustomers() {
+  Rng rng(options_.seed ^ 0x0002);
+  std::vector<CustomerRow> out;
+  out.reserve(static_cast<size_t>(num_customers_));
+  for (int64_t c = 1; c <= num_customers_; ++c) {
+    CustomerRow row;
+    row.custkey = static_cast<int32_t>(c);
+    row.name = NumberedName("Customer", c);
+    row.address = RandomAddress(&rng);
+    row.nationkey = static_cast<int32_t>(rng.Uniform(0, 24));
+    row.phone = RandomPhone(&rng, row.nationkey);
+    row.acctbal = RandomMoney(&rng, -99999, 999999);
+    row.mktsegment = std::string(Pick(&rng, lists::kSegments));
+    row.comment = RandomText(&rng, 29, 116);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<PartRow> Dbgen::GenParts() {
+  Rng rng(options_.seed ^ 0x0003);
+  std::vector<PartRow> out;
+  out.reserve(static_cast<size_t>(num_parts_));
+  for (int64_t p = 1; p <= num_parts_; ++p) {
+    PartRow row;
+    row.partkey = static_cast<int32_t>(p);
+    row.name = RandomPartName(&rng);
+    const int m = static_cast<int>(rng.Uniform(1, 5));
+    row.mfgr = util::Format("Manufacturer#%d", m);
+    row.brand = util::Format("Brand#%d%d", m,
+                             static_cast<int>(rng.Uniform(1, 5)));
+    row.type = RandomPartType(&rng);
+    row.size = static_cast<int32_t>(rng.Uniform(1, 50));
+    row.container = RandomContainer(&rng);
+    row.retailprice = RetailPrice(p);
+    row.comment = RandomText(&rng, 5, 22);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<SupplierRow> Dbgen::GenSuppliers() {
+  Rng rng(options_.seed ^ 0x0004);
+  std::vector<SupplierRow> out;
+  out.reserve(static_cast<size_t>(num_suppliers_));
+  for (int64_t s = 1; s <= num_suppliers_; ++s) {
+    SupplierRow row;
+    row.suppkey = static_cast<int32_t>(s);
+    row.name = NumberedName("Supplier", s);
+    row.address = RandomAddress(&rng);
+    row.nationkey = static_cast<int32_t>(rng.Uniform(0, 24));
+    row.phone = RandomPhone(&rng, row.nationkey);
+    row.acctbal = RandomMoney(&rng, -99999, 999999);
+    row.comment = RandomText(&rng, 25, 100);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<PartSuppRow> Dbgen::GenPartSupps() {
+  Rng rng(options_.seed ^ 0x0005);
+  std::vector<PartSuppRow> out;
+  out.reserve(static_cast<size_t>(num_parts_) * 4);
+  for (int64_t p = 1; p <= num_parts_; ++p) {
+    for (int64_t i = 0; i < 4; ++i) {
+      PartSuppRow row;
+      row.partkey = static_cast<int32_t>(p);
+      const int64_t s = num_suppliers_;
+      row.suppkey = static_cast<int32_t>(
+          (p + i * (s / 4 + (p - 1) / s)) % s + 1);
+      row.availqty = static_cast<int32_t>(rng.Uniform(1, 9999));
+      row.supplycost = RandomMoney(&rng, 100, 100000);
+      row.comment = RandomText(&rng, 49, 198);
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+std::vector<NationRow> Dbgen::GenNations() {
+  Rng rng(options_.seed ^ 0x0006);
+  std::vector<NationRow> out;
+  out.reserve(lists::kNations.size());
+  for (size_t n = 0; n < lists::kNations.size(); ++n) {
+    NationRow row;
+    row.nationkey = static_cast<int32_t>(n);
+    row.name = std::string(lists::kNations[n]);
+    row.regionkey = lists::kNationRegion[n];
+    row.comment = RandomText(&rng, 31, 114);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<RegionRow> Dbgen::GenRegions() {
+  Rng rng(options_.seed ^ 0x0007);
+  std::vector<RegionRow> out;
+  out.reserve(lists::kRegions.size());
+  for (size_t r = 0; r < lists::kRegions.size(); ++r) {
+    RegionRow row;
+    row.regionkey = static_cast<int32_t>(r);
+    row.name = std::string(lists::kRegions[r]);
+    row.comment = RandomText(&rng, 31, 115);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace smadb::tpch

@@ -1,0 +1,161 @@
+// Deterministic TPC-D-style data generator ("dbgen").
+//
+// Substitutes the official dbgen binary the paper used: same schema, same
+// cardinalities per scale factor, and the distribution clauses that drive
+// the paper's experiments (order/ship/commit/receipt date relations,
+// returnflag/linestatus rules, uniform quantities & discounts). Comment
+// text is grammar-generated but only affects byte volume, never query
+// results.
+
+#ifndef SMADB_TPCH_DBGEN_H_
+#define SMADB_TPCH_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/date.h"
+#include "util/decimal.h"
+#include "util/rng.h"
+
+namespace smadb::tpch {
+
+/// TPC-D calendar constants (clause 4.2.3).
+inline const util::Date kStartDate = util::Date::FromYmd(1992, 1, 1);
+inline const util::Date kCurrentDate = util::Date::FromYmd(1995, 6, 17);
+inline const util::Date kEndDate = util::Date::FromYmd(1998, 12, 31);
+
+struct LineItemRow {
+  int64_t orderkey;
+  int32_t partkey;
+  int32_t suppkey;
+  int32_t linenumber;
+  util::Decimal quantity;
+  util::Decimal extendedprice;
+  util::Decimal discount;
+  util::Decimal tax;
+  char returnflag;
+  char linestatus;
+  util::Date shipdate;
+  util::Date commitdate;
+  util::Date receiptdate;
+  std::string shipinstruct;
+  std::string shipmode;
+  std::string comment;
+};
+
+struct OrderRow {
+  int64_t orderkey;
+  int32_t custkey;
+  char orderstatus;
+  util::Decimal totalprice;
+  util::Date orderdate;
+  std::string orderpriority;
+  std::string clerk;
+  int32_t shippriority;
+  std::string comment;
+};
+
+struct CustomerRow {
+  int32_t custkey;
+  std::string name;
+  std::string address;
+  int32_t nationkey;
+  std::string phone;
+  util::Decimal acctbal;
+  std::string mktsegment;
+  std::string comment;
+};
+
+struct PartRow {
+  int32_t partkey;
+  std::string name;
+  std::string mfgr;
+  std::string brand;
+  std::string type;
+  int32_t size;
+  std::string container;
+  util::Decimal retailprice;
+  std::string comment;
+};
+
+struct SupplierRow {
+  int32_t suppkey;
+  std::string name;
+  std::string address;
+  int32_t nationkey;
+  std::string phone;
+  util::Decimal acctbal;
+  std::string comment;
+};
+
+struct PartSuppRow {
+  int32_t partkey;
+  int32_t suppkey;
+  int32_t availqty;
+  util::Decimal supplycost;
+  std::string comment;
+};
+
+struct NationRow {
+  int32_t nationkey;
+  std::string name;
+  int32_t regionkey;
+  std::string comment;
+};
+
+struct RegionRow {
+  int32_t regionkey;
+  std::string name;
+  std::string comment;
+};
+
+/// Generation parameters. `scale_factor` 1.0 corresponds to the paper's 1 GB
+/// database; laptop-scale runs use 0.01–0.25.
+struct DbgenOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 19980401;  // paper's publication year+month; any value works
+};
+
+/// Generator for all eight tables. Row counts follow the spec:
+/// orders = 1.5M × SF, lineitem ≈ 4 per order (uniform 1..7),
+/// customer = 150K × SF, part = 200K × SF, supplier = 10K × SF,
+/// partsupp = 4 per part, nation = 25, region = 5.
+class Dbgen {
+ public:
+  explicit Dbgen(DbgenOptions options);
+
+  const DbgenOptions& options() const { return options_; }
+
+  int64_t num_orders() const { return num_orders_; }
+  int64_t num_customers() const { return num_customers_; }
+  int64_t num_parts() const { return num_parts_; }
+  int64_t num_suppliers() const { return num_suppliers_; }
+
+  /// Generates ORDERS and LINEITEM together (linestatus/orderstatus couple
+  /// them). Lineitems come out in orderkey order — the physical order a
+  /// time-of-creation warehouse would append in.
+  void GenOrdersAndLineItems(std::vector<OrderRow>* orders,
+                             std::vector<LineItemRow>* lineitems);
+
+  std::vector<CustomerRow> GenCustomers();
+  std::vector<PartRow> GenParts();
+  std::vector<SupplierRow> GenSuppliers();
+  std::vector<PartSuppRow> GenPartSupps();
+  std::vector<NationRow> GenNations();
+  std::vector<RegionRow> GenRegions();
+
+  /// Retail price formula of the spec (deterministic in partkey).
+  static util::Decimal RetailPrice(int64_t partkey);
+
+ private:
+  DbgenOptions options_;
+  int64_t num_orders_;
+  int64_t num_customers_;
+  int64_t num_parts_;
+  int64_t num_suppliers_;
+};
+
+}  // namespace smadb::tpch
+
+#endif  // SMADB_TPCH_DBGEN_H_

@@ -1,0 +1,259 @@
+#include "tpch/loader.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace smadb::tpch {
+
+using storage::Catalog;
+using storage::Schema;
+using storage::Table;
+using storage::TableOptions;
+using storage::TupleBuffer;
+using util::Result;
+using util::Rng;
+using util::Status;
+
+storage::TupleBuffer LineItemTuple(const Schema* schema,
+                                   const LineItemRow& row) {
+  TupleBuffer t(schema);
+  t.SetInt64(lineitem::kOrderKey, row.orderkey);
+  t.SetInt32(lineitem::kPartKey, row.partkey);
+  t.SetInt32(lineitem::kSuppKey, row.suppkey);
+  t.SetInt32(lineitem::kLineNumber, row.linenumber);
+  t.SetDecimal(lineitem::kQuantity, row.quantity);
+  t.SetDecimal(lineitem::kExtendedPrice, row.extendedprice);
+  t.SetDecimal(lineitem::kDiscount, row.discount);
+  t.SetDecimal(lineitem::kTax, row.tax);
+  t.SetString(lineitem::kReturnFlag, std::string_view(&row.returnflag, 1));
+  t.SetString(lineitem::kLineStatus, std::string_view(&row.linestatus, 1));
+  t.SetDate(lineitem::kShipDate, row.shipdate);
+  t.SetDate(lineitem::kCommitDate, row.commitdate);
+  t.SetDate(lineitem::kReceiptDate, row.receiptdate);
+  t.SetString(lineitem::kShipInstruct, row.shipinstruct);
+  t.SetString(lineitem::kShipMode, row.shipmode);
+  t.SetString(lineitem::kComment, row.comment);
+  return t;
+}
+
+storage::TupleBuffer OrderTuple(const Schema* schema, const OrderRow& row) {
+  TupleBuffer t(schema);
+  t.SetInt64(orders::kOrderKey, row.orderkey);
+  t.SetInt32(orders::kCustKey, row.custkey);
+  t.SetString(orders::kOrderStatus, std::string_view(&row.orderstatus, 1));
+  t.SetDecimal(orders::kTotalPrice, row.totalprice);
+  t.SetDate(orders::kOrderDate, row.orderdate);
+  t.SetString(orders::kOrderPriority, row.orderpriority);
+  t.SetString(orders::kClerk, row.clerk);
+  t.SetInt32(orders::kShipPriority, row.shippriority);
+  t.SetString(orders::kComment, row.comment);
+  return t;
+}
+
+namespace {
+
+// Applies the clustering permutation for a date-keyed row type.
+// `date_of` extracts the clustering date of a row.
+template <typename Row, typename DateOf>
+void Cluster(std::vector<Row>* rows, const LoadOptions& options,
+             DateOf date_of) {
+  switch (options.mode) {
+    case ClusterMode::kOrderKey:
+      return;  // generation order *is* orderkey order
+    case ClusterMode::kShipdateSorted:
+      std::stable_sort(rows->begin(), rows->end(),
+                       [&](const Row& a, const Row& b) {
+                         return date_of(a) < date_of(b);
+                       });
+      return;
+    case ClusterMode::kDiagonal: {
+      // Entry date = real date + |N(0, lag)| days; warehouse appends in
+      // entry order (paper Fig. 2: all points right of the diagonal).
+      Rng rng(options.seed);
+      std::vector<std::pair<int64_t, size_t>> keys;
+      keys.reserve(rows->size());
+      for (size_t i = 0; i < rows->size(); ++i) {
+        const double lag =
+            std::abs(rng.NextGaussian()) * options.lag_stddev_days;
+        keys.emplace_back(
+            date_of((*rows)[i]).days() + static_cast<int64_t>(lag), i);
+      }
+      std::stable_sort(keys.begin(), keys.end());
+      std::vector<Row> reordered;
+      reordered.reserve(rows->size());
+      for (const auto& [day, idx] : keys) {
+        reordered.push_back(std::move((*rows)[idx]));
+      }
+      *rows = std::move(reordered);
+      return;
+    }
+    case ClusterMode::kShuffled: {
+      Rng rng(options.seed);
+      // Fisher-Yates with our deterministic RNG.
+      for (size_t i = rows->size(); i > 1; --i) {
+        const size_t j = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(i) - 1));
+        std::swap((*rows)[i - 1], (*rows)[j]);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Table*> LoadLineItem(Catalog* catalog, std::vector<LineItemRow> rows,
+                            const LoadOptions& options,
+                            std::string table_name) {
+  Cluster(&rows, options,
+          [](const LineItemRow& r) { return r.shipdate; });
+  SMADB_ASSIGN_OR_RETURN(
+      Table * table,
+      catalog->CreateTable(std::move(table_name), LineItemSchema(),
+                           TableOptions{options.bucket_pages}));
+  const Schema* schema = &table->schema();
+  for (const LineItemRow& row : rows) {
+    SMADB_RETURN_NOT_OK(table->Append(LineItemTuple(schema, row)));
+  }
+  return table;
+}
+
+Result<Table*> LoadOrders(Catalog* catalog, std::vector<OrderRow> rows,
+                          const LoadOptions& options,
+                          std::string table_name) {
+  Cluster(&rows, options, [](const OrderRow& r) { return r.orderdate; });
+  SMADB_ASSIGN_OR_RETURN(
+      Table * table,
+      catalog->CreateTable(std::move(table_name), OrdersSchema(),
+                           TableOptions{options.bucket_pages}));
+  const Schema* schema = &table->schema();
+  for (const OrderRow& row : rows) {
+    SMADB_RETURN_NOT_OK(table->Append(OrderTuple(schema, row)));
+  }
+  return table;
+}
+
+Result<Table*> LoadCustomers(Catalog* catalog,
+                             const std::vector<CustomerRow>& rows) {
+  SMADB_ASSIGN_OR_RETURN(Table * table,
+                         catalog->CreateTable("customer", CustomerSchema()));
+  const Schema* schema = &table->schema();
+  for (const CustomerRow& row : rows) {
+    TupleBuffer t(schema);
+    t.SetInt32(customer::kCustKey, row.custkey);
+    t.SetString(customer::kName, row.name);
+    t.SetString(customer::kAddress, row.address);
+    t.SetInt32(customer::kNationKey, row.nationkey);
+    t.SetString(customer::kPhone, row.phone);
+    t.SetDecimal(customer::kAcctBal, row.acctbal);
+    t.SetString(customer::kMktSegment, row.mktsegment);
+    t.SetString(customer::kComment, row.comment);
+    SMADB_RETURN_NOT_OK(table->Append(t));
+  }
+  return table;
+}
+
+Result<Table*> LoadParts(Catalog* catalog, const std::vector<PartRow>& rows) {
+  SMADB_ASSIGN_OR_RETURN(Table * table,
+                         catalog->CreateTable("part", PartSchema()));
+  const Schema* schema = &table->schema();
+  for (const PartRow& row : rows) {
+    TupleBuffer t(schema);
+    t.SetInt32(part::kPartKey, row.partkey);
+    t.SetString(part::kName, row.name);
+    t.SetString(part::kMfgr, row.mfgr);
+    t.SetString(part::kBrand, row.brand);
+    t.SetString(part::kType, row.type);
+    t.SetInt32(part::kSize, row.size);
+    t.SetString(part::kContainer, row.container);
+    t.SetDecimal(part::kRetailPrice, row.retailprice);
+    t.SetString(part::kComment, row.comment);
+    SMADB_RETURN_NOT_OK(table->Append(t));
+  }
+  return table;
+}
+
+Result<Table*> LoadSuppliers(Catalog* catalog,
+                             const std::vector<SupplierRow>& rows) {
+  SMADB_ASSIGN_OR_RETURN(Table * table,
+                         catalog->CreateTable("supplier", SupplierSchema()));
+  const Schema* schema = &table->schema();
+  for (const SupplierRow& row : rows) {
+    TupleBuffer t(schema);
+    t.SetInt32(supplier::kSuppKey, row.suppkey);
+    t.SetString(supplier::kName, row.name);
+    t.SetString(supplier::kAddress, row.address);
+    t.SetInt32(supplier::kNationKey, row.nationkey);
+    t.SetString(supplier::kPhone, row.phone);
+    t.SetDecimal(supplier::kAcctBal, row.acctbal);
+    t.SetString(supplier::kComment, row.comment);
+    SMADB_RETURN_NOT_OK(table->Append(t));
+  }
+  return table;
+}
+
+Result<Table*> LoadPartSupps(Catalog* catalog,
+                             const std::vector<PartSuppRow>& rows) {
+  SMADB_ASSIGN_OR_RETURN(Table * table,
+                         catalog->CreateTable("partsupp", PartSuppSchema()));
+  const Schema* schema = &table->schema();
+  for (const PartSuppRow& row : rows) {
+    TupleBuffer t(schema);
+    t.SetInt32(partsupp::kPartKey, row.partkey);
+    t.SetInt32(partsupp::kSuppKey, row.suppkey);
+    t.SetInt32(partsupp::kAvailQty, row.availqty);
+    t.SetDecimal(partsupp::kSupplyCost, row.supplycost);
+    t.SetString(partsupp::kComment, row.comment);
+    SMADB_RETURN_NOT_OK(table->Append(t));
+  }
+  return table;
+}
+
+Result<Table*> LoadNations(Catalog* catalog,
+                           const std::vector<NationRow>& rows) {
+  SMADB_ASSIGN_OR_RETURN(Table * table,
+                         catalog->CreateTable("nation", NationSchema()));
+  const Schema* schema = &table->schema();
+  for (const NationRow& row : rows) {
+    TupleBuffer t(schema);
+    t.SetInt32(nation::kNationKey, row.nationkey);
+    t.SetString(nation::kName, row.name);
+    t.SetInt32(nation::kRegionKey, row.regionkey);
+    t.SetString(nation::kComment, row.comment);
+    SMADB_RETURN_NOT_OK(table->Append(t));
+  }
+  return table;
+}
+
+Result<Table*> LoadRegions(Catalog* catalog,
+                           const std::vector<RegionRow>& rows) {
+  SMADB_ASSIGN_OR_RETURN(Table * table,
+                         catalog->CreateTable("region", RegionSchema()));
+  const Schema* schema = &table->schema();
+  for (const RegionRow& row : rows) {
+    TupleBuffer t(schema);
+    t.SetInt32(region::kRegionKey, row.regionkey);
+    t.SetString(region::kName, row.name);
+    t.SetString(region::kComment, row.comment);
+    SMADB_RETURN_NOT_OK(table->Append(t));
+  }
+  return table;
+}
+
+Result<Table*> GenerateAndLoadLineItem(Catalog* catalog,
+                                       const DbgenOptions& gen_options,
+                                       const LoadOptions& load_options,
+                                       std::vector<OrderRow>* orders_out,
+                                       std::string table_name) {
+  Dbgen gen(gen_options);
+  std::vector<OrderRow> orders;
+  std::vector<LineItemRow> lineitems;
+  gen.GenOrdersAndLineItems(&orders, &lineitems);
+  if (orders_out != nullptr) *orders_out = std::move(orders);
+  return LoadLineItem(catalog, std::move(lineitems), load_options,
+                      std::move(table_name));
+}
+
+}  // namespace smadb::tpch

@@ -1,0 +1,88 @@
+// Loader: materializes generated rows into storage tables under a chosen
+// physical clustering — the variable the paper's experiments turn on.
+//
+//  * kOrderKey       dbgen's native append order (orderkey). Dates are
+//                    uniform per order, so date predicates see near-random
+//                    placement — the paper's pessimal case.
+//  * kShipdateSorted LINEITEM sorted on l_shipdate — the paper's "optimal
+//                    case, that is when the relation is sorted on the
+//                    restricted attribute" (§2.4).
+//  * kDiagonal       time-of-creation clustering (paper Fig. 2): each tuple
+//                    enters the warehouse its date plus a normally
+//                    distributed data-entry lag; physical order = entry
+//                    order. Imperfect but exploitable clustering.
+//  * kShuffled       uniformly random placement (sanity bound).
+
+#ifndef SMADB_TPCH_LOADER_H_
+#define SMADB_TPCH_LOADER_H_
+
+#include <vector>
+
+#include "storage/catalog.h"
+#include "tpch/dbgen.h"
+#include "tpch/schemas.h"
+
+namespace smadb::tpch {
+
+enum class ClusterMode {
+  kOrderKey,
+  kShipdateSorted,
+  kDiagonal,
+  kShuffled,
+};
+
+struct LoadOptions {
+  ClusterMode mode = ClusterMode::kOrderKey;
+  /// Std-dev (days) of the data-entry lag for kDiagonal. Larger = blurrier
+  /// diagonal = more ambivalent buckets.
+  double lag_stddev_days = 15.0;
+  /// Pages per bucket for the created table (paper §4 tuning knob).
+  uint32_t bucket_pages = 1;
+  /// Seed for lag/shuffle randomness.
+  uint64_t seed = 7;
+};
+
+/// Loads LINEITEM with the requested clustering. The rows vector is taken by
+/// value because clustering reorders it.
+util::Result<storage::Table*> LoadLineItem(storage::Catalog* catalog,
+                                           std::vector<LineItemRow> rows,
+                                           const LoadOptions& options,
+                                           std::string table_name = "lineitem");
+
+/// Loads ORDERS; kShipdateSorted sorts on o_orderdate, kDiagonal lags it.
+util::Result<storage::Table*> LoadOrders(storage::Catalog* catalog,
+                                         std::vector<OrderRow> rows,
+                                         const LoadOptions& options,
+                                         std::string table_name = "orders");
+
+util::Result<storage::Table*> LoadCustomers(storage::Catalog* catalog,
+                                            const std::vector<CustomerRow>& rows);
+util::Result<storage::Table*> LoadParts(storage::Catalog* catalog,
+                                        const std::vector<PartRow>& rows);
+util::Result<storage::Table*> LoadSuppliers(storage::Catalog* catalog,
+                                            const std::vector<SupplierRow>& rows);
+util::Result<storage::Table*> LoadPartSupps(storage::Catalog* catalog,
+                                            const std::vector<PartSuppRow>& rows);
+util::Result<storage::Table*> LoadNations(storage::Catalog* catalog,
+                                          const std::vector<NationRow>& rows);
+util::Result<storage::Table*> LoadRegions(storage::Catalog* catalog,
+                                          const std::vector<RegionRow>& rows);
+
+/// Converts one LineItemRow into a TupleBuffer of LineItemSchema().
+storage::TupleBuffer LineItemTuple(const storage::Schema* schema,
+                                   const LineItemRow& row);
+
+/// Converts one OrderRow into a TupleBuffer of OrdersSchema().
+storage::TupleBuffer OrderTuple(const storage::Schema* schema,
+                                const OrderRow& row);
+
+/// Convenience: generate + load a complete clustered LINEITEM in one call.
+/// Returns the table; `orders_out`, if non-null, receives the order rows.
+util::Result<storage::Table*> GenerateAndLoadLineItem(
+    storage::Catalog* catalog, const DbgenOptions& gen_options,
+    const LoadOptions& load_options, std::vector<OrderRow>* orders_out = nullptr,
+    std::string table_name = "lineitem");
+
+}  // namespace smadb::tpch
+
+#endif  // SMADB_TPCH_LOADER_H_

@@ -1,0 +1,109 @@
+#include "tpch/schemas.h"
+
+namespace smadb::tpch {
+
+using storage::Field;
+using storage::Schema;
+
+Schema LineItemSchema() {
+  return Schema({
+      Field::Int64("l_orderkey"),
+      Field::Int32("l_partkey"),
+      Field::Int32("l_suppkey"),
+      Field::Int32("l_linenumber"),
+      Field::Decimal("l_quantity"),
+      Field::Decimal("l_extendedprice"),
+      Field::Decimal("l_discount"),
+      Field::Decimal("l_tax"),
+      Field::String("l_returnflag", 1),
+      Field::String("l_linestatus", 1),
+      Field::Date("l_shipdate"),
+      Field::Date("l_commitdate"),
+      Field::Date("l_receiptdate"),
+      Field::String("l_shipinstruct", 25),
+      Field::String("l_shipmode", 10),
+      Field::String("l_comment", 44),
+  });
+}
+
+Schema OrdersSchema() {
+  return Schema({
+      Field::Int64("o_orderkey"),
+      Field::Int32("o_custkey"),
+      Field::String("o_orderstatus", 1),
+      Field::Decimal("o_totalprice"),
+      Field::Date("o_orderdate"),
+      Field::String("o_orderpriority", 15),
+      Field::String("o_clerk", 15),
+      Field::Int32("o_shippriority"),
+      Field::String("o_comment", 79),
+  });
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      Field::Int32("c_custkey"),
+      Field::String("c_name", 25),
+      Field::String("c_address", 40),
+      Field::Int32("c_nationkey"),
+      Field::String("c_phone", 15),
+      Field::Decimal("c_acctbal"),
+      Field::String("c_mktsegment", 10),
+      Field::String("c_comment", 117),
+  });
+}
+
+Schema PartSchema() {
+  return Schema({
+      Field::Int32("p_partkey"),
+      Field::String("p_name", 55),
+      Field::String("p_mfgr", 25),
+      Field::String("p_brand", 10),
+      Field::String("p_type", 25),
+      Field::Int32("p_size"),
+      Field::String("p_container", 10),
+      Field::Decimal("p_retailprice"),
+      Field::String("p_comment", 23),
+  });
+}
+
+Schema SupplierSchema() {
+  return Schema({
+      Field::Int32("s_suppkey"),
+      Field::String("s_name", 25),
+      Field::String("s_address", 40),
+      Field::Int32("s_nationkey"),
+      Field::String("s_phone", 15),
+      Field::Decimal("s_acctbal"),
+      Field::String("s_comment", 101),
+  });
+}
+
+Schema PartSuppSchema() {
+  return Schema({
+      Field::Int32("ps_partkey"),
+      Field::Int32("ps_suppkey"),
+      Field::Int32("ps_availqty"),
+      Field::Decimal("ps_supplycost"),
+      Field::String("ps_comment", 199),
+  });
+}
+
+Schema NationSchema() {
+  return Schema({
+      Field::Int32("n_nationkey"),
+      Field::String("n_name", 25),
+      Field::Int32("n_regionkey"),
+      Field::String("n_comment", 152),
+  });
+}
+
+Schema RegionSchema() {
+  return Schema({
+      Field::Int32("r_regionkey"),
+      Field::String("r_name", 25),
+      Field::String("r_comment", 152),
+  });
+}
+
+}  // namespace smadb::tpch

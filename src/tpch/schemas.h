@@ -1,0 +1,114 @@
+// Storage schemas and column ordinals for the eight TPC-D tables.
+
+#ifndef SMADB_TPCH_SCHEMAS_H_
+#define SMADB_TPCH_SCHEMAS_H_
+
+#include "storage/schema.h"
+
+namespace smadb::tpch {
+
+/// Column ordinals, matching the Schema factories below.
+namespace lineitem {
+enum Cols : size_t {
+  kOrderKey = 0,
+  kPartKey,
+  kSuppKey,
+  kLineNumber,
+  kQuantity,
+  kExtendedPrice,
+  kDiscount,
+  kTax,
+  kReturnFlag,
+  kLineStatus,
+  kShipDate,
+  kCommitDate,
+  kReceiptDate,
+  kShipInstruct,
+  kShipMode,
+  kComment,
+};
+}  // namespace lineitem
+
+namespace orders {
+enum Cols : size_t {
+  kOrderKey = 0,
+  kCustKey,
+  kOrderStatus,
+  kTotalPrice,
+  kOrderDate,
+  kOrderPriority,
+  kClerk,
+  kShipPriority,
+  kComment,
+};
+}  // namespace orders
+
+namespace customer {
+enum Cols : size_t {
+  kCustKey = 0,
+  kName,
+  kAddress,
+  kNationKey,
+  kPhone,
+  kAcctBal,
+  kMktSegment,
+  kComment,
+};
+}  // namespace customer
+
+namespace part {
+enum Cols : size_t {
+  kPartKey = 0,
+  kName,
+  kMfgr,
+  kBrand,
+  kType,
+  kSize,
+  kContainer,
+  kRetailPrice,
+  kComment,
+};
+}  // namespace part
+
+namespace supplier {
+enum Cols : size_t {
+  kSuppKey = 0,
+  kName,
+  kAddress,
+  kNationKey,
+  kPhone,
+  kAcctBal,
+  kComment,
+};
+}  // namespace supplier
+
+namespace partsupp {
+enum Cols : size_t {
+  kPartKey = 0,
+  kSuppKey,
+  kAvailQty,
+  kSupplyCost,
+  kComment,
+};
+}  // namespace partsupp
+
+namespace nation {
+enum Cols : size_t { kNationKey = 0, kName, kRegionKey, kComment };
+}  // namespace nation
+
+namespace region {
+enum Cols : size_t { kRegionKey = 0, kName, kComment };
+}  // namespace region
+
+storage::Schema LineItemSchema();
+storage::Schema OrdersSchema();
+storage::Schema CustomerSchema();
+storage::Schema PartSchema();
+storage::Schema SupplierSchema();
+storage::Schema PartSuppSchema();
+storage::Schema NationSchema();
+storage::Schema RegionSchema();
+
+}  // namespace smadb::tpch
+
+#endif  // SMADB_TPCH_SCHEMAS_H_

@@ -1,0 +1,182 @@
+#include "tpch/tbl_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace smadb::tpch {
+
+using storage::Schema;
+using storage::Table;
+using storage::TupleBuffer;
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+using util::TypeId;
+
+namespace {
+
+Result<int64_t> ParseInt(std::string_view field) {
+  if (field.empty()) return Status::InvalidArgument("empty integer field");
+  bool negative = false;
+  size_t i = 0;
+  if (field[0] == '-' || field[0] == '+') {
+    negative = field[0] == '-';
+    i = 1;
+    if (field.size() == 1) {
+      return Status::InvalidArgument("sign without digits");
+    }
+  }
+  int64_t v = 0;
+  for (; i < field.size(); ++i) {
+    if (field[i] < '0' || field[i] > '9') {
+      return Status::InvalidArgument("bad integer '" + std::string(field) +
+                                     "'");
+    }
+    v = v * 10 + (field[i] - '0');
+  }
+  return negative ? -v : v;
+}
+
+// decimal(·,2): "123", "123.4", "-123.45".
+Result<int64_t> ParseDecimalCents(std::string_view field) {
+  const size_t dot = field.find('.');
+  if (dot == std::string_view::npos) {
+    SMADB_ASSIGN_OR_RETURN(int64_t whole, ParseInt(field));
+    return whole * 100;
+  }
+  SMADB_ASSIGN_OR_RETURN(int64_t whole, ParseInt(field.substr(0, dot)));
+  const std::string_view frac = field.substr(dot + 1);
+  if (frac.empty() || frac.size() > 2) {
+    return Status::InvalidArgument("decimal needs 1-2 fraction digits: '" +
+                                   std::string(field) + "'");
+  }
+  int64_t cents = 0;
+  for (char c : frac) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad decimal '" + std::string(field) +
+                                     "'");
+    }
+    cents = cents * 10 + (c - '0');
+  }
+  if (frac.size() == 1) cents *= 10;
+  const bool negative = !field.empty() && field[0] == '-';
+  return whole * 100 + (negative ? -cents : cents);
+}
+
+}  // namespace
+
+Status ParseTblLine(const Schema& schema, std::string_view line,
+                    TupleBuffer* out) {
+  size_t pos = 0;
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    const size_t bar = line.find('|', pos);
+    if (bar == std::string_view::npos) {
+      return Status::InvalidArgument(
+          util::Format("expected %zu fields, found %zu", schema.num_fields(),
+                       c));
+    }
+    const std::string_view field = line.substr(pos, bar - pos);
+    pos = bar + 1;
+    switch (schema.field(c).type) {
+      case TypeId::kInt32: {
+        SMADB_ASSIGN_OR_RETURN(int64_t v, ParseInt(field));
+        out->SetInt32(c, static_cast<int32_t>(v));
+        break;
+      }
+      case TypeId::kInt64: {
+        SMADB_ASSIGN_OR_RETURN(int64_t v, ParseInt(field));
+        out->SetInt64(c, v);
+        break;
+      }
+      case TypeId::kDouble: {
+        // Not produced by dbgen; accept plain decimal text.
+        SMADB_ASSIGN_OR_RETURN(int64_t cents, ParseDecimalCents(field));
+        out->SetDouble(c, static_cast<double>(cents) / 100.0);
+        break;
+      }
+      case TypeId::kDecimal: {
+        SMADB_ASSIGN_OR_RETURN(int64_t cents, ParseDecimalCents(field));
+        out->SetDecimal(c, util::Decimal(cents));
+        break;
+      }
+      case TypeId::kDate: {
+        SMADB_ASSIGN_OR_RETURN(util::Date d, util::Date::Parse(field));
+        out->SetDate(c, d);
+        break;
+      }
+      case TypeId::kString: {
+        if (field.size() > schema.field(c).capacity) {
+          return Status::InvalidArgument(util::Format(
+              "field %zu exceeds capacity %u: '%.*s'", c,
+              schema.field(c).capacity, static_cast<int>(field.size()),
+              field.data()));
+        }
+        out->SetString(c, field);
+        break;
+      }
+    }
+  }
+  if (pos != line.size()) {
+    return Status::InvalidArgument("trailing characters after last field");
+  }
+  return Status::OK();
+}
+
+std::string FormatTblLine(const TupleRef& tuple) {
+  std::string out;
+  const Schema& schema = tuple.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    out += tuple.GetValue(c).ToString();
+    out += '|';
+  }
+  return out;
+}
+
+Status WriteTbl(Table* table, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (uint32_t b = 0; b < table->num_buckets(); ++b) {
+    Status status = Status::OK();
+    SMADB_RETURN_NOT_OK(table->ForEachTupleInBucket(
+        b, [&](const TupleRef& t, storage::Rid) {
+          file << FormatTblLine(t) << '\n';
+        }));
+    SMADB_RETURN_NOT_OK(status);
+  }
+  file.flush();
+  if (!file.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table*> LoadTbl(storage::Catalog* catalog, std::string name,
+                       Schema schema, const std::string& path,
+                       storage::TableOptions options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  SMADB_ASSIGN_OR_RETURN(
+      Table * table,
+      catalog->CreateTable(std::move(name), std::move(schema), options));
+  TupleBuffer buf(&table->schema());
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const Status parsed = ParseTblLine(table->schema(), line, &buf);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          util::Format("%s:%zu: %s", path.c_str(), line_no,
+                       parsed.message().c_str()));
+    }
+    SMADB_RETURN_NOT_OK(table->Append(buf));
+  }
+  return table;
+}
+
+}  // namespace smadb::tpch

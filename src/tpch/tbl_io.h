@@ -1,0 +1,38 @@
+// dbgen `.tbl` interchange: read and write the pipe-terminated text format
+// the official TPC-D/TPC-H dbgen emits (one line per tuple, every field
+// followed by '|'). Lets smadb load data produced by the real dbgen and
+// export its own generator's output for cross-checking.
+
+#ifndef SMADB_TPCH_TBL_IO_H_
+#define SMADB_TPCH_TBL_IO_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace smadb::tpch {
+
+/// Writes all live tuples of `table` to `path` in .tbl format.
+/// Dates print as YYYY-MM-DD, decimals with two fraction digits.
+util::Status WriteTbl(storage::Table* table, const std::string& path);
+
+/// Creates table `name` with `schema` in `catalog` and loads `path` into
+/// it. Fields are parsed per the schema's column types; row arity and
+/// value syntax are validated with line numbers in error messages.
+util::Result<storage::Table*> LoadTbl(storage::Catalog* catalog,
+                                      std::string name,
+                                      storage::Schema schema,
+                                      const std::string& path,
+                                      storage::TableOptions options = {});
+
+/// Parses one .tbl line into `out` (exposed for testing).
+util::Status ParseTblLine(const storage::Schema& schema,
+                          std::string_view line, storage::TupleBuffer* out);
+
+/// Formats one tuple as a .tbl line, including the trailing '|'
+/// (no newline).
+std::string FormatTblLine(const storage::TupleRef& tuple);
+
+}  // namespace smadb::tpch
+
+#endif  // SMADB_TPCH_TBL_IO_H_

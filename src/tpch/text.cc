@@ -1,0 +1,258 @@
+#include "tpch/text.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace smadb::tpch {
+
+namespace lists {
+
+const std::vector<std::string_view> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+
+const std::vector<std::string_view> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+
+const std::vector<std::string_view> kInstructions = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+
+const std::vector<std::string_view> kModes = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                              "TRUCK",   "MAIL", "FOB"};
+
+const std::vector<std::string_view> kNations = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",          "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",         "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",          "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+const std::vector<int> kNationRegion = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                        4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const std::vector<std::string_view> kRegions = {"AFRICA", "AMERICA", "ASIA",
+                                                "EUROPE", "MIDDLE EAST"};
+
+const std::vector<std::string_view> kTypeSyllable1 = {
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+const std::vector<std::string_view> kTypeSyllable2 = {
+    "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+const std::vector<std::string_view> kTypeSyllable3 = {"TIN", "NICKEL", "BRASS",
+                                                      "STEEL", "COPPER"};
+
+const std::vector<std::string_view> kContainerSyllable1 = {"SM", "LG", "MED",
+                                                           "JUMBO", "WRAP"};
+const std::vector<std::string_view> kContainerSyllable2 = {
+    "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+
+const std::vector<std::string_view> kColors = {
+    "almond",    "antique",  "aquamarine", "azure",     "beige",    "bisque",
+    "black",     "blanched", "blue",       "blush",     "brown",    "burlywood",
+    "burnished", "chartreuse", "chiffon",  "chocolate", "coral",    "cornflower",
+    "cornsilk",  "cream",    "cyan",       "dark",      "deep",     "dim",
+    "dodger",    "drab",     "firebrick",  "floral",    "forest",   "frosted",
+    "gainsboro", "ghost",    "goldenrod",  "green",     "grey",     "honeydew",
+    "hot",       "indian",   "ivory",      "khaki",     "lace",     "lavender",
+    "lawn",      "lemon",    "light",      "lime",      "linen",    "magenta",
+    "maroon",    "medium",   "metallic",   "midnight",  "mint",     "misty",
+    "moccasin",  "navajo",   "navy",       "olive",     "orange",   "orchid",
+    "pale",      "papaya",   "peach",      "peru",      "pink",     "plum",
+    "powder",    "puff",     "purple",     "red",       "rose",     "rosy",
+    "royal",     "saddle",   "salmon",     "sandy",     "seashell", "sienna",
+    "sky",       "slate",    "smoke",      "snow",      "spring",   "steel",
+    "tan",       "thistle",  "tomato",     "turquoise", "violet",   "wheat",
+    "white",     "yellow"};
+
+}  // namespace lists
+
+namespace {
+
+const std::vector<std::string_view> kNouns = {
+    "foxes",     "ideas",       "theodolites", "pinto beans", "instructions",
+    "dependencies", "excuses",  "platelets",   "asymptotes",  "courts",
+    "deposits",  "escapades",   "gifts",       "hockey players", "frays",
+    "warhorses", "dugouts",     "notornis",    "epitaphs",    "pearls",
+    "tithes",    "waters",      "orbits",      "sauternes",   "sheaves",
+    "depths",    "sentiments",  "decoys",      "realms",      "pains",
+    "grouches",  "braids",      "frets"};
+
+const std::vector<std::string_view> kVerbs = {
+    "sleep",  "wake",   "are",     "cajole", "haggle",  "nag",     "use",
+    "boost",  "affix",  "detect",  "integrate", "maintain", "nod", "was",
+    "lose",   "sublate", "solve",  "thrash", "promise", "engage",  "hinder",
+    "print",  "x-ray",  "breach",  "eat",    "grow",    "impress", "mold",
+    "poach",  "serve",  "run",     "dazzle", "snooze",  "doze",    "unwind",
+    "kindle", "play",   "hang",    "believe", "doubt"};
+
+const std::vector<std::string_view> kAdjectives = {
+    "furious",  "sly",     "careful", "blithe",   "quick",    "fluffy",
+    "slow",     "quiet",   "ruthless", "thin",    "close",    "dogged",
+    "daring",   "brave",   "stealthy", "permanent", "enticing", "idle",
+    "busy",     "regular", "final",   "ironic",   "even",     "bold",
+    "silent"};
+
+const std::vector<std::string_view> kAdverbs = {
+    "sometimes", "always",   "never",     "furiously", "slyly",   "carefully",
+    "blithely",  "quickly",  "fluffily",  "slowly",    "quietly", "ruthlessly",
+    "thinly",    "closely",  "doggedly",  "daringly",  "bravely", "stealthily",
+    "permanently", "enticingly", "idly",  "busily",    "regularly", "finally",
+    "ironically", "evenly",  "boldly",    "silently"};
+
+const std::vector<std::string_view> kPrepositions = {
+    "about",  "above",  "according to", "across", "after", "against",
+    "along",  "among",  "around",       "at",     "atop",  "before",
+    "behind", "beneath", "beside",      "between", "beyond", "by",
+    "despite", "during", "except",      "for",    "from",  "inside",
+    "instead of", "into", "near",       "of",     "on",    "outside",
+    "over",   "past",   "since",        "through", "throughout", "to",
+    "toward", "under",  "until",        "up",     "upon",  "without",
+    "with",   "within"};
+
+const std::vector<std::string_view> kAuxiliaries = {
+    "do",       "may",     "might",   "shall",   "will",
+    "would",    "can",     "could",   "should",  "ought to",
+    "must",     "need to", "try to"};
+
+// One grammar production: noun-phrase verb-phrase [prepositional-phrase].
+void AppendSentence(util::Rng* rng, std::string* out) {
+  // Noun phrase.
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      out->append(Pick(rng, kNouns));
+      break;
+    case 1:
+      out->append(Pick(rng, kAdjectives));
+      out->push_back(' ');
+      out->append(Pick(rng, kNouns));
+      break;
+    case 2:
+      out->append(Pick(rng, kAdjectives));
+      out->append(", ");
+      out->append(Pick(rng, kAdjectives));
+      out->push_back(' ');
+      out->append(Pick(rng, kNouns));
+      break;
+    default:
+      out->append(Pick(rng, kAdverbs));
+      out->push_back(' ');
+      out->append(Pick(rng, kAdjectives));
+      out->push_back(' ');
+      out->append(Pick(rng, kNouns));
+      break;
+  }
+  out->push_back(' ');
+  // Verb phrase.
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      out->append(Pick(rng, kVerbs));
+      break;
+    case 1:
+      out->append(Pick(rng, kAuxiliaries));
+      out->push_back(' ');
+      out->append(Pick(rng, kVerbs));
+      break;
+    case 2:
+      out->append(Pick(rng, kVerbs));
+      out->push_back(' ');
+      out->append(Pick(rng, kAdverbs));
+      break;
+    default:
+      out->append(Pick(rng, kAuxiliaries));
+      out->push_back(' ');
+      out->append(Pick(rng, kVerbs));
+      out->push_back(' ');
+      out->append(Pick(rng, kAdverbs));
+      break;
+  }
+  // Optional prepositional phrase.
+  if (rng->NextBool(0.5)) {
+    out->push_back(' ');
+    out->append(Pick(rng, kPrepositions));
+    out->append(" the ");
+    out->append(Pick(rng, kNouns));
+  }
+  out->append(". ");
+}
+
+}  // namespace
+
+std::string_view Pick(util::Rng* rng,
+                      const std::vector<std::string_view>& v) {
+  return v[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+}
+
+std::string RandomText(util::Rng* rng, size_t min_len, size_t max_len) {
+  assert(min_len <= max_len);
+  const size_t target = static_cast<size_t>(
+      rng->Uniform(static_cast<int64_t>(min_len),
+                   static_cast<int64_t>(max_len)));
+  std::string out;
+  while (out.size() < target) AppendSentence(rng, &out);
+  out.resize(target);
+  // Avoid a trailing space (cosmetic only).
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string NumberedName(std::string_view prefix, int64_t key) {
+  return util::Format("%.*s#%09lld", static_cast<int>(prefix.size()),
+                      prefix.data(), static_cast<long long>(key));
+}
+
+std::string RandomAddress(util::Rng* rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789,. ";
+  const size_t len = static_cast<size_t>(rng->Uniform(10, 40));
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->Uniform(0, sizeof(kAlphabet) - 2)];
+  }
+  return out;
+}
+
+std::string RandomPhone(util::Rng* rng, int nation_key) {
+  return util::Format("%02d-%03d-%03d-%04d", nation_key + 10,
+                      static_cast<int>(rng->Uniform(100, 999)),
+                      static_cast<int>(rng->Uniform(100, 999)),
+                      static_cast<int>(rng->Uniform(1000, 9999)));
+}
+
+std::string RandomPartName(util::Rng* rng) {
+  // Five distinct colors out of 92.
+  size_t idx[5];
+  for (int i = 0; i < 5; ++i) {
+    bool dup;
+    do {
+      idx[i] = static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(lists::kColors.size()) - 1));
+      dup = false;
+      for (int j = 0; j < i; ++j) dup |= idx[j] == idx[i];
+    } while (dup);
+  }
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) out += ' ';
+    out += lists::kColors[idx[i]];
+  }
+  return out;
+}
+
+std::string RandomPartType(util::Rng* rng) {
+  std::string out(Pick(rng, lists::kTypeSyllable1));
+  out += ' ';
+  out += Pick(rng, lists::kTypeSyllable2);
+  out += ' ';
+  out += Pick(rng, lists::kTypeSyllable3);
+  return out;
+}
+
+std::string RandomContainer(util::Rng* rng) {
+  std::string out(Pick(rng, lists::kContainerSyllable1));
+  out += ' ';
+  out += Pick(rng, lists::kContainerSyllable2);
+  return out;
+}
+
+}  // namespace smadb::tpch

@@ -1,0 +1,59 @@
+// TPC-D text synthesis: grammar-based pseudo-English comments and the fixed
+// word lists of the specification (ship modes, priorities, nations, ...).
+
+#ifndef SMADB_TPCH_TEXT_H_
+#define SMADB_TPCH_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smadb::tpch {
+
+/// Fixed specification lists (clause 4.2.2/4.2.3 of the TPC-D spec).
+namespace lists {
+extern const std::vector<std::string_view> kSegments;
+extern const std::vector<std::string_view> kPriorities;
+extern const std::vector<std::string_view> kInstructions;
+extern const std::vector<std::string_view> kModes;
+extern const std::vector<std::string_view> kNations;
+extern const std::vector<int> kNationRegion;
+extern const std::vector<std::string_view> kRegions;
+extern const std::vector<std::string_view> kTypeSyllable1;
+extern const std::vector<std::string_view> kTypeSyllable2;
+extern const std::vector<std::string_view> kTypeSyllable3;
+extern const std::vector<std::string_view> kContainerSyllable1;
+extern const std::vector<std::string_view> kContainerSyllable2;
+extern const std::vector<std::string_view> kColors;
+}  // namespace lists
+
+/// Picks a uniform element of a list.
+std::string_view Pick(util::Rng* rng, const std::vector<std::string_view>& v);
+
+/// Grammar-generated sentence fragments, truncated to [min_len, max_len]
+/// bytes (the spec's comment columns are length-bounded).
+std::string RandomText(util::Rng* rng, size_t min_len, size_t max_len);
+
+/// "Customer#000000042"-style numbered entity name.
+std::string NumberedName(std::string_view prefix, int64_t key);
+
+/// Random v-string address of the spec's alphabet.
+std::string RandomAddress(util::Rng* rng);
+
+/// "NN-NNN-NNN-NNNN" phone with nation-derived country code.
+std::string RandomPhone(util::Rng* rng, int nation_key);
+
+/// p_name: five distinct color words.
+std::string RandomPartName(util::Rng* rng);
+
+/// p_type: three syllables ("STANDARD ANODIZED TIN").
+std::string RandomPartType(util::Rng* rng);
+
+/// p_container: two syllables ("SM CASE").
+std::string RandomContainer(util::Rng* rng);
+
+}  // namespace smadb::tpch
+
+#endif  // SMADB_TPCH_TEXT_H_

@@ -1,0 +1,66 @@
+// Compact bit vector used for bucket-grade masks and qualification sets.
+
+#ifndef SMADB_UTIL_BITVECTOR_H_
+#define SMADB_UTIL_BITVECTOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smadb::util {
+
+/// Fixed-size bit vector with popcount support.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t n, bool value = false)
+      : size_(n), words_((n + 63) / 64, value ? ~uint64_t{0} : 0) {
+    TrimTail();
+  }
+
+  size_t size() const { return size_; }
+
+  bool Get(size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void Set(size_t i, bool v = true) {
+    assert(i < size_);
+    if (v) {
+      words_[i >> 6] |= uint64_t{1} << (i & 63);
+    } else {
+      words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// In-place intersection/union with an equal-sized vector.
+  void And(const BitVector& o) {
+    assert(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  }
+  void Or(const BitVector& o) {
+    assert(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  }
+
+ private:
+  void TrimTail() {
+    const size_t extra = words_.size() * 64 - size_;
+    if (extra > 0 && !words_.empty()) words_.back() &= ~uint64_t{0} >> extra;
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace smadb::util
+
+#endif  // SMADB_UTIL_BITVECTOR_H_

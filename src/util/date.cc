@@ -1,0 +1,107 @@
+#include "util/date.h"
+
+#include <cstdio>
+
+namespace smadb::util {
+
+namespace {
+
+// Days from 1970-01-01 to year/month/day, Howard Hinnant's
+// days_from_civil (http://howardhinnant.github.io/date_algorithms.html).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+bool IsLeap(int y) { return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0); }
+
+int DaysInMonth(int y, int m) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+Date Date::FromYmd(int year, int month, int day) {
+  return Date(static_cast<int32_t>(DaysFromCivil(year, month, day)));
+}
+
+Result<Date> Date::Parse(std::string_view text) {
+  // Expect exactly "YYYY-MM-DD".
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return Status::InvalidArgument("date must be YYYY-MM-DD: '" +
+                                   std::string(text) + "'");
+  }
+  auto digits = [&](size_t pos, size_t len, int* out) {
+    int v = 0;
+    for (size_t i = pos; i < pos + len; ++i) {
+      if (text[i] < '0' || text[i] > '9') return false;
+      v = v * 10 + (text[i] - '0');
+    }
+    *out = v;
+    return true;
+  };
+  int y, m, d;
+  if (!digits(0, 4, &y) || !digits(5, 2, &m) || !digits(8, 2, &d)) {
+    return Status::InvalidArgument("date has non-digit characters: '" +
+                                   std::string(text) + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
+    return Status::InvalidArgument("impossible calendar date: '" +
+                                   std::string(text) + "'");
+  }
+  return Date::FromYmd(y, m, d);
+}
+
+void Date::ToYmd(int* year, int* month, int* day) const {
+  CivilFromDays(days_, year, month, day);
+}
+
+int Date::year() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  return d;
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace smadb::util

@@ -1,0 +1,58 @@
+// Civil-calendar Date stored as days since 1970-01-01 (proleptic Gregorian).
+// TPC-D dates span 1992-01-01 .. 1998-12-31; the paper stores a date in
+// 32 bits, which this type matches exactly.
+
+#ifndef SMADB_UTIL_DATE_H_
+#define SMADB_UTIL_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace smadb::util {
+
+/// A calendar date, internally the (possibly negative) number of days since
+/// the Unix epoch. Totally ordered; arithmetic in whole days.
+class Date {
+ public:
+  /// Constructs the epoch date 1970-01-01.
+  constexpr Date() : days_(0) {}
+  /// Constructs from a raw days-since-epoch count.
+  constexpr explicit Date(int32_t days_since_epoch)
+      : days_(days_since_epoch) {}
+
+  /// Builds a Date from civil year/month/day. No validation: the caller must
+  /// pass a real calendar date (use Parse() for validated input).
+  static Date FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD". Rejects malformed strings and impossible dates.
+  static Result<Date> Parse(std::string_view text);
+
+  /// Days since 1970-01-01 (the stored representation).
+  constexpr int32_t days() const { return days_; }
+
+  /// Decomposes into civil year/month/day (Howard Hinnant's algorithm).
+  void ToYmd(int* year, int* month, int* day) const;
+
+  int year() const;
+  int month() const;
+  int day() const;
+
+  /// Formats as "YYYY-MM-DD".
+  std::string ToString() const;
+
+  /// Date arithmetic in whole days.
+  Date AddDays(int32_t n) const { return Date(days_ + n); }
+  int32_t operator-(Date other) const { return days_ - other.days_; }
+
+  auto operator<=>(const Date&) const = default;
+
+ private:
+  int32_t days_;
+};
+
+}  // namespace smadb::util
+
+#endif  // SMADB_UTIL_DATE_H_

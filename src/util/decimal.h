@@ -1,0 +1,71 @@
+// Fixed-point decimal with two fractional digits, stored in an int64.
+// TPC-D money columns (extendedprice, discount, tax, ...) are decimal(15,2);
+// exact integer arithmetic avoids the float-summation drift that would make
+// SMA-precomputed sums diverge from scan-computed sums.
+
+#ifndef SMADB_UTIL_DECIMAL_H_
+#define SMADB_UTIL_DECIMAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace smadb::util {
+
+/// decimal(·,2): value = cents / 100. Addition/subtraction are exact;
+/// multiplication rounds half-away-from-zero to two digits.
+class Decimal {
+ public:
+  constexpr Decimal() : cents_(0) {}
+  constexpr explicit Decimal(int64_t cents) : cents_(cents) {}
+
+  /// 12.34 -> FromUnscaled(12, 34).
+  static constexpr Decimal FromUnscaled(int64_t whole, int64_t hundredths) {
+    return Decimal(whole * 100 + (whole < 0 ? -hundredths : hundredths));
+  }
+  static constexpr Decimal FromCents(int64_t cents) { return Decimal(cents); }
+
+  constexpr int64_t cents() const { return cents_; }
+  constexpr double ToDouble() const { return static_cast<double>(cents_) / 100.0; }
+
+  constexpr Decimal operator+(Decimal o) const { return Decimal(cents_ + o.cents_); }
+  constexpr Decimal operator-(Decimal o) const { return Decimal(cents_ - o.cents_); }
+  Decimal& operator+=(Decimal o) {
+    cents_ += o.cents_;
+    return *this;
+  }
+  Decimal& operator-=(Decimal o) {
+    cents_ -= o.cents_;
+    return *this;
+  }
+
+  /// Exact product has four fractional digits; rounds back to two,
+  /// half away from zero.
+  constexpr Decimal operator*(Decimal o) const {
+    const int64_t raw = cents_ * o.cents_;  // scale 10^4
+    const int64_t half = raw >= 0 ? 50 : -50;
+    return Decimal((raw + half) / 100);
+  }
+
+  /// Multiplication by an integral count (e.g. quantity).
+  constexpr Decimal operator*(int64_t n) const { return Decimal(cents_ * n); }
+
+  auto operator<=>(const Decimal&) const = default;
+
+  /// Formats with exactly two fractional digits, e.g. "-3.07".
+  std::string ToString() const {
+    const int64_t a = cents_ < 0 ? -cents_ : cents_;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%lld.%02lld", cents_ < 0 ? "-" : "",
+                  static_cast<long long>(a / 100),
+                  static_cast<long long>(a % 100));
+    return buf;
+  }
+
+ private:
+  int64_t cents_;
+};
+
+}  // namespace smadb::util
+
+#endif  // SMADB_UTIL_DECIMAL_H_

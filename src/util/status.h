@@ -1,0 +1,146 @@
+// Status / Result<T>: exception-free error propagation across the smadb API,
+// following the Arrow/RocksDB idiom. Functions that can fail return Status (or
+// Result<T> when they produce a value); the hot paths never throw.
+
+#ifndef SMADB_UTIL_STATUS_H_
+#define SMADB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace smadb::util {
+
+/// Error category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kNotSupported = 6,
+  kCorruption = 7,
+  kInternal = 8,
+};
+
+/// Human-readable name of a status code ("OK", "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Lightweight success/error value. Ok statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error. Access to the value of a non-ok Result is a programming
+/// error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-ok Status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace smadb::util
+
+/// Propagates a non-ok Status from the current function.
+#define SMADB_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::smadb::util::Status _st = (expr);      \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors, else binds the value.
+#define SMADB_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto SMADB_CONCAT_(_res_, __LINE__) = (expr);           \
+  if (!SMADB_CONCAT_(_res_, __LINE__).ok())               \
+    return SMADB_CONCAT_(_res_, __LINE__).status();       \
+  lhs = std::move(SMADB_CONCAT_(_res_, __LINE__)).value()
+
+#define SMADB_CONCAT_(a, b) SMADB_CONCAT_IMPL_(a, b)
+#define SMADB_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SMADB_UTIL_STATUS_H_

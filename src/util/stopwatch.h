@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for benchmark harnesses.
+
+#ifndef SMADB_UTIL_STOPWATCH_H_
+#define SMADB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace smadb::util {
+
+/// Monotonic stopwatch; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smadb::util
+
+#endif  // SMADB_UTIL_STOPWATCH_H_

@@ -1,0 +1,33 @@
+// Small string helpers shared across modules.
+
+#ifndef SMADB_UTIL_STRING_UTIL_H_
+#define SMADB_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smadb::util {
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII upper-casing (locale-independent).
+std::string ToUpperAscii(std::string_view s);
+
+/// "1234567" -> "1,234,567" for benchmark table output.
+std::string WithThousands(long long v);
+
+/// Human-readable byte size ("33.78 MB").
+std::string HumanBytes(double bytes);
+
+}  // namespace smadb::util
+
+#endif  // SMADB_UTIL_STRING_UTIL_H_

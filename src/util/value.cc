@@ -1,0 +1,78 @@
+#include "util/value.h"
+
+namespace smadb::util {
+
+std::string_view TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kDecimal:
+      return "decimal";
+    case TypeId::kDate:
+      return "date";
+    case TypeId::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::ToDoubleLossy() const {
+  switch (type_) {
+    case TypeId::kDouble:
+      return dbl_;
+    case TypeId::kDecimal:
+      return Decimal(num_).ToDouble();
+    case TypeId::kString:
+      assert(false && "string has no numeric view");
+      return 0.0;
+    default:
+      return static_cast<double>(num_);
+  }
+}
+
+std::strong_ordering Value::Compare(const Value& other) const {
+  if (type_ == TypeId::kString || other.type_ == TypeId::kString) {
+    assert(type_ == TypeId::kString && other.type_ == TypeId::kString);
+    const int c = str_.compare(other.str_);
+    if (c < 0) return std::strong_ordering::less;
+    if (c > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  if (type_ == TypeId::kDouble || other.type_ == TypeId::kDouble) {
+    const double a = ToDoubleLossy();
+    const double b = other.ToDoubleLossy();
+    if (a < b) return std::strong_ordering::less;
+    if (a > b) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  assert(type_ == other.type_ && "cross-type integral comparison");
+  if (num_ < other.num_) return std::strong_ordering::less;
+  if (num_ > other.num_) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return std::to_string(num_);
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", dbl_);
+      return buf;
+    }
+    case TypeId::kDecimal:
+      return Decimal(num_).ToString();
+    case TypeId::kDate:
+      return Date(static_cast<int32_t>(num_)).ToString();
+    case TypeId::kString:
+      return str_;
+  }
+  return "?";
+}
+
+}  // namespace smadb::util

@@ -1,0 +1,134 @@
+// Runtime-typed Value used at API boundaries (predicates, query results,
+// group keys). Hot loops inside operators use raw typed column accessors
+// instead; Value is for the narrow waist where genericity matters.
+
+#ifndef SMADB_UTIL_VALUE_H_
+#define SMADB_UTIL_VALUE_H_
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/date.h"
+#include "util/decimal.h"
+#include "util/status.h"
+
+namespace smadb::util {
+
+/// Physical column types supported by the storage layer.
+enum class TypeId : uint8_t {
+  kInt32,    ///< 32-bit signed integer
+  kInt64,    ///< 64-bit signed integer
+  kDouble,   ///< IEEE-754 double
+  kDecimal,  ///< fixed-point decimal(·,2) stored as int64 cents
+  kDate,     ///< days since epoch stored as int32
+  kString,   ///< fixed-capacity inline string (char(n) / varchar(n))
+};
+
+/// Name of a type ("int32", "decimal", ...).
+std::string_view TypeIdToString(TypeId t);
+
+/// True for types whose comparisons are numeric (everything except kString).
+constexpr bool IsNumericFamily(TypeId t) { return t != TypeId::kString; }
+
+/// A single typed scalar. TPC-D has no NULLs, and neither do we; every Value
+/// holds a concrete datum of its type.
+class Value {
+ public:
+  /// Default-constructs int64 zero (useful for aggregate init).
+  Value() : type_(TypeId::kInt64), num_(0) {}
+
+  static Value Int32(int32_t v) { return Value(TypeId::kInt32, v); }
+  static Value Int64(int64_t v) { return Value(TypeId::kInt64, v); }
+  static Value MakeDouble(double v) {
+    Value val;
+    val.type_ = TypeId::kDouble;
+    val.dbl_ = v;
+    return val;
+  }
+  static Value MakeDecimal(Decimal d) { return Value(TypeId::kDecimal, d.cents()); }
+  static Value MakeDate(Date d) { return Value(TypeId::kDate, d.days()); }
+  static Value String(std::string s) {
+    Value val;
+    val.type_ = TypeId::kString;
+    val.str_ = std::move(s);
+    return val;
+  }
+
+  TypeId type() const { return type_; }
+
+  int32_t AsInt32() const {
+    assert(type_ == TypeId::kInt32);
+    return static_cast<int32_t>(num_);
+  }
+  int64_t AsInt64() const {
+    assert(type_ == TypeId::kInt64);
+    return num_;
+  }
+  double AsDouble() const {
+    assert(type_ == TypeId::kDouble);
+    return dbl_;
+  }
+  Decimal AsDecimal() const {
+    assert(type_ == TypeId::kDecimal);
+    return Decimal(num_);
+  }
+  Date AsDate() const {
+    assert(type_ == TypeId::kDate);
+    return Date(static_cast<int32_t>(num_));
+  }
+  const std::string& AsString() const {
+    assert(type_ == TypeId::kString);
+    return str_;
+  }
+
+  /// Raw integral payload for kInt32/kInt64/kDecimal/kDate. Used by the SMA
+  /// layer, which stores these families uniformly as integers.
+  int64_t RawInt() const {
+    assert(type_ != TypeId::kDouble && type_ != TypeId::kString);
+    return num_;
+  }
+
+  /// Numeric view of any non-string value (decimal scaled to its true value).
+  double ToDoubleLossy() const;
+
+  /// Three-way comparison. Both values must be of the same type family
+  /// (both strings, or both in {int32,int64,date} etc. with identical type);
+  /// comparing across types is a programming error.
+  std::strong_ordering Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const {
+    return Compare(other) == std::strong_ordering::equal;
+  }
+  bool operator<(const Value& other) const {
+    return Compare(other) == std::strong_ordering::less;
+  }
+  bool operator<=(const Value& other) const {
+    return Compare(other) != std::strong_ordering::greater;
+  }
+  bool operator>(const Value& other) const {
+    return Compare(other) == std::strong_ordering::greater;
+  }
+  bool operator>=(const Value& other) const {
+    return Compare(other) != std::strong_ordering::less;
+  }
+
+  /// Display form ("1995-03-14", "3.07", "RAIL", ...).
+  std::string ToString() const;
+
+ private:
+  Value(TypeId t, int64_t raw) : type_(t), num_(raw) {}
+
+  TypeId type_;
+  union {
+    int64_t num_;
+    double dbl_;
+  };
+  std::string str_;
+};
+
+}  // namespace smadb::util
+
+#endif  // SMADB_UTIL_VALUE_H_

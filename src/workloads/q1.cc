@@ -1,0 +1,180 @@
+#include "workloads/q1.h"
+
+#include "expr/expr.h"
+#include "expr/predicate.h"
+#include "sma/builder.h"
+#include "tpch/schemas.h"
+#include "util/date.h"
+
+namespace smadb::workloads {
+
+using exec::AggSpec;
+using expr::CmpOp;
+using expr::ExprPtr;
+using expr::Predicate;
+using sma::SmaSpec;
+using storage::Table;
+using util::Result;
+using util::Status;
+using util::Value;
+
+namespace {
+
+// Canonical Q1 expressions; built identically for SMA specs and queries so
+// signature matching succeeds.
+struct Q1Exprs {
+  ExprPtr shipdate;
+  ExprPtr quantity;
+  ExprPtr extendedprice;
+  ExprPtr discount;
+  ExprPtr tax;
+  ExprPtr disc_price;  // l_extendedprice * (1 - l_discount)
+  ExprPtr charge;      // l_extendedprice * (1 - l_discount) * (1 + l_tax)
+};
+
+Result<Q1Exprs> MakeQ1Exprs(const storage::Schema* schema) {
+  Q1Exprs e;
+  SMADB_ASSIGN_OR_RETURN(e.shipdate, expr::Column(schema, "l_shipdate"));
+  SMADB_ASSIGN_OR_RETURN(e.quantity, expr::Column(schema, "l_quantity"));
+  SMADB_ASSIGN_OR_RETURN(e.extendedprice,
+                         expr::Column(schema, "l_extendedprice"));
+  SMADB_ASSIGN_OR_RETURN(e.discount, expr::Column(schema, "l_discount"));
+  SMADB_ASSIGN_OR_RETURN(e.tax, expr::Column(schema, "l_tax"));
+  SMADB_ASSIGN_OR_RETURN(ExprPtr one_minus_disc, expr::OneMinus(e.discount));
+  SMADB_ASSIGN_OR_RETURN(
+      e.disc_price,
+      expr::Arith(expr::ArithOp::kMul, e.extendedprice, one_minus_disc));
+  SMADB_ASSIGN_OR_RETURN(ExprPtr one_plus_tax, expr::OnePlus(e.tax));
+  SMADB_ASSIGN_OR_RETURN(
+      e.charge, expr::Arith(expr::ArithOp::kMul, e.disc_price, one_plus_tax));
+  return e;
+}
+
+}  // namespace
+
+Result<std::vector<SmaSpec>> MakeQ1SmaSpecs(const Table* lineitem) {
+  const storage::Schema* schema = &lineitem->schema();
+  SMADB_ASSIGN_OR_RETURN(Q1Exprs e, MakeQ1Exprs(schema));
+  const std::vector<size_t> flags = {tpch::lineitem::kReturnFlag,
+                                     tpch::lineitem::kLineStatus};
+  std::vector<SmaSpec> specs;
+  // Paper Fig. 4, in its order: max, min ungrouped; the rest grouped by
+  // L_RETFLAG, L_LINESTAT.
+  specs.push_back(SmaSpec::Max("max", e.shipdate));
+  specs.push_back(SmaSpec::Min("min", e.shipdate));
+  specs.push_back(SmaSpec::Count("count", flags));
+  specs.push_back(SmaSpec::Sum("qty", e.quantity, flags));
+  specs.push_back(SmaSpec::Sum("dis", e.discount, flags));
+  specs.push_back(SmaSpec::Sum("ext", e.extendedprice, flags));
+  specs.push_back(SmaSpec::Sum("extdis", e.disc_price, flags));
+  specs.push_back(SmaSpec::Sum("extdistax", e.charge, flags));
+  return specs;
+}
+
+Status BuildQ1Smas(Table* lineitem, sma::SmaSet* smas) {
+  SMADB_ASSIGN_OR_RETURN(std::vector<SmaSpec> specs,
+                         MakeQ1SmaSpecs(lineitem));
+  for (SmaSpec& spec : specs) {
+    SMADB_ASSIGN_OR_RETURN(auto sma, sma::BuildSma(lineitem, std::move(spec)));
+    SMADB_RETURN_NOT_OK(smas->Add(std::move(sma)));
+  }
+  return Status::OK();
+}
+
+Result<plan::AggQuery> MakeQ1Query(Table* lineitem, int delta_days) {
+  const storage::Schema* schema = &lineitem->schema();
+  SMADB_ASSIGN_OR_RETURN(Q1Exprs e, MakeQ1Exprs(schema));
+
+  plan::AggQuery q;
+  q.table = lineitem;
+  const util::Date cutoff =
+      util::Date::FromYmd(1998, 12, 1).AddDays(-delta_days);
+  SMADB_ASSIGN_OR_RETURN(
+      q.pred, Predicate::AtomConst(schema, "l_shipdate", CmpOp::kLe,
+                                   Value::MakeDate(cutoff)));
+  q.group_by = {tpch::lineitem::kReturnFlag, tpch::lineitem::kLineStatus};
+  q.aggs = {
+      AggSpec::Sum(e.quantity, "sum_qty"),
+      AggSpec::Sum(e.extendedprice, "sum_base_price"),
+      AggSpec::Sum(e.disc_price, "sum_disc_price"),
+      AggSpec::Sum(e.charge, "sum_charge"),
+      AggSpec::Avg(e.quantity, "avg_qty"),
+      AggSpec::Avg(e.extendedprice, "avg_price"),
+      AggSpec::Avg(e.discount, "avg_disc"),
+      AggSpec::Count("count_order"),
+  };
+  return q;
+}
+
+Result<plan::AggQuery> MakeQ6Query(Table* lineitem, int year,
+                                   int64_t discount_cents, int64_t quantity) {
+  const storage::Schema* schema = &lineitem->schema();
+  SMADB_ASSIGN_OR_RETURN(Q1Exprs e, MakeQ1Exprs(schema));
+
+  plan::AggQuery q;
+  q.table = lineitem;
+  const util::Date lo = util::Date::FromYmd(year, 1, 1);
+  const util::Date hi = util::Date::FromYmd(year + 1, 1, 1);
+  SMADB_ASSIGN_OR_RETURN(
+      expr::PredicatePtr p_lo,
+      Predicate::AtomConst(schema, "l_shipdate", CmpOp::kGe,
+                           Value::MakeDate(lo)));
+  SMADB_ASSIGN_OR_RETURN(
+      expr::PredicatePtr p_hi,
+      Predicate::AtomConst(schema, "l_shipdate", CmpOp::kLt,
+                           Value::MakeDate(hi)));
+  SMADB_ASSIGN_OR_RETURN(
+      expr::PredicatePtr p_dlo,
+      Predicate::AtomConst(schema, "l_discount", CmpOp::kGe,
+                           Value::MakeDecimal(
+                               util::Decimal(discount_cents - 1))));
+  SMADB_ASSIGN_OR_RETURN(
+      expr::PredicatePtr p_dhi,
+      Predicate::AtomConst(schema, "l_discount", CmpOp::kLe,
+                           Value::MakeDecimal(
+                               util::Decimal(discount_cents + 1))));
+  SMADB_ASSIGN_OR_RETURN(
+      expr::PredicatePtr p_qty,
+      Predicate::AtomConst(schema, "l_quantity", CmpOp::kLt,
+                           Value::MakeDecimal(
+                               util::Decimal(quantity * 100))));
+  q.pred = Predicate::And(
+      Predicate::And(p_lo, p_hi), Predicate::And(Predicate::And(p_dlo, p_dhi),
+                                                 p_qty));
+  SMADB_ASSIGN_OR_RETURN(
+      ExprPtr revenue,
+      expr::Arith(expr::ArithOp::kMul, e.extendedprice, e.discount));
+  q.aggs = {AggSpec::Sum(revenue, "revenue"), AggSpec::Count("count")};
+  return q;
+}
+
+Status BuildQ6Smas(Table* lineitem, sma::SmaSet* smas) {
+  const storage::Schema* schema = &lineitem->schema();
+  SMADB_ASSIGN_OR_RETURN(Q1Exprs e, MakeQ1Exprs(schema));
+  SMADB_ASSIGN_OR_RETURN(
+      ExprPtr revenue,
+      expr::Arith(expr::ArithOp::kMul, e.extendedprice, e.discount));
+
+  // Reuse min/max(shipdate) when the Fig. 4 set is already registered.
+  if (!smas->Find("min").ok()) {
+    SMADB_ASSIGN_OR_RETURN(
+        auto min_sma,
+        sma::BuildSma(lineitem, SmaSpec::Min("min", e.shipdate)));
+    SMADB_RETURN_NOT_OK(smas->Add(std::move(min_sma)));
+  }
+  if (!smas->Find("max").ok()) {
+    SMADB_ASSIGN_OR_RETURN(
+        auto max_sma,
+        sma::BuildSma(lineitem, SmaSpec::Max("max", e.shipdate)));
+    SMADB_RETURN_NOT_OK(smas->Add(std::move(max_sma)));
+  }
+  SMADB_ASSIGN_OR_RETURN(
+      auto rev_sma, sma::BuildSma(lineitem, SmaSpec::Sum("q6rev", revenue)));
+  SMADB_RETURN_NOT_OK(smas->Add(std::move(rev_sma)));
+  SMADB_ASSIGN_OR_RETURN(auto cnt_sma,
+                         sma::BuildSma(lineitem, SmaSpec::Count("q6count")));
+  SMADB_RETURN_NOT_OK(smas->Add(std::move(cnt_sma)));
+  return Status::OK();
+}
+
+}  // namespace smadb::workloads

@@ -1,0 +1,50 @@
+// TPC-D Query 1 and Query 6 workload definitions, shared by examples,
+// tests, and the benchmark harness.
+//
+// Q1 is the paper's headline experiment (Fig. 3): low selectivity (95–97%
+// qualify), grouping on returnflag/linestatus, eight aggregates. Fig. 4
+// lists the eight SMAs that answer it; MakeQ1SmaSpecs reproduces them
+// verbatim (min/max ungrouped, six grouped SMAs → 26 SMA-files).
+//
+// Q6 is the complementary selection-heavy query (small conjunctive range
+// predicate, single sum) used in the selectivity-sweep experiments.
+
+#ifndef SMADB_WORKLOADS_Q1_H_
+#define SMADB_WORKLOADS_Q1_H_
+
+#include <vector>
+
+#include "planner/planner.h"
+#include "sma/sma_def.h"
+#include "sma/sma_set.h"
+#include "storage/table.h"
+
+namespace smadb::workloads {
+
+/// The eight SMA definitions of paper Fig. 4 for a LINEITEM table.
+util::Result<std::vector<sma::SmaSpec>> MakeQ1SmaSpecs(
+    const storage::Table* lineitem);
+
+/// Builds all Fig. 4 SMAs into `smas`.
+util::Status BuildQ1Smas(storage::Table* lineitem, sma::SmaSet* smas);
+
+/// Query 1 with `delta` days (spec default 90):
+///   where l_shipdate <= date '1998-12-01' - interval 'delta' day.
+util::Result<plan::AggQuery> MakeQ1Query(storage::Table* lineitem,
+                                         int delta_days = 90);
+
+/// Query 6 for `year` (1993..1997), discount ± 0.01 around `discount_cents`
+/// and quantity < `quantity`:
+///   select sum(l_extendedprice * l_discount) ...
+util::Result<plan::AggQuery> MakeQ6Query(storage::Table* lineitem,
+                                         int year = 1994,
+                                         int64_t discount_cents = 6,
+                                         int64_t quantity = 24);
+
+/// The SMAs Q6 exploits: min/max(shipdate) reused from Fig. 4 plus
+/// sum(l_extendedprice * l_discount) and count(*), both ungrouped.
+util::Status BuildQ6Smas(storage::Table* lineitem, sma::SmaSet* smas);
+
+}  // namespace smadb::workloads
+
+#endif  // SMADB_WORKLOADS_Q1_H_

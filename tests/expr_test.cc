@@ -1,0 +1,206 @@
+// Unit tests for smadb::expr — expression trees and predicates.
+
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "expr/predicate.h"
+#include "tests/test_util.h"
+
+namespace smadb::expr {
+namespace {
+
+using storage::Schema;
+using storage::TupleBuffer;
+using testing::SyntheticSchema;
+using testing::Unwrap;
+using util::Date;
+using util::Decimal;
+using util::TypeId;
+using util::Value;
+
+struct ExprTest : ::testing::Test {
+  ExprTest() : schema(SyntheticSchema()), tuple(&schema) {
+    tuple.SetInt64(0, 7);
+    tuple.SetDate(1, Date(100));
+    tuple.SetDecimal(2, Decimal(250));  // 2.50
+    tuple.SetString(3, "B");
+    tuple.SetString(4, "RAIL");
+  }
+
+  Schema schema;
+  TupleBuffer tuple;
+};
+
+TEST_F(ExprTest, ColumnEval) {
+  const ExprPtr k = Unwrap(Column(&schema, "k"));
+  EXPECT_EQ(k->type(), TypeId::kInt64);
+  EXPECT_EQ(k->EvalInt(tuple.AsRef()), 7);
+  EXPECT_EQ(k->ToString(), "k");
+  EXPECT_TRUE(k->ReferencesColumn(0));
+  EXPECT_FALSE(k->ReferencesColumn(1));
+}
+
+TEST_F(ExprTest, UnknownColumnFails) {
+  EXPECT_FALSE(Column(&schema, "nope").ok());
+}
+
+TEST_F(ExprTest, LiteralEval) {
+  const ExprPtr lit = Literal(Value::MakeDecimal(Decimal(100)));
+  EXPECT_EQ(lit->type(), TypeId::kDecimal);
+  EXPECT_EQ(lit->EvalInt(tuple.AsRef()), 100);
+  EXPECT_EQ(lit->ToString(), "1.00");
+}
+
+TEST_F(ExprTest, IntegerArithmetic) {
+  const ExprPtr k = Unwrap(Column(&schema, "k"));
+  const ExprPtr e =
+      Unwrap(Arith(ArithOp::kAdd, k, Literal(Value::Int64(3))));
+  EXPECT_EQ(e->type(), TypeId::kInt64);
+  EXPECT_EQ(e->EvalInt(tuple.AsRef()), 10);
+  const ExprPtr m =
+      Unwrap(Arith(ArithOp::kMul, k, Literal(Value::Int64(-2))));
+  EXPECT_EQ(m->EvalInt(tuple.AsRef()), -14);
+}
+
+TEST_F(ExprTest, DecimalArithmeticMatchesDecimalClass) {
+  const ExprPtr v = Unwrap(Column(&schema, "v"));  // 2.50
+  // (1 - v) = -1.50
+  const ExprPtr one_minus = Unwrap(OneMinus(v));
+  EXPECT_EQ(one_minus->type(), TypeId::kDecimal);
+  EXPECT_EQ(one_minus->EvalInt(tuple.AsRef()), -150);
+  // v * (1 + v) = 2.50 * 3.50 = 8.75
+  const ExprPtr prod =
+      Unwrap(Arith(ArithOp::kMul, v, Unwrap(OnePlus(v))));
+  EXPECT_EQ(prod->EvalInt(tuple.AsRef()),
+            (Decimal(250) * Decimal(350)).cents());
+  EXPECT_EQ(prod->EvalInt(tuple.AsRef()), 875);
+}
+
+TEST_F(ExprTest, MixedIntDecimalPromotes) {
+  const ExprPtr k = Unwrap(Column(&schema, "k"));  // 7
+  const ExprPtr v = Unwrap(Column(&schema, "v"));  // 2.50
+  const ExprPtr sum = Unwrap(Arith(ArithOp::kAdd, k, v));
+  EXPECT_EQ(sum->type(), TypeId::kDecimal);
+  EXPECT_EQ(sum->EvalInt(tuple.AsRef()), 950);  // 9.50 in cents
+}
+
+TEST_F(ExprTest, ArithRejectsStrings) {
+  const ExprPtr tag = Unwrap(Column(&schema, "tag"));
+  const ExprPtr k = Unwrap(Column(&schema, "k"));
+  EXPECT_FALSE(Arith(ArithOp::kAdd, tag, k).ok());
+}
+
+TEST_F(ExprTest, ToStringIsCanonical) {
+  const ExprPtr v = Unwrap(Column(&schema, "v"));
+  const ExprPtr e = Unwrap(Arith(ArithOp::kMul, v, Unwrap(OneMinus(v))));
+  EXPECT_EQ(e->ToString(), "(v * (1.00 - v))");
+  // Two independently built copies print identically (signature matching).
+  const ExprPtr e2 = Unwrap(
+      Arith(ArithOp::kMul, Unwrap(Column(&schema, "v")),
+            Unwrap(OneMinus(Unwrap(Column(&schema, "v"))))));
+  EXPECT_EQ(e->ToString(), e2->ToString());
+}
+
+TEST_F(ExprTest, ReferencesColumnThroughTree) {
+  const ExprPtr v = Unwrap(Column(&schema, "v"));
+  const ExprPtr e = Unwrap(Arith(ArithOp::kMul, v, Unwrap(OneMinus(v))));
+  EXPECT_TRUE(e->ReferencesColumn(2));
+  EXPECT_FALSE(e->ReferencesColumn(0));
+}
+
+// -------------------------------------------------------------- Predicate --
+
+TEST_F(ExprTest, TruePredicate) {
+  EXPECT_TRUE(Predicate::True()->Eval(tuple.AsRef()));
+  EXPECT_EQ(Predicate::True()->ToString(), "true");
+}
+
+TEST_F(ExprTest, AtomConstAllOps) {
+  auto make = [&](CmpOp op, int64_t c) {
+    return Unwrap(
+        Predicate::AtomConst(&schema, "k", op, Value::Int64(c)));
+  };
+  // k == 7 in the fixture tuple.
+  EXPECT_TRUE(make(CmpOp::kEq, 7)->Eval(tuple.AsRef()));
+  EXPECT_FALSE(make(CmpOp::kEq, 8)->Eval(tuple.AsRef()));
+  EXPECT_TRUE(make(CmpOp::kNe, 8)->Eval(tuple.AsRef()));
+  EXPECT_TRUE(make(CmpOp::kLt, 8)->Eval(tuple.AsRef()));
+  EXPECT_FALSE(make(CmpOp::kLt, 7)->Eval(tuple.AsRef()));
+  EXPECT_TRUE(make(CmpOp::kLe, 7)->Eval(tuple.AsRef()));
+  EXPECT_TRUE(make(CmpOp::kGt, 6)->Eval(tuple.AsRef()));
+  EXPECT_TRUE(make(CmpOp::kGe, 7)->Eval(tuple.AsRef()));
+  EXPECT_FALSE(make(CmpOp::kGe, 8)->Eval(tuple.AsRef()));
+}
+
+TEST_F(ExprTest, AtomConstDateComparison) {
+  auto p = Unwrap(Predicate::AtomConst(&schema, "d", CmpOp::kLe,
+                                       Value::MakeDate(Date(100))));
+  EXPECT_TRUE(p->Eval(tuple.AsRef()));
+  auto q = Unwrap(Predicate::AtomConst(&schema, "d", CmpOp::kLt,
+                                       Value::MakeDate(Date(100))));
+  EXPECT_FALSE(q->Eval(tuple.AsRef()));
+}
+
+TEST_F(ExprTest, AtomConstTypeChecking) {
+  // Date constant against a decimal column: rejected.
+  EXPECT_FALSE(Predicate::AtomConst(&schema, "v", CmpOp::kEq,
+                                    Value::MakeDate(Date(1)))
+                   .ok());
+  // String columns cannot be graded; rejected.
+  EXPECT_FALSE(
+      Predicate::AtomConst(&schema, "tag", CmpOp::kEq, Value::String("x"))
+          .ok());
+  // Unknown column.
+  EXPECT_FALSE(
+      Predicate::AtomConst(&schema, "zz", CmpOp::kEq, Value::Int64(0)).ok());
+}
+
+TEST_F(ExprTest, AtomTwoCols) {
+  // Compare k (int64) with itself via a second int64 column — synthesize a
+  // schema with two comparable columns.
+  Schema s({storage::Field::Int64("a"), storage::Field::Int64("b")});
+  TupleBuffer t(&s);
+  t.SetInt64(0, 3);
+  t.SetInt64(1, 5);
+  auto le = Unwrap(Predicate::AtomTwoCols(&s, "a", CmpOp::kLe, "b"));
+  EXPECT_TRUE(le->Eval(t.AsRef()));
+  auto gt = Unwrap(Predicate::AtomTwoCols(&s, "a", CmpOp::kGt, "b"));
+  EXPECT_FALSE(gt->Eval(t.AsRef()));
+  // Type mismatch rejected.
+  EXPECT_FALSE(
+      Predicate::AtomTwoCols(&schema, "k", CmpOp::kLe, "d").ok());
+}
+
+TEST_F(ExprTest, BooleanCombinations) {
+  auto lo = Unwrap(
+      Predicate::AtomConst(&schema, "k", CmpOp::kGe, Value::Int64(5)));
+  auto hi = Unwrap(
+      Predicate::AtomConst(&schema, "k", CmpOp::kLe, Value::Int64(9)));
+  auto out = Unwrap(
+      Predicate::AtomConst(&schema, "k", CmpOp::kGt, Value::Int64(100)));
+  EXPECT_TRUE(Predicate::And(lo, hi)->Eval(tuple.AsRef()));
+  EXPECT_FALSE(Predicate::And(lo, out)->Eval(tuple.AsRef()));
+  EXPECT_TRUE(Predicate::Or(out, hi)->Eval(tuple.AsRef()));
+  EXPECT_FALSE(Predicate::Or(out, out)->Eval(tuple.AsRef()));
+}
+
+TEST_F(ExprTest, PredicateToString) {
+  auto p = Unwrap(
+      Predicate::AtomConst(&schema, "k", CmpOp::kLe, Value::Int64(9)));
+  EXPECT_EQ(p->ToString(&schema), "k <= 9");
+  EXPECT_EQ(Predicate::And(p, Predicate::True())->ToString(&schema),
+            "(k <= 9 and true)");
+}
+
+TEST(CmpOpTest, CompareIntTotalCoverage) {
+  EXPECT_TRUE(CompareInt(1, CmpOp::kLt, 2));
+  EXPECT_TRUE(CompareInt(2, CmpOp::kLe, 2));
+  EXPECT_TRUE(CompareInt(3, CmpOp::kGt, 2));
+  EXPECT_TRUE(CompareInt(2, CmpOp::kGe, 2));
+  EXPECT_TRUE(CompareInt(2, CmpOp::kEq, 2));
+  EXPECT_TRUE(CompareInt(1, CmpOp::kNe, 2));
+  EXPECT_FALSE(CompareInt(2, CmpOp::kNe, 2));
+}
+
+}  // namespace
+}  // namespace smadb::expr

@@ -1,0 +1,180 @@
+// Tests for plan choice and end-to-end execution through the planner.
+
+#include <gtest/gtest.h>
+
+#include "planner/planner.h"
+#include "tests/test_util.h"
+
+namespace smadb::plan {
+namespace {
+
+using exec::AggSpec;
+using expr::CmpOp;
+using expr::Predicate;
+using expr::PredicatePtr;
+using sma::SmaSpec;
+using testing::AddMinMaxSmas;
+using testing::ExpectOk;
+using testing::MakeSyntheticTable;
+using testing::TestDb;
+using testing::Unwrap;
+using util::Value;
+
+struct PlannerTest : ::testing::Test {
+  PlannerTest() : db(16384) {}
+
+  // Builds the synthetic table + a full SMA complement for group column 3.
+  void Setup(testing::Layout layout, const std::string& name) {
+    table = MakeSyntheticTable(&db, 4000, layout, 13, 1, name);
+    smas = std::make_unique<sma::SmaSet>(table);
+    AddMinMaxSmas(table, smas.get(), "d");
+    const expr::ExprPtr v = Unwrap(expr::Column(&table->schema(), "v"));
+    ExpectOk(smas->Add(
+        Unwrap(sma::BuildSma(table, SmaSpec::Sum("sum_v", v, {3})))));
+    ExpectOk(smas->Add(
+        Unwrap(sma::BuildSma(table, SmaSpec::Count("cnt", {3})))));
+    query.table = table;
+    query.group_by = {3};
+    query.aggs = {AggSpec::Sum(v, "sum_v"), AggSpec::Count("cnt")};
+  }
+
+  PredicatePtr DatePred(CmpOp op, int32_t day) {
+    return Unwrap(Predicate::AtomConst(&table->schema(), "d", op,
+                                       Value::MakeDate(util::Date(day))));
+  }
+
+  TestDb db;
+  storage::Table* table = nullptr;
+  std::unique_ptr<sma::SmaSet> smas;
+  AggQuery query;
+};
+
+TEST_F(PlannerTest, SelectiveQueryOnClusteredDataPicksSmaGAggr) {
+  Setup(testing::Layout::kClustered, "p1");
+  query.pred = DatePred(CmpOp::kLe, 40);
+  Planner planner(smas.get());
+  const PlanChoice choice = Unwrap(planner.Choose(query));
+  EXPECT_EQ(choice.kind, PlanKind::kSmaGAggr);
+  EXPECT_LT(choice.fetch_fraction, 0.25);
+  EXPECT_EQ(choice.total_buckets(), table->num_buckets());
+}
+
+TEST_F(PlannerTest, ShuffledDataFallsBackToScan) {
+  Setup(testing::Layout::kRandom, "p2");
+  query.pred = DatePred(CmpOp::kLe, 250);  // mid-range: everything ambivalent
+  Planner planner(smas.get());
+  const PlanChoice choice = Unwrap(planner.Choose(query));
+  EXPECT_EQ(choice.kind, PlanKind::kScanAggr);
+  EXPECT_DOUBLE_EQ(choice.fetch_fraction, 1.0);
+}
+
+TEST_F(PlannerTest, NoSmasMeansScan) {
+  Setup(testing::Layout::kClustered, "p3");
+  query.pred = DatePred(CmpOp::kLe, 40);
+  sma::SmaSet empty(table);
+  Planner planner(&empty);
+  EXPECT_EQ(Unwrap(planner.Choose(query)).kind, PlanKind::kScanAggr);
+  Planner null_planner(nullptr);
+  EXPECT_EQ(Unwrap(null_planner.Choose(query)).kind, PlanKind::kScanAggr);
+}
+
+TEST_F(PlannerTest, MissingAggregateSmaDowngradesToSmaScanAggr) {
+  Setup(testing::Layout::kClustered, "p4");
+  // Ask for an aggregate no SMA covers (max v); selection SMAs still help.
+  const expr::ExprPtr v = Unwrap(expr::Column(&table->schema(), "v"));
+  query.aggs.push_back(AggSpec::Max(v, "max_v"));
+  query.pred = DatePred(CmpOp::kLe, 40);
+  Planner planner(smas.get());
+  const PlanChoice choice = Unwrap(planner.Choose(query));
+  EXPECT_EQ(choice.kind, PlanKind::kSmaScanAggr);
+}
+
+TEST_F(PlannerTest, ForceSmaOverridesBreakEven) {
+  Setup(testing::Layout::kRandom, "p5");
+  query.pred = DatePred(CmpOp::kLe, 250);
+  PlannerOptions options;
+  options.force_sma = true;
+  Planner planner(smas.get(), options);
+  const PlanChoice choice = Unwrap(planner.Choose(query));
+  EXPECT_EQ(choice.kind, PlanKind::kSmaGAggr);
+}
+
+TEST_F(PlannerTest, BreakevenKnobRespected) {
+  Setup(testing::Layout::kNoisy, "p6");
+  query.pred = DatePred(CmpOp::kLe, 100);
+  PlannerOptions strict;
+  strict.breakeven_fraction = 1e-9;  // nothing is ever cheap enough
+  Planner planner(smas.get(), strict);
+  EXPECT_EQ(Unwrap(planner.Choose(query)).kind, PlanKind::kScanAggr);
+}
+
+TEST_F(PlannerTest, AllPlansProduceIdenticalResults) {
+  Setup(testing::Layout::kNoisy, "p7");
+  query.pred = DatePred(CmpOp::kLe, 120);
+  Planner planner(smas.get());
+  std::string reference;
+  for (PlanKind kind : {PlanKind::kScanAggr, PlanKind::kSmaScanAggr,
+                        PlanKind::kSmaGAggr}) {
+    auto op = Unwrap(planner.Build(query, kind));
+    const QueryResult result = Unwrap(RunToCompletion(op.get()));
+    if (reference.empty()) {
+      reference = result.ToString();
+      EXPECT_FALSE(result.rows.empty());
+    } else {
+      EXPECT_EQ(result.ToString(), reference)
+          << "plan " << PlanKindToString(kind);
+    }
+  }
+}
+
+TEST_F(PlannerTest, ExecuteEndToEnd) {
+  Setup(testing::Layout::kClustered, "p8");
+  query.pred = DatePred(CmpOp::kLe, 40);
+  Planner planner(smas.get());
+  const QueryResult result = Unwrap(planner.Execute(query));
+  EXPECT_EQ(result.plan.kind, PlanKind::kSmaGAggr);
+  EXPECT_FALSE(result.rows.empty());
+  // Header + one line per row.
+  const std::string text = result.ToString();
+  EXPECT_EQ(static_cast<size_t>(std::count(text.begin(), text.end(), '\n')),
+            result.rows.size() + 1);
+}
+
+TEST_F(PlannerTest, SelectQueryPlanChoice) {
+  Setup(testing::Layout::kClustered, "p9");
+  SelectQuery sel;
+  sel.table = table;
+  sel.pred = DatePred(CmpOp::kLe, 40);
+  Planner planner(smas.get());
+  const PlanChoice choice = Unwrap(planner.ChooseSelect(sel));
+  EXPECT_EQ(choice.kind, PlanKind::kSmaScan);
+
+  // Both select plans agree.
+  auto a = Unwrap(planner.BuildSelect(sel, PlanKind::kScan));
+  auto b = Unwrap(planner.BuildSelect(sel, PlanKind::kSmaScan));
+  EXPECT_EQ(Unwrap(RunToCompletion(a.get())).rows.size(),
+            Unwrap(RunToCompletion(b.get())).rows.size());
+}
+
+TEST_F(PlannerTest, SelectQueryUnselectiveFallsBack) {
+  Setup(testing::Layout::kClustered, "p10");
+  SelectQuery sel;
+  sel.table = table;
+  sel.pred = DatePred(CmpOp::kGe, 0);  // everything qualifies
+  Planner planner(smas.get());
+  EXPECT_EQ(Unwrap(planner.ChooseSelect(sel)).kind, PlanKind::kScan);
+}
+
+TEST_F(PlannerTest, BuildRejectsMismatchedKinds) {
+  Setup(testing::Layout::kClustered, "p11");
+  query.pred = DatePred(CmpOp::kLe, 40);
+  Planner planner(smas.get());
+  EXPECT_FALSE(planner.Build(query, PlanKind::kSmaScan).ok());
+  SelectQuery sel;
+  sel.table = table;
+  sel.pred = query.pred;
+  EXPECT_FALSE(planner.BuildSelect(sel, PlanKind::kSmaGAggr).ok());
+}
+
+}  // namespace
+}  // namespace smadb::plan

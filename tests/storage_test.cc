@@ -1,0 +1,590 @@
+// Unit tests for smadb::storage — simulated disk, buffer pool, schema,
+// tuples, bucketed table, catalog.
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/disk.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+#include "util/rng.h"
+
+namespace smadb::storage {
+namespace {
+
+using util::TypeId;
+using util::Value;
+
+// ------------------------------------------------------------------ Disk --
+
+TEST(DiskTest, CreateFindAllocate) {
+  SimulatedDisk disk;
+  auto f = disk.CreateFile("a");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(disk.CreateFile("a").status().code() ==
+              util::StatusCode::kAlreadyExists);
+  auto found = disk.FindFile("a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *f);
+  EXPECT_FALSE(disk.FindFile("b").ok());
+  auto p0 = disk.AllocatePage(*f);
+  auto p1 = disk.AllocatePage(*f);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(*disk.NumPages(*f), 2u);
+}
+
+TEST(DiskTest, ReadWriteRoundTrip) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  ASSERT_TRUE(disk.AllocatePage(f).ok());
+  Page w;
+  w.Zero();
+  w.WriteAt<uint64_t>(16, 0xDEADBEEFull);
+  ASSERT_TRUE(disk.WritePage(f, 0, w).ok());
+  Page r;
+  ASSERT_TRUE(disk.ReadPage(f, 0, &r).ok());
+  EXPECT_EQ(r.ReadAt<uint64_t>(16), 0xDEADBEEFull);
+}
+
+TEST(DiskTest, BoundsChecking) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  Page p;
+  EXPECT_FALSE(disk.ReadPage(f, 0, &p).ok());
+  EXPECT_FALSE(disk.ReadPage(f + 1, 0, &p).ok());
+  EXPECT_FALSE(disk.WritePage(f, 5, p).ok());
+}
+
+TEST(DiskTest, SequentialVsRandomClassification) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  disk.ResetStats();
+  Page p;
+  // First read of a fresh file is a short forward skip ("near"), then
+  // pages 1 and 2 stream sequentially.
+  ASSERT_TRUE(disk.ReadPage(f, 0, &p).ok());
+  ASSERT_TRUE(disk.ReadPage(f, 1, &p).ok());
+  ASSERT_TRUE(disk.ReadPage(f, 2, &p).ok());
+  // Jump backwards: random.
+  ASSERT_TRUE(disk.ReadPage(f, 0, &p).ok());
+  // Short forward skip within the near window: near.
+  ASSERT_TRUE(disk.ReadPage(f, 5, &p).ok());
+  EXPECT_EQ(disk.stats().page_reads, 5u);
+  EXPECT_EQ(disk.stats().sequential_reads, 2u);
+  EXPECT_EQ(disk.stats().near_reads, 2u);
+  EXPECT_EQ(disk.stats().random_reads, 1u);
+}
+
+TEST(DiskTest, NearWindowBoundary) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  for (int i = 0; i < 3000; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  Page p;
+  ASSERT_TRUE(disk.ReadPage(f, 0, &p).ok());
+  disk.ResetStats();
+  // Exactly at the window: near; beyond it: random (full seek).
+  ASSERT_TRUE(disk.ReadPage(
+                  f, static_cast<uint32_t>(kNearSeekWindowPages), &p)
+                  .ok());
+  EXPECT_EQ(disk.stats().near_reads, 1u);
+  ASSERT_TRUE(disk.ReadPage(
+                  f,
+                  static_cast<uint32_t>(2 * kNearSeekWindowPages + 1), &p)
+                  .ok());
+  EXPECT_EQ(disk.stats().random_reads, 1u);
+}
+
+TEST(DiskTest, ModeledSecondsScalesWithAccessPattern) {
+  DiskModel model;  // 8 ms full seek, 1.5 ms short seek, 9 MB/s
+  IoStats seq;
+  seq.sequential_reads = 1000;
+  IoStats near;
+  near.near_reads = 1000;
+  IoStats rnd;
+  rnd.random_reads = 1000;
+  EXPECT_GT(near.ModeledSeconds(model), seq.ModeledSeconds(model) * 3);
+  EXPECT_GT(rnd.ModeledSeconds(model), near.ModeledSeconds(model) * 3);
+}
+
+TEST(DiskTest, TruncateResets) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  ASSERT_TRUE(disk.AllocatePage(f).ok());
+  ASSERT_TRUE(disk.TruncateFile(f).ok());
+  EXPECT_EQ(*disk.NumPages(f), 0u);
+}
+
+// ----------------------------------------------------------- BufferPool --
+
+TEST(BufferPoolTest, FetchCachesPages) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 4);
+  {
+    auto g = pool.Fetch(f, 0);
+    ASSERT_TRUE(g.ok());
+  }
+  {
+    auto g = pool.Fetch(f, 0);
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(disk.stats().page_reads, 1u);
+}
+
+TEST(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 2);
+  {
+    auto g = pool.Fetch(f, 0);
+    ASSERT_TRUE(g.ok());
+    g->MutablePage()->WriteAt<uint32_t>(0, 77);
+  }
+  // Evict page 0 by touching two others.
+  { ASSERT_TRUE(pool.Fetch(f, 1).ok()); }
+  { ASSERT_TRUE(pool.Fetch(f, 2).ok()); }
+  Page p;
+  ASSERT_TRUE(disk.ReadPage(f, 0, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 77u);
+}
+
+TEST(BufferPoolTest, LruEvictsOldest) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 2);
+  { ASSERT_TRUE(pool.Fetch(f, 0).ok()); }
+  { ASSERT_TRUE(pool.Fetch(f, 1).ok()); }
+  { ASSERT_TRUE(pool.Fetch(f, 0).ok()); }  // 0 now MRU
+  { ASSERT_TRUE(pool.Fetch(f, 2).ok()); }  // evicts 1
+  pool.ResetStats();
+  { ASSERT_TRUE(pool.Fetch(f, 0).ok()); }
+  EXPECT_EQ(pool.stats().hits, 1u);  // 0 still cached
+  { ASSERT_TRUE(pool.Fetch(f, 1).ok()); }
+  EXPECT_EQ(pool.stats().misses, 1u);  // 1 was evicted
+}
+
+TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 2);
+  auto pinned = pool.Fetch(f, 0);
+  ASSERT_TRUE(pinned.ok());
+  pinned->MutablePage()->WriteAt<uint32_t>(8, 5);
+  { ASSERT_TRUE(pool.Fetch(f, 1).ok()); }
+  { ASSERT_TRUE(pool.Fetch(f, 2).ok()); }
+  { ASSERT_TRUE(pool.Fetch(f, 3).ok()); }
+  // The pinned frame was never evicted or corrupted.
+  EXPECT_EQ(pinned->page()->ReadAt<uint32_t>(8), 5u);
+}
+
+TEST(BufferPoolTest, PoolExhaustionReported) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 2);
+  auto g0 = pool.Fetch(f, 0);
+  auto g1 = pool.Fetch(f, 1);
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  auto g2 = pool.Fetch(f, 2);
+  EXPECT_FALSE(g2.ok());  // everything pinned
+}
+
+TEST(BufferPoolTest, DropAllSimulatesColdStart) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 4);
+  { ASSERT_TRUE(pool.Fetch(f, 0).ok()); }
+  ASSERT_TRUE(pool.DropAll().ok());
+  EXPECT_EQ(pool.num_cached(), 0u);
+  disk.ResetStats();
+  { ASSERT_TRUE(pool.Fetch(f, 0).ok()); }
+  EXPECT_EQ(disk.stats().page_reads, 1u);  // re-faulted from disk
+}
+
+TEST(BufferPoolTest, DropFileIsSelective) {
+  SimulatedDisk disk;
+  FileId a = *disk.CreateFile("a");
+  FileId b = *disk.CreateFile("b");
+  ASSERT_TRUE(disk.AllocatePage(a).ok());
+  ASSERT_TRUE(disk.AllocatePage(b).ok());
+  BufferPool pool(&disk, 4);
+  { ASSERT_TRUE(pool.Fetch(a, 0).ok()); }
+  { ASSERT_TRUE(pool.Fetch(b, 0).ok()); }
+  ASSERT_TRUE(pool.DropFile(a).ok());
+  pool.ResetStats();
+  { ASSERT_TRUE(pool.Fetch(b, 0).ok()); }
+  EXPECT_EQ(pool.stats().hits, 1u);
+  { ASSERT_TRUE(pool.Fetch(a, 0).ok()); }
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+// Randomized stress: the pool must behave exactly like the raw disk under
+// an arbitrary mix of reads, writes, and cold drops.
+TEST(BufferPoolTest, RandomizedOpsMatchShadowDisk) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  constexpr int kPages = 64;
+  for (int i = 0; i < kPages; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 8);  // far smaller than the file: constant churn
+
+  std::vector<uint32_t> shadow(kPages, 0);  // expected word at offset 8
+  util::Rng rng(1234);
+  for (int step = 0; step < 5000; ++step) {
+    const uint32_t page = static_cast<uint32_t>(rng.Uniform(0, kPages - 1));
+    switch (rng.Uniform(0, 9)) {
+      case 0: {  // cold drop
+        ASSERT_TRUE(pool.DropAll().ok());
+        break;
+      }
+      case 1:
+      case 2:
+      case 3: {  // write
+        auto g = pool.Fetch(f, page);
+        ASSERT_TRUE(g.ok());
+        const uint32_t v = static_cast<uint32_t>(rng.Next());
+        g->MutablePage()->WriteAt<uint32_t>(8, v);
+        shadow[page] = v;
+        break;
+      }
+      default: {  // read
+        auto g = pool.Fetch(f, page);
+        ASSERT_TRUE(g.ok());
+        ASSERT_EQ(g->page()->ReadAt<uint32_t>(8), shadow[page])
+            << "page " << page << " step " << step;
+        break;
+      }
+    }
+  }
+  // After a final flush the raw disk agrees everywhere.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page p;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(disk.ReadPage(f, static_cast<uint32_t>(i), &p).ok());
+    EXPECT_EQ(p.ReadAt<uint32_t>(8), shadow[static_cast<size_t>(i)]);
+  }
+}
+
+// ---------------------------------------------------------------- Schema --
+
+Schema TestSchema() {
+  return Schema({Field::Int64("id"), Field::Date("d"),
+                 Field::Decimal("amount"), Field::String("tag", 8)});
+}
+
+TEST(SchemaTest, OffsetsAndWidths) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 4u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 12u);
+  EXPECT_EQ(s.offset(3), 20u);
+  EXPECT_EQ(s.tuple_size(), 28u);
+}
+
+TEST(SchemaTest, FieldIndexLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(*s.FieldIndex("amount"), 2u);
+  EXPECT_FALSE(s.FieldIndex("missing").ok());
+}
+
+TEST(SchemaTest, Equals) {
+  EXPECT_TRUE(TestSchema().Equals(TestSchema()));
+  Schema other({Field::Int64("id")});
+  EXPECT_FALSE(TestSchema().Equals(other));
+}
+
+// ----------------------------------------------------------------- Tuple --
+
+TEST(TupleTest, RoundTripAllTypes) {
+  Schema s({Field::Int32("a"), Field::Int64("b"), Field::Double("c"),
+            Field::Decimal("d"), Field::Date("e"), Field::String("f", 10)});
+  TupleBuffer t(&s);
+  t.SetInt32(0, -7);
+  t.SetInt64(1, 1LL << 40);
+  t.SetDouble(2, 3.25);
+  t.SetDecimal(3, util::Decimal(1234));
+  t.SetDate(4, util::Date::FromYmd(1997, 4, 30));
+  t.SetString(5, "MAIL");
+  TupleRef r = t.AsRef();
+  EXPECT_EQ(r.GetInt32(0), -7);
+  EXPECT_EQ(r.GetInt64(1), 1LL << 40);
+  EXPECT_DOUBLE_EQ(r.GetDouble(2), 3.25);
+  EXPECT_EQ(r.GetDecimal(3).cents(), 1234);
+  EXPECT_EQ(r.GetDate(4).ToString(), "1997-04-30");
+  EXPECT_EQ(r.GetString(5), "MAIL");
+}
+
+TEST(TupleTest, StringShorterThanCapacityAndOverwrite) {
+  Schema s({Field::String("f", 10)});
+  TupleBuffer t(&s);
+  t.SetString(0, "LONGERTAG");
+  t.SetString(0, "AB");  // overwrite must clear the old tail
+  EXPECT_EQ(t.AsRef().GetString(0), "AB");
+}
+
+TEST(TupleTest, GetValueAndSetValueAgree) {
+  Schema s = TestSchema();
+  TupleBuffer a(&s);
+  a.SetInt64(0, 9);
+  a.SetDate(1, util::Date(42));
+  a.SetDecimal(2, util::Decimal(7));
+  a.SetString(3, "x");
+  TupleBuffer b(&s);
+  for (size_t c = 0; c < s.num_fields(); ++c) {
+    b.SetValue(c, a.AsRef().GetValue(c));
+  }
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), s.tuple_size()));
+}
+
+TEST(TupleTest, GetRawIntUniformRepresentation) {
+  Schema s = TestSchema();
+  TupleBuffer t(&s);
+  t.SetInt64(0, -5);
+  t.SetDate(1, util::Date(100));
+  t.SetDecimal(2, util::Decimal(307));
+  EXPECT_EQ(t.AsRef().GetRawInt(0), -5);
+  EXPECT_EQ(t.AsRef().GetRawInt(1), 100);
+  EXPECT_EQ(t.AsRef().GetRawInt(2), 307);
+}
+
+// ----------------------------------------------------------------- Table --
+
+struct TableFixture : ::testing::Test {
+  TableFixture() : pool(&disk, 512), catalog(&pool) {}
+
+  Table* MakeTable(uint32_t bucket_pages = 1) {
+    auto t = catalog.CreateTable("t" + std::to_string(++counter), TestSchema(),
+                                 TableOptions{bucket_pages});
+    EXPECT_TRUE(t.ok());
+    return *t;
+  }
+
+  void Fill(Table* t, int64_t n) {
+    TupleBuffer buf(&t->schema());
+    for (int64_t i = 0; i < n; ++i) {
+      buf.SetInt64(0, i);
+      buf.SetDate(1, util::Date(static_cast<int32_t>(i / 10)));
+      buf.SetDecimal(2, util::Decimal(i * 3));
+      buf.SetString(3, i % 2 == 0 ? "even" : "odd");
+      ASSERT_TRUE(t->Append(buf).ok());
+    }
+  }
+
+  SimulatedDisk disk;
+  BufferPool pool;
+  Catalog catalog;
+  int counter = 0;
+};
+
+TEST_F(TableFixture, AppendCountsTuplesAndPages) {
+  Table* t = MakeTable();
+  const uint32_t per_page = t->tuples_per_page();
+  ASSERT_GT(per_page, 0u);
+  Fill(t, per_page + 1);
+  EXPECT_EQ(t->num_tuples(), per_page + 1);
+  EXPECT_EQ(t->num_pages(), 2u);
+  EXPECT_EQ(t->num_buckets(), 2u);
+}
+
+TEST_F(TableFixture, RidsAreDense) {
+  Table* t = MakeTable();
+  TupleBuffer buf(&t->schema());
+  buf.SetInt64(0, 1);
+  buf.SetString(3, "x");
+  Rid r0, r1;
+  ASSERT_TRUE(t->Append(buf, &r0).ok());
+  ASSERT_TRUE(t->Append(buf, &r1).ok());
+  EXPECT_EQ(r0, (Rid{0, 0}));
+  EXPECT_EQ(r1, (Rid{0, 1}));
+}
+
+TEST_F(TableFixture, ForEachTupleInBucketSeesEverythingOnce) {
+  Table* t = MakeTable(/*bucket_pages=*/2);
+  Fill(t, 1000);
+  int64_t seen = 0;
+  int64_t sum = 0;
+  for (uint32_t b = 0; b < t->num_buckets(); ++b) {
+    ASSERT_TRUE(t->ForEachTupleInBucket(b, [&](const TupleRef& tup, Rid) {
+                     ++seen;
+                     sum += tup.GetInt64(0);
+                   }).ok());
+  }
+  EXPECT_EQ(seen, 1000);
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST_F(TableFixture, BucketPageRangeRespectsPartialTail) {
+  Table* t = MakeTable(/*bucket_pages=*/4);
+  Fill(t, static_cast<int64_t>(t->tuples_per_page()) * 5);  // 5 pages
+  EXPECT_EQ(t->num_buckets(), 2u);
+  auto [f0, e0] = t->BucketPageRange(0);
+  auto [f1, e1] = t->BucketPageRange(1);
+  EXPECT_EQ(f0, 0u);
+  EXPECT_EQ(e0, 4u);
+  EXPECT_EQ(f1, 4u);
+  EXPECT_EQ(e1, 5u);  // partial bucket
+}
+
+TEST_F(TableFixture, ReadAndUpdateTuple) {
+  Table* t = MakeTable();
+  Fill(t, 10);
+  auto row = t->ReadTuple(Rid{0, 3});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->AsRef().GetInt64(0), 3);
+  ASSERT_TRUE(t->UpdateColumn(Rid{0, 3}, 0, Value::Int64(99)).ok());
+  EXPECT_EQ(t->ReadTuple(Rid{0, 3})->AsRef().GetInt64(0), 99);
+  // Neighbouring columns untouched.
+  EXPECT_EQ(t->ReadTuple(Rid{0, 3})->AsRef().GetString(3), "odd");
+}
+
+TEST_F(TableFixture, UpdateOutOfRangeFails) {
+  Table* t = MakeTable();
+  Fill(t, 5);
+  EXPECT_FALSE(t->UpdateColumn(Rid{9, 0}, 0, Value::Int64(0)).ok());
+  EXPECT_FALSE(t->UpdateColumn(Rid{0, 200}, 0, Value::Int64(0)).ok());
+  EXPECT_FALSE(t->UpdateColumn(Rid{0, 0}, 99, Value::Int64(0)).ok());
+}
+
+TEST_F(TableFixture, DeleteTombstonesTuple) {
+  Table* t = MakeTable();
+  Fill(t, 20);
+  EXPECT_EQ(t->num_live_tuples(), 20u);
+  ASSERT_TRUE(t->DeleteTuple(Rid{0, 5}).ok());
+  EXPECT_EQ(t->num_live_tuples(), 19u);
+  EXPECT_EQ(t->num_deleted(), 1u);
+  // Deleted tuples become invisible to point reads and updates.
+  EXPECT_EQ(t->ReadTuple(Rid{0, 5}).status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(t->UpdateColumn(Rid{0, 5}, 0, Value::Int64(1)).code(),
+            util::StatusCode::kNotFound);
+  // Double delete rejected; neighbours unaffected.
+  EXPECT_EQ(t->DeleteTuple(Rid{0, 5}).code(), util::StatusCode::kNotFound);
+  EXPECT_TRUE(t->ReadTuple(Rid{0, 4}).ok());
+  EXPECT_TRUE(t->ReadTuple(Rid{0, 6}).ok());
+}
+
+TEST_F(TableFixture, IterationSkipsDeleted) {
+  Table* t = MakeTable();
+  Fill(t, 50);
+  for (uint16_t s : {0, 7, 49}) {
+    ASSERT_TRUE(t->DeleteTuple(Rid{0, s}).ok());
+  }
+  int64_t seen = 0;
+  ASSERT_TRUE(t->ForEachTupleInBucket(0, [&](const TupleRef& tup, Rid rid) {
+                   ++seen;
+                   EXPECT_NE(rid.slot, 0);
+                   EXPECT_NE(rid.slot, 7);
+                   EXPECT_NE(rid.slot, 49);
+                   EXPECT_NE(tup.GetInt64(0), 7);
+                 }).ok());
+  EXPECT_EQ(seen, 47);
+}
+
+TEST_F(TableFixture, AppendAfterDeleteKeepsSlotRetired) {
+  // Tombstoned slots are never reused — Rids and SMA positional
+  // correspondence stay stable.
+  Table* t = MakeTable();
+  Fill(t, 3);
+  ASSERT_TRUE(t->DeleteTuple(Rid{0, 2}).ok());
+  TupleBuffer buf(&t->schema());
+  buf.SetInt64(0, 99);
+  buf.SetString(3, "x");
+  Rid rid;
+  ASSERT_TRUE(t->Append(buf, &rid).ok());
+  EXPECT_EQ(rid, (Rid{0, 3}));
+  EXPECT_EQ(t->ReadTuple(Rid{0, 2}).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(TableFixture, VacuumSqueezesTombstones) {
+  Table* t = MakeTable();
+  Fill(t, 40);
+  for (uint16_t s : {3, 4, 5, 39}) {
+    ASSERT_TRUE(t->DeleteTuple(Rid{0, s}).ok());
+  }
+  ASSERT_TRUE(t->Vacuum().ok());
+  EXPECT_EQ(t->num_tuples(), 36u);
+  EXPECT_EQ(t->num_deleted(), 0u);
+  // Survivors are dense, in order, with no tombstones left.
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(t->ForEachTupleInBucket(0, [&](const TupleRef& tup, Rid rid) {
+                   EXPECT_EQ(rid.slot, keys.size());
+                   keys.push_back(tup.GetInt64(0));
+                 }).ok());
+  ASSERT_EQ(keys.size(), 36u);
+  for (int64_t k : {3, 4, 5, 39}) {
+    EXPECT_EQ(std::count(keys.begin(), keys.end(), k), 0);
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // Idempotent.
+  ASSERT_TRUE(t->Vacuum().ok());
+  EXPECT_EQ(t->num_tuples(), 36u);
+}
+
+TEST_F(TableFixture, VacuumFreesTailSlotsForAppend) {
+  Table* t = MakeTable();
+  Fill(t, 5);
+  ASSERT_TRUE(t->DeleteTuple(Rid{0, 4}).ok());
+  ASSERT_TRUE(t->Vacuum().ok());
+  TupleBuffer buf(&t->schema());
+  buf.SetInt64(0, 777);
+  buf.SetString(3, "x");
+  Rid rid;
+  ASSERT_TRUE(t->Append(buf, &rid).ok());
+  EXPECT_EQ(rid, (Rid{0, 4}));  // the freed tail slot is reused
+  EXPECT_EQ(t->num_pages(), 1u);
+}
+
+TEST_F(TableFixture, CapacityAccountsForBitmap) {
+  Table* t = MakeTable();
+  // header + bitmap + slots must fit the page.
+  EXPECT_LE(kPageHeaderSize + (t->tuples_per_page() + 7) / 8 +
+                t->tuples_per_page() * t->schema().tuple_size(),
+            kPageSize);
+  // And the capacity is maximal: one more tuple would not fit.
+  EXPECT_GT(kPageHeaderSize + (t->tuples_per_page() + 8) / 8 +
+                (t->tuples_per_page() + 1) * t->schema().tuple_size(),
+            kPageSize);
+}
+
+TEST_F(TableFixture, RejectsWrongSchemaAppend) {
+  Table* t = MakeTable();
+  Schema other({Field::Int64("z")});
+  TupleBuffer buf(&other);
+  EXPECT_FALSE(t->Append(buf).ok());
+}
+
+// --------------------------------------------------------------- Catalog --
+
+TEST(CatalogTest, CreateGetDuplicate) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 64);
+  Catalog catalog(&pool);
+  auto t = catalog.CreateTable("orders", Schema({Field::Int64("k")}), {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(catalog.GetTable("orders").ok());
+  EXPECT_FALSE(catalog.GetTable("nope").ok());
+  EXPECT_EQ(catalog
+                .CreateTable("orders", Schema({Field::Int64("k")}), {})
+                .status()
+                .code(),
+            util::StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.Tables().size(), 1u);
+}
+
+}  // namespace
+}  // namespace smadb::storage

@@ -1,0 +1,182 @@
+// Shared test scaffolding: a small in-memory database fixture, synthetic
+// tables with controllable clustering, and brute-force reference
+// implementations the SMA machinery is checked against.
+
+#ifndef SMADB_TESTS_TEST_UTIL_H_
+#define SMADB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "expr/predicate.h"
+#include "sma/builder.h"
+#include "sma/grade.h"
+#include "sma/sma_set.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+
+namespace smadb::testing {
+
+/// Unwraps a Result in a test; aborts the test binary on error (there is no
+/// value to continue with, so failing soft would be undefined behaviour).
+template <typename T>
+T Unwrap(util::Result<T> r) {
+  if (!r.ok()) {
+    ADD_FAILURE() << "Unwrap of failed Result: " << r.status().ToString();
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+inline void ExpectOk(const util::Status& s) {
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+/// In-memory database: disk + pool + catalog.
+struct TestDb {
+  explicit TestDb(size_t pool_pages = 4096)
+      : pool(&disk, pool_pages), catalog(&pool) {}
+
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool;
+  storage::Catalog catalog;
+};
+
+/// Schema used by most synthetic tests:
+///   (k int64, d date, v decimal, grp char(1), tag char(4))
+inline storage::Schema SyntheticSchema() {
+  return storage::Schema({
+      storage::Field::Int64("k"),
+      storage::Field::Date("d"),
+      storage::Field::Decimal("v"),
+      storage::Field::String("grp", 1),
+      storage::Field::String("tag", 4),
+  });
+}
+
+enum class Layout {
+  kClustered,   // d strictly increases with position
+  kNoisy,       // d increases with jitter (diagonal clustering)
+  kRandom,      // d uniform random
+};
+
+/// Populates `n` rows into a fresh synthetic table.
+/// d spans ~[0, n/8] days; v = k*3 cents; grp in {A,B,C}; tag in 4 values.
+inline storage::Table* MakeSyntheticTable(TestDb* db, int64_t n, Layout layout,
+                                          uint64_t seed = 11,
+                                          uint32_t bucket_pages = 1,
+                                          const std::string& name = "t") {
+  storage::Table* table =
+      Unwrap(db->catalog.CreateTable(name, SyntheticSchema(),
+                                     storage::TableOptions{bucket_pages}));
+  util::Rng rng(seed);
+  static const char* kTags[] = {"MAIL", "RAIL", "SHIP", "AIR"};
+  storage::TupleBuffer t(&table->schema());
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t day;
+    switch (layout) {
+      case Layout::kClustered:
+        day = static_cast<int32_t>(i / 8);
+        break;
+      case Layout::kNoisy:
+        day = static_cast<int32_t>(i / 8 + rng.Uniform(-2, 2));
+        break;
+      case Layout::kRandom:
+      default:
+        day = static_cast<int32_t>(rng.Uniform(0, n / 8));
+        break;
+    }
+    t.SetInt64(0, i);
+    t.SetDate(1, util::Date(day));
+    t.SetDecimal(2, util::Decimal(i * 3));
+    const char grp = static_cast<char>('A' + rng.Uniform(0, 2));
+    t.SetString(3, std::string_view(&grp, 1));
+    t.SetString(4, kTags[rng.Uniform(0, 3)]);
+    ExpectOk(table->Append(t));
+  }
+  return table;
+}
+
+/// Brute-force reference: does every / any / no tuple of `bucket` satisfy
+/// `pred`? Returns {all, any}.
+inline std::pair<bool, bool> BucketTruth(storage::Table* table,
+                                         uint32_t bucket,
+                                         const expr::Predicate& pred) {
+  bool all = true, any = false;
+  EXPECT_TRUE(table
+                  ->ForEachTupleInBucket(
+                      bucket,
+                      [&](const storage::TupleRef& t, storage::Rid) {
+                        const bool sat = pred.Eval(t);
+                        all &= sat;
+                        any |= sat;
+                      })
+                  .ok());
+  return {all, any};
+}
+
+/// Soundness check of one grade against brute force: qualifying buckets
+/// must be all-satisfying, disqualifying buckets must be none-satisfying.
+inline void ExpectGradeSound(storage::Table* table, uint32_t bucket,
+                             const expr::Predicate& pred, sma::Grade grade) {
+  const auto [all, any] = BucketTruth(table, bucket, pred);
+  switch (grade) {
+    case sma::Grade::kQualifies:
+      EXPECT_TRUE(all) << "bucket " << bucket
+                       << " graded qualifies but has non-matching tuples";
+      break;
+    case sma::Grade::kDisqualifies:
+      EXPECT_FALSE(any) << "bucket " << bucket
+                        << " graded disqualifies but has matching tuples";
+      break;
+    case sma::Grade::kAmbivalent:
+      break;  // always sound
+  }
+}
+
+/// Compares a maintained SMA against a fresh bulk rebuild over the table's
+/// current contents. Groups the maintainer created but whose tuples have
+/// since disappeared (moved or deleted) won't be rediscovered by a rebuild;
+/// such groups must hold only identity entries.
+inline void ExpectSmaEqualsRebuild(storage::Table* table,
+                                   const sma::Sma& maintained) {
+  sma::SmaSpec spec = maintained.spec();
+  spec.name += "_rebuild";
+  auto rebuilt_r = sma::BuildSma(table, std::move(spec));
+  ASSERT_TRUE(rebuilt_r.ok()) << rebuilt_r.status().ToString();
+  const auto& rebuilt = *rebuilt_r;
+  ASSERT_EQ(maintained.num_buckets(), rebuilt->num_buckets());
+  ASSERT_LE(rebuilt->num_groups(), maintained.num_groups())
+      << maintained.spec().name;
+  for (size_t g = 0; g < maintained.num_groups(); ++g) {
+    const int64_t rg = rebuilt->FindGroup(maintained.group_key(g));
+    for (uint64_t b = 0; b < maintained.num_buckets(); ++b) {
+      const int64_t got = Unwrap(maintained.group_file(g)->Get(b));
+      const int64_t want =
+          rg >= 0 ? Unwrap(rebuilt->group_file(static_cast<size_t>(rg))
+                               ->Get(b))
+                  : maintained.IdentityEntry();
+      EXPECT_EQ(got, want) << maintained.spec().name << " group " << g
+                           << " bucket " << b;
+    }
+  }
+}
+
+/// Builds and registers min/max SMAs on column `col_name` of `table`.
+inline void AddMinMaxSmas(storage::Table* table, sma::SmaSet* smas,
+                          const std::string& col_name,
+                          const std::string& prefix = "") {
+  const expr::ExprPtr col =
+      Unwrap(expr::Column(&table->schema(), col_name));
+  ExpectOk(smas->Add(Unwrap(
+      sma::BuildSma(table, sma::SmaSpec::Min(prefix + "min_" + col_name,
+                                             col)))));
+  ExpectOk(smas->Add(Unwrap(
+      sma::BuildSma(table, sma::SmaSpec::Max(prefix + "max_" + col_name,
+                                             col)))));
+}
+
+}  // namespace smadb::testing
+
+#endif  // SMADB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,335 @@
+// Unit tests for smadb::util — Status/Result, Date, Decimal, Rng,
+// BitVector, string helpers.
+
+#include <gtest/gtest.h>
+
+#include "util/bitvector.h"
+#include "util/date.h"
+#include "util/decimal.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/value.h"
+
+namespace smadb::util {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("widget 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "widget 7");
+  EXPECT_EQ(s.ToString(), "Not found: widget 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 8; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+Status FailingHelper() { return Status::Corruption("bad page"); }
+
+Status UsesReturnNotOk() {
+  SMADB_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kCorruption);
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  SMADB_ASSIGN_OR_RETURN(int v, GiveSeven());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+// ------------------------------------------------------------------ Date --
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(Date().days(), 0);
+  EXPECT_EQ(Date().ToString(), "1970-01-01");
+}
+
+TEST(DateTest, FromYmdKnownValues) {
+  EXPECT_EQ(Date::FromYmd(1970, 1, 2).days(), 1);
+  EXPECT_EQ(Date::FromYmd(1969, 12, 31).days(), -1);
+  // TPC-D calendar anchors.
+  EXPECT_EQ(Date::FromYmd(1992, 1, 1).ToString(), "1992-01-01");
+  EXPECT_EQ(Date::FromYmd(1998, 12, 31).ToString(), "1998-12-31");
+}
+
+TEST(DateTest, ParseValid) {
+  auto d = Date::Parse("1995-06-17");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->year(), 1995);
+  EXPECT_EQ(d->month(), 6);
+  EXPECT_EQ(d->day(), 17);
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Date::Parse("1995/06/17").ok());
+  EXPECT_FALSE(Date::Parse("95-06-17").ok());
+  EXPECT_FALSE(Date::Parse("1995-13-01").ok());
+  EXPECT_FALSE(Date::Parse("1995-02-30").ok());
+  EXPECT_FALSE(Date::Parse("1995-00-10").ok());
+  EXPECT_FALSE(Date::Parse("1995-01-00").ok());
+  EXPECT_FALSE(Date::Parse("abcd-ef-gh").ok());
+  EXPECT_FALSE(Date::Parse("").ok());
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_TRUE(Date::Parse("1996-02-29").ok());   // leap
+  EXPECT_FALSE(Date::Parse("1900-02-29").ok());  // century, not leap
+  EXPECT_TRUE(Date::Parse("2000-02-29").ok());   // 400-year rule
+}
+
+TEST(DateTest, ArithmeticAndOrdering) {
+  const Date a = Date::FromYmd(1997, 4, 30);
+  EXPECT_EQ(a.AddDays(1).ToString(), "1997-05-01");
+  EXPECT_EQ(a.AddDays(365) - a, 365);
+  EXPECT_LT(a, a.AddDays(1));
+  EXPECT_GT(a, a.AddDays(-1));
+}
+
+// Property: ToYmd(FromYmd) round-trips across a whole multi-year span.
+TEST(DateTest, RoundTripProperty) {
+  const Date start = Date::FromYmd(1992, 1, 1);
+  for (int i = 0; i < 2556; ++i) {  // the TPC-D 7-year window
+    const Date d = start.AddDays(i);
+    int y, m, day;
+    d.ToYmd(&y, &m, &day);
+    EXPECT_EQ(Date::FromYmd(y, m, day).days(), d.days());
+    // And parsing the formatted form returns the same date.
+    auto parsed = Date::Parse(d.ToString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->days(), d.days());
+  }
+}
+
+// --------------------------------------------------------------- Decimal --
+
+TEST(DecimalTest, Construction) {
+  EXPECT_EQ(Decimal::FromUnscaled(12, 34).cents(), 1234);
+  EXPECT_EQ(Decimal::FromUnscaled(-3, 7).cents(), -307);
+  EXPECT_EQ(Decimal::FromCents(5).ToString(), "0.05");
+  EXPECT_EQ(Decimal::FromCents(-307).ToString(), "-3.07");
+}
+
+TEST(DecimalTest, ExactAddSub) {
+  Decimal a = Decimal::FromUnscaled(0, 10);  // 0.10
+  Decimal sum(0);
+  for (int i = 0; i < 1000; ++i) sum += a;
+  EXPECT_EQ(sum.cents(), 100 * 1000 / 10);  // exactly 100.00
+  EXPECT_EQ((sum - sum).cents(), 0);
+}
+
+TEST(DecimalTest, MultiplicationRounds) {
+  // 1.05 * 1.05 = 1.1025 -> 1.10 (half away from zero on the .25)
+  EXPECT_EQ((Decimal(105) * Decimal(105)).cents(), 110);
+  // 0.15 * 0.15 = 0.0225 -> 0.02
+  EXPECT_EQ((Decimal(15) * Decimal(15)).cents(), 2);
+  // negative: -1.05 * 1.05 = -1.1025 -> -1.10
+  EXPECT_EQ((Decimal(-105) * Decimal(105)).cents(), -110);
+  // price * (1 - discount): 100.00 * 0.94 = 94.00 exactly
+  EXPECT_EQ((Decimal(10000) * (Decimal(100) - Decimal(6))).cents(), 9400);
+}
+
+TEST(DecimalTest, IntScaling) {
+  EXPECT_EQ((Decimal(950) * int64_t{3}).cents(), 2850);
+}
+
+TEST(DecimalTest, Ordering) {
+  EXPECT_LT(Decimal(-1), Decimal(0));
+  EXPECT_LT(Decimal(99), Decimal(100));
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int diffs = 0;
+  for (int i = 0; i < 16; ++i) diffs += a.Next() != b.Next();
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(RngTest, UniformStaysInRangeAndHitsEndpoints) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(5, 5), 5);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(99);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+// ------------------------------------------------------------- BitVector --
+
+TEST(BitVectorTest, SetGetCount) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.Count(), 0u);
+  v.Set(0);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(129));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_EQ(v.Count(), 3u);
+  v.Set(64, false);
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVectorTest, InitiallyAllSetRespectsSize) {
+  BitVector v(70, true);
+  EXPECT_EQ(v.Count(), 70u);
+}
+
+TEST(BitVectorTest, AndOr) {
+  BitVector a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  BitVector both = a;
+  both.And(b);
+  EXPECT_EQ(both.Count(), 1u);
+  EXPECT_TRUE(both.Get(2));
+  BitVector either = a;
+  either.Or(b);
+  EXPECT_EQ(either.Count(), 3u);
+}
+
+// ----------------------------------------------------------- string_util --
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(Format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(Format("%s", ""), "");
+}
+
+TEST(StringUtilTest, SplitJoin) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(4096), "4.00 KB");
+  EXPECT_EQ(HumanBytes(33.776 * 1024 * 1024), "33.78 MB");
+}
+
+TEST(StringUtilTest, ToUpperAscii) {
+  EXPECT_EQ(ToUpperAscii("RaIl 7x"), "RAIL 7X");
+}
+
+// ----------------------------------------------------------------- Value --
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int32(-5).AsInt32(), -5);
+  EXPECT_EQ(Value::Int64(1LL << 40).AsInt64(), 1LL << 40);
+  EXPECT_DOUBLE_EQ(Value::MakeDouble(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::MakeDecimal(Decimal(307)).AsDecimal().cents(), 307);
+  EXPECT_EQ(Value::MakeDate(Date::FromYmd(1997, 1, 1)).AsDate().year(), 1997);
+  EXPECT_EQ(Value::String("RAIL").AsString(), "RAIL");
+}
+
+TEST(ValueTest, CompareWithinFamilies) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_EQ(Value::String("AB"), Value::String("AB"));
+  EXPECT_LT(Value::String("A"), Value::String("B"));
+  EXPECT_GT(Value::MakeDate(Date::FromYmd(1998, 1, 1)),
+            Value::MakeDate(Date::FromYmd(1997, 1, 1)));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::MakeDecimal(Decimal(-307)).ToString(), "-3.07");
+  EXPECT_EQ(Value::MakeDate(Date::FromYmd(1997, 4, 30)).ToString(),
+            "1997-04-30");
+}
+
+TEST(ValueTest, RawIntMatchesFamily) {
+  EXPECT_EQ(Value::MakeDate(Date(123)).RawInt(), 123);
+  EXPECT_EQ(Value::MakeDecimal(Decimal(456)).RawInt(), 456);
+  EXPECT_EQ(Value::Int32(-9).RawInt(), -9);
+}
+
+}  // namespace
+}  // namespace smadb::util
