@@ -1,0 +1,84 @@
+// Experiment X6 — morsel-parallel scaling on the Table-3 Q1 workload.
+//
+// The paper's engine is single-threaded; this extension runs the same
+// Query 1 (LINEITEM sorted on l_shipdate, Fig. 4 SMAs) warm at degrees of
+// parallelism 1, 2, 4, and 8 and reports the wall-clock speedup over the
+// serial engine. Buckets are the morsels; workers claim them through an
+// atomic counter and merge per-worker partial aggregates at the end, so
+// every DOP returns bit-identical results (verified below).
+//
+// Wall-clock scaling requires real cores: on an N-core host the expected
+// warm speedup at DOP 4 is ~2x or better (the workload is CPU-bound once
+// the pool is warm); on a single-core host all DOPs collapse to roughly
+// serial time, which the printed hardware_concurrency makes visible.
+
+#include <algorithm>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "planner/planner.h"
+#include "tpch/loader.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
+  bench::BenchDb db(/*pool_pages=*/65536);  // warm: everything resident
+
+  bench::PrintHeader(util::Format(
+      "X6: parallel scaling of Q1 (Table-3 workload, warm), SF %.3f", sf));
+  std::printf("hardware_concurrency: %u\n",
+              std::thread::hardware_concurrency());
+
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  storage::Table* lineitem = Check(
+      tpch::GenerateAndLoadLineItem(&db.catalog, {sf, 19980401}, load));
+  sma::SmaSet smas(lineitem);
+  Check(workloads::BuildQ1Smas(lineitem, &smas));
+  std::printf("LINEITEM %u pages, %u buckets\n", lineitem->num_pages(),
+              lineitem->num_buckets());
+
+  const plan::AggQuery q1 = Check(workloads::MakeQ1Query(lineitem, 90));
+  plan::Planner planner(&smas);
+
+  const size_t dops[] = {1, 2, 4, 8};
+  // The scan-aggregate plan carries the parallel work (every bucket is
+  // fetched and folded); SMA_GAggr is also swept to show that the pruned
+  // plan keeps its lead at every DOP.
+  for (const plan::PlanKind kind :
+       {plan::PlanKind::kScanAggr, plan::PlanKind::kSmaGAggr}) {
+    std::printf("\n%s\n%-8s %10s %10s %10s\n",
+                std::string(plan::PlanKindToString(kind)).c_str(), "dop",
+                "wall", "speedup", "rows");
+    std::string reference;
+    double serial_wall = 0;
+    for (const size_t dop : dops) {
+      auto op = Check(planner.Build(q1, kind, dop));
+      // Warm the pool (and the pool's frame table) once per operator.
+      Check(op->Init());
+      util::Stopwatch watch;
+      plan::QueryResult r = Check(plan::RunToCompletion(op.get()));
+      const double wall = watch.ElapsedSeconds();
+      if (dop == 1) {
+        reference = r.ToString();
+        serial_wall = wall;
+      } else if (r.ToString() != reference) {
+        std::fprintf(stderr, "RESULT MISMATCH at dop %zu!\n", dop);
+        return 1;
+      }
+      std::printf("%-8zu %9.3fs %9.2fx %10zu\n", dop, wall,
+                  serial_wall / std::max(1e-9, wall), r.rows.size());
+    }
+  }
+
+  bench::PrintPaperNote(
+      "not in the paper (its engine is single-threaded). Extension: bucket-"
+      "granular morsel parallelism; DOP 1 runs the paper's serial code path "
+      "and every DOP returns identical Q1 rows. Expected >=2x wall-clock at "
+      "DOP 4 on >=4 real cores; single-core hosts show ~1x across the "
+      "sweep.");
+  return 0;
+}

@@ -73,7 +73,23 @@ Status Database::Execute(std::string_view statement) {
     SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
     return sma::DefineSma(catalog_.get(), state->smas.get(), statement);
   }
-  return Status::NotSupported("unknown statement; supported: 'define sma'");
+  if (tokens[0].text == "set") {
+    // `set dop = <n>` — session degree of parallelism (0 = auto/hardware).
+    if (tokens.size() == 5 &&  // set dop = <n> + kEnd sentinel
+        tokens[1].kind == expr::internal::TokKind::kIdent &&
+        tokens[1].text == "dop" &&
+        tokens[2].kind == expr::internal::TokKind::kCmp &&
+        tokens[2].text == "=" &&
+        tokens[3].kind == expr::internal::TokKind::kInt &&
+        tokens[3].value >= 0) {
+      set_degree_of_parallelism(static_cast<size_t>(tokens[3].value));
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "malformed set statement; expected 'set dop = <n>'");
+  }
+  return Status::NotSupported(
+      "unknown statement; supported: 'define sma', 'set dop = <n>'");
 }
 
 Result<plan::QueryResult> Database::Query(std::string_view sql) {
@@ -88,13 +104,7 @@ Result<plan::QueryResult> Database::Query(std::string_view sql) {
     plan::SelectQuery query;
     query.table = table;
     query.pred = parsed.pred;
-    SMADB_ASSIGN_OR_RETURN(plan::PlanChoice choice,
-                           planner.ChooseSelect(query));
-    SMADB_ASSIGN_OR_RETURN(auto op, planner.BuildSelect(query, choice.kind));
-    SMADB_ASSIGN_OR_RETURN(plan::QueryResult result,
-                           plan::RunToCompletion(op.get()));
-    result.plan = choice;
-    return result;
+    return planner.ExecuteSelect(query);
   }
 
   plan::AggQuery query;

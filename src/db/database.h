@@ -65,8 +65,18 @@ class Database {
   util::Result<sma::SmaSet*> Smas(std::string_view table);
 
   // --- statements ----------------------------------------------------------
-  /// Executes a DDL-ish statement. Currently: `define sma ...` (§2.1).
+  /// Executes a DDL-ish statement. Currently: `define sma ...` (§2.1) and
+  /// the session setting `set dop = <n>` (0 = auto/hardware, 1 = serial).
   util::Status Execute(std::string_view statement);
+
+  /// Session degree of parallelism for subsequent queries; equivalent to
+  /// `set dop = <n>`. 0 = auto (hardware concurrency), 1 = serial.
+  void set_degree_of_parallelism(size_t dop) {
+    options_.planner.degree_of_parallelism = dop;
+  }
+  size_t degree_of_parallelism() const {
+    return options_.planner.degree_of_parallelism;
+  }
 
   /// Runs a query:
   ///   select <aggregates and group columns> from <table>

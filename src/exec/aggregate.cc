@@ -143,6 +143,32 @@ void GroupState::AddSummary(size_t idx, int64_t value) {
   }
 }
 
+void GroupState::MergeFrom(const GroupState& o) {
+  row_count_ += o.row_count_;
+  for (size_t i = 0; i < aggs_->size(); ++i) {
+    switch ((*aggs_)[i].kind) {
+      case AggKind::kCount:
+        break;  // row_count_ carries it
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        acc_[i] += o.acc_[i];
+        break;
+      case AggKind::kMin:
+        if (o.defined_[i]) {
+          acc_[i] = defined_[i] ? std::min(acc_[i], o.acc_[i]) : o.acc_[i];
+          defined_[i] = true;
+        }
+        break;
+      case AggKind::kMax:
+        if (o.defined_[i]) {
+          acc_[i] = defined_[i] ? std::max(acc_[i], o.acc_[i]) : o.acc_[i];
+          defined_[i] = true;
+        }
+        break;
+    }
+  }
+}
+
 void GroupState::Finalize(const std::vector<Value>& key,
                           TupleBuffer* out) const {
   for (size_t i = 0; i < key.size(); ++i) out->SetValue(i, key[i]);
@@ -209,6 +235,17 @@ GroupState* GroupTable::Get(const std::vector<Value>& key) {
     it = groups_.emplace(skey, Entry{key, GroupState(aggs_)}).first;
   }
   return &it->second.state;
+}
+
+void GroupTable::MergeFrom(const GroupTable& o) {
+  for (const auto& [skey, entry] : o.groups_) {
+    auto it = groups_.find(skey);
+    if (it == groups_.end()) {
+      groups_.emplace(skey, entry);
+    } else {
+      it->second.state.MergeFrom(entry.state);
+    }
+  }
 }
 
 Status GroupTable::Emit(const Schema* schema,

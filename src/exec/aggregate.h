@@ -82,6 +82,12 @@ class GroupState {
   /// Phase 2, SMA path: adds the group's tuple count of one bucket.
   void AddBucketCount(int64_t count) { row_count_ += count; }
 
+  /// Folds another partial state for the same group into this one. Exact:
+  /// sums/counts add, min/max combine, and averages are finalized from the
+  /// merged sum and count, so per-worker partial aggregation over disjoint
+  /// bucket sets reproduces the serial result bit for bit.
+  void MergeFrom(const GroupState& o);
+
   int64_t row_count() const { return row_count_; }
 
   /// Phase 3: materializes group key + finalized aggregates into `out`,
@@ -109,6 +115,11 @@ class GroupTable {
   /// Emits all groups in key order into tuple buffers of `schema`.
   util::Status Emit(const storage::Schema* schema,
                     std::vector<storage::TupleBuffer>* out) const;
+
+  /// Merges another table's partial groups (parallel workers aggregate into
+  /// private tables over disjoint bucket sets, then merge). The key-ordered
+  /// map makes the merged Emit order independent of worker interleaving.
+  void MergeFrom(const GroupTable& o);
 
   size_t size() const { return groups_.size(); }
 

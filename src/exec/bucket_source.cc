@@ -1,0 +1,77 @@
+#include "exec/bucket_source.h"
+
+namespace smadb::exec {
+
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+
+BucketSource::BucketSource(storage::Table* table, expr::PredicatePtr pred,
+                           const sma::SmaSet* smas)
+    : table_(table), pred_(std::move(pred)), smas_(smas) {
+  Reset();
+}
+
+void BucketSource::Reset() {
+  if (smas_ != nullptr) {
+    grader_ = sma::BucketGrader::Create(pred_, smas_);
+    has_sma_support_ = grader_->has_sma_support();
+  } else {
+    grader_.reset();
+    has_sma_support_ = false;
+  }
+  serial_next_ = 0;
+  claim_next_.store(0, std::memory_order_relaxed);
+}
+
+Result<bool> BucketSource::NextGraded(BucketUnit* out) {
+  if (serial_next_ >= num_buckets()) return false;
+  out->bucket = serial_next_++;
+  if (grader_ == nullptr) {
+    out->grade = sma::Grade::kAmbivalent;
+    return true;
+  }
+  SMADB_ASSIGN_OR_RETURN(out->grade, grader_->GradeBucket(out->bucket));
+  return true;
+}
+
+Status BucketReader::Open(uint32_t first_page, uint32_t end_page) {
+  guard_.Release();
+  page_ = first_page;
+  page_end_ = end_page;
+  slot_ = 0;
+  page_count_ = 0;
+  open_ = first_page < end_page;
+  if (open_) {
+    SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
+    page_count_ = storage::Table::PageTupleCount(*guard_.page());
+  }
+  return Status::OK();
+}
+
+Result<bool> BucketReader::Next(TupleRef* out) {
+  while (open_) {
+    if (slot_ >= page_count_) {
+      if (page_ + 1 >= page_end_) {
+        open_ = false;
+        guard_.Release();
+        break;
+      }
+      ++page_;
+      slot_ = 0;
+      SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
+      page_count_ = storage::Table::PageTupleCount(*guard_.page());
+      continue;
+    }
+    if (storage::Table::PageSlotDeleted(*guard_.page(), slot_)) {
+      ++slot_;
+      continue;
+    }
+    *out = table_->PageTuple(*guard_.page(), slot_);
+    ++slot_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace smadb::exec

@@ -1,0 +1,155 @@
+// BucketSource / BucketReader: the bucket-granular work-unit layer.
+//
+// Every SMA access path walks the same structure — the table's physically
+// consecutive buckets (§2.1), graded per predicate (§3.1), then read page
+// by page. This file centralizes that walk, which used to be duplicated
+// across TableScan, SmaScan, and SMA_GAggr, and doubles as the morsel
+// dispenser for parallel execution: one bucket = one work unit, claimed by
+// workers through an atomic counter, each worker grading through its own
+// cursor-backed BucketGrader (graders hold page pins and are therefore
+// per-thread; the Sma structures they read are immutable and shared).
+
+#ifndef SMADB_EXEC_BUCKET_SOURCE_H_
+#define SMADB_EXEC_BUCKET_SOURCE_H_
+
+#include <atomic>
+#include <memory>
+
+#include "expr/predicate.h"
+#include "sma/grade.h"
+#include "storage/table.h"
+
+namespace smadb::exec {
+
+/// Per-run skip statistics (what Fig. 5's x-axis is made of).
+struct SmaScanStats {
+  uint64_t qualifying_buckets = 0;
+  uint64_t disqualifying_buckets = 0;
+  uint64_t ambivalent_buckets = 0;
+
+  uint64_t BucketsTotal() const {
+    return qualifying_buckets + disqualifying_buckets + ambivalent_buckets;
+  }
+  /// Fraction of buckets whose pages had to be fetched.
+  double ProcessedFraction() const {
+    const uint64_t total = BucketsTotal();
+    return total == 0
+               ? 0.0
+               : static_cast<double>(qualifying_buckets +
+                                     ambivalent_buckets) /
+                     static_cast<double>(total);
+  }
+  /// Folds `g` into the census.
+  void Tally(sma::Grade g) {
+    switch (g) {
+      case sma::Grade::kQualifies:
+        ++qualifying_buckets;
+        break;
+      case sma::Grade::kDisqualifies:
+        ++disqualifying_buckets;
+        break;
+      case sma::Grade::kAmbivalent:
+        ++ambivalent_buckets;
+        break;
+    }
+  }
+  /// Merges a worker's partial census.
+  void Merge(const SmaScanStats& o) {
+    qualifying_buckets += o.qualifying_buckets;
+    disqualifying_buckets += o.disqualifying_buckets;
+    ambivalent_buckets += o.ambivalent_buckets;
+  }
+};
+
+/// One graded work unit.
+struct BucketUnit {
+  uint64_t bucket = 0;
+  sma::Grade grade = sma::Grade::kAmbivalent;
+};
+
+/// Enumerates the buckets of a table for one predicate, grading each
+/// against the SMAs. Serial consumers pull `NextGraded` from one thread;
+/// parallel workers share `ClaimNext` and grade with per-worker graders.
+class BucketSource {
+ public:
+  /// `smas` may be null — every bucket then grades ambivalent.
+  BucketSource(storage::Table* table, expr::PredicatePtr pred,
+               const sma::SmaSet* smas);
+
+  storage::Table* table() const { return table_; }
+  const expr::PredicatePtr& pred() const { return pred_; }
+  uint64_t num_buckets() const { return table_->num_buckets(); }
+
+  /// True when at least one predicate atom is backed by a SMA — otherwise
+  /// every bucket grades ambivalent and grading is pure overhead.
+  bool has_sma_support() const { return has_sma_support_; }
+
+  /// Rewinds both the serial cursor and the parallel claim counter.
+  void Reset();
+
+  // --- serial path (single consumer) ---------------------------------------
+
+  /// Produces the next bucket with its grade; false at the end.
+  util::Result<bool> NextGraded(BucketUnit* out);
+
+  // --- parallel path (any number of workers) -------------------------------
+
+  /// Claims the next unprocessed bucket (atomic work-stealing counter).
+  /// Each worker observes a non-decreasing bucket sequence.
+  bool ClaimNext(uint64_t* bucket) {
+    const uint64_t b = claim_next_.fetch_add(1, std::memory_order_relaxed);
+    if (b >= num_buckets()) return false;
+    *bucket = b;
+    return true;
+  }
+
+  /// A fresh grading stream for one worker (cursors hold page pins, so a
+  /// grader must not be shared across threads; creating one per worker from
+  /// the shared immutable SMAs is safe and keeps per-worker access
+  /// amortized-sequential). Null when the source has no SMAs — callers
+  /// treat every bucket as ambivalent then.
+  std::unique_ptr<sma::BucketGrader> NewGrader() const {
+    if (smas_ == nullptr) return nullptr;
+    return sma::BucketGrader::Create(pred_, smas_);
+  }
+
+ private:
+  storage::Table* table_;
+  expr::PredicatePtr pred_;
+  const sma::SmaSet* smas_;
+  std::unique_ptr<sma::BucketGrader> grader_;  // serial path
+  bool has_sma_support_ = false;
+  uint64_t serial_next_ = 0;
+  std::atomic<uint64_t> claim_next_{0};
+};
+
+/// Streams the live tuples of a consecutive page range, keeping the current
+/// page pinned — the page/slot walk shared by TableScan and SmaScan.
+class BucketReader {
+ public:
+  explicit BucketReader(storage::Table* table) : table_(table) {}
+
+  /// Positions on pages [first, end). May be called repeatedly (SmaScan
+  /// opens one bucket at a time).
+  util::Status Open(uint32_t first_page, uint32_t end_page);
+
+  /// Next live tuple of the range; false when exhausted. The view stays
+  /// valid until the following Next/Open/Close.
+  util::Result<bool> Next(storage::TupleRef* out);
+
+  /// Drops the page pin.
+  void Close() { guard_.Release(); }
+
+ private:
+  storage::Table* table_;
+  storage::PageGuard guard_;
+  uint32_t page_ = 0;
+  uint32_t page_end_ = 0;
+  uint16_t slot_ = 0;
+  uint16_t page_count_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace smadb::exec
+
+#endif  // SMADB_EXEC_BUCKET_SOURCE_H_

@@ -1,0 +1,100 @@
+#include "exec/parallel_aggr.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace smadb::exec {
+
+using sma::Grade;
+using storage::TupleRef;
+using util::Result;
+using util::Status;
+using util::Value;
+
+Result<std::unique_ptr<ParallelScanAggr>> ParallelScanAggr::Make(
+    storage::Table* table, expr::PredicatePtr pred,
+    std::vector<size_t> group_by, std::vector<AggSpec> aggs,
+    const sma::SmaSet* smas, size_t degree_of_parallelism) {
+  SMADB_ASSIGN_OR_RETURN(storage::Schema schema,
+                         AggResultSchema(table->schema(), group_by, aggs));
+  const size_t dop = std::max<size_t>(1, degree_of_parallelism);
+  return std::unique_ptr<ParallelScanAggr>(new ParallelScanAggr(
+      table, std::move(pred), std::move(group_by), std::move(aggs), smas,
+      std::move(schema), dop));
+}
+
+Status ParallelScanAggr::Init() {
+  results_.clear();
+  next_ = 0;
+  stats_ = SmaScanStats();
+
+  BucketSource source(table_, pred_, smas_);
+
+  // Per-worker state: grader and reader hold page pins, the group table and
+  // census are the worker's private partial results.
+  struct WorkerState {
+    std::unique_ptr<sma::BucketGrader> grader;
+    BucketReader reader;
+    GroupTable groups;
+    SmaScanStats stats;
+    std::vector<Value> key;
+    WorkerState(storage::Table* table, const std::vector<AggSpec>* aggs,
+                size_t key_width)
+        : reader(table), groups(aggs), key(key_width) {}
+  };
+  std::vector<WorkerState> workers;
+  workers.reserve(dop_);
+  for (size_t w = 0; w < dop_; ++w) {
+    workers.emplace_back(table_, &aggs_, group_by_.size());
+    if (source.has_sma_support()) {
+      workers.back().grader = source.NewGrader();
+    }
+  }
+
+  SMADB_RETURN_NOT_OK(util::ThreadPool::Shared()->ParallelFor(
+      0, source.num_buckets(), dop_,
+      [&](size_t w, uint64_t b) -> Status {
+        WorkerState& ws = workers[w];
+        Grade g = Grade::kAmbivalent;
+        if (ws.grader != nullptr) {
+          SMADB_ASSIGN_OR_RETURN(g, ws.grader->GradeBucket(b));
+        }
+        ws.stats.Tally(g);
+        if (g == Grade::kDisqualifies) return Status::OK();
+
+        const auto [first, end] =
+            table_->BucketPageRange(static_cast<uint32_t>(b));
+        SMADB_RETURN_NOT_OK(ws.reader.Open(first, end));
+        TupleRef t;
+        while (true) {
+          SMADB_ASSIGN_OR_RETURN(bool has, ws.reader.Next(&t));
+          if (!has) break;
+          // Qualifying buckets need no per-tuple predicate re-check (§3.1).
+          if (g != Grade::kQualifies && !pred_->Eval(t)) continue;
+          for (size_t i = 0; i < group_by_.size(); ++i) {
+            ws.key[i] = t.GetValue(group_by_[i]);
+          }
+          ws.groups.Get(ws.key)->AddTuple(t);
+        }
+        ws.reader.Close();
+        return Status::OK();
+      }));
+
+  GroupTable groups(&aggs_);
+  for (WorkerState& ws : workers) {
+    groups.MergeFrom(ws.groups);
+    stats_.Merge(ws.stats);
+  }
+  SMADB_RETURN_NOT_OK(groups.Emit(&schema_, &results_));
+  return Status::OK();
+}
+
+Result<bool> ParallelScanAggr::Next(TupleRef* out) {
+  if (next_ >= results_.size()) return false;
+  *out = results_[next_].AsRef();
+  ++next_;
+  return true;
+}
+
+}  // namespace smadb::exec

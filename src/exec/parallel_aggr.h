@@ -1,0 +1,78 @@
+// ParallelScanAggr: morsel-parallel scan + grouping-aggregation.
+//
+// Fuses GAggr over TableScan / SMA_Scan into one operator whose unit of
+// work is the bucket (§2.1: physically consecutive pages). Workers claim
+// buckets through the BucketSource counter, grade them against the SMAs
+// (when present), fetch only qualifying/ambivalent buckets through private
+// BucketReaders, and aggregate into private GroupTables; the partial tables
+// are merged at the end. The merge is exact — sum/count/min/max compose
+// associatively and commutatively, averages are finalized from the merged
+// sum and count — so the result equals the serial GAggr∘Scan pipeline for
+// every degree of parallelism.
+
+#ifndef SMADB_EXEC_PARALLEL_AGGR_H_
+#define SMADB_EXEC_PARALLEL_AGGR_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/bucket_source.h"
+#include "exec/operator.h"
+#include "expr/predicate.h"
+#include "storage/table.h"
+
+namespace smadb::exec {
+
+class ParallelScanAggr final : public Operator {
+ public:
+  /// Groups `table` on `group_by` under `pred` and computes `aggs`. `smas`
+  /// may be null: the operator then degenerates to a parallel full scan
+  /// (every bucket ambivalent), which is the parallel form of
+  /// GAggr∘TableScan; with SMAs it parallelizes GAggr∘SMA_Scan.
+  static util::Result<std::unique_ptr<ParallelScanAggr>> Make(
+      storage::Table* table, expr::PredicatePtr pred,
+      std::vector<size_t> group_by, std::vector<AggSpec> aggs,
+      const sma::SmaSet* smas, size_t degree_of_parallelism);
+
+  const storage::Schema& output_schema() const override { return schema_; }
+
+  /// Pipeline breaker: the whole parallel aggregation runs here.
+  util::Status Init() override;
+
+  util::Result<bool> Next(storage::TupleRef* out) override;
+
+  /// Merged bucket census across all workers (equals the serial census).
+  const SmaScanStats& stats() const { return stats_; }
+  size_t num_groups() const { return results_.size(); }
+  size_t degree_of_parallelism() const { return dop_; }
+
+ private:
+  ParallelScanAggr(storage::Table* table, expr::PredicatePtr pred,
+                   std::vector<size_t> group_by, std::vector<AggSpec> aggs,
+                   const sma::SmaSet* smas, storage::Schema schema,
+                   size_t dop)
+      : table_(table),
+        pred_(std::move(pred)),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)),
+        smas_(smas),
+        schema_(std::move(schema)),
+        dop_(dop) {}
+
+  storage::Table* table_;
+  expr::PredicatePtr pred_;
+  std::vector<size_t> group_by_;
+  std::vector<AggSpec> aggs_;
+  const sma::SmaSet* smas_;
+  storage::Schema schema_;
+  size_t dop_;
+
+  std::vector<storage::TupleBuffer> results_;
+  size_t next_ = 0;
+  SmaScanStats stats_;
+};
+
+}  // namespace smadb::exec
+
+#endif  // SMADB_EXEC_PARALLEL_AGGR_H_

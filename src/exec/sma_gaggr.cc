@@ -4,6 +4,7 @@
 
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace smadb::exec {
 
@@ -77,7 +78,6 @@ SmaGAggr::AggBinding SmaGAggr::BindAggregate(AggFunc func,
         std::find(sg.begin(), sg.end(), qcol) - sg.begin()));
   }
   for (size_t g = 0; g < best->num_groups(); ++g) {
-    binding.cursors.push_back(best->group_file(g)->NewCursor());
     const std::vector<Value>& key = best->group_key(g);
     std::vector<Value> projected;
     projected.reserve(positions.size());
@@ -85,6 +85,23 @@ SmaGAggr::AggBinding SmaGAggr::BindAggregate(AggFunc func,
     binding.result_keys.push_back(std::move(projected));
   }
   return binding;
+}
+
+SmaGAggr::BindingCursors SmaGAggr::MakeCursors() const {
+  BindingCursors cursors;
+  for (size_t g = 0; g < count_binding_.sma->num_groups(); ++g) {
+    cursors.count.push_back(count_binding_.sma->group_file(g)->NewCursor());
+  }
+  for (const AggBinding& binding : bindings_) {
+    std::vector<sma::SmaFile::Cursor> agg_cursors;
+    if (binding.sma != nullptr) {
+      for (size_t g = 0; g < binding.sma->num_groups(); ++g) {
+        agg_cursors.push_back(binding.sma->group_file(g)->NewCursor());
+      }
+    }
+    cursors.per_agg.push_back(std::move(agg_cursors));
+  }
+  return cursors;
 }
 
 Result<std::unique_ptr<SmaGAggr>> SmaGAggr::Make(
@@ -125,20 +142,22 @@ Result<std::unique_ptr<SmaGAggr>> SmaGAggr::Make(
   return op;
 }
 
-Status SmaGAggr::ProcessQualifying(GroupTable* groups, uint64_t b) {
+Status SmaGAggr::ProcessQualifying(GroupTable* groups,
+                                   BindingCursors* cursors, uint64_t b) {
   // Group cardinalities first: they establish which groups exist.
-  for (size_t g = 0; g < count_binding_.cursors.size(); ++g) {
-    SMADB_ASSIGN_OR_RETURN(int64_t count, count_binding_.cursors[g].Get(b));
+  for (size_t g = 0; g < cursors->count.size(); ++g) {
+    SMADB_ASSIGN_OR_RETURN(int64_t count, cursors->count[g].Get(b));
     if (count > 0) {
       groups->Get(count_binding_.result_keys[g])->AddBucketCount(count);
     }
   }
   // Then each aggregate from its own SMA.
   for (size_t i = 0; i < aggs_.size(); ++i) {
-    AggBinding& binding = bindings_[i];
+    const AggBinding& binding = bindings_[i];
     if (binding.sma == nullptr) continue;  // count(*): handled above
-    for (size_t g = 0; g < binding.cursors.size(); ++g) {
-      SMADB_ASSIGN_OR_RETURN(int64_t v, binding.cursors[g].Get(b));
+    std::vector<sma::SmaFile::Cursor>& agg_cursors = cursors->per_agg[i];
+    for (size_t g = 0; g < agg_cursors.size(); ++g) {
+      SMADB_ASSIGN_OR_RETURN(int64_t v, agg_cursors[g].Get(b));
       if (binding.sma->IsUndefined(v)) continue;  // empty min/max group
       if (v == 0 && (binding.sma->spec().func == AggFunc::kSum)) {
         // Zero sums are identity; skip the group-table touch.
@@ -162,42 +181,89 @@ Status SmaGAggr::ProcessAmbivalent(GroupTable* groups, uint64_t b) {
       });
 }
 
+Grade SmaGAggr::EffectiveGrade(Grade g, uint64_t b) const {
+  // A qualifying bucket beyond aggregate-SMA coverage must be inspected.
+  if (g == Grade::kQualifies && b >= covered_buckets_) {
+    g = Grade::kAmbivalent;
+  }
+  // Experiment knob: demote a deterministic fraction of buckets so the
+  // Fig. 5 sweep can control the investigated percentage.
+  if (options_.force_ambivalent_fraction > 0.0) {
+    util::Rng bucket_rng(options_.force_seed ^ (b * 0x9E3779B9ULL));
+    if (bucket_rng.NextDouble() < options_.force_ambivalent_fraction) {
+      g = Grade::kAmbivalent;
+    }
+  }
+  return g;
+}
+
+Status SmaGAggr::ProcessBucket(Grade g, uint64_t b, GroupTable* groups,
+                               BindingCursors* cursors,
+                               SmaScanStats* stats) {
+  g = EffectiveGrade(g, b);
+  stats->Tally(g);
+  switch (g) {
+    case Grade::kQualifies:
+      return ProcessQualifying(groups, cursors, b);
+    case Grade::kDisqualifies:
+      return Status::OK();  // "do nothing"
+    case Grade::kAmbivalent:
+      return ProcessAmbivalent(groups, b);
+  }
+  return Status::OK();
+}
+
 Status SmaGAggr::Init() {
   results_.clear();
   next_ = 0;
   stats_ = SmaScanStats();
 
-  auto grader = sma::BucketGrader::Create(pred_, smas_);
+  BucketSource source(table_, pred_, smas_);
   GroupTable groups(&aggs_);
-  const uint64_t buckets = table_->num_buckets();
-  for (uint64_t b = 0; b < buckets; ++b) {
-    SMADB_ASSIGN_OR_RETURN(Grade g, grader->GradeBucket(b));
-    // A qualifying bucket beyond aggregate-SMA coverage must be inspected.
-    if (g == Grade::kQualifies && b >= covered_buckets_) {
-      g = Grade::kAmbivalent;
+  const size_t dop =
+      std::max<size_t>(1, options_.degree_of_parallelism);
+
+  if (dop == 1) {
+    // The paper's single synchronized pass over relation and SMA-files.
+    BindingCursors cursors = MakeCursors();
+    BucketUnit unit;
+    while (true) {
+      SMADB_ASSIGN_OR_RETURN(bool has, source.NextGraded(&unit));
+      if (!has) break;
+      SMADB_RETURN_NOT_OK(
+          ProcessBucket(unit.grade, unit.bucket, &groups, &cursors, &stats_));
     }
-    // Experiment knob: demote a deterministic fraction of buckets so the
-    // Fig. 5 sweep can control the investigated percentage.
-    if (options_.force_ambivalent_fraction > 0.0) {
-      util::Rng bucket_rng(options_.force_seed ^ (b * 0x9E3779B9ULL));
-      if (bucket_rng.NextDouble() < options_.force_ambivalent_fraction) {
-        g = Grade::kAmbivalent;
-      }
+  } else {
+    // Morsel-parallel: per-worker grader, cursors, census, and group table;
+    // exact merge afterwards.
+    struct WorkerState {
+      std::unique_ptr<sma::BucketGrader> grader;
+      BindingCursors cursors;
+      GroupTable groups;
+      SmaScanStats stats;
+      explicit WorkerState(const std::vector<AggSpec>* aggs)
+          : groups(aggs) {}
+    };
+    std::vector<WorkerState> workers;
+    workers.reserve(dop);
+    for (size_t w = 0; w < dop; ++w) {
+      workers.emplace_back(&aggs_);
+      workers.back().grader = source.NewGrader();
+      workers.back().cursors = MakeCursors();
     }
-    switch (g) {
-      case Grade::kQualifies:
-        ++stats_.qualifying_buckets;
-        SMADB_RETURN_NOT_OK(ProcessQualifying(&groups, b));
-        break;
-      case Grade::kDisqualifies:
-        ++stats_.disqualifying_buckets;
-        break;  // "do nothing"
-      case Grade::kAmbivalent:
-        ++stats_.ambivalent_buckets;
-        SMADB_RETURN_NOT_OK(ProcessAmbivalent(&groups, b));
-        break;
+    SMADB_RETURN_NOT_OK(util::ThreadPool::Shared()->ParallelFor(
+        0, source.num_buckets(), dop,
+        [&](size_t w, uint64_t b) -> Status {
+          WorkerState& ws = workers[w];
+          SMADB_ASSIGN_OR_RETURN(Grade g, ws.grader->GradeBucket(b));
+          return ProcessBucket(g, b, &ws.groups, &ws.cursors, &ws.stats);
+        }));
+    for (WorkerState& ws : workers) {
+      groups.MergeFrom(ws.groups);
+      stats_.Merge(ws.stats);
     }
   }
+
   // Phase 3 (average finalization) happens inside Emit/Finalize.
   SMADB_RETURN_NOT_OK(groups.Emit(&schema_, &results_));
   return Status::OK();

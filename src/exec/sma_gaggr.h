@@ -14,6 +14,12 @@
 // of the query or a finer grouping"). A count(*) SMA with compatible
 // grouping is always required: it carries group cardinalities (for count
 // and avg results) and decides which groups have qualifying tuples at all.
+//
+// With degree_of_parallelism > 1 the buckets become morsels: workers claim
+// them through the BucketSource counter, grade and aggregate into private
+// GroupTables through private SMA-file cursors, and the partial tables are
+// merged at the end — exact, because sum/count/min/max (and avg as
+// sum+count) compose associatively and commutatively.
 
 #ifndef SMADB_EXEC_SMA_GAGGR_H_
 #define SMADB_EXEC_SMA_GAGGR_H_
@@ -22,8 +28,8 @@
 #include <vector>
 
 #include "exec/aggregate.h"
+#include "exec/bucket_source.h"
 #include "exec/operator.h"
-#include "exec/sma_scan.h"
 #include "expr/predicate.h"
 #include "sma/grade.h"
 #include "storage/table.h"
@@ -39,6 +45,9 @@ struct SmaGAggrOptions {
   /// predicate per tuple.
   double force_ambivalent_fraction = 0.0;
   uint64_t force_seed = 0x5eed;
+  /// Worker count for the morsel-parallel path; 1 = serial (the paper's
+  /// single synchronized pass, bit-identical to the pre-parallel engine).
+  size_t degree_of_parallelism = 1;
 };
 
 class SmaGAggr final : public Operator {
@@ -63,12 +72,19 @@ class SmaGAggr final : public Operator {
   size_t num_groups() const { return results_.size(); }
 
  private:
-  /// One aggregate's SMA source: the SMA, a cursor per group file, and each
-  /// SMA group's key projected onto the query's group-by columns.
+  /// One aggregate's SMA source: the SMA and each SMA group's key projected
+  /// onto the query's group-by columns. Immutable after Make — shared
+  /// read-only by all workers.
   struct AggBinding {
     const sma::Sma* sma = nullptr;
-    std::vector<sma::SmaFile::Cursor> cursors;
     std::vector<std::vector<util::Value>> result_keys;
+  };
+
+  /// Per-worker SMA-file cursors (cursors pin pages; one set per thread,
+  /// mirroring bindings_ + count_binding_).
+  struct BindingCursors {
+    std::vector<sma::SmaFile::Cursor> count;
+    std::vector<std::vector<sma::SmaFile::Cursor>> per_agg;
   };
 
   SmaGAggr(storage::Table* table, expr::PredicatePtr pred,
@@ -87,7 +103,16 @@ class SmaGAggr final : public Operator {
   /// query's; builds the binding. Null sma on no match.
   AggBinding BindAggregate(sma::AggFunc func, const expr::Expr* arg) const;
 
-  util::Status ProcessQualifying(GroupTable* groups, uint64_t b);
+  BindingCursors MakeCursors() const;
+
+  /// Applies coverage and the demotion knob to a raw grade (thread-safe).
+  sma::Grade EffectiveGrade(sma::Grade g, uint64_t b) const;
+
+  /// One bucket's phase-2 work, dispatched on its grade.
+  util::Status ProcessBucket(sma::Grade g, uint64_t b, GroupTable* groups,
+                             BindingCursors* cursors, SmaScanStats* stats);
+  util::Status ProcessQualifying(GroupTable* groups, BindingCursors* cursors,
+                                 uint64_t b);
   util::Status ProcessAmbivalent(GroupTable* groups, uint64_t b);
 
   storage::Table* table_;

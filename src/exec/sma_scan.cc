@@ -8,73 +8,42 @@ using util::Result;
 using util::Status;
 
 Status SmaScan::Init() {
-  grader_ = sma::BucketGrader::Create(pred_, smas_);
-  curr_bucket_ = -1;
+  source_.Reset();
+  reader_.Close();
   done_ = false;
   stats_ = SmaScanStats();
   return GetBucket();
 }
 
 Status SmaScan::GetBucket() {
-  guard_.Release();
-  const uint64_t buckets = table_->num_buckets();
   // "do { advance currBucketNo; advance all smas; currGrade = grade(...); }
   //  while (currGrade != qualifies and currGrade != ambivalent)"
+  BucketUnit unit;
   while (true) {
-    ++curr_bucket_;
-    if (static_cast<uint64_t>(curr_bucket_) >= buckets) {
+    SMADB_ASSIGN_OR_RETURN(bool has, source_.NextGraded(&unit));
+    if (!has) {
       done_ = true;
       return Status::OK();
     }
-    SMADB_ASSIGN_OR_RETURN(
-        curr_grade_, grader_->GradeBucket(static_cast<uint64_t>(curr_bucket_)));
-    switch (curr_grade_) {
-      case Grade::kQualifies:
-        ++stats_.qualifying_buckets;
-        break;
-      case Grade::kAmbivalent:
-        ++stats_.ambivalent_buckets;
-        break;
-      case Grade::kDisqualifies:
-        ++stats_.disqualifying_buckets;
-        continue;  // skip without touching the bucket
-    }
-    break;
+    stats_.Tally(unit.grade);
+    if (unit.grade != Grade::kDisqualifies) break;  // skip without touching
   }
+  curr_grade_ = unit.grade;
   // "read bucket currBucketNo" — position on its first page.
-  const auto [first, end] =
-      table_->BucketPageRange(static_cast<uint32_t>(curr_bucket_));
-  page_ = first;
-  page_end_ = end;
-  slot_ = 0;
-  SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
-  page_count_ = storage::Table::PageTupleCount(*guard_.page());
-  return Status::OK();
+  const auto [first, end] = source_.table()->BucketPageRange(
+      static_cast<uint32_t>(unit.bucket));
+  return reader_.Open(first, end);
 }
 
 Result<bool> SmaScan::Next(TupleRef* out) {
   while (!done_) {
-    if (slot_ >= page_count_) {
-      if (page_ + 1 < page_end_) {
-        // Next page of the same bucket.
-        ++page_;
-        slot_ = 0;
-        SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
-        page_count_ = storage::Table::PageTupleCount(*guard_.page());
-      } else {
-        SMADB_RETURN_NOT_OK(GetBucket());
-      }
+    SMADB_ASSIGN_OR_RETURN(bool has, reader_.Next(out));
+    if (!has) {
+      SMADB_RETURN_NOT_OK(GetBucket());
       continue;
     }
-    if (storage::Table::PageSlotDeleted(*guard_.page(), slot_)) {
-      ++slot_;
-      continue;
-    }
-    const TupleRef t = table_->PageTuple(*guard_.page(), slot_);
-    ++slot_;
     // Qualifying buckets bypass predicate evaluation entirely.
-    if (curr_grade_ == Grade::kQualifies || pred_->Eval(t)) {
-      *out = t;
+    if (curr_grade_ == Grade::kQualifies || source_.pred()->Eval(*out)) {
       return true;
     }
   }

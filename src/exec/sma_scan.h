@@ -2,12 +2,14 @@
 // disqualifying buckets entirely, return qualifying buckets' tuples without
 // per-tuple predicate evaluation, and fall back to predicate evaluation
 // only inside ambivalent buckets.
+//
+// The bucket walk itself (grading, page range, slot iteration) lives in
+// exec/bucket_source.h, shared with TableScan and the parallel aggregates.
 
 #ifndef SMADB_EXEC_SMA_SCAN_H_
 #define SMADB_EXEC_SMA_SCAN_H_
 
-#include <memory>
-
+#include "exec/bucket_source.h"
 #include "exec/operator.h"
 #include "expr/predicate.h"
 #include "sma/grade.h"
@@ -15,36 +17,16 @@
 
 namespace smadb::exec {
 
-/// Per-run skip statistics (what Fig. 5's x-axis is made of).
-struct SmaScanStats {
-  uint64_t qualifying_buckets = 0;
-  uint64_t disqualifying_buckets = 0;
-  uint64_t ambivalent_buckets = 0;
-
-  uint64_t BucketsTotal() const {
-    return qualifying_buckets + disqualifying_buckets + ambivalent_buckets;
-  }
-  /// Fraction of buckets whose pages had to be fetched.
-  double ProcessedFraction() const {
-    const uint64_t total = BucketsTotal();
-    return total == 0
-               ? 0.0
-               : static_cast<double>(qualifying_buckets +
-                                     ambivalent_buckets) /
-                     static_cast<double>(total);
-  }
-};
-
 class SmaScan final : public Operator {
  public:
   /// `smas` supplies the selection SMAs; atoms without SMA support simply
   /// grade ambivalent (still correct, just slower).
   SmaScan(storage::Table* table, expr::PredicatePtr pred,
           const sma::SmaSet* smas)
-      : table_(table), pred_(std::move(pred)), smas_(smas) {}
+      : source_(table, std::move(pred), smas), reader_(table) {}
 
   const storage::Schema& output_schema() const override {
-    return table_->schema();
+    return source_.table()->schema();
   }
 
   util::Status Init() override;
@@ -57,18 +39,9 @@ class SmaScan final : public Operator {
   /// bucket, fetching its first page. Sets done_ when no buckets remain.
   util::Status GetBucket();
 
-  storage::Table* table_;
-  expr::PredicatePtr pred_;
-  const sma::SmaSet* smas_;
-  std::unique_ptr<sma::BucketGrader> grader_;
-
-  int64_t curr_bucket_ = -1;
+  BucketSource source_;
+  BucketReader reader_;
   sma::Grade curr_grade_ = sma::Grade::kAmbivalent;
-  uint32_t page_ = 0;       // current page within curr bucket
-  uint32_t page_end_ = 0;   // one past the bucket's last page
-  uint16_t slot_ = 0;
-  uint16_t page_count_ = 0;
-  storage::PageGuard guard_;
   bool done_ = false;
   SmaScanStats stats_;
 };

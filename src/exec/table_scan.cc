@@ -7,44 +7,16 @@ using util::Result;
 using util::Status;
 
 Status TableScan::Init() {
-  page_ = 0;
-  slot_ = 0;
-  page_count_ = 0;
-  done_ = table_->num_pages() == 0;
-  if (!done_) {
-    SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(0));
-    page_count_ = storage::Table::PageTupleCount(*guard_.page());
-  }
-  return Status::OK();
+  // One contiguous page range: the whole heap.
+  return reader_.Open(0, table_->num_pages());
 }
 
 Result<bool> TableScan::Next(TupleRef* out) {
-  while (!done_) {
-    if (slot_ >= page_count_) {
-      // Advance to the next page.
-      if (page_ + 1 >= table_->num_pages()) {
-        done_ = true;
-        guard_.Release();
-        break;
-      }
-      ++page_;
-      slot_ = 0;
-      SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
-      page_count_ = storage::Table::PageTupleCount(*guard_.page());
-      continue;
-    }
-    if (storage::Table::PageSlotDeleted(*guard_.page(), slot_)) {
-      ++slot_;
-      continue;
-    }
-    const TupleRef t = table_->PageTuple(*guard_.page(), slot_);
-    ++slot_;
-    if (pred_->Eval(t)) {
-      *out = t;
-      return true;
-    }
+  while (true) {
+    SMADB_ASSIGN_OR_RETURN(bool has, reader_.Next(out));
+    if (!has) return false;
+    if (pred_->Eval(*out)) return true;
   }
-  return false;
 }
 
 }  // namespace smadb::exec

@@ -5,6 +5,7 @@
 #ifndef SMADB_EXEC_TABLE_SCAN_H_
 #define SMADB_EXEC_TABLE_SCAN_H_
 
+#include "exec/bucket_source.h"
 #include "exec/operator.h"
 #include "expr/predicate.h"
 #include "storage/table.h"
@@ -16,7 +17,7 @@ class TableScan final : public Operator {
   /// Scans `table`, returning tuples satisfying `pred` (Predicate::True()
   /// for all).
   TableScan(storage::Table* table, expr::PredicatePtr pred)
-      : table_(table), pred_(std::move(pred)) {}
+      : table_(table), pred_(std::move(pred)), reader_(table) {}
 
   const storage::Schema& output_schema() const override {
     return table_->schema();
@@ -28,11 +29,7 @@ class TableScan final : public Operator {
  private:
   storage::Table* table_;
   expr::PredicatePtr pred_;
-  storage::PageGuard guard_;
-  uint32_t page_ = 0;
-  uint16_t slot_ = 0;
-  uint16_t page_count_ = 0;
-  bool done_ = false;
+  BucketReader reader_;
 };
 
 }  // namespace smadb::exec

@@ -1,11 +1,14 @@
 #include "planner/planner.h"
 
+#include "exec/parallel_aggr.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace smadb::plan {
 
 using exec::GAggr;
 using exec::Operator;
+using exec::ParallelScanAggr;
 using exec::SmaGAggr;
 using exec::SmaScan;
 using exec::TableScan;
@@ -51,27 +54,36 @@ std::string QueryResult::ToString() const {
 
 Status Planner::Census(storage::Table* table, const expr::PredicatePtr& pred,
                        PlanChoice* choice) const {
-  auto grader = sma::BucketGrader::Create(pred, smas_);
-  if (!grader->has_sma_support()) {
+  exec::BucketSource source(table, pred, smas_);
+  if (!source.has_sma_support()) {
     // No SMA grades anything; report everything ambivalent without reading.
     choice->ambivalent = table->num_buckets();
     return Status::OK();
   }
-  for (uint64_t b = 0; b < table->num_buckets(); ++b) {
-    SMADB_ASSIGN_OR_RETURN(Grade g, grader->GradeBucket(b));
-    switch (g) {
-      case Grade::kQualifies:
-        ++choice->qualifying;
-        break;
-      case Grade::kDisqualifies:
-        ++choice->disqualifying;
-        break;
-      case Grade::kAmbivalent:
-        ++choice->ambivalent;
-        break;
-    }
+  exec::SmaScanStats stats;
+  exec::BucketUnit unit;
+  while (true) {
+    SMADB_ASSIGN_OR_RETURN(bool has, source.NextGraded(&unit));
+    if (!has) break;
+    stats.Tally(unit.grade);
   }
+  choice->qualifying = stats.qualifying_buckets;
+  choice->disqualifying = stats.disqualifying_buckets;
+  choice->ambivalent = stats.ambivalent_buckets;
   return Status::OK();
+}
+
+size_t Planner::PlanDop(uint64_t fetch_buckets) const {
+  size_t requested = options_.degree_of_parallelism;
+  if (requested == 0) requested = util::ThreadPool::DefaultDop();
+  if (requested <= 1) return 1;
+  // Each worker should own at least a handful of fetchable buckets;
+  // otherwise thread startup dwarfs the per-morsel work.
+  constexpr uint64_t kMinBucketsPerWorker = 4;
+  const uint64_t cap =
+      std::max<uint64_t>(1, fetch_buckets / kMinBucketsPerWorker);
+  return static_cast<size_t>(
+      std::min<uint64_t>(static_cast<uint64_t>(requested), cap));
 }
 
 Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
@@ -80,7 +92,9 @@ Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
     choice.kind = PlanKind::kScanAggr;
     choice.ambivalent = query.table->num_buckets();
     choice.fetch_fraction = 1.0;
-    choice.explanation = "no SMAs available";
+    choice.dop = PlanDop(choice.ambivalent);
+    choice.explanation =
+        util::Format("no SMAs available, dop=%zu", choice.dop);
     return choice;
   }
   SMADB_RETURN_NOT_OK(Census(query.table, query.pred, &choice));
@@ -101,6 +115,7 @@ Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
       (options_.force_sma || ambivalent_frac < options_.breakeven_fraction)) {
     choice.kind = PlanKind::kSmaGAggr;
     choice.fetch_fraction = ambivalent_frac;
+    choice.dop = PlanDop(choice.qualifying + choice.ambivalent);
     choice.explanation = util::Format(
         "SMA_GAggr fetches %.1f%% of buckets (break-even %.0f%%)",
         ambivalent_frac * 100.0, options_.breakeven_fraction * 100.0);
@@ -109,18 +124,21 @@ Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
               processed_frac < options_.breakeven_fraction)) {
     choice.kind = PlanKind::kSmaScanAggr;
     choice.fetch_fraction = processed_frac;
+    choice.dop = PlanDop(choice.qualifying + choice.ambivalent);
     choice.explanation = util::Format(
         "SMA_Scan fetches %.1f%% of buckets%s", processed_frac * 100.0,
         gaggr_available ? "" : " (no matching aggregate SMAs)");
   } else {
     choice.kind = PlanKind::kScanAggr;
     choice.fetch_fraction = 1.0;
+    choice.dop = PlanDop(choice.total_buckets());
     choice.explanation = util::Format(
         "sequential scan: SMA plan would fetch %.1f%% of buckets "
         "(break-even %.0f%%)",
         (gaggr_available ? ambivalent_frac : processed_frac) * 100.0,
         options_.breakeven_fraction * 100.0);
   }
+  choice.explanation += util::Format(", dop=%zu", choice.dop);
   return choice;
 }
 
@@ -154,16 +172,27 @@ Result<PlanChoice> Planner::ChooseSelect(const SelectQuery& query) const {
 }
 
 Result<std::unique_ptr<Operator>> Planner::Build(const AggQuery& query,
-                                                 PlanKind kind) const {
+                                                 PlanKind kind,
+                                                 size_t dop) const {
+  dop = std::max<size_t>(1, dop);
   switch (kind) {
     case PlanKind::kSmaGAggr: {
+      exec::SmaGAggrOptions options;
+      options.degree_of_parallelism = dop;
       SMADB_ASSIGN_OR_RETURN(
           std::unique_ptr<SmaGAggr> op,
           SmaGAggr::Make(query.table, query.pred, query.group_by, query.aggs,
-                         smas_));
+                         smas_, options));
       return std::unique_ptr<Operator>(std::move(op));
     }
     case PlanKind::kSmaScanAggr: {
+      if (dop > 1) {
+        SMADB_ASSIGN_OR_RETURN(
+            std::unique_ptr<ParallelScanAggr> op,
+            ParallelScanAggr::Make(query.table, query.pred, query.group_by,
+                                   query.aggs, smas_, dop));
+        return std::unique_ptr<Operator>(std::move(op));
+      }
       auto scan = std::make_unique<SmaScan>(query.table, query.pred, smas_);
       SMADB_ASSIGN_OR_RETURN(
           std::unique_ptr<GAggr> aggr,
@@ -171,6 +200,13 @@ Result<std::unique_ptr<Operator>> Planner::Build(const AggQuery& query,
       return std::unique_ptr<Operator>(std::move(aggr));
     }
     case PlanKind::kScanAggr: {
+      if (dop > 1) {
+        SMADB_ASSIGN_OR_RETURN(
+            std::unique_ptr<ParallelScanAggr> op,
+            ParallelScanAggr::Make(query.table, query.pred, query.group_by,
+                                   query.aggs, /*smas=*/nullptr, dop));
+        return std::unique_ptr<Operator>(std::move(op));
+      }
       auto scan = std::make_unique<TableScan>(query.table, query.pred);
       SMADB_ASSIGN_OR_RETURN(
           std::unique_ptr<GAggr> aggr,
@@ -218,7 +254,16 @@ Result<QueryResult> RunToCompletion(Operator* op) {
 Result<QueryResult> Planner::Execute(const AggQuery& query) const {
   SMADB_ASSIGN_OR_RETURN(PlanChoice choice, Choose(query));
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
-                         Build(query, choice.kind));
+                         Build(query, choice.kind, choice.dop));
+  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(op.get()));
+  result.plan = choice;
+  return result;
+}
+
+Result<QueryResult> Planner::ExecuteSelect(const SelectQuery& query) const {
+  SMADB_ASSIGN_OR_RETURN(PlanChoice choice, ChooseSelect(query));
+  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
+                         BuildSelect(query, choice.kind));
   SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(op.get()));
   result.plan = choice;
   return result;

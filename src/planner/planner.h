@@ -55,6 +55,9 @@ struct PlanChoice {
   uint64_t ambivalent = 0;
   /// Fraction of buckets the chosen plan will fetch.
   double fetch_fraction = 1.0;
+  /// Workers the plan will run with (1 = serial; chosen per plan so that
+  /// small bucket counts never pay thread overhead).
+  size_t dop = 1;
   std::string explanation;
 
   uint64_t total_buckets() const {
@@ -81,6 +84,11 @@ struct PlannerOptions {
   /// Force a plan regardless of cost (for experiments like Fig. 5's
   /// "erroneously applied" curve). kScanAggr means "no forcing".
   bool force_sma = false;
+  /// Requested degree of parallelism for aggregation plans. 0 = auto
+  /// (hardware concurrency), 1 = serial. The planner may lower it per plan:
+  /// each worker should own a few buckets of real work, so tiny tables and
+  /// highly pruned plans stay serial.
+  size_t degree_of_parallelism = 0;
 };
 
 class Planner {
@@ -93,19 +101,27 @@ class Planner {
   util::Result<PlanChoice> Choose(const AggQuery& query) const;
   util::Result<PlanChoice> ChooseSelect(const SelectQuery& query) const;
 
-  /// Instantiates the operator tree for a choice.
+  /// Instantiates the operator tree for a choice. `dop` > 1 swaps in the
+  /// morsel-parallel forms (ParallelScanAggr, parallel SMA_GAggr); the
+  /// default keeps the serial operators and every existing call site.
   util::Result<std::unique_ptr<exec::Operator>> Build(const AggQuery& query,
-                                                      PlanKind kind) const;
+                                                      PlanKind kind,
+                                                      size_t dop = 1) const;
   util::Result<std::unique_ptr<exec::Operator>> BuildSelect(
       const SelectQuery& query, PlanKind kind) const;
 
   /// Choose + Build + run to completion.
   util::Result<QueryResult> Execute(const AggQuery& query) const;
+  util::Result<QueryResult> ExecuteSelect(const SelectQuery& query) const;
 
  private:
   /// Bucket census for a predicate: fills q/d/a of `choice`.
   util::Status Census(storage::Table* table, const expr::PredicatePtr& pred,
                       PlanChoice* choice) const;
+
+  /// Per-plan DOP: the requested (or hardware) worker count, lowered so
+  /// every worker owns at least a handful of fetchable buckets.
+  size_t PlanDop(uint64_t fetch_buckets) const;
 
   const sma::SmaSet* smas_;
   PlannerOptions options_;

@@ -10,14 +10,13 @@ using util::Result;
 using util::Status;
 
 PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
-  if (this != &o) {
-    Release();
-    pool_ = o.pool_;
-    frame_ = o.frame_;
-    page_ = o.page_;
-    o.pool_ = nullptr;
-    o.page_ = nullptr;
-  }
+  if (this == &o) return *this;  // self-move keeps the pin
+  Release();                     // drop the old pin before adopting
+  pool_ = o.pool_;
+  frame_ = o.frame_;
+  page_ = o.page_;
+  o.pool_ = nullptr;
+  o.page_ = nullptr;
   return *this;
 }
 
@@ -25,7 +24,7 @@ PageGuard::~PageGuard() { Release(); }
 
 Page* PageGuard::MutablePage() {
   assert(valid());
-  pool_->frames_[frame_].dirty = true;
+  pool_->MarkDirty(frame_);
   return page_;
 }
 
@@ -47,9 +46,10 @@ BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
 
 Result<PageGuard> BufferPool::Fetch(FileId file, uint32_t page_no) {
   const uint64_t key = Key(file, page_no);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(key);
   if (it != table_.end()) {
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     Frame& fr = frames_[it->second];
     if (fr.pin_count == 0 && fr.in_lru) {
       lru_.erase(fr.lru_pos);
@@ -58,10 +58,17 @@ Result<PageGuard> BufferPool::Fetch(FileId file, uint32_t page_no) {
     ++fr.pin_count;
     return PageGuard(this, it->second, &fr.page);
   }
-  ++stats_.misses;
-  SMADB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  SMADB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrameLocked());
   Frame& fr = frames_[idx];
-  SMADB_RETURN_NOT_OK(disk_->ReadPage(file, page_no, &fr.page));
+  // The disk read happens under the pool mutex: the SimulatedDisk is an
+  // in-memory copy (thread-compatible, not thread-safe), and serializing
+  // here keeps its sequential/near/random accounting well-defined.
+  Status read = disk_->ReadPage(file, page_no, &fr.page);
+  if (!read.ok()) {
+    free_list_.push_back(idx);
+    return read;
+  }
   fr.file = file;
   fr.page_no = page_no;
   fr.pin_count = 1;
@@ -73,9 +80,10 @@ Result<PageGuard> BufferPool::Fetch(FileId file, uint32_t page_no) {
 }
 
 Result<PageGuard> BufferPool::NewPage(FileId file, uint32_t* page_no_out) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_ASSIGN_OR_RETURN(uint32_t page_no, disk_->AllocatePage(file));
   if (page_no_out != nullptr) *page_no_out = page_no;
-  SMADB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
+  SMADB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrameLocked());
   Frame& fr = frames_[idx];
   fr.page.Zero();
   fr.file = file;
@@ -89,6 +97,7 @@ Result<PageGuard> BufferPool::NewPage(FileId file, uint32_t* page_no_out) {
 }
 
 void BufferPool::Unpin(size_t frame, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& fr = frames_[frame];
   assert(fr.pin_count > 0);
   if (dirty) fr.dirty = true;
@@ -99,7 +108,12 @@ void BufferPool::Unpin(size_t frame, bool dirty) {
   }
 }
 
-Result<size_t> BufferPool::GetFreeFrame() {
+void BufferPool::MarkDirty(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame].dirty = true;
+}
+
+Result<size_t> BufferPool::GetFreeFrameLocked() {
   if (!free_list_.empty()) {
     const size_t idx = free_list_.back();
     free_list_.pop_back();
@@ -112,17 +126,17 @@ Result<size_t> BufferPool::GetFreeFrame() {
   const size_t victim = lru_.back();
   lru_.pop_back();
   frames_[victim].in_lru = false;
-  ++stats_.evictions;
-  SMADB_RETURN_NOT_OK(EvictFrame(victim));
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  SMADB_RETURN_NOT_OK(EvictFrameLocked(victim));
   return victim;
 }
 
-Status BufferPool::EvictFrame(size_t idx) {
+Status BufferPool::EvictFrameLocked(size_t idx) {
   Frame& fr = frames_[idx];
   assert(fr.used && fr.pin_count == 0);
   if (fr.dirty) {
     SMADB_RETURN_NOT_OK(disk_->WritePage(fr.file, fr.page_no, fr.page));
-    ++stats_.dirty_writebacks;
+    dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
     fr.dirty = false;
   }
   table_.erase(Key(fr.file, fr.page_no));
@@ -131,10 +145,11 @@ Status BufferPool::EvictFrame(size_t idx) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& fr : frames_) {
     if (fr.used && fr.dirty) {
       SMADB_RETURN_NOT_OK(disk_->WritePage(fr.file, fr.page_no, fr.page));
-      ++stats_.dirty_writebacks;
+      dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
       fr.dirty = false;
     }
   }
@@ -142,6 +157,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& fr = frames_[i];
     if (!fr.used) continue;
@@ -154,13 +170,14 @@ Status BufferPool::DropAll() {
       lru_.erase(fr.lru_pos);
       fr.in_lru = false;
     }
-    SMADB_RETURN_NOT_OK(EvictFrame(i));
+    SMADB_RETURN_NOT_OK(EvictFrameLocked(i));
     free_list_.push_back(i);
   }
   return Status::OK();
 }
 
 Status BufferPool::DropFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& fr = frames_[i];
     if (!fr.used || fr.file != file) continue;
@@ -173,7 +190,7 @@ Status BufferPool::DropFile(FileId file) {
       lru_.erase(fr.lru_pos);
       fr.in_lru = false;
     }
-    SMADB_RETURN_NOT_OK(EvictFrame(i));
+    SMADB_RETURN_NOT_OK(EvictFrameLocked(i));
     free_list_.push_back(i);
   }
   return Status::OK();

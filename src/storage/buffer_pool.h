@@ -4,12 +4,22 @@
 // "cold" = DropAll() before the run (every access faults to disk), "warm" =
 // run again with the SMA-files resident. The paper's AODB was configured
 // with an 8 MB buffer; the default capacity matches (2048 4K frames).
+//
+// Thread safety: all frame-table / LRU / free-list state is guarded by one
+// mutex and the hit/miss counters are atomics, so any number of worker
+// threads may Fetch / release PageGuards concurrently (the morsel-parallel
+// operators do). Page *contents* follow pin discipline: a pinned frame
+// cannot move or be evicted, and query workers only read data pages, so no
+// page-level latch is needed; writers (bulk load, maintenance) are
+// single-threaded by design.
 
 #ifndef SMADB_STORAGE_BUFFER_POOL_H_
 #define SMADB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -19,7 +29,8 @@
 
 namespace smadb::storage {
 
-/// Buffer-pool hit/miss counters.
+/// Buffer-pool hit/miss counters (a consistent-enough snapshot; the live
+/// counters are atomics inside the pool).
 struct PoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -37,6 +48,8 @@ class PageGuard {
   PageGuard(BufferPool* pool, size_t frame, Page* page)
       : pool_(pool), frame_(frame), page_(page) {}
   PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  /// Releases the currently held pin (if any) before adopting `o`'s;
+  /// self-assignment is a no-op and keeps the pin.
   PageGuard& operator=(PageGuard&& o) noexcept;
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
@@ -56,7 +69,7 @@ class PageGuard {
   Page* page_ = nullptr;
 };
 
-/// Fixed-capacity LRU buffer pool. Single-threaded, like the experiments.
+/// Fixed-capacity LRU buffer pool; thread-safe (see header comment).
 class BufferPool {
  public:
   /// `capacity_pages` frames of kPageSize each; default 8 MB.
@@ -81,11 +94,27 @@ class BufferPool {
   /// selectively, e.g. keep SMA-files hot but drop the base relation.
   util::Status DropFile(FileId file);
 
-  const PoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PoolStats(); }
+  /// Counter snapshot.
+  PoolStats stats() const {
+    PoolStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.dirty_writebacks = dirty_writebacks_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    dirty_writebacks_ = 0;
+  }
 
   size_t capacity() const { return frames_.size(); }
-  size_t num_cached() const { return table_.size(); }
+  size_t num_cached() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
   SimulatedDisk* disk() const { return disk_; }
 
  private:
@@ -107,15 +136,21 @@ class BufferPool {
   }
 
   void Unpin(size_t frame, bool dirty);
-  util::Result<size_t> GetFreeFrame();
-  util::Status EvictFrame(size_t idx);
+  void MarkDirty(size_t frame);
+  // The Locked helpers require mu_ to be held by the caller.
+  util::Result<size_t> GetFreeFrameLocked();
+  util::Status EvictFrameLocked(size_t idx);
 
   SimulatedDisk* disk_;
+  mutable std::mutex mu_;  // guards frames_ metadata, free_list_, lru_, table_
   std::vector<Frame> frames_;
   std::vector<size_t> free_list_;
   std::list<size_t> lru_;  // front = most recent
   std::unordered_map<uint64_t, size_t> table_;
-  PoolStats stats_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> dirty_writebacks_{0};
 };
 
 }  // namespace smadb::storage

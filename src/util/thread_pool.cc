@@ -1,0 +1,108 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <latch>
+
+namespace smadb::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end, size_t dop,
+    const std::function<Status(size_t worker, uint64_t index)>& fn) {
+  if (begin >= end) return Status::OK();
+  dop = std::min<size_t>(std::max<size_t>(dop, 1), end - begin);
+  if (dop == 1) {
+    for (uint64_t i = begin; i < end; ++i) {
+      SMADB_RETURN_NOT_OK(fn(0, i));
+    }
+    return Status::OK();
+  }
+
+  // Shared claim state. Workers submitted to a smaller pool than dop simply
+  // find the counter drained when they finally run — correct, just idle.
+  struct SharedState {
+    std::atomic<uint64_t> next;
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    Status first_error;
+  };
+  SharedState state;
+  state.next.store(begin, std::memory_order_relaxed);
+
+  auto run_worker = [&state, end, &fn](size_t worker) {
+    while (!state.failed.load(std::memory_order_relaxed)) {
+      const uint64_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      Status s = fn(worker, i);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(state.error_mu);
+        if (!state.failed.exchange(true)) state.first_error = std::move(s);
+        return;
+      }
+    }
+  };
+
+  std::latch done(static_cast<std::ptrdiff_t>(dop - 1));
+  for (size_t w = 1; w < dop; ++w) {
+    Submit([&run_worker, &done, w] {
+      run_worker(w);
+      done.count_down();
+    });
+  }
+  run_worker(0);
+  done.wait();
+
+  if (state.failed.load()) return state.first_error;
+  return Status::OK();
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max<size_t>(1, DefaultDop() - 1));
+  return pool;
+}
+
+size_t ThreadPool::DefaultDop() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace smadb::util

@@ -202,6 +202,41 @@ TEST(BufferPoolTest, PoolExhaustionReported) {
   EXPECT_FALSE(g2.ok());  // everything pinned
 }
 
+TEST(BufferPoolTest, GuardMoveAssignReleasesTheOldPin) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 2);
+  PageGuard g0 = std::move(pool.Fetch(f, 0)).value();
+  PageGuard g1 = std::move(pool.Fetch(f, 1)).value();
+  ASSERT_FALSE(pool.Fetch(f, 2).ok());  // both frames pinned
+
+  // Adopting g1's pin must first drop g0's; page 0 becomes evictable.
+  g0 = std::move(g1);
+  ASSERT_TRUE(g0.valid());
+  EXPECT_FALSE(g1.valid());
+  EXPECT_TRUE(pool.Fetch(f, 2).ok());
+}
+
+TEST(BufferPoolTest, GuardSelfMoveAssignKeepsThePin) {
+  SimulatedDisk disk;
+  FileId f = *disk.CreateFile("a");
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(disk.AllocatePage(f).ok());
+  BufferPool pool(&disk, 1);
+  PageGuard g = std::move(pool.Fetch(f, 0)).value();
+  const Page* before = g.page();
+
+  PageGuard& self = g;  // via reference: the check must be dynamic
+  g = std::move(self);
+  ASSERT_TRUE(g.valid());
+  EXPECT_EQ(g.page(), before);
+  // Still pinned: the only frame cannot be reused...
+  EXPECT_FALSE(pool.Fetch(f, 1).ok());
+  // ...until the guard is released exactly once.
+  g.Release();
+  EXPECT_TRUE(pool.Fetch(f, 1).ok());
+}
+
 TEST(BufferPoolTest, DropAllSimulatesColdStart) {
   SimulatedDisk disk;
   FileId f = *disk.CreateFile("a");
