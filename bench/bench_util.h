@@ -51,6 +51,9 @@ inline double ScaleFromArgs(int argc, char** argv, double def) {
 struct BenchDb {
   explicit BenchDb(size_t pool_pages = 16384)
       : pool(&disk, pool_pages), catalog(&pool) {}
+  /// Full-options variant (e.g. X7 toggles checksum verification).
+  explicit BenchDb(storage::BufferPoolOptions options)
+      : pool(&disk, options), catalog(&pool) {}
 
   storage::SimulatedDisk disk;
   storage::BufferPool pool;

@@ -13,8 +13,11 @@ using util::Status;
 
 Database::Database(DatabaseOptions options)
     : options_(options),
-      pool_(std::make_unique<storage::BufferPool>(&disk_,
-                                                  options.pool_pages)),
+      pool_(std::make_unique<storage::BufferPool>(
+          &disk_,
+          storage::BufferPoolOptions{
+              .capacity_pages = options.pool_pages,
+              .verify_checksums = options.verify_checksums})),
       catalog_(std::make_unique<storage::Catalog>(pool_.get())) {}
 
 Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
@@ -58,6 +61,11 @@ Status Database::Delete(std::string_view table, Rid rid) {
 Result<sma::SmaSet*> Database::Smas(std::string_view table) {
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
   return state->smas.get();
+}
+
+Result<sma::SmaMaintainer*> Database::Maintainer(std::string_view table) {
+  SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+  return state->maintainer.get();
 }
 
 Status Database::Execute(std::string_view statement) {

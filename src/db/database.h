@@ -31,6 +31,9 @@ namespace smadb::db {
 struct DatabaseOptions {
   /// Buffer pool capacity in 4 KiB frames (default 8 MB — the paper's).
   size_t pool_pages = 2048;
+  /// Verify page checksums on every buffer-pool miss (see BufferPoolOptions;
+  /// off only for overhead experiments, EXPERIMENTS.md X7).
+  bool verify_checksums = true;
   plan::PlannerOptions planner;
 };
 
@@ -63,6 +66,10 @@ class Database {
   // --- SMAs ----------------------------------------------------------------
   /// The SMA set of a table (created lazily, initially empty).
   util::Result<sma::SmaSet*> Smas(std::string_view table);
+
+  /// The maintainer of a table, for the fault-repair hooks: VerifyAll()
+  /// self-checks the SMAs, Rebuild() re-materializes distrusted/stale ones.
+  util::Result<sma::SmaMaintainer*> Maintainer(std::string_view table);
 
   // --- statements ----------------------------------------------------------
   /// Executes a DDL-ish statement. Currently: `define sma ...` (§2.1) and

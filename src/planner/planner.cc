@@ -17,6 +17,7 @@ using storage::TupleBuffer;
 using storage::TupleRef;
 using util::Result;
 using util::Status;
+using util::StatusCode;
 
 std::string_view PlanKindToString(PlanKind k) {
   switch (k) {
@@ -73,6 +74,34 @@ Status Planner::Census(storage::Table* table, const expr::PredicatePtr& pred,
   return Status::OK();
 }
 
+PlanChoice Planner::Demoted(uint64_t total_buckets, bool select,
+                            const std::string& reason) const {
+  PlanChoice choice;
+  choice.kind = select ? PlanKind::kScan : PlanKind::kScanAggr;
+  choice.ambivalent = total_buckets;
+  choice.fetch_fraction = 1.0;
+  choice.dop = select ? 1 : PlanDop(total_buckets);
+  choice.explanation = "demoted to sequential scan: " + reason;
+  if (!select) {
+    choice.explanation += util::Format(", dop=%zu", choice.dop);
+  }
+  return choice;
+}
+
+void Planner::DistrustCorrupted(const Status& s) const {
+  if (smas_ == nullptr) return;
+  for (const sma::Sma* sma : smas_->all()) {
+    for (size_t g = 0; g < sma->num_groups(); ++g) {
+      const std::string name =
+          sma->pool()->disk()->FileName(sma->group_file(g)->file());
+      if (!name.empty() &&
+          s.message().find("'" + name + "'") != std::string::npos) {
+        sma->MarkDistrusted(s.message());
+      }
+    }
+  }
+}
+
 size_t Planner::PlanDop(uint64_t fetch_buckets) const {
   size_t requested = options_.degree_of_parallelism;
   if (requested == 0) requested = util::ThreadPool::DefaultDop();
@@ -97,7 +126,21 @@ Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
         util::Format("no SMAs available, dop=%zu", choice.dop);
     return choice;
   }
-  SMADB_RETURN_NOT_OK(Census(query.table, query.pred, &choice));
+  const std::string trust_issue = smas_->TrustIssue();
+  if (!trust_issue.empty()) {
+    return Demoted(query.table->num_buckets(), /*select=*/false, trust_issue);
+  }
+  const Status census = Census(query.table, query.pred, &choice);
+  if (!census.ok()) {
+    if (census.code() == StatusCode::kCorruption) DistrustCorrupted(census);
+    if (census.code() == StatusCode::kCorruption ||
+        census.code() == StatusCode::kIOError) {
+      // Grading failed reading a SMA-file; base data is still authoritative.
+      return Demoted(query.table->num_buckets(), /*select=*/false,
+                     "grading failed (" + census.message() + ")");
+    }
+    return census;
+  }
   const double total =
       std::max<double>(1.0, static_cast<double>(choice.total_buckets()));
   const double ambivalent_frac =
@@ -151,7 +194,20 @@ Result<PlanChoice> Planner::ChooseSelect(const SelectQuery& query) const {
     choice.explanation = "no SMAs available";
     return choice;
   }
-  SMADB_RETURN_NOT_OK(Census(query.table, query.pred, &choice));
+  const std::string trust_issue = smas_->TrustIssue();
+  if (!trust_issue.empty()) {
+    return Demoted(query.table->num_buckets(), /*select=*/true, trust_issue);
+  }
+  const Status census = Census(query.table, query.pred, &choice);
+  if (!census.ok()) {
+    if (census.code() == StatusCode::kCorruption) DistrustCorrupted(census);
+    if (census.code() == StatusCode::kCorruption ||
+        census.code() == StatusCode::kIOError) {
+      return Demoted(query.table->num_buckets(), /*select=*/true,
+                     "grading failed (" + census.message() + ")");
+    }
+    return census;
+  }
   const double total =
       std::max<double>(1.0, static_cast<double>(choice.total_buckets()));
   const double processed_frac =
@@ -251,12 +307,43 @@ Result<QueryResult> RunToCompletion(Operator* op) {
   return result;
 }
 
+namespace {
+
+// A plan can be retried from base data iff it depended on SMA-files and the
+// failure is typed as bad/unreadable storage (a demotion cannot outrun an
+// InvalidArgument, and rerunning on kResourceExhausted would just re-pin).
+bool DemotableFailure(const Status& s) {
+  return s.code() == util::StatusCode::kCorruption ||
+         s.code() == util::StatusCode::kIOError;
+}
+
+}  // namespace
+
 Result<QueryResult> Planner::Execute(const AggQuery& query) const {
   SMADB_ASSIGN_OR_RETURN(PlanChoice choice, Choose(query));
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
                          Build(query, choice.kind, choice.dop));
-  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(op.get()));
-  result.plan = choice;
+  Result<QueryResult> run = RunToCompletion(op.get());
+  if (run.ok()) {
+    run->plan = choice;
+    return run;
+  }
+  const bool sma_plan = choice.kind == PlanKind::kSmaGAggr ||
+                        choice.kind == PlanKind::kSmaScanAggr;
+  if (!sma_plan || !DemotableFailure(run.status())) return run.status();
+  // The SMA plan died mid-run on bad storage. Base data is authoritative:
+  // rerun as a sequential scan (which still surfaces base-table errors).
+  if (run.status().code() == StatusCode::kCorruption) {
+    DistrustCorrupted(run.status());
+  }
+  PlanChoice fallback =
+      Demoted(query.table->num_buckets(), /*select=*/false,
+              std::string(PlanKindToString(choice.kind)) +
+                  " failed mid-run (" + run.status().message() + ")");
+  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> rerun,
+                         Build(query, PlanKind::kScanAggr, fallback.dop));
+  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(rerun.get()));
+  result.plan = fallback;
   return result;
 }
 
@@ -264,8 +351,25 @@ Result<QueryResult> Planner::ExecuteSelect(const SelectQuery& query) const {
   SMADB_ASSIGN_OR_RETURN(PlanChoice choice, ChooseSelect(query));
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
                          BuildSelect(query, choice.kind));
-  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(op.get()));
-  result.plan = choice;
+  Result<QueryResult> run = RunToCompletion(op.get());
+  if (run.ok()) {
+    run->plan = choice;
+    return run;
+  }
+  if (choice.kind != PlanKind::kSmaScan || !DemotableFailure(run.status())) {
+    return run.status();
+  }
+  if (run.status().code() == StatusCode::kCorruption) {
+    DistrustCorrupted(run.status());
+  }
+  PlanChoice fallback =
+      Demoted(query.table->num_buckets(), /*select=*/true,
+              std::string(PlanKindToString(choice.kind)) +
+                  " failed mid-run (" + run.status().message() + ")");
+  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> rerun,
+                         BuildSelect(query, PlanKind::kScan));
+  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(rerun.get()));
+  result.plan = fallback;
   return result;
 }
 

@@ -13,6 +13,14 @@
 //   GAggr ∘ SMA_Scan     — selection pruning only; fetches qualifying +
 //                          ambivalent buckets.
 //   GAggr ∘ TableScan    — the fallback the paper measures against.
+//
+// Degradation: SMA plans are only eligible while every SMA of the table is
+// trusted and epoch-fresh (SmaSet::TrustIssue). A corrupt, stale, or
+// verification-failed SMA demotes the plan to the sequential-scan form —
+// queries keep answering correctly from base data, just slower — and the
+// demotion is recorded in the plan explanation. Corruption discovered while
+// grading or mid-run additionally condemns the owning SMA so the next
+// SmaMaintainer::Rebuild() repairs it.
 
 #ifndef SMADB_PLANNER_PLANNER_H_
 #define SMADB_PLANNER_PLANNER_H_
@@ -118,6 +126,15 @@ class Planner {
   /// Bucket census for a predicate: fills q/d/a of `choice`.
   util::Status Census(storage::Table* table, const expr::PredicatePtr& pred,
                       PlanChoice* choice) const;
+
+  /// The bottom rung of the degradation ladder: a full-scan choice whose
+  /// explanation records why the SMA plan was demoted.
+  PlanChoice Demoted(uint64_t total_buckets, bool select,
+                     const std::string& reason) const;
+
+  /// Condemns every SMA owning a file named in `s`'s message (checksum
+  /// failures name the file), so the next Rebuild() repairs it.
+  void DistrustCorrupted(const util::Status& s) const;
 
   /// Per-plan DOP: the requested (or hardware) worker count, lowered so
   /// every worker owns at least a handful of fetchable buckets.

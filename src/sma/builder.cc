@@ -10,58 +10,32 @@ using util::Result;
 using util::Status;
 using util::Value;
 
-namespace {
-
-// Per-bucket accumulator: group ordinal -> folded entry.
-// Groups are created in the Sma on first sight; std::map keeps the pass
-// deterministic.
-Status AccumulateBucket(Table* table, Sma* sma, uint64_t bucket,
-                        std::map<size_t, int64_t>* acc) {
-  acc->clear();
-  Status status = Status::OK();
-  SMADB_RETURN_NOT_OK(table->ForEachTupleInBucket(
-      static_cast<uint32_t>(bucket),
-      [&](const TupleRef& t, storage::Rid) {
-        if (!status.ok()) return;
-        auto group = sma->GetOrCreateGroup(sma->GroupKeyOf(t));
-        if (!group.ok()) {
-          status = group.status();
-          return;
-        }
-        const int64_t v = sma->ArgOf(t);
-        auto it = acc->find(*group);
-        if (it == acc->end()) {
-          acc->emplace(*group, sma->Merge(sma->IdentityEntry(), v));
-        } else {
-          it->second = sma->Merge(it->second, v);
-        }
-      }));
-  return status;
-}
-
-}  // namespace
-
 Result<std::unique_ptr<Sma>> BuildSma(Table* table, SmaSpec spec) {
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Sma> sma,
                          Sma::Create(table->pool(), table, std::move(spec)));
   const uint64_t buckets = table->num_buckets();
   std::map<size_t, int64_t> acc;
   for (uint64_t b = 0; b < buckets; ++b) {
-    SMADB_RETURN_NOT_OK(AccumulateBucket(table, sma.get(), b, &acc));
+    // Per-bucket accumulator: group ordinal -> folded entry; std::map keeps
+    // the pass deterministic.
+    SMADB_RETURN_NOT_OK(sma->AccumulateBucket(b, &acc));
     // One entry per group file (identity when the group is absent from the
     // bucket). GetOrCreateGroup already backfilled identity entries for
     // groups discovered mid-scan.
     SMADB_RETURN_NOT_OK(sma->AppendBucket(acc));
   }
+  // A freshly built SMA reflects the table as of right now.
+  sma->MarkTrusted(table->epoch());
   return sma;
 }
 
 Status RecomputeBucket(Table* table, Sma* sma, uint64_t bucket) {
+  (void)table;
   if (bucket >= sma->num_buckets()) {
     return Status::OutOfRange("bucket beyond SMA coverage");
   }
   std::map<size_t, int64_t> acc;
-  SMADB_RETURN_NOT_OK(AccumulateBucket(table, sma, bucket, &acc));
+  SMADB_RETURN_NOT_OK(sma->AccumulateBucket(bucket, &acc));
   for (size_t g = 0; g < sma->num_groups(); ++g) {
     auto it = acc.find(g);
     const int64_t entry = it == acc.end() ? sma->IdentityEntry() : it->second;

@@ -4,7 +4,9 @@ namespace smadb::sma {
 
 using storage::Rid;
 using storage::TupleBuffer;
+using util::Result;
 using util::Status;
+using util::StatusCode;
 using util::Value;
 
 Status SmaMaintainer::Insert(const TupleBuffer& tuple, Rid* rid_out) {
@@ -14,6 +16,7 @@ Status SmaMaintainer::Insert(const TupleBuffer& tuple, Rid* rid_out) {
   const uint64_t bucket = table_->BucketOfPage(rid.page_no);
   const storage::TupleRef ref = tuple.AsRef();
   for (Sma* sma : smas_->mutable_all()) {
+    if (!sma->trusted()) continue;  // repaired wholesale by Rebuild()
     SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
     SMADB_ASSIGN_OR_RETURN(size_t g,
                            sma->GetOrCreateGroup(sma->GroupKeyOf(ref)));
@@ -21,6 +24,7 @@ Status SmaMaintainer::Insert(const TupleBuffer& tuple, Rid* rid_out) {
     SMADB_ASSIGN_OR_RETURN(int64_t entry, file->Get(bucket));
     SMADB_RETURN_NOT_OK(
         file->Set(bucket, sma->Merge(entry, sma->ArgOf(ref))));
+    sma->MarkTrusted(table_->epoch());
   }
   return Status::OK();
 }
@@ -29,8 +33,10 @@ Status SmaMaintainer::Delete(Rid rid) {
   SMADB_RETURN_NOT_OK(table_->DeleteTuple(rid));
   const uint64_t bucket = table_->BucketOfPage(rid.page_no);
   for (Sma* sma : smas_->mutable_all()) {
+    if (!sma->trusted()) continue;
     SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
     SMADB_RETURN_NOT_OK(RecomputeBucket(table_, sma, bucket));
+    sma->MarkTrusted(table_->epoch());
   }
   return Status::OK();
 }
@@ -39,13 +45,40 @@ Status SmaMaintainer::UpdateColumn(Rid rid, size_t col, const Value& v) {
   SMADB_RETURN_NOT_OK(table_->UpdateColumn(rid, col, v));
   const uint64_t bucket = table_->BucketOfPage(rid.page_no);
   for (Sma* sma : smas_->mutable_all()) {
+    if (!sma->trusted()) continue;
     const SmaSpec& spec = sma->spec();
     bool affected =
         spec.arg != nullptr && spec.arg->ReferencesColumn(col);
     for (size_t gcol : spec.group_by) affected |= gcol == col;
-    if (!affected) continue;
-    SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
-    SMADB_RETURN_NOT_OK(RecomputeBucket(table_, sma, bucket));
+    if (affected) {
+      SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
+      SMADB_RETURN_NOT_OK(RecomputeBucket(table_, sma, bucket));
+    }
+    // Unaffected SMAs stay valid across this mutation; stamp them too so
+    // the planner's staleness check keeps them usable.
+    sma->MarkTrusted(table_->epoch());
+  }
+  return Status::OK();
+}
+
+Result<size_t> SmaMaintainer::VerifyAll(uint64_t max_sample_buckets) {
+  size_t failed = 0;
+  for (Sma* sma : smas_->mutable_all()) {
+    const Status s = sma->Verify(max_sample_buckets);
+    if (s.ok()) continue;
+    if (s.code() == StatusCode::kCorruption) {
+      ++failed;  // Verify already marked it distrusted
+      continue;
+    }
+    return s;
+  }
+  return failed;
+}
+
+Status SmaMaintainer::Rebuild() {
+  for (Sma* sma : smas_->mutable_all()) {
+    if (sma->trusted() && !sma->stale()) continue;
+    SMADB_RETURN_NOT_OK(sma->Rebuild());
   }
   return Status::OK();
 }

@@ -7,6 +7,12 @@
 // min/max widen) — one SMA page per affected group file. Updates cannot
 // shrink a min/max incrementally, so affected SMAs recompute the bucket's
 // entries from the bucket itself (one bucket + one SMA page per group).
+//
+// Trust: every maintained SMA is stamped with the table's new modification
+// epoch, so planner staleness checks stay green. Distrusted SMAs (condemned
+// by a checksum failure or a failed Verify()) are skipped — incremental
+// folding into corrupt entries is wasted work — and repaired wholesale by
+// the next Rebuild() call.
 
 #ifndef SMADB_SMA_MAINTENANCE_H_
 #define SMADB_SMA_MAINTENANCE_H_
@@ -39,6 +45,15 @@ class SmaMaintainer {
   /// every SMA (a removed tuple can shrink counts/sums and move min/max,
   /// so all SMAs are affected).
   util::Status Delete(storage::Rid rid);
+
+  /// Self-check every SMA against the base data (sampled; see Sma::Verify).
+  /// Failing SMAs are marked distrusted; returns how many failed. Non-
+  /// corruption errors (e.g. base-table I/O) surface immediately.
+  util::Result<size_t> VerifyAll(uint64_t max_sample_buckets = 16);
+
+  /// The maintenance hook of the degradation ladder: re-materializes every
+  /// distrusted or stale SMA from the base data. Healthy SMAs are untouched.
+  util::Status Rebuild();
 
  private:
   storage::Table* table_;

@@ -82,6 +82,112 @@ Status Sma::AppendBucket(const std::map<size_t, int64_t>& acc) {
   return Status::OK();
 }
 
+Status Sma::AccumulateBucket(uint64_t bucket, std::map<size_t, int64_t>* acc) {
+  acc->clear();
+  Status status = Status::OK();
+  SMADB_RETURN_NOT_OK(table_->ForEachTupleInBucket(
+      static_cast<uint32_t>(bucket),
+      [&](const storage::TupleRef& t, storage::Rid) {
+        if (!status.ok()) return;
+        auto group = GetOrCreateGroup(GroupKeyOf(t));
+        if (!group.ok()) {
+          status = group.status();
+          return;
+        }
+        const int64_t v = ArgOf(t);
+        auto it = acc->find(*group);
+        if (it == acc->end()) {
+          acc->emplace(*group, Merge(IdentityEntry(), v));
+        } else {
+          it->second = Merge(it->second, v);
+        }
+      }));
+  return status;
+}
+
+void Sma::MarkTrusted(uint64_t epoch) {
+  built_epoch_ = epoch;
+  trusted_ = true;
+  distrust_reason_.clear();
+}
+
+void Sma::MarkDistrusted(std::string reason) const {
+  // Keep the first diagnosis; later failures are usually consequences.
+  if (!trusted_) return;
+  trusted_ = false;
+  distrust_reason_ = std::move(reason);
+}
+
+Status Sma::Verify(uint64_t max_sample_buckets) const {
+  if (max_sample_buckets == 0) max_sample_buckets = 1;
+  const uint64_t step =
+      std::max<uint64_t>(1, num_buckets_ / max_sample_buckets);
+  for (uint64_t b = 0; b < num_buckets_; b += step) {
+    std::map<size_t, int64_t> acc;
+    Status walk = Status::OK();
+    SMADB_RETURN_NOT_OK(table_->ForEachTupleInBucket(
+        static_cast<uint32_t>(b),
+        [&](const storage::TupleRef& t, storage::Rid) {
+          if (!walk.ok()) return;
+          const int64_t g = FindGroup(GroupKeyOf(t));
+          if (g < 0) {
+            walk = Status::Corruption(util::Format(
+                "SMA '%s': bucket %llu holds a group key absent from the SMA",
+                spec_.name.c_str(), static_cast<unsigned long long>(b)));
+            return;
+          }
+          const int64_t v = ArgOf(t);
+          auto it = acc.find(static_cast<size_t>(g));
+          if (it == acc.end()) {
+            acc.emplace(static_cast<size_t>(g), Merge(IdentityEntry(), v));
+          } else {
+            it->second = Merge(it->second, v);
+          }
+        }));
+    if (!walk.ok()) {
+      MarkDistrusted(walk.message());
+      return walk;
+    }
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      auto it = acc.find(g);
+      const int64_t expected = it == acc.end() ? IdentityEntry() : it->second;
+      util::Result<int64_t> stored = groups_[g].file->Get(b);
+      if (!stored.ok()) {
+        if (stored.status().code() == util::StatusCode::kCorruption) {
+          MarkDistrusted(stored.status().message());
+        }
+        return stored.status();
+      }
+      if (*stored != expected) {
+        Status bad = Status::Corruption(util::Format(
+            "SMA '%s' failed verification: bucket %llu group %zu stores "
+            "%lld but base data yields %lld",
+            spec_.name.c_str(), static_cast<unsigned long long>(b), g,
+            static_cast<long long>(*stored),
+            static_cast<long long>(expected)));
+        MarkDistrusted(bad.message());
+        return bad;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Sma::Rebuild() {
+  for (Group& g : groups_) {
+    SMADB_RETURN_NOT_OK(g.file->Clear());
+  }
+  num_buckets_ = 0;
+  const uint64_t buckets = table_->num_buckets();
+  std::map<size_t, int64_t> acc;
+  for (uint64_t b = 0; b < buckets; ++b) {
+    SMADB_RETURN_NOT_OK(AccumulateBucket(b, &acc));
+    SMADB_RETURN_NOT_OK(AppendBucket(acc));
+  }
+  MarkTrusted(table_->epoch());
+  return Status::OK();
+}
+
 int64_t Sma::IdentityEntry() const {
   const bool narrow = spec_.EntryWidth() == 4;
   switch (spec_.func) {

@@ -69,6 +69,47 @@ class Sma {
   /// num_buckets(). (Bulk-load path.)
   util::Status AppendBucket(const std::map<size_t, int64_t>& acc);
 
+  /// Folds every live tuple of `bucket` into `*acc` (group ordinal → entry),
+  /// creating unseen groups. Shared by bulk load, bucket recompute, and
+  /// Rebuild().
+  util::Status AccumulateBucket(uint64_t bucket,
+                                std::map<size_t, int64_t>* acc);
+
+  // --- trust ---------------------------------------------------------------
+  // A SMA is *usable* iff it is trusted and its built-epoch matches the
+  // table's modification epoch. The planner demotes to a plain scan
+  // otherwise; SmaMaintainer::Rebuild() repairs unusable SMAs.
+
+  /// Table modification epoch this SMA was built/maintained at.
+  uint64_t built_epoch() const { return built_epoch_; }
+
+  /// False once corruption or a failed Verify() condemned this SMA.
+  bool trusted() const { return trusted_; }
+  const std::string& distrust_reason() const { return distrust_reason_; }
+
+  /// Records that the SMA reflects the table at `epoch` and clears any
+  /// distrust.
+  void MarkTrusted(uint64_t epoch);
+
+  /// Condemns the SMA (const: the planner discovers corruption through
+  /// const pointers; trust is bookkeeping, not SMA content).
+  void MarkDistrusted(std::string reason) const;
+
+  /// True when the table changed behind this SMA's back.
+  bool stale() const { return built_epoch_ != table_->epoch(); }
+
+  /// Self-check: recomputes up to `max_sample_buckets` evenly spaced bucket
+  /// aggregates from the base data and compares them with the stored
+  /// entries. A mismatch (or a checksum failure reading a SMA page) marks
+  /// the SMA distrusted and returns kCorruption; base-table read errors
+  /// propagate unchanged.
+  util::Status Verify(uint64_t max_sample_buckets = 16) const;
+
+  /// Discards every group file and re-materializes the SMA from the base
+  /// data, then marks it trusted at the table's current epoch. The repair
+  /// path for corrupt or stale SMAs.
+  util::Status Rebuild();
+
   /// Initial entry value before any tuple contributed: 0 for sum/count,
   /// the undefined sentinel for min/max.
   int64_t IdentityEntry() const;
@@ -114,6 +155,11 @@ class Sma {
   std::vector<Group> groups_;
   std::unordered_map<std::string, size_t> group_index_;
   uint64_t num_buckets_ = 0;
+  uint64_t built_epoch_ = 0;
+  // Trust is mutable: corruption is discovered on read-only paths (planner,
+  // Verify) that hold const pointers.
+  mutable bool trusted_ = true;
+  mutable std::string distrust_reason_;
 };
 
 }  // namespace smadb::sma

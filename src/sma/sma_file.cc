@@ -54,6 +54,14 @@ Status SmaFile::Append(int64_t value) {
   return Status::OK();
 }
 
+Status SmaFile::Clear() {
+  SMADB_RETURN_NOT_OK(pool_->DiscardFile(file_));
+  SMADB_RETURN_NOT_OK(pool_->disk()->TruncateFile(file_));
+  num_entries_ = 0;
+  num_pages_ = 0;
+  return Status::OK();
+}
+
 Result<int64_t> SmaFile::Get(uint64_t idx) const {
   if (idx >= num_entries_) {
     return Status::OutOfRange(util::Format(

@@ -49,6 +49,11 @@ class SmaFile {
   /// access, §2.1).
   util::Status Set(uint64_t idx, int64_t value);
 
+  /// Discards all entries: evicts cached pages *without* write-back (they
+  /// may be corrupt) and truncates the disk file. The rebuild path starts
+  /// from here.
+  util::Status Clear();
+
   /// Page that holds entry `idx`.
   uint32_t PageOfEntry(uint64_t idx) const {
     return static_cast<uint32_t>(idx / entries_per_page_);

@@ -1,5 +1,7 @@
 #include "sma/sma_set.h"
 
+#include "util/string_util.h"
+
 namespace smadb::sma {
 
 using util::Result;
@@ -72,6 +74,23 @@ std::vector<Sma*> SmaSet::mutable_all() {
   out.reserve(smas_.size());
   for (const auto& sma : smas_) out.push_back(sma.get());
   return out;
+}
+
+std::string SmaSet::TrustIssue() const {
+  for (const auto& sma : smas_) {
+    if (!sma->trusted()) {
+      return "SMA '" + sma->spec().name +
+             "' distrusted: " + sma->distrust_reason();
+    }
+    if (sma->stale()) {
+      return util::Format(
+          "SMA '%s' is stale (built at table epoch %llu, table now at %llu)",
+          sma->spec().name.c_str(),
+          static_cast<unsigned long long>(sma->built_epoch()),
+          static_cast<unsigned long long>(table_->epoch()));
+    }
+  }
+  return {};
 }
 
 uint64_t SmaSet::TotalPages() const {

@@ -47,6 +47,13 @@ class SmaSet {
   std::vector<Sma*> mutable_all();
   size_t size() const { return smas_.size(); }
 
+  /// First trust problem across the set — a distrusted SMA or one whose
+  /// built-epoch lags the table's modification epoch. Empty string when
+  /// every SMA is usable. The planner demotes to a plain scan otherwise: a
+  /// wrong SMA entry silently mis-grades buckets, so one bad SMA poisons
+  /// every SMA plan over the table until SmaMaintainer::Rebuild() runs.
+  std::string TrustIssue() const;
+
   /// Accumulated footprint across all SMAs (paper §2.4 space accounting).
   uint64_t TotalPages() const;
   uint64_t TotalSizeBytes() const;

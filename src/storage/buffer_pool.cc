@@ -1,13 +1,16 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <thread>
 
+#include "util/crc32c.h"
 #include "util/string_util.h"
 
 namespace smadb::storage {
 
 using util::Result;
 using util::Status;
+using util::StatusCode;
 
 PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
   if (this == &o) return *this;  // self-move keeps the pin
@@ -36,55 +39,128 @@ void PageGuard::Release() {
   page_ = nullptr;
 }
 
-BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
-    : disk_(disk), frames_(capacity_pages) {
-  assert(capacity_pages > 0);
-  free_list_.reserve(capacity_pages);
+BufferPool::BufferPool(SimulatedDisk* disk, BufferPoolOptions options)
+    : disk_(disk), options_(options), frames_(options.capacity_pages) {
+  assert(options.capacity_pages > 0);
+  free_list_.reserve(options.capacity_pages);
   // Hand out low indices first.
-  for (size_t i = capacity_pages; i > 0; --i) free_list_.push_back(i - 1);
+  for (size_t i = options.capacity_pages; i > 0; --i) {
+    free_list_.push_back(i - 1);
+  }
 }
 
-Result<PageGuard> BufferPool::Fetch(FileId file, uint32_t page_no) {
-  const uint64_t key = Key(file, page_no);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    Frame& fr = frames_[it->second];
-    if (fr.pin_count == 0 && fr.in_lru) {
-      lru_.erase(fr.lru_pos);
-      fr.in_lru = false;
-    }
-    ++fr.pin_count;
-    return PageGuard(this, it->second, &fr.page);
-  }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  SMADB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrameLocked());
+Status BufferPool::LoadFrameLocked(size_t idx, FileId file, uint32_t page_no) {
   Frame& fr = frames_[idx];
   // The disk read happens under the pool mutex: the SimulatedDisk is an
   // in-memory copy (thread-compatible, not thread-safe), and serializing
-  // here keeps its sequential/near/random accounting well-defined.
-  Status read = disk_->ReadPage(file, page_no, &fr.page);
+  // here keeps its sequential/near/random accounting well-defined. The
+  // retry backoff is bounded (at most retries × backoff × 2^retries) and
+  // only taken on injected/transient I/O errors, so holding the mutex
+  // across it is acceptable.
+  Status read;
+  auto backoff = options_.retry_backoff;
+  for (int attempt = 0;; ++attempt) {
+    read = disk_->ReadPage(file, page_no, &fr.page);
+    if (read.ok() || read.code() != StatusCode::kIOError ||
+        attempt >= options_.max_read_retries) {
+      break;
+    }
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
   if (!read.ok()) {
     free_list_.push_back(idx);
     return read;
   }
-  fr.file = file;
-  fr.page_no = page_no;
-  fr.pin_count = 1;
-  fr.dirty = false;
-  fr.used = true;
-  fr.in_lru = false;
-  table_[key] = idx;
-  return PageGuard(this, idx, &fr.page);
+  if (options_.verify_checksums) {
+    const uint32_t computed = util::Crc32c(fr.page.data, kPageSize);
+    SMADB_ASSIGN_OR_RETURN(const uint32_t stored,
+                           disk_->PageChecksum(file, page_no));
+    if (computed != stored) {
+      checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+      free_list_.push_back(idx);
+      return Status::Corruption(util::Format(
+          "checksum mismatch on file '%s' page %u (stored %08x, read %08x)",
+          disk_->FileName(file).c_str(), page_no, stored, computed));
+    }
+  }
+  return Status::OK();
+}
+
+Result<PageGuard> BufferPool::Fetch(FileId file, uint32_t page_no) {
+  const uint64_t key = Key(file, page_no);
+  std::unique_lock<std::mutex> lock(mu_);
+  int wait_rounds = 0;
+  while (true) {
+    // Re-checked after every frame wait: another thread may have loaded the
+    // page (or freed a frame) while we slept.
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      Frame& fr = frames_[it->second];
+      if (fr.pin_count == 0 && fr.in_lru) {
+        lru_.erase(fr.lru_pos);
+        fr.in_lru = false;
+      }
+      ++fr.pin_count;
+      return PageGuard(this, it->second, &fr.page);
+    }
+    Result<size_t> idx_r = GetFreeFrameLocked();
+    if (!idx_r.ok()) {
+      if (idx_r.status().code() != StatusCode::kResourceExhausted) {
+        return idx_r.status();
+      }
+      // All frames pinned: wait (bounded) for a pin release, then retry.
+      if (wait_rounds >= options_.pinned_wait_rounds) {
+        return Status::ResourceExhausted(util::Format(
+            "all %zu buffer frames pinned while fetching file '%s' page %u "
+            "(waited %d x %lld ms)",
+            frames_.size(), disk_->FileName(file).c_str(), page_no,
+            options_.pinned_wait_rounds,
+            static_cast<long long>(options_.pinned_wait_quantum.count())));
+      }
+      ++wait_rounds;
+      frame_available_.wait_for(lock, options_.pinned_wait_quantum);
+      continue;
+    }
+    const size_t idx = *idx_r;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    SMADB_RETURN_NOT_OK(LoadFrameLocked(idx, file, page_no));
+    Frame& fr = frames_[idx];
+    fr.file = file;
+    fr.page_no = page_no;
+    fr.pin_count = 1;
+    fr.dirty = false;
+    fr.used = true;
+    fr.in_lru = false;
+    table_[key] = idx;
+    return PageGuard(this, idx, &fr.page);
+  }
 }
 
 Result<PageGuard> BufferPool::NewPage(FileId file, uint32_t* page_no_out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  Result<size_t> idx_r = GetFreeFrameLocked();
+  int wait_rounds = 0;
+  while (!idx_r.ok() &&
+         idx_r.status().code() == StatusCode::kResourceExhausted &&
+         wait_rounds < options_.pinned_wait_rounds) {
+    ++wait_rounds;
+    frame_available_.wait_for(lock, options_.pinned_wait_quantum);
+    idx_r = GetFreeFrameLocked();
+  }
+  if (!idx_r.ok()) {
+    if (idx_r.status().code() == StatusCode::kResourceExhausted) {
+      return Status::ResourceExhausted(util::Format(
+          "all %zu buffer frames pinned while allocating a page of file '%s'",
+          frames_.size(), disk_->FileName(file).c_str()));
+    }
+    return idx_r.status();
+  }
   SMADB_ASSIGN_OR_RETURN(uint32_t page_no, disk_->AllocatePage(file));
   if (page_no_out != nullptr) *page_no_out = page_no;
-  SMADB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrameLocked());
-  Frame& fr = frames_[idx];
+  Frame& fr = frames_[*idx_r];
   fr.page.Zero();
   fr.file = file;
   fr.page_no = page_no;
@@ -92,8 +168,8 @@ Result<PageGuard> BufferPool::NewPage(FileId file, uint32_t* page_no_out) {
   fr.dirty = true;  // must reach disk eventually
   fr.used = true;
   fr.in_lru = false;
-  table_[Key(file, page_no)] = idx;
-  return PageGuard(this, idx, &fr.page);
+  table_[Key(file, page_no)] = *idx_r;
+  return PageGuard(this, *idx_r, &fr.page);
 }
 
 void BufferPool::Unpin(size_t frame, bool dirty) {
@@ -105,6 +181,7 @@ void BufferPool::Unpin(size_t frame, bool dirty) {
     lru_.push_front(frame);
     fr.lru_pos = lru_.begin();
     fr.in_lru = true;
+    frame_available_.notify_one();
   }
 }
 
@@ -121,7 +198,7 @@ Result<size_t> BufferPool::GetFreeFrameLocked() {
   }
   // Evict the least recently used unpinned frame.
   if (lru_.empty()) {
-    return Status::Internal("buffer pool exhausted: all frames pinned");
+    return Status::ResourceExhausted("buffer pool exhausted: all frames pinned");
   }
   const size_t victim = lru_.back();
   lru_.pop_back();
@@ -173,11 +250,11 @@ Status BufferPool::DropAll() {
     SMADB_RETURN_NOT_OK(EvictFrameLocked(i));
     free_list_.push_back(i);
   }
+  frame_available_.notify_all();
   return Status::OK();
 }
 
-Status BufferPool::DropFile(FileId file) {
-  std::lock_guard<std::mutex> lock(mu_);
+Status BufferPool::DropFileLocked(FileId file, bool writeback) {
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& fr = frames_[i];
     if (!fr.used || fr.file != file) continue;
@@ -190,10 +267,22 @@ Status BufferPool::DropFile(FileId file) {
       lru_.erase(fr.lru_pos);
       fr.in_lru = false;
     }
+    if (!writeback) fr.dirty = false;
     SMADB_RETURN_NOT_OK(EvictFrameLocked(i));
     free_list_.push_back(i);
   }
+  frame_available_.notify_all();
   return Status::OK();
+}
+
+Status BufferPool::DropFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DropFileLocked(file, /*writeback=*/true);
+}
+
+Status BufferPool::DiscardFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DropFileLocked(file, /*writeback=*/false);
 }
 
 }  // namespace smadb::storage

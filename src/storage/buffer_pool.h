@@ -5,6 +5,14 @@
 // run again with the SMA-files resident. The paper's AODB was configured
 // with an 8 MB buffer; the default capacity matches (2048 4K frames).
 //
+// The pool is also the integrity boundary: on every miss the fetched bytes
+// are checksummed against the disk's out-of-band CRC-32C, so silent
+// corruption (injected or otherwise) surfaces as a typed kCorruption status
+// naming the file and page instead of flowing into query results. Transient
+// read errors are absorbed by a small bounded retry; when every frame is
+// pinned, Fetch/NewPage wait (bounded) for a pin release before giving up
+// with kResourceExhausted.
+//
 // Thread safety: all frame-table / LRU / free-list state is guarded by one
 // mutex and the hit/miss counters are atomics, so any number of worker
 // threads may Fetch / release PageGuards concurrently (the morsel-parallel
@@ -17,6 +25,8 @@
 #define SMADB_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -36,6 +46,27 @@ struct PoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  /// Reads that failed page verification (each surfaced as kCorruption).
+  uint64_t checksum_failures = 0;
+  /// Transient read errors absorbed by the retry loop.
+  uint64_t read_retries = 0;
+};
+
+/// Robustness knobs; defaults are production behaviour.
+struct BufferPoolOptions {
+  /// Frames of kPageSize each; default 8 MB (the paper's buffer).
+  size_t capacity_pages = 2048;
+  /// Verify each fetched page against the disk's stored CRC-32C. Off only
+  /// for overhead experiments (EXPERIMENTS.md X7).
+  bool verify_checksums = true;
+  /// Additional read attempts after a kIOError before it surfaces.
+  int max_read_retries = 3;
+  /// Backoff before each read retry (doubles per attempt).
+  std::chrono::microseconds retry_backoff{50};
+  /// Rounds × quantum bounds the wait for a pinned frame to free up before
+  /// Fetch/NewPage fail with kResourceExhausted.
+  int pinned_wait_rounds = 64;
+  std::chrono::milliseconds pinned_wait_quantum{1};
 };
 
 class BufferPool;
@@ -73,12 +104,20 @@ class PageGuard {
 class BufferPool {
  public:
   /// `capacity_pages` frames of kPageSize each; default 8 MB.
-  explicit BufferPool(SimulatedDisk* disk, size_t capacity_pages = 2048);
+  explicit BufferPool(SimulatedDisk* disk, size_t capacity_pages = 2048)
+      : BufferPool(disk, BufferPoolOptions{.capacity_pages = capacity_pages}) {
+  }
+
+  BufferPool(SimulatedDisk* disk, BufferPoolOptions options);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins (fetching from disk on miss) page `page_no` of `file`.
+  /// Pins (fetching from disk on miss) page `page_no` of `file`. On miss the
+  /// fetched bytes are verified against the stored checksum (kCorruption on
+  /// mismatch, with file and page attached); transient read errors are
+  /// retried up to the options budget; if all frames are pinned, waits
+  /// (bounded) for a release before failing with kResourceExhausted.
   util::Result<PageGuard> Fetch(FileId file, uint32_t page_no);
 
   /// Appends a fresh zeroed page to `file` and pins it (for bulk loading).
@@ -94,6 +133,11 @@ class BufferPool {
   /// selectively, e.g. keep SMA-files hot but drop the base relation.
   util::Status DropFile(FileId file);
 
+  /// Evicts every cached page of one file *without* write-back — for files
+  /// about to be truncated (SMA rebuild discards their contents, including
+  /// possibly-corrupt cached pages).
+  util::Status DiscardFile(FileId file);
+
   /// Counter snapshot.
   PoolStats stats() const {
     PoolStats s;
@@ -101,6 +145,8 @@ class BufferPool {
     s.misses = misses_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.dirty_writebacks = dirty_writebacks_.load(std::memory_order_relaxed);
+    s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
+    s.read_retries = read_retries_.load(std::memory_order_relaxed);
     return s;
   }
   void ResetStats() {
@@ -108,6 +154,8 @@ class BufferPool {
     misses_ = 0;
     evictions_ = 0;
     dirty_writebacks_ = 0;
+    checksum_failures_ = 0;
+    read_retries_ = 0;
   }
 
   size_t capacity() const { return frames_.size(); }
@@ -116,6 +164,7 @@ class BufferPool {
     return table_.size();
   }
   SimulatedDisk* disk() const { return disk_; }
+  const BufferPoolOptions& options() const { return options_; }
 
  private:
   friend class PageGuard;
@@ -140,9 +189,17 @@ class BufferPool {
   // The Locked helpers require mu_ to be held by the caller.
   util::Result<size_t> GetFreeFrameLocked();
   util::Status EvictFrameLocked(size_t idx);
+  // Reads (with bounded retry) and verifies a page into frame `idx`; on
+  // failure the frame is returned to the free list.
+  util::Status LoadFrameLocked(size_t idx, FileId file, uint32_t page_no);
+  // Drops every cached page of `file`; writes dirty frames back first iff
+  // `writeback`.
+  util::Status DropFileLocked(FileId file, bool writeback);
 
   SimulatedDisk* disk_;
+  BufferPoolOptions options_;
   mutable std::mutex mu_;  // guards frames_ metadata, free_list_, lru_, table_
+  std::condition_variable frame_available_;  // signaled when a pin releases
   std::vector<Frame> frames_;
   std::vector<size_t> free_list_;
   std::list<size_t> lru_;  // front = most recent
@@ -151,6 +208,8 @@ class BufferPool {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> dirty_writebacks_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> read_retries_{0};
 };
 
 }  // namespace smadb::storage

@@ -1,11 +1,42 @@
 #include "storage/disk.h"
 
+#include "util/crc32c.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace smadb::storage {
 
+using util::FaultKind;
 using util::Result;
 using util::Status;
+
+namespace {
+
+// Checksum of an all-zero page (what AllocatePage hands out), computed once.
+uint32_t ZeroPageCrc() {
+  static const uint32_t crc = [] {
+    Page p;
+    p.Zero();
+    return util::Crc32c(p.data, kPageSize);
+  }();
+  return crc;
+}
+
+// Deterministic bit position for injected single-bit flips: a cheap mix of
+// (file, page) so repeated runs corrupt the same bit.
+uint64_t FlipBitOf(FileId file, uint32_t page_no) {
+  uint64_t h = (static_cast<uint64_t>(file) << 32) | page_no;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h % (kPageSize * 8);
+}
+
+void FlipBit(Page* page, uint64_t bit) {
+  page->data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace
 
 Result<FileId> SimulatedDisk::CreateFile(std::string name) {
   for (const File& f : files_) {
@@ -13,7 +44,9 @@ Result<FileId> SimulatedDisk::CreateFile(std::string name) {
       return Status::AlreadyExists("file '" + name + "' already exists");
     }
   }
-  files_.push_back(File{std::move(name), {}, -2, -2});
+  File file;
+  file.name = std::move(name);
+  files_.push_back(std::move(file));
   return static_cast<FileId>(files_.size() - 1);
 }
 
@@ -31,6 +64,7 @@ Result<uint32_t> SimulatedDisk::AllocatePage(FileId file) {
   auto page = std::make_unique<Page>();
   page->Zero();
   files_[file].pages.push_back(std::move(page));
+  files_[file].checksums.push_back(ZeroPageCrc());
   return static_cast<uint32_t>(files_[file].pages.size() - 1);
 }
 
@@ -49,7 +83,21 @@ Status SimulatedDisk::CheckBounds(FileId file, uint32_t page_no) const {
 Status SimulatedDisk::ReadPage(FileId file, uint32_t page_no, Page* out) {
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
+  // Failpoints: errors abort the read before any transfer is accounted;
+  // bit flips corrupt only the delivered copy (the stored page — and its
+  // checksum — stay intact, so the flip is silent until verified).
+  auto fk = util::fault::Hit("disk.read", f.name);
+  if (fk == FaultKind::kTransient || fk == FaultKind::kPermanent) {
+    return Status::IOError(util::Format(
+        "injected %s fault reading file '%s' page %u",
+        std::string(util::FaultKindToString(*fk)).c_str(), f.name.c_str(),
+        page_no));
+  }
   *out = *f.pages[page_no];
+  if (fk == FaultKind::kBitFlip ||
+      util::fault::Hit("disk.page_bitflip", f.name).has_value()) {
+    FlipBit(out, FlipBitOf(file, page_no));
+  }
   ++stats_.page_reads;
   const int64_t gap = static_cast<int64_t>(page_no) - f.last_read;
   if (gap == 1) {
@@ -67,7 +115,21 @@ Status SimulatedDisk::WritePage(FileId file, uint32_t page_no,
                                 const Page& page) {
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
+  auto fk = util::fault::Hit("disk.write", f.name);
+  if (fk == FaultKind::kTransient || fk == FaultKind::kPermanent) {
+    return Status::IOError(util::Format(
+        "injected %s fault writing file '%s' page %u",
+        std::string(util::FaultKindToString(*fk)).c_str(), f.name.c_str(),
+        page_no));
+  }
   *f.pages[page_no] = page;
+  // Stamp the checksum of what the writer *meant* to store; a bit-flip
+  // fault then corrupts the stored bytes underneath it, which the next
+  // verified read detects.
+  f.checksums[page_no] = util::Crc32c(page.data, kPageSize);
+  if (fk == FaultKind::kBitFlip) {
+    FlipBit(f.pages[page_no].get(), FlipBitOf(file, page_no));
+  }
   ++stats_.page_writes;
   const int64_t gap = static_cast<int64_t>(page_no) - f.last_write;
   if (gap == 1) {
@@ -81,11 +143,25 @@ Status SimulatedDisk::WritePage(FileId file, uint32_t page_no,
   return Status::OK();
 }
 
+Result<uint32_t> SimulatedDisk::PageChecksum(FileId file,
+                                             uint32_t page_no) const {
+  SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
+  return files_[file].checksums[page_no];
+}
+
+Status SimulatedDisk::CorruptPageForTesting(FileId file, uint32_t page_no,
+                                            uint64_t bit) {
+  SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
+  FlipBit(files_[file].pages[page_no].get(), bit % (kPageSize * 8));
+  return Status::OK();
+}
+
 Status SimulatedDisk::TruncateFile(FileId file) {
   if (file >= files_.size()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }
   files_[file].pages.clear();
+  files_[file].checksums.clear();
   files_[file].last_read = -2;
   files_[file].last_write = -2;
   return Status::OK();

@@ -6,6 +6,16 @@
 // random, and map the counts to seconds through a parameterized disk model.
 // Benchmarks report both real wall-clock time (CPU-side pruning effect) and
 // modeled disk seconds (paper-scale shape).
+//
+// The disk is also the fault boundary. ReadPage/WritePage consult the
+// failpoints "disk.read" / "disk.write" (plus "disk.page_bitflip", which
+// always flips a bit on delivery regardless of the armed kind) so tests can
+// inject transient errors, permanent errors, and silent single-bit
+// corruption (see util/fault.h). Every page carries an out-of-band CRC-32C
+// stamped on write — modeling per-sector checksums real disks keep outside
+// the 4 K payload, so SMA-file pages stay fully packed and the paper's file
+// sizes hold. The buffer pool verifies the checksum on fetch and turns
+// silent corruption into typed kCorruption errors.
 
 #ifndef SMADB_STORAGE_DISK_H_
 #define SMADB_STORAGE_DISK_H_
@@ -121,6 +131,17 @@ class SimulatedDisk {
   const std::string& FileName(FileId file) const { return files_[file].name; }
   size_t NumFiles() const { return files_.size(); }
 
+  /// CRC-32C stamped when `page_no` was last written (out-of-band, like a
+  /// disk's per-sector checksum). The buffer pool compares it against the
+  /// checksum of the delivered bytes to detect silent corruption.
+  util::Result<uint32_t> PageChecksum(FileId file, uint32_t page_no) const;
+
+  /// Flips one stored bit *without* restamping the checksum — simulates
+  /// at-rest media corruption for tests. `bit` indexes into the page
+  /// (modulo page bits).
+  util::Status CorruptPageForTesting(FileId file, uint32_t page_no,
+                                     uint64_t bit);
+
   /// Total bytes across the given file.
   uint64_t FileBytes(FileId file) const {
     return static_cast<uint64_t>(files_[file].pages.size()) * kPageSize;
@@ -142,6 +163,8 @@ class SimulatedDisk {
   struct File {
     std::string name;
     std::vector<std::unique_ptr<Page>> pages;
+    // Out-of-band CRC-32C per page, parallel to `pages`.
+    std::vector<uint32_t> checksums;
     // Last page touched, for sequential/random classification.
     int64_t last_read = -2;
     int64_t last_write = -2;

@@ -78,6 +78,7 @@ Status Table::Append(const TupleBuffer& tuple, Rid* rid) {
               tuple.data(), schema_.tuple_size());
   page->WriteAt<uint16_t>(0, static_cast<uint16_t>(slot + 1));
   ++num_tuples_;
+  ++epoch_;
   if (rid != nullptr) *rid = Rid{page_no, slot};
   return Status::OK();
 }
@@ -127,6 +128,7 @@ Status Table::UpdateColumn(Rid rid, size_t col, const util::Value& v) {
       page->data + tuple_area_offset_ + rid.slot * schema_.tuple_size();
   std::memcpy(tuple + schema_.offset(col), scratch.data() + schema_.offset(col),
               schema_.field(col).width());
+  ++epoch_;
   return Status::OK();
 }
 
@@ -178,6 +180,7 @@ Status Table::DeleteTuple(Rid rid) {
   page->data[kPageHeaderSize + rid.slot / 8] |=
       static_cast<uint8_t>(1u << (rid.slot % 8));
   ++num_deleted_;
+  ++epoch_;
   return Status::OK();
 }
 

@@ -60,6 +60,14 @@ class Table {
 
   uint64_t num_tuples() const { return num_tuples_; }
   uint32_t num_pages() const { return num_pages_; }
+
+  /// Modification epoch: bumped by every Append/UpdateColumn/DeleteTuple.
+  /// SMAs record the epoch they were built/maintained at; a mismatch means
+  /// the SMA is stale (the table was mutated behind the maintainer's back)
+  /// and the planner demotes to a plain scan until it is rebuilt. Vacuum
+  /// does not bump it: compaction preserves live tuple contents and the
+  /// bucket ↔ SMA-entry correspondence.
+  uint64_t epoch() const { return epoch_; }
   /// Buckets currently present (last one may be partial).
   uint32_t num_buckets() const {
     return (num_pages_ + options_.bucket_pages - 1) / options_.bucket_pages;
@@ -69,8 +77,8 @@ class Table {
   /// assigned Rid.
   util::Status Append(const TupleBuffer& tuple, Rid* rid = nullptr);
 
-  /// Pins a data page.
-  util::Result<PageGuard> FetchPage(uint32_t page_no) {
+  /// Pins a data page. Const: reading mutates only the buffer pool.
+  util::Result<PageGuard> FetchPage(uint32_t page_no) const {
     return pool_->Fetch(file_, page_no);
   }
 
@@ -130,8 +138,9 @@ class Table {
 
   /// Invokes `fn(TupleRef, Rid)` for every *live* tuple of `bucket`, in
   /// physical order. `fn` must not retain the TupleRef beyond the call.
+  /// Const: a read-only walk (verification paths hold const Table*).
   template <typename Fn>
-  util::Status ForEachTupleInBucket(uint32_t bucket, Fn&& fn) {
+  util::Status ForEachTupleInBucket(uint32_t bucket, Fn&& fn) const {
     const auto [first, end] = BucketPageRange(bucket);
     for (uint32_t p = first; p < end; ++p) {
       SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(p));
@@ -163,6 +172,7 @@ class Table {
   uint64_t num_tuples_ = 0;
   uint64_t num_deleted_ = 0;
   uint32_t num_pages_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace smadb::storage

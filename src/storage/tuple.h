@@ -3,16 +3,21 @@
 // TupleRef reads a tuple in place on a (pinned) page; TupleBuffer owns the
 // bytes of one tuple being assembled. Hot code paths use the typed getters
 // directly; GetValue() is the generic escape hatch.
+//
+// The typed accessors guard their column/type preconditions with
+// SMADB_DCHECK (util/dcheck.h): violated invariants — e.g. driven by a
+// corrupt page — fail stop with a diagnostic in release builds instead of
+// reading out of bounds.
 
 #ifndef SMADB_STORAGE_TUPLE_H_
 #define SMADB_STORAGE_TUPLE_H_
 
-#include <cassert>
 #include <cstring>
 #include <string_view>
 #include <vector>
 
 #include "storage/schema.h"
+#include "util/dcheck.h"
 #include "util/value.h"
 
 namespace smadb::storage {
@@ -30,27 +35,33 @@ class TupleRef {
   const uint8_t* data() const { return data_; }
 
   int32_t GetInt32(size_t col) const {
-    assert(schema_->field(col).type == util::TypeId::kInt32);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kInt32);
     return Load<int32_t>(col);
   }
   int64_t GetInt64(size_t col) const {
-    assert(schema_->field(col).type == util::TypeId::kInt64);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kInt64);
     return Load<int64_t>(col);
   }
   double GetDouble(size_t col) const {
-    assert(schema_->field(col).type == util::TypeId::kDouble);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kDouble);
     return Load<double>(col);
   }
   util::Decimal GetDecimal(size_t col) const {
-    assert(schema_->field(col).type == util::TypeId::kDecimal);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kDecimal);
     return util::Decimal(Load<int64_t>(col));
   }
   util::Date GetDate(size_t col) const {
-    assert(schema_->field(col).type == util::TypeId::kDate);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kDate);
     return util::Date(Load<int32_t>(col));
   }
   std::string_view GetString(size_t col) const {
-    assert(schema_->field(col).type == util::TypeId::kString);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kString);
     const Field& f = schema_->field(col);
     const char* p =
         reinterpret_cast<const char*>(data_ + schema_->offset(col));
@@ -89,7 +100,7 @@ class TupleRef {
       case util::TypeId::kDecimal:
         return Load<int64_t>(col);
       default:
-        assert(false && "GetRawInt on double/string column");
+        SMADB_DCHECK(false && "GetRawInt on double/string column");
         return 0;
     }
   }
@@ -119,29 +130,35 @@ class TupleBuffer {
   TupleRef AsRef() const { return TupleRef(bytes_.data(), schema_); }
 
   void SetInt32(size_t col, int32_t v) {
-    assert(schema_->field(col).type == util::TypeId::kInt32);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kInt32);
     Store(col, v);
   }
   void SetInt64(size_t col, int64_t v) {
-    assert(schema_->field(col).type == util::TypeId::kInt64);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kInt64);
     Store(col, v);
   }
   void SetDouble(size_t col, double v) {
-    assert(schema_->field(col).type == util::TypeId::kDouble);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kDouble);
     Store(col, v);
   }
   void SetDecimal(size_t col, util::Decimal v) {
-    assert(schema_->field(col).type == util::TypeId::kDecimal);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kDecimal);
     Store(col, v.cents());
   }
   void SetDate(size_t col, util::Date v) {
-    assert(schema_->field(col).type == util::TypeId::kDate);
+    SMADB_DCHECK(col < schema_->num_fields());
+    SMADB_DCHECK(schema_->field(col).type == util::TypeId::kDate);
     Store(col, v.days());
   }
   void SetString(size_t col, std::string_view v) {
+    SMADB_DCHECK(col < schema_->num_fields());
     const Field& f = schema_->field(col);
-    assert(f.type == util::TypeId::kString);
-    assert(v.size() <= f.capacity);
+    SMADB_DCHECK(f.type == util::TypeId::kString);
+    SMADB_DCHECK(v.size() <= f.capacity);
     uint8_t* dst = bytes_.data() + schema_->offset(col);
     std::memset(dst, 0, f.capacity);
     std::memcpy(dst, v.data(), v.size());

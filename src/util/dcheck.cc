@@ -1,0 +1,14 @@
+#include "util/dcheck.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smadb::util::internal {
+
+void DcheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "%s:%d: DCHECK failed: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace smadb::util::internal

@@ -1,0 +1,29 @@
+// SMADB_DCHECK: an internal-invariant check that stays *defined* in release
+// builds. A plain assert() compiles to nothing under NDEBUG, so a violated
+// precondition (e.g. a typed tuple getter applied to the wrong column after
+// a page escaped checksum protection) silently becomes undefined behaviour.
+// SMADB_DCHECK always evaluates the condition; on failure it reports the
+// site and aborts — a defined, diagnosable fail-stop instead of UB.
+//
+// Use for programming-error invariants on hot paths where returning a
+// Status is not an option. Data errors that operations can recover from
+// (corrupt pages, bad input) must still flow through util::Status.
+
+#ifndef SMADB_UTIL_DCHECK_H_
+#define SMADB_UTIL_DCHECK_H_
+
+namespace smadb::util::internal {
+
+/// Prints "<file>:<line>: DCHECK failed: <expr>" to stderr and aborts.
+[[noreturn]] void DcheckFailed(const char* file, int line, const char* expr);
+
+}  // namespace smadb::util::internal
+
+#define SMADB_DCHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::smadb::util::internal::DcheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                                   \
+  } while (false)
+
+#endif  // SMADB_UTIL_DCHECK_H_

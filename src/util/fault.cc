@@ -1,0 +1,85 @@
+#include "util/fault.h"
+
+namespace smadb::util {
+
+std::string_view FaultKindToString(FaultKind k) {
+  switch (k) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kPermanent:
+      return "permanent";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = seed != 0 ? seed : 1;
+}
+
+void FaultInjector::Arm(std::string_view point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[std::string(point)] = Armed{std::move(spec), 0, 0};
+  num_armed_.store(points_.size(), std::memory_order_release);
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(std::string(point));
+  num_armed_.store(points_.size(), std::memory_order_release);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  num_armed_.store(0, std::memory_order_release);
+}
+
+std::optional<FaultKind> FaultInjector::Hit(std::string_view point,
+                                            std::string_view context) {
+  if (num_armed_.load(std::memory_order_acquire) == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  if (it == points_.end()) return std::nullopt;
+  Armed& armed = it->second;
+  const FaultSpec& spec = armed.spec;
+  if (!spec.file_filter.empty() &&
+      context.find(spec.file_filter) == std::string_view::npos) {
+    return std::nullopt;
+  }
+  if (armed.skipped < spec.skip) {
+    ++armed.skipped;
+    return std::nullopt;
+  }
+  if (spec.count >= 0 &&
+      armed.triggered >= static_cast<uint64_t>(spec.count)) {
+    return std::nullopt;
+  }
+  if (spec.probability < 1.0) {
+    // xorshift64*: deterministic given Seed(), good enough for schedules.
+    rng_ ^= rng_ >> 12;
+    rng_ ^= rng_ << 25;
+    rng_ ^= rng_ >> 27;
+    const double u =
+        static_cast<double>((rng_ * 0x2545F4914F6CDD1Dull) >> 11) /
+        static_cast<double>(1ull << 53);
+    if (u >= spec.probability) return std::nullopt;
+  }
+  ++armed.triggered;
+  return spec.kind;
+}
+
+uint64_t FaultInjector::Triggered(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.triggered;
+}
+
+}  // namespace smadb::util

@@ -1,0 +1,141 @@
+// Deterministic fault injection for the storage stack.
+//
+// A *failpoint* is a named site in production code (e.g. "disk.read") that
+// asks the global FaultInjector whether a fault should fire before doing its
+// real work. Tests arm failpoints with a FaultSpec:
+//
+//   util::fault::Arm("disk.read", {.probability = 1.0, .count = 2,
+//                                  .kind = util::FaultKind::kTransient});
+//
+// and the next two disk reads fail with a transient I/O error. Everything is
+// deterministic: the injector's RNG is seedable (and only consulted when
+// probability < 1), counts are exact, and `skip` lets a test pass the first
+// N hits through before faulting — which is how "fail mid-scan" scenarios
+// are scripted. When no failpoint is armed the per-hit cost is one relaxed
+// atomic load, so shipping the hooks in production code is free.
+//
+// Thread safety: all state is behind one mutex; Hit() may be called from any
+// worker thread.
+
+#ifndef SMADB_UTIL_FAULT_H_
+#define SMADB_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace smadb::util {
+
+/// What an armed failpoint does when it fires.
+enum class FaultKind {
+  /// Error that goes away on retry (arm with a small `count`): the storage
+  /// layer maps it to kIOError and the buffer pool's bounded retry absorbs
+  /// it when the count is within the retry budget.
+  kTransient,
+  /// Error that persists (unlimited count by default): retries exhaust and
+  /// the kIOError surfaces to the query.
+  kPermanent,
+  /// Silent single-bit flip in the data delivered (read) or stored (write).
+  /// No error is reported at the failpoint — detection is the checksum
+  /// layer's job.
+  kBitFlip,
+};
+
+std::string_view FaultKindToString(FaultKind k);
+
+/// How an armed failpoint fires.
+struct FaultSpec {
+  /// Chance each eligible hit triggers; 1.0 = always (no RNG consulted).
+  double probability = 1.0;
+  /// Triggers remaining before the failpoint disarms itself; -1 = unlimited.
+  int64_t count = -1;
+  FaultKind kind = FaultKind::kPermanent;
+  /// Eligible hits to pass through unharmed before the failpoint goes live
+  /// (scripts "fail on the Nth page read").
+  int64_t skip = 0;
+  /// Only hits whose context (the disk file name) contains this substring
+  /// are eligible; empty matches everything. Lets a test corrupt only
+  /// SMA-files ("sma.") or only base relations ("tbl.").
+  std::string file_filter = "";
+};
+
+/// Seedable, thread-safe failpoint registry. Use the Global() instance via
+/// the fault:: convenience wrappers below.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Reseeds the probability RNG (deterministic replay of p < 1 schedules).
+  void Seed(uint64_t seed);
+
+  /// Arms (or re-arms) `point` with `spec`.
+  void Arm(std::string_view point, FaultSpec spec);
+
+  void Disarm(std::string_view point);
+  void DisarmAll();
+
+  /// Consults the failpoint. Returns the fault kind to apply, or nullopt to
+  /// proceed normally. `context` is matched against the spec's file_filter.
+  std::optional<FaultKind> Hit(std::string_view point,
+                               std::string_view context = {});
+
+  /// Times `point` has actually fired since armed (diagnostics/tests).
+  uint64_t Triggered(std::string_view point) const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    int64_t skipped = 0;
+    uint64_t triggered = 0;
+  };
+
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Armed> points_;
+  uint64_t rng_ = 0x5eed5eed5eed5eedull;
+  // Fast path: Hit() is a no-op load while nothing is armed.
+  std::atomic<size_t> num_armed_{0};
+};
+
+namespace fault {
+
+inline void Arm(std::string_view point, FaultSpec spec = {}) {
+  FaultInjector::Global().Arm(point, spec);
+}
+inline void Disarm(std::string_view point) {
+  FaultInjector::Global().Disarm(point);
+}
+inline void DisarmAll() { FaultInjector::Global().DisarmAll(); }
+inline void Seed(uint64_t seed) { FaultInjector::Global().Seed(seed); }
+inline std::optional<FaultKind> Hit(std::string_view point,
+                                    std::string_view context = {}) {
+  return FaultInjector::Global().Hit(point, context);
+}
+inline uint64_t Triggered(std::string_view point) {
+  return FaultInjector::Global().Triggered(point);
+}
+
+/// RAII arm-for-this-scope (tests): disarms the point on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view point, FaultSpec spec = {}) : point_(point) {
+    Arm(point_, spec);
+  }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+  ~ScopedFault() { Disarm(point_); }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace fault
+
+}  // namespace smadb::util
+
+#endif  // SMADB_UTIL_FAULT_H_

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kNotSupported = 6,
   kCorruption = 7,
   kInternal = 8,
+  kResourceExhausted = 9,
 };
 
 /// Human-readable name of a status code ("OK", "Invalid argument", ...).
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
