@@ -1,0 +1,168 @@
+// Experiment X8 — vectorized batch execution vs tuple-at-a-time.
+//
+// Not in the paper (its engine is tuple-at-a-time): this extension measures
+// what batch-at-a-time execution buys on the paper's own workloads.
+//
+//   1. Query 1 over a 100%-ambivalent scan (GAggr over TableScan, serial):
+//      the pure CPU comparison — every tuple is fetched and folded in both
+//      modes, so the difference is per-tuple interpretation overhead
+//      (virtual Next() calls, Value boxing, per-row group lookup) vs fused
+//      column kernels. Target: >= 1.5x warm wall-clock, identical rows.
+//   2. Batch-size sweep 64..4096 on the same query: where the sweet spot
+//      between per-batch overhead and cache residency lies.
+//   3. Fig. 5-style ambivalence sweep: SMA_GAggr with forced ambivalent
+//      fractions, row vs batch. SMA pruning and vectorization compose —
+//      batches only accelerate the buckets that must be investigated, so
+//      the gain grows with x.
+//
+// `--smoke` (first argument) runs a tiny scale with correctness assertions
+// only (CI mode): every mode must produce bit-identical Q1 rows; exits
+// non-zero on any mismatch.
+
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "planner/planner.h"
+#include "tpch/loader.h"
+#include "util/stopwatch.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+namespace {
+
+// Warm best-of-3 wall clock for one operator build; result out-param.
+double TimeRun(plan::Planner* planner, const plan::AggQuery& q,
+               plan::PlanKind kind, std::string* result, int iters) {
+  double best = 1e99;
+  for (int i = 0; i <= iters; ++i) {  // iteration 0 warms the pool
+    auto op = Check(planner->Build(q, kind, /*dop=*/1));
+    util::Stopwatch watch;
+    plan::QueryResult r = Check(plan::RunToCompletion(op.get()));
+    const double wall = watch.ElapsedSeconds();
+    if (i > 0 && wall < best) best = wall;
+    *result = r.ToString();
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double sf =
+      smoke ? 0.01 : bench::ScaleFromArgs(argc, argv, 0.05);
+  const int iters = smoke ? 1 : 3;
+  bench::BenchDb db(65536);  // warm: everything resident, CPU-bound
+
+  bench::PrintHeader(util::Format(
+      "X8: vectorized batch execution vs tuple-at-a-time, SF %.3f%s", sf,
+      smoke ? " (smoke)" : ""));
+
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  storage::Table* lineitem = Check(
+      tpch::GenerateAndLoadLineItem(&db.catalog, {sf, 19980401}, load));
+  sma::SmaSet smas(lineitem);
+  Check(workloads::BuildQ1Smas(lineitem, &smas));
+  const plan::AggQuery q1 = Check(workloads::MakeQ1Query(lineitem, 90));
+  std::printf("LINEITEM %u pages, %u buckets\n", lineitem->num_pages(),
+              lineitem->num_buckets());
+
+  plan::PlannerOptions row_options;
+  row_options.batch_size = 0;
+  row_options.degree_of_parallelism = 1;
+  plan::Planner row_planner(&smas, row_options);
+
+  // --- 1. Q1, 100%-ambivalent scan: row vs batch ------------------------
+  std::string row_result;
+  const double row_wall =
+      TimeRun(&row_planner, q1, plan::PlanKind::kScanAggr, &row_result,
+              iters);
+
+  std::printf("\nQ1 over full scan (GAggr o TableScan, serial, warm)\n");
+  std::printf("%-12s %10s %10s\n", "mode", "wall", "speedup");
+  std::printf("%-12s %9.3fs %9.2fx\n", "row", row_wall, 1.0);
+
+  double batch_wall = 0;
+  {
+    plan::PlannerOptions options = row_options;
+    options.batch_size = exec::kDefaultBatchSize;
+    plan::Planner planner(&smas, options);
+    std::string result;
+    batch_wall =
+        TimeRun(&planner, q1, plan::PlanKind::kScanAggr, &result, iters);
+    if (result != row_result) {
+      std::fprintf(stderr, "RESULT MISMATCH: batch vs row on Q1 scan\n");
+      return 1;
+    }
+    std::printf("%-12s %9.3fs %9.2fx\n", "batch=1024", batch_wall,
+                row_wall / batch_wall);
+  }
+
+  // --- 2. batch-size sweep ---------------------------------------------
+  std::printf("\nbatch-size sweep (same query)\n");
+  std::printf("%-12s %10s %10s\n", "batch_size", "wall", "speedup");
+  for (size_t bs : {size_t{64}, size_t{256}, size_t{1024}, size_t{4096}}) {
+    plan::PlannerOptions options = row_options;
+    options.batch_size = bs;
+    plan::Planner planner(&smas, options);
+    std::string result;
+    const double wall =
+        TimeRun(&planner, q1, plan::PlanKind::kScanAggr, &result, iters);
+    if (result != row_result) {
+      std::fprintf(stderr, "RESULT MISMATCH at batch_size %zu\n", bs);
+      return 1;
+    }
+    std::printf("%-12zu %9.3fs %9.2fx\n", bs, wall, row_wall / wall);
+  }
+
+  // --- 3. Fig. 5-style ambivalence sweep, row vs batch ------------------
+  std::printf("\nSMA_GAggr with forced ambivalence, row vs batch (warm)\n");
+  std::printf("%8s %12s %12s %10s\n", "x", "row", "batch", "speedup");
+  for (double x : {0.0, 0.25, 0.5, 1.0}) {
+    double walls[2] = {0, 0};
+    std::string results[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      exec::SmaGAggrOptions options;
+      options.force_ambivalent_fraction = x;
+      options.batch_size = mode == 0 ? 0 : exec::kDefaultBatchSize;
+      double best = 1e99;
+      for (int i = 0; i <= iters; ++i) {
+        auto op = Check(exec::SmaGAggr::Make(q1.table, q1.pred, q1.group_by,
+                                             q1.aggs, &smas, options));
+        util::Stopwatch watch;
+        plan::QueryResult r = Check(plan::RunToCompletion(op.get()));
+        const double wall = watch.ElapsedSeconds();
+        if (i > 0 && wall < best) best = wall;
+        results[mode] = r.ToString();
+      }
+      walls[mode] = best;
+    }
+    if (results[0] != results[1]) {
+      std::fprintf(stderr, "RESULT MISMATCH at x=%.2f\n", x);
+      return 1;
+    }
+    std::printf("%7.0f%% %11.3fs %11.3fs %9.2fx\n", x * 100.0, walls[0],
+                walls[1], walls[0] / walls[1]);
+  }
+
+  if (smoke) {
+    std::printf("\nSMOKE OK: all modes returned identical Q1 rows\n");
+    return 0;
+  }
+
+  if (row_wall / batch_wall < 1.5) {
+    std::printf("\nWARNING: batch speedup %.2fx below the 1.5x target\n",
+                row_wall / batch_wall);
+  }
+  bench::PrintPaperNote(
+      "not in the paper (its engine is tuple-at-a-time). Extension: "
+      "batch-at-a-time execution removes per-tuple virtual dispatch, Value "
+      "boxing, and per-row group lookups; expected >=1.5x warm wall-clock "
+      "on the 100%-ambivalent Q1 scan with bit-identical rows. With SMAs "
+      "the two optimizations compose: pruning removes I/O and grading work, "
+      "vectorization accelerates whatever must still be investigated.");
+  return 0;
+}

@@ -82,22 +82,30 @@ Status Database::Execute(std::string_view statement) {
     return sma::DefineSma(catalog_.get(), state->smas.get(), statement);
   }
   if (tokens[0].text == "set") {
-    // `set dop = <n>` — session degree of parallelism (0 = auto/hardware).
-    if (tokens.size() == 5 &&  // set dop = <n> + kEnd sentinel
+    // `set <knob> = <n>`: dop (0 = auto/hardware) or batch_size (0 = row
+    // mode, tuple-at-a-time).
+    if (tokens.size() == 5 &&  // set <knob> = <n> + kEnd sentinel
         tokens[1].kind == expr::internal::TokKind::kIdent &&
-        tokens[1].text == "dop" &&
         tokens[2].kind == expr::internal::TokKind::kCmp &&
         tokens[2].text == "=" &&
         tokens[3].kind == expr::internal::TokKind::kInt &&
         tokens[3].value >= 0) {
-      set_degree_of_parallelism(static_cast<size_t>(tokens[3].value));
-      return Status::OK();
+      if (tokens[1].text == "dop") {
+        set_degree_of_parallelism(static_cast<size_t>(tokens[3].value));
+        return Status::OK();
+      }
+      if (tokens[1].text == "batch_size") {
+        set_batch_size(static_cast<size_t>(tokens[3].value));
+        return Status::OK();
+      }
     }
     return Status::InvalidArgument(
-        "malformed set statement; expected 'set dop = <n>'");
+        "malformed set statement; expected 'set dop = <n>' or "
+        "'set batch_size = <n>'");
   }
   return Status::NotSupported(
-      "unknown statement; supported: 'define sma', 'set dop = <n>'");
+      "unknown statement; supported: 'define sma', 'set dop = <n>', "
+      "'set batch_size = <n>'");
 }
 
 Result<plan::QueryResult> Database::Query(std::string_view sql) {

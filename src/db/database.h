@@ -73,7 +73,8 @@ class Database {
 
   // --- statements ----------------------------------------------------------
   /// Executes a DDL-ish statement. Currently: `define sma ...` (§2.1) and
-  /// the session setting `set dop = <n>` (0 = auto/hardware, 1 = serial).
+  /// the session settings `set dop = <n>` (0 = auto/hardware, 1 = serial)
+  /// and `set batch_size = <n>` (0 = tuple-at-a-time).
   util::Status Execute(std::string_view statement);
 
   /// Session degree of parallelism for subsequent queries; equivalent to
@@ -84,6 +85,13 @@ class Database {
   size_t degree_of_parallelism() const {
     return options_.planner.degree_of_parallelism;
   }
+
+  /// Session batch size for aggregation plans; equivalent to
+  /// `set batch_size = <n>`. 0 = tuple-at-a-time (row mode).
+  void set_batch_size(size_t batch_size) {
+    options_.planner.batch_size = batch_size;
+  }
+  size_t batch_size() const { return options_.planner.batch_size; }
 
   /// Runs a query:
   ///   select <aggregates and group columns> from <table>

@@ -74,4 +74,25 @@ Result<bool> BucketReader::Next(TupleRef* out) {
   return false;
 }
 
+Result<bool> BucketReader::NextBatch(storage::ColumnBatch* cols) {
+  const size_t before = cols->num_rows();
+  while (open_ && !cols->full()) {
+    if (slot_ >= page_count_) {
+      if (page_ + 1 >= page_end_) {
+        open_ = false;
+        guard_.Release();
+        break;
+      }
+      ++page_;
+      slot_ = 0;
+      SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
+      page_count_ = storage::Table::PageTupleCount(*guard_.page());
+      continue;
+    }
+    slot_ =
+        cols->AppendFromPage(*table_, *guard_.page(), slot_, page_count_);
+  }
+  return cols->num_rows() > before;
+}
+
 }  // namespace smadb::exec

@@ -17,6 +17,7 @@
 
 #include "expr/predicate.h"
 #include "sma/grade.h"
+#include "storage/column_batch.h"
 #include "storage/table.h"
 
 namespace smadb::exec {
@@ -136,6 +137,11 @@ class BucketReader {
   /// Next live tuple of the range; false when exhausted. The view stays
   /// valid until the following Next/Open/Close.
   util::Result<bool> Next(storage::TupleRef* out);
+
+  /// Bulk form of Next: decodes live tuples column-at-a-time into `cols`
+  /// until the batch fills or the range is exhausted. Returns whether any
+  /// rows were appended. Do not interleave with Next() within one range.
+  util::Result<bool> NextBatch(storage::ColumnBatch* cols);
 
   /// Drops the page pin.
   void Close() { guard_.Release(); }

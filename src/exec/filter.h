@@ -1,5 +1,13 @@
 // Filter: per-tuple predicate evaluation over any child operator. Used for
 // post-join selections, where bucket-level SMA pruning no longer applies.
+//
+// Copying semantics: Filter yields the child's TupleRef unchanged, without
+// copying the tuple. The Operator contract guarantees a child's view stays
+// valid until the child's following Next(); Filter only advances the child
+// inside its own Next(), so the yielded view likewise stays valid until the
+// *next* Filter::Next() (or destruction) — callers may hold the ref across
+// unrelated work in between, but must copy the tuple before pulling again.
+// (Regression-tested in vector_test.cc: FilterRefStaysValidAcrossCalls.)
 
 #ifndef SMADB_EXEC_FILTER_H_
 #define SMADB_EXEC_FILTER_H_
@@ -32,6 +40,22 @@ class Filter final : public Operator {
         return true;
       }
     }
+  }
+
+  /// Native batch path: pulls the child's batch and refines its selection
+  /// vector in place — no copy, no re-decode.
+  util::Result<bool> NextBatch(Batch* out) override {
+    SMADB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
+    if (!has) return false;
+    if (!out->sel.empty()) pred_->EvalBatch(out->cols, &out->sel);
+    return true;
+  }
+
+  /// The batch passes through from the child, so the projection must cover
+  /// both this predicate's columns and whatever the child itself reads.
+  void AddRequiredBatchColumns(std::vector<bool>* mask) const override {
+    pred_->AddReferencedColumns(mask);
+    child_->AddRequiredBatchColumns(mask);
   }
 
  private:

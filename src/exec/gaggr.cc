@@ -1,5 +1,7 @@
 #include "exec/gaggr.h"
 
+#include "exec/batch_aggregator.h"
+
 namespace smadb::exec {
 
 using storage::TupleRef;
@@ -9,14 +11,15 @@ using util::Value;
 
 Result<std::unique_ptr<GAggr>> GAggr::Make(std::unique_ptr<Operator> child,
                                            std::vector<size_t> group_by,
-                                           std::vector<AggSpec> aggs) {
+                                           std::vector<AggSpec> aggs,
+                                           size_t batch_size) {
   SMADB_ASSIGN_OR_RETURN(
       storage::Schema schema,
       AggResultSchema(child->output_schema(), group_by, aggs));
   return std::unique_ptr<GAggr>(new GAggr(std::move(child),
                                           std::move(group_by),
                                           std::move(aggs),
-                                          std::move(schema)));
+                                          std::move(schema), batch_size));
 }
 
 Status GAggr::Init() {
@@ -25,15 +28,31 @@ Status GAggr::Init() {
   SMADB_RETURN_NOT_OK(child_->Init());
 
   GroupTable groups(&aggs_);
-  std::vector<Value> key(group_by_.size());
-  TupleRef t;
-  while (true) {
-    SMADB_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
-    if (!has) break;
-    for (size_t i = 0; i < group_by_.size(); ++i) {
-      key[i] = t.GetValue(group_by_[i]);
+  if (batch_size_ > 0) {
+    // Vectorized consumption: project only what grouping, aggregation, and
+    // the child's own predicates read, then run fused kernels per batch.
+    BatchAggregator aggregator(&child_->output_schema(), &group_by_, &aggs_);
+    std::vector<bool> mask = aggregator.RequiredColumns();
+    child_->AddRequiredBatchColumns(&mask);
+    Batch batch;
+    batch.Configure(&child_->output_schema(), batch_size_, std::move(mask));
+    while (true) {
+      SMADB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+      if (!has) break;
+      aggregator.AddBatch(batch);
     }
-    groups.Get(key)->AddTuple(t);
+    aggregator.FlushInto(&groups);
+  } else {
+    std::vector<Value> key(group_by_.size());
+    TupleRef t;
+    while (true) {
+      SMADB_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+      if (!has) break;
+      for (size_t i = 0; i < group_by_.size(); ++i) {
+        key[i] = t.GetValue(group_by_[i]);
+      }
+      groups.Get(key)->AddTuple(t);
+    }
   }
   SMADB_RETURN_NOT_OK(groups.Emit(&schema_, &results_));
   return Status::OK();

@@ -16,9 +16,14 @@ class GAggr final : public Operator {
  public:
   /// Groups the child's output on `group_by` (child-schema ordinals) and
   /// computes `aggs`. Construction validates via Make().
+  ///
+  /// `batch_size` > 0 consumes the child through NextBatch with the fused
+  /// BatchAggregator kernels (projection limited to the group-by, aggregate
+  /// and child-required columns); 0 keeps the tuple-at-a-time loop. Both
+  /// paths produce bit-identical results in the same order.
   static util::Result<std::unique_ptr<GAggr>> Make(
       std::unique_ptr<Operator> child, std::vector<size_t> group_by,
-      std::vector<AggSpec> aggs);
+      std::vector<AggSpec> aggs, size_t batch_size = 0);
 
   const storage::Schema& output_schema() const override { return schema_; }
 
@@ -31,16 +36,18 @@ class GAggr final : public Operator {
 
  private:
   GAggr(std::unique_ptr<Operator> child, std::vector<size_t> group_by,
-        std::vector<AggSpec> aggs, storage::Schema schema)
+        std::vector<AggSpec> aggs, storage::Schema schema, size_t batch_size)
       : child_(std::move(child)),
         group_by_(std::move(group_by)),
         aggs_(std::move(aggs)),
-        schema_(std::move(schema)) {}
+        schema_(std::move(schema)),
+        batch_size_(batch_size) {}
 
   std::unique_ptr<Operator> child_;
   std::vector<size_t> group_by_;
   std::vector<AggSpec> aggs_;
   storage::Schema schema_;
+  size_t batch_size_;
   std::vector<storage::TupleBuffer> results_;
   size_t next_ = 0;
 };

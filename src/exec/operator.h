@@ -1,18 +1,26 @@
 // Physical-algebra operator interface: the iterator concept of Graefe [7]
 // the paper's SMA_Scan / SMA_GAggr plug into (Init / Next / implicit close
-// via destructor).
+// via destructor), extended with a batch-at-a-time protocol (NextBatch)
+// that operators adopt incrementally — see DESIGN.md §9.
 
 #ifndef SMADB_EXEC_OPERATOR_H_
 #define SMADB_EXEC_OPERATOR_H_
 
+#include <vector>
+
+#include "exec/batch.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 #include "util/status.h"
 
 namespace smadb::exec {
 
-/// Pull-based physical operator. Usage:
+/// Pull-based physical operator. Row usage:
 ///   op.Init();  while (op.Next(&t) yields true) consume(t);
+/// Batch usage:
+///   batch.Configure(&op.output_schema(), n, projection);
+///   op.Init();  while (op.NextBatch(&batch) yields true) consume(batch);
+/// Do not interleave Next and NextBatch on one instance between Init calls.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -26,6 +34,36 @@ class Operator {
   /// Produces the next tuple into `*out`. The view stays valid until the
   /// following Next()/destruction. Returns false at end of stream.
   virtual util::Result<bool> Next(storage::TupleRef* out) = 0;
+
+  /// Produces the next batch into `*out` (pre-Configured by the caller
+  /// against output_schema()). Returns false at end of stream; true means
+  /// rows were decoded — the selection may still be empty, in which case
+  /// the consumer skips the batch and pulls again. Batch contents stay
+  /// valid until the following NextBatch()/Init().
+  ///
+  /// The default adapter loops Next(), so every operator is batch-capable;
+  /// operators with native batch paths (TableScan, SmaScan, Filter)
+  /// override it to decode column-at-a-time and drive the predicate through
+  /// selection vectors.
+  virtual util::Result<bool> NextBatch(Batch* out) {
+    out->Clear();
+    storage::TupleRef t;
+    while (!out->cols.full()) {
+      SMADB_ASSIGN_OR_RETURN(bool has, Next(&t));
+      if (!has) break;
+      out->cols.AppendRow(t);
+    }
+    out->SelectAll();
+    return out->num_rows() > 0;
+  }
+
+  /// Sets `mask[c]` for every column of output_schema() this operator reads
+  /// while producing batches (e.g. a scan's predicate columns). Consumers
+  /// union this into the projection they Configure batches with, so
+  /// projection pushdown never starves the producer. Default: none.
+  virtual void AddRequiredBatchColumns(std::vector<bool>* mask) const {
+    (void)mask;
+  }
 };
 
 }  // namespace smadb::exec

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/batch.h"
+#include "exec/batch_aggregator.h"
 #include "util/thread_pool.h"
 
 namespace smadb::exec {
@@ -15,13 +17,14 @@ using util::Value;
 Result<std::unique_ptr<ParallelScanAggr>> ParallelScanAggr::Make(
     storage::Table* table, expr::PredicatePtr pred,
     std::vector<size_t> group_by, std::vector<AggSpec> aggs,
-    const sma::SmaSet* smas, size_t degree_of_parallelism) {
+    const sma::SmaSet* smas, size_t degree_of_parallelism,
+    size_t batch_size) {
   SMADB_ASSIGN_OR_RETURN(storage::Schema schema,
                          AggResultSchema(table->schema(), group_by, aggs));
   const size_t dop = std::max<size_t>(1, degree_of_parallelism);
   return std::unique_ptr<ParallelScanAggr>(new ParallelScanAggr(
       table, std::move(pred), std::move(group_by), std::move(aggs), smas,
-      std::move(schema), dop));
+      std::move(schema), dop, batch_size));
 }
 
 Status ParallelScanAggr::Init() {
@@ -39,6 +42,10 @@ Status ParallelScanAggr::Init() {
     GroupTable groups;
     SmaScanStats stats;
     std::vector<Value> key;
+    // Vectorized morsels: batch + fused aggregator, flushed into `groups`
+    // after the parallel region. Null in row mode.
+    std::unique_ptr<BatchAggregator> aggregator;
+    Batch batch;
     WorkerState(storage::Table* table, const std::vector<AggSpec>* aggs,
                 size_t key_width)
         : reader(table), groups(aggs), key(key_width) {}
@@ -47,8 +54,17 @@ Status ParallelScanAggr::Init() {
   workers.reserve(dop_);
   for (size_t w = 0; w < dop_; ++w) {
     workers.emplace_back(table_, &aggs_, group_by_.size());
+    WorkerState& ws = workers.back();
     if (source.has_sma_support()) {
-      workers.back().grader = source.NewGrader();
+      ws.grader = source.NewGrader();
+    }
+    if (batch_size_ > 0) {
+      ws.aggregator =
+          std::make_unique<BatchAggregator>(&table_->schema(), &group_by_,
+                                            &aggs_);
+      std::vector<bool> mask = ws.aggregator->RequiredColumns();
+      pred_->AddReferencedColumns(&mask);
+      ws.batch.Configure(&table_->schema(), batch_size_, std::move(mask));
     }
   }
 
@@ -66,16 +82,34 @@ Status ParallelScanAggr::Init() {
         const auto [first, end] =
             table_->BucketPageRange(static_cast<uint32_t>(b));
         SMADB_RETURN_NOT_OK(ws.reader.Open(first, end));
-        TupleRef t;
-        while (true) {
-          SMADB_ASSIGN_OR_RETURN(bool has, ws.reader.Next(&t));
-          if (!has) break;
-          // Qualifying buckets need no per-tuple predicate re-check (§3.1).
-          if (g != Grade::kQualifies && !pred_->Eval(t)) continue;
-          for (size_t i = 0; i < group_by_.size(); ++i) {
-            ws.key[i] = t.GetValue(group_by_[i]);
+        if (ws.aggregator != nullptr) {
+          // Vectorized morsel: decode the bucket column-at-a-time and map
+          // its grade onto the selection vector — qualifying buckets keep
+          // the dense all-rows selection with no predicate evaluation.
+          while (true) {
+            ws.batch.Clear();
+            SMADB_ASSIGN_OR_RETURN(bool has,
+                                   ws.reader.NextBatch(&ws.batch.cols));
+            if (!has) break;
+            ws.batch.SelectAll();
+            if (g != Grade::kQualifies) {
+              pred_->EvalBatch(ws.batch.cols, &ws.batch.sel);
+            }
+            ws.aggregator->AddBatch(ws.batch);
           }
-          ws.groups.Get(ws.key)->AddTuple(t);
+        } else {
+          TupleRef t;
+          while (true) {
+            SMADB_ASSIGN_OR_RETURN(bool has, ws.reader.Next(&t));
+            if (!has) break;
+            // Qualifying buckets need no per-tuple predicate re-check
+            // (§3.1).
+            if (g != Grade::kQualifies && !pred_->Eval(t)) continue;
+            for (size_t i = 0; i < group_by_.size(); ++i) {
+              ws.key[i] = t.GetValue(group_by_[i]);
+            }
+            ws.groups.Get(ws.key)->AddTuple(t);
+          }
         }
         ws.reader.Close();
         return Status::OK();
@@ -83,6 +117,7 @@ Status ParallelScanAggr::Init() {
 
   GroupTable groups(&aggs_);
   for (WorkerState& ws : workers) {
+    if (ws.aggregator != nullptr) ws.aggregator->FlushInto(&ws.groups);
     groups.MergeFrom(ws.groups);
     stats_.Merge(ws.stats);
   }

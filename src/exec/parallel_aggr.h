@@ -30,10 +30,17 @@ class ParallelScanAggr final : public Operator {
   /// may be null: the operator then degenerates to a parallel full scan
   /// (every bucket ambivalent), which is the parallel form of
   /// GAggr∘TableScan; with SMAs it parallelizes GAggr∘SMA_Scan.
+  ///
+  /// `batch_size` > 0 makes every morsel carry batches: workers decode
+  /// buckets column-at-a-time, map the bucket grade onto the selection
+  /// vector (qualifying = dense all-rows, no predicate evaluation), and
+  /// aggregate through the fused BatchAggregator kernels. 0 keeps the
+  /// tuple-at-a-time worker loop. Results are identical.
   static util::Result<std::unique_ptr<ParallelScanAggr>> Make(
       storage::Table* table, expr::PredicatePtr pred,
       std::vector<size_t> group_by, std::vector<AggSpec> aggs,
-      const sma::SmaSet* smas, size_t degree_of_parallelism);
+      const sma::SmaSet* smas, size_t degree_of_parallelism,
+      size_t batch_size = 0);
 
   const storage::Schema& output_schema() const override { return schema_; }
 
@@ -51,14 +58,15 @@ class ParallelScanAggr final : public Operator {
   ParallelScanAggr(storage::Table* table, expr::PredicatePtr pred,
                    std::vector<size_t> group_by, std::vector<AggSpec> aggs,
                    const sma::SmaSet* smas, storage::Schema schema,
-                   size_t dop)
+                   size_t dop, size_t batch_size)
       : table_(table),
         pred_(std::move(pred)),
         group_by_(std::move(group_by)),
         aggs_(std::move(aggs)),
         smas_(smas),
         schema_(std::move(schema)),
-        dop_(dop) {}
+        dop_(dop),
+        batch_size_(batch_size) {}
 
   storage::Table* table_;
   expr::PredicatePtr pred_;
@@ -67,6 +75,7 @@ class ParallelScanAggr final : public Operator {
   const sma::SmaSet* smas_;
   storage::Schema schema_;
   size_t dop_;
+  size_t batch_size_;
 
   std::vector<storage::TupleBuffer> results_;
   size_t next_ = 0;

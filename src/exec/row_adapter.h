@@ -1,0 +1,65 @@
+// RowAdapter: batch -> row bridge (the inverse of Operator::NextBatch's
+// default row -> batch adapter). Legacy tuple-at-a-time consumers keep
+// working on top of a natively batched child: the adapter pulls batches,
+// walks the selection vector, and re-materializes one tuple per Next().
+// Mostly useful for tests and for pipelines whose head is batch-only.
+
+#ifndef SMADB_EXEC_ROW_ADAPTER_H_
+#define SMADB_EXEC_ROW_ADAPTER_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "exec/batch.h"
+#include "exec/operator.h"
+
+namespace smadb::exec {
+
+class RowAdapter final : public Operator {
+ public:
+  explicit RowAdapter(std::unique_ptr<Operator> child,
+                      size_t batch_size = kDefaultBatchSize)
+      : child_(std::move(child)), batch_size_(batch_size) {}
+
+  const storage::Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+  util::Status Init() override {
+    SMADB_RETURN_NOT_OK(child_->Init());
+    // Full projection: the adapter re-materializes whole tuples.
+    batch_.Configure(&child_->output_schema(), batch_size_);
+    buf_.emplace(&child_->output_schema());
+    pos_ = 0;
+    done_ = false;
+    return util::Status::OK();
+  }
+
+  /// The yielded view points into an owned buffer; it stays valid until the
+  /// following Next() (same contract as every other operator).
+  util::Result<bool> Next(storage::TupleRef* out) override {
+    while (!done_ && pos_ >= batch_.sel.count()) {
+      SMADB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch_));
+      if (!has) done_ = true;
+      pos_ = 0;
+    }
+    if (done_) return false;
+    batch_.cols.MaterializeRow(batch_.sel.row(pos_), &*buf_);
+    ++pos_;
+    *out = buf_->AsRef();
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  size_t batch_size_;
+  Batch batch_;
+  std::optional<storage::TupleBuffer> buf_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace smadb::exec
+
+#endif  // SMADB_EXEC_ROW_ADAPTER_H_

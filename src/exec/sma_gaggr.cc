@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/batch_aggregator.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -48,6 +49,27 @@ bool GroupingRefines(const std::vector<size_t>& query_groups,
 }
 
 }  // namespace
+
+/// One worker's vectorized ambivalent-bucket machinery: a private reader
+/// (page pins), a reusable batch projected to the predicate + group-by +
+/// aggregate columns, and the fused-kernel partial aggregator. The partials
+/// are flushed into the worker's GroupTable once its buckets are done —
+/// exact, since group merging is associative and commutative.
+struct SmaGAggrBatchState {
+  BucketReader reader;
+  Batch batch;
+  BatchAggregator aggregator;
+
+  SmaGAggrBatchState(storage::Table* table,
+                     const std::vector<size_t>* group_by,
+                     const std::vector<AggSpec>* aggs,
+                     const expr::PredicatePtr& pred, size_t batch_size)
+      : reader(table), aggregator(&table->schema(), group_by, aggs) {
+    std::vector<bool> mask = aggregator.RequiredColumns();
+    pred->AddReferencedColumns(&mask);
+    batch.Configure(&table->schema(), batch_size, std::move(mask));
+  }
+};
 
 SmaGAggr::AggBinding SmaGAggr::BindAggregate(AggFunc func,
                                              const expr::Expr* arg) const {
@@ -169,7 +191,27 @@ Status SmaGAggr::ProcessQualifying(GroupTable* groups,
   return Status::OK();
 }
 
-Status SmaGAggr::ProcessAmbivalent(GroupTable* groups, uint64_t b) {
+Status SmaGAggr::ProcessAmbivalent(GroupTable* groups, uint64_t b,
+                                   SmaGAggrBatchState* batch_state) {
+  if (batch_state != nullptr) {
+    // Vectorized: decode the bucket into column batches, refine the dense
+    // selection with EvalBatch, and fold through the fused kernels. Goes to
+    // the worker's partial aggregator, flushed into `groups` at the end.
+    const auto [first, end] =
+        table_->BucketPageRange(static_cast<uint32_t>(b));
+    SMADB_RETURN_NOT_OK(batch_state->reader.Open(first, end));
+    while (true) {
+      batch_state->batch.Clear();
+      SMADB_ASSIGN_OR_RETURN(
+          bool has, batch_state->reader.NextBatch(&batch_state->batch.cols));
+      if (!has) break;
+      batch_state->batch.SelectAll();
+      pred_->EvalBatch(batch_state->batch.cols, &batch_state->batch.sel);
+      batch_state->aggregator.AddBatch(batch_state->batch);
+    }
+    batch_state->reader.Close();
+    return Status::OK();
+  }
   std::vector<Value> key(group_by_.size());
   return table_->ForEachTupleInBucket(
       static_cast<uint32_t>(b), [&](const TupleRef& t, storage::Rid) {
@@ -198,8 +240,8 @@ Grade SmaGAggr::EffectiveGrade(Grade g, uint64_t b) const {
 }
 
 Status SmaGAggr::ProcessBucket(Grade g, uint64_t b, GroupTable* groups,
-                               BindingCursors* cursors,
-                               SmaScanStats* stats) {
+                               BindingCursors* cursors, SmaScanStats* stats,
+                               SmaGAggrBatchState* batch_state) {
   g = EffectiveGrade(g, b);
   stats->Tally(g);
   switch (g) {
@@ -208,7 +250,7 @@ Status SmaGAggr::ProcessBucket(Grade g, uint64_t b, GroupTable* groups,
     case Grade::kDisqualifies:
       return Status::OK();  // "do nothing"
     case Grade::kAmbivalent:
-      return ProcessAmbivalent(groups, b);
+      return ProcessAmbivalent(groups, b, batch_state);
   }
   return Status::OK();
 }
@@ -223,24 +265,35 @@ Status SmaGAggr::Init() {
   const size_t dop =
       std::max<size_t>(1, options_.degree_of_parallelism);
 
+  auto make_batch_state = [&]() -> std::unique_ptr<SmaGAggrBatchState> {
+    if (options_.batch_size == 0) return nullptr;
+    return std::make_unique<SmaGAggrBatchState>(
+        table_, &group_by_, &aggs_, pred_, options_.batch_size);
+  };
+
   if (dop == 1) {
     // The paper's single synchronized pass over relation and SMA-files.
     BindingCursors cursors = MakeCursors();
+    std::unique_ptr<SmaGAggrBatchState> batch_state = make_batch_state();
     BucketUnit unit;
     while (true) {
       SMADB_ASSIGN_OR_RETURN(bool has, source.NextGraded(&unit));
       if (!has) break;
-      SMADB_RETURN_NOT_OK(
-          ProcessBucket(unit.grade, unit.bucket, &groups, &cursors, &stats_));
+      SMADB_RETURN_NOT_OK(ProcessBucket(unit.grade, unit.bucket, &groups,
+                                        &cursors, &stats_,
+                                        batch_state.get()));
     }
+    if (batch_state != nullptr) batch_state->aggregator.FlushInto(&groups);
   } else {
-    // Morsel-parallel: per-worker grader, cursors, census, and group table;
-    // exact merge afterwards.
+    // Morsel-parallel: per-worker grader, cursors, census, and group table
+    // (the morsels carry batches when batch_size > 0); exact merge
+    // afterwards.
     struct WorkerState {
       std::unique_ptr<sma::BucketGrader> grader;
       BindingCursors cursors;
       GroupTable groups;
       SmaScanStats stats;
+      std::unique_ptr<SmaGAggrBatchState> batch_state;
       explicit WorkerState(const std::vector<AggSpec>* aggs)
           : groups(aggs) {}
     };
@@ -250,15 +303,20 @@ Status SmaGAggr::Init() {
       workers.emplace_back(&aggs_);
       workers.back().grader = source.NewGrader();
       workers.back().cursors = MakeCursors();
+      workers.back().batch_state = make_batch_state();
     }
     SMADB_RETURN_NOT_OK(util::ThreadPool::Shared()->ParallelFor(
         0, source.num_buckets(), dop,
         [&](size_t w, uint64_t b) -> Status {
           WorkerState& ws = workers[w];
           SMADB_ASSIGN_OR_RETURN(Grade g, ws.grader->GradeBucket(b));
-          return ProcessBucket(g, b, &ws.groups, &ws.cursors, &ws.stats);
+          return ProcessBucket(g, b, &ws.groups, &ws.cursors, &ws.stats,
+                               ws.batch_state.get());
         }));
     for (WorkerState& ws : workers) {
+      if (ws.batch_state != nullptr) {
+        ws.batch_state->aggregator.FlushInto(&ws.groups);
+      }
       groups.MergeFrom(ws.groups);
       stats_.Merge(ws.stats);
     }

@@ -48,7 +48,15 @@ struct SmaGAggrOptions {
   /// Worker count for the morsel-parallel path; 1 = serial (the paper's
   /// single synchronized pass, bit-identical to the pre-parallel engine).
   size_t degree_of_parallelism = 1;
+  /// Rows per batch for ambivalent-bucket processing; > 0 switches those
+  /// buckets to the vectorized path (column decode + EvalBatch +
+  /// BatchAggregator kernels), 0 keeps tuple-at-a-time. Qualifying buckets
+  /// always read SMA entries only; results are identical either way.
+  size_t batch_size = 0;
 };
+
+/// Per-worker state of the vectorized ambivalent path (defined in the .cc).
+struct SmaGAggrBatchState;
 
 class SmaGAggr final : public Operator {
  public:
@@ -108,12 +116,15 @@ class SmaGAggr final : public Operator {
   /// Applies coverage and the demotion knob to a raw grade (thread-safe).
   sma::Grade EffectiveGrade(sma::Grade g, uint64_t b) const;
 
-  /// One bucket's phase-2 work, dispatched on its grade.
+  /// One bucket's phase-2 work, dispatched on its grade. `batch_state` is
+  /// the worker's vectorized ambivalent path, or null for tuple-at-a-time.
   util::Status ProcessBucket(sma::Grade g, uint64_t b, GroupTable* groups,
-                             BindingCursors* cursors, SmaScanStats* stats);
+                             BindingCursors* cursors, SmaScanStats* stats,
+                             SmaGAggrBatchState* batch_state);
   util::Status ProcessQualifying(GroupTable* groups, BindingCursors* cursors,
                                  uint64_t b);
-  util::Status ProcessAmbivalent(GroupTable* groups, uint64_t b);
+  util::Status ProcessAmbivalent(GroupTable* groups, uint64_t b,
+                                 SmaGAggrBatchState* batch_state);
 
   storage::Table* table_;
   expr::PredicatePtr pred_;

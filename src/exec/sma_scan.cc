@@ -50,4 +50,25 @@ Result<bool> SmaScan::Next(TupleRef* out) {
   return false;
 }
 
+Result<bool> SmaScan::NextBatch(Batch* out) {
+  while (!done_) {
+    out->Clear();
+    // One bucket per batch refill: the reader is Open()ed on exactly one
+    // bucket's page range, so a batch never mixes grades.
+    SMADB_ASSIGN_OR_RETURN(bool has, reader_.NextBatch(&out->cols));
+    if (!has) {
+      SMADB_RETURN_NOT_OK(GetBucket());
+      continue;
+    }
+    out->SelectAll();
+    // Grade -> selection: qualifying keeps the dense all-rows selection
+    // untouched (§3.2's "no predicate evaluation"); ambivalent refines it.
+    if (curr_grade_ != Grade::kQualifies) {
+      source_.pred()->EvalBatch(out->cols, &out->sel);
+    }
+    return true;
+  }
+  return false;
+}
+
 }  // namespace smadb::exec

@@ -32,6 +32,16 @@ class SmaScan final : public Operator {
   util::Status Init() override;
   util::Result<bool> Next(storage::TupleRef* out) override;
 
+  /// Native batch path. Batches never span buckets, so the bucket's grade
+  /// maps straight onto the selection vector: qualifying buckets keep the
+  /// full (dense) selection without evaluating the predicate at all;
+  /// ambivalent buckets get one vectorized EvalBatch pass.
+  util::Result<bool> NextBatch(Batch* out) override;
+
+  void AddRequiredBatchColumns(std::vector<bool>* mask) const override {
+    source_.pred()->AddReferencedColumns(mask);
+  }
+
   const SmaScanStats& stats() const { return stats_; }
 
  private:

@@ -19,4 +19,13 @@ Result<bool> TableScan::Next(TupleRef* out) {
   }
 }
 
+Result<bool> TableScan::NextBatch(Batch* out) {
+  out->Clear();
+  SMADB_ASSIGN_OR_RETURN(bool has, reader_.NextBatch(&out->cols));
+  if (!has) return false;
+  out->SelectAll();
+  pred_->EvalBatch(out->cols, &out->sel);
+  return true;
+}
+
 }  // namespace smadb::exec

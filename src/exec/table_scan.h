@@ -26,6 +26,14 @@ class TableScan final : public Operator {
   util::Status Init() override;
   util::Result<bool> Next(storage::TupleRef* out) override;
 
+  /// Native batch path: bulk column decode, then one vectorized predicate
+  /// pass refining the selection vector.
+  util::Result<bool> NextBatch(Batch* out) override;
+
+  void AddRequiredBatchColumns(std::vector<bool>* mask) const override {
+    pred_->AddReferencedColumns(mask);
+  }
+
  private:
   storage::Table* table_;
   expr::PredicatePtr pred_;

@@ -26,6 +26,19 @@ class ColumnExpr final : public Expr {
     return t.GetRawInt(index_);
   }
 
+  void EvalIntBatch(const storage::ColumnBatch& batch,
+                    const storage::SelVector& sel,
+                    int64_t* out) const override {
+    const int64_t* v = batch.Ints(index_);
+    if (sel.dense()) {
+      const size_t n = sel.count();
+      for (size_t k = 0; k < n; ++k) out[k] = v[k];
+    } else {
+      const std::vector<uint32_t>& idx = sel.indices();
+      for (size_t k = 0; k < idx.size(); ++k) out[k] = v[idx[k]];
+    }
+  }
+
   Value Eval(const TupleRef& t) const override { return t.GetValue(index_); }
 
   std::string ToString() const override {
@@ -46,6 +59,14 @@ class LiteralExpr final : public Expr {
   TypeId type() const override { return value_.type(); }
 
   int64_t EvalInt(const TupleRef&) const override { return value_.RawInt(); }
+
+  void EvalIntBatch(const storage::ColumnBatch&,
+                    const storage::SelVector& sel,
+                    int64_t* out) const override {
+    const int64_t v = value_.RawInt();
+    const size_t n = sel.count();
+    for (size_t k = 0; k < n; ++k) out[k] = v;
+  }
 
   Value Eval(const TupleRef&) const override { return value_; }
 
@@ -77,8 +98,42 @@ class ArithExpr final : public Expr {
   TypeId type() const override { return type_; }
 
   int64_t EvalInt(const TupleRef& t) const override {
-    int64_t a = lhs_->EvalInt(t);
-    int64_t b = rhs_->EvalInt(t);
+    return Combine(lhs_->EvalInt(t), rhs_->EvalInt(t));
+  }
+
+  void EvalIntBatch(const storage::ColumnBatch& batch,
+                    const storage::SelVector& sel,
+                    int64_t* out) const override {
+    // Expr trees are shared read-only across workers, so the rhs scratch
+    // is a local (one allocation per batch, amortized to nothing).
+    const size_t n = sel.count();
+    lhs_->EvalIntBatch(batch, sel, out);
+    std::vector<int64_t> rhs(n);
+    rhs_->EvalIntBatch(batch, sel, rhs.data());
+    for (size_t k = 0; k < n; ++k) out[k] = Combine(out[k], rhs[k]);
+  }
+
+  Value Eval(const TupleRef& t) const override {
+    const int64_t v = EvalInt(t);
+    return type_ == TypeId::kDecimal ? Value::MakeDecimal(util::Decimal(v))
+                                     : Value::Int64(v);
+  }
+
+  std::string ToString() const override {
+    const char* sym = op_ == ArithOp::kAdd   ? "+"
+                      : op_ == ArithOp::kSub ? "-"
+                                             : "*";
+    return "(" + lhs_->ToString() + " " + sym + " " + rhs_->ToString() + ")";
+  }
+
+  bool ReferencesColumn(size_t col) const override {
+    return lhs_->ReferencesColumn(col) || rhs_->ReferencesColumn(col);
+  }
+
+ private:
+  /// The single arithmetic kernel both scalar and batch evaluation share —
+  /// one definition, so the paths agree bit for bit.
+  int64_t Combine(int64_t a, int64_t b) const {
     if (type_ == TypeId::kDecimal) {
       // Promote plain integers to cents so 3 + 0.25 etc. is well-defined.
       if (!lhs_decimal_) a *= 100;
@@ -107,24 +162,6 @@ class ArithExpr final : public Expr {
     return 0;
   }
 
-  Value Eval(const TupleRef& t) const override {
-    const int64_t v = EvalInt(t);
-    return type_ == TypeId::kDecimal ? Value::MakeDecimal(util::Decimal(v))
-                                     : Value::Int64(v);
-  }
-
-  std::string ToString() const override {
-    const char* sym = op_ == ArithOp::kAdd   ? "+"
-                      : op_ == ArithOp::kSub ? "-"
-                                             : "*";
-    return "(" + lhs_->ToString() + " " + sym + " " + rhs_->ToString() + ")";
-  }
-
-  bool ReferencesColumn(size_t col) const override {
-    return lhs_->ReferencesColumn(col) || rhs_->ReferencesColumn(col);
-  }
-
- private:
   ArithOp op_;
   ExprPtr lhs_;
   ExprPtr rhs_;

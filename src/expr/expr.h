@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "storage/column_batch.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 #include "util/status.h"
@@ -33,6 +34,14 @@ class Expr {
   /// Exact integral evaluation (decimals in cents, dates in days). Only
   /// valid when type() is in the integral family.
   virtual int64_t EvalInt(const storage::TupleRef& t) const = 0;
+
+  /// Vectorized EvalInt: writes one value per *selected* row of `batch`
+  /// into `out[0..sel.count())`, in selection order, with arithmetic
+  /// bit-identical to the scalar path. Every referenced column must be
+  /// decoded in `batch`. Only valid when type() is integral-family.
+  virtual void EvalIntBatch(const storage::ColumnBatch& batch,
+                            const storage::SelVector& sel,
+                            int64_t* out) const = 0;
 
   /// Generic evaluation (allocates for strings).
   virtual util::Value Eval(const storage::TupleRef& t) const = 0;

@@ -1,5 +1,7 @@
 #include "expr/predicate.h"
 
+#include <cstring>
+
 #include "util/string_util.h"
 
 namespace smadb::expr {
@@ -149,6 +151,106 @@ bool Predicate::Eval(const TupleRef& t) const {
       return left_->Eval(t) || right_->Eval(t);
   }
   return false;
+}
+
+namespace {
+
+// Dispatches on `op` once, so each row loop runs a single fused compare —
+// the point of the vectorized path.
+template <typename Lhs, typename Rhs>
+void FilterCompare(storage::SelVector* sel, CmpOp op, Lhs lhs, Rhs rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      sel->Filter([&](uint32_t r) { return lhs(r) == rhs(r); });
+      break;
+    case CmpOp::kNe:
+      sel->Filter([&](uint32_t r) { return lhs(r) != rhs(r); });
+      break;
+    case CmpOp::kLt:
+      sel->Filter([&](uint32_t r) { return lhs(r) < rhs(r); });
+      break;
+    case CmpOp::kLe:
+      sel->Filter([&](uint32_t r) { return lhs(r) <= rhs(r); });
+      break;
+    case CmpOp::kGt:
+      sel->Filter([&](uint32_t r) { return lhs(r) > rhs(r); });
+      break;
+    case CmpOp::kGe:
+      sel->Filter([&](uint32_t r) { return lhs(r) >= rhs(r); });
+      break;
+  }
+}
+
+}  // namespace
+
+void Predicate::EvalBatch(const storage::ColumnBatch& batch,
+                          storage::SelVector* sel) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return;  // keeps sel untouched — same rows as per-tuple true
+    case Kind::kAtomConst: {
+      const int64_t* v = batch.Ints(column_);
+      const int64_t c = constant_;
+      FilterCompare(
+          sel, op_, [v](uint32_t r) { return v[r]; },
+          [c](uint32_t) { return c; });
+      return;
+    }
+    case Kind::kAtomTwoCols: {
+      const int64_t* a = batch.Ints(column_);
+      const int64_t* b = batch.Ints(rhs_column_);
+      FilterCompare(
+          sel, op_, [a](uint32_t r) { return a[r]; },
+          [b](uint32_t r) { return b[r]; });
+      return;
+    }
+    case Kind::kAtomString: {
+      // Stored strings are zero-padded with no interior NULs, so comparing
+      // the full capacity against the zero-padded literal is exactly the
+      // scalar strnlen-view equality.
+      const uint8_t* data = batch.StringData(column_);
+      const uint16_t cap = batch.schema().field(column_).capacity;
+      std::string padded(cap, '\0');
+      std::memcpy(padded.data(), str_constant_.data(), str_constant_.size());
+      const bool want_eq = op_ == CmpOp::kEq;
+      sel->Filter([&](uint32_t r) {
+        return (std::memcmp(data + static_cast<size_t>(r) * cap,
+                            padded.data(), cap) == 0) == want_eq;
+      });
+      return;
+    }
+    case Kind::kAnd:
+      left_->EvalBatch(batch, sel);
+      if (!sel->empty()) right_->EvalBatch(batch, sel);
+      return;
+    case Kind::kOr: {
+      storage::SelVector right_sel = *sel;
+      left_->EvalBatch(batch, sel);
+      right_->EvalBatch(batch, &right_sel);
+      sel->UnionWith(right_sel);
+      return;
+    }
+  }
+}
+
+void Predicate::AddReferencedColumns(std::vector<bool>* mask) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return;
+    case Kind::kAtomConst:
+    case Kind::kAtomString:
+      (*mask)[column_] = true;
+      return;
+    case Kind::kAtomTwoCols:
+      (*mask)[column_] = true;
+      (*mask)[rhs_column_] = true;
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      left_->AddReferencedColumns(mask);
+      right_->AddReferencedColumns(mask);
+      return;
+  }
 }
 
 std::string Predicate::ToString(const Schema* schema) const {

@@ -80,6 +80,18 @@ class Predicate {
   /// Tuple-level evaluation.
   bool Eval(const storage::TupleRef& t) const;
 
+  /// Batch-level evaluation: refines `sel` (AND-semantics) to the rows of
+  /// `batch` satisfying this predicate, agreeing row-for-row with Eval().
+  /// Callers seed `sel` from the bucket's grade — SelectAll for qualifying
+  /// and ambivalent buckets (qualifying buckets simply skip the call) —
+  /// and every referenced column must be decoded in `batch`.
+  void EvalBatch(const storage::ColumnBatch& batch,
+                 storage::SelVector* sel) const;
+
+  /// Sets `mask[c]` for every column this predicate reads (`mask` sized to
+  /// the schema). Consumers use it to build batch projections.
+  void AddReferencedColumns(std::vector<bool>* mask) const;
+
   /// Atom accessors (valid for the atom kinds).
   size_t column() const { return column_; }
   CmpOp op() const { return op_; }

@@ -19,6 +19,16 @@ using util::Result;
 using util::Status;
 using util::StatusCode;
 
+namespace {
+
+// Execution-mode suffix for aggregate-plan explanations.
+std::string BatchNote(size_t batch_size) {
+  if (batch_size == 0) return ", row-mode";
+  return util::Format(", vectorized(batch=%zu)", batch_size);
+}
+
+}  // namespace
+
 std::string_view PlanKindToString(PlanKind k) {
   switch (k) {
     case PlanKind::kScanAggr:
@@ -84,6 +94,7 @@ PlanChoice Planner::Demoted(uint64_t total_buckets, bool select,
   choice.explanation = "demoted to sequential scan: " + reason;
   if (!select) {
     choice.explanation += util::Format(", dop=%zu", choice.dop);
+    choice.explanation += BatchNote(options_.batch_size);
   }
   return choice;
 }
@@ -123,7 +134,8 @@ Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
     choice.fetch_fraction = 1.0;
     choice.dop = PlanDop(choice.ambivalent);
     choice.explanation =
-        util::Format("no SMAs available, dop=%zu", choice.dop);
+        util::Format("no SMAs available, dop=%zu", choice.dop) +
+        BatchNote(options_.batch_size);
     return choice;
   }
   const std::string trust_issue = smas_->TrustIssue();
@@ -182,6 +194,7 @@ Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
         options_.breakeven_fraction * 100.0);
   }
   choice.explanation += util::Format(", dop=%zu", choice.dop);
+  choice.explanation += BatchNote(options_.batch_size);
   return choice;
 }
 
@@ -235,6 +248,7 @@ Result<std::unique_ptr<Operator>> Planner::Build(const AggQuery& query,
     case PlanKind::kSmaGAggr: {
       exec::SmaGAggrOptions options;
       options.degree_of_parallelism = dop;
+      options.batch_size = options_.batch_size;
       SMADB_ASSIGN_OR_RETURN(
           std::unique_ptr<SmaGAggr> op,
           SmaGAggr::Make(query.table, query.pred, query.group_by, query.aggs,
@@ -246,13 +260,15 @@ Result<std::unique_ptr<Operator>> Planner::Build(const AggQuery& query,
         SMADB_ASSIGN_OR_RETURN(
             std::unique_ptr<ParallelScanAggr> op,
             ParallelScanAggr::Make(query.table, query.pred, query.group_by,
-                                   query.aggs, smas_, dop));
+                                   query.aggs, smas_, dop,
+                                   options_.batch_size));
         return std::unique_ptr<Operator>(std::move(op));
       }
       auto scan = std::make_unique<SmaScan>(query.table, query.pred, smas_);
       SMADB_ASSIGN_OR_RETURN(
           std::unique_ptr<GAggr> aggr,
-          GAggr::Make(std::move(scan), query.group_by, query.aggs));
+          GAggr::Make(std::move(scan), query.group_by, query.aggs,
+                      options_.batch_size));
       return std::unique_ptr<Operator>(std::move(aggr));
     }
     case PlanKind::kScanAggr: {
@@ -260,13 +276,15 @@ Result<std::unique_ptr<Operator>> Planner::Build(const AggQuery& query,
         SMADB_ASSIGN_OR_RETURN(
             std::unique_ptr<ParallelScanAggr> op,
             ParallelScanAggr::Make(query.table, query.pred, query.group_by,
-                                   query.aggs, /*smas=*/nullptr, dop));
+                                   query.aggs, /*smas=*/nullptr, dop,
+                                   options_.batch_size));
         return std::unique_ptr<Operator>(std::move(op));
       }
       auto scan = std::make_unique<TableScan>(query.table, query.pred);
       SMADB_ASSIGN_OR_RETURN(
           std::unique_ptr<GAggr> aggr,
-          GAggr::Make(std::move(scan), query.group_by, query.aggs));
+          GAggr::Make(std::move(scan), query.group_by, query.aggs,
+                      options_.batch_size));
       return std::unique_ptr<Operator>(std::move(aggr));
     }
     default:

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/batch.h"
 #include "exec/gaggr.h"
 #include "exec/sma_gaggr.h"
 #include "exec/sma_scan.h"
@@ -97,6 +98,12 @@ struct PlannerOptions {
   /// each worker should own a few buckets of real work, so tiny tables and
   /// highly pruned plans stay serial.
   size_t degree_of_parallelism = 0;
+  /// Rows per batch for aggregation plans. > 0 (the default) runs the
+  /// vectorized engine: scans decode buckets into column batches, bucket
+  /// grades map onto selection vectors, and aggregation uses the fused
+  /// BatchAggregator kernels. 0 reverts to tuple-at-a-time. Results are
+  /// identical either way; selection (select *) plans always return rows.
+  size_t batch_size = exec::kDefaultBatchSize;
 };
 
 class Planner {

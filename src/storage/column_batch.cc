@@ -1,0 +1,206 @@
+#include "storage/column_batch.h"
+
+#include <cstring>
+
+#include "storage/page.h"
+#include "storage/table.h"
+
+namespace smadb::storage {
+
+using util::TypeId;
+using util::Value;
+
+void ColumnBatch::Configure(const Schema* schema, size_t capacity,
+                            std::vector<bool> projection) {
+  SMADB_DCHECK(schema != nullptr && capacity > 0);
+  SMADB_DCHECK(projection.empty() ||
+               projection.size() == schema->num_fields());
+  schema_ = schema;
+  capacity_ = capacity;
+  num_rows_ = 0;
+  if (projection.empty()) {
+    decoded_.assign(schema->num_fields(), true);
+  } else {
+    decoded_ = std::move(projection);
+  }
+  cols_.assign(schema->num_fields(), ColumnVector{});
+  for (size_t c = 0; c < schema->num_fields(); ++c) {
+    if (!decoded_[c]) continue;
+    switch (schema->field(c).type) {
+      case TypeId::kDouble:
+        cols_[c].f64.reserve(capacity);
+        break;
+      case TypeId::kString:
+        cols_[c].str.reserve(capacity * schema->field(c).capacity);
+        break;
+      default:
+        cols_[c].i64.reserve(capacity);
+        break;
+    }
+  }
+}
+
+void ColumnBatch::Clear() {
+  num_rows_ = 0;
+  for (ColumnVector& cv : cols_) {
+    cv.i64.clear();
+    cv.f64.clear();
+    cv.str.clear();
+  }
+}
+
+void ColumnBatch::AppendRow(const TupleRef& t) {
+  SMADB_DCHECK(configured() && !full());
+  for (size_t c = 0; c < schema_->num_fields(); ++c) {
+    if (!decoded_[c]) continue;
+    const Field& f = schema_->field(c);
+    ColumnVector& cv = cols_[c];
+    switch (f.type) {
+      case TypeId::kDouble:
+        cv.f64.push_back(t.GetDouble(c));
+        break;
+      case TypeId::kString: {
+        const size_t n0 = cv.str.size();
+        cv.str.resize(n0 + f.capacity);
+        std::memcpy(cv.str.data() + n0, t.data() + schema_->offset(c),
+                    f.capacity);
+        break;
+      }
+      default:
+        cv.i64.push_back(t.GetRawInt(c));
+        break;
+    }
+  }
+  ++num_rows_;
+}
+
+uint16_t ColumnBatch::AppendFromPage(const Table& table, const Page& page,
+                                     uint16_t first_slot,
+                                     uint16_t end_slot) {
+  SMADB_DCHECK(configured());
+  const size_t room = capacity_ - num_rows_;
+  if (room == 0) return first_slot;
+
+  // Pass 1: collect live slots (bounded by the remaining batch room).
+  live_slots_.clear();
+  uint16_t s = first_slot;
+  for (; s < end_slot && live_slots_.size() < room; ++s) {
+    if (!Table::PageSlotDeleted(page, s)) live_slots_.push_back(s);
+  }
+  const size_t k = live_slots_.size();
+  if (k == 0) return s;
+
+  // Pass 2: one strided gather per projected column.
+  const uint8_t* base = page.data + table.TupleAreaOffset();
+  const size_t tsz = schema_->tuple_size();
+  for (size_t c = 0; c < schema_->num_fields(); ++c) {
+    if (!decoded_[c]) continue;
+    const Field& f = schema_->field(c);
+    const size_t off = schema_->offset(c);
+    ColumnVector& cv = cols_[c];
+    switch (f.type) {
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        const size_t n0 = cv.i64.size();
+        cv.i64.resize(n0 + k);
+        for (size_t j = 0; j < k; ++j) {
+          int32_t v;
+          std::memcpy(&v, base + live_slots_[j] * tsz + off, sizeof(v));
+          cv.i64[n0 + j] = v;
+        }
+        break;
+      }
+      case TypeId::kInt64:
+      case TypeId::kDecimal: {
+        const size_t n0 = cv.i64.size();
+        cv.i64.resize(n0 + k);
+        for (size_t j = 0; j < k; ++j) {
+          int64_t v;
+          std::memcpy(&v, base + live_slots_[j] * tsz + off, sizeof(v));
+          cv.i64[n0 + j] = v;
+        }
+        break;
+      }
+      case TypeId::kDouble: {
+        const size_t n0 = cv.f64.size();
+        cv.f64.resize(n0 + k);
+        for (size_t j = 0; j < k; ++j) {
+          double v;
+          std::memcpy(&v, base + live_slots_[j] * tsz + off, sizeof(v));
+          cv.f64[n0 + j] = v;
+        }
+        break;
+      }
+      case TypeId::kString: {
+        const size_t n0 = cv.str.size();
+        cv.str.resize(n0 + k * f.capacity);
+        for (size_t j = 0; j < k; ++j) {
+          std::memcpy(cv.str.data() + n0 + j * f.capacity,
+                      base + live_slots_[j] * tsz + off, f.capacity);
+        }
+        break;
+      }
+    }
+  }
+  num_rows_ += k;
+  return s;
+}
+
+std::string_view ColumnBatch::StringAt(size_t col, size_t row) const {
+  SMADB_DCHECK(row < num_rows_);
+  const uint16_t cap = schema_->field(col).capacity;
+  const char* p =
+      reinterpret_cast<const char*>(StringData(col) + row * cap);
+  return std::string_view(p, strnlen(p, cap));
+}
+
+Value ColumnBatch::GetValue(size_t col, size_t row) const {
+  SMADB_DCHECK(row < num_rows_ && decoded_[col]);
+  switch (schema_->field(col).type) {
+    case TypeId::kInt32:
+      return Value::Int32(static_cast<int32_t>(cols_[col].i64[row]));
+    case TypeId::kInt64:
+      return Value::Int64(cols_[col].i64[row]);
+    case TypeId::kDouble:
+      return Value::MakeDouble(cols_[col].f64[row]);
+    case TypeId::kDecimal:
+      return Value::MakeDecimal(util::Decimal(cols_[col].i64[row]));
+    case TypeId::kDate:
+      return Value::MakeDate(util::Date(
+          static_cast<int32_t>(cols_[col].i64[row])));
+    case TypeId::kString:
+      return Value::String(std::string(StringAt(col, row)));
+  }
+  return Value();
+}
+
+void ColumnBatch::MaterializeRow(size_t row, TupleBuffer* out) const {
+  SMADB_DCHECK(row < num_rows_);
+  for (size_t c = 0; c < schema_->num_fields(); ++c) {
+    SMADB_DCHECK(decoded_[c] && "MaterializeRow needs a full projection");
+    const Field& f = schema_->field(c);
+    switch (f.type) {
+      case TypeId::kInt32:
+        out->SetInt32(c, static_cast<int32_t>(cols_[c].i64[row]));
+        break;
+      case TypeId::kInt64:
+        out->SetInt64(c, cols_[c].i64[row]);
+        break;
+      case TypeId::kDouble:
+        out->SetDouble(c, cols_[c].f64[row]);
+        break;
+      case TypeId::kDecimal:
+        out->SetDecimal(c, util::Decimal(cols_[c].i64[row]));
+        break;
+      case TypeId::kDate:
+        out->SetDate(c, util::Date(
+            static_cast<int32_t>(cols_[c].i64[row])));
+        break;
+      case TypeId::kString:
+        out->SetString(c, StringAt(c, row));
+        break;
+    }
+  }
+}
+
+}  // namespace smadb::storage

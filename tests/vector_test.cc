@@ -1,0 +1,617 @@
+// Vectorized-execution tests (ctest label `vector`):
+//
+//   * SelVector unit behaviour — dense fast path, Filter refinement,
+//     UnionWith merge.
+//   * EvalBatch ≡ Eval — every predicate shape agrees row-for-row with
+//     tuple-at-a-time evaluation, including AND/OR trees and string atoms.
+//   * NextBatch ≡ Next — every migrated operator (TableScan, SmaScan,
+//     Filter, the generic default adapter, RowAdapter) returns exactly the
+//     row-path tuples across predicates × batch sizes × bucket sizes.
+//   * Aggregation equality — GAggr / SmaGAggr / ParallelScanAggr produce
+//     bit-identical results in row and batch mode across DOPs.
+//   * Filter copying semantics — the yielded TupleRef stays valid until the
+//     next Next() (regression for the contract documented in filter.h).
+//   * Fault injection — the degradation ladder demotes correctly with the
+//     vectorized engine: runs return the fault-free rows exactly or a typed
+//     error, and mid-run demotion reruns (vectorized) from base data.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "exec/filter.h"
+#include "exec/gaggr.h"
+#include "exec/parallel_aggr.h"
+#include "exec/row_adapter.h"
+#include "exec/sma_gaggr.h"
+#include "exec/sma_scan.h"
+#include "exec/table_scan.h"
+#include "planner/planner.h"
+#include "tests/test_util.h"
+#include "util/fault.h"
+
+namespace smadb {
+namespace {
+
+using exec::AggSpec;
+using exec::Batch;
+using expr::CmpOp;
+using expr::Predicate;
+using expr::PredicatePtr;
+using storage::ColumnBatch;
+using storage::SelVector;
+using storage::TupleRef;
+using testing::AddMinMaxSmas;
+using testing::ExpectOk;
+using testing::Layout;
+using testing::MakeSyntheticTable;
+using testing::TestDb;
+using testing::Unwrap;
+using util::FaultKind;
+using util::StatusCode;
+using util::Value;
+
+// Serializes a full run through the row interface.
+std::vector<std::string> DrainRows(exec::Operator* op) {
+  ExpectOk(op->Init());
+  std::vector<std::string> rows;
+  TupleRef t;
+  while (true) {
+    auto has = op->Next(&t);
+    EXPECT_TRUE(has.ok()) << has.status().ToString();
+    if (!has.ok() || !*has) break;
+    std::string row;
+    for (size_t c = 0; c < op->output_schema().num_fields(); ++c) {
+      row += t.GetValue(c).ToString();
+      row += '|';
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// Serializes a full run through the batch interface (full projection).
+std::vector<std::string> DrainBatches(exec::Operator* op, size_t batch_size) {
+  ExpectOk(op->Init());
+  std::vector<std::string> rows;
+  Batch batch;
+  batch.Configure(&op->output_schema(), batch_size);
+  while (true) {
+    auto has = op->NextBatch(&batch);
+    EXPECT_TRUE(has.ok()) << has.status().ToString();
+    if (!has.ok() || !*has) break;
+    for (size_t k = 0; k < batch.sel.count(); ++k) {
+      const uint32_t r = batch.sel.row(k);
+      std::string row;
+      for (size_t c = 0; c < op->output_schema().num_fields(); ++c) {
+        row += batch.cols.GetValue(c, r).ToString();
+        row += '|';
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+// ------------------------------------------------------- SelVector units --
+
+TEST(SelVectorTest, DenseStateAndAccessors) {
+  SelVector sel;
+  EXPECT_TRUE(sel.empty());
+  sel.SelectAll(5);
+  EXPECT_TRUE(sel.dense());
+  EXPECT_EQ(sel.count(), 5u);
+  EXPECT_EQ(sel.row(3), 3u);
+  sel.SelectNone();
+  EXPECT_TRUE(sel.empty());
+}
+
+TEST(SelVectorTest, FilterKeepingEverythingStaysDense) {
+  SelVector sel;
+  sel.SelectAll(100);
+  sel.Filter([](uint32_t) { return true; });
+  EXPECT_TRUE(sel.dense());
+  EXPECT_EQ(sel.count(), 100u);
+}
+
+TEST(SelVectorTest, FilterMaterializesOnFirstRejection) {
+  SelVector sel;
+  sel.SelectAll(10);
+  sel.Filter([](uint32_t r) { return r % 3 == 0; });  // 0 3 6 9
+  EXPECT_FALSE(sel.dense());
+  ASSERT_EQ(sel.count(), 4u);
+  EXPECT_EQ(sel.row(0), 0u);
+  EXPECT_EQ(sel.row(3), 9u);
+  sel.Filter([](uint32_t r) { return r >= 3; });  // 3 6 9
+  EXPECT_EQ(sel.indices(), (std::vector<uint32_t>{3, 6, 9}));
+}
+
+TEST(SelVectorTest, UnionMergesSortedAndDedups) {
+  SelVector a;
+  a.SelectAll(10);
+  a.Filter([](uint32_t r) { return r % 2 == 0; });  // 0 2 4 6 8
+  SelVector b;
+  b.SelectAll(10);
+  b.Filter([](uint32_t r) { return r % 3 == 0; });  // 0 3 6 9
+  a.UnionWith(b);
+  EXPECT_EQ(a.indices(), (std::vector<uint32_t>{0, 2, 3, 4, 6, 8, 9}));
+
+  SelVector dense;
+  dense.SelectAll(10);
+  b.UnionWith(dense);  // a dense side absorbs the explicit one
+  EXPECT_TRUE(dense.dense());
+  EXPECT_TRUE(b.dense());
+  EXPECT_EQ(b.count(), 10u);
+}
+
+// --------------------------------------------------- EvalBatch ≡ Eval ----
+
+// Builds a ColumnBatch over the first `n` tuples of `t` (full projection)
+// and checks that EvalBatch's surviving rows are exactly the rows Eval
+// keeps.
+void ExpectEvalAgrees(storage::Table* t, int64_t n, const PredicatePtr& pred) {
+  ColumnBatch batch;
+  batch.Configure(&t->schema(), static_cast<size_t>(n));
+  std::vector<bool> want;
+  ExpectOk(t->ForEachTupleInBucket(0, [&](const TupleRef& tup, storage::Rid) {
+    if (batch.full()) return;
+    batch.AppendRow(tup);
+    want.push_back(pred->Eval(tup));
+  }));
+  SelVector sel;
+  sel.SelectAll(static_cast<uint32_t>(batch.num_rows()));
+  pred->EvalBatch(batch, &sel);
+  std::vector<bool> got(batch.num_rows(), false);
+  for (size_t k = 0; k < sel.count(); ++k) got[sel.row(k)] = true;
+  EXPECT_EQ(got, want) << pred->ToString(&t->schema());
+}
+
+TEST(EvalBatchTest, AtomsAndCompositesAgreeWithScalarEval) {
+  TestDb db(16384);
+  storage::Table* t =
+      MakeSyntheticTable(&db, 400, Layout::kRandom, /*seed=*/3,
+                         /*bucket_pages=*/16);
+  const auto& schema = t->schema();
+  const PredicatePtr d_le = Unwrap(Predicate::AtomConst(
+      &schema, "d", CmpOp::kLe, Value::MakeDate(util::Date(25))));
+  const PredicatePtr k_gt = Unwrap(Predicate::AtomConst(
+      &schema, "k", CmpOp::kGt, Value::Int64(100)));
+  const PredicatePtr grp_eq =
+      Unwrap(Predicate::AtomString(&schema, "grp", CmpOp::kEq, "B"));
+  const PredicatePtr tag_ne =
+      Unwrap(Predicate::AtomString(&schema, "tag", CmpOp::kNe, "MAIL"));
+
+  ExpectEvalAgrees(t, 400, Predicate::True());
+  ExpectEvalAgrees(t, 400, d_le);
+  ExpectEvalAgrees(t, 400, k_gt);
+  ExpectEvalAgrees(t, 400, grp_eq);
+  ExpectEvalAgrees(t, 400, tag_ne);
+  ExpectEvalAgrees(t, 400, Predicate::And(d_le, grp_eq));
+  ExpectEvalAgrees(t, 400, Predicate::Or(k_gt, grp_eq));
+  ExpectEvalAgrees(t, 400, Predicate::Or(Predicate::And(d_le, tag_ne),
+                                         Predicate::And(k_gt, grp_eq)));
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe}) {
+    ExpectEvalAgrees(t, 400,
+                     Unwrap(Predicate::AtomConst(
+                         &schema, "d", op, Value::MakeDate(util::Date(20)))));
+  }
+}
+
+TEST(EvalBatchTest, TwoColumnAtomAgreesWithScalarEval) {
+  TestDb db;
+  storage::Table* t = Unwrap(db.catalog.CreateTable(
+      "two", storage::Schema({storage::Field::Int64("a"),
+                              storage::Field::Int64("b")}),
+      {}));
+  storage::TupleBuffer buf(&t->schema());
+  util::Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    buf.SetInt64(0, rng.Uniform(0, 50));
+    buf.SetInt64(1, rng.Uniform(0, 50));
+    ExpectOk(t->Append(buf));
+  }
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq}) {
+    ExpectEvalAgrees(t, 300,
+                     Unwrap(Predicate::AtomTwoCols(&t->schema(), "a", op,
+                                                   "b")));
+  }
+}
+
+// -------------------------------------------------- NextBatch ≡ Next -----
+
+using ScanParam = std::tuple<size_t /*batch_size*/, uint32_t /*bucket_pages*/>;
+
+class BatchScanEquivalenceP : public ::testing::TestWithParam<ScanParam> {};
+
+TEST_P(BatchScanEquivalenceP, EveryOperatorReturnsTheRowPathTuples) {
+  const auto [batch_size, bucket_pages] = GetParam();
+  TestDb db(16384);
+  storage::Table* t = MakeSyntheticTable(&db, 2000, Layout::kNoisy,
+                                         /*seed=*/21, bucket_pages);
+  sma::SmaSet smas(t);
+  AddMinMaxSmas(t, &smas, "d");
+  const auto& schema = t->schema();
+
+  const std::vector<PredicatePtr> preds = {
+      Predicate::True(),
+      Unwrap(Predicate::AtomConst(&schema, "d", CmpOp::kLe,
+                                  Value::MakeDate(util::Date(125)))),
+      Unwrap(Predicate::AtomConst(&schema, "d", CmpOp::kGt,
+                                  Value::MakeDate(util::Date(500)))),
+      Predicate::And(
+          Unwrap(Predicate::AtomConst(&schema, "d", CmpOp::kLe,
+                                      Value::MakeDate(util::Date(125)))),
+          Unwrap(Predicate::AtomString(&schema, "grp", CmpOp::kEq, "A"))),
+      Predicate::Or(
+          Unwrap(Predicate::AtomConst(&schema, "k", CmpOp::kLt,
+                                      Value::Int64(64))),
+          Unwrap(Predicate::AtomString(&schema, "tag", CmpOp::kEq, "RAIL"))),
+  };
+
+  for (size_t p = 0; p < preds.size(); ++p) {
+    SCOPED_TRACE(::testing::Message() << "pred " << p);
+    const PredicatePtr& pred = preds[p];
+    {
+      exec::TableScan row_scan(t, pred);
+      exec::TableScan batch_scan(t, pred);
+      EXPECT_EQ(DrainRows(&row_scan), DrainBatches(&batch_scan, batch_size));
+    }
+    {
+      exec::SmaScan row_scan(t, pred, &smas);
+      exec::SmaScan batch_scan(t, pred, &smas);
+      EXPECT_EQ(DrainRows(&row_scan), DrainBatches(&batch_scan, batch_size));
+    }
+    {
+      // Filter over an unrestricted scan: native batch path refines the
+      // child's selection in place.
+      exec::Filter row_f(std::make_unique<exec::TableScan>(t,
+                                                           Predicate::True()),
+                         pred);
+      exec::Filter batch_f(
+          std::make_unique<exec::TableScan>(t, Predicate::True()), pred);
+      EXPECT_EQ(DrainRows(&row_f), DrainBatches(&batch_f, batch_size));
+    }
+    {
+      // RowAdapter inverts NextBatch back to rows.
+      exec::TableScan row_scan(t, pred);
+      exec::RowAdapter adapted(std::make_unique<exec::SmaScan>(t, pred, &smas),
+                               batch_size);
+      EXPECT_EQ(DrainRows(&row_scan), DrainRows(&adapted));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchScanEquivalenceP,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{3}, size_t{64},
+                                         size_t{1024}),
+                       ::testing::Values(1u, 4u)),
+    [](const ::testing::TestParamInfo<ScanParam>& info) {
+      return "Bs" + std::to_string(std::get<0>(info.param)) + "Bp" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The default Operator::NextBatch adapter (no override) must agree with the
+// row interface too: GAggr overrides neither, so pulling batches from it
+// exercises the generic row -> batch loop.
+TEST(BatchDefaultAdapterTest, PipelineBreakerServesBatchesViaDefaultAdapter) {
+  TestDb db(16384);
+  storage::Table* t = MakeSyntheticTable(&db, 1500, Layout::kNoisy, 31);
+  const expr::ExprPtr v = Unwrap(expr::Column(&t->schema(), "v"));
+  const std::vector<AggSpec> aggs = {AggSpec::Sum(v, "sum_v"),
+                                     AggSpec::Count("cnt")};
+  const PredicatePtr pred = Unwrap(Predicate::AtomConst(
+      &t->schema(), "d", CmpOp::kLe, Value::MakeDate(util::Date(100))));
+  auto rows = Unwrap(exec::GAggr::Make(
+      std::make_unique<exec::TableScan>(t, pred), {3}, aggs));
+  auto batches = Unwrap(exec::GAggr::Make(
+      std::make_unique<exec::TableScan>(t, pred), {3}, aggs));
+  EXPECT_EQ(DrainRows(rows.get()), DrainBatches(batches.get(), 7));
+}
+
+// Projection pushdown: a consumer-built mask unioned with the producer's
+// requirements decodes only those columns, and the decoded values match.
+TEST(BatchProjectionTest, PartialProjectionDecodesRequestedColumns) {
+  TestDb db(16384);
+  storage::Table* t = MakeSyntheticTable(&db, 500, Layout::kClustered, 41);
+  const PredicatePtr pred = Unwrap(Predicate::AtomConst(
+      &t->schema(), "d", CmpOp::kLe, Value::MakeDate(util::Date(30))));
+  exec::TableScan scan(t, pred);
+  std::vector<bool> mask(t->schema().num_fields(), false);
+  mask[0] = true;  // consumer reads k
+  scan.AddRequiredBatchColumns(&mask);
+  EXPECT_TRUE(mask[1]);  // the predicate's column d joined the projection
+
+  ExpectOk(scan.Init());
+  Batch batch;
+  batch.Configure(&t->schema(), 128, mask);
+  exec::TableScan ref(t, pred);
+  const std::vector<std::string> expected = DrainRows(&ref);
+  size_t row_no = 0;
+  while (true) {
+    auto has = scan.NextBatch(&batch);
+    ExpectOk(has.status());
+    if (!*has) break;
+    EXPECT_TRUE(batch.cols.decoded(0));
+    EXPECT_TRUE(batch.cols.decoded(1));
+    EXPECT_FALSE(batch.cols.decoded(2));
+    for (size_t k = 0; k < batch.sel.count(); ++k, ++row_no) {
+      ASSERT_LT(row_no, expected.size());
+      // expected rows are "k|d|v|grp|tag|"; compare the leading k field.
+      const std::string k_str =
+          batch.cols.GetValue(0, batch.sel.row(k)).ToString();
+      EXPECT_EQ(expected[row_no].substr(0, k_str.size() + 1), k_str + "|");
+    }
+  }
+  EXPECT_EQ(row_no, expected.size());
+}
+
+// ------------------------------------------- aggregation row ≡ batch -----
+
+using AggrParam = std::tuple<size_t /*batch_size*/, size_t /*dop*/>;
+
+class BatchAggrEquivalenceP : public ::testing::TestWithParam<AggrParam> {};
+
+TEST_P(BatchAggrEquivalenceP, RowAndBatchModesProduceIdenticalGroups) {
+  const auto [batch_size, dop] = GetParam();
+  TestDb db(16384);
+  storage::Table* t = MakeSyntheticTable(&db, 3000, Layout::kNoisy, 17);
+  sma::SmaSet smas(t);
+  AddMinMaxSmas(t, &smas, "d");
+  const expr::ExprPtr v = Unwrap(expr::Column(&t->schema(), "v"));
+  const expr::ExprPtr v1 = Unwrap(expr::OnePlus(v));  // ArithExpr batch path
+  ExpectOk(smas.Add(Unwrap(sma::BuildSma(t, sma::SmaSpec::Sum("s", v, {3})))));
+  ExpectOk(smas.Add(Unwrap(sma::BuildSma(t, sma::SmaSpec::Count("c", {3})))));
+  const std::vector<AggSpec> aggs = {
+      AggSpec::Sum(v, "sum_v"),  AggSpec::Count("cnt"),
+      AggSpec::Avg(v, "avg_v"),  AggSpec::Min(v, "min_v"),
+      AggSpec::Max(v, "max_v"),  AggSpec::Sum(v1, "sum_v1")};
+  const std::vector<AggSpec> sma_aggs = {AggSpec::Sum(v, "sum_v"),
+                                         AggSpec::Count("cnt")};
+  const PredicatePtr pred = Unwrap(Predicate::AtomConst(
+      &t->schema(), "d", CmpOp::kLe, Value::MakeDate(util::Date(188))));
+
+  {
+    auto row_op = Unwrap(exec::GAggr::Make(
+        std::make_unique<exec::TableScan>(t, pred), {3}, aggs));
+    auto batch_op = Unwrap(exec::GAggr::Make(
+        std::make_unique<exec::TableScan>(t, pred), {3}, aggs, batch_size));
+    EXPECT_EQ(DrainRows(row_op.get()), DrainRows(batch_op.get()));
+  }
+  {
+    auto row_op = Unwrap(exec::GAggr::Make(
+        std::make_unique<exec::SmaScan>(t, pred, &smas), {3}, aggs));
+    auto batch_op = Unwrap(exec::GAggr::Make(
+        std::make_unique<exec::SmaScan>(t, pred, &smas), {3}, aggs,
+        batch_size));
+    EXPECT_EQ(DrainRows(row_op.get()), DrainRows(batch_op.get()));
+  }
+  {
+    // SmaGAggr: qualifying buckets come from SMA entries in both modes;
+    // only the ambivalent remainder is vectorized.
+    exec::SmaGAggrOptions row_opts;
+    row_opts.degree_of_parallelism = dop;
+    exec::SmaGAggrOptions batch_opts = row_opts;
+    batch_opts.batch_size = batch_size;
+    auto row_op = Unwrap(
+        exec::SmaGAggr::Make(t, pred, {3}, sma_aggs, &smas, row_opts));
+    auto batch_op = Unwrap(
+        exec::SmaGAggr::Make(t, pred, {3}, sma_aggs, &smas, batch_opts));
+    EXPECT_EQ(DrainRows(row_op.get()), DrainRows(batch_op.get()));
+  }
+  {
+    auto row_op = Unwrap(exec::ParallelScanAggr::Make(t, pred, {3}, aggs,
+                                                      &smas, dop));
+    auto batch_op = Unwrap(exec::ParallelScanAggr::Make(t, pred, {3}, aggs,
+                                                        &smas, dop,
+                                                        batch_size));
+    EXPECT_EQ(DrainRows(row_op.get()), DrainRows(batch_op.get()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchAggrEquivalenceP,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{64}, size_t{1024}),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{4})),
+    [](const ::testing::TestParamInfo<AggrParam>& info) {
+      return "Bs" + std::to_string(std::get<0>(info.param)) + "Dop" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ----------------------------------------- Filter copying semantics ------
+
+// Regression for the contract documented in filter.h: the TupleRef yielded
+// by Filter::Next() must stay valid (same bytes) until the *next* Next(),
+// even when the child internally skipped non-matching tuples in between.
+TEST(FilterSemanticsTest, FilterRefStaysValidAcrossCalls) {
+  TestDb db(16384);
+  storage::Table* t = MakeSyntheticTable(&db, 1200, Layout::kNoisy, 51);
+  // ~1-in-4 selectivity so most Next() calls skip several child tuples.
+  const PredicatePtr pred =
+      Unwrap(Predicate::AtomString(&t->schema(), "tag", CmpOp::kEq, "SHIP"));
+  exec::Filter filter(std::make_unique<exec::TableScan>(t, Predicate::True()),
+                      pred);
+  ExpectOk(filter.Init());
+  TupleRef held;
+  std::string held_snapshot;
+  size_t n = 0;
+  while (true) {
+    TupleRef next;
+    auto has = filter.Next(&next);
+    ExpectOk(has.status());
+    if (*has && n > 0) {
+      // The previously yielded view must not have been clobbered while the
+      // child scanned forward to find `next`.
+      std::string now;
+      for (size_t c = 0; c < t->schema().num_fields(); ++c) {
+        now += held.GetValue(c).ToString() + "|";
+      }
+      EXPECT_EQ(now, held_snapshot) << "row " << n - 1;
+    }
+    if (!*has) break;
+    held = next;
+    held_snapshot.clear();
+    for (size_t c = 0; c < t->schema().num_fields(); ++c) {
+      held_snapshot += held.GetValue(c).ToString() + "|";
+    }
+    ++n;
+  }
+  EXPECT_GT(n, 0u);
+}
+
+// ------------------------------------------------ session batch knob -----
+
+TEST(DatabaseBatchSizeTest, SetBatchSizeStatementControlsSessionMode) {
+  db::Database database;
+  ExpectOk(database.CreateTable("t", testing::SyntheticSchema()).status());
+  storage::TupleBuffer tuple(&Unwrap(database.GetTable("t"))->schema());
+  for (int64_t i = 0; i < 600; ++i) {
+    tuple.SetInt64(0, i);
+    tuple.SetDate(1, util::Date(static_cast<int32_t>(i / 8)));
+    tuple.SetDecimal(2, util::Decimal(i * 3));
+    tuple.SetString(3, i % 2 == 0 ? "A" : "B");
+    tuple.SetString(4, "MAIL");
+    ExpectOk(database.Insert("t", tuple));
+  }
+  const std::string sql =
+      "select grp, count(*), sum(v) from t where d <= '1970-02-10' "
+      "group by grp";
+
+  // Vectorized by default; the plan explanation says so.
+  EXPECT_EQ(database.batch_size(), exec::kDefaultBatchSize);
+  const plan::QueryResult vectorized = Unwrap(database.Query(sql));
+  EXPECT_NE(vectorized.plan.explanation.find("vectorized(batch=1024)"),
+            std::string::npos)
+      << vectorized.plan.explanation;
+
+  ExpectOk(database.Execute("set batch_size = 0"));
+  EXPECT_EQ(database.batch_size(), 0u);
+  const plan::QueryResult rowmode = Unwrap(database.Query(sql));
+  EXPECT_NE(rowmode.plan.explanation.find("row-mode"), std::string::npos)
+      << rowmode.plan.explanation;
+  EXPECT_EQ(vectorized.ToString(), rowmode.ToString());
+
+  ExpectOk(database.Execute("set batch_size = 64"));
+  EXPECT_EQ(database.batch_size(), 64u);
+  const plan::QueryResult small = Unwrap(database.Query(sql));
+  EXPECT_EQ(vectorized.ToString(), small.ToString());
+
+  EXPECT_FALSE(database.Execute("set batch_size = -5").ok());
+  EXPECT_FALSE(database.Execute("set batch_size to 8").ok());
+}
+
+// ------------------------------------------------ faults in batch mode ---
+
+struct VectorFaultTest : ::testing::Test {
+  VectorFaultTest() : db(16384) {}
+  ~VectorFaultTest() override { util::fault::DisarmAll(); }
+
+  void Setup(const std::string& name) {
+    table = MakeSyntheticTable(&db, 4000, Layout::kNoisy, 13, 1, name);
+    smas = std::make_unique<sma::SmaSet>(table);
+    AddMinMaxSmas(table, smas.get(), "d");
+    const expr::ExprPtr v = Unwrap(expr::Column(&table->schema(), "v"));
+    ExpectOk(smas->Add(
+        Unwrap(sma::BuildSma(table, sma::SmaSpec::Sum("sum_v", v, {3})))));
+    ExpectOk(smas->Add(
+        Unwrap(sma::BuildSma(table, sma::SmaSpec::Count("cnt", {3})))));
+    query.table = table;
+    query.pred = Unwrap(Predicate::AtomConst(
+        &table->schema(), "d", CmpOp::kLe,
+        Value::MakeDate(util::Date(120))));
+    query.group_by = {3};
+    query.aggs = {AggSpec::Sum(v, "sum_v"), AggSpec::Count("cnt")};
+  }
+
+  TestDb db;
+  storage::Table* table = nullptr;
+  std::unique_ptr<sma::SmaSet> smas;
+  plan::AggQuery query;
+};
+
+// The fault matrix of fault_test.cc rerun with the vectorized engine at
+// several batch sizes: every run returns the fault-free rows exactly or the
+// scenario's typed error — never silently-wrong rows.
+TEST_F(VectorFaultTest, BatchedRunsReturnExactRowsOrTypedError) {
+  Setup("vf");
+  plan::PlannerOptions row_options;
+  row_options.batch_size = 0;
+  plan::Planner row_planner(smas.get(), row_options);
+  auto ref_op =
+      Unwrap(row_planner.Build(query, plan::PlanKind::kScanAggr, 1));
+  const std::string expected =
+      Unwrap(plan::RunToCompletion(ref_op.get())).ToString();
+
+  struct Scenario {
+    const char* label;
+    const char* point;
+    util::FaultSpec spec;
+    StatusCode allowed;
+  };
+  const Scenario scenarios[] = {
+      {"transient-read", "disk.read",
+       {.probability = 0.3, .kind = FaultKind::kTransient},
+       StatusCode::kIOError},
+      {"permanent-read", "disk.read",
+       {.probability = 0.3, .kind = FaultKind::kPermanent},
+       StatusCode::kIOError},
+      {"bitflip-read", "disk.page_bitflip",
+       {.probability = 0.25, .kind = FaultKind::kBitFlip},
+       StatusCode::kCorruption},
+  };
+  const plan::PlanKind kinds[] = {plan::PlanKind::kScanAggr,
+                                  plan::PlanKind::kSmaScanAggr,
+                                  plan::PlanKind::kSmaGAggr};
+  uint64_t seed = 40;
+  for (size_t batch_size : {size_t{7}, size_t{1024}}) {
+    plan::PlannerOptions options;
+    options.batch_size = batch_size;
+    plan::Planner planner(smas.get(), options);
+    for (const Scenario& s : scenarios) {
+      for (plan::PlanKind kind : kinds) {
+        for (size_t dop : {size_t{1}, size_t{4}}) {
+          SCOPED_TRACE(::testing::Message()
+                       << s.label << " / " << plan::PlanKindToString(kind)
+                       << " / dop=" << dop << " / batch=" << batch_size);
+          util::fault::DisarmAll();
+          ExpectOk(db.pool.DropAll());
+          util::fault::Seed(seed++);
+          util::fault::Arm(s.point, s.spec);
+          auto op = Unwrap(planner.Build(query, kind, dop));
+          auto run = plan::RunToCompletion(op.get());
+          util::fault::DisarmAll();
+          if (run.ok()) {
+            EXPECT_EQ(run->ToString(), expected);
+          } else {
+            EXPECT_EQ(run.status().code(), s.allowed)
+                << run.status().ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+// The degradation ladder under the vectorized engine: unreadable SMA-files
+// demote the plan, the rerun stays vectorized, and the rows are exact.
+TEST_F(VectorFaultTest, DegradationLadderDemotesCorrectlyInBatchMode) {
+  Setup("vd");
+  plan::Planner planner(smas.get());  // defaults: vectorized
+  const plan::QueryResult healthy = Unwrap(planner.Execute(query));
+  EXPECT_NE(healthy.plan.explanation.find("vectorized"), std::string::npos);
+
+  ExpectOk(db.pool.DropAll());
+  util::fault::Arm("disk.read", {.kind = FaultKind::kPermanent,
+                                 .file_filter = "sma."});
+  const plan::QueryResult demoted = Unwrap(planner.Execute(query));
+  util::fault::DisarmAll();
+  EXPECT_EQ(demoted.plan.kind, plan::PlanKind::kScanAggr);
+  EXPECT_NE(demoted.plan.explanation.find("demoted"), std::string::npos)
+      << demoted.plan.explanation;
+  EXPECT_NE(demoted.plan.explanation.find("vectorized"), std::string::npos)
+      << demoted.plan.explanation;
+  EXPECT_EQ(demoted.ToString(), healthy.ToString());
+}
+
+}  // namespace
+}  // namespace smadb
