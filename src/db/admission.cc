@@ -1,0 +1,125 @@
+#include "db/admission.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace smadb::db {
+
+using util::Result;
+using util::Status;
+
+void AdmissionController::Slot::Release() {
+  if (c_ != nullptr) c_->ReleaseSlot();
+  c_ = nullptr;
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_ > 0) --running_;
+  }
+  cv_.notify_all();  // FIFO head re-checks its turn
+}
+
+Result<AdmissionController::Slot> AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_concurrent == 0) return Slot();  // admission off: inert
+
+  // Fast path: free slot and nobody queued ahead of us.
+  if (running_ < options_.max_concurrent && queue_.empty()) {
+    ++running_;
+    ++admitted_;
+    return Slot(this);
+  }
+
+  // Load shedding: a full queue rejects immediately rather than piling up
+  // unbounded waiters (fail promptly, never hang).
+  if (queue_.size() >= options_.max_queued) {
+    ++shed_;
+    return Status::ResourceExhausted(util::Format(
+        "admission rejected (load shed): %zu queries running, %zu queued "
+        "(max_concurrent=%zu, max_queued=%zu)",
+        running_, queue_.size(), options_.max_concurrent,
+        options_.max_queued));
+  }
+
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  const auto deadline = std::chrono::steady_clock::now() + options_.max_wait;
+  while (true) {
+    // FIFO: only the head ticket may claim a freed slot.
+    if (running_ < options_.max_concurrent && !queue_.empty() &&
+        queue_.front() == ticket) {
+      queue_.pop_front();
+      ++running_;
+      ++admitted_;
+      cv_.notify_all();  // the next head may also fit
+      return Slot(this);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+      ++timed_out_;
+      cv_.notify_all();  // we may have been blocking the ticket behind us
+      return Status::ResourceExhausted(util::Format(
+          "admission timed out after %lld ms: %zu queries running, %zu still "
+          "queued (max_concurrent=%zu)",
+          static_cast<long long>(options_.max_wait.count()), running_,
+          queue_.size(), options_.max_concurrent));
+    }
+    // Jittered backoff: base quantum plus up to one quantum of deterministic
+    // jitter, so synchronized waiters spread their wakeups.
+    const auto quantum = options_.wait_quantum;
+    const auto jitter = std::chrono::microseconds(static_cast<int64_t>(
+        jitter_.NextDouble() * 1000.0 *
+        static_cast<double>(std::max<int64_t>(1, quantum.count()))));
+    cv_.wait_for(lock, std::min<std::chrono::steady_clock::duration>(
+                           quantum + jitter, deadline - now));
+  }
+}
+
+void AdmissionController::SetMaxConcurrent(size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.max_concurrent = n;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::SetMaxQueued(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.max_queued = n;
+}
+
+void AdmissionController::SetMaxWait(std::chrono::milliseconds wait) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.max_wait = wait;
+}
+
+size_t AdmissionController::max_concurrent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.max_concurrent;
+}
+size_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+uint64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+uint64_t AdmissionController::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+uint64_t AdmissionController::timed_out_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timed_out_;
+}
+
+}  // namespace smadb::db

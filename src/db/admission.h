@@ -1,0 +1,109 @@
+// AdmissionController: caps the number of concurrently running queries
+// (DESIGN.md §10). Queries beyond the cap wait in a bounded FIFO —
+// first-come first-served by ticket, polled with a jittered backoff so
+// synchronized waiters don't stampede the mutex — and are shed with
+// kResourceExhausted when either the queue is full on arrival (load
+// shedding) or the bounded wait elapses. With max_concurrent == 0 the
+// controller is disabled and admission is free.
+//
+// The paper's premise is predictable query latency; admission control is
+// what keeps that promise under concurrency: a bounded queue plus a bounded
+// wait means a query either runs promptly or fails promptly, never hangs.
+
+#ifndef SMADB_DB_ADMISSION_H_
+#define SMADB_DB_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace smadb::db {
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Queries allowed to run at once; 0 disables admission control.
+    size_t max_concurrent = 0;
+    /// Waiters beyond this are shed immediately (bounded FIFO).
+    size_t max_queued = 16;
+    /// A waiter gives up with kResourceExhausted after this long.
+    std::chrono::milliseconds max_wait{1000};
+    /// Base poll interval while waiting; each round adds up to one quantum
+    /// of deterministic jitter so waiters desynchronize.
+    std::chrono::milliseconds wait_quantum{2};
+    uint64_t jitter_seed = 0x5eed;
+  };
+
+  /// RAII admission slot: releasing (or destroying) it wakes the FIFO head.
+  /// A default-constructed slot is inert (admission control disabled).
+  class Slot {
+   public:
+    Slot() = default;
+    explicit Slot(AdmissionController* c) : c_(c) {}
+    Slot(Slot&& o) noexcept : c_(o.c_) { o.c_ = nullptr; }
+    Slot& operator=(Slot&& o) noexcept {
+      if (this != &o) {
+        Release();
+        c_ = o.c_;
+        o.c_ = nullptr;
+      }
+      return *this;
+    }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    ~Slot() { Release(); }
+
+    void Release();
+
+   private:
+    AdmissionController* c_ = nullptr;
+  };
+
+  AdmissionController() : AdmissionController(Options()) {}
+  explicit AdmissionController(Options options)
+      : options_(options), jitter_(options.jitter_seed) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks (bounded) until a slot frees up, FIFO order. Fails with
+  /// kResourceExhausted when the queue is full on arrival (shed) or the
+  /// wait budget elapses (timeout) — never hangs.
+  util::Result<Slot> Admit();
+
+  /// Adjusts the concurrency cap; 0 turns admission control off for
+  /// subsequent Admit() calls (already-held slots still release normally).
+  void SetMaxConcurrent(size_t n);
+  void SetMaxQueued(size_t n);
+  void SetMaxWait(std::chrono::milliseconds wait);
+
+  size_t max_concurrent() const;
+  size_t running() const;
+  size_t queued() const;
+  uint64_t admitted_total() const;
+  uint64_t shed_total() const;
+  uint64_t timed_out_total() const;
+
+ private:
+  void ReleaseSlot();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Options options_;
+  size_t running_ = 0;
+  uint64_t next_ticket_ = 0;
+  std::deque<uint64_t> queue_;  // waiting tickets, FIFO
+  util::Rng jitter_;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t timed_out_ = 0;
+};
+
+}  // namespace smadb::db
+
+#endif  // SMADB_DB_ADMISSION_H_

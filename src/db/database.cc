@@ -1,8 +1,12 @@
 #include "db/database.h"
 
+#include <algorithm>
+#include <cctype>
+
 #include "db/sql.h"
 #include "expr/parser.h"
 #include "sma/parser.h"
+#include "util/string_util.h"
 
 namespace smadb::db {
 
@@ -13,12 +17,27 @@ using util::Status;
 
 Database::Database(DatabaseOptions options)
     : options_(options),
+      global_memory_("global", options.global_memory_limit),
+      admission_(AdmissionController::Options{
+          .max_concurrent = options.max_concurrent_queries,
+          .max_queued = options.admission_max_queued,
+          .max_wait =
+              std::chrono::milliseconds(options.admission_max_wait_ms)}),
       pool_(std::make_unique<storage::BufferPool>(
           &disk_,
           storage::BufferPoolOptions{
               .capacity_pages = options.pool_pages,
-              .verify_checksums = options.verify_checksums})),
+              .verify_checksums = options.verify_checksums,
+              // Pin charging only when a global budget exists: the tracker
+              // mutex would otherwise tax every Fetch for nothing.
+              .pin_tracker = options.global_memory_limit > 0 ? &global_memory_
+                                                             : nullptr})),
       catalog_(std::make_unique<storage::Catalog>(pool_.get())) {}
+
+void Database::set_max_concurrent_queries(size_t n) {
+  options_.max_concurrent_queries = n;
+  admission_.SetMaxConcurrent(n);
+}
 
 Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
                                      storage::TableOptions options) {
@@ -82,33 +101,86 @@ Status Database::Execute(std::string_view statement) {
     return sma::DefineSma(catalog_.get(), state->smas.get(), statement);
   }
   if (tokens[0].text == "set") {
-    // `set <knob> = <n>`: dop (0 = auto/hardware) or batch_size (0 = row
-    // mode, tuple-at-a-time).
+    // `set <knob> = <n>`. Execution knobs: dop (0 = auto/hardware),
+    // batch_size (0 = row mode). Governor knobs (DESIGN.md §10):
+    // timeout_ms (0 = none), memory_limit (bytes, 0 = unbudgeted),
+    // max_concurrent_queries (0 = admission off), allow_degraded (0/1).
     if (tokens.size() == 5 &&  // set <knob> = <n> + kEnd sentinel
         tokens[1].kind == expr::internal::TokKind::kIdent &&
         tokens[2].kind == expr::internal::TokKind::kCmp &&
         tokens[2].text == "=" &&
         tokens[3].kind == expr::internal::TokKind::kInt &&
         tokens[3].value >= 0) {
+      const int64_t n = tokens[3].value;
       if (tokens[1].text == "dop") {
-        set_degree_of_parallelism(static_cast<size_t>(tokens[3].value));
+        set_degree_of_parallelism(static_cast<size_t>(n));
         return Status::OK();
       }
       if (tokens[1].text == "batch_size") {
-        set_batch_size(static_cast<size_t>(tokens[3].value));
+        set_batch_size(static_cast<size_t>(n));
+        return Status::OK();
+      }
+      if (tokens[1].text == "timeout_ms") {
+        set_timeout_ms(n);
+        return Status::OK();
+      }
+      if (tokens[1].text == "memory_limit") {
+        set_query_memory_limit(static_cast<size_t>(n));
+        return Status::OK();
+      }
+      if (tokens[1].text == "max_concurrent_queries") {
+        set_max_concurrent_queries(static_cast<size_t>(n));
+        return Status::OK();
+      }
+      if (tokens[1].text == "allow_degraded") {
+        options_.planner.allow_degraded = n != 0;
         return Status::OK();
       }
     }
     return Status::InvalidArgument(
-        "malformed set statement; expected 'set dop = <n>' or "
-        "'set batch_size = <n>'");
+        "malformed set statement; expected 'set <knob> = <n>' with knob in "
+        "{dop, batch_size, timeout_ms, memory_limit, max_concurrent_queries, "
+        "allow_degraded}");
   }
   return Status::NotSupported(
-      "unknown statement; supported: 'define sma', 'set dop = <n>', "
-      "'set batch_size = <n>'");
+      "unknown statement; supported: 'define sma' and 'set <knob> = <n>'");
 }
 
 Result<plan::QueryResult> Database::Query(std::string_view sql) {
+  return Query(sql, nullptr);
+}
+
+Result<plan::QueryResult> Database::Query(
+    std::string_view sql, std::shared_ptr<util::CancelToken> cancel) {
+  // `explain select ...` runs the governed query and reports the plan.
+  std::string_view body = sql;
+  while (!body.empty() && std::isspace(static_cast<unsigned char>(body[0]))) {
+    body.remove_prefix(1);
+  }
+  bool explain = false;
+  constexpr std::string_view kExplain = "explain ";
+  if (body.size() > kExplain.size() &&
+      body.substr(0, kExplain.size()) == kExplain) {
+    explain = true;
+    body.remove_prefix(kExplain.size());
+  }
+
+  // One governor per query: caller's cancel token (if any), the session
+  // deadline, and a memory budget that is a child of the global tracker.
+  util::QueryContext ctx(&global_memory_, options_.query_memory_limit,
+                         std::move(cancel));
+  if (options_.timeout_ms > 0) ctx.set_timeout_ms(options_.timeout_ms);
+
+  // Admission before any real work: either we run promptly or fail promptly.
+  SMADB_ASSIGN_OR_RETURN(AdmissionController::Slot slot, admission_.Admit());
+
+  Result<plan::QueryResult> result = RunQuery(body, &ctx);
+  if (!result.ok() || !explain) return result;
+  return ExplainResult(result->plan);
+}
+
+Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
+                                             util::QueryContext* ctx) {
   SMADB_ASSIGN_OR_RETURN(std::string table_name, ExtractTableName(sql));
   SMADB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(table_name));
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table_name));
@@ -120,7 +192,7 @@ Result<plan::QueryResult> Database::Query(std::string_view sql) {
     plan::SelectQuery query;
     query.table = table;
     query.pred = parsed.pred;
-    return planner.ExecuteSelect(query);
+    return planner.ExecuteSelect(query, ctx);
   }
 
   plan::AggQuery query;
@@ -128,7 +200,51 @@ Result<plan::QueryResult> Database::Query(std::string_view sql) {
   query.pred = parsed.pred;
   query.group_by = parsed.group_by;
   query.aggs = parsed.aggs;
-  return planner.Execute(query);
+  return planner.Execute(query, ctx);
+}
+
+plan::QueryResult ExplainResult(const plan::PlanChoice& plan) {
+  // One wide text column; long explanation lines are wrapped, never lost.
+  constexpr uint16_t kWidth = 120;
+  plan::QueryResult out;
+  out.schema = std::make_shared<const storage::Schema>(
+      std::vector<storage::Field>{storage::Field::String("explain", kWidth)});
+  out.plan = plan;
+
+  std::vector<std::string> lines;
+  lines.push_back(
+      util::Format("plan: %s%s", plan::PlanKindToString(plan.kind).data(),
+                   plan.degraded ? " (degraded: partial answer)" : ""));
+  lines.push_back(util::Format(
+      "buckets: qualifying=%llu disqualifying=%llu ambivalent=%llu "
+      "fetch_fraction=%.3f",
+      static_cast<unsigned long long>(plan.qualifying),
+      static_cast<unsigned long long>(plan.disqualifying),
+      static_cast<unsigned long long>(plan.ambivalent), plan.fetch_fraction));
+  lines.push_back(util::Format("dop: %zu", plan.dop));
+  // The explanation already carries the planner's reasoning plus the
+  // governor annotations ("; governor: ...", degradation notes). Split the
+  // "; "-joined clauses onto their own rows for readability.
+  std::string_view rest = plan.explanation;
+  while (!rest.empty()) {
+    const size_t cut = rest.find("; ");
+    std::string_view clause =
+        cut == std::string_view::npos ? rest : rest.substr(0, cut);
+    rest = cut == std::string_view::npos ? std::string_view()
+                                         : rest.substr(cut + 2);
+    while (!clause.empty()) {  // wrap to the column width
+      lines.push_back(std::string(clause.substr(0, kWidth)));
+      clause = clause.size() > kWidth ? clause.substr(kWidth)
+                                      : std::string_view();
+    }
+  }
+
+  for (const std::string& line : lines) {
+    storage::TupleBuffer row(out.schema.get());
+    row.SetString(0, std::string_view(line).substr(0, kWidth));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
 }
 
 }  // namespace smadb::db

@@ -21,10 +21,12 @@
 #include <string>
 #include <unordered_map>
 
+#include "db/admission.h"
 #include "planner/planner.h"
 #include "sma/maintenance.h"
 #include "sma/sma_set.h"
 #include "storage/catalog.h"
+#include "util/query_context.h"
 
 namespace smadb::db {
 
@@ -35,6 +37,22 @@ struct DatabaseOptions {
   /// off only for overhead experiments, EXPERIMENTS.md X7).
   bool verify_checksums = true;
   plan::PlannerOptions planner;
+
+  // --- resource governance (DESIGN.md §10) ---------------------------------
+  /// Global memory budget in bytes shared by all queries (and buffer-pool
+  /// pins, which are charged against it when set). 0 = unlimited, and the
+  /// hot paths skip the tracker entirely.
+  size_t global_memory_limit = 0;
+  /// Per-query memory budget in bytes (child of the global tracker).
+  /// 0 = bounded only by the global budget.
+  size_t query_memory_limit = 0;
+  /// Deadline applied to every query, in milliseconds. 0 = none.
+  int64_t timeout_ms = 0;
+  /// Queries allowed to run at once; 0 disables admission control.
+  size_t max_concurrent_queries = 0;
+  /// Admission FIFO depth and wait budget (see AdmissionController).
+  size_t admission_max_queued = 16;
+  int64_t admission_max_wait_ms = 1000;
 };
 
 class Database {
@@ -73,8 +91,8 @@ class Database {
 
   // --- statements ----------------------------------------------------------
   /// Executes a DDL-ish statement. Currently: `define sma ...` (§2.1) and
-  /// the session settings `set dop = <n>` (0 = auto/hardware, 1 = serial)
-  /// and `set batch_size = <n>` (0 = tuple-at-a-time).
+  /// the session settings `set <knob> = <n>` for the knobs dop, batch_size,
+  /// timeout_ms, memory_limit, max_concurrent_queries, and allow_degraded.
   util::Status Execute(std::string_view statement);
 
   /// Session degree of parallelism for subsequent queries; equivalent to
@@ -93,13 +111,46 @@ class Database {
   }
   size_t batch_size() const { return options_.planner.batch_size; }
 
+  /// Session query deadline; equivalent to `set timeout_ms = <n>`. 0 = none.
+  void set_timeout_ms(int64_t ms) { options_.timeout_ms = ms; }
+  int64_t timeout_ms() const { return options_.timeout_ms; }
+
+  /// Session per-query memory budget; equivalent to
+  /// `set memory_limit = <bytes>`. 0 = bounded only by the global budget.
+  void set_query_memory_limit(size_t bytes) {
+    options_.query_memory_limit = bytes;
+  }
+  size_t query_memory_limit() const { return options_.query_memory_limit; }
+
+  /// Concurrency cap; equivalent to `set max_concurrent_queries = <n>`.
+  /// 0 = admission control off.
+  void set_max_concurrent_queries(size_t n);
+  size_t max_concurrent_queries() const { return admission_.max_concurrent(); }
+
+  /// The global memory tracker (budget from global_memory_limit; unlimited
+  /// when that is 0). Per-query trackers are children of this one.
+  util::MemoryTracker* global_memory() { return &global_memory_; }
+  AdmissionController* admission() { return &admission_; }
+
   /// Runs a query:
   ///   select <aggregates and group columns> from <table>
   ///     [where <predicate>] [group by <columns>]
   /// or a pure selection:
   ///   select * from <table> [where <predicate>]
   /// Aggregates: sum/avg/min/max(expr), count(*); `as alias` supported.
+  /// `explain select ...` runs the (governed) query and returns one text
+  /// column describing the plan, governor state, and any degradation —
+  /// instead of the query's own rows.
+  ///
+  /// Every query runs under a QueryContext built from the session governor
+  /// knobs: an optional caller-supplied cancel token, the session deadline,
+  /// the per-query memory budget (child of the global tracker), and the
+  /// admission controller. Typed failures (kCancelled, kDeadlineExceeded,
+  /// kResourceExhausted) surface unless the planner's degradation ladder
+  /// absorbs them (DESIGN.md §10).
   util::Result<plan::QueryResult> Query(std::string_view sql);
+  util::Result<plan::QueryResult> Query(
+      std::string_view sql, std::shared_ptr<util::CancelToken> cancel);
 
   // --- plumbing ------------------------------------------------------------
   storage::SimulatedDisk* disk() { return &disk_; }
@@ -115,12 +166,23 @@ class Database {
 
   util::Result<TableState*> StateFor(std::string_view table);
 
+  /// The governed body of Query(): parse, admit, run under `ctx`.
+  util::Result<plan::QueryResult> RunQuery(std::string_view sql,
+                                           util::QueryContext* ctx);
+
   DatabaseOptions options_;
+  util::MemoryTracker global_memory_;
+  AdmissionController admission_;
   storage::SimulatedDisk disk_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::Catalog> catalog_;
   std::unordered_map<std::string, TableState> states_;
 };
+
+/// Renders a finished plan as an `explain` result: one String("explain")
+/// column, one row per line (plan kind, bucket census, dop, degradation
+/// marker, and the full explanation incl. governor notes).
+plan::QueryResult ExplainResult(const plan::PlanChoice& plan);
 
 }  // namespace smadb::db
 

@@ -228,10 +228,18 @@ std::string GroupTable::SerializeKey(const std::vector<Value>& key) {
   return out;
 }
 
+size_t GroupTable::EntryBytes(const std::string& skey,
+                              const std::vector<Value>& key) const {
+  // Map node + serialized key + key Values + per-aggregate accumulators.
+  return sizeof(Entry) + skey.capacity() + key.size() * sizeof(Value) +
+         aggs_->size() * (sizeof(int64_t) + 1) + 64;
+}
+
 GroupState* GroupTable::Get(const std::vector<Value>& key) {
   const std::string skey = SerializeKey(key);
   auto it = groups_.find(skey);
   if (it == groups_.end()) {
+    approx_bytes_ += EntryBytes(skey, key);
     it = groups_.emplace(skey, Entry{key, GroupState(aggs_)}).first;
   }
   return &it->second.state;
@@ -241,6 +249,7 @@ void GroupTable::MergeFrom(const GroupTable& o) {
   for (const auto& [skey, entry] : o.groups_) {
     auto it = groups_.find(skey);
     if (it == groups_.end()) {
+      approx_bytes_ += EntryBytes(skey, entry.key);
       groups_.emplace(skey, entry);
     } else {
       it->second.state.MergeFrom(entry.state);

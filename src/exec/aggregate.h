@@ -123,6 +123,12 @@ class GroupTable {
 
   size_t size() const { return groups_.size(); }
 
+  /// Estimated heap footprint, maintained incrementally as groups appear.
+  /// Operators charge the delta against the query's MemoryTracker at
+  /// bucket/batch granularity — the hash-grouping memory hot spot under
+  /// skew (DESIGN.md §10).
+  size_t approx_bytes() const { return approx_bytes_; }
+
  private:
   struct Entry {
     std::vector<util::Value> key;
@@ -131,8 +137,14 @@ class GroupTable {
 
   static std::string SerializeKey(const std::vector<util::Value>& key);
 
+  /// Estimated bytes one new entry adds (key strings + accumulators + map
+  /// node overhead).
+  size_t EntryBytes(const std::string& skey,
+                    const std::vector<util::Value>& key) const;
+
   const std::vector<AggSpec>* aggs_;
   std::map<std::string, Entry> groups_;
+  size_t approx_bytes_ = 0;
 };
 
 }  // namespace smadb::exec

@@ -58,6 +58,11 @@ class Filter final : public Operator {
     child_->AddRequiredBatchColumns(mask);
   }
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    child_->BindContext(ctx);
+  }
+
  private:
   std::unique_ptr<Operator> child_;
   expr::PredicatePtr pred_;

@@ -28,6 +28,17 @@ Status GAggr::Init() {
   SMADB_RETURN_NOT_OK(child_->Init());
 
   GroupTable groups(&aggs_);
+  // Charges against the query budget are deltas of the table's running
+  // footprint estimate, so repeated charges never double-count.
+  size_t charged = 0;
+  auto charge_groups = [&]() -> Status {
+    if (groups.approx_bytes() > charged) {
+      SMADB_RETURN_NOT_OK(
+          ChargeMemory(groups.approx_bytes() - charged, "GroupTable"));
+      charged = groups.approx_bytes();
+    }
+    return Status::OK();
+  };
   if (batch_size_ > 0) {
     // Vectorized consumption: project only what grouping, aggregation, and
     // the child's own predicates read, then run fused kernels per batch.
@@ -36,16 +47,25 @@ Status GAggr::Init() {
     child_->AddRequiredBatchColumns(&mask);
     Batch batch;
     batch.Configure(&child_->output_schema(), batch_size_, std::move(mask));
+    SMADB_RETURN_NOT_OK(ChargeMemory(batch.cols.ApproxBytes(), "ColumnBatch"));
     while (true) {
+      SMADB_RETURN_NOT_OK(CheckRuntime("GAggr"));
       SMADB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
       if (!has) break;
       aggregator.AddBatch(batch);
     }
     aggregator.FlushInto(&groups);
+    SMADB_RETURN_NOT_OK(charge_groups());
   } else {
     std::vector<Value> key(group_by_.size());
     TupleRef t;
+    size_t rows_since_check = 0;
     while (true) {
+      if (++rows_since_check >= kRowsPerCheck) {
+        rows_since_check = 0;
+        SMADB_RETURN_NOT_OK(CheckRuntime("GAggr"));
+        SMADB_RETURN_NOT_OK(charge_groups());
+      }
       SMADB_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
       if (!has) break;
       for (size_t i = 0; i < group_by_.size(); ++i) {
@@ -53,6 +73,7 @@ Status GAggr::Init() {
       }
       groups.Get(key)->AddTuple(t);
     }
+    SMADB_RETURN_NOT_OK(charge_groups());
   }
   SMADB_RETURN_NOT_OK(groups.Emit(&schema_, &results_));
   return Status::OK();

@@ -32,6 +32,11 @@ class GAggr final : public Operator {
 
   util::Result<bool> Next(storage::TupleRef* out) override;
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    child_->BindContext(ctx);
+  }
+
   size_t num_groups() const { return results_.size(); }
 
  private:

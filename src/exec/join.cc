@@ -59,7 +59,16 @@ Status HashJoin::Init() {
   SMADB_RETURN_NOT_OK(right_->Init());
   const Schema& rs = right_->output_schema();
   TupleRef t;
+  size_t rows_since_check = 0;
   while (true) {
+    // The build side materializes in memory — checkpoint + charge it
+    // against the budget at kRowsPerCheck granularity.
+    if (++rows_since_check >= kRowsPerCheck) {
+      rows_since_check = 0;
+      SMADB_RETURN_NOT_OK(CheckRuntime("HashJoin"));
+      SMADB_RETURN_NOT_OK(
+          ChargeMemory(kRowsPerCheck * rs.tuple_size(), "HashJoin"));
+    }
     SMADB_ASSIGN_OR_RETURN(bool has, right_->Next(&t));
     if (!has) break;
     TupleBuffer row(&rs);
@@ -190,6 +199,8 @@ Status SmaSemiJoin::NextBucket() {
   guard_.Release();
   const uint64_t buckets = r_->num_buckets();
   while (true) {
+    // Bucket-granular checkpoint (covers the prune loop too).
+    SMADB_RETURN_NOT_OK(CheckRuntime("SmaSemiJoin"));
     ++curr_bucket_;
     if (static_cast<uint64_t>(curr_bucket_) >= buckets) {
       done_ = true;

@@ -40,6 +40,12 @@ class HashJoin final : public Operator {
   util::Status Init() override;
   util::Result<bool> Next(storage::TupleRef* out) override;
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    left_->BindContext(ctx);
+    right_->BindContext(ctx);
+  }
+
  private:
   HashJoin(std::unique_ptr<Operator> left, size_t left_col,
            std::unique_ptr<Operator> right, size_t right_col,

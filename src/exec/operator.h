@@ -11,6 +11,7 @@
 #include "exec/batch.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace smadb::exec {
@@ -64,6 +65,30 @@ class Operator {
   virtual void AddRequiredBatchColumns(std::vector<bool>* mask) const {
     (void)mask;
   }
+
+  /// Binds the query's runtime governor (cancellation + deadline + memory
+  /// budget, DESIGN.md §10). Operators with children must propagate the
+  /// bind down the tree. Null (the default state) runs ungoverned; bind
+  /// before Init().
+  virtual void BindContext(util::QueryContext* ctx) { ctx_ = ctx; }
+
+ protected:
+  /// Null-safe cooperative checkpoint; operators call this at bucket/batch
+  /// granularity (never per tuple — one relaxed load plus a clock read).
+  util::Status CheckRuntime(std::string_view where) const {
+    return util::QueryContext::Check(ctx_, where);
+  }
+
+  /// Null-safe memory charge against the query budget.
+  util::Status ChargeMemory(size_t bytes, std::string_view component) const {
+    return util::QueryContext::Charge(ctx_, bytes, component);
+  }
+
+  /// Rows between checkpoints on row-at-a-time paths (roughly one page's
+  /// worth, so row and batch modes observe cancellation equally fast).
+  static constexpr size_t kRowsPerCheck = 512;
+
+  util::QueryContext* ctx_ = nullptr;
 };
 
 }  // namespace smadb::exec

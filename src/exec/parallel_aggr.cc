@@ -46,6 +46,7 @@ Status ParallelScanAggr::Init() {
     // after the parallel region. Null in row mode.
     std::unique_ptr<BatchAggregator> aggregator;
     Batch batch;
+    size_t charged = 0;  // bytes of `groups` already charged
     WorkerState(storage::Table* table, const std::vector<AggSpec>* aggs,
                 size_t key_width)
         : reader(table), groups(aggs), key(key_width) {}
@@ -65,13 +66,23 @@ Status ParallelScanAggr::Init() {
       std::vector<bool> mask = ws.aggregator->RequiredColumns();
       pred_->AddReferencedColumns(&mask);
       ws.batch.Configure(&table_->schema(), batch_size_, std::move(mask));
+      SMADB_RETURN_NOT_OK(
+          ChargeMemory(ws.batch.cols.ApproxBytes(), "ColumnBatch"));
     }
   }
 
+  // The cancel token reaches the claim loop itself: once tripped, no new
+  // morsel is scheduled, and ParallelFor's internal latch guarantees every
+  // worker has exited before we read their partial state below.
+  const util::CancelToken* cancel =
+      ctx_ != nullptr ? ctx_->cancel() : nullptr;
   SMADB_RETURN_NOT_OK(util::ThreadPool::Shared()->ParallelFor(
       0, source.num_buckets(), dop_,
       [&](size_t w, uint64_t b) -> Status {
         WorkerState& ws = workers[w];
+        // Bucket-granular checkpoint inside the morsel, so a deadline that
+        // expires mid-run is observed even between claim-loop checks.
+        SMADB_RETURN_NOT_OK(CheckRuntime("ParallelScanAggr"));
         Grade g = Grade::kAmbivalent;
         if (ws.grader != nullptr) {
           SMADB_ASSIGN_OR_RETURN(g, ws.grader->GradeBucket(b));
@@ -112,14 +123,28 @@ Status ParallelScanAggr::Init() {
           }
         }
         ws.reader.Close();
+        // Charge this bucket's group-table growth against the budget.
+        if (ws.groups.approx_bytes() > ws.charged) {
+          SMADB_RETURN_NOT_OK(ChargeMemory(
+              ws.groups.approx_bytes() - ws.charged, "GroupTable"));
+          ws.charged = ws.groups.approx_bytes();
+        }
         return Status::OK();
-      }));
+      },
+      cancel));
 
   GroupTable groups(&aggs_);
   for (WorkerState& ws : workers) {
     if (ws.aggregator != nullptr) ws.aggregator->FlushInto(&ws.groups);
+    const size_t before = groups.approx_bytes();
     groups.MergeFrom(ws.groups);
     stats_.Merge(ws.stats);
+    // Merge-phase growth carries its own component name so a budget trip
+    // here is attributable to the merge, not the scan.
+    if (groups.approx_bytes() > before) {
+      SMADB_RETURN_NOT_OK(
+          ChargeMemory(groups.approx_bytes() - before, "GroupTable.merge"));
+    }
   }
   SMADB_RETURN_NOT_OK(groups.Emit(&schema_, &results_));
   return Status::OK();

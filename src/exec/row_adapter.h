@@ -51,6 +51,11 @@ class RowAdapter final : public Operator {
     return true;
   }
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    child_->BindContext(ctx);
+  }
+
  private:
   std::unique_ptr<Operator> child_;
   size_t batch_size_;

@@ -242,6 +242,8 @@ Grade SmaGAggr::EffectiveGrade(Grade g, uint64_t b) const {
 Status SmaGAggr::ProcessBucket(Grade g, uint64_t b, GroupTable* groups,
                                BindingCursors* cursors, SmaScanStats* stats,
                                SmaGAggrBatchState* batch_state) {
+  // Bucket-granular cooperative checkpoint (every grade, every worker).
+  SMADB_RETURN_NOT_OK(CheckRuntime("SmaGAggr"));
   g = EffectiveGrade(g, b);
   stats->Tally(g);
   switch (g) {
@@ -250,6 +252,12 @@ Status SmaGAggr::ProcessBucket(Grade g, uint64_t b, GroupTable* groups,
     case Grade::kDisqualifies:
       return Status::OK();  // "do nothing"
     case Grade::kAmbivalent:
+      if (options_.sma_only) {
+        // Degraded rung: leave the bucket uninspected; the caller marks the
+        // answer partial via buckets_skipped().
+        buckets_skipped_.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }
       return ProcessAmbivalent(groups, b, batch_state);
   }
   return Status::OK();
@@ -259,6 +267,7 @@ Status SmaGAggr::Init() {
   results_.clear();
   next_ = 0;
   stats_ = SmaScanStats();
+  buckets_skipped_.store(0, std::memory_order_relaxed);
 
   BucketSource source(table_, pred_, smas_);
   GroupTable groups(&aggs_);
@@ -275,6 +284,11 @@ Status SmaGAggr::Init() {
     // The paper's single synchronized pass over relation and SMA-files.
     BindingCursors cursors = MakeCursors();
     std::unique_ptr<SmaGAggrBatchState> batch_state = make_batch_state();
+    if (batch_state != nullptr) {
+      SMADB_RETURN_NOT_OK(
+          ChargeMemory(batch_state->batch.cols.ApproxBytes(), "ColumnBatch"));
+    }
+    size_t charged = 0;
     BucketUnit unit;
     while (true) {
       SMADB_ASSIGN_OR_RETURN(bool has, source.NextGraded(&unit));
@@ -282,8 +296,17 @@ Status SmaGAggr::Init() {
       SMADB_RETURN_NOT_OK(ProcessBucket(unit.grade, unit.bucket, &groups,
                                         &cursors, &stats_,
                                         batch_state.get()));
+      if (groups.approx_bytes() > charged) {
+        SMADB_RETURN_NOT_OK(
+            ChargeMemory(groups.approx_bytes() - charged, "GroupTable"));
+        charged = groups.approx_bytes();
+      }
     }
     if (batch_state != nullptr) batch_state->aggregator.FlushInto(&groups);
+    if (groups.approx_bytes() > charged) {
+      SMADB_RETURN_NOT_OK(
+          ChargeMemory(groups.approx_bytes() - charged, "GroupTable"));
+    }
   } else {
     // Morsel-parallel: per-worker grader, cursors, census, and group table
     // (the morsels carry batches when batch_size > 0); exact merge
@@ -294,6 +317,7 @@ Status SmaGAggr::Init() {
       GroupTable groups;
       SmaScanStats stats;
       std::unique_ptr<SmaGAggrBatchState> batch_state;
+      size_t charged = 0;  // bytes of `groups` already charged
       explicit WorkerState(const std::vector<AggSpec>* aggs)
           : groups(aggs) {}
     };
@@ -304,21 +328,45 @@ Status SmaGAggr::Init() {
       workers.back().grader = source.NewGrader();
       workers.back().cursors = MakeCursors();
       workers.back().batch_state = make_batch_state();
+      if (workers.back().batch_state != nullptr) {
+        SMADB_RETURN_NOT_OK(ChargeMemory(
+            workers.back().batch_state->batch.cols.ApproxBytes(),
+            "ColumnBatch"));
+      }
     }
+    // The cancel token flows into the claim loop: once it trips, no further
+    // morsel is scheduled and the pool drains before we touch worker state.
+    const util::CancelToken* cancel =
+        ctx_ != nullptr ? ctx_->cancel() : nullptr;
     SMADB_RETURN_NOT_OK(util::ThreadPool::Shared()->ParallelFor(
         0, source.num_buckets(), dop,
         [&](size_t w, uint64_t b) -> Status {
           WorkerState& ws = workers[w];
           SMADB_ASSIGN_OR_RETURN(Grade g, ws.grader->GradeBucket(b));
-          return ProcessBucket(g, b, &ws.groups, &ws.cursors, &ws.stats,
-                               ws.batch_state.get());
-        }));
+          SMADB_RETURN_NOT_OK(ProcessBucket(g, b, &ws.groups, &ws.cursors,
+                                            &ws.stats,
+                                            ws.batch_state.get()));
+          if (ws.groups.approx_bytes() > ws.charged) {
+            SMADB_RETURN_NOT_OK(ChargeMemory(
+                ws.groups.approx_bytes() - ws.charged, "GroupTable"));
+            ws.charged = ws.groups.approx_bytes();
+          }
+          return Status::OK();
+        },
+        cancel));
     for (WorkerState& ws : workers) {
       if (ws.batch_state != nullptr) {
         ws.batch_state->aggregator.FlushInto(&ws.groups);
       }
+      const size_t before = groups.approx_bytes();
       groups.MergeFrom(ws.groups);
       stats_.Merge(ws.stats);
+      // Merge-phase growth is charged under its own component so budget
+      // failures name the phase that tripped them.
+      if (groups.approx_bytes() > before) {
+        SMADB_RETURN_NOT_OK(ChargeMemory(groups.approx_bytes() - before,
+                                         "GroupTable.merge"));
+      }
     }
   }
 

@@ -24,6 +24,7 @@
 #ifndef SMADB_EXEC_SMA_GAGGR_H_
 #define SMADB_EXEC_SMA_GAGGR_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -53,6 +54,12 @@ struct SmaGAggrOptions {
   /// BatchAggregator kernels), 0 keeps tuple-at-a-time. Qualifying buckets
   /// always read SMA entries only; results are identical either way.
   size_t batch_size = 0;
+  /// Degraded SMA-only mode (the bottom rung of the planner's degradation
+  /// ladder, DESIGN.md §10): ambivalent buckets are *skipped* instead of
+  /// fetched, so the answer covers qualifying buckets only. The result is a
+  /// lower bound, NOT exact — callers must surface the partial marker
+  /// (buckets_skipped() reports how many buckets went uninspected).
+  bool sma_only = false;
 };
 
 /// Per-worker state of the vectorized ambivalent path (defined in the .cc).
@@ -78,6 +85,11 @@ class SmaGAggr final : public Operator {
 
   const SmaScanStats& stats() const { return stats_; }
   size_t num_groups() const { return results_.size(); }
+
+  /// Ambivalent buckets left uninspected by sma_only mode (0 otherwise).
+  uint64_t buckets_skipped() const {
+    return buckets_skipped_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One aggregate's SMA source: the SMA and each SMA group's key projected
@@ -143,6 +155,8 @@ class SmaGAggr final : public Operator {
   std::vector<storage::TupleBuffer> results_;
   size_t next_ = 0;
   SmaScanStats stats_;
+  // Atomic: bumped from parallel workers in sma_only mode.
+  std::atomic<uint64_t> buckets_skipped_{0};
 };
 
 }  // namespace smadb::exec

@@ -20,6 +20,9 @@ Status SmaScan::GetBucket() {
   //  while (currGrade != qualifies and currGrade != ambivalent)"
   BucketUnit unit;
   while (true) {
+    // Bucket-granular cooperative checkpoint: covers both the skip loop
+    // over disqualifying buckets and every bucket actually fetched.
+    SMADB_RETURN_NOT_OK(CheckRuntime("SmaScan"));
     SMADB_ASSIGN_OR_RETURN(bool has, source_.NextGraded(&unit));
     if (!has) {
       done_ = true;

@@ -33,7 +33,16 @@ Status Sort::Init() {
   SMADB_RETURN_NOT_OK(child_->Init());
   const storage::Schema& schema = child_->output_schema();
   TupleRef t;
+  size_t rows_since_check = 0;
   while (true) {
+    // The sort buffer materializes the whole input — check the governor
+    // and charge the buffered rows against the budget every kRowsPerCheck.
+    if (++rows_since_check >= kRowsPerCheck) {
+      rows_since_check = 0;
+      SMADB_RETURN_NOT_OK(CheckRuntime("Sort"));
+      SMADB_RETURN_NOT_OK(
+          ChargeMemory(kRowsPerCheck * schema.tuple_size(), "Sort"));
+    }
     SMADB_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
     if (!has) break;
     TupleBuffer row(&schema);

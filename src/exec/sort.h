@@ -31,6 +31,11 @@ class Sort final : public Operator {
   util::Status Init() override;
   util::Result<bool> Next(storage::TupleRef* out) override;
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    child_->BindContext(ctx);
+  }
+
  private:
   Sort(std::unique_ptr<Operator> child, std::vector<SortKey> keys,
        size_t limit)

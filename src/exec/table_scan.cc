@@ -7,12 +7,17 @@ using util::Result;
 using util::Status;
 
 Status TableScan::Init() {
+  rows_since_check_ = 0;
   // One contiguous page range: the whole heap.
   return reader_.Open(0, table_->num_pages());
 }
 
 Result<bool> TableScan::Next(TupleRef* out) {
   while (true) {
+    if (++rows_since_check_ >= kRowsPerCheck) {
+      rows_since_check_ = 0;
+      SMADB_RETURN_NOT_OK(CheckRuntime("TableScan"));
+    }
     SMADB_ASSIGN_OR_RETURN(bool has, reader_.Next(out));
     if (!has) return false;
     if (pred_->Eval(*out)) return true;
@@ -20,6 +25,7 @@ Result<bool> TableScan::Next(TupleRef* out) {
 }
 
 Result<bool> TableScan::NextBatch(Batch* out) {
+  SMADB_RETURN_NOT_OK(CheckRuntime("TableScan"));
   out->Clear();
   SMADB_ASSIGN_OR_RETURN(bool has, reader_.NextBatch(&out->cols));
   if (!has) return false;

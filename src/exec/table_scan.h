@@ -38,6 +38,7 @@ class TableScan final : public Operator {
   storage::Table* table_;
   expr::PredicatePtr pred_;
   BucketReader reader_;
+  size_t rows_since_check_ = 0;
 };
 
 }  // namespace smadb::exec

@@ -27,6 +27,17 @@ std::string BatchNote(size_t batch_size) {
   return util::Format(", vectorized(batch=%zu)", batch_size);
 }
 
+// Appends the governor's budget/deadline summary and any degradation
+// decisions to the plan explanation — same style as the fallback reasons
+// (`explain` surfaces this verbatim).
+void AnnotateGovernor(PlanChoice* plan, const util::QueryContext* ctx) {
+  if (ctx == nullptr) return;
+  const std::string gov = ctx->GovernorNote();
+  if (!gov.empty()) plan->explanation += "; governor: " + gov;
+  const std::string notes = ctx->DegradationNotes();
+  if (!notes.empty()) plan->explanation += "; " + notes;
+}
+
 }  // namespace
 
 std::string_view PlanKindToString(PlanKind k) {
@@ -64,7 +75,8 @@ std::string QueryResult::ToString() const {
 }
 
 Status Planner::Census(storage::Table* table, const expr::PredicatePtr& pred,
-                       PlanChoice* choice) const {
+                       PlanChoice* choice,
+                       const util::QueryContext* ctx) const {
   exec::BucketSource source(table, pred, smas_);
   if (!source.has_sma_support()) {
     // No SMA grades anything; report everything ambivalent without reading.
@@ -74,6 +86,7 @@ Status Planner::Census(storage::Table* table, const expr::PredicatePtr& pred,
   exec::SmaScanStats stats;
   exec::BucketUnit unit;
   while (true) {
+    SMADB_RETURN_NOT_OK(util::QueryContext::Check(ctx, "Census"));
     SMADB_ASSIGN_OR_RETURN(bool has, source.NextGraded(&unit));
     if (!has) break;
     stats.Tally(unit.grade);
@@ -126,7 +139,8 @@ size_t Planner::PlanDop(uint64_t fetch_buckets) const {
       std::min<uint64_t>(static_cast<uint64_t>(requested), cap));
 }
 
-Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
+Result<PlanChoice> Planner::Choose(const AggQuery& query,
+                                   const util::QueryContext* ctx) const {
   PlanChoice choice;
   if (smas_ == nullptr || smas_->size() == 0) {
     choice.kind = PlanKind::kScanAggr;
@@ -142,7 +156,7 @@ Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
   if (!trust_issue.empty()) {
     return Demoted(query.table->num_buckets(), /*select=*/false, trust_issue);
   }
-  const Status census = Census(query.table, query.pred, &choice);
+  const Status census = Census(query.table, query.pred, &choice, ctx);
   if (!census.ok()) {
     if (census.code() == StatusCode::kCorruption) DistrustCorrupted(census);
     if (census.code() == StatusCode::kCorruption ||
@@ -198,7 +212,8 @@ Result<PlanChoice> Planner::Choose(const AggQuery& query) const {
   return choice;
 }
 
-Result<PlanChoice> Planner::ChooseSelect(const SelectQuery& query) const {
+Result<PlanChoice> Planner::ChooseSelect(const SelectQuery& query,
+                                         const util::QueryContext* ctx) const {
   PlanChoice choice;
   if (smas_ == nullptr || smas_->size() == 0) {
     choice.kind = PlanKind::kScan;
@@ -211,7 +226,7 @@ Result<PlanChoice> Planner::ChooseSelect(const SelectQuery& query) const {
   if (!trust_issue.empty()) {
     return Demoted(query.table->num_buckets(), /*select=*/true, trust_issue);
   }
-  const Status census = Census(query.table, query.pred, &choice);
+  const Status census = Census(query.table, query.pred, &choice, ctx);
   if (!census.ok()) {
     if (census.code() == StatusCode::kCorruption) DistrustCorrupted(census);
     if (census.code() == StatusCode::kCorruption ||
@@ -308,12 +323,18 @@ Result<std::unique_ptr<Operator>> Planner::BuildSelect(
   }
 }
 
-Result<QueryResult> RunToCompletion(Operator* op) {
+Result<QueryResult> RunToCompletion(Operator* op,
+                                    const util::QueryContext* ctx) {
   SMADB_RETURN_NOT_OK(op->Init());
   QueryResult result;
   result.schema = std::make_shared<storage::Schema>(op->output_schema());
   TupleRef t;
+  size_t rows_since_check = 0;
   while (true) {
+    if (++rows_since_check >= 512) {
+      rows_since_check = 0;
+      SMADB_RETURN_NOT_OK(util::QueryContext::Check(ctx, "RunToCompletion"));
+    }
     SMADB_ASSIGN_OR_RETURN(bool has, op->Next(&t));
     if (!has) break;
     TupleBuffer row(result.schema.get());
@@ -337,44 +358,99 @@ bool DemotableFailure(const Status& s) {
 
 }  // namespace
 
-Result<QueryResult> Planner::Execute(const AggQuery& query) const {
-  SMADB_ASSIGN_OR_RETURN(PlanChoice choice, Choose(query));
+Result<QueryResult> Planner::Execute(const AggQuery& query,
+                                     util::QueryContext* ctx) const {
+  SMADB_ASSIGN_OR_RETURN(PlanChoice choice, Choose(query, ctx));
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
                          Build(query, choice.kind, choice.dop));
-  Result<QueryResult> run = RunToCompletion(op.get());
+  if (ctx != nullptr) op->BindContext(ctx);
+  Result<QueryResult> run = RunToCompletion(op.get(), ctx);
   if (run.ok()) {
     run->plan = choice;
+    AnnotateGovernor(&run->plan, ctx);
     return run;
   }
   const bool sma_plan = choice.kind == PlanKind::kSmaGAggr ||
                         choice.kind == PlanKind::kSmaScanAggr;
-  if (!sma_plan || !DemotableFailure(run.status())) return run.status();
-  // The SMA plan died mid-run on bad storage. Base data is authoritative:
-  // rerun as a sequential scan (which still surfaces base-table errors).
-  if (run.status().code() == StatusCode::kCorruption) {
-    DistrustCorrupted(run.status());
+  if (sma_plan && DemotableFailure(run.status())) {
+    // The SMA plan died mid-run on bad storage. Base data is authoritative:
+    // rerun as a sequential scan (which still surfaces base-table errors).
+    if (run.status().code() == StatusCode::kCorruption) {
+      DistrustCorrupted(run.status());
+    }
+    PlanChoice fallback =
+        Demoted(query.table->num_buckets(), /*select=*/false,
+                std::string(PlanKindToString(choice.kind)) +
+                    " failed mid-run (" + run.status().message() + ")");
+    SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> rerun,
+                           Build(query, PlanKind::kScanAggr, fallback.dop));
+    if (ctx != nullptr) rerun->BindContext(ctx);
+    SMADB_ASSIGN_OR_RETURN(QueryResult result,
+                           RunToCompletion(rerun.get(), ctx));
+    result.plan = fallback;
+    AnnotateGovernor(&result.plan, ctx);
+    return result;
   }
-  PlanChoice fallback =
-      Demoted(query.table->num_buckets(), /*select=*/false,
-              std::string(PlanKindToString(choice.kind)) +
-                  " failed mid-run (" + run.status().message() + ")");
-  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> rerun,
-                         Build(query, PlanKind::kScanAggr, fallback.dop));
-  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(rerun.get()));
-  result.plan = fallback;
-  return result;
+  // Degradation ladder rung 2 (DESIGN.md §10): a vectorized plan that blew
+  // its memory budget reruns in row mode — the column batches were the
+  // incremental cost, and the row path produces bit-identical results. The
+  // budget is reset for the rerun (monotone per-run charges start over).
+  if (ctx != nullptr &&
+      run.status().code() == StatusCode::kResourceExhausted &&
+      options_.batch_size > 0) {
+    ctx->BeginDegradedRun("demoted vectorized plan to row mode (" +
+                          run.status().message() + ")");
+    PlannerOptions row_options = options_;
+    row_options.batch_size = 0;
+    Planner row_planner(smas_, row_options);
+    return row_planner.Execute(query, ctx);
+  }
+  // Rung 3: a SMA_GAggr plan that cannot finish under its deadline or
+  // budget still answers from the SMA-files alone — qualifying buckets
+  // only, ambivalent buckets skipped, result explicitly marked degraded.
+  // The deadline is lifted as grace: the SMA-only pass reads tiny files.
+  if (ctx != nullptr && options_.allow_degraded &&
+      choice.kind == PlanKind::kSmaGAggr &&
+      (run.status().code() == StatusCode::kResourceExhausted ||
+       run.status().code() == StatusCode::kDeadlineExceeded)) {
+    ctx->BeginDegradedRun("degraded to SMA-only partial answer (" +
+                          run.status().message() + ")");
+    exec::SmaGAggrOptions sma_options;
+    sma_options.degree_of_parallelism = choice.dop;
+    sma_options.sma_only = true;  // never decodes bucket data
+    SMADB_ASSIGN_OR_RETURN(
+        std::unique_ptr<SmaGAggr> sma_op,
+        SmaGAggr::Make(query.table, query.pred, query.group_by, query.aggs,
+                       smas_, sma_options));
+    sma_op->BindContext(ctx);
+    SMADB_ASSIGN_OR_RETURN(QueryResult result,
+                           RunToCompletion(sma_op.get(), ctx));
+    result.plan = choice;
+    result.plan.degraded = true;
+    result.plan.explanation += util::Format(
+        "; partial: %llu ambivalent buckets skipped",
+        static_cast<unsigned long long>(sma_op->buckets_skipped()));
+    AnnotateGovernor(&result.plan, ctx);
+    return result;
+  }
+  return run.status();
 }
 
-Result<QueryResult> Planner::ExecuteSelect(const SelectQuery& query) const {
-  SMADB_ASSIGN_OR_RETURN(PlanChoice choice, ChooseSelect(query));
+Result<QueryResult> Planner::ExecuteSelect(const SelectQuery& query,
+                                           util::QueryContext* ctx) const {
+  SMADB_ASSIGN_OR_RETURN(PlanChoice choice, ChooseSelect(query, ctx));
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
                          BuildSelect(query, choice.kind));
-  Result<QueryResult> run = RunToCompletion(op.get());
+  if (ctx != nullptr) op->BindContext(ctx);
+  Result<QueryResult> run = RunToCompletion(op.get(), ctx);
   if (run.ok()) {
     run->plan = choice;
+    AnnotateGovernor(&run->plan, ctx);
     return run;
   }
   if (choice.kind != PlanKind::kSmaScan || !DemotableFailure(run.status())) {
+    // Selections have no SMA-only partial form (rows cannot be conjured
+    // from summaries), so governor errors propagate typed.
     return run.status();
   }
   if (run.status().code() == StatusCode::kCorruption) {
@@ -386,8 +462,10 @@ Result<QueryResult> Planner::ExecuteSelect(const SelectQuery& query) const {
                   " failed mid-run (" + run.status().message() + ")");
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> rerun,
                          BuildSelect(query, PlanKind::kScan));
-  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(rerun.get()));
+  if (ctx != nullptr) rerun->BindContext(ctx);
+  SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(rerun.get(), ctx));
   result.plan = fallback;
+  AnnotateGovernor(&result.plan, ctx);
   return result;
 }
 

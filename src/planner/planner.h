@@ -35,6 +35,7 @@
 #include "exec/sma_scan.h"
 #include "exec/table_scan.h"
 #include "sma/sma_set.h"
+#include "util/query_context.h"
 
 namespace smadb::plan {
 
@@ -67,6 +68,11 @@ struct PlanChoice {
   /// Workers the plan will run with (1 = serial; chosen per plan so that
   /// small bucket counts never pay thread overhead).
   size_t dop = 1;
+  /// Set when the answer is a degraded SMA-only partial result (ambivalent
+  /// buckets skipped under deadline/budget pressure, DESIGN.md §10). A
+  /// degraded answer is a lower bound, never silently passed off as exact —
+  /// consumers must surface this marker.
+  bool degraded = false;
   std::string explanation;
 
   uint64_t total_buckets() const {
@@ -104,6 +110,11 @@ struct PlannerOptions {
   /// BatchAggregator kernels. 0 reverts to tuple-at-a-time. Results are
   /// identical either way; selection (select *) plans always return rows.
   size_t batch_size = exec::kDefaultBatchSize;
+  /// Allow the bottom rung of the degradation ladder: when a SMA_GAggr plan
+  /// runs out of deadline or memory, answer from SMAs alone (skipping
+  /// ambivalent buckets) with an explicit `degraded` marker instead of
+  /// failing. Off = the typed error propagates.
+  bool allow_degraded = true;
 };
 
 class Planner {
@@ -112,9 +123,15 @@ class Planner {
   explicit Planner(const sma::SmaSet* smas, PlannerOptions options = {})
       : smas_(smas), options_(options) {}
 
-  /// Grades all buckets (cheap: SMA-files only) and picks a plan.
-  util::Result<PlanChoice> Choose(const AggQuery& query) const;
-  util::Result<PlanChoice> ChooseSelect(const SelectQuery& query) const;
+  /// Grades all buckets (cheap: SMA-files only) and picks a plan. `ctx`
+  /// (optional) governs the grading pass itself — a deadline that expires
+  /// during the census is observed per bucket.
+  util::Result<PlanChoice> Choose(const AggQuery& query,
+                                  const util::QueryContext* ctx = nullptr)
+      const;
+  util::Result<PlanChoice> ChooseSelect(
+      const SelectQuery& query,
+      const util::QueryContext* ctx = nullptr) const;
 
   /// Instantiates the operator tree for a choice. `dop` > 1 swaps in the
   /// morsel-parallel forms (ParallelScanAggr, parallel SMA_GAggr); the
@@ -125,14 +142,24 @@ class Planner {
   util::Result<std::unique_ptr<exec::Operator>> BuildSelect(
       const SelectQuery& query, PlanKind kind) const;
 
-  /// Choose + Build + run to completion.
-  util::Result<QueryResult> Execute(const AggQuery& query) const;
-  util::Result<QueryResult> ExecuteSelect(const SelectQuery& query) const;
+  /// Choose + Build + run to completion. `ctx` (optional) is the query's
+  /// runtime governor; when bound, failures walk the degradation ladder
+  /// (DESIGN.md §10): a vectorized plan that exhausts its memory budget is
+  /// demoted to row mode, and a SMA_GAggr plan that still cannot finish
+  /// under the deadline/budget answers from SMAs alone with the result
+  /// marked `degraded`. Typed errors (kCancelled, kDeadlineExceeded,
+  /// kResourceExhausted) propagate when no rung applies — never a hang,
+  /// never a silent wrong answer.
+  util::Result<QueryResult> Execute(const AggQuery& query,
+                                    util::QueryContext* ctx = nullptr) const;
+  util::Result<QueryResult> ExecuteSelect(
+      const SelectQuery& query, util::QueryContext* ctx = nullptr) const;
 
  private:
   /// Bucket census for a predicate: fills q/d/a of `choice`.
   util::Status Census(storage::Table* table, const expr::PredicatePtr& pred,
-                      PlanChoice* choice) const;
+                      PlanChoice* choice,
+                      const util::QueryContext* ctx) const;
 
   /// The bottom rung of the degradation ladder: a full-scan choice whose
   /// explanation records why the SMA plan was demoted.
@@ -151,8 +178,11 @@ class Planner {
   PlannerOptions options_;
 };
 
-/// Runs any operator to completion, copying its output rows.
-util::Result<QueryResult> RunToCompletion(exec::Operator* op);
+/// Runs any operator to completion, copying its output rows. `ctx`
+/// (optional) adds a cooperative checkpoint to the result-copy loop.
+util::Result<QueryResult> RunToCompletion(exec::Operator* op,
+                                          const util::QueryContext* ctx =
+                                              nullptr);
 
 }  // namespace smadb::plan
 

@@ -97,8 +97,14 @@ Result<PageGuard> BufferPool::Fetch(FileId file, uint32_t page_no) {
     // page (or freed a frame) while we slept.
     auto it = table_.find(key);
     if (it != table_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
       Frame& fr = frames_[it->second];
+      // Pin transition 0 -> 1 charges the page against the governor's
+      // tracker; rejection leaves the frame cached and unpinned.
+      if (fr.pin_count == 0 && options_.pin_tracker != nullptr) {
+        SMADB_RETURN_NOT_OK(
+            options_.pin_tracker->TryCharge(kPageSize, "BufferPool.pins"));
+      }
+      hits_.fetch_add(1, std::memory_order_relaxed);
       if (fr.pin_count == 0 && fr.in_lru) {
         lru_.erase(fr.lru_pos);
         fr.in_lru = false;
@@ -127,6 +133,14 @@ Result<PageGuard> BufferPool::Fetch(FileId file, uint32_t page_no) {
     const size_t idx = *idx_r;
     misses_.fetch_add(1, std::memory_order_relaxed);
     SMADB_RETURN_NOT_OK(LoadFrameLocked(idx, file, page_no));
+    if (options_.pin_tracker != nullptr) {
+      Status charge =
+          options_.pin_tracker->TryCharge(kPageSize, "BufferPool.pins");
+      if (!charge.ok()) {
+        free_list_.push_back(idx);
+        return charge;
+      }
+    }
     Frame& fr = frames_[idx];
     fr.file = file;
     fr.page_no = page_no;
@@ -158,7 +172,23 @@ Result<PageGuard> BufferPool::NewPage(FileId file, uint32_t* page_no_out) {
     }
     return idx_r.status();
   }
-  SMADB_ASSIGN_OR_RETURN(uint32_t page_no, disk_->AllocatePage(file));
+  if (options_.pin_tracker != nullptr) {
+    Status charge =
+        options_.pin_tracker->TryCharge(kPageSize, "BufferPool.pins");
+    if (!charge.ok()) {
+      free_list_.push_back(*idx_r);
+      return charge;
+    }
+  }
+  Result<uint32_t> page_no_r = disk_->AllocatePage(file);
+  if (!page_no_r.ok()) {
+    if (options_.pin_tracker != nullptr) {
+      options_.pin_tracker->Release(kPageSize, "BufferPool.pins");
+    }
+    free_list_.push_back(*idx_r);
+    return page_no_r.status();
+  }
+  const uint32_t page_no = *page_no_r;
   if (page_no_out != nullptr) *page_no_out = page_no;
   Frame& fr = frames_[*idx_r];
   fr.page.Zero();
@@ -178,6 +208,9 @@ void BufferPool::Unpin(size_t frame, bool dirty) {
   assert(fr.pin_count > 0);
   if (dirty) fr.dirty = true;
   if (--fr.pin_count == 0) {
+    if (options_.pin_tracker != nullptr) {
+      options_.pin_tracker->Release(kPageSize, "BufferPool.pins");
+    }
     lru_.push_front(frame);
     fr.lru_pos = lru_.begin();
     fr.in_lru = true;

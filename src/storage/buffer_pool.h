@@ -35,6 +35,7 @@
 
 #include "storage/disk.h"
 #include "storage/page.h"
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace smadb::storage {
@@ -67,6 +68,11 @@ struct BufferPoolOptions {
   /// Fetch/NewPage fail with kResourceExhausted.
   int pinned_wait_rounds = 64;
   std::chrono::milliseconds pinned_wait_quantum{1};
+  /// Optional governor hook (DESIGN.md §10): every pin's page is charged
+  /// against this tracker (component "BufferPool.pins") while pinned, so
+  /// pinned working memory counts toward the global budget. Null = off.
+  /// Charge rejection surfaces from Fetch/NewPage as kResourceExhausted.
+  util::MemoryTracker* pin_tracker = nullptr;
 };
 
 class BufferPool;

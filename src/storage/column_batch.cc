@@ -40,6 +40,26 @@ void ColumnBatch::Configure(const Schema* schema, size_t capacity,
   }
 }
 
+size_t ColumnBatch::ApproxBytes() const {
+  if (schema_ == nullptr) return 0;
+  size_t bytes = 0;
+  for (size_t c = 0; c < schema_->num_fields(); ++c) {
+    if (!decoded_[c]) continue;
+    switch (schema_->field(c).type) {
+      case TypeId::kDouble:
+        bytes += capacity_ * sizeof(double);
+        break;
+      case TypeId::kString:
+        bytes += capacity_ * schema_->field(c).capacity;
+        break;
+      default:
+        bytes += capacity_ * sizeof(int64_t);
+        break;
+    }
+  }
+  return bytes;
+}
+
 void ColumnBatch::Clear() {
   num_rows_ = 0;
   for (ColumnVector& cv : cols_) {

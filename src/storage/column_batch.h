@@ -189,6 +189,11 @@ class ColumnBatch {
   /// full projection — the row-adapter path.
   void MaterializeRow(size_t row, TupleBuffer* out) const;
 
+  /// Estimated heap footprint of a configured batch: the bytes Configure
+  /// reserves for the projected columns. Operators charge this against the
+  /// query's MemoryTracker once per Configure (DESIGN.md §10).
+  size_t ApproxBytes() const;
+
  private:
   /// Per-column storage; only the member matching the column type is used.
   struct ColumnVector {

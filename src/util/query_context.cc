@@ -1,0 +1,160 @@
+#include "util/query_context.h"
+
+#include <algorithm>
+
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace smadb::util {
+
+std::string FormatBytes(size_t bytes) {
+  if (bytes < 1024) return Format("%zu B", bytes);
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  if (kb < 1024.0) return Format("%.1f KB", kb);
+  const double mb = kb / 1024.0;
+  if (mb < 1024.0) return Format("%.1f MB", mb);
+  return Format("%.1f GB", mb / 1024.0);
+}
+
+Status CancelToken::Check(std::string_view where) const {
+  // Failpoint: deliver a user cancel at exactly this checkpoint.
+  if (fault::Hit("governor.cancel", where).has_value()) {
+    const_cast<CancelToken*>(this)->Cancel();
+  }
+  if (cancel_requested()) {
+    return Status::Cancelled("query cancelled at " + std::string(where));
+  }
+  const int64_t d = deadline_ns_.load(std::memory_order_acquire);
+  if (d != 0) {
+    const int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    if (now >= d) {
+      return Status::DeadlineExceeded(
+          Format("query deadline exceeded at %s (%.1f ms past deadline)",
+                 std::string(where).c_str(),
+                 static_cast<double>(now - d) / 1e6));
+    }
+  }
+  return Status::OK();
+}
+
+Status MemoryTracker::TryCharge(size_t bytes, std::string_view component) {
+  const bool injected = fault::Hit("governor.charge", component).has_value();
+  const size_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+  if (injected || (limit_ > 0 && prev + bytes > limit_)) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    std::string msg = Format(
+        "memory budget exceeded: charging %s to component '%s' would "
+        "put tracker '%s' over its %s limit",
+        FormatBytes(bytes).c_str(), std::string(component).c_str(),
+        name_.c_str(),
+        limit_ > 0 ? FormatBytes(limit_).c_str() : "(injected)");
+    msg += " — " + Breakdown();
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  if (parent_ != nullptr) {
+    Status up = parent_->TryCharge(bytes, component);
+    if (!up.ok()) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return up;
+    }
+  }
+  // Peak is advisory; a stale max lost to a race only under-reports.
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (prev + bytes > peak &&
+         !peak_.compare_exchange_weak(peak, prev + bytes,
+                                      std::memory_order_relaxed)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    by_component_[std::string(component)] += bytes;
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(size_t bytes, std::string_view component) {
+  if (bytes == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_component_.find(std::string(component));
+    if (it != by_component_.end()) {
+      it->second -= std::min(it->second, bytes);
+      if (it->second == 0) by_component_.erase(it);
+    }
+  }
+  size_t cur = used_.load(std::memory_order_relaxed);
+  size_t clamped;
+  do {
+    clamped = std::min(cur, bytes);
+  } while (!used_.compare_exchange_weak(cur, cur - clamped,
+                                        std::memory_order_relaxed));
+  if (parent_ != nullptr) parent_->Release(clamped, component);
+}
+
+void MemoryTracker::ReleaseAll() {
+  std::map<std::string, size_t> components;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    components.swap(by_component_);
+  }
+  used_.store(0, std::memory_order_relaxed);
+  if (parent_ != nullptr) {
+    for (const auto& [component, bytes] : components) {
+      parent_->Release(bytes, component);
+    }
+  }
+}
+
+std::string MemoryTracker::Breakdown() const {
+  std::string out = Format("%s used=%s", name_.c_str(),
+                           FormatBytes(used()).c_str());
+  if (limit_ > 0) out += " limit=" + FormatBytes(limit_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!by_component_.empty()) {
+    out += " (";
+    bool first = true;
+    for (const auto& [component, bytes] : by_component_) {
+      if (!first) out += ", ";
+      first = false;
+      out += component + "=" + FormatBytes(bytes);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+void QueryContext::NoteDegradation(std::string note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  degradations_.push_back(std::move(note));
+}
+
+std::string QueryContext::DegradationNotes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::string& n : degradations_) {
+    if (!out.empty()) out += "; ";
+    out += n;
+  }
+  return out;
+}
+
+void QueryContext::BeginDegradedRun(std::string note) {
+  NoteDegradation(std::move(note));
+  memory_.ReleaseAll();
+  owned_cancel_->ClearDeadline();
+}
+
+std::string QueryContext::GovernorNote() const {
+  std::string out;
+  if (timeout_ms_ > 0) {
+    out += Format("deadline=%llums",
+                  static_cast<unsigned long long>(timeout_ms_));
+  }
+  if (memory_.limit() > 0) {
+    if (!out.empty()) out += ", ";
+    out += "memory_limit=" + FormatBytes(memory_.limit());
+  }
+  return out;
+}
+
+}  // namespace smadb::util

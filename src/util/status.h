@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kCorruption = 7,
   kInternal = 8,
   kResourceExhausted = 9,
+  kCancelled = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Human-readable name of a status code ("OK", "Invalid argument", ...).
@@ -63,6 +65,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -46,11 +46,15 @@ void ThreadPool::WorkerLoop() {
 
 Status ThreadPool::ParallelFor(
     uint64_t begin, uint64_t end, size_t dop,
-    const std::function<Status(size_t worker, uint64_t index)>& fn) {
+    const std::function<Status(size_t worker, uint64_t index)>& fn,
+    const CancelToken* cancel) {
   if (begin >= end) return Status::OK();
   dop = std::min<size_t>(std::max<size_t>(dop, 1), end - begin);
   if (dop == 1) {
     for (uint64_t i = begin; i < end; ++i) {
+      if (cancel != nullptr && cancel->ShouldStop()) {
+        return cancel->Check("ParallelFor");
+      }
       SMADB_RETURN_NOT_OK(fn(0, i));
     }
     return Status::OK();
@@ -67,8 +71,11 @@ Status ThreadPool::ParallelFor(
   SharedState state;
   state.next.store(begin, std::memory_order_relaxed);
 
-  auto run_worker = [&state, end, &fn](size_t worker) {
+  auto run_worker = [&state, end, &fn, cancel](size_t worker) {
     while (!state.failed.load(std::memory_order_relaxed)) {
+      // The stop flag is observed before every claim: once tripped, no new
+      // morsel is scheduled; the worker simply falls out of the loop.
+      if (cancel != nullptr && cancel->ShouldStop()) return;
       const uint64_t i = state.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end) return;
       Status s = fn(worker, i);
@@ -88,9 +95,14 @@ Status ThreadPool::ParallelFor(
     });
   }
   run_worker(0);
-  done.wait();
+  done.wait();  // every worker has exited fn — a clean drain
 
   if (state.failed.load()) return state.first_error;
+  if (cancel != nullptr &&
+      state.next.load(std::memory_order_relaxed) < end &&
+      cancel->ShouldStop()) {
+    return cancel->Check("ParallelFor");
+  }
   return Status::OK();
 }
 

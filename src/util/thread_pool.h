@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace smadb::util {
@@ -47,9 +48,18 @@ class ThreadPool {
   /// amortized-sequential. `worker` is a stable id in [0, dop) for
   /// indexing per-worker state. Stops claiming after the first error and
   /// returns it. dop <= 1 runs everything inline on the caller.
+  ///
+  /// `cancel` (optional) is the cooperative stop flag: once it trips, no
+  /// further index is claimed — queued work is abandoned, in-flight
+  /// invocations finish, and every worker has exited `fn` by the time this
+  /// returns (a clean drain; no worker touches caller state afterwards).
+  /// When cancellation stopped the loop before completion and no worker
+  /// error occurred, the token's own status (kCancelled or
+  /// kDeadlineExceeded) is returned.
   util::Status ParallelFor(
       uint64_t begin, uint64_t end, size_t dop,
-      const std::function<util::Status(size_t worker, uint64_t index)>& fn);
+      const std::function<util::Status(size_t worker, uint64_t index)>& fn,
+      const CancelToken* cancel = nullptr);
 
   /// Process-wide pool shared by all query execution, sized
   /// DefaultDop() - 1 so that pool workers plus the calling thread use

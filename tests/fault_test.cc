@@ -486,6 +486,59 @@ TEST_F(FaultQueryTest, ExecuteFallsBackWhenSmaPlanDiesMidRun) {
   EXPECT_FALSE(Unwrap(smas->Find("sum_v"))->trusted());
 }
 
+// Governor x fault interaction: a user cancel that lands while the storage
+// layer is absorbing transient read faults must not race the retry loop —
+// the bounded retries complete (stats prove they ran), and the query then
+// stops with kCancelled at its next checkpoint. Order matters: retry first,
+// cancel second, never a torn page surfacing as a different error.
+TEST_F(FaultQueryTest, CancelDuringTransientRetryFinishesRetryThenCancels) {
+  Setup(testing::Layout::kNoisy, "cr");
+  query.pred = DatePred(CmpOp::kLe, 120);
+  Planner planner(smas.get());
+  ExpectOk(db.pool.FlushAll());
+  ExpectOk(db.pool.DropAll());
+  db.pool.ResetStats();
+  // Two transient base-page read faults, absorbed early in the scan...
+  util::fault::Arm("disk.read", {.count = 2,
+                                 .kind = FaultKind::kTransient,
+                                 .file_filter = "tbl."});
+  // ...and a cancel delivered at a checkpoint a few batches later.
+  util::fault::Arm("governor.cancel", {.count = 1, .skip = 4});
+  util::QueryContext ctx;
+  auto op = Unwrap(planner.Build(query, PlanKind::kScanAggr, 1));
+  op->BindContext(&ctx);
+  auto run = RunToCompletion(op.get(), &ctx);
+  util::fault::DisarmAll();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled)
+      << run.status().ToString();
+  EXPECT_EQ(db.pool.stats().read_retries, 2u)
+      << "the transient faults must be retried away before the cancel lands";
+}
+
+// Governor x fault: the memory budget gives out during the parallel merge
+// phase (component "GroupTable.merge") — after the workers finished their
+// partials. The failure is still the typed kResourceExhausted naming the
+// merge component; no partial merge escapes as a result.
+TEST_F(FaultQueryTest, BudgetExhaustedMidMergeFailsTypedNamingComponent) {
+  Setup(testing::Layout::kNoisy, "bm");
+  query.pred = DatePred(CmpOp::kLe, 120);
+  query.group_by = {0};  // unique key: every worker's partial must merge
+  Planner planner(smas.get());
+  util::fault::Arm("governor.charge", {.file_filter = "GroupTable.merge"});
+  util::QueryContext ctx;
+  auto op = Unwrap(planner.Build(query, PlanKind::kScanAggr, 4));
+  op->BindContext(&ctx);
+  auto run = RunToCompletion(op.get(), &ctx);
+  util::fault::DisarmAll();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+      << run.status().ToString();
+  EXPECT_NE(run.status().message().find("GroupTable.merge"),
+            std::string::npos)
+      << run.status().ToString();
+}
+
 // SMADB_DCHECK: violated tuple-accessor invariants fail stop with a
 // diagnostic (instead of undefined behaviour) even in release builds.
 TEST(DcheckDeathTest, TupleTypeConfusionFailsStop) {
