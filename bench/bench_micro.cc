@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "expr/predicate.h"
 #include "sma/builder.h"
 #include "sma/grade.h"
@@ -98,4 +100,13 @@ BENCHMARK(BM_PredicateEvalPerTuple);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run leaves a BENCH_micro.json marker like
+// every other bench binary (google-benchmark prints its own tables).
+int main(int argc, char** argv) {
+  smadb::bench::JsonReporter report(argv[0]);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

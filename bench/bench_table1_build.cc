@@ -21,6 +21,7 @@ using namespace smadb;  // NOLINT
 using bench::Check;
 
 int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
   const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
   bench::BenchDb db(65536);
 

@@ -21,6 +21,7 @@ using namespace smadb;  // NOLINT
 using bench::Check;
 
 int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
   const double sf = bench::ScaleFromArgs(argc, argv, 0.02);
 
   bench::PrintHeader("T2: SMA vs data-cube storage (paper §2.4)");

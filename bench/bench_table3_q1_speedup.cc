@@ -31,6 +31,7 @@ struct RunStats {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
   const double sf = bench::ScaleFromArgs(argc, argv, 0.1);
   // Pool sized like the paper's: 8 MB against 1 GB of data, i.e. the base
   // relation does not fit, but the SMA complement does. LINEITEM is about
@@ -98,6 +99,10 @@ int main(int argc, char** argv) {
 
   const double modeled_speedup =
       scan_cold.modeled / std::max(1e-9, sma_cold.modeled);
+  report.Add("scale_factor", sf);
+  report.Add("modeled_speedup_cold", modeled_speedup);
+  report.Add("wall_speedup_cold",
+             scan_cold.wall / std::max(1e-9, sma_cold.wall));
   const double warm_ratio = sma_cold.modeled / std::max(1e-9, sma_warm.wall);
   (void)warm_ratio;
   std::printf("\nmodeled-disk speedup (cold): %.0fx"

@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "storage/catalog.h"
 #include "storage/disk.h"
@@ -71,6 +73,54 @@ struct BenchDb {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Machine-readable summary every bench binary emits alongside its printed
+/// tables: headline numbers accumulate via Add(), and the destructor writes
+/// `BENCH_<name>.json` into the working directory (the artifact CI uploads).
+/// Total wall time since construction is always included.
+class JsonReporter {
+ public:
+  /// `argv0` is used as-is after stripping directories and a trailing
+  /// "bench_" prefix, so `JsonReporter report(argv[0]);` names the file
+  /// after the binary.
+  explicit JsonReporter(std::string argv0) {
+    const size_t slash = argv0.find_last_of('/');
+    name_ = slash == std::string::npos ? std::move(argv0)
+                                       : argv0.substr(slash + 1);
+    if (name_.rfind("bench_", 0) == 0) name_ = name_.substr(6);
+  }
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+  ~JsonReporter() { Write(); }
+
+  void Add(const std::string& key, double value) {
+    entries_.emplace_back(key, util::Format("%.6g", value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");  // no escaping needed
+  }
+
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    std::fprintf(f, "  \"wall_seconds\": %.3f", watch_.ElapsedSeconds());
+    for (const auto& [key, value] : entries_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  util::Stopwatch watch_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 inline void PrintPaperNote(const std::string& note) {
   std::printf("\npaper-vs-measured: %s\n", note.c_str());

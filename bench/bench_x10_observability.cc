@@ -1,0 +1,136 @@
+// Experiment X10 — observability overhead (extension, not in the paper):
+//
+//   1. metrics-on vs metrics-off warm Q1 through the full Database path
+//      (registry counters, latency histogram, trace spans per query).
+//      Gate: overhead must stay <= 3% — observability must not tax the
+//      engine the paper made fast. In --smoke mode (CI) the gate also
+//      requires an absolute regression > 0.1 ms, so microsecond-scale
+//      jitter on a tiny smoke dataset cannot flake the build.
+//   2. idle-instrument cost: a registered-but-unread counter's Add() and
+//      an empty registry snapshot, in ns — both should be ~free.
+//   3. one `explain analyze` Q1 as a living example of the profile report.
+//
+// Emits BENCH_x10_observability.json with the headline numbers.
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "db/database.h"
+#include "obs/metrics.h"
+#include "tpch/loader.h"
+#include "workloads/q1.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+namespace {
+
+constexpr const char* kQ1 =
+    "select sum(l_quantity), sum(l_extendedprice), "
+    "sum(l_extendedprice * (1.00 - l_discount)), "
+    "avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*) "
+    "from lineitem where l_shipdate <= '1998-09-02' "
+    "group by l_returnflag, l_linestatus";
+
+// A Database with lineitem loaded shipdate-sorted and the paper's Q1 SMAs.
+db::Database* MakeDb(double sf, bool metrics) {
+  db::DatabaseOptions options;
+  options.pool_pages = 16384;  // warm runs stay fully resident
+  options.enable_metrics = metrics;
+  auto* db = new db::Database(options);
+  tpch::LoadOptions load;
+  load.mode = tpch::ClusterMode::kShipdateSorted;
+  storage::Table* lineitem = Check(
+      tpch::GenerateAndLoadLineItem(db->catalog(), {sf, 19980401}, load));
+  Check(workloads::BuildQ1Smas(lineitem, Check(db->Smas("lineitem"))));
+  return db;
+}
+
+// Warm min-of-N seconds for Q1 (rep 0 warms the pool, then best of `reps`).
+double WarmBest(db::Database* db, int reps, size_t* rows_out) {
+  double best = 1e9;
+  for (int rep = 0; rep <= reps; ++rep) {
+    util::Stopwatch watch;
+    auto result = Check(db->Query(kQ1));
+    const double s = watch.ElapsedSeconds();
+    if (rep > 0) best = std::min(best, s);
+    *rows_out = result.rows.size();
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double sf = smoke ? 0.01 : bench::ScaleFromArgs(argc, argv, 0.05);
+  const int reps = smoke ? 31 : 15;
+
+  bench::PrintHeader(util::Format(
+      "X10: observability overhead on warm Q1, SF %.3f%s", sf,
+      smoke ? " (smoke)" : ""));
+
+  // ---- 1. metrics-on vs metrics-off warm Q1 ------------------------------
+  db::Database* db_off = MakeDb(sf, /*metrics=*/false);
+  db::Database* db_on = MakeDb(sf, /*metrics=*/true);
+  size_t rows_off = 0, rows_on = 0;
+  const double off_s = WarmBest(db_off, reps, &rows_off);
+  const double on_s = WarmBest(db_on, reps, &rows_on);
+  if (rows_off != rows_on) {
+    std::fprintf(stderr, "RESULT MISMATCH metrics-on vs metrics-off!\n");
+    return 1;
+  }
+  const double overhead_pct = 100.0 * (on_s - off_s) / std::max(1e-9, off_s);
+  std::printf("warm Q1 (min of %d):\n", reps);
+  std::printf("  metrics off %9.3f ms\n  metrics on  %9.3f ms  (%+.2f%%)\n",
+              off_s * 1e3, on_s * 1e3, overhead_pct);
+  report.Add("scale_factor", sf);
+  report.Add("metrics_off_warm_q1_ms", off_s * 1e3);
+  report.Add("metrics_on_warm_q1_ms", on_s * 1e3);
+  report.Add("metrics_overhead_pct", overhead_pct);
+
+  // ---- 2. idle instrument cost -------------------------------------------
+  obs::MetricsRegistry idle;
+  obs::Counter* counter = idle.GetCounter("bench_idle", "idle counter");
+  constexpr int kAdds = 1'000'000;
+  util::Stopwatch add_watch;
+  for (int i = 0; i < kAdds; ++i) counter->Inc();
+  const double add_ns = add_watch.ElapsedSeconds() * 1e9 / kAdds;
+  util::Stopwatch snap_watch;
+  const size_t snap_size = idle.Snapshot().size();
+  const double snap_us = snap_watch.ElapsedSeconds() * 1e6;
+  std::printf("\nidle instruments: counter add %.1f ns/op, "
+              "snapshot (%zu metrics) %.1f us\n",
+              add_ns, snap_size, snap_us);
+  report.Add("counter_add_ns", add_ns);
+  report.Add("snapshot_us", snap_us);
+
+  // ---- 3. explain analyze, as a living example ---------------------------
+  auto analyzed = Check(db_on->Query(std::string("explain analyze ") + kQ1));
+  std::printf("\nexplain analyze %s:\n", kQ1);
+  for (const auto& row : analyzed.rows) {
+    std::printf("  %s\n", row.AsRef().GetValue(0).AsString().c_str());
+  }
+
+  const bool gate_failed =
+      overhead_pct > 3.0 && (on_s - off_s) > 100e-6;  // noise floor 0.1 ms
+  if (gate_failed) {
+    std::fprintf(stderr,
+                 "FAIL: metrics-on overhead %.2f%% exceeds the 3%% gate\n",
+                 overhead_pct);
+  }
+  report.Add("gate", gate_failed ? std::string("fail") : std::string("pass"));
+
+  bench::PrintPaperNote(
+      "not in the paper. The registry (sharded counters, one histogram "
+      "observation and a handful of trace spans per query) prices "
+      "observability at well under the 3% gate; per-operator profiling is "
+      "opt-in via `explain analyze` and costs nothing when off.");
+
+  delete db_on;
+  delete db_off;
+  return gate_failed ? 1 : 0;
+}

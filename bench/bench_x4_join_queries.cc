@@ -27,6 +27,7 @@ uint64_t Drain(exec::Operator* op) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
   const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
   bench::BenchDb db(262144);
 

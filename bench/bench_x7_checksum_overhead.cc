@@ -84,6 +84,7 @@ ModeStats RunMode(double sf, size_t pool_pages, bool verify) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
   const double sf = bench::ScaleFromArgs(argc, argv, 0.05);
   const size_t pool_pages = std::max<size_t>(
       2048, static_cast<size_t>(sf * 215000.0 / 100.0) * 2);

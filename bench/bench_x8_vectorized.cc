@@ -50,6 +50,7 @@ double TimeRun(plan::Planner* planner, const plan::AggQuery& q,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const double sf =
       smoke ? 0.01 : bench::ScaleFromArgs(argc, argv, 0.05);

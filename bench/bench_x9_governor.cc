@@ -44,6 +44,7 @@ double PercentileMs(std::vector<double> v, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const double sf = smoke ? 0.01 : bench::ScaleFromArgs(argc, argv, 0.05);
   const int cancel_reps = smoke ? 5 : 25;
@@ -164,6 +165,10 @@ int main(int argc, char** argv) {
   }
   const double overhead_pct =
       100.0 * (gov_s - base_s) / std::max(1e-9, base_s);
+  report.Add("scale_factor", sf);
+  report.Add("ungoverned_warm_q1_ms", base_s * 1e3);
+  report.Add("governed_warm_q1_ms", gov_s * 1e3);
+  report.Add("governor_overhead_pct", overhead_pct);
   std::printf("\nwarm Q1 (scan plan, serial, min of %d):\n", warm_reps);
   std::printf("  ungoverned %9.3f ms\n  governed   %9.3f ms  (%+.2f%%)\n",
               base_s * 1e3, gov_s * 1e3, overhead_pct);

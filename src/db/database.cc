@@ -6,6 +6,7 @@
 #include "db/sql.h"
 #include "expr/parser.h"
 #include "sma/parser.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace smadb::db {
@@ -32,7 +33,70 @@ Database::Database(DatabaseOptions options)
               // mutex would otherwise tax every Fetch for nothing.
               .pin_tracker = options.global_memory_limit > 0 ? &global_memory_
                                                              : nullptr})),
-      catalog_(std::make_unique<storage::Catalog>(pool_.get())) {}
+      catalog_(std::make_unique<storage::Catalog>(pool_.get())),
+      registry_(options.metrics_registry),
+      trace_(options.trace_capacity) {
+  if (registry_ == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = own_registry_.get();
+  }
+  if (options_.enable_metrics) InitMetrics();
+}
+
+void Database::InitMetrics() {
+  m_.queries_total =
+      registry_->GetCounter("smadb_queries_total", "Queries executed");
+  m_.queries_failed = registry_->GetCounter("smadb_queries_failed_total",
+                                            "Queries that returned an error");
+  m_.queries_cancelled = registry_->GetCounter(
+      "smadb_queries_cancelled_total", "Queries cancelled by their token");
+  m_.queries_deadline =
+      registry_->GetCounter("smadb_queries_deadline_total",
+                            "Queries that exceeded their deadline");
+  m_.queries_degraded = registry_->GetCounter(
+      "smadb_queries_degraded_total",
+      "Queries answered through the degradation ladder");
+  m_.rows_returned = registry_->GetCounter("smadb_rows_returned_total",
+                                           "Result rows returned");
+  m_.buckets_qualifying =
+      registry_->GetCounter("smadb_buckets_qualifying_total",
+                            "Buckets graded qualifying (paper Fig. 4)");
+  m_.buckets_disqualifying =
+      registry_->GetCounter("smadb_buckets_disqualifying_total",
+                            "Buckets graded disqualifying");
+  m_.buckets_ambivalent = registry_->GetCounter(
+      "smadb_buckets_ambivalent_total", "Buckets graded ambivalent");
+  m_.query_latency_us = registry_->GetHistogram(
+      "smadb_query_latency_us", "End-to-end query latency (microseconds)");
+  // Existing stat structs fold in as callback gauges — sampled at snapshot
+  // time, zero cost on the query path.
+  registry_->RegisterCallback(
+      "smadb_pool_hits", "Buffer pool hits",
+      [this] { return static_cast<int64_t>(pool_->stats().hits); });
+  registry_->RegisterCallback(
+      "smadb_pool_misses", "Buffer pool misses",
+      [this] { return static_cast<int64_t>(pool_->stats().misses); });
+  registry_->RegisterCallback(
+      "smadb_pool_evictions", "Buffer pool evictions",
+      [this] { return static_cast<int64_t>(pool_->stats().evictions); });
+  registry_->RegisterCallback(
+      "smadb_pool_checksum_failures", "Pages failing checksum verification",
+      [this] {
+        return static_cast<int64_t>(pool_->stats().checksum_failures);
+      });
+  registry_->RegisterCallback(
+      "smadb_disk_page_reads", "Pages read from the simulated disk",
+      [this] { return static_cast<int64_t>(disk_.stats().page_reads); });
+  registry_->RegisterCallback(
+      "smadb_disk_page_writes", "Pages written to the simulated disk",
+      [this] { return static_cast<int64_t>(disk_.stats().page_writes); });
+  registry_->RegisterCallback(
+      "smadb_memory_used_bytes", "Bytes charged to the global budget",
+      [this] { return static_cast<int64_t>(global_memory_.used()); });
+  registry_->RegisterCallback(
+      "smadb_memory_peak_bytes", "High-water mark of the global budget",
+      [this] { return static_cast<int64_t>(global_memory_.peak()); });
+}
 
 void Database::set_max_concurrent_queries(size_t n) {
   options_.max_concurrent_queries = n;
@@ -54,10 +118,18 @@ Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
 
 Result<Database::TableState*> Database::StateFor(std::string_view table) {
   auto it = states_.find(std::string(table));
-  if (it == states_.end()) {
-    return Status::NotFound("no table named '" + std::string(table) + "'");
-  }
-  return &it->second;
+  if (it != states_.end()) return &it->second;
+  // Tables loaded straight into the catalog (the tpch bulk loaders) get
+  // their SMA state lazily on first reference, so they are queryable and
+  // `define sma` works on them like on CreateTable'd ones.
+  SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
+  TableState state;
+  state.smas = std::make_unique<sma::SmaSet>(t);
+  state.maintainer =
+      std::make_unique<sma::SmaMaintainer>(t, state.smas.get());
+  auto [pos, inserted] = states_.emplace(std::string(table), std::move(state));
+  (void)inserted;
+  return &pos->second;
 }
 
 Status Database::Insert(std::string_view table,
@@ -150,20 +222,59 @@ Result<plan::QueryResult> Database::Query(std::string_view sql) {
   return Query(sql, nullptr);
 }
 
+namespace {
+
+// Strips a leading keyword (plus the following whitespace); empty view when
+// `text` does not start with it.
+std::string_view StripKeyword(std::string_view text, std::string_view kw) {
+  if (text.size() <= kw.size() || text.substr(0, kw.size()) != kw) return {};
+  std::string_view rest = text.substr(kw.size());
+  if (!std::isspace(static_cast<unsigned char>(rest[0]))) return {};
+  while (!rest.empty() &&
+         std::isspace(static_cast<unsigned char>(rest[0]))) {
+    rest.remove_prefix(1);
+  }
+  return rest;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
 Result<plan::QueryResult> Database::Query(
     std::string_view sql, std::shared_ptr<util::CancelToken> cancel) {
-  // `explain select ...` runs the governed query and reports the plan.
-  std::string_view body = sql;
-  while (!body.empty() && std::isspace(static_cast<unsigned char>(body[0]))) {
-    body.remove_prefix(1);
+  std::string_view body = Trim(sql);
+
+  // `show metrics` / `show profile` / `show trace` — read-only, ungoverned.
+  if (std::string_view what = StripKeyword(body, "show"); !what.empty()) {
+    return RunShow(what);
   }
+
+  // `explain select ...` runs the governed query and reports the plan;
+  // `explain analyze select ...` additionally profiles the run.
   bool explain = false;
-  constexpr std::string_view kExplain = "explain ";
-  if (body.size() > kExplain.size() &&
-      body.substr(0, kExplain.size()) == kExplain) {
+  bool analyze = false;
+  if (std::string_view rest = StripKeyword(body, "explain"); !rest.empty()) {
     explain = true;
-    body.remove_prefix(kExplain.size());
+    body = rest;
+    if (std::string_view deeper = StripKeyword(body, "analyze");
+        !deeper.empty()) {
+      analyze = true;
+      body = deeper;
+    }
   }
+
+  const uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceSink* sink = options_.enable_metrics ? &trace_ : nullptr;
 
   // One governor per query: caller's cancel token (if any), the session
   // deadline, and a memory budget that is a child of the global tracker.
@@ -171,46 +282,215 @@ Result<plan::QueryResult> Database::Query(
                          std::move(cancel));
   if (options_.timeout_ms > 0) ctx.set_timeout_ms(options_.timeout_ms);
 
-  // Admission before any real work: either we run promptly or fail promptly.
-  SMADB_ASSIGN_OR_RETURN(AdmissionController::Slot slot, admission_.Admit());
+  // `explain analyze` hangs a profile off the context; operators see the
+  // non-null pointer and start feeding their nodes. Plain queries keep a
+  // null profile and the instrumentation costs one branch per feed site.
+  std::unique_ptr<obs::QueryProfile> profile;
+  if (analyze) {
+    profile = std::make_unique<obs::QueryProfile>(query_id);
+    ctx.set_profile(profile.get());
+  }
 
-  Result<plan::QueryResult> result = RunQuery(body, &ctx);
+  // Storage deltas around the run make the profile's pool/disk figures
+  // consistent with PoolStats (shared counters: concurrent queries overlap).
+  const storage::PoolStats pool_before = pool_->stats();
+  const storage::IoStats io_before = disk_.stats();
+
+  util::Stopwatch latency_watch;
+  Result<plan::QueryResult> result = [&]() -> Result<plan::QueryResult> {
+    // Admission before any real work: run promptly or fail promptly.
+    util::Stopwatch admit_watch;
+    Result<AdmissionController::Slot> slot = [&] {
+      obs::TraceSpan span(sink, query_id, "admission");
+      return admission_.Admit();
+    }();
+    SMADB_RETURN_NOT_OK(slot.status());
+    obs::QueryProfile::Phase(
+        profile.get(), "admission",
+        static_cast<uint64_t>(admit_watch.ElapsedSeconds() * 1e9));
+    return RunQuery(body, &ctx, query_id, sink);
+  }();
+
+  // Per-query metrics; a disabled registry leaves every pointer null.
+  if (m_.queries_total != nullptr) {
+    m_.queries_total->Inc();
+    m_.query_latency_us->Observe(
+        static_cast<int64_t>(latency_watch.ElapsedMicros()));
+    if (!result.ok()) {
+      m_.queries_failed->Inc();
+      if (result.status().code() == util::StatusCode::kCancelled) {
+        m_.queries_cancelled->Inc();
+      }
+      if (result.status().code() == util::StatusCode::kDeadlineExceeded) {
+        m_.queries_deadline->Inc();
+      }
+    } else {
+      m_.rows_returned->Add(static_cast<int64_t>(result->rows.size()));
+      m_.buckets_qualifying->Add(
+          static_cast<int64_t>(result->plan.qualifying));
+      m_.buckets_disqualifying->Add(
+          static_cast<int64_t>(result->plan.disqualifying));
+      m_.buckets_ambivalent->Add(
+          static_cast<int64_t>(result->plan.ambivalent));
+      if (result->plan.degraded || !ctx.DegradationNotes().empty()) {
+        m_.queries_degraded->Inc();
+      }
+    }
+  }
+  if (sink != nullptr && !result.ok()) {
+    const util::StatusCode code = result.status().code();
+    if (code == util::StatusCode::kCancelled ||
+        code == util::StatusCode::kDeadlineExceeded) {
+      obs::TraceSpan span(sink, query_id,
+                          code == util::StatusCode::kCancelled
+                              ? "cancelled"
+                              : "deadline_exceeded");
+      span.set_note(std::string(result.status().message()));
+    }
+  }
+
+  if (profile != nullptr) {
+    profile->SetStorageDelta(pool_->stats().hits - pool_before.hits,
+                             pool_->stats().misses - pool_before.misses,
+                             disk_.stats().page_reads - io_before.page_reads);
+    if (result.ok()) {
+      profile->SetSummary(util::Format(
+          "%s, dop=%zu%s",
+          plan::PlanKindToString(result->plan.kind).data(),
+          result->plan.dop,
+          result->plan.degraded ? " (degraded: partial answer)" : ""));
+    }
+    std::vector<std::string> report = profile->Render();
+    {
+      std::lock_guard<std::mutex> lock(profile_mu_);
+      last_profile_ = std::move(profile);
+    }
+    if (!result.ok()) return result;  // report stays under `show profile`
+    plan::QueryResult out = TextResult("explain analyze", report);
+    out.plan = result->plan;
+    return out;
+  }
+
   if (!result.ok() || !explain) return result;
   return ExplainResult(result->plan);
 }
 
-Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
-                                             util::QueryContext* ctx) {
-  SMADB_ASSIGN_OR_RETURN(std::string table_name, ExtractTableName(sql));
-  SMADB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(table_name));
-  SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table_name));
-  SMADB_ASSIGN_OR_RETURN(ParsedQuery parsed,
-                         ParseQuery(&table->schema(), sql));
-
-  plan::Planner planner(state->smas.get(), options_.planner);
-  if (parsed.select_star) {
-    plan::SelectQuery query;
-    query.table = table;
-    query.pred = parsed.pred;
-    return planner.ExecuteSelect(query, ctx);
-  }
-
-  plan::AggQuery query;
-  query.table = table;
-  query.pred = parsed.pred;
-  query.group_by = parsed.group_by;
-  query.aggs = parsed.aggs;
-  return planner.Execute(query, ctx);
+std::vector<std::string> Database::LastProfile() const {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  if (last_profile_ == nullptr) return {};
+  return last_profile_->Render();
 }
 
-plan::QueryResult ExplainResult(const plan::PlanChoice& plan) {
-  // One wide text column; long explanation lines are wrapped, never lost.
+Result<plan::QueryResult> Database::RunShow(std::string_view what) {
+  what = Trim(what);
+  if (what == "metrics") {
+    std::vector<std::string> lines;
+    for (const obs::MetricSnapshot& s : registry_->Snapshot()) {
+      if (s.kind == obs::MetricSnapshot::Kind::kHistogram) {
+        lines.push_back(util::Format(
+            "%s: count=%lld sum=%lld p50=%.0f p95=%.0f p99=%.0f",
+            s.name.c_str(), static_cast<long long>(s.count),
+            static_cast<long long>(s.sum), s.p50, s.p95, s.p99));
+      } else {
+        lines.push_back(util::Format("%s = %lld", s.name.c_str(),
+                                     static_cast<long long>(s.value)));
+      }
+    }
+    if (lines.empty()) lines.push_back("(no metrics registered)");
+    return TextResult("metrics", lines);
+  }
+  if (what == "profile") {
+    std::vector<std::string> lines = LastProfile();
+    if (lines.empty()) {
+      lines.push_back(
+          "no profiled query yet; run `explain analyze select ...`");
+    }
+    return TextResult("profile", lines);
+  }
+  if (what == "trace") {
+    std::vector<std::string> lines;
+    for (const obs::TraceEvent& e : trace_.Events()) {
+      lines.push_back(util::Format(
+          "[q%llu] %s start=%lluus dur=%lluus%s%s",
+          static_cast<unsigned long long>(e.query_id), e.name.c_str(),
+          static_cast<unsigned long long>(e.start_us),
+          static_cast<unsigned long long>(e.duration_us),
+          e.note.empty() ? "" : " ", e.note.c_str()));
+    }
+    if (lines.empty()) lines.push_back("(trace ring empty)");
+    return TextResult("trace", lines);
+  }
+  return Status::NotSupported(
+      "unknown show statement; supported: 'show metrics', 'show profile', "
+      "'show trace'");
+}
+
+Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
+                                             util::QueryContext* ctx,
+                                             uint64_t query_id,
+                                             obs::TraceSink* sink) {
+  util::Stopwatch parse_watch;
+  Table* table = nullptr;
+  Result<ParsedQuery> parsed_or = [&]() -> Result<ParsedQuery> {
+    obs::TraceSpan span(sink, query_id, "parse");
+    SMADB_ASSIGN_OR_RETURN(std::string table_name, ExtractTableName(sql));
+    SMADB_ASSIGN_OR_RETURN(table, catalog_->GetTable(table_name));
+    return ParseQuery(&table->schema(), sql);
+  }();
+  SMADB_RETURN_NOT_OK(parsed_or.status());
+  ParsedQuery& parsed = *parsed_or;
+  obs::QueryProfile::Phase(
+      ctx->profile(), "parse",
+      static_cast<uint64_t>(parse_watch.ElapsedSeconds() * 1e9));
+  SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(parsed.table));
+
+  obs::TraceSpan run_span(sink, query_id, "execute");
+  plan::Planner planner(state->smas.get(), options_.planner);
+  Result<plan::QueryResult> run = [&] {
+    if (parsed.select_star) {
+      plan::SelectQuery query;
+      query.table = table;
+      query.pred = parsed.pred;
+      return planner.ExecuteSelect(query, ctx);
+    }
+    plan::AggQuery query;
+    query.table = table;
+    query.pred = parsed.pred;
+    query.group_by = parsed.group_by;
+    query.aggs = parsed.aggs;
+    return planner.Execute(query, ctx);
+  }();
+  // Degradation rungs leave their notes on the context; mirror them into
+  // the trace so `show trace` tells the lifecycle story on its own.
+  const std::string notes = ctx->DegradationNotes();
+  if (!notes.empty() && sink != nullptr) {
+    obs::TraceSpan span(sink, query_id, "degraded");
+    span.set_note(notes);
+  }
+  if (!run.ok()) run_span.set_note(std::string(run.status().message()));
+  return run;
+}
+
+plan::QueryResult TextResult(const std::string& column,
+                             const std::vector<std::string>& lines) {
+  // One wide text column; long lines are wrapped, never lost.
   constexpr uint16_t kWidth = 120;
   plan::QueryResult out;
   out.schema = std::make_shared<const storage::Schema>(
-      std::vector<storage::Field>{storage::Field::String("explain", kWidth)});
-  out.plan = plan;
+      std::vector<storage::Field>{storage::Field::String(column, kWidth)});
+  for (const std::string& line : lines) {
+    std::string_view rest = line;
+    do {
+      storage::TupleBuffer row(out.schema.get());
+      row.SetString(0, rest.substr(0, kWidth));
+      out.rows.push_back(std::move(row));
+      rest = rest.size() > kWidth ? rest.substr(kWidth) : std::string_view();
+    } while (!rest.empty());
+  }
+  return out;
+}
 
+plan::QueryResult ExplainResult(const plan::PlanChoice& plan) {
   std::vector<std::string> lines;
   lines.push_back(
       util::Format("plan: %s%s", plan::PlanKindToString(plan.kind).data(),
@@ -224,26 +504,19 @@ plan::QueryResult ExplainResult(const plan::PlanChoice& plan) {
   lines.push_back(util::Format("dop: %zu", plan.dop));
   // The explanation already carries the planner's reasoning plus the
   // governor annotations ("; governor: ...", degradation notes). Split the
-  // "; "-joined clauses onto their own rows for readability.
+  // "; "-joined clauses onto their own rows for readability (TextResult
+  // wraps any still-long clause to the column width).
   std::string_view rest = plan.explanation;
   while (!rest.empty()) {
     const size_t cut = rest.find("; ");
-    std::string_view clause =
-        cut == std::string_view::npos ? rest : rest.substr(0, cut);
+    lines.emplace_back(cut == std::string_view::npos ? rest
+                                                     : rest.substr(0, cut));
     rest = cut == std::string_view::npos ? std::string_view()
                                          : rest.substr(cut + 2);
-    while (!clause.empty()) {  // wrap to the column width
-      lines.push_back(std::string(clause.substr(0, kWidth)));
-      clause = clause.size() > kWidth ? clause.substr(kWidth)
-                                      : std::string_view();
-    }
   }
 
-  for (const std::string& line : lines) {
-    storage::TupleBuffer row(out.schema.get());
-    row.SetString(0, std::string_view(line).substr(0, kWidth));
-    out.rows.push_back(std::move(row));
-  }
+  plan::QueryResult out = TextResult("explain", lines);
+  out.plan = plan;
   return out;
 }
 

@@ -17,11 +17,17 @@
 #ifndef SMADB_DB_DATABASE_H_
 #define SMADB_DB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "db/admission.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "planner/planner.h"
 #include "sma/maintenance.h"
 #include "sma/sma_set.h"
@@ -53,6 +59,20 @@ struct DatabaseOptions {
   /// Admission FIFO depth and wait budget (see AdmissionController).
   size_t admission_max_queued = 16;
   int64_t admission_max_wait_ms = 1000;
+
+  // --- observability (DESIGN.md §11) ---------------------------------------
+  /// Feed the metrics registry and trace ring on every query (counters,
+  /// latency histogram, lifecycle spans). Off = the query path touches no
+  /// registry state at all.
+  bool enable_metrics = true;
+  /// Registry to feed. Null = a private per-Database registry, so embedded
+  /// uses and tests stay isolated; pass obs::MetricsRegistry::Default() to
+  /// share one process-wide. A caller-supplied registry holds callback
+  /// gauges that read this Database — it must not be snapshotted after the
+  /// Database is destroyed.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  /// Query-lifecycle trace ring capacity, in spans (overwrite-oldest).
+  size_t trace_capacity = 256;
 };
 
 class Database {
@@ -148,9 +168,40 @@ class Database {
   /// admission controller. Typed failures (kCancelled, kDeadlineExceeded,
   /// kResourceExhausted) surface unless the planner's degradation ladder
   /// absorbs them (DESIGN.md §10).
+  ///
+  /// `explain analyze select ...` additionally profiles the run (per-
+  /// operator wall time, row/batch/bucket/page tallies, phase timings,
+  /// degradation events) and returns the report as one text column.
+  /// `show metrics`, `show profile`, and `show trace` return the registry
+  /// snapshot, the most recent `explain analyze` report, and the trace
+  /// ring, each as one text column.
   util::Result<plan::QueryResult> Query(std::string_view sql);
   util::Result<plan::QueryResult> Query(
       std::string_view sql, std::shared_ptr<util::CancelToken> cancel);
+
+  // --- observability -------------------------------------------------------
+  /// The metrics registry this database feeds (the private one unless
+  /// DatabaseOptions.metrics_registry was supplied).
+  obs::MetricsRegistry* metrics() { return registry_; }
+
+  /// Prometheus text exposition of every registered metric.
+  std::string ExportMetrics() const { return registry_->RenderPrometheus(); }
+
+  /// The query-lifecycle trace ring and its JSON dump.
+  obs::TraceSink* trace() { return &trace_; }
+  std::string DumpTrace() const { return trace_.DumpJson(); }
+
+  /// The report of the most recent `explain analyze` query (empty before
+  /// the first one). Also surfaced by `show profile`.
+  std::vector<std::string> LastProfile() const;
+
+  /// The structured profile behind LastProfile(), for programmatic
+  /// inspection (nullptr before the first `explain analyze`). Valid until
+  /// the next `explain analyze` replaces it.
+  const obs::QueryProfile* last_profile() const {
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    return last_profile_.get();
+  }
 
   // --- plumbing ------------------------------------------------------------
   storage::SimulatedDisk* disk() { return &disk_; }
@@ -166,9 +217,19 @@ class Database {
 
   util::Result<TableState*> StateFor(std::string_view table);
 
-  /// The governed body of Query(): parse, admit, run under `ctx`.
+  /// The governed body of Query(): parse, run under `ctx`; `query_id` keys
+  /// the trace spans (sink may be null = tracing off).
   util::Result<plan::QueryResult> RunQuery(std::string_view sql,
-                                           util::QueryContext* ctx);
+                                           util::QueryContext* ctx,
+                                           uint64_t query_id,
+                                           obs::TraceSink* sink);
+
+  /// Registers the per-query instruments and the callback gauges folding
+  /// PoolStats / IoStats / MemoryTracker into the registry.
+  void InitMetrics();
+
+  /// Handles `show metrics` / `show profile` / `show trace`.
+  util::Result<plan::QueryResult> RunShow(std::string_view what);
 
   DatabaseOptions options_;
   util::MemoryTracker global_memory_;
@@ -177,12 +238,38 @@ class Database {
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::Catalog> catalog_;
   std::unordered_map<std::string, TableState> states_;
+
+  // --- observability state -------------------------------------------------
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::MetricsRegistry* registry_;  // == own_registry_ unless supplied
+  obs::TraceSink trace_;
+  std::atomic<uint64_t> next_query_id_{1};
+  // Cached instrument pointers; all null when enable_metrics is false.
+  struct {
+    obs::Counter* queries_total = nullptr;
+    obs::Counter* queries_failed = nullptr;
+    obs::Counter* queries_cancelled = nullptr;
+    obs::Counter* queries_deadline = nullptr;
+    obs::Counter* queries_degraded = nullptr;
+    obs::Counter* rows_returned = nullptr;
+    obs::Counter* buckets_qualifying = nullptr;
+    obs::Counter* buckets_disqualifying = nullptr;
+    obs::Counter* buckets_ambivalent = nullptr;
+    obs::Histogram* query_latency_us = nullptr;
+  } m_;
+  mutable std::mutex profile_mu_;  // guards last_profile_
+  std::unique_ptr<obs::QueryProfile> last_profile_;
 };
 
 /// Renders a finished plan as an `explain` result: one String("explain")
 /// column, one row per line (plan kind, bucket census, dop, degradation
 /// marker, and the full explanation incl. governor notes).
 plan::QueryResult ExplainResult(const plan::PlanChoice& plan);
+
+/// One text column named `column`, one row per line (wrapped at the column
+/// width) — the carrier for explain analyze / show statements.
+plan::QueryResult TextResult(const std::string& column,
+                             const std::vector<std::string>& lines);
 
 }  // namespace smadb::db
 

@@ -44,6 +44,7 @@ Status BucketReader::Open(uint32_t first_page, uint32_t end_page) {
   open_ = first_page < end_page;
   if (open_) {
     SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
+    ++pages_opened_;
     page_count_ = storage::Table::PageTupleCount(*guard_.page());
   }
   return Status::OK();
@@ -60,6 +61,7 @@ Result<bool> BucketReader::Next(TupleRef* out) {
       ++page_;
       slot_ = 0;
       SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
+      ++pages_opened_;
       page_count_ = storage::Table::PageTupleCount(*guard_.page());
       continue;
     }
@@ -86,6 +88,7 @@ Result<bool> BucketReader::NextBatch(storage::ColumnBatch* cols) {
       ++page_;
       slot_ = 0;
       SMADB_ASSIGN_OR_RETURN(guard_, table_->FetchPage(page_));
+      ++pages_opened_;
       page_count_ = storage::Table::PageTupleCount(*guard_.page());
       continue;
     }

@@ -146,9 +146,16 @@ class BucketReader {
   /// Drops the page pin.
   void Close() { guard_.Release(); }
 
+  /// Pages fetched through this reader since construction (cumulative
+  /// across Open() calls) — the per-operator pages-read figure the query
+  /// profile reports (DESIGN.md §11). Counts fetches, whether they hit
+  /// the buffer pool or went to disk.
+  uint64_t pages_opened() const { return pages_opened_; }
+
  private:
   storage::Table* table_;
   storage::PageGuard guard_;
+  uint64_t pages_opened_ = 0;
   uint32_t page_ = 0;
   uint32_t page_end_ = 0;
   uint16_t slot_ = 0;

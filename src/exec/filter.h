@@ -37,6 +37,7 @@ class Filter final : public Operator {
       if (!has) return false;
       if (pred_->Eval(t)) {
         *out = t;
+        if (prof_ != nullptr) prof_->AddRows(1);
         return true;
       }
     }
@@ -48,6 +49,10 @@ class Filter final : public Operator {
     SMADB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
     if (!has) return false;
     if (!out->sel.empty()) pred_->EvalBatch(out->cols, &out->sel);
+    if (prof_ != nullptr) {
+      prof_->AddBatches(1);
+      prof_->AddRows(out->sel.count());
+    }
     return true;
   }
 
@@ -60,6 +65,7 @@ class Filter final : public Operator {
 
   void BindContext(util::QueryContext* ctx) override {
     Operator::BindContext(ctx);
+    auto scope = BindProfile("Filter");
     child_->BindContext(ctx);
   }
 

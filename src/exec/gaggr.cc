@@ -1,6 +1,7 @@
 #include "exec/gaggr.h"
 
 #include "exec/batch_aggregator.h"
+#include "util/string_util.h"
 
 namespace smadb::exec {
 
@@ -23,6 +24,7 @@ Result<std::unique_ptr<GAggr>> GAggr::Make(std::unique_ptr<Operator> child,
 }
 
 Status GAggr::Init() {
+  obs::OpTimer timer(prof_);
   results_.clear();
   next_ = 0;
   SMADB_RETURN_NOT_OK(child_->Init());
@@ -76,6 +78,11 @@ Status GAggr::Init() {
     SMADB_RETURN_NOT_OK(charge_groups());
   }
   SMADB_RETURN_NOT_OK(groups.Emit(&schema_, &results_));
+  if (prof_ != nullptr) {
+    prof_->NotePeakBytes(charged);
+    prof_->SetDetail(util::Format("groups=%zu mode=%s", results_.size(),
+                                  batch_size_ > 0 ? "batch" : "row"));
+  }
   return Status::OK();
 }
 
@@ -83,6 +90,7 @@ Result<bool> GAggr::Next(TupleRef* out) {
   if (next_ >= results_.size()) return false;
   *out = results_[next_].AsRef();
   ++next_;
+  if (prof_ != nullptr) prof_->AddRows(1);
   return true;
 }
 

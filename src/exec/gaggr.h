@@ -34,6 +34,7 @@ class GAggr final : public Operator {
 
   void BindContext(util::QueryContext* ctx) override {
     Operator::BindContext(ctx);
+    auto scope = BindProfile("GAggr");
     child_->BindContext(ctx);
   }
 

@@ -51,6 +51,7 @@ Result<std::unique_ptr<HashJoin>> HashJoin::Make(
 }
 
 Status HashJoin::Init() {
+  obs::OpTimer timer(prof_);
   build_rows_.clear();
   build_index_.clear();
   matches_ = nullptr;
@@ -78,6 +79,10 @@ Status HashJoin::Init() {
     build_index_[t.GetRawInt(right_col_)].push_back(build_rows_.size());
     build_rows_.push_back(std::move(row));
   }
+  if (prof_ != nullptr) {
+    prof_->NotePeakBytes(build_rows_.size() * rs.tuple_size());
+    prof_->SetDetail(util::Format("build_rows=%zu", build_rows_.size()));
+  }
   return left_->Init();
 }
 
@@ -99,6 +104,7 @@ Result<bool> HashJoin::Next(TupleRef* out) {
       EmitCombined(current_left_, (*matches_)[match_pos_]);
       ++match_pos_;
       *out = out_buffer_.AsRef();
+      if (prof_ != nullptr) prof_->AddRows(1);
       return true;
     }
     SMADB_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));

@@ -42,6 +42,7 @@ class HashJoin final : public Operator {
 
   void BindContext(util::QueryContext* ctx) override {
     Operator::BindContext(ctx);
+    auto scope = BindProfile("HashJoin");
     left_->BindContext(ctx);
     right_->BindContext(ctx);
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "exec/batch.h"
+#include "obs/profile.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 #include "util/query_context.h"
@@ -70,9 +71,21 @@ class Operator {
   /// budget, DESIGN.md §10). Operators with children must propagate the
   /// bind down the tree. Null (the default state) runs ungoverned; bind
   /// before Init().
+  ///
+  /// Overrides also register the operator's profile node (DESIGN.md §11):
+  /// hold the ProfileScope from BindProfile across the children's
+  /// BindContext calls so their nodes nest beneath this one.
   virtual void BindContext(util::QueryContext* ctx) { ctx_ = ctx; }
 
  protected:
+  /// Registers this operator in the bound query's profile (no-op when the
+  /// query is unprofiled) and returns the scope that makes it the parent
+  /// of nodes registered while the scope lives. Call after setting ctx_.
+  obs::ProfileScope BindProfile(const char* name) {
+    return obs::ProfileScope(ctx_ != nullptr ? ctx_->profile() : nullptr,
+                             name, &prof_);
+  }
+
   /// Null-safe cooperative checkpoint; operators call this at bucket/batch
   /// granularity (never per tuple — one relaxed load plus a clock read).
   util::Status CheckRuntime(std::string_view where) const {
@@ -89,6 +102,9 @@ class Operator {
   static constexpr size_t kRowsPerCheck = 512;
 
   util::QueryContext* ctx_ = nullptr;
+  /// This operator's profile node; null unless the query runs under
+  /// `explain analyze`. Feed with relaxed tallies, always null-guarded.
+  obs::OperatorProfile* prof_ = nullptr;
 };
 
 }  // namespace smadb::exec

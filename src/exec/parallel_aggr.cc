@@ -4,6 +4,7 @@
 
 #include "exec/batch.h"
 #include "exec/batch_aggregator.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace smadb::exec {
@@ -28,6 +29,24 @@ Result<std::unique_ptr<ParallelScanAggr>> ParallelScanAggr::Make(
 }
 
 Status ParallelScanAggr::Init() {
+  obs::OpTimer timer(prof_);
+  const Status s = InitImpl();
+  if (prof_ != nullptr) {
+    // Single feed point for the merged census — InitImpl merges every
+    // worker's partial stats into stats_ exactly once even when a morsel
+    // fails, so a degraded-ladder rerun (which registers a fresh node)
+    // can never double-count buckets in the profile.
+    prof_->AddBuckets(stats_.qualifying_buckets, stats_.disqualifying_buckets,
+                      stats_.ambivalent_buckets);
+    prof_->SetDetail(util::Format("groups=%zu dop=%zu mode=%s",
+                                  results_.size(), dop_,
+                                  batch_size_ > 0 ? "batch" : "row"));
+    if (!s.ok()) prof_->MarkFailed(s.ToString());
+  }
+  return s;
+}
+
+Status ParallelScanAggr::InitImpl() {
   results_.clear();
   next_ = 0;
   stats_ = SmaScanStats();
@@ -56,9 +75,11 @@ Status ParallelScanAggr::Init() {
   for (size_t w = 0; w < dop_; ++w) {
     workers.emplace_back(table_, &aggs_, group_by_.size());
     WorkerState& ws = workers.back();
-    if (source.has_sma_support()) {
-      ws.grader = source.NewGrader();
-    }
+    // Unconditional, like the serial NextGraded path: even without SMA
+    // support the grader still resolves trivial predicates (True grades
+    // kQualifies, letting workers skip per-tuple checks), and the census
+    // the workers tally stays identical across degrees of parallelism.
+    ws.grader = source.NewGrader();
     if (batch_size_ > 0) {
       ws.aggregator =
           std::make_unique<BatchAggregator>(&table_->schema(), &group_by_,
@@ -76,7 +97,7 @@ Status ParallelScanAggr::Init() {
   // worker has exited before we read their partial state below.
   const util::CancelToken* cancel =
       ctx_ != nullptr ? ctx_->cancel() : nullptr;
-  SMADB_RETURN_NOT_OK(util::ThreadPool::Shared()->ParallelFor(
+  const Status par = util::ThreadPool::Shared()->ParallelFor(
       0, source.num_buckets(), dop_,
       [&](size_t w, uint64_t b) -> Status {
         WorkerState& ws = workers[w];
@@ -131,14 +152,23 @@ Status ParallelScanAggr::Init() {
         }
         return Status::OK();
       },
-      cancel));
+      cancel);
+
+  // Per-worker censuses merge into stats_ exactly once, success or
+  // failure — ParallelFor has drained, so worker state is quiescent. The
+  // pre-fix code returned before this loop on a failed morsel, dropping
+  // the partial census a degraded-ladder rerun would then re-count.
+  for (WorkerState& ws : workers) {
+    stats_.Merge(ws.stats);
+    if (prof_ != nullptr) prof_->AddPagesRead(ws.reader.pages_opened());
+  }
+  SMADB_RETURN_NOT_OK(par);
 
   GroupTable groups(&aggs_);
   for (WorkerState& ws : workers) {
     if (ws.aggregator != nullptr) ws.aggregator->FlushInto(&ws.groups);
     const size_t before = groups.approx_bytes();
     groups.MergeFrom(ws.groups);
-    stats_.Merge(ws.stats);
     // Merge-phase growth carries its own component name so a budget trip
     // here is attributable to the merge, not the scan.
     if (groups.approx_bytes() > before) {
@@ -154,6 +184,7 @@ Result<bool> ParallelScanAggr::Next(TupleRef* out) {
   if (next_ >= results_.size()) return false;
   *out = results_[next_].AsRef();
   ++next_;
+  if (prof_ != nullptr) prof_->AddRows(1);
   return true;
 }
 

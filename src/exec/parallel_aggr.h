@@ -54,7 +54,16 @@ class ParallelScanAggr final : public Operator {
   size_t num_groups() const { return results_.size(); }
   size_t degree_of_parallelism() const { return dop_; }
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    BindProfile("ParallelScanAggr");
+  }
+
  private:
+  /// Init minus the profile feed; Init wraps this so the merged census
+  /// reaches the profile node exactly once, success or failure.
+  util::Status InitImpl();
+
   ParallelScanAggr(storage::Table* table, expr::PredicatePtr pred,
                    std::vector<size_t> group_by, std::vector<AggSpec> aggs,
                    const sma::SmaSet* smas, storage::Schema schema,

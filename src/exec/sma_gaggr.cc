@@ -264,6 +264,27 @@ Status SmaGAggr::ProcessBucket(Grade g, uint64_t b, GroupTable* groups,
 }
 
 Status SmaGAggr::Init() {
+  obs::OpTimer timer(prof_);
+  const Status s = InitImpl();
+  if (prof_ != nullptr) {
+    // Single feed point: stats_ is final here on every path (the parallel
+    // branch merges per-worker censuses into it exactly once, including
+    // when a morsel failed), so the profile can never double-count a
+    // bucket — degraded-ladder reruns register a fresh node.
+    prof_->AddBuckets(stats_.qualifying_buckets, stats_.disqualifying_buckets,
+                      stats_.ambivalent_buckets);
+    prof_->AddBucketsSkipped(buckets_skipped());
+    prof_->SetDetail(util::Format(
+        "groups=%zu dop=%zu mode=%s%s", results_.size(),
+        std::max<size_t>(1, options_.degree_of_parallelism),
+        options_.batch_size > 0 ? "batch" : "row",
+        options_.sma_only ? " sma_only" : ""));
+    if (!s.ok()) prof_->MarkFailed(s.ToString());
+  }
+  return s;
+}
+
+Status SmaGAggr::InitImpl() {
   results_.clear();
   next_ = 0;
   stats_ = SmaScanStats();
@@ -302,7 +323,12 @@ Status SmaGAggr::Init() {
         charged = groups.approx_bytes();
       }
     }
-    if (batch_state != nullptr) batch_state->aggregator.FlushInto(&groups);
+    if (batch_state != nullptr) {
+      batch_state->aggregator.FlushInto(&groups);
+      if (prof_ != nullptr) {
+        prof_->AddPagesRead(batch_state->reader.pages_opened());
+      }
+    }
     if (groups.approx_bytes() > charged) {
       SMADB_RETURN_NOT_OK(
           ChargeMemory(groups.approx_bytes() - charged, "GroupTable"));
@@ -338,7 +364,7 @@ Status SmaGAggr::Init() {
     // morsel is scheduled and the pool drains before we touch worker state.
     const util::CancelToken* cancel =
         ctx_ != nullptr ? ctx_->cancel() : nullptr;
-    SMADB_RETURN_NOT_OK(util::ThreadPool::Shared()->ParallelFor(
+    const Status par = util::ThreadPool::Shared()->ParallelFor(
         0, source.num_buckets(), dop,
         [&](size_t w, uint64_t b) -> Status {
           WorkerState& ws = workers[w];
@@ -353,14 +379,24 @@ Status SmaGAggr::Init() {
           }
           return Status::OK();
         },
-        cancel));
+        cancel);
+    // Per-worker censuses merge into stats_ exactly once, success or
+    // failure — the pool has drained, so worker state is quiescent. The
+    // pre-fix code returned before this loop on a failed morsel, dropping
+    // the partial census a degraded-ladder rerun would then re-count.
+    for (WorkerState& ws : workers) {
+      stats_.Merge(ws.stats);
+      if (prof_ != nullptr && ws.batch_state != nullptr) {
+        prof_->AddPagesRead(ws.batch_state->reader.pages_opened());
+      }
+    }
+    SMADB_RETURN_NOT_OK(par);
     for (WorkerState& ws : workers) {
       if (ws.batch_state != nullptr) {
         ws.batch_state->aggregator.FlushInto(&ws.groups);
       }
       const size_t before = groups.approx_bytes();
       groups.MergeFrom(ws.groups);
-      stats_.Merge(ws.stats);
       // Merge-phase growth is charged under its own component so budget
       // failures name the phase that tripped them.
       if (groups.approx_bytes() > before) {
@@ -379,6 +415,7 @@ Result<bool> SmaGAggr::Next(TupleRef* out) {
   if (next_ >= results_.size()) return false;
   *out = results_[next_].AsRef();
   ++next_;
+  if (prof_ != nullptr) prof_->AddRows(1);
   return true;
 }
 

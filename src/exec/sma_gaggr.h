@@ -83,6 +83,11 @@ class SmaGAggr final : public Operator {
   /// "The next function then merely returns one result after another."
   util::Result<bool> Next(storage::TupleRef* out) override;
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    BindProfile("SmaGAggr");
+  }
+
   const SmaScanStats& stats() const { return stats_; }
   size_t num_groups() const { return results_.size(); }
 
@@ -127,6 +132,11 @@ class SmaGAggr final : public Operator {
 
   /// Applies coverage and the demotion knob to a raw grade (thread-safe).
   sma::Grade EffectiveGrade(sma::Grade g, uint64_t b) const;
+
+  /// Init minus the profile feed: Init wraps this so the final census in
+  /// stats_ reaches the profile node exactly once on every path — success,
+  /// mid-run failure, and the degraded sma_only rung alike.
+  util::Status InitImpl();
 
   /// One bucket's phase-2 work, dispatched on its grade. `batch_state` is
   /// the worker's vectorized ambivalent path, or null for tuple-at-a-time.

@@ -8,6 +8,7 @@ using util::Result;
 using util::Status;
 
 Status SmaScan::Init() {
+  obs::OpTimer timer(prof_);
   source_.Reset();
   reader_.Close();
   done_ = false;
@@ -29,6 +30,13 @@ Status SmaScan::GetBucket() {
       return Status::OK();
     }
     stats_.Tally(unit.grade);
+    if (prof_ != nullptr) {
+      // One call per bucket, mirroring stats_ — the grade ground truth the
+      // explain-analyze census tests compare against.
+      prof_->AddBuckets(unit.grade == Grade::kQualifies,
+                        unit.grade == Grade::kDisqualifies,
+                        unit.grade == Grade::kAmbivalent);
+    }
     if (unit.grade != Grade::kDisqualifies) break;  // skip without touching
   }
   curr_grade_ = unit.grade;
@@ -39,6 +47,7 @@ Status SmaScan::GetBucket() {
 }
 
 Result<bool> SmaScan::Next(TupleRef* out) {
+  obs::OpTimer timer(prof_);
   while (!done_) {
     SMADB_ASSIGN_OR_RETURN(bool has, reader_.Next(out));
     if (!has) {
@@ -47,13 +56,16 @@ Result<bool> SmaScan::Next(TupleRef* out) {
     }
     // Qualifying buckets bypass predicate evaluation entirely.
     if (curr_grade_ == Grade::kQualifies || source_.pred()->Eval(*out)) {
+      if (prof_ != nullptr) prof_->AddRows(1);
       return true;
     }
   }
+  FeedPages();
   return false;
 }
 
 Result<bool> SmaScan::NextBatch(Batch* out) {
+  obs::OpTimer timer(prof_);
   while (!done_) {
     out->Clear();
     // One bucket per batch refill: the reader is Open()ed on exactly one
@@ -69,8 +81,14 @@ Result<bool> SmaScan::NextBatch(Batch* out) {
     if (curr_grade_ != Grade::kQualifies) {
       source_.pred()->EvalBatch(out->cols, &out->sel);
     }
+    if (prof_ != nullptr) {
+      prof_->AddBatches(1);
+      prof_->AddRows(out->sel.count());
+      FeedPages();
+    }
     return true;
   }
+  FeedPages();
   return false;
 }
 

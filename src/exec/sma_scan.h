@@ -44,7 +44,19 @@ class SmaScan final : public Operator {
 
   const SmaScanStats& stats() const { return stats_; }
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    BindProfile("SmaScan");
+  }
+
  private:
+  /// Feeds the reader's page-fetch delta to the profile node (idempotent).
+  void FeedPages() {
+    if (prof_ == nullptr) return;
+    prof_->AddPagesRead(reader_.pages_opened() - pages_fed_);
+    pages_fed_ = reader_.pages_opened();
+  }
+
   /// Fig. 6's getBucket(): advances to the next qualifying or ambivalent
   /// bucket, fetching its first page. Sets done_ when no buckets remain.
   util::Status GetBucket();
@@ -54,6 +66,7 @@ class SmaScan final : public Operator {
   sma::Grade curr_grade_ = sma::Grade::kAmbivalent;
   bool done_ = false;
   SmaScanStats stats_;
+  uint64_t pages_fed_ = 0;
 };
 
 }  // namespace smadb::exec

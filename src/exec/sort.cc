@@ -28,6 +28,7 @@ Result<std::unique_ptr<Sort>> Sort::Make(std::unique_ptr<Operator> child,
 }
 
 Status Sort::Init() {
+  obs::OpTimer timer(prof_);
   rows_.clear();
   next_ = 0;
   SMADB_RETURN_NOT_OK(child_->Init());
@@ -65,8 +66,13 @@ Status Sort::Init() {
         }
         return false;
       });
+  const size_t buffered = rows_.size();
   if (limit_ > 0 && rows_.size() > limit_) {
     rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(limit_), rows_.end());
+  }
+  if (prof_ != nullptr) {
+    prof_->NotePeakBytes(buffered * schema.tuple_size());
+    prof_->SetDetail(util::Format("buffered=%zu limit=%zu", buffered, limit_));
   }
   return Status::OK();
 }
@@ -75,6 +81,7 @@ Result<bool> Sort::Next(TupleRef* out) {
   if (next_ >= rows_.size()) return false;
   *out = rows_[next_].AsRef();
   ++next_;
+  if (prof_ != nullptr) prof_->AddRows(1);
   return true;
 }
 

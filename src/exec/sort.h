@@ -33,6 +33,7 @@ class Sort final : public Operator {
 
   void BindContext(util::QueryContext* ctx) override {
     Operator::BindContext(ctx);
+    auto scope = BindProfile("Sort");
     child_->BindContext(ctx);
   }
 

@@ -7,30 +7,47 @@ using util::Result;
 using util::Status;
 
 Status TableScan::Init() {
+  obs::OpTimer timer(prof_);
   rows_since_check_ = 0;
   // One contiguous page range: the whole heap.
   return reader_.Open(0, table_->num_pages());
 }
 
 Result<bool> TableScan::Next(TupleRef* out) {
+  obs::OpTimer timer(prof_);
   while (true) {
     if (++rows_since_check_ >= kRowsPerCheck) {
       rows_since_check_ = 0;
       SMADB_RETURN_NOT_OK(CheckRuntime("TableScan"));
     }
     SMADB_ASSIGN_OR_RETURN(bool has, reader_.Next(out));
-    if (!has) return false;
-    if (pred_->Eval(*out)) return true;
+    if (!has) {
+      FeedPages();
+      return false;
+    }
+    if (pred_->Eval(*out)) {
+      if (prof_ != nullptr) prof_->AddRows(1);
+      return true;
+    }
   }
 }
 
 Result<bool> TableScan::NextBatch(Batch* out) {
+  obs::OpTimer timer(prof_);
   SMADB_RETURN_NOT_OK(CheckRuntime("TableScan"));
   out->Clear();
   SMADB_ASSIGN_OR_RETURN(bool has, reader_.NextBatch(&out->cols));
-  if (!has) return false;
+  if (!has) {
+    FeedPages();
+    return false;
+  }
   out->SelectAll();
   pred_->EvalBatch(out->cols, &out->sel);
+  if (prof_ != nullptr) {
+    prof_->AddBatches(1);
+    prof_->AddRows(out->sel.count());
+    FeedPages();
+  }
   return true;
 }
 

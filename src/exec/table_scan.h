@@ -34,11 +34,25 @@ class TableScan final : public Operator {
     pred_->AddReferencedColumns(mask);
   }
 
+  void BindContext(util::QueryContext* ctx) override {
+    Operator::BindContext(ctx);
+    BindProfile("TableScan");
+  }
+
  private:
+  /// Feeds the reader's page-fetch delta to the profile node (idempotent:
+  /// only new fetches since the last call are added).
+  void FeedPages() {
+    if (prof_ == nullptr) return;
+    prof_->AddPagesRead(reader_.pages_opened() - pages_fed_);
+    pages_fed_ = reader_.pages_opened();
+  }
+
   storage::Table* table_;
   expr::PredicatePtr pred_;
   BucketReader reader_;
   size_t rows_since_check_ = 0;
+  uint64_t pages_fed_ = 0;
 };
 
 }  // namespace smadb::exec

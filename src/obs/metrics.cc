@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace smadb::obs {
+
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  int64_t counts[kBuckets];
+  int64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the q-th observation (1-based), then walk to its bucket.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(q * static_cast<double>(total) + 0.5));
+  int64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] >= rank) {
+      // Interpolate between the bucket's bounds [lo, hi) by the rank's
+      // position among this bucket's observations.
+      const double lo = i == 0 ? 0.0 : static_cast<double>(int64_t{1} << (i - 1));
+      const double hi = static_cast<double>(int64_t{1} << i);
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(int64_t{1} << (kBuckets - 1));
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) return it->second.counter;
+  counters_.emplace_back();
+  Entry e;
+  e.kind = MetricSnapshot::Kind::kCounter;
+  e.help = std::move(help);
+  e.counter = &counters_.back();
+  entries_.emplace(name, std::move(e));
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) return it->second.gauge;
+  gauges_.emplace_back();
+  Entry e;
+  e.kind = MetricSnapshot::Kind::kGauge;
+  e.help = std::move(help);
+  e.gauge = &gauges_.back();
+  entries_.emplace(name, std::move(e));
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) return it->second.histogram;
+  histograms_.emplace_back();
+  Entry e;
+  e.kind = MetricSnapshot::Kind::kHistogram;
+  e.help = std::move(help);
+  e.histogram = &histograms_.back();
+  entries_.emplace(name, std::move(e));
+  return &histograms_.back();
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       std::string help,
+                                       std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];  // replaces an existing callback under the name
+  e.kind = MetricSnapshot::Kind::kGauge;
+  e.help = std::move(help);
+  e.callback = std::move(fn);
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.help = e.help;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.value = e.counter->value();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.value = e.callback ? e.callback() : e.gauge->value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        s.count = e.histogram->count();
+        s.sum = e.histogram->sum();
+        s.p50 = e.histogram->Quantile(0.50);
+        s.p95 = e.histogram->Quantile(0.95);
+        s.p99 = e.histogram->Quantile(0.99);
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  char buf[256];
+  for (const MetricSnapshot& s : Snapshot()) {
+    if (!s.help.empty()) {
+      out += "# HELP " + s.name + " " + s.help + "\n";
+    }
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += "# TYPE " + s.name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%s %lld\n", s.name.c_str(),
+                      static_cast<long long>(s.value));
+        out += buf;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += "# TYPE " + s.name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%s %lld\n", s.name.c_str(),
+                      static_cast<long long>(s.value));
+        out += buf;
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        out += "# TYPE " + s.name + " summary\n";
+        std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.5\"} %.1f\n",
+                      s.name.c_str(), s.p50);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.95\"} %.1f\n",
+                      s.name.c_str(), s.p95);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.99\"} %.1f\n",
+                      s.name.c_str(), s.p99);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_sum %lld\n%s_count %lld\n",
+                      s.name.c_str(), static_cast<long long>(s.sum),
+                      s.name.c_str(), static_cast<long long>(s.count));
+        out += buf;
+        break;
+    }
+  }
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace smadb::obs

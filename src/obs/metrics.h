@@ -1,0 +1,179 @@
+// Process-wide metrics registry (DESIGN.md §11): named counters, gauges,
+// and fixed-bucket latency histograms, cheap enough for the query hot path.
+//
+// Design points:
+//   * Counter — sharded across cache-line-padded atomics (thread id picks
+//     the shard), so concurrent morsel workers never contend on one line.
+//   * Gauge — a single atomic, Set/Add semantics; callback gauges sample a
+//     `std::function<int64_t()>` at snapshot time, which is how the
+//     pre-existing stat structs (PoolStats, IoStats, MemoryTracker) fold
+//     into the registry without a second bookkeeping path.
+//   * Histogram — power-of-two buckets (bucket i holds values in
+//     [2^(i-1), 2^i)), quantiles by linear interpolation inside the hit
+//     bucket. Observe() is two relaxed fetch_adds; good for latencies in
+//     microseconds where 2x resolution is plenty.
+//   * Registration is idempotent by name and instruments are never
+//     deallocated while the registry lives, so callers cache the returned
+//     pointer once and update it lock-free forever after.
+//
+// Snapshot() walks everything under the registration mutex and returns a
+// consistent-enough view (each instrument is read atomically; cross-metric
+// skew is bounded by the walk). RenderPrometheus() emits the text
+// exposition format for Database::ExportMetrics().
+
+#ifndef SMADB_OBS_METRICS_H_
+#define SMADB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smadb::obs {
+
+/// Monotonic counter, sharded to keep concurrent writers off one cache line.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    shards_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+
+  int64_t value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  static constexpr size_t kShards = 8;
+
+  static size_t ShardIndex() {
+    // Hash of the thread id, computed once per thread.
+    static thread_local const size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+    return shard;
+  }
+
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed power-of-two-bucket histogram; values are expected non-negative
+/// (negative observations land in bucket 0).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;  // covers up to ~2^39 ≈ 9 minutes ns→μs scale
+
+  void Observe(int64_t v) {
+    counts_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v > 0 ? v : 0, std::memory_order_relaxed);
+  }
+
+  int64_t count() const {
+    int64_t n = 0;
+    for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+    return n;
+  }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// q in [0,1]; linear interpolation inside the bucket holding the rank.
+  /// Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  static size_t BucketIndex(int64_t v) {
+    if (v <= 0) return 0;
+    size_t i = 0;
+    while (i + 1 < kBuckets && (int64_t{1} << i) <= v) ++i;
+    return i;
+  }
+
+  std::atomic<int64_t> counts_[kBuckets] = {};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// One metric's state at snapshot time.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;          // counter / gauge (incl. callback gauges)
+  int64_t count = 0;          // histogram observations
+  int64_t sum = 0;            // histogram sum
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+/// Name-keyed instrument registry. Get* registration is idempotent: the
+/// first caller creates the instrument, later callers (any thread) get the
+/// same pointer. Pointers stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, std::string help = "");
+  Gauge* GetGauge(const std::string& name, std::string help = "");
+  Histogram* GetHistogram(const std::string& name, std::string help = "");
+
+  /// Registers (or replaces) a gauge whose value is sampled at snapshot
+  /// time — the bridge from existing stat structs (PoolStats, IoStats,
+  /// MemoryTracker) into the registry.
+  void RegisterCallback(const std::string& name, std::string help,
+                        std::function<int64_t()> fn);
+
+  /// Every instrument, sorted by name. Callback gauges are sampled here.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus text exposition format (counters/gauges plus histogram
+  /// count/sum/quantile series).
+  std::string RenderPrometheus() const;
+
+  /// Process-wide default registry (benchmarks and ad-hoc callers; each
+  /// Database defaults to a private registry so tests stay isolated).
+  static MetricsRegistry* Default();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    std::string help;
+    // Exactly one of these is live, per kind. deque-stored so pointers are
+    // stable across registrations.
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+    std::function<int64_t()> callback;  // callback gauges only
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // map: deterministic render order
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace smadb::obs
+
+#endif  // SMADB_OBS_METRICS_H_

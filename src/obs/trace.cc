@@ -1,0 +1,86 @@
+#include "obs/trace.h"
+
+#include "util/string_util.h"
+
+namespace smadb::obs {
+
+void TraceSink::Record(uint64_t query_id, std::string name,
+                       std::chrono::steady_clock::time_point start,
+                       std::string note) {
+  const auto now = std::chrono::steady_clock::now();
+  TraceEvent e;
+  e.query_id = query_id;
+  e.name = std::move(name);
+  e.start_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start - epoch_)
+          .count());
+  e.duration_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - start)
+          .count());
+  e.note = std::move(note);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: from next_ when full, from 0 while filling.
+  const size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceSink::DumpJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& e : Events()) {
+    if (!first) out += ",";
+    first = false;
+    out += util::Format(
+        "\n  {\"query\": %llu, \"span\": \"%s\", \"start_us\": %llu, "
+        "\"duration_us\": %llu",
+        static_cast<unsigned long long>(e.query_id),
+        JsonEscape(e.name).c_str(),
+        static_cast<unsigned long long>(e.start_us),
+        static_cast<unsigned long long>(e.duration_us));
+    if (!e.note.empty()) {
+      out += ", \"note\": \"" + JsonEscape(e.note) + "\"";
+    }
+    out += "}";
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace smadb::obs

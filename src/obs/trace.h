@@ -1,0 +1,86 @@
+// Query-lifecycle trace spans (DESIGN.md §11): a bounded ring of
+// {query_id, name, start, duration, note} records covering admission wait,
+// parse, plan, execute, degradation events, and cancel/deadline trips.
+//
+// The sink is deliberately minimal: one mutex, a fixed-capacity ring that
+// overwrites the oldest span, and a JSON dump for offline inspection
+// (`show trace` / Database::DumpTrace()). Spans are recorded at query
+// granularity (a handful per query), so the mutex is never on a hot path.
+
+#ifndef SMADB_OBS_TRACE_H_
+#define SMADB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smadb::obs {
+
+struct TraceEvent {
+  uint64_t query_id = 0;
+  std::string name;          // "admission", "parse", "plan", "execute", ...
+  uint64_t start_us = 0;     // steady-clock µs since the sink was created
+  uint64_t duration_us = 0;
+  std::string note;          // optional ("degraded: ...", "cancelled at ...")
+};
+
+/// Fixed-capacity overwrite-oldest span sink.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        epoch_(std::chrono::steady_clock::now()) {}
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Records a span that started at `start` and just ended.
+  void Record(uint64_t query_id, std::string name,
+              std::chrono::steady_clock::time_point start,
+              std::string note = "");
+
+  /// Oldest-first copy of the ring.
+  std::vector<TraceEvent> Events() const;
+
+  /// JSON array of span objects, oldest first.
+  std::string DumpJson() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
+  size_t next_ = 0;               // ring_ slot the next span lands in
+};
+
+/// RAII span: records into the sink at destruction (null sink → no-op).
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink* sink, uint64_t query_id, std::string name)
+      : sink_(sink), query_id_(query_id), name_(std::move(name)) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~TraceSpan() {
+    if (sink_ != nullptr) {
+      sink_->Record(query_id_, std::move(name_), start_, std::move(note_));
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void set_note(std::string note) { note_ = std::move(note); }
+
+ private:
+  TraceSink* sink_;
+  uint64_t query_id_;
+  std::string name_;
+  std::string note_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace smadb::obs
+
+#endif  // SMADB_OBS_TRACE_H_

@@ -1,6 +1,8 @@
 #include "planner/planner.h"
 
 #include "exec/parallel_aggr.h"
+#include "obs/profile.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -358,13 +360,28 @@ bool DemotableFailure(const Status& s) {
 
 }  // namespace
 
+namespace {
+
+uint64_t ElapsedNs(const util::Stopwatch& w) {
+  return static_cast<uint64_t>(w.ElapsedSeconds() * 1e9);
+}
+
+}  // namespace
+
 Result<QueryResult> Planner::Execute(const AggQuery& query,
                                      util::QueryContext* ctx) const {
+  obs::QueryProfile* prof = ctx != nullptr ? ctx->profile() : nullptr;
+  util::Stopwatch plan_watch;
   SMADB_ASSIGN_OR_RETURN(PlanChoice choice, Choose(query, ctx));
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
                          Build(query, choice.kind, choice.dop));
   if (ctx != nullptr) op->BindContext(ctx);
+  // Phases accumulate: a degradation-ladder rerun adds its own planning and
+  // execution time into the same rows, so the report covers the whole query.
+  obs::QueryProfile::Phase(prof, "plan", ElapsedNs(plan_watch));
+  util::Stopwatch exec_watch;
   Result<QueryResult> run = RunToCompletion(op.get(), ctx);
+  obs::QueryProfile::Phase(prof, "execute", ElapsedNs(exec_watch));
   if (run.ok()) {
     run->plan = choice;
     AnnotateGovernor(&run->plan, ctx);
@@ -382,11 +399,15 @@ Result<QueryResult> Planner::Execute(const AggQuery& query,
         Demoted(query.table->num_buckets(), /*select=*/false,
                 std::string(PlanKindToString(choice.kind)) +
                     " failed mid-run (" + run.status().message() + ")");
+    obs::QueryProfile::Event(prof, "demoted to sequential scan: " +
+                                       fallback.explanation);
     SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> rerun,
                            Build(query, PlanKind::kScanAggr, fallback.dop));
     if (ctx != nullptr) rerun->BindContext(ctx);
+    util::Stopwatch rerun_watch;
     SMADB_ASSIGN_OR_RETURN(QueryResult result,
                            RunToCompletion(rerun.get(), ctx));
+    obs::QueryProfile::Phase(prof, "execute", ElapsedNs(rerun_watch));
     result.plan = fallback;
     AnnotateGovernor(&result.plan, ctx);
     return result;
@@ -400,6 +421,8 @@ Result<QueryResult> Planner::Execute(const AggQuery& query,
       options_.batch_size > 0) {
     ctx->BeginDegradedRun("demoted vectorized plan to row mode (" +
                           run.status().message() + ")");
+    obs::QueryProfile::Event(prof, "demoted vectorized plan to row mode (" +
+                                       run.status().message() + ")");
     PlannerOptions row_options = options_;
     row_options.batch_size = 0;
     Planner row_planner(smas_, row_options);
@@ -415,6 +438,8 @@ Result<QueryResult> Planner::Execute(const AggQuery& query,
        run.status().code() == StatusCode::kDeadlineExceeded)) {
     ctx->BeginDegradedRun("degraded to SMA-only partial answer (" +
                           run.status().message() + ")");
+    obs::QueryProfile::Event(prof, "degraded to SMA-only partial answer (" +
+                                       run.status().message() + ")");
     exec::SmaGAggrOptions sma_options;
     sma_options.degree_of_parallelism = choice.dop;
     sma_options.sma_only = true;  // never decodes bucket data
@@ -423,8 +448,10 @@ Result<QueryResult> Planner::Execute(const AggQuery& query,
         SmaGAggr::Make(query.table, query.pred, query.group_by, query.aggs,
                        smas_, sma_options));
     sma_op->BindContext(ctx);
+    util::Stopwatch degraded_watch;
     SMADB_ASSIGN_OR_RETURN(QueryResult result,
                            RunToCompletion(sma_op.get(), ctx));
+    obs::QueryProfile::Phase(prof, "execute", ElapsedNs(degraded_watch));
     result.plan = choice;
     result.plan.degraded = true;
     result.plan.explanation += util::Format(
@@ -438,11 +465,16 @@ Result<QueryResult> Planner::Execute(const AggQuery& query,
 
 Result<QueryResult> Planner::ExecuteSelect(const SelectQuery& query,
                                            util::QueryContext* ctx) const {
+  obs::QueryProfile* prof = ctx != nullptr ? ctx->profile() : nullptr;
+  util::Stopwatch plan_watch;
   SMADB_ASSIGN_OR_RETURN(PlanChoice choice, ChooseSelect(query, ctx));
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
                          BuildSelect(query, choice.kind));
   if (ctx != nullptr) op->BindContext(ctx);
+  obs::QueryProfile::Phase(prof, "plan", ElapsedNs(plan_watch));
+  util::Stopwatch exec_watch;
   Result<QueryResult> run = RunToCompletion(op.get(), ctx);
+  obs::QueryProfile::Phase(prof, "execute", ElapsedNs(exec_watch));
   if (run.ok()) {
     run->plan = choice;
     AnnotateGovernor(&run->plan, ctx);
@@ -460,10 +492,14 @@ Result<QueryResult> Planner::ExecuteSelect(const SelectQuery& query,
       Demoted(query.table->num_buckets(), /*select=*/true,
               std::string(PlanKindToString(choice.kind)) +
                   " failed mid-run (" + run.status().message() + ")");
+  obs::QueryProfile::Event(prof, "demoted to sequential scan: " +
+                                     fallback.explanation);
   SMADB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> rerun,
                          BuildSelect(query, PlanKind::kScan));
   if (ctx != nullptr) rerun->BindContext(ctx);
+  util::Stopwatch rerun_watch;
   SMADB_ASSIGN_OR_RETURN(QueryResult result, RunToCompletion(rerun.get(), ctx));
+  obs::QueryProfile::Phase(prof, "execute", ElapsedNs(rerun_watch));
   result.plan = fallback;
   AnnotateGovernor(&result.plan, ctx);
   return result;

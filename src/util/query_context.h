@@ -40,6 +40,10 @@
 
 #include "util/status.h"
 
+namespace smadb::obs {
+class QueryProfile;  // obs/profile.h — util stays below obs in the layering
+}
+
 namespace smadb::util {
 
 /// Cooperative cancellation: a thread-safe flag + optional deadline.
@@ -166,6 +170,13 @@ class QueryContext {
   const CancelToken* cancel() const { return owned_cancel_.get(); }
   MemoryTracker* memory() { return &memory_; }
 
+  /// Attaches the query's execution profile (`explain analyze`; DESIGN.md
+  /// §11). Carried as an opaque pointer so util stays below obs in the
+  /// layering; operators and the planner feed it through obs/profile.h.
+  /// Null (the default) means unprofiled — every feed site is one branch.
+  void set_profile(obs::QueryProfile* profile) { profile_ = profile; }
+  obs::QueryProfile* profile() const { return profile_; }
+
   /// Arms the session deadline (and records it for explanations); 0 = none.
   void set_timeout_ms(uint64_t ms) {
     timeout_ms_ = ms;
@@ -208,6 +219,7 @@ class QueryContext {
  private:
   std::shared_ptr<CancelToken> owned_cancel_;
   MemoryTracker memory_;
+  obs::QueryProfile* profile_ = nullptr;
   uint64_t timeout_ms_ = 0;
   mutable std::mutex mu_;  // guards degradations_
   std::vector<std::string> degradations_;

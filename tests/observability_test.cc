@@ -1,0 +1,465 @@
+// Observability suite (DESIGN.md §11): metrics registry units, trace-ring
+// semantics, and — the load-bearing part — explain-analyze bucket censuses
+// checked against grade ground truth across the vectorized predicate
+// matrix, in row and batch mode, serial and parallel, including the
+// degradation-ladder rerun where the pre-fix code double-counted.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/bucket_source.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "planner/planner.h"
+#include "sma/builder.h"
+#include "tests/test_util.h"
+#include "util/query_context.h"
+
+namespace smadb {
+namespace {
+
+using exec::AggSpec;
+using expr::CmpOp;
+using expr::Predicate;
+using expr::PredicatePtr;
+using plan::AggQuery;
+using plan::Planner;
+using plan::PlannerOptions;
+using plan::PlanKind;
+using plan::RunToCompletion;
+using testing::AddMinMaxSmas;
+using testing::ExpectOk;
+using testing::Layout;
+using testing::MakeSyntheticTable;
+using testing::TestDb;
+using testing::Unwrap;
+using util::QueryContext;
+using util::StatusCode;
+using util::Value;
+
+// ------------------------------------------------------- metrics units ---
+
+TEST(MetricsTest, CounterSumsAcrossThreads) {
+  obs::Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80000);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  obs::Gauge g;
+  g.Set(42);
+  g.Add(-2);
+  EXPECT_EQ(g.value(), 40);
+}
+
+TEST(MetricsTest, HistogramCountSumAndQuantiles) {
+  obs::Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.sum(), 500500);
+  // Power-of-two buckets: the interpolated median lands inside [256, 1024)
+  // (the buckets holding ranks around 500), p99 at the top of the range.
+  EXPECT_GE(h.Quantile(0.5), 256.0);
+  EXPECT_LE(h.Quantile(0.5), 1024.0);
+  EXPECT_GE(h.Quantile(0.99), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.99), 1024.0);
+  // Empty histogram: quantiles are 0, not NaN.
+  obs::Histogram empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, RegistryRegistrationIsIdempotent) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter("x_total", "a counter");
+  obs::Counter* b = reg.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  const auto snaps = reg.Snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "x_total");
+  EXPECT_EQ(snaps[0].value, 3);
+}
+
+TEST(MetricsTest, CallbackGaugeSampledAtSnapshot) {
+  obs::MetricsRegistry reg;
+  std::atomic<int64_t> source{7};
+  reg.RegisterCallback("cb", "callback gauge",
+                       [&source] { return source.load(); });
+  EXPECT_EQ(reg.Snapshot()[0].value, 7);
+  source = 9;
+  EXPECT_EQ(reg.Snapshot()[0].value, 9);
+}
+
+TEST(MetricsTest, RenderPrometheusEmitsTypedSeries) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("c_total", "help c")->Add(5);
+  reg.GetGauge("g", "help g")->Set(-2);
+  reg.GetHistogram("h_us", "help h")->Observe(100);
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE c_total counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("c_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE g gauge"), std::string::npos);
+  EXPECT_NE(text.find("g -2"), std::string::npos);
+  EXPECT_NE(text.find("h_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile"), std::string::npos);
+}
+
+// ---------------------------------------------------------- trace ring ---
+
+TEST(TraceTest, RingOverwritesOldestAndKeepsOrder) {
+  obs::TraceSink sink(/*capacity=*/4);
+  for (uint64_t q = 1; q <= 6; ++q) {
+    obs::TraceSpan span(&sink, q, "span" + std::to_string(q));
+  }
+  const auto events = sink.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "span3");  // 1 and 2 overwritten
+  EXPECT_EQ(events.back().name, "span6");
+}
+
+TEST(TraceTest, DumpJsonIsAnArrayOfSpans) {
+  obs::TraceSink sink(8);
+  {
+    obs::TraceSpan span(&sink, 1, "parse");
+    span.set_note("with \"quotes\"");
+  }
+  const std::string json = sink.DumpJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"span\": \"parse\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos) << json;
+}
+
+TEST(TraceTest, NullSinkSpanIsANoop) {
+  obs::TraceSpan span(nullptr, 1, "nothing");  // must not crash
+}
+
+// ------------------------------------- census vs grade ground truth ------
+
+struct Census {
+  uint64_t q = 0, d = 0, a = 0;
+  bool operator==(const Census& o) const {
+    return q == o.q && d == o.d && a == o.a;
+  }
+};
+
+// Independent grade walk — the same machinery the planner's Census uses,
+// exercised directly so the profile is checked against first principles.
+Census GroundTruth(storage::Table* table, const PredicatePtr& pred,
+                   const sma::SmaSet* smas) {
+  exec::BucketSource source(table, pred, smas);
+  exec::BucketUnit unit;
+  Census c;
+  while (Unwrap(source.NextGraded(&unit))) {
+    switch (unit.grade) {
+      case sma::Grade::kQualifies: ++c.q; break;
+      case sma::Grade::kDisqualifies: ++c.d; break;
+      case sma::Grade::kAmbivalent: ++c.a; break;
+    }
+  }
+  return c;
+}
+
+const obs::OperatorProfile* FindCensusNode(const obs::OperatorProfile* node) {
+  if (node->qualifying() + node->disqualifying() + node->ambivalent() > 0) {
+    return node;
+  }
+  for (const obs::OperatorProfile* child : node->children()) {
+    if (const auto* hit = FindCensusNode(child)) return hit;
+  }
+  return nullptr;
+}
+
+const obs::OperatorProfile* FindCensusNode(const obs::QueryProfile& profile) {
+  for (const obs::OperatorProfile* root : profile.roots()) {
+    if (const auto* hit = FindCensusNode(root)) return hit;
+  }
+  return nullptr;
+}
+
+struct ProfileCensusTest : ::testing::Test {
+  void Setup(const std::string& name) {
+    table = MakeSyntheticTable(&db, 2000, Layout::kNoisy, 21, 1, name);
+    smas = std::make_unique<sma::SmaSet>(table);
+    AddMinMaxSmas(table, smas.get(), "d");
+    const expr::ExprPtr v = Unwrap(expr::Column(&table->schema(), "v"));
+    ExpectOk(smas->Add(
+        Unwrap(sma::BuildSma(table, sma::SmaSpec::Sum("sum_v", v, {3})))));
+    ExpectOk(smas->Add(
+        Unwrap(sma::BuildSma(table, sma::SmaSpec::Count("cnt", {3})))));
+    query.table = table;
+    query.group_by = {3};
+    query.aggs = {AggSpec::Sum(v, "sum_v"), AggSpec::Count("cnt")};
+  }
+
+  std::vector<PredicatePtr> PredicateMatrix() const {
+    const auto& schema = table->schema();
+    return {
+        Predicate::True(),
+        Unwrap(Predicate::AtomConst(&schema, "d", CmpOp::kLe,
+                                    Value::MakeDate(util::Date(125)))),
+        Unwrap(Predicate::AtomConst(&schema, "d", CmpOp::kGt,
+                                    Value::MakeDate(util::Date(500)))),
+        Predicate::And(
+            Unwrap(Predicate::AtomConst(&schema, "d", CmpOp::kLe,
+                                        Value::MakeDate(util::Date(125)))),
+            Unwrap(Predicate::AtomString(&schema, "grp", CmpOp::kEq, "A"))),
+        Predicate::Or(
+            Unwrap(Predicate::AtomConst(&schema, "k", CmpOp::kLt,
+                                        Value::Int64(64))),
+            Unwrap(
+                Predicate::AtomString(&schema, "tag", CmpOp::kEq, "RAIL"))),
+    };
+  }
+
+  TestDb db{16384};
+  storage::Table* table = nullptr;
+  std::unique_ptr<sma::SmaSet> smas;
+  AggQuery query;
+};
+
+// The tentpole invariant: for every predicate shape, execution mode, and
+// degree of parallelism, the profile's q/d/a counts equal the independent
+// grade walk, and q+d+a covers every bucket exactly once.
+TEST_F(ProfileCensusTest, EveryPlanShapeMatchesGradeGroundTruth) {
+  Setup("pc1");
+  const auto preds = PredicateMatrix();
+  for (size_t p = 0; p < preds.size(); ++p) {
+    query.pred = preds[p];
+    const Census want = GroundTruth(table, query.pred, smas.get());
+    ASSERT_EQ(want.q + want.d + want.a, table->num_buckets());
+    for (const size_t batch_size : {size_t{0}, size_t{256}}) {
+      for (const size_t dop : {size_t{1}, size_t{4}}) {
+        for (const PlanKind kind :
+             {PlanKind::kSmaScanAggr, PlanKind::kSmaGAggr}) {
+          SCOPED_TRACE(::testing::Message()
+                       << "pred " << p << " batch=" << batch_size
+                       << " dop=" << dop << " kind "
+                       << plan::PlanKindToString(kind));
+          PlannerOptions options;
+          options.batch_size = batch_size;
+          Planner planner(smas.get(), options);
+          auto op = Unwrap(planner.Build(query, kind, dop));
+          obs::QueryProfile profile;
+          QueryContext ctx;
+          ctx.set_profile(&profile);
+          op->BindContext(&ctx);
+          Unwrap(RunToCompletion(op.get(), &ctx));
+          const obs::OperatorProfile* node = FindCensusNode(profile);
+          ASSERT_NE(node, nullptr);
+          const Census got{node->qualifying(), node->disqualifying(),
+                           node->ambivalent()};
+          EXPECT_EQ(got.q, want.q) << node->name();
+          EXPECT_EQ(got.d, want.d) << node->name();
+          EXPECT_EQ(got.a, want.a) << node->name();
+        }
+      }
+    }
+  }
+}
+
+// Satellite-2 regression: a vectorized attempt that dies on its memory
+// budget merges each worker's partial census exactly once into the FAILED
+// node, and the row-mode rerun registers a fresh node whose census again
+// equals ground truth — no double counting across the ladder.
+TEST_F(ProfileCensusTest, DegradedRerunCountsEachAttemptOnce) {
+  Setup("pc2");
+  query.pred = Unwrap(Predicate::AtomConst(
+      &table->schema(), "d", CmpOp::kLe, Value::MakeDate(util::Date(125))));
+  const Census want = GroundTruth(table, query.pred, smas.get());
+  for (const size_t dop : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE(::testing::Message() << "dop " << dop);
+    PlannerOptions options;
+    options.degree_of_parallelism = dop;
+    ASSERT_GT(options.batch_size, 0u) << "rung 2 needs a vectorized plan";
+    Planner planner(smas.get(), options);
+    obs::QueryProfile profile;
+    // Budget too small for a ColumnBatch, fine for row-mode group state.
+    QueryContext ctx(/*global_memory=*/nullptr, /*memory_limit=*/6 * 1024);
+    ctx.set_profile(&profile);
+    const auto run = planner.Execute(query, &ctx);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_NE(run->plan.explanation.find("row mode"), std::string::npos)
+        << run->plan.explanation;
+    // The ladder left a demotion event in the profile.
+    bool saw_event = false;
+    for (const std::string& e : profile.events()) {
+      saw_event |= e.find("row mode") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_event);
+    // Exactly one failed attempt and one successful one, each with its own
+    // node; the successful node's census equals ground truth exactly.
+    size_t failed_nodes = 0, exact_nodes = 0;
+    for (const obs::OperatorProfile* root : profile.roots()) {
+      if (const obs::OperatorProfile* node = FindCensusNode(root)) {
+        const Census got{node->qualifying(), node->disqualifying(),
+                         node->ambivalent()};
+        EXPECT_LE(got.q + got.d + got.a, table->num_buckets())
+            << node->name() << " over-counted";
+        if (node->failed()) {
+          ++failed_nodes;
+        } else if (got == want) {
+          ++exact_nodes;
+        }
+      } else if (root->failed()) {
+        ++failed_nodes;  // died before tallying any bucket
+      }
+    }
+    EXPECT_GE(failed_nodes, 1u);
+    EXPECT_EQ(exact_nodes, 1u);
+  }
+}
+
+// ------------------------------------------------------ Database level ---
+
+db::Database* MakeDatabase(db::DatabaseOptions options = {}) {
+  auto* database = new db::Database(options);
+  auto* table = Unwrap(database->CreateTable("t", testing::SyntheticSchema()));
+  util::Rng rng(11);
+  static const char* kTags[] = {"MAIL", "RAIL", "SHIP", "AIR"};
+  storage::TupleBuffer t(&table->schema());
+  for (int64_t i = 0; i < 2000; ++i) {
+    t.SetInt64(0, i);
+    t.SetDate(1, util::Date(static_cast<int32_t>(i / 8)));
+    t.SetDecimal(2, util::Decimal(i * 3));
+    const char grp = static_cast<char>('A' + rng.Uniform(0, 2));
+    t.SetString(3, std::string_view(&grp, 1));
+    t.SetString(4, kTags[rng.Uniform(0, 3)]);
+    ExpectOk(database->Insert("t", t));
+  }
+  ExpectOk(database->Execute("define sma mind select min(d) from t"));
+  ExpectOk(database->Execute("define sma maxd select max(d) from t"));
+  return database;
+}
+
+TEST(DatabaseObsTest, ExplainAnalyzeCensusCoversTheTableAndPoolAgrees) {
+  std::unique_ptr<db::Database> database(MakeDatabase());
+  storage::Table* table = Unwrap(database->GetTable("t"));
+  const storage::PoolStats before = database->pool()->stats();
+  // Day 14 of 0..250: selective enough that Choose picks an SMA plan
+  // (the census only exists when buckets are graded).
+  const auto result = Unwrap(database->Query(
+      "explain analyze select count(*) from t where d <= '1970-01-15'"));
+  const storage::PoolStats after = database->pool()->stats();
+
+  ASSERT_FALSE(result.rows.empty());
+  std::string report;
+  for (const auto& row : result.rows) {
+    report += row.AsRef().GetValue(0).AsString();
+    report += '\n';
+  }
+  EXPECT_NE(report.find("operators:"), std::string::npos) << report;
+  EXPECT_NE(report.find("wall="), std::string::npos) << report;
+  EXPECT_NE(report.find("phases:"), std::string::npos) << report;
+
+  const obs::QueryProfile* profile = database->last_profile();
+  ASSERT_NE(profile, nullptr);
+  const obs::OperatorProfile* node = FindCensusNode(*profile);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->qualifying() + node->disqualifying() + node->ambivalent(),
+            table->num_buckets());
+  EXPECT_GT(node->wall_ns(), 0u);
+  // The profile's pool figures are the same deltas we observe outside.
+  EXPECT_EQ(profile->pool_hits(), after.hits - before.hits);
+  EXPECT_EQ(profile->pool_misses(), after.misses - before.misses);
+  EXPECT_GT(profile->pool_hits() + profile->pool_misses(), 0u);
+
+  // And `show profile` replays the same report.
+  const auto replay = Unwrap(database->Query("show profile"));
+  EXPECT_EQ(replay.rows.size(), result.rows.size());
+}
+
+TEST(DatabaseObsTest, QueryCountersAndLatencyHistogramAdvance) {
+  std::unique_ptr<db::Database> database(MakeDatabase());
+  Unwrap(database->Query("select count(*) from t"));
+  EXPECT_FALSE(database->Query("select count(*) from missing").ok());
+  int64_t total = -1, failed = -1, hist_count = -1;
+  for (const auto& s : database->metrics()->Snapshot()) {
+    if (s.name == "smadb_queries_total") total = s.value;
+    if (s.name == "smadb_queries_failed_total") failed = s.value;
+    if (s.name == "smadb_query_latency_us") hist_count = s.count;
+  }
+  EXPECT_EQ(total, 2);
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(hist_count, 2);
+  const std::string prom = database->ExportMetrics();
+  EXPECT_NE(prom.find("# TYPE smadb_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("smadb_pool_hits"), std::string::npos);
+}
+
+TEST(DatabaseObsTest, ShowStatementsAndTrace) {
+  std::unique_ptr<db::Database> database(MakeDatabase());
+  Unwrap(database->Query("select count(*) from t"));
+
+  const auto metrics = Unwrap(database->Query("show metrics"));
+  ASSERT_FALSE(metrics.rows.empty());
+  std::string joined;
+  for (const auto& row : metrics.rows) {
+    joined += row.AsRef().GetValue(0).AsString();
+    joined += '\n';
+  }
+  EXPECT_NE(joined.find("smadb_queries_total = 1"), std::string::npos)
+      << joined;
+
+  const auto trace = Unwrap(database->Query("show trace"));
+  ASSERT_FALSE(trace.rows.empty());
+  const std::string first = trace.rows[0].AsRef().GetValue(0).AsString();
+  EXPECT_NE(first.find("[q"), std::string::npos) << first;
+  EXPECT_NE(database->DumpTrace().find("\"span\": \"execute\""),
+            std::string::npos);
+
+  // `show profile` before any explain analyze: a friendly hint, not rows.
+  std::unique_ptr<db::Database> fresh(new db::Database());
+  const auto none = Unwrap(fresh->Query("show profile"));
+  ASSERT_EQ(none.rows.size(), 1u);
+  EXPECT_NE(none.rows[0].AsRef().GetValue(0).AsString().find("no profiled"),
+            std::string::npos);
+
+  EXPECT_FALSE(database->Query("show nonsense").ok());
+}
+
+TEST(DatabaseObsTest, DisabledMetricsLeaveRegistryAndTraceEmpty) {
+  db::DatabaseOptions options;
+  options.enable_metrics = false;
+  std::unique_ptr<db::Database> database(MakeDatabase(options));
+  Unwrap(database->Query("select count(*) from t"));
+  EXPECT_TRUE(database->metrics()->Snapshot().empty());
+  EXPECT_TRUE(database->trace()->Events().empty());
+  // explain analyze still profiles — opt-in per statement, not per DB.
+  const auto result =
+      Unwrap(database->Query("explain analyze select count(*) from t"));
+  EXPECT_FALSE(result.rows.empty());
+  EXPECT_NE(database->last_profile(), nullptr);
+}
+
+TEST(DatabaseObsTest, SharedRegistryIsFedInstead) {
+  obs::MetricsRegistry shared;
+  db::DatabaseOptions options;
+  options.metrics_registry = &shared;
+  {
+    std::unique_ptr<db::Database> database(MakeDatabase(options));
+    Unwrap(database->Query("select count(*) from t"));
+    bool found = false;
+    for (const auto& s : shared.Snapshot()) {
+      found |= s.name == "smadb_queries_total" && s.value == 1;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace smadb
