@@ -1,0 +1,203 @@
+// Experiment X11 — the price of durability (extension, not in the paper):
+//
+//   1. WAL append throughput: inserts through the durable path with the
+//      sync policy set to manual (staging + buffered flush only), in rows/s
+//      and logged MB/s.
+//   2. Commit latency vs the group-commit window: average acknowledged-
+//      insert latency at wal_sync_interval 1 (fdatasync per commit), 8, and
+//      64. The window is the paper-era trade: latency for tail-loss bound.
+//   3. Recovery time vs WAL length: crash after N committed inserts, time
+//      Open()'s replay for growing N.
+//   4. Reopen vs rebuild for SMAs: restoring SMAs from the checkpoint
+//      manifest + their surviving SMA-files (clean reopen) against
+//      re-materializing them from base data (Rebuild after staleness) —
+//      the recovery-debt question `show storage` reports on.
+//
+// Emits BENCH_x11_durability.json with the headline numbers. All state
+// lives in mkdtemp directories under /tmp, removed before exit.
+
+#include <stdlib.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "db/database.h"
+#include "storage/wal.h"
+#include "util/stopwatch.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/smadb_bench_XXXXXX";
+  const char* d = ::mkdtemp(tmpl);
+  if (d == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return d;
+}
+
+storage::Schema BenchSchema() {
+  return storage::Schema({
+      storage::Field::Int64("k"),
+      storage::Field::Date("d"),
+      storage::Field::Decimal("v"),
+      storage::Field::String("grp", 1),
+      storage::Field::String("tag", 4),
+  });
+}
+
+void FillRow(storage::TupleBuffer* buf, int64_t i) {
+  buf->SetInt64(0, i);
+  buf->SetDate(1, util::Date(static_cast<int32_t>(i / 8)));
+  buf->SetDecimal(2, util::Decimal(i * 3));
+  const char grp = static_cast<char>('A' + (i % 3));
+  buf->SetString(3, std::string_view(&grp, 1));
+  buf->SetString(4, "MAIL");
+}
+
+std::unique_ptr<db::Database> OpenAt(const std::string& dir,
+                                     size_t wal_sync_interval) {
+  db::DatabaseOptions options;
+  options.storage_backend = storage::BackendKind::kFile;
+  options.storage_path = dir;
+  options.wal_sync_interval = wal_sync_interval;
+  options.enable_metrics = false;
+  return Check(db::Database::Open(std::move(options)));
+}
+
+void InsertRows(db::Database* db, int64_t from, int64_t to) {
+  storage::Table* t = Check(db->GetTable("t"));
+  storage::TupleBuffer buf(&t->schema());
+  for (int64_t i = from; i < to; ++i) {
+    FillRow(&buf, i);
+    Check(db->Insert("t", buf));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int64_t n_append = smoke ? 2000 : 50000;
+  const int64_t n_commit = smoke ? 200 : 2000;
+  const std::vector<int64_t> recovery_ns =
+      smoke ? std::vector<int64_t>{500, 2000}
+            : std::vector<int64_t>{5000, 20000, 50000};
+  const int64_t n_sma = smoke ? 2000 : 20000;
+  std::vector<std::string> tmpdirs;
+
+  bench::PrintHeader(util::Format("X11: durability costs%s",
+                                  smoke ? " (smoke)" : ""));
+
+  // ---- 1. WAL append throughput (manual sync: staging only) ---------------
+  {
+    const std::string dir = tmpdirs.emplace_back(MakeTempDir());
+    auto db = OpenAt(dir, /*wal_sync_interval=*/0);
+    Check(db->CreateTable("t", BenchSchema()));
+    util::Stopwatch watch;
+    InsertRows(db.get(), 0, n_append);
+    Check(db->SyncWal());  // one barrier closes the run
+    const double s = watch.ElapsedSeconds();
+    const double mb = static_cast<double>(db->wal()->stats().appended_bytes) /
+                      (1024.0 * 1024.0);
+    std::printf("WAL append: %lld rows in %.3f s  (%.0f rows/s, %.2f MB/s)\n",
+                static_cast<long long>(n_append), s, n_append / s, mb / s);
+    report.Add("append_rows", static_cast<double>(n_append));
+    report.Add("append_rows_per_s", n_append / s);
+    report.Add("append_mb_per_s", mb / s);
+  }
+
+  // ---- 2. commit latency vs group-commit window ---------------------------
+  for (const size_t interval : {size_t{1}, size_t{8}, size_t{64}}) {
+    const std::string dir = tmpdirs.emplace_back(MakeTempDir());
+    auto db = OpenAt(dir, interval);
+    Check(db->CreateTable("t", BenchSchema()));
+    util::Stopwatch watch;
+    InsertRows(db.get(), 0, n_commit);
+    Check(db->SyncWal());
+    const double us = watch.ElapsedSeconds() * 1e6 / n_commit;
+    std::printf("commit latency, sync every %2zu: %8.1f us/insert\n",
+                interval, us);
+    report.Add(util::Format("commit_us_interval_%zu", interval), us);
+  }
+
+  // ---- 3. recovery time vs WAL length -------------------------------------
+  for (const int64_t n : recovery_ns) {
+    const std::string dir = tmpdirs.emplace_back(MakeTempDir());
+    {
+      auto db = OpenAt(dir, /*wal_sync_interval=*/0);
+      Check(db->CreateTable("t", BenchSchema()));
+      InsertRows(db.get(), 0, n);
+      Check(db->SyncWal());
+      Check(db->CrashForTesting());
+    }
+    util::Stopwatch watch;
+    auto db = OpenAt(dir, 1);
+    const double ms = watch.ElapsedSeconds() * 1e3;
+    std::printf("recovery: %6lld-record WAL replayed in %8.2f ms "
+                "(%.1f us/record)\n",
+                static_cast<long long>(db->durability().replayed_records), ms,
+                ms * 1e3 / static_cast<double>(n));
+    report.Add(util::Format("recovery_ms_%lld", static_cast<long long>(n)),
+               ms);
+  }
+
+  // ---- 4. SMA cost at reopen: manifest restore vs rebuild -----------------
+  {
+    const std::string dir = tmpdirs.emplace_back(MakeTempDir());
+    {
+      auto db = OpenAt(dir, /*wal_sync_interval=*/0);
+      Check(db->CreateTable("t", BenchSchema()));
+      InsertRows(db.get(), 0, n_sma);
+      Check(db->Execute("define sma mn select min(d) from t"));
+      Check(db->Execute("define sma mx select max(d) from t"));
+      Check(db->Close());
+    }
+    util::Stopwatch reopen_watch;
+    auto db = OpenAt(dir, 1);
+    const double reopen_ms = reopen_watch.ElapsedSeconds() * 1e3;
+    if (db->durability().stale_smas != 0) {
+      std::fprintf(stderr, "FAIL: clean reopen restored stale SMAs\n");
+      return 1;
+    }
+    // One append straight into the table (bypassing the maintainer, like a
+    // replayed WAL record does) makes both SMAs stale; Rebuild then pays
+    // the full from-base-data re-materialization.
+    storage::Table* table = Check(db->GetTable("t"));
+    storage::TupleBuffer buf(&table->schema());
+    FillRow(&buf, n_sma);
+    Check(table->Append(buf));
+    sma::SmaMaintainer* maintainer = Check(db->Maintainer("t"));
+    util::Stopwatch rebuild_watch;
+    Check(maintainer->Rebuild());
+    const double rebuild_ms = rebuild_watch.ElapsedSeconds() * 1e3;
+    std::printf("SMA reopen (manifest restore) %8.2f ms vs "
+                "rebuild from base %8.2f ms  (%.0fx)\n",
+                reopen_ms, rebuild_ms, rebuild_ms / std::max(1e-9, reopen_ms));
+    report.Add("sma_reopen_ms", reopen_ms);
+    report.Add("sma_rebuild_ms", rebuild_ms);
+  }
+
+  bench::PrintPaperNote(
+      "not in the paper (AODB's measurement rig was a read-only warehouse "
+      "load). The durable stack prices the paper's assumption: group commit "
+      "amortizes the fsync to near the staging cost, replay stays "
+      "microseconds per record, and restoring SMAs from the checkpoint "
+      "manifest is far cheaper than re-materializing them — which is why "
+      "the manifest carries them at all.");
+
+  for (const std::string& dir : tmpdirs) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  return 0;
+}

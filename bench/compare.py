@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json reports (bench_util.h JsonReporter output).
+
+Usage:
+    bench/compare.py BASELINE CURRENT [--threshold PCT] [--strict]
+
+BASELINE and CURRENT are directories holding BENCH_*.json files (or single
+.json files). Reports are matched by their "bench" name, metrics by key.
+For every numeric metric present on both sides the relative delta is
+printed; deltas beyond the threshold (default 10%) in the *worse* direction
+are flagged as regressions.
+
+Direction is inferred from the key: *_ms / *_us / *_s / *_seconds are
+lower-is-better; *_per_s / *_speedup / *x are higher-is-better; anything
+else is reported without judgement.
+
+The comparison is informational: the exit code is 0 unless --strict is
+given, in which case flagged regressions fail the run. Keep it advisory in
+CI — bench numbers from shared runners are noisy, and the tier-1 gates live
+in the test suite, not here.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+HIGHER_IS_BETTER = ("_per_s", "_speedup", "_throughput")
+LOWER_IS_BETTER = ("_ms", "_us", "_ns", "_seconds", "_latency")
+SKIP_KEYS = {"bench", "gate"}
+
+
+def load_reports(path):
+    """Returns {bench_name: {key: value}} for a directory or a single file."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    else:
+        files = [path]
+    reports = {}
+    for f in files:
+        try:
+            with open(f) as fp:
+                data = json.load(fp)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {f}: {e}", file=sys.stderr)
+            continue
+        reports[data.get("bench", os.path.basename(f))] = data
+    return reports
+
+
+def direction(key):
+    """-1 = lower is better, +1 = higher is better, 0 = unjudged.
+
+    Substring (not suffix) matching, since parameterized keys carry their
+    unit mid-name (commit_us_interval_8, recovery_ms_5000). Rates are
+    checked first so "..._per_s" is not mistaken for a seconds metric.
+    """
+    if any(s in key for s in HIGHER_IS_BETTER):
+        return +1
+    if any(s in key for s in LOWER_IS_BETTER) or key.endswith("_s"):
+        return -1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression flag threshold in percent (default 10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero when regressions are flagged")
+    args = ap.parse_args()
+
+    base = load_reports(args.baseline)
+    curr = load_reports(args.current)
+    if not base or not curr:
+        print("nothing to compare (no parsable BENCH_*.json on one side)")
+        return 0
+
+    regressions = []
+    for name in sorted(set(base) & set(curr)):
+        b, c = base[name], curr[name]
+        keys = [k for k in c
+                if k in b and k not in SKIP_KEYS
+                and isinstance(b[k], (int, float))
+                and isinstance(c[k], (int, float))]
+        if not keys:
+            continue
+        print(f"\n{name}:")
+        for k in keys:
+            bv, cv = float(b[k]), float(c[k])
+            delta = 100.0 * (cv - bv) / bv if bv else float("inf")
+            d = direction(k)
+            worse = (d == -1 and delta > args.threshold) or \
+                    (d == +1 and delta < -args.threshold)
+            mark = "  << REGRESSION" if worse else ""
+            print(f"  {k:40s} {bv:12.4g} -> {cv:12.4g}  ({delta:+7.2f}%)"
+                  f"{mark}")
+            if worse:
+                regressions.append((name, k, delta))
+
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+    if only_base:
+        print(f"\nonly in baseline: {', '.join(only_base)}")
+    if only_curr:
+        print(f"\nonly in current:  {', '.join(only_curr)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) flagged beyond "
+              f"{args.threshold:.0f}% (informational"
+              f"{'' if not args.strict else ', strict: failing'})")
+        return 1 if args.strict else 0
+    print("\nno regressions flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,41 +6,167 @@
 #include "db/sql.h"
 #include "expr/parser.h"
 #include "sma/parser.h"
+#include "storage/file_disk.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace smadb::db {
 
+using storage::BackendKind;
 using storage::Rid;
 using storage::Table;
+using storage::WalPayloadReader;
+using storage::WalRecordType;
 using util::Result;
 using util::Status;
 
+namespace {
+
+Result<util::TypeId> TypeIdFromString(const std::string& s) {
+  if (s == "int32") return util::TypeId::kInt32;
+  if (s == "int64") return util::TypeId::kInt64;
+  if (s == "double") return util::TypeId::kDouble;
+  if (s == "decimal") return util::TypeId::kDecimal;
+  if (s == "date") return util::TypeId::kDate;
+  if (s == "string") return util::TypeId::kString;
+  return Status::Corruption("unknown field type '" + s + "'");
+}
+
+Result<sma::AggFunc> AggFuncFromString(const std::string& s) {
+  if (s == "min") return sma::AggFunc::kMin;
+  if (s == "max") return sma::AggFunc::kMax;
+  if (s == "sum") return sma::AggFunc::kSum;
+  if (s == "count") return sma::AggFunc::kCount;
+  return Status::Corruption("unknown aggregate function '" + s + "'");
+}
+
+Result<storage::Schema> SchemaFromManifest(const ManifestTable& mt) {
+  std::vector<storage::Field> fields;
+  fields.reserve(mt.fields.size());
+  for (const ManifestField& f : mt.fields) {
+    SMADB_ASSIGN_OR_RETURN(util::TypeId t, TypeIdFromString(f.type));
+    fields.push_back(storage::Field{f.name, t, f.capacity});
+  }
+  return storage::Schema(std::move(fields));
+}
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.smadb"; }
+
+}  // namespace
+
 Database::Database(DatabaseOptions options)
-    : options_(options),
-      global_memory_("global", options.global_memory_limit),
+    : Database(std::move(options), std::make_unique<storage::SimulatedDisk>(),
+               nullptr) {}
+
+Database::Database(DatabaseOptions options,
+                   std::unique_ptr<storage::DiskBackend> disk,
+                   std::unique_ptr<storage::Wal> wal)
+    : options_(std::move(options)),
+      global_memory_("global", options_.global_memory_limit),
       admission_(AdmissionController::Options{
-          .max_concurrent = options.max_concurrent_queries,
-          .max_queued = options.admission_max_queued,
+          .max_concurrent = options_.max_concurrent_queries,
+          .max_queued = options_.admission_max_queued,
           .max_wait =
-              std::chrono::milliseconds(options.admission_max_wait_ms)}),
+              std::chrono::milliseconds(options_.admission_max_wait_ms)}),
+      disk_(std::move(disk)),
+      wal_(std::move(wal)),
       pool_(std::make_unique<storage::BufferPool>(
-          &disk_,
+          disk_.get(),
           storage::BufferPoolOptions{
-              .capacity_pages = options.pool_pages,
-              .verify_checksums = options.verify_checksums,
+              .capacity_pages = options_.pool_pages,
+              .verify_checksums = options_.verify_checksums,
               // Pin charging only when a global budget exists: the tracker
               // mutex would otherwise tax every Fetch for nothing.
-              .pin_tracker = options.global_memory_limit > 0 ? &global_memory_
-                                                             : nullptr})),
+              .pin_tracker = options_.global_memory_limit > 0 ? &global_memory_
+                                                              : nullptr,
+              // WAL-before-data: no dirty page reaches the backend before
+              // every record logged so far is durable (DESIGN.md §12).
+              .pre_writeback = [this] { return SyncWal(); }})),
       catalog_(std::make_unique<storage::Catalog>(pool_.get())),
-      registry_(options.metrics_registry),
-      trace_(options.trace_capacity) {
+      registry_(options_.metrics_registry),
+      trace_(options_.trace_capacity) {
+  // The option mirrors whatever backend the instance actually got (the
+  // plain constructor always builds the simulated one).
+  options_.storage_backend = disk_->kind();
   if (registry_ == nullptr) {
     own_registry_ = std::make_unique<obs::MetricsRegistry>();
     registry_ = own_registry_.get();
   }
   if (options_.enable_metrics) InitMetrics();
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  if (options.storage_backend == BackendKind::kSimulated) {
+    return std::unique_ptr<Database>(new Database(std::move(options)));
+  }
+  if (options.storage_path.empty()) {
+    return Status::InvalidArgument(
+        "storage_backend = file requires a storage_path");
+  }
+  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileDiskManager> disk,
+                         storage::FileDiskManager::Open(options.storage_path));
+  SMADB_ASSIGN_OR_RETURN(std::unique_ptr<storage::Wal> wal,
+                         storage::Wal::Open(WalPath(options.storage_path)));
+  std::unique_ptr<Database> db(
+      new Database(std::move(options), std::move(disk), std::move(wal)));
+  SMADB_RETURN_NOT_OK(db->Recover());
+  return db;
+}
+
+Database::~Database() {
+  // Best-effort clean shutdown; failures are only observable through an
+  // explicit Close(). A crashed instance writes nothing (see Close).
+  (void)Close();
+}
+
+Status Database::Close() {
+  if (closed_ || crashed_) return Status::OK();
+  if (wal_ != nullptr) SMADB_RETURN_NOT_OK(Checkpoint());
+  closed_ = true;
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (crashed_) return Status::Internal("database crashed; reopen to recover");
+  // FlushAll runs the WAL barrier before the first dirty write, so the
+  // log-before-data ordering holds here too.
+  SMADB_RETURN_NOT_OK(pool_->FlushAll());
+  SMADB_RETURN_NOT_OK(disk_->Sync());
+  if (wal_ == nullptr) return Status::OK();
+  SMADB_RETURN_NOT_OK(SyncWal());
+  const uint64_t lsn = wal_->next_lsn();
+  SMADB_RETURN_NOT_OK(
+      WriteManifest(ManifestPath(), BuildManifest(lsn)));
+  SMADB_RETURN_NOT_OK(wal_->Reset(lsn));
+  ++durability_.checkpoints;
+  return Status::OK();
+}
+
+Status Database::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  SMADB_RETURN_NOT_OK(wal_->Sync());
+  ops_since_sync_ = 0;
+  return Status::OK();
+}
+
+Status Database::MaybeSyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  ++ops_since_sync_;
+  if (options_.wal_sync_interval == 0 ||
+      ops_since_sync_ < options_.wal_sync_interval) {
+    return Status::OK();
+  }
+  return SyncWal();
+}
+
+Status Database::CrashForTesting() {
+  crashed_ = true;
+  if (wal_ != nullptr) wal_->DiscardUnflushed();
+  return pool_->DiscardAll();
+}
+
+std::string Database::ManifestPath() const {
+  return options_.storage_path + "/manifest.smadb";
 }
 
 void Database::InitMetrics() {
@@ -85,11 +211,37 @@ void Database::InitMetrics() {
         return static_cast<int64_t>(pool_->stats().checksum_failures);
       });
   registry_->RegisterCallback(
-      "smadb_disk_page_reads", "Pages read from the simulated disk",
-      [this] { return static_cast<int64_t>(disk_.stats().page_reads); });
+      "smadb_disk_page_reads", "Pages read from the storage backend",
+      [this] { return static_cast<int64_t>(disk_->stats().page_reads); });
   registry_->RegisterCallback(
-      "smadb_disk_page_writes", "Pages written to the simulated disk",
-      [this] { return static_cast<int64_t>(disk_.stats().page_writes); });
+      "smadb_disk_page_writes", "Pages written to the storage backend",
+      [this] { return static_cast<int64_t>(disk_->stats().page_writes); });
+  registry_->RegisterCallback(
+      "smadb_disk_syncs", "Durability barriers honored by the backend",
+      [this] { return static_cast<int64_t>(disk_->stats().syncs); });
+  // WAL/recovery gauges read through null-tolerant lambdas: the backend can
+  // be swapped at runtime (`set storage = ...`), the registration cannot.
+  registry_->RegisterCallback(
+      "smadb_wal_appends_total", "Records appended to the WAL", [this] {
+        return wal_ ? static_cast<int64_t>(wal_->stats().appends) : 0;
+      });
+  registry_->RegisterCallback(
+      "smadb_wal_appended_bytes", "Bytes appended to the WAL", [this] {
+        return wal_ ? static_cast<int64_t>(wal_->stats().appended_bytes) : 0;
+      });
+  registry_->RegisterCallback(
+      "smadb_wal_syncs_total", "WAL fdatasync barriers", [this] {
+        return wal_ ? static_cast<int64_t>(wal_->stats().syncs) : 0;
+      });
+  registry_->RegisterCallback(
+      "smadb_checkpoints_total", "Checkpoints completed",
+      [this] { return static_cast<int64_t>(durability_.checkpoints); });
+  registry_->RegisterCallback(
+      "smadb_recovery_replayed_records", "WAL records replayed at open",
+      [this] { return static_cast<int64_t>(durability_.replayed_records); });
+  registry_->RegisterCallback(
+      "smadb_recovery_stale_smas", "SMAs left stale by crash recovery",
+      [this] { return static_cast<int64_t>(durability_.stale_smas); });
   registry_->RegisterCallback(
       "smadb_memory_used_bytes", "Bytes charged to the global budget",
       [this] { return static_cast<int64_t>(global_memory_.used()); });
@@ -105,6 +257,23 @@ void Database::set_max_concurrent_queries(size_t n) {
 
 Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
                                      storage::TableOptions options) {
+  if (wal_ != nullptr) {
+    // Validate before logging so failed statements never poison replay.
+    if (catalog_->GetTable(name).ok()) {
+      return Status::AlreadyExists("table '" + name + "' already exists");
+    }
+    std::string payload;
+    storage::WalPutString(&payload, name);
+    storage::WalPutU32(&payload, options.bucket_pages);
+    storage::WalPutU32(&payload, static_cast<uint32_t>(schema.num_fields()));
+    for (const storage::Field& f : schema.fields()) {
+      storage::WalPutString(&payload, f.name);
+      storage::WalPutString(&payload, util::TypeIdToString(f.type));
+      storage::WalPutU32(&payload, f.capacity);
+    }
+    SMADB_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kCreateTable, payload).status());
+  }
   SMADB_ASSIGN_OR_RETURN(
       Table * table,
       catalog_->CreateTable(name, std::move(schema), options));
@@ -113,6 +282,7 @@ Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
   state.maintainer =
       std::make_unique<sma::SmaMaintainer>(table, state.smas.get());
   states_.emplace(std::move(name), std::move(state));
+  SMADB_RETURN_NOT_OK(MaybeSyncWal());
   return table;
 }
 
@@ -135,18 +305,73 @@ Result<Database::TableState*> Database::StateFor(std::string_view table) {
 Status Database::Insert(std::string_view table,
                         const storage::TupleBuffer& tuple, Rid* rid) {
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
-  return state->maintainer->Insert(tuple, rid);
+  if (wal_ != nullptr) {
+    SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
+    if (tuple.size() != t->schema().tuple_size()) {
+      return Status::InvalidArgument("tuple size does not match the schema");
+    }
+    // Log the *predicted* position and epoch so replay re-applies the insert
+    // at the same absolute Rid no matter when the crash hits.
+    SMADB_ASSIGN_OR_RETURN(Rid next, t->NextRid());
+    std::string payload;
+    storage::WalPutString(&payload, table);
+    storage::WalPutU32(&payload, next.page_no);
+    storage::WalPutU32(&payload, next.slot);
+    storage::WalPutU64(&payload, t->epoch() + 1);
+    storage::WalPutString(
+        &payload,
+        std::string_view(reinterpret_cast<const char*>(tuple.data()),
+                         tuple.size()));
+    SMADB_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kInsert, payload).status());
+  }
+  SMADB_RETURN_NOT_OK(state->maintainer->Insert(tuple, rid));
+  return MaybeSyncWal();
 }
 
 Status Database::Update(std::string_view table, Rid rid, size_t col,
                         const util::Value& v) {
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
-  return state->maintainer->UpdateColumn(rid, col, v);
+  if (wal_ != nullptr) {
+    SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
+    if (col >= t->schema().num_fields()) {
+      return Status::InvalidArgument("update column out of range");
+    }
+    // The value token round-trips through the column's type at replay, so a
+    // cross-family value must be rejected before it reaches the log.
+    const util::TypeId ft = t->schema().field(col).type;
+    if ((ft == util::TypeId::kString) != (v.type() == util::TypeId::kString) ||
+        (ft == util::TypeId::kDouble) != (v.type() == util::TypeId::kDouble)) {
+      return Status::InvalidArgument("update value type mismatch");
+    }
+    std::string payload;
+    storage::WalPutString(&payload, table);
+    storage::WalPutU32(&payload, rid.page_no);
+    storage::WalPutU32(&payload, rid.slot);
+    storage::WalPutU32(&payload, static_cast<uint32_t>(col));
+    storage::WalPutU64(&payload, t->epoch() + 1);
+    storage::WalPutString(&payload, EncodeManifestValue(v));
+    SMADB_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kUpdate, payload).status());
+  }
+  SMADB_RETURN_NOT_OK(state->maintainer->UpdateColumn(rid, col, v));
+  return MaybeSyncWal();
 }
 
 Status Database::Delete(std::string_view table, Rid rid) {
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
-  return state->maintainer->Delete(rid);
+  if (wal_ != nullptr) {
+    SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
+    std::string payload;
+    storage::WalPutString(&payload, table);
+    storage::WalPutU32(&payload, rid.page_no);
+    storage::WalPutU32(&payload, rid.slot);
+    storage::WalPutU64(&payload, t->epoch() + 1);
+    SMADB_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kDelete, payload).status());
+  }
+  SMADB_RETURN_NOT_OK(state->maintainer->Delete(rid));
+  return MaybeSyncWal();
 }
 
 Result<sma::SmaSet*> Database::Smas(std::string_view table) {
@@ -170,18 +395,54 @@ Status Database::Execute(std::string_view statement) {
     // `define sma ...` — find the from-table, then delegate.
     SMADB_ASSIGN_OR_RETURN(std::string table, ExtractTableName(statement));
     SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
-    return sma::DefineSma(catalog_.get(), state->smas.get(), statement);
+    if (wal_ != nullptr) {
+      // Parse first: a statement that cannot replay must not reach the log.
+      SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
+      SMADB_RETURN_NOT_OK(
+          sma::ParseSmaDefinition(&t->schema(), statement).status());
+      std::string payload;
+      storage::WalPutString(&payload, table);
+      storage::WalPutString(&payload, statement);
+      SMADB_RETURN_NOT_OK(
+          wal_->Append(WalRecordType::kDefineSma, payload).status());
+    }
+    SMADB_RETURN_NOT_OK(
+        sma::DefineSma(catalog_.get(), state->smas.get(), statement));
+    return MaybeSyncWal();
   }
   if (tokens[0].text == "set") {
-    // `set <knob> = <n>`. Execution knobs: dop (0 = auto/hardware),
+    // `set <knob> = <value>`. Execution knobs: dop (0 = auto/hardware),
     // batch_size (0 = row mode). Governor knobs (DESIGN.md §10):
     // timeout_ms (0 = none), memory_limit (bytes, 0 = unbudgeted),
     // max_concurrent_queries (0 = admission off), allow_degraded (0/1).
-    if (tokens.size() == 5 &&  // set <knob> = <n> + kEnd sentinel
+    // Durability knobs (DESIGN.md §12): wal_sync_interval (0 = manual),
+    // storage (sim|file), storage_path ('<dir>').
+    const bool shape_ok =
+        tokens.size() == 5 &&  // set <knob> = <value> + kEnd sentinel
         tokens[1].kind == expr::internal::TokKind::kIdent &&
         tokens[2].kind == expr::internal::TokKind::kCmp &&
-        tokens[2].text == "=" &&
-        tokens[3].kind == expr::internal::TokKind::kInt &&
+        tokens[2].text == "=";
+    if (shape_ok && tokens[1].text == "storage" &&
+        tokens[3].kind == expr::internal::TokKind::kIdent) {
+      if (tokens[3].text == "sim") {
+        return SetStorageBackend(BackendKind::kSimulated);
+      }
+      if (tokens[3].text == "file") {
+        return SetStorageBackend(BackendKind::kFile);
+      }
+      return Status::InvalidArgument("set storage expects 'sim' or 'file'");
+    }
+    if (shape_ok && tokens[1].text == "storage_path" &&
+        tokens[3].kind == expr::internal::TokKind::kString) {
+      if (disk_->kind() == BackendKind::kFile) {
+        return Status::InvalidArgument(
+            "storage_path is fixed while the file backend is active; "
+            "`set storage = sim` first");
+      }
+      options_.storage_path = tokens[3].text;
+      return Status::OK();
+    }
+    if (shape_ok && tokens[3].kind == expr::internal::TokKind::kInt &&
         tokens[3].value >= 0) {
       const int64_t n = tokens[3].value;
       if (tokens[1].text == "dop") {
@@ -208,14 +469,19 @@ Status Database::Execute(std::string_view statement) {
         options_.planner.allow_degraded = n != 0;
         return Status::OK();
       }
+      if (tokens[1].text == "wal_sync_interval") {
+        options_.wal_sync_interval = static_cast<size_t>(n);
+        return Status::OK();
+      }
     }
     return Status::InvalidArgument(
-        "malformed set statement; expected 'set <knob> = <n>' with knob in "
-        "{dop, batch_size, timeout_ms, memory_limit, max_concurrent_queries, "
-        "allow_degraded}");
+        "malformed set statement; expected 'set <knob> = <value>' with knob "
+        "in {dop, batch_size, timeout_ms, memory_limit, "
+        "max_concurrent_queries, allow_degraded, wal_sync_interval, storage, "
+        "storage_path}");
   }
   return Status::NotSupported(
-      "unknown statement; supported: 'define sma' and 'set <knob> = <n>'");
+      "unknown statement; supported: 'define sma' and 'set <knob> = <value>'");
 }
 
 Result<plan::QueryResult> Database::Query(std::string_view sql) {
@@ -294,7 +560,7 @@ Result<plan::QueryResult> Database::Query(
   // Storage deltas around the run make the profile's pool/disk figures
   // consistent with PoolStats (shared counters: concurrent queries overlap).
   const storage::PoolStats pool_before = pool_->stats();
-  const storage::IoStats io_before = disk_.stats();
+  const storage::IoStats io_before = disk_->stats();
 
   util::Stopwatch latency_watch;
   Result<plan::QueryResult> result = [&]() -> Result<plan::QueryResult> {
@@ -352,7 +618,7 @@ Result<plan::QueryResult> Database::Query(
   if (profile != nullptr) {
     profile->SetStorageDelta(pool_->stats().hits - pool_before.hits,
                              pool_->stats().misses - pool_before.misses,
-                             disk_.stats().page_reads - io_before.page_reads);
+                             disk_->stats().page_reads - io_before.page_reads);
     if (result.ok()) {
       profile->SetSummary(util::Format(
           "%s, dop=%zu%s",
@@ -420,9 +686,56 @@ Result<plan::QueryResult> Database::RunShow(std::string_view what) {
     if (lines.empty()) lines.push_back("(trace ring empty)");
     return TextResult("trace", lines);
   }
+  if (what == "storage") return ShowStorage();
   return Status::NotSupported(
       "unknown show statement; supported: 'show metrics', 'show profile', "
-      "'show trace'");
+      "'show trace', 'show storage'");
+}
+
+Result<plan::QueryResult> Database::ShowStorage() const {
+  std::vector<std::string> lines;
+  lines.push_back(
+      util::Format("backend: %s", std::string(disk_->kind_name()).c_str()));
+  lines.push_back("path: " + (options_.storage_path.empty()
+                                  ? std::string("(in-memory)")
+                                  : options_.storage_path));
+  const storage::IoStats& io = disk_->stats();
+  lines.push_back(util::Format(
+      "pages: reads=%llu writes=%llu fsyncs=%llu",
+      static_cast<unsigned long long>(io.page_reads),
+      static_cast<unsigned long long>(io.page_writes),
+      static_cast<unsigned long long>(io.syncs)));
+  if (wal_ == nullptr) {
+    lines.push_back("wal: (none; simulated backend is not durable)");
+    return TextResult("storage", lines);
+  }
+  lines.push_back(util::Format(
+      "wal: size_bytes=%llu appends=%llu fsyncs=%llu next_lsn=%llu "
+      "synced_lsn=%llu",
+      static_cast<unsigned long long>(wal_->size_bytes()),
+      static_cast<unsigned long long>(wal_->stats().appends),
+      static_cast<unsigned long long>(wal_->stats().syncs),
+      static_cast<unsigned long long>(wal_->next_lsn()),
+      static_cast<unsigned long long>(wal_->synced_lsn())));
+  lines.push_back(util::Format(
+      "sync_policy: %s",
+      options_.wal_sync_interval == 0
+          ? "manual (SyncWal/Checkpoint only)"
+          : util::Format("every %zu mutation(s)", options_.wal_sync_interval)
+                .c_str()));
+  lines.push_back(util::Format(
+      "checkpoint: last_lsn=%llu checkpoints=%llu",
+      static_cast<unsigned long long>(wal_->base_lsn()),
+      static_cast<unsigned long long>(durability_.checkpoints)));
+  lines.push_back(util::Format(
+      "recovery: tables=%llu replayed_records=%llu stale_smas=%llu "
+      "orphan_sma_files=%llu duration_us=%llu",
+      static_cast<unsigned long long>(durability_.recovered_tables),
+      static_cast<unsigned long long>(durability_.replayed_records),
+      static_cast<unsigned long long>(durability_.stale_smas),
+      static_cast<unsigned long long>(durability_.orphan_sma_files),
+      static_cast<unsigned long long>(durability_.recovery_us)));
+  return TextResult("storage", lines);
 }
 
 Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
@@ -469,6 +782,319 @@ Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
   }
   if (!run.ok()) run_span.set_note(std::string(run.status().message()));
   return run;
+}
+
+Manifest Database::BuildManifest(uint64_t checkpoint_lsn) const {
+  Manifest m;
+  m.checkpoint_lsn = checkpoint_lsn;
+  for (Table* t : catalog_->Tables()) {
+    ManifestTable mt;
+    mt.name = t->name();
+    mt.bucket_pages = t->bucket_pages();
+    mt.num_tuples = t->num_tuples();
+    mt.num_deleted = t->num_deleted();
+    mt.num_pages = t->num_pages();
+    mt.epoch = t->epoch();
+    for (const storage::Field& f : t->schema().fields()) {
+      mt.fields.push_back(ManifestField{
+          f.name, std::string(util::TypeIdToString(f.type)), f.capacity});
+    }
+    if (auto it = states_.find(t->name()); it != states_.end()) {
+      for (const sma::Sma* s : it->second.smas->all()) {
+        ManifestSma ms;
+        ms.name = s->spec().name;
+        ms.func = std::string(sma::AggFuncToString(s->spec().func));
+        ms.arg = s->spec().arg != nullptr ? s->spec().arg->ToString() : "";
+        for (size_t c : s->spec().group_by) {
+          ms.group_by.push_back(static_cast<uint32_t>(c));
+        }
+        ms.num_buckets = s->num_buckets();
+        ms.built_epoch = s->built_epoch();
+        ms.trusted = s->trusted();
+        ms.distrust_reason = s->distrust_reason();
+        for (size_t g = 0; g < s->num_groups(); ++g) {
+          std::vector<std::string> key;
+          for (const util::Value& v : s->group_key(g)) {
+            key.push_back(EncodeManifestValue(v));
+          }
+          ms.groups.push_back(std::move(key));
+        }
+        mt.smas.push_back(std::move(ms));
+      }
+    }
+    m.tables.push_back(std::move(mt));
+  }
+  return m;
+}
+
+Status Database::Recover() {
+  util::Stopwatch watch;
+  Manifest manifest;
+  if (Result<Manifest> m = ReadManifest(ManifestPath()); m.ok()) {
+    manifest = std::move(*m);
+  } else if (m.status().code() != util::StatusCode::kNotFound) {
+    return m.status();  // a corrupt manifest is not silently ignorable
+  }
+  // Phase 1: rebuild tables and SMA registries from the checkpoint snapshot.
+  for (const ManifestTable& mt : manifest.tables) {
+    SMADB_ASSIGN_OR_RETURN(storage::Schema schema, SchemaFromManifest(mt));
+    SMADB_ASSIGN_OR_RETURN(
+        std::unique_ptr<Table> restored,
+        Table::Restore(pool_.get(), mt.name, schema,
+                       storage::TableOptions{mt.bucket_pages}, mt.num_tuples,
+                       mt.num_deleted, mt.num_pages, mt.epoch));
+    SMADB_ASSIGN_OR_RETURN(Table * table,
+                           catalog_->AttachTable(std::move(restored)));
+    TableState state;
+    state.smas = std::make_unique<sma::SmaSet>(table);
+    state.maintainer =
+        std::make_unique<sma::SmaMaintainer>(table, state.smas.get());
+    for (const ManifestSma& ms : mt.smas) {
+      SMADB_ASSIGN_OR_RETURN(sma::AggFunc func, AggFuncFromString(ms.func));
+      sma::SmaSpec spec;
+      spec.name = ms.name;
+      spec.func = func;
+      if (!ms.arg.empty()) {
+        SMADB_ASSIGN_OR_RETURN(spec.arg,
+                               expr::ParseExpr(&table->schema(), ms.arg));
+      }
+      for (uint32_t c : ms.group_by) spec.group_by.push_back(c);
+      std::vector<std::vector<util::Value>> keys;
+      for (const std::vector<std::string>& enc : ms.groups) {
+        if (enc.size() != ms.group_by.size()) {
+          return Status::Corruption("SMA '" + ms.name +
+                                    "': group key arity mismatch in manifest");
+        }
+        std::vector<util::Value> key;
+        for (size_t i = 0; i < enc.size(); ++i) {
+          if (ms.group_by[i] >= table->schema().num_fields()) {
+            return Status::Corruption("SMA '" + ms.name +
+                                      "': group column out of range");
+          }
+          SMADB_ASSIGN_OR_RETURN(
+              util::Value v,
+              DecodeManifestValue(table->schema().field(ms.group_by[i]).type,
+                                  enc[i]));
+          key.push_back(std::move(v));
+        }
+        keys.push_back(std::move(key));
+      }
+      SMADB_ASSIGN_OR_RETURN(
+          std::unique_ptr<sma::Sma> restored_sma,
+          sma::Sma::Restore(pool_.get(), table, std::move(spec), keys,
+                            ms.num_buckets, ms.built_epoch, ms.trusted,
+                            ms.distrust_reason));
+      SMADB_RETURN_NOT_OK(state.smas->Add(std::move(restored_sma)));
+    }
+    states_.emplace(mt.name, std::move(state));
+    ++durability_.recovered_tables;
+  }
+  // Phase 1.5: sweep orphan SMA-files. SMA contents are derived data owned
+  // by the checkpoint manifest, never the WAL, so a crash after `define
+  // sma` was logged but before the next checkpoint leaves its SMA-files on
+  // disk with no manifest entry. Replaying the define would then collide on
+  // CreateFile. Every file a manifest entry owns was re-attached above, so
+  // any other "sma."-named file is an orphan — remove it (the replayed
+  // define rebuilds it from base data).
+  {
+    std::vector<char> attached(disk_->NumFiles(), 0);
+    for (const auto& [name, state] : states_) {
+      for (const sma::Sma* s : state.smas->all()) {
+        for (size_t g = 0; g < s->num_groups(); ++g) {
+          attached[s->group_file(g)->file()] = 1;
+        }
+      }
+    }
+    for (storage::FileId id = 0; id < attached.size(); ++id) {
+      if (attached[id]) continue;
+      const std::string& fname = disk_->FileName(id);
+      if (fname.rfind("sma.", 0) != 0) continue;
+      SMADB_RETURN_NOT_OK(pool_->DiscardFile(id));
+      SMADB_RETURN_NOT_OK(disk_->RemoveFile(id));
+      ++durability_.orphan_sma_files;
+    }
+  }
+  // Phase 2: redo the post-checkpoint WAL suffix. Records below the
+  // checkpoint horizon can exist after a crash between manifest write and
+  // WAL reset; their effects are already in the checkpoint, so skip them.
+  const uint64_t horizon = manifest.checkpoint_lsn;
+  SMADB_RETURN_NOT_OK(wal_->Replay(
+      [&](uint64_t lsn, WalRecordType type,
+          std::string_view payload) -> Status {
+        if (lsn < horizon) return Status::OK();
+        ++durability_.replayed_records;
+        return ApplyWalRecord(type, payload);
+      }));
+  // Phase 3: replay redoes base data only — it does not maintain SMA files.
+  // Any replayed mutation therefore leaves built-epochs behind, which the
+  // planner already treats as "demote to plain scan" (SmaSet::TrustIssue);
+  // count them so `show storage` reports the Rebuild debt.
+  for (const auto& [name, state] : states_) {
+    for (const sma::Sma* s : state.smas->all()) {
+      if (s->stale() || !s->trusted()) ++durability_.stale_smas;
+    }
+  }
+  durability_.recovery_us =
+      static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6);
+  return Status::OK();
+}
+
+Status Database::ApplyWalRecord(WalRecordType type, std::string_view payload) {
+  WalPayloadReader r(payload);
+  const auto truncated = [] {
+    return Status::Corruption("truncated WAL record payload");
+  };
+  switch (type) {
+    case WalRecordType::kCreateTable: {
+      std::string name;
+      uint32_t bucket_pages = 0;
+      uint32_t nfields = 0;
+      if (!r.GetString(&name) || !r.GetU32(&bucket_pages) ||
+          !r.GetU32(&nfields)) {
+        return truncated();
+      }
+      std::vector<storage::Field> fields;
+      fields.reserve(nfields);
+      for (uint32_t i = 0; i < nfields; ++i) {
+        std::string fname;
+        std::string ftype;
+        uint32_t cap = 0;
+        if (!r.GetString(&fname) || !r.GetString(&ftype) || !r.GetU32(&cap)) {
+          return truncated();
+        }
+        SMADB_ASSIGN_OR_RETURN(util::TypeId t, TypeIdFromString(ftype));
+        fields.push_back(
+            storage::Field{std::move(fname), t, static_cast<uint16_t>(cap)});
+      }
+      if (catalog_->GetTable(name).ok()) return Status::OK();  // idempotent
+      storage::Schema schema{std::move(fields)};
+      const storage::TableOptions topts{bucket_pages};
+      // The segment file may survive the crash (pages flushed before it):
+      // re-attach at zero counters and let the replayed inserts rebuild
+      // them; otherwise create from scratch.
+      if (disk_->FindFile("tbl." + name).ok()) {
+        SMADB_ASSIGN_OR_RETURN(
+            std::unique_ptr<Table> t,
+            Table::Restore(pool_.get(), name, std::move(schema), topts, 0, 0,
+                           0, 0));
+        SMADB_RETURN_NOT_OK(catalog_->AttachTable(std::move(t)).status());
+      } else {
+        SMADB_RETURN_NOT_OK(
+            catalog_->CreateTable(name, std::move(schema), topts).status());
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kDefineSma: {
+      std::string tname;
+      std::string text;
+      if (!r.GetString(&tname) || !r.GetString(&text)) return truncated();
+      SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(tname));
+      SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(tname));
+      SMADB_ASSIGN_OR_RETURN(sma::ParsedSmaDefinition def,
+                             sma::ParseSmaDefinition(&t->schema(), text));
+      if (state->smas->Find(def.spec.name).ok()) return Status::OK();
+      // Rebuilds the SMA from the base data as restored so far; later
+      // replayed mutations will leave it stale, which phase 3 reports.
+      return sma::DefineSma(catalog_.get(), state->smas.get(), text);
+    }
+    case WalRecordType::kInsert: {
+      std::string tname;
+      uint32_t page = 0;
+      uint32_t slot = 0;
+      uint64_t epoch = 0;
+      std::string bytes;
+      if (!r.GetString(&tname) || !r.GetU32(&page) || !r.GetU32(&slot) ||
+          !r.GetU64(&epoch) || !r.GetString(&bytes)) {
+        return truncated();
+      }
+      SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(tname));
+      return t->ApplyInsert(Rid{page, static_cast<uint16_t>(slot)}, bytes,
+                            epoch);
+    }
+    case WalRecordType::kUpdate: {
+      std::string tname;
+      uint32_t page = 0;
+      uint32_t slot = 0;
+      uint32_t col = 0;
+      uint64_t epoch = 0;
+      std::string token;
+      if (!r.GetString(&tname) || !r.GetU32(&page) || !r.GetU32(&slot) ||
+          !r.GetU32(&col) || !r.GetU64(&epoch) || !r.GetString(&token)) {
+        return truncated();
+      }
+      SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(tname));
+      if (col >= t->schema().num_fields()) {
+        return Status::Corruption("WAL update column out of range");
+      }
+      SMADB_ASSIGN_OR_RETURN(
+          util::Value v,
+          DecodeManifestValue(t->schema().field(col).type, token));
+      return t->ApplyUpdate(Rid{page, static_cast<uint16_t>(slot)}, col, v,
+                            epoch);
+    }
+    case WalRecordType::kDelete: {
+      std::string tname;
+      uint32_t page = 0;
+      uint32_t slot = 0;
+      uint64_t epoch = 0;
+      if (!r.GetString(&tname) || !r.GetU32(&page) || !r.GetU32(&slot) ||
+          !r.GetU64(&epoch)) {
+        return truncated();
+      }
+      SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(tname));
+      return t->ApplyDelete(Rid{page, static_cast<uint16_t>(slot)}, epoch);
+    }
+  }
+  return Status::Corruption(
+      util::Format("unknown WAL record type %u",
+                   static_cast<unsigned>(type)));
+}
+
+Status Database::SetStorageBackend(BackendKind kind) {
+  if (crashed_) return Status::Internal("database crashed; reopen to recover");
+  if (kind == disk_->kind()) return Status::OK();
+  if (!catalog_->Tables().empty()) {
+    return Status::InvalidArgument(
+        "set storage requires an empty database (tables exist; their pages "
+        "live on the current backend)");
+  }
+  std::unique_ptr<storage::DiskBackend> disk;
+  std::unique_ptr<storage::Wal> wal;
+  if (kind == BackendKind::kFile) {
+    if (options_.storage_path.empty()) {
+      return Status::InvalidArgument(
+          "set storage_path = '<dir>' before `set storage = file`");
+    }
+    SMADB_ASSIGN_OR_RETURN(std::unique_ptr<storage::FileDiskManager> fd,
+                           storage::FileDiskManager::Open(
+                               options_.storage_path));
+    disk = std::move(fd);
+    SMADB_ASSIGN_OR_RETURN(wal,
+                           storage::Wal::Open(WalPath(options_.storage_path)));
+  } else {
+    disk = std::make_unique<storage::SimulatedDisk>();
+  }
+  // Tear down top-first (catalog holds pool pointers, pool holds the disk),
+  // then rebuild over the new backend.
+  states_.clear();
+  catalog_.reset();
+  pool_.reset();
+  wal_ = std::move(wal);
+  disk_ = std::move(disk);
+  storage::BufferPoolOptions pool_options{
+      .capacity_pages = options_.pool_pages,
+      .verify_checksums = options_.verify_checksums,
+      .pin_tracker =
+          options_.global_memory_limit > 0 ? &global_memory_ : nullptr,
+      .pre_writeback = [this] { return SyncWal(); }};
+  pool_ = std::make_unique<storage::BufferPool>(disk_.get(),
+                                                std::move(pool_options));
+  catalog_ = std::make_unique<storage::Catalog>(pool_.get());
+  options_.storage_backend = kind;
+  ops_since_sync_ = 0;
+  // An existing directory recovers: the switch doubles as "attach".
+  if (wal_ != nullptr) return Recover();
+  return Status::OK();
 }
 
 plan::QueryResult TextResult(const std::string& column,

@@ -1,7 +1,7 @@
 // Database: the top-level facade a downstream user works with — one object
-// owning the simulated disk, buffer pool, catalog, the SMA sets of every
-// table, and a planner per query. Accepts the paper's textual SMA
-// definitions and a SQL-ish query dialect:
+// owning the storage backend (simulated or durable files + WAL), buffer
+// pool, catalog, the SMA sets of every table, and a planner per query.
+// Accepts the paper's textual SMA definitions and a SQL-ish query dialect:
 //
 //   Database db;
 //   db.CreateTable("shipments", schema);
@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "db/admission.h"
+#include "db/manifest.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -32,6 +33,8 @@
 #include "sma/maintenance.h"
 #include "sma/sma_set.h"
 #include "storage/catalog.h"
+#include "storage/disk.h"
+#include "storage/wal.h"
 #include "util/query_context.h"
 
 namespace smadb::db {
@@ -43,6 +46,21 @@ struct DatabaseOptions {
   /// off only for overhead experiments, EXPERIMENTS.md X7).
   bool verify_checksums = true;
   plan::PlannerOptions planner;
+
+  // --- durable storage (DESIGN.md §12) -------------------------------------
+  /// Where pages live: kSimulated (in-memory, the paper's measurement rig)
+  /// or kFile (real files + WAL + checkpoints). The plain constructor always
+  /// builds the simulated backend; the file backend needs the fallible
+  /// Database::Open() path, which also runs crash recovery.
+  storage::BackendKind storage_backend = storage::BackendKind::kSimulated;
+  /// Directory of the file backend (segments, wal.smadb, manifest.smadb).
+  /// Required when storage_backend == kFile; ignored otherwise.
+  std::string storage_path;
+  /// WAL group-commit knob: Sync (fdatasync) the log every N logged
+  /// mutations. 1 = per-commit durability (default), N > 1 = group commit
+  /// (a crash can lose up to N-1 trailing un-synced mutations), 0 = manual
+  /// (SyncWal / Checkpoint / page write-back only).
+  size_t wal_sync_interval = 1;
 
   // --- resource governance (DESIGN.md §10) ---------------------------------
   /// Global memory budget in bytes shared by all queries (and buffer-pool
@@ -77,10 +95,43 @@ struct DatabaseOptions {
 
 class Database {
  public:
+  /// Constructs an in-memory database over the simulated backend (the
+  /// storage_backend option is ignored here — backend selection is fallible,
+  /// so the file backend goes through Open()).
   explicit Database(DatabaseOptions options = {});
+
+  /// Opens a database honoring options.storage_backend. For kFile this
+  /// attaches the storage directory (creating it when new), replays the WAL
+  /// against the last checkpoint manifest, and flags SMAs whose built-epoch
+  /// the replay left behind — the crash-recovery entry point (DESIGN.md §12).
+  static util::Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // --- durability lifecycle ------------------------------------------------
+  /// Flushes dirty pages, syncs the backend, writes the checkpoint manifest,
+  /// and truncates the WAL (file backend; on the simulated backend just a
+  /// flush + sync). After a clean Checkpoint, recovery replays nothing.
+  util::Status Checkpoint();
+
+  /// Checkpoint + mark closed (idempotent). The destructor calls this as a
+  /// best-effort for the file backend, so a scoped Database is cleanly
+  /// durable; call explicitly to observe failures.
+  util::Status Close();
+
+  /// Makes everything logged so far durable (fdatasync). No-op without a
+  /// WAL. Group-commit tails call this; the buffer pool's WAL-before-data
+  /// barrier calls it before any dirty page write-back.
+  util::Status SyncWal();
+
+  /// Simulates kill-9: staged-but-unsynced WAL bytes and every dirty page
+  /// still in the pool are dropped, exactly the state a power loss leaves on
+  /// disk. The instance is dead afterwards (Close/destructor write nothing);
+  /// reopen the directory with Open() to exercise recovery.
+  util::Status CrashForTesting();
 
   // --- schema & data -------------------------------------------------------
   util::Result<storage::Table*> CreateTable(
@@ -110,9 +161,11 @@ class Database {
   util::Result<sma::SmaMaintainer*> Maintainer(std::string_view table);
 
   // --- statements ----------------------------------------------------------
-  /// Executes a DDL-ish statement. Currently: `define sma ...` (§2.1) and
-  /// the session settings `set <knob> = <n>` for the knobs dop, batch_size,
-  /// timeout_ms, memory_limit, max_concurrent_queries, and allow_degraded.
+  /// Executes a DDL-ish statement. Currently: `define sma ...` (§2.1), the
+  /// session settings `set <knob> = <n>` for the knobs dop, batch_size,
+  /// timeout_ms, memory_limit, max_concurrent_queries, allow_degraded, and
+  /// wal_sync_interval, plus the storage selectors `set storage = sim|file`
+  /// (only while no tables exist) and `set storage_path = '<dir>'`.
   util::Status Execute(std::string_view statement);
 
   /// Session degree of parallelism for subsequent queries; equivalent to
@@ -204,10 +257,23 @@ class Database {
   }
 
   // --- plumbing ------------------------------------------------------------
-  storage::SimulatedDisk* disk() { return &disk_; }
+  storage::DiskBackend* disk() { return disk_.get(); }
+  /// The write-ahead log (null on the simulated backend).
+  storage::Wal* wal() { return wal_.get(); }
   storage::BufferPool* pool() { return pool_.get(); }
   storage::Catalog* catalog() { return catalog_.get(); }
   const DatabaseOptions& options() const { return options_; }
+
+  /// Recovery/checkpoint counters for `show storage` and the registry.
+  struct DurabilityStats {
+    uint64_t checkpoints = 0;
+    uint64_t recovered_tables = 0;
+    uint64_t replayed_records = 0;
+    uint64_t stale_smas = 0;  ///< SMAs left behind by replay (need Rebuild)
+    uint64_t orphan_sma_files = 0;  ///< unmanifested SMA-files swept at open
+    uint64_t recovery_us = 0;
+  };
+  const DurabilityStats& durability() const { return durability_; }
 
  private:
   struct TableState {
@@ -215,7 +281,30 @@ class Database {
     std::unique_ptr<sma::SmaMaintainer> maintainer;
   };
 
+  Database(DatabaseOptions options,
+           std::unique_ptr<storage::DiskBackend> disk,
+           std::unique_ptr<storage::Wal> wal);
+
   util::Result<TableState*> StateFor(std::string_view table);
+
+  // --- durability internals ------------------------------------------------
+  std::string ManifestPath() const;
+  /// Group-commit tail: counts one logged mutation and syncs per the
+  /// wal_sync_interval policy.
+  util::Status MaybeSyncWal();
+  /// Snapshot of catalog + SMA registries for the checkpoint manifest.
+  Manifest BuildManifest(uint64_t checkpoint_lsn) const;
+  /// Rebuilds tables/SMAs from the manifest, replays the WAL, and flags
+  /// SMAs the replay left stale. Called once by Open() on the file backend.
+  util::Status Recover();
+  util::Status ApplyWalRecord(storage::WalRecordType type,
+                              std::string_view payload);
+  /// `set storage = sim|file`: tears down the (empty) storage stack and
+  /// rebuilds it over the requested backend, recovering from storage_path
+  /// when switching to kFile. Refused when tables exist.
+  util::Status SetStorageBackend(storage::BackendKind kind);
+  /// Handles `show storage`.
+  util::Result<plan::QueryResult> ShowStorage() const;
 
   /// The governed body of Query(): parse, run under `ctx`; `query_id` keys
   /// the trace spans (sink may be null = tracing off).
@@ -234,10 +323,17 @@ class Database {
   DatabaseOptions options_;
   util::MemoryTracker global_memory_;
   AdmissionController admission_;
-  storage::SimulatedDisk disk_;
+  std::unique_ptr<storage::DiskBackend> disk_;
+  std::unique_ptr<storage::Wal> wal_;  // file backend only
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::Catalog> catalog_;
   std::unordered_map<std::string, TableState> states_;
+  DurabilityStats durability_;
+  /// Logged mutations since the last WAL sync (group-commit window).
+  size_t ops_since_sync_ = 0;
+  /// Set by CrashForTesting: Close/destructor must not write anything.
+  bool crashed_ = false;
+  bool closed_ = false;
 
   // --- observability state -------------------------------------------------
   std::unique_ptr<obs::MetricsRegistry> own_registry_;

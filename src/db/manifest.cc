@@ -1,0 +1,240 @@
+#include "db/manifest.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace smadb::db {
+
+using util::Result;
+using util::Status;
+using util::Value;
+
+namespace {
+
+constexpr const char kManifestMagic[] = "smadb-manifest v1";
+
+// EscapeToken of an empty string is empty, which would vanish between the
+// spaces of a manifest line; a lone '%' (never produced by EscapeToken,
+// which writes '%25' for a percent sign) marks it instead.
+std::string Enc(const std::string& s) {
+  return s.empty() ? std::string("%") : util::EscapeToken(s);
+}
+
+Result<std::string> Dec(const std::string& token) {
+  if (token == "%") return std::string();
+  return util::UnescapeToken(token);
+}
+
+Result<uint64_t> ParseU64(const std::string& token) {
+  uint64_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::Corruption("bad number '" + token + "' in manifest");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (token.empty()) return Status::Corruption("empty number in manifest");
+  return v;
+}
+
+Status ErrnoError(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string EncodeManifestValue(const Value& v) {
+  switch (v.type()) {
+    case util::TypeId::kString:
+      return Enc(v.AsString());
+    case util::TypeId::kDouble:
+      return util::Format("b%llu", static_cast<unsigned long long>(
+                                       std::bit_cast<uint64_t>(v.AsDouble())));
+    default: {
+      const long long raw = static_cast<long long>(v.RawInt());
+      return util::Format("i%lld", raw);
+    }
+  }
+}
+
+Result<Value> DecodeManifestValue(util::TypeId type,
+                                  const std::string& token) {
+  if (type == util::TypeId::kString) {
+    SMADB_ASSIGN_OR_RETURN(std::string s, Dec(token));
+    return Value::String(std::move(s));
+  }
+  if (token.empty()) return Status::Corruption("empty value token");
+  const std::string digits = token.substr(1);
+  if (type == util::TypeId::kDouble) {
+    if (token[0] != 'b') {
+      return Status::Corruption("bad double token '" + token + "'");
+    }
+    SMADB_ASSIGN_OR_RETURN(uint64_t bits, ParseU64(digits));
+    return Value::MakeDouble(std::bit_cast<double>(bits));
+  }
+  if (token[0] != 'i') {
+    return Status::Corruption("bad value token '" + token + "'");
+  }
+  const bool neg = !digits.empty() && digits[0] == '-';
+  SMADB_ASSIGN_OR_RETURN(uint64_t mag, ParseU64(neg ? digits.substr(1) : digits));
+  const int64_t raw = neg ? -static_cast<int64_t>(mag)
+                          : static_cast<int64_t>(mag);
+  switch (type) {
+    case util::TypeId::kInt32:
+      return Value::Int32(static_cast<int32_t>(raw));
+    case util::TypeId::kInt64:
+      return Value::Int64(raw);
+    case util::TypeId::kDecimal:
+      return Value::MakeDecimal(util::Decimal::FromCents(raw));
+    case util::TypeId::kDate:
+      return Value::MakeDate(util::Date(static_cast<int32_t>(raw)));
+    default:
+      return Status::Corruption("unhandled value type in manifest");
+  }
+}
+
+Status WriteManifest(const std::string& path, const Manifest& m) {
+  std::ostringstream out;
+  out << kManifestMagic << "\n";
+  out << "checkpoint_lsn " << m.checkpoint_lsn << "\n";
+  for (const ManifestTable& t : m.tables) {
+    out << "table " << Enc(t.name) << " " << t.bucket_pages << " "
+        << t.num_tuples << " " << t.num_deleted << " " << t.num_pages << " "
+        << t.epoch << "\n";
+    for (const ManifestField& f : t.fields) {
+      out << "field " << Enc(f.name) << " " << f.type << " " << f.capacity
+          << "\n";
+    }
+    for (const ManifestSma& s : t.smas) {
+      out << "sma " << Enc(s.name) << " " << s.func << " " << Enc(s.arg)
+          << " " << s.num_buckets << " " << s.built_epoch << " "
+          << (s.trusted ? 1 : 0) << " " << Enc(s.distrust_reason) << " "
+          << s.group_by.size();
+      for (uint32_t c : s.group_by) out << " " << c;
+      out << "\n";
+      for (const std::vector<std::string>& key : s.groups) {
+        out << "group";
+        for (const std::string& tok : key) out << " " << tok;
+        out << "\n";
+      }
+    }
+  }
+  const std::string text = out.str();
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoError("open", tmp);
+  Status st = Status::OK();
+  size_t done = 0;
+  while (done < text.size()) {
+    const ssize_t r = ::write(fd, text.data() + done, text.size() - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      st = ErrnoError("write", tmp);
+      break;
+    }
+    done += static_cast<size_t>(r);
+  }
+  if (st.ok() && ::fsync(fd) != 0) st = ErrnoError("fsync", tmp);
+  ::close(fd);
+  SMADB_RETURN_NOT_OK(st);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoError("rename", tmp);
+  }
+  // Make the rename itself durable.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+Result<Manifest> ReadManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("no manifest at '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    return Status::Corruption("bad manifest magic in '" + path + "'");
+  }
+  Manifest m;
+  ManifestTable* table = nullptr;
+  ManifestSma* sma = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = util::Split(line, ' ');
+    const std::string& kw = tok[0];
+    if (kw == "checkpoint_lsn") {
+      if (tok.size() != 2) return Status::Corruption("bad line: " + line);
+      SMADB_ASSIGN_OR_RETURN(m.checkpoint_lsn, ParseU64(tok[1]));
+    } else if (kw == "table") {
+      if (tok.size() != 7) return Status::Corruption("bad line: " + line);
+      ManifestTable t;
+      SMADB_ASSIGN_OR_RETURN(t.name, Dec(tok[1]));
+      SMADB_ASSIGN_OR_RETURN(uint64_t bp, ParseU64(tok[2]));
+      t.bucket_pages = static_cast<uint32_t>(bp);
+      SMADB_ASSIGN_OR_RETURN(t.num_tuples, ParseU64(tok[3]));
+      SMADB_ASSIGN_OR_RETURN(t.num_deleted, ParseU64(tok[4]));
+      SMADB_ASSIGN_OR_RETURN(uint64_t np, ParseU64(tok[5]));
+      t.num_pages = static_cast<uint32_t>(np);
+      SMADB_ASSIGN_OR_RETURN(t.epoch, ParseU64(tok[6]));
+      m.tables.push_back(std::move(t));
+      table = &m.tables.back();
+      sma = nullptr;
+    } else if (kw == "field") {
+      if (table == nullptr || tok.size() != 4) {
+        return Status::Corruption("bad line: " + line);
+      }
+      ManifestField f;
+      SMADB_ASSIGN_OR_RETURN(f.name, Dec(tok[1]));
+      f.type = tok[2];
+      SMADB_ASSIGN_OR_RETURN(uint64_t cap, ParseU64(tok[3]));
+      f.capacity = static_cast<uint16_t>(cap);
+      table->fields.push_back(std::move(f));
+    } else if (kw == "sma") {
+      if (table == nullptr || tok.size() < 9) {
+        return Status::Corruption("bad line: " + line);
+      }
+      ManifestSma s;
+      SMADB_ASSIGN_OR_RETURN(s.name, Dec(tok[1]));
+      s.func = tok[2];
+      SMADB_ASSIGN_OR_RETURN(s.arg, Dec(tok[3]));
+      SMADB_ASSIGN_OR_RETURN(s.num_buckets, ParseU64(tok[4]));
+      SMADB_ASSIGN_OR_RETURN(s.built_epoch, ParseU64(tok[5]));
+      SMADB_ASSIGN_OR_RETURN(uint64_t trusted, ParseU64(tok[6]));
+      s.trusted = trusted != 0;
+      SMADB_ASSIGN_OR_RETURN(s.distrust_reason, Dec(tok[7]));
+      SMADB_ASSIGN_OR_RETURN(uint64_t ncols, ParseU64(tok[8]));
+      if (tok.size() != 9 + ncols) {
+        return Status::Corruption("bad line: " + line);
+      }
+      for (size_t i = 0; i < ncols; ++i) {
+        SMADB_ASSIGN_OR_RETURN(uint64_t c, ParseU64(tok[9 + i]));
+        s.group_by.push_back(static_cast<uint32_t>(c));
+      }
+      table->smas.push_back(std::move(s));
+      sma = &table->smas.back();
+    } else if (kw == "group") {
+      if (sma == nullptr) return Status::Corruption("bad line: " + line);
+      sma->groups.emplace_back(tok.begin() + 1, tok.end());
+    } else {
+      return Status::Corruption("unknown manifest keyword '" + kw + "'");
+    }
+  }
+  return m;
+}
+
+}  // namespace smadb::db

@@ -1,0 +1,83 @@
+// Checkpoint manifest: the durable catalog snapshot of one database.
+//
+// Written atomically (tmp + rename) by Database::Checkpoint after all dirty
+// pages are flushed and the backend synced; read by recovery to rebuild
+// tables, SMA registries, and trust epochs before replaying the WAL suffix.
+// The format is a line-oriented text file (one keyword per line, tokens
+// %-escaped via util::EscapeToken) — trivially inspectable with cat, which
+// matters more here than density: a manifest holds catalog metadata, not
+// data.
+//
+// The structs below are deliberately *plain* (strings and integers only):
+// Database converts to/from live Schema/SmaSpec/Value objects, so this
+// module depends on nothing above util and never drifts when the engine's
+// in-memory types evolve.
+
+#ifndef SMADB_DB_MANIFEST_H_
+#define SMADB_DB_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/value.h"
+
+namespace smadb::db {
+
+struct ManifestField {
+  std::string name;
+  std::string type;  ///< TypeIdToString form ("int32", "decimal", ...)
+  uint16_t capacity = 0;
+};
+
+struct ManifestSma {
+  std::string name;
+  std::string func;  ///< AggFuncToString form ("min", "sum", ...)
+  std::string arg;   ///< expression text (Expr::ToString); empty = count(*)
+  std::vector<uint32_t> group_by;
+  uint64_t num_buckets = 0;
+  uint64_t built_epoch = 0;
+  bool trusted = true;
+  std::string distrust_reason;
+  /// Group keys in ordinal order; each key holds one encoded Value token
+  /// per group_by column (see EncodeManifestValue).
+  std::vector<std::vector<std::string>> groups;
+};
+
+struct ManifestTable {
+  std::string name;
+  uint32_t bucket_pages = 1;
+  std::vector<ManifestField> fields;
+  uint64_t num_tuples = 0;
+  uint64_t num_deleted = 0;
+  uint32_t num_pages = 0;
+  uint64_t epoch = 0;
+  std::vector<ManifestSma> smas;
+};
+
+struct Manifest {
+  /// LSN the WAL was reset to at this checkpoint: replay covers
+  /// [checkpoint_lsn, ...).
+  uint64_t checkpoint_lsn = 1;
+  std::vector<ManifestTable> tables;
+};
+
+/// Writes `m` to `path` atomically (tmp + fsync + rename + directory fsync).
+util::Status WriteManifest(const std::string& path, const Manifest& m);
+
+/// Parses the manifest at `path`. Malformed content yields kCorruption;
+/// a missing file yields kNotFound.
+util::Result<Manifest> ReadManifest(const std::string& path);
+
+/// Typed round-trip encoding of a Value for manifest group keys. Non-string
+/// numeric-family values encode their raw integer payload; doubles encode
+/// their bit pattern; strings %-escape. The column TypeId (known from the
+/// schema) drives decoding.
+std::string EncodeManifestValue(const util::Value& v);
+util::Result<util::Value> DecodeManifestValue(util::TypeId type,
+                                              const std::string& token);
+
+}  // namespace smadb::db
+
+#endif  // SMADB_DB_MANIFEST_H_

@@ -23,6 +23,30 @@ Result<std::unique_ptr<Sma>> Sma::Create(storage::BufferPool* pool,
   return sma;
 }
 
+Result<std::unique_ptr<Sma>> Sma::Restore(
+    storage::BufferPool* pool, const storage::Table* table, SmaSpec spec,
+    const std::vector<std::vector<Value>>& group_keys, uint64_t num_buckets,
+    uint64_t built_epoch, bool trusted, std::string distrust_reason) {
+  SMADB_RETURN_NOT_OK(spec.Validate(table->schema()));
+  std::unique_ptr<Sma> sma(new Sma(pool, table, std::move(spec)));
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    std::string file_name = "sma." + table->name() + "." + sma->spec_.name;
+    if (!sma->spec_.group_by.empty()) {
+      file_name += util::Format(".g%zu", g);
+    }
+    SMADB_ASSIGN_OR_RETURN(
+        std::unique_ptr<SmaFile> file,
+        SmaFile::Open(pool, file_name, sma->spec_.EntryWidth(), num_buckets));
+    sma->group_index_[SerializeKey(group_keys[g])] = g;
+    sma->groups_.push_back(Group{group_keys[g], std::move(file)});
+  }
+  sma->num_buckets_ = num_buckets;
+  sma->built_epoch_ = built_epoch;
+  sma->trusted_ = trusted;
+  sma->distrust_reason_ = std::move(distrust_reason);
+  return sma;
+}
+
 std::string Sma::SerializeKey(const std::vector<Value>& key) {
   std::string out;
   for (const Value& v : key) {

@@ -39,6 +39,17 @@ class Sma {
                                                    const storage::Table* table,
                                                    SmaSpec spec);
 
+  /// Re-attaches a SMA to its existing group files (recovery path). Group
+  /// file names are deterministic ("sma.<table>.<name>[.g<i>]"), so the
+  /// manifest only has to record the keys in ordinal order. Trust state is
+  /// restored as recorded; the caller decides whether a replayed table epoch
+  /// invalidates it.
+  static util::Result<std::unique_ptr<Sma>> Restore(
+      storage::BufferPool* pool, const storage::Table* table, SmaSpec spec,
+      const std::vector<std::vector<util::Value>>& group_keys,
+      uint64_t num_buckets, uint64_t built_epoch, bool trusted,
+      std::string distrust_reason);
+
   const SmaSpec& spec() const { return spec_; }
   const storage::Table* table() const { return table_; }
   storage::BufferPool* pool() const { return pool_; }

@@ -22,6 +22,28 @@ Result<std::unique_ptr<SmaFile>> SmaFile::Create(storage::BufferPool* pool,
   return std::unique_ptr<SmaFile>(new SmaFile(pool, file, entry_width));
 }
 
+Result<std::unique_ptr<SmaFile>> SmaFile::Open(storage::BufferPool* pool,
+                                               const std::string& file_name,
+                                               uint32_t entry_width,
+                                               uint64_t num_entries) {
+  if (entry_width != 4 && entry_width != 8) {
+    return Status::InvalidArgument(
+        util::Format("SMA entry width must be 4 or 8, got %u", entry_width));
+  }
+  SMADB_ASSIGN_OR_RETURN(storage::FileId file, pool->disk()->FindFile(file_name));
+  auto sma = std::unique_ptr<SmaFile>(new SmaFile(pool, file, entry_width));
+  sma->num_entries_ = num_entries;
+  sma->num_pages_ = static_cast<uint32_t>(
+      (num_entries + sma->entries_per_page_ - 1) / sma->entries_per_page_);
+  SMADB_ASSIGN_OR_RETURN(uint32_t disk_pages, pool->disk()->NumPages(file));
+  if (disk_pages < sma->num_pages_) {
+    return Status::Corruption(util::Format(
+        "SMA-file '%s': manifest says %u pages but file holds %u",
+        file_name.c_str(), sma->num_pages_, disk_pages));
+  }
+  return sma;
+}
+
 int64_t SmaFile::DecodeAt(const Page& page, uint64_t idx) const {
   const size_t off = (idx % entries_per_page_) * entry_width_;
   if (entry_width_ == 4) {

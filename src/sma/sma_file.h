@@ -31,6 +31,12 @@ class SmaFile {
       storage::BufferPool* pool, const std::string& file_name,
       uint32_t entry_width);
 
+  /// Re-attaches to an existing disk file holding `num_entries` entries
+  /// (recovery path; the entries themselves stay wherever they are).
+  static util::Result<std::unique_ptr<SmaFile>> Open(
+      storage::BufferPool* pool, const std::string& file_name,
+      uint32_t entry_width, uint64_t num_entries);
+
   uint32_t entry_width() const { return entry_width_; }
   uint64_t num_entries() const { return num_entries_; }
   uint32_t num_pages() const { return num_pages_; }

@@ -39,7 +39,7 @@ void PageGuard::Release() {
   page_ = nullptr;
 }
 
-BufferPool::BufferPool(SimulatedDisk* disk, BufferPoolOptions options)
+BufferPool::BufferPool(DiskBackend* disk, BufferPoolOptions options)
     : disk_(disk), options_(options), frames_(options.capacity_pages) {
   assert(options.capacity_pages > 0);
   free_list_.reserve(options.capacity_pages);
@@ -241,10 +241,20 @@ Result<size_t> BufferPool::GetFreeFrameLocked() {
   return victim;
 }
 
+Status BufferPool::BarrierLocked() {
+  if (options_.pre_writeback) {
+    SMADB_RETURN_NOT_OK(options_.pre_writeback());
+  }
+  return Status::OK();
+}
+
 Status BufferPool::EvictFrameLocked(size_t idx) {
   Frame& fr = frames_[idx];
   assert(fr.used && fr.pin_count == 0);
   if (fr.dirty) {
+    // WAL-before-data: the log must be durable before the mutation it
+    // describes can reach the backend.
+    SMADB_RETURN_NOT_OK(BarrierLocked());
     SMADB_RETURN_NOT_OK(disk_->WritePage(fr.file, fr.page_no, fr.page));
     dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
     fr.dirty = false;
@@ -256,8 +266,15 @@ Status BufferPool::EvictFrameLocked(size_t idx) {
 
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  bool barriered = false;
   for (Frame& fr : frames_) {
     if (fr.used && fr.dirty) {
+      if (!barriered) {
+        // One WAL barrier covers the whole flush: nothing can dirty a frame
+        // while we hold the pool mutex.
+        SMADB_RETURN_NOT_OK(BarrierLocked());
+        barriered = true;
+      }
       SMADB_RETURN_NOT_OK(disk_->WritePage(fr.file, fr.page_no, fr.page));
       dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
       fr.dirty = false;
@@ -316,6 +333,28 @@ Status BufferPool::DropFile(FileId file) {
 Status BufferPool::DiscardFile(FileId file) {
   std::lock_guard<std::mutex> lock(mu_);
   return DropFileLocked(file, /*writeback=*/false);
+}
+
+Status BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& fr = frames_[i];
+    if (!fr.used) continue;
+    if (fr.pin_count > 0) {
+      return Status::Internal(
+          util::Format("DiscardAll with pinned page (file %u page %u)",
+                       fr.file, fr.page_no));
+    }
+    if (fr.in_lru) {
+      lru_.erase(fr.lru_pos);
+      fr.in_lru = false;
+    }
+    fr.dirty = false;  // drop the mutation on the floor, like a crash would
+    SMADB_RETURN_NOT_OK(EvictFrameLocked(i));
+    free_list_.push_back(i);
+  }
+  frame_available_.notify_all();
+  return Status::OK();
 }
 
 }  // namespace smadb::storage

@@ -28,6 +28,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -73,6 +74,12 @@ struct BufferPoolOptions {
   /// pinned working memory counts toward the global budget. Null = off.
   /// Charge rejection surfaces from Fetch/NewPage as kResourceExhausted.
   util::MemoryTracker* pin_tracker = nullptr;
+  /// WAL-before-data barrier (DESIGN.md §12): invoked before any dirty page
+  /// is written back (eviction or FlushAll). The durable Database wires this
+  /// to Wal::Sync so no un-logged mutation ever reaches the backend. The
+  /// callback must not re-enter the pool. Null = no ordering constraint
+  /// (simulated backend without a WAL).
+  std::function<util::Status()> pre_writeback = nullptr;
 };
 
 class BufferPool;
@@ -110,11 +117,11 @@ class PageGuard {
 class BufferPool {
  public:
   /// `capacity_pages` frames of kPageSize each; default 8 MB.
-  explicit BufferPool(SimulatedDisk* disk, size_t capacity_pages = 2048)
+  explicit BufferPool(DiskBackend* disk, size_t capacity_pages = 2048)
       : BufferPool(disk, BufferPoolOptions{.capacity_pages = capacity_pages}) {
   }
 
-  BufferPool(SimulatedDisk* disk, BufferPoolOptions options);
+  BufferPool(DiskBackend* disk, BufferPoolOptions options);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -144,6 +151,11 @@ class BufferPool {
   /// possibly-corrupt cached pages).
   util::Status DiscardFile(FileId file);
 
+  /// Evicts *everything* without write-back: dirty pages are lost as if the
+  /// process died before they reached the backend. The in-process crash
+  /// simulation (Database::CrashForTesting) is the only caller.
+  util::Status DiscardAll();
+
   /// Counter snapshot.
   PoolStats stats() const {
     PoolStats s;
@@ -169,7 +181,7 @@ class BufferPool {
     std::lock_guard<std::mutex> lock(mu_);
     return table_.size();
   }
-  SimulatedDisk* disk() const { return disk_; }
+  DiskBackend* disk() const { return disk_; }
   const BufferPoolOptions& options() const { return options_; }
 
  private:
@@ -201,8 +213,10 @@ class BufferPool {
   // Drops every cached page of `file`; writes dirty frames back first iff
   // `writeback`.
   util::Status DropFileLocked(FileId file, bool writeback);
+  // Runs the pre_writeback barrier (if configured).
+  util::Status BarrierLocked();
 
-  SimulatedDisk* disk_;
+  DiskBackend* disk_;
   BufferPoolOptions options_;
   mutable std::mutex mu_;  // guards frames_ metadata, free_list_, lru_, table_
   std::condition_variable frame_available_;  // signaled when a pin releases

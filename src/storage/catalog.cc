@@ -19,6 +19,17 @@ Result<Table*> Catalog::CreateTable(std::string name, Schema schema,
   return raw;
 }
 
+Result<Table*> Catalog::AttachTable(std::unique_ptr<Table> table) {
+  if (by_name_.count(table->name()) != 0) {
+    return Status::AlreadyExists("table '" + table->name() +
+                                 "' already exists");
+  }
+  Table* raw = table.get();
+  by_name_[table->name()] = tables_.size();
+  tables_.push_back(std::move(table));
+  return raw;
+}
+
 Result<Table*> Catalog::GetTable(std::string_view name) const {
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) {

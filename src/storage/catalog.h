@@ -26,6 +26,9 @@ class Catalog {
   util::Result<Table*> CreateTable(std::string name, Schema schema,
                                    TableOptions options = {});
 
+  /// Registers an already-restored table (recovery path).
+  util::Result<Table*> AttachTable(std::unique_ptr<Table> table);
+
   /// Looks up a table by name.
   util::Result<Table*> GetTable(std::string_view name) const;
 

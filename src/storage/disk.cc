@@ -1,5 +1,7 @@
 #include "storage/disk.h"
 
+#include <algorithm>
+
 #include "util/crc32c.h"
 #include "util/fault.h"
 #include "util/string_util.h"
@@ -22,9 +24,19 @@ uint32_t ZeroPageCrc() {
   return crc;
 }
 
-// Deterministic bit position for injected single-bit flips: a cheap mix of
-// (file, page) so repeated runs corrupt the same bit.
-uint64_t FlipBitOf(FileId file, uint32_t page_no) {
+}  // namespace
+
+std::string_view BackendKindToString(BackendKind k) {
+  switch (k) {
+    case BackendKind::kSimulated:
+      return "sim";
+    case BackendKind::kFile:
+      return "file";
+  }
+  return "unknown";
+}
+
+uint64_t FaultFlipBitOf(FileId file, uint32_t page_no) {
   uint64_t h = (static_cast<uint64_t>(file) << 32) | page_no;
   h ^= h >> 33;
   h *= 0xFF51AFD7ED558CCDull;
@@ -32,40 +44,153 @@ uint64_t FlipBitOf(FileId file, uint32_t page_no) {
   return h % (kPageSize * 8);
 }
 
-void FlipBit(Page* page, uint64_t bit) {
+void FaultFlipBit(Page* page, uint64_t bit) {
+  bit %= kPageSize * 8;
   page->data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Shared failpoint routing and access accounting (every backend).
+
+Status DiskBackend::ConsultReadFaults(const std::string& file_name,
+                                      uint32_t page_no, bool* flip_delivered) {
+  *flip_delivered = false;
+  auto fk = util::fault::Hit("disk.read", file_name);
+  if (fk == FaultKind::kTransient || fk == FaultKind::kPermanent) {
+    return Status::IOError(util::Format(
+        "injected %s fault reading file '%s' page %u",
+        std::string(util::FaultKindToString(*fk)).c_str(), file_name.c_str(),
+        page_no));
+  }
+  if (fk == FaultKind::kBitFlip ||
+      util::fault::Hit("disk.page_bitflip", file_name).has_value()) {
+    *flip_delivered = true;
+  }
+  return Status::OK();
+}
+
+Status DiskBackend::ConsultWriteFaults(const std::string& file_name,
+                                       uint32_t page_no, bool* flip_stored) {
+  *flip_stored = false;
+  auto fk = util::fault::Hit("disk.write", file_name);
+  if (fk == FaultKind::kTransient || fk == FaultKind::kPermanent) {
+    return Status::IOError(util::Format(
+        "injected %s fault writing file '%s' page %u",
+        std::string(util::FaultKindToString(*fk)).c_str(), file_name.c_str(),
+        page_no));
+  }
+  if (fk == FaultKind::kBitFlip) *flip_stored = true;
+  return Status::OK();
+}
+
+void DiskBackend::AccountRead(int64_t* last, uint32_t page_no) {
+  ++stats_.page_reads;
+  const int64_t gap = static_cast<int64_t>(page_no) - *last;
+  if (gap == 1) {
+    ++stats_.sequential_reads;
+  } else if (gap > 1 && gap <= kNearSeekWindowPages) {
+    ++stats_.near_reads;
+  } else {
+    ++stats_.random_reads;
+  }
+  *last = page_no;
+}
+
+void DiskBackend::AccountWrite(int64_t* last, uint32_t page_no) {
+  ++stats_.page_writes;
+  const int64_t gap = static_cast<int64_t>(page_no) - *last;
+  if (gap == 1) {
+    ++stats_.sequential_writes;
+  } else if (gap > 1 && gap <= kNearSeekWindowPages) {
+    ++stats_.near_writes;
+  } else {
+    ++stats_.random_writes;
+  }
+  *last = page_no;
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedDisk.
 
 Result<FileId> SimulatedDisk::CreateFile(std::string name) {
-  for (const File& f : files_) {
-    if (f.name == name) {
+  if (name.empty()) {
+    return Status::InvalidArgument(
+        "file name must be non-empty (empty marks a removed file)");
+  }
+  FileId reuse = kInvalidFile;
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == name) {
       return Status::AlreadyExists("file '" + name + "' already exists");
+    }
+    if (files_[i].name.empty() && reuse == kInvalidFile) {
+      reuse = static_cast<FileId>(i);
     }
   }
   File file;
   file.name = std::move(name);
+  if (reuse != kInvalidFile) {
+    files_[reuse] = std::move(file);
+    return reuse;
+  }
   files_.push_back(std::move(file));
   return static_cast<FileId>(files_.size() - 1);
 }
 
 Result<FileId> SimulatedDisk::FindFile(std::string_view name) const {
   for (size_t i = 0; i < files_.size(); ++i) {
-    if (files_[i].name == name) return static_cast<FileId>(i);
+    if (!files_[i].name.empty() && files_[i].name == name) {
+      return static_cast<FileId>(i);
+    }
   }
   return Status::NotFound("no file named '" + std::string(name) + "'");
 }
 
-Result<uint32_t> SimulatedDisk::AllocatePage(FileId file) {
-  if (file >= files_.size()) {
+Status SimulatedDisk::RemoveFile(FileId file) {
+  if (file >= files_.size() || files_[file].name.empty()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
+  }
+  File& f = files_[file];
+  f.name.clear();
+  f.pages.clear();
+  f.checksums.clear();
+  f.free_pages.clear();
+  f.last_read = -2;
+  f.last_write = -2;
+  return Status::OK();
+}
+
+Result<uint32_t> SimulatedDisk::AllocatePage(FileId file) {
+  if (file >= files_.size() || files_[file].name.empty()) {
+    return Status::InvalidArgument(util::Format("bad file id %u", file));
+  }
+  File& f = files_[file];
+  if (!f.free_pages.empty()) {
+    const uint32_t page_no = f.free_pages.back();
+    f.free_pages.pop_back();
+    f.pages[page_no]->Zero();
+    f.checksums[page_no] = ZeroPageCrc();
+    return page_no;
   }
   auto page = std::make_unique<Page>();
   page->Zero();
-  files_[file].pages.push_back(std::move(page));
-  files_[file].checksums.push_back(ZeroPageCrc());
-  return static_cast<uint32_t>(files_[file].pages.size() - 1);
+  f.pages.push_back(std::move(page));
+  f.checksums.push_back(ZeroPageCrc());
+  return static_cast<uint32_t>(f.pages.size() - 1);
+}
+
+Status SimulatedDisk::FreePage(FileId file, uint32_t page_no) {
+  SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
+  File& f = files_[file];
+  if (std::find(f.free_pages.begin(), f.free_pages.end(), page_no) !=
+      f.free_pages.end()) {
+    return Status::InvalidArgument(
+        util::Format("page %u of file '%s' is already free", page_no,
+                     f.name.c_str()));
+  }
+  f.pages[page_no]->Zero();
+  f.checksums[page_no] = ZeroPageCrc();
+  f.free_pages.push_back(page_no);
+  return Status::OK();
 }
 
 Status SimulatedDisk::CheckBounds(FileId file, uint32_t page_no) const {
@@ -86,28 +211,11 @@ Status SimulatedDisk::ReadPage(FileId file, uint32_t page_no, Page* out) {
   // Failpoints: errors abort the read before any transfer is accounted;
   // bit flips corrupt only the delivered copy (the stored page — and its
   // checksum — stay intact, so the flip is silent until verified).
-  auto fk = util::fault::Hit("disk.read", f.name);
-  if (fk == FaultKind::kTransient || fk == FaultKind::kPermanent) {
-    return Status::IOError(util::Format(
-        "injected %s fault reading file '%s' page %u",
-        std::string(util::FaultKindToString(*fk)).c_str(), f.name.c_str(),
-        page_no));
-  }
+  bool flip = false;
+  SMADB_RETURN_NOT_OK(ConsultReadFaults(f.name, page_no, &flip));
   *out = *f.pages[page_no];
-  if (fk == FaultKind::kBitFlip ||
-      util::fault::Hit("disk.page_bitflip", f.name).has_value()) {
-    FlipBit(out, FlipBitOf(file, page_no));
-  }
-  ++stats_.page_reads;
-  const int64_t gap = static_cast<int64_t>(page_no) - f.last_read;
-  if (gap == 1) {
-    ++stats_.sequential_reads;
-  } else if (gap > 1 && gap <= kNearSeekWindowPages) {
-    ++stats_.near_reads;
-  } else {
-    ++stats_.random_reads;
-  }
-  f.last_read = page_no;
+  if (flip) FaultFlipBit(out, FaultFlipBitOf(file, page_no));
+  AccountRead(&f.last_read, page_no);
   return Status::OK();
 }
 
@@ -115,31 +223,22 @@ Status SimulatedDisk::WritePage(FileId file, uint32_t page_no,
                                 const Page& page) {
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
-  auto fk = util::fault::Hit("disk.write", f.name);
-  if (fk == FaultKind::kTransient || fk == FaultKind::kPermanent) {
-    return Status::IOError(util::Format(
-        "injected %s fault writing file '%s' page %u",
-        std::string(util::FaultKindToString(*fk)).c_str(), f.name.c_str(),
-        page_no));
-  }
+  bool flip = false;
+  SMADB_RETURN_NOT_OK(ConsultWriteFaults(f.name, page_no, &flip));
   *f.pages[page_no] = page;
   // Stamp the checksum of what the writer *meant* to store; a bit-flip
   // fault then corrupts the stored bytes underneath it, which the next
   // verified read detects.
   f.checksums[page_no] = util::Crc32c(page.data, kPageSize);
-  if (fk == FaultKind::kBitFlip) {
-    FlipBit(f.pages[page_no].get(), FlipBitOf(file, page_no));
+  if (flip) {
+    FaultFlipBit(f.pages[page_no].get(), FaultFlipBitOf(file, page_no));
   }
-  ++stats_.page_writes;
-  const int64_t gap = static_cast<int64_t>(page_no) - f.last_write;
-  if (gap == 1) {
-    ++stats_.sequential_writes;
-  } else if (gap > 1 && gap <= kNearSeekWindowPages) {
-    ++stats_.near_writes;
-  } else {
-    ++stats_.random_writes;
-  }
-  f.last_write = page_no;
+  AccountWrite(&f.last_write, page_no);
+  return Status::OK();
+}
+
+Status SimulatedDisk::Sync() {
+  ++stats_.syncs;
   return Status::OK();
 }
 
@@ -152,7 +251,7 @@ Result<uint32_t> SimulatedDisk::PageChecksum(FileId file,
 Status SimulatedDisk::CorruptPageForTesting(FileId file, uint32_t page_no,
                                             uint64_t bit) {
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
-  FlipBit(files_[file].pages[page_no].get(), bit % (kPageSize * 8));
+  FaultFlipBit(files_[file].pages[page_no].get(), bit);
   return Status::OK();
 }
 
@@ -162,6 +261,7 @@ Status SimulatedDisk::TruncateFile(FileId file) {
   }
   files_[file].pages.clear();
   files_[file].checksums.clear();
+  files_[file].free_pages.clear();
   files_[file].last_read = -2;
   files_[file].last_write = -2;
   return Status::OK();

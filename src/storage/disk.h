@@ -1,21 +1,25 @@
-// SimulatedDisk: an in-memory page store that *accounts* like a 1997 disk.
+// DiskBackend: the storage seam every page lives behind.
 //
-// The paper's measurements (Sparc Ultra I, Barracuda 4 GB disks) are
-// I/O-bound; what SMAs buy is fewer pages touched. We therefore keep all
-// pages in RAM but count every page read/write, classify it as sequential or
-// random, and map the counts to seconds through a parameterized disk model.
-// Benchmarks report both real wall-clock time (CPU-side pruning effect) and
-// modeled disk seconds (paper-scale shape).
+// Two implementations exist. SimulatedDisk is an in-memory page store that
+// *accounts* like a 1997 disk: the paper's measurements (Sparc Ultra I,
+// Barracuda 4 GB disks) are I/O-bound; what SMAs buy is fewer pages touched,
+// so we keep all pages in RAM but count every access, classify it as
+// sequential/near/random, and map the counts to seconds through a
+// parameterized disk model. FileDiskManager (file_disk.h) is a real
+// pread/pwrite + fsync backend whose pages survive the process — the base
+// of the durable stack (WAL + checkpoints + recovery, DESIGN.md §12).
 //
-// The disk is also the fault boundary. ReadPage/WritePage consult the
-// failpoints "disk.read" / "disk.write" (plus "disk.page_bitflip", which
-// always flips a bit on delivery regardless of the armed kind) so tests can
+// The backend is also the fault boundary. ReadPage/WritePage of *every*
+// implementation consult the failpoints "disk.read" / "disk.write" (plus
+// "disk.page_bitflip", which always flips a bit on delivery regardless of
+// the armed kind) through the shared helpers on the base class, so tests can
 // inject transient errors, permanent errors, and silent single-bit
-// corruption (see util/fault.h). Every page carries an out-of-band CRC-32C
-// stamped on write — modeling per-sector checksums real disks keep outside
-// the 4 K payload, so SMA-file pages stay fully packed and the paper's file
-// sizes hold. The buffer pool verifies the checksum on fetch and turns
-// silent corruption into typed kCorruption errors.
+// corruption identically against any backend (see util/fault.h). Every page
+// carries an out-of-band CRC-32C stamped on write — modeling per-sector
+// checksums real disks keep outside the 4 K payload, so SMA-file pages stay
+// fully packed and the paper's file sizes hold. The buffer pool verifies the
+// checksum on fetch and turns silent corruption into typed kCorruption
+// errors.
 
 #ifndef SMADB_STORAGE_DISK_H_
 #define SMADB_STORAGE_DISK_H_
@@ -30,7 +34,7 @@
 
 namespace smadb::storage {
 
-/// Identifies one simulated file (a table heap, one SMA-file, an index...).
+/// Identifies one backend file (a table heap, one SMA-file, an index...).
 using FileId = uint32_t;
 
 /// Invalid file sentinel.
@@ -75,6 +79,8 @@ struct IoStats {
   uint64_t sequential_writes = 0;
   uint64_t near_writes = 0;
   uint64_t random_writes = 0;
+  /// Durability barriers honored (fsync class; always 0 on SimulatedDisk).
+  uint64_t syncs = 0;
 
   /// Seconds the modeled disk would take for all recorded accesses.
   double ModeledSeconds(const DiskModel& model) const {
@@ -93,66 +99,177 @@ struct IoStats {
     d.sequential_writes = sequential_writes - base.sequential_writes;
     d.near_writes = near_writes - base.near_writes;
     d.random_writes = random_writes - base.random_writes;
+    d.syncs = syncs - base.syncs;
     return d;
   }
 };
 
-/// The simulated disk. Thread-compatible (external synchronization); all
-/// smadb experiments are single-threaded, like the paper's.
-class SimulatedDisk {
- public:
-  SimulatedDisk() = default;
+/// Which concrete backend a DiskBackend pointer refers to.
+enum class BackendKind {
+  kSimulated,  ///< in-memory page store with 1997-disk accounting
+  kFile,       ///< real files: pread/pwrite + fsync (FileDiskManager)
+};
 
-  SimulatedDisk(const SimulatedDisk&) = delete;
-  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+std::string_view BackendKindToString(BackendKind k);
+
+/// Deterministic bit position for injected single-bit flips: a cheap mix of
+/// (file, page) so repeated runs corrupt the same bit.
+uint64_t FaultFlipBitOf(FileId file, uint32_t page_no);
+
+/// Flips bit `bit` (modulo page bits) of `page` in place.
+void FaultFlipBit(Page* page, uint64_t bit);
+
+/// Abstract page store: the seam between the engine (buffer pool, tables,
+/// SMA-files, WAL-driven recovery) and where pages physically live.
+///
+/// Contract shared by all implementations:
+///  - files are created by name (unique, diagnostic) and addressed by id;
+///  - pages are allocated at the tail (or from the free list after
+///    FreePage) and addressed by number;
+///  - every page has an out-of-band CRC-32C stamped on write;
+///  - ReadPage/WritePage consult the "disk.read"/"disk.write"/
+///    "disk.page_bitflip" failpoints via the shared base helpers;
+///  - all accesses are recorded in IoStats with sequential/near/random
+///    classification (the modeled 1997 disk reads the same counters for
+///    every backend).
+///
+/// Thread-compatible (external synchronization); the buffer pool serializes
+/// all page traffic under its own mutex.
+class DiskBackend {
+ public:
+  DiskBackend() = default;
+  virtual ~DiskBackend() = default;
+
+  DiskBackend(const DiskBackend&) = delete;
+  DiskBackend& operator=(const DiskBackend&) = delete;
+
+  virtual BackendKind kind() const = 0;
+  std::string_view kind_name() const { return BackendKindToString(kind()); }
 
   /// Creates an empty file and returns its id. Names are for diagnostics and
-  /// must be unique.
-  util::Result<FileId> CreateFile(std::string name);
+  /// recovery manifests and must be unique and non-empty. Ids of removed
+  /// files are reused, lowest first.
+  virtual util::Result<FileId> CreateFile(std::string name) = 0;
 
   /// Looks up a file by name.
-  util::Result<FileId> FindFile(std::string_view name) const;
+  virtual util::Result<FileId> FindFile(std::string_view name) const = 0;
 
-  /// Appends a zeroed page to `file`; returns its page number.
-  util::Result<uint32_t> AllocatePage(FileId file);
+  /// Removes a file: drops its pages and frees its *name*. The id becomes a
+  /// tombstone — invisible to FindFile, rejected by page operations — until
+  /// a later CreateFile reassigns it. Used by recovery to clear orphan
+  /// derived files (SMA-files a crash left behind without a manifest entry);
+  /// live files are owned by their table / SMA objects and never removed.
+  virtual util::Status RemoveFile(FileId file) = 0;
+
+  /// Appends a zeroed page to `file` (reusing a freed page when one exists);
+  /// returns its page number.
+  virtual util::Result<uint32_t> AllocatePage(FileId file) = 0;
+
+  /// Returns page `page_no` of `file` to the allocator's free list. The
+  /// page stays addressable (zeroed) until reallocated; freeing twice fails
+  /// with kInvalidArgument.
+  virtual util::Status FreePage(FileId file, uint32_t page_no) = 0;
 
   /// Reads page `page_no` of `file` into `*out`, recording the access.
-  util::Status ReadPage(FileId file, uint32_t page_no, Page* out);
+  virtual util::Status ReadPage(FileId file, uint32_t page_no, Page* out) = 0;
 
   /// Writes `page` to `file` at `page_no`, recording the access.
-  util::Status WritePage(FileId file, uint32_t page_no, const Page& page);
+  virtual util::Status WritePage(FileId file, uint32_t page_no,
+                                 const Page& page) = 0;
 
   /// Drops all pages of a file (keeps the id valid with zero pages).
-  util::Status TruncateFile(FileId file);
+  virtual util::Status TruncateFile(FileId file) = 0;
 
-  /// Number of pages currently allocated in `file`.
-  util::Result<uint32_t> NumPages(FileId file) const;
+  /// Durability barrier: everything written so far is on stable storage when
+  /// this returns OK. A no-op (still counted) on the simulated backend.
+  virtual util::Status Sync() = 0;
 
-  const std::string& FileName(FileId file) const { return files_[file].name; }
-  size_t NumFiles() const { return files_.size(); }
+  /// Number of pages currently allocated in `file` (including freed ones
+  /// not yet reused).
+  virtual util::Result<uint32_t> NumPages(FileId file) const = 0;
+
+  virtual const std::string& FileName(FileId file) const = 0;
+  virtual size_t NumFiles() const = 0;
 
   /// CRC-32C stamped when `page_no` was last written (out-of-band, like a
   /// disk's per-sector checksum). The buffer pool compares it against the
   /// checksum of the delivered bytes to detect silent corruption.
-  util::Result<uint32_t> PageChecksum(FileId file, uint32_t page_no) const;
+  virtual util::Result<uint32_t> PageChecksum(FileId file,
+                                              uint32_t page_no) const = 0;
 
   /// Flips one stored bit *without* restamping the checksum — simulates
   /// at-rest media corruption for tests. `bit` indexes into the page
   /// (modulo page bits).
-  util::Status CorruptPageForTesting(FileId file, uint32_t page_no,
-                                     uint64_t bit);
+  virtual util::Status CorruptPageForTesting(FileId file, uint32_t page_no,
+                                             uint64_t bit) = 0;
 
   /// Total bytes across the given file.
-  uint64_t FileBytes(FileId file) const {
-    return static_cast<uint64_t>(files_[file].pages.size()) * kPageSize;
-  }
+  virtual uint64_t FileBytes(FileId file) const = 0;
 
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats(); }
 
   /// Forgets per-file head positions so the next access of every file
   /// classifies independently of earlier runs (fair A/B timing).
-  void ResetAccessPositions() {
+  virtual void ResetAccessPositions() = 0;
+
+ protected:
+  /// Consults the "disk.read" failpoints for one page read. Returns the
+  /// injected error (kIOError) for transient/permanent faults; on OK,
+  /// `*flip_delivered` says whether the delivered copy must have a bit
+  /// flipped (kBitFlip or an armed "disk.page_bitflip").
+  util::Status ConsultReadFaults(const std::string& file_name,
+                                 uint32_t page_no, bool* flip_delivered);
+
+  /// Same for "disk.write": on OK, `*flip_stored` asks the backend to flip
+  /// a bit in the *stored* bytes after stamping the intended checksum (the
+  /// next verified read detects the silent corruption).
+  util::Status ConsultWriteFaults(const std::string& file_name,
+                                  uint32_t page_no, bool* flip_stored);
+
+  /// Classifies one access against the file's last touched page and bumps
+  /// the matching IoStats counters. `*last` is updated to `page_no`.
+  void AccountRead(int64_t* last, uint32_t page_no);
+  void AccountWrite(int64_t* last, uint32_t page_no);
+
+  IoStats stats_;
+};
+
+/// The simulated disk: an in-memory DiskBackend with 1997-disk accounting.
+/// All smadb paper experiments run on this backend.
+class SimulatedDisk final : public DiskBackend {
+ public:
+  SimulatedDisk() = default;
+
+  BackendKind kind() const override { return BackendKind::kSimulated; }
+
+  util::Result<FileId> CreateFile(std::string name) override;
+  util::Result<FileId> FindFile(std::string_view name) const override;
+  util::Status RemoveFile(FileId file) override;
+  util::Result<uint32_t> AllocatePage(FileId file) override;
+  util::Status FreePage(FileId file, uint32_t page_no) override;
+  util::Status ReadPage(FileId file, uint32_t page_no, Page* out) override;
+  util::Status WritePage(FileId file, uint32_t page_no,
+                         const Page& page) override;
+  util::Status TruncateFile(FileId file) override;
+  util::Status Sync() override;
+  util::Result<uint32_t> NumPages(FileId file) const override;
+
+  const std::string& FileName(FileId file) const override {
+    return files_[file].name;
+  }
+  size_t NumFiles() const override { return files_.size(); }
+
+  util::Result<uint32_t> PageChecksum(FileId file,
+                                      uint32_t page_no) const override;
+  util::Status CorruptPageForTesting(FileId file, uint32_t page_no,
+                                     uint64_t bit) override;
+
+  uint64_t FileBytes(FileId file) const override {
+    return static_cast<uint64_t>(files_[file].pages.size()) * kPageSize;
+  }
+
+  void ResetAccessPositions() override {
     for (File& f : files_) {
       f.last_read = -2;
       f.last_write = -2;
@@ -165,6 +282,8 @@ class SimulatedDisk {
     std::vector<std::unique_ptr<Page>> pages;
     // Out-of-band CRC-32C per page, parallel to `pages`.
     std::vector<uint32_t> checksums;
+    // Pages returned by FreePage, reusable by AllocatePage.
+    std::vector<uint32_t> free_pages;
     // Last page touched, for sequential/random classification.
     int64_t last_read = -2;
     int64_t last_write = -2;
@@ -173,7 +292,6 @@ class SimulatedDisk {
   util::Status CheckBounds(FileId file, uint32_t page_no) const;
 
   std::vector<File> files_;
-  IoStats stats_;
 };
 
 }  // namespace smadb::storage

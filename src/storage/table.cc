@@ -50,6 +50,29 @@ Result<std::unique_ptr<Table>> Table::Create(BufferPool* pool,
                                           std::move(schema), options));
 }
 
+Result<std::unique_ptr<Table>> Table::Restore(BufferPool* pool,
+                                              std::string name, Schema schema,
+                                              TableOptions options,
+                                              uint64_t num_tuples,
+                                              uint64_t num_deleted,
+                                              uint32_t num_pages,
+                                              uint64_t epoch) {
+  SMADB_ASSIGN_OR_RETURN(FileId file, pool->disk()->FindFile("tbl." + name));
+  auto table = std::unique_ptr<Table>(new Table(pool, file, std::move(name),
+                                                std::move(schema), options));
+  SMADB_ASSIGN_OR_RETURN(uint32_t disk_pages, pool->disk()->NumPages(file));
+  if (disk_pages < num_pages) {
+    return Status::Corruption(util::Format(
+        "table '%s': manifest says %u pages but file holds %u",
+        table->name_.c_str(), num_pages, disk_pages));
+  }
+  table->num_tuples_ = num_tuples;
+  table->num_deleted_ = num_deleted;
+  table->num_pages_ = num_pages;
+  table->epoch_ = epoch;
+  return table;
+}
+
 Status Table::Append(const TupleBuffer& tuple, Rid* rid) {
   if (!tuple.schema().Equals(schema_)) {
     return Status::InvalidArgument("tuple schema mismatch for table '" +
@@ -80,6 +103,85 @@ Status Table::Append(const TupleBuffer& tuple, Rid* rid) {
   ++num_tuples_;
   ++epoch_;
   if (rid != nullptr) *rid = Rid{page_no, slot};
+  return Status::OK();
+}
+
+Result<Rid> Table::NextRid() const {
+  if (num_pages_ == 0) return Rid{0, 0};
+  const uint32_t tail = num_pages_ - 1;
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(tail));
+  const uint16_t slot = PageTupleCount(*guard.page());
+  if (slot >= tuples_per_page_) return Rid{num_pages_, 0};
+  return Rid{tail, slot};
+}
+
+Status Table::ApplyInsert(Rid rid, std::string_view tuple_bytes,
+                          uint64_t epoch_after) {
+  if (tuple_bytes.size() != schema_.tuple_size()) {
+    return Status::Corruption(util::Format(
+        "replayed tuple of %zu bytes, table '%s' expects %zu",
+        tuple_bytes.size(), name_.c_str(), schema_.tuple_size()));
+  }
+  if (rid.slot >= tuples_per_page_) {
+    return Status::Corruption(
+        util::Format("replayed slot %u beyond page capacity %u", rid.slot,
+                     tuples_per_page_));
+  }
+  // Materialize any pages between the flushed prefix and the logged
+  // position. Pages the crash already flushed are reused as-is.
+  SMADB_ASSIGN_OR_RETURN(uint32_t disk_pages, pool_->disk()->NumPages(file_));
+  while (disk_pages <= rid.page_no) {
+    uint32_t page_no;
+    SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage(file_, &page_no));
+    ++disk_pages;
+  }
+  num_pages_ = std::max(num_pages_, rid.page_no + 1);
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
+  Page* page = guard.MutablePage();
+  std::memcpy(page->data + tuple_area_offset_ + rid.slot * schema_.tuple_size(),
+              tuple_bytes.data(), schema_.tuple_size());
+  if (PageTupleCount(*page) < rid.slot + 1) {
+    page->WriteAt<uint16_t>(0, static_cast<uint16_t>(rid.slot + 1));
+  }
+  // Canonical insert state: live. A later delete record re-tombstones it.
+  page->data[kPageHeaderSize + rid.slot / 8] &=
+      static_cast<uint8_t>(~(1u << (rid.slot % 8)));
+  ++num_tuples_;
+  epoch_ = epoch_after;
+  return Status::OK();
+}
+
+Status Table::ApplyUpdate(Rid rid, size_t col, const util::Value& v,
+                          uint64_t epoch_after) {
+  if (rid.page_no >= num_pages_ || col >= schema_.num_fields()) {
+    return Status::Corruption(
+        util::Format("replayed update outside table '%s' (page %u, col %zu)",
+                     name_.c_str(), rid.page_no, col));
+  }
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
+  TupleBuffer scratch(&schema_);
+  scratch.SetValue(col, v);
+  Page* page = guard.MutablePage();
+  uint8_t* tuple =
+      page->data + tuple_area_offset_ + rid.slot * schema_.tuple_size();
+  std::memcpy(tuple + schema_.offset(col),
+              scratch.data() + schema_.offset(col), schema_.field(col).width());
+  epoch_ = epoch_after;
+  return Status::OK();
+}
+
+Status Table::ApplyDelete(Rid rid, uint64_t epoch_after) {
+  if (rid.page_no >= num_pages_) {
+    return Status::Corruption(util::Format(
+        "replayed delete outside table '%s' (page %u)", name_.c_str(),
+        rid.page_no));
+  }
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
+  Page* page = guard.MutablePage();
+  page->data[kPageHeaderSize + rid.slot / 8] |=
+      static_cast<uint8_t>(1u << (rid.slot % 8));
+  ++num_deleted_;
+  epoch_ = epoch_after;
   return Status::OK();
 }
 

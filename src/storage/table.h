@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "storage/buffer_pool.h"
@@ -49,6 +50,14 @@ class Table {
                                                      Schema schema,
                                                      TableOptions options = {});
 
+  /// Re-attaches to an existing file "tbl.<name>" (recovery path): restores
+  /// the manifest's counters without touching pages. WAL replay then applies
+  /// post-checkpoint mutations via Apply*.
+  static util::Result<std::unique_ptr<Table>> Restore(
+      BufferPool* pool, std::string name, Schema schema, TableOptions options,
+      uint64_t num_tuples, uint64_t num_deleted, uint32_t num_pages,
+      uint64_t epoch);
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   FileId file() const { return file_; }
@@ -76,6 +85,26 @@ class Table {
   /// Appends one tuple at the tail (bulk-load path). Optionally reports the
   /// assigned Rid.
   util::Status Append(const TupleBuffer& tuple, Rid* rid = nullptr);
+
+  /// Rid the next Append will assign — what the WAL logs *before* applying,
+  /// so a crash between log and apply replays to the same position.
+  util::Result<Rid> NextRid() const;
+
+  /// WAL replay: re-applies an insert at its logged absolute position.
+  /// Idempotent — overwriting already-flushed bytes with the same bytes —
+  /// and creates any missing tail pages. `tuple_bytes` is the raw
+  /// fixed-width tuple image; `epoch_after` the table epoch the original
+  /// mutation produced.
+  util::Status ApplyInsert(Rid rid, std::string_view tuple_bytes,
+                           uint64_t epoch_after);
+
+  /// WAL replay: re-applies a column update (ignores tombstones a
+  /// later-replaying delete will restore).
+  util::Status ApplyUpdate(Rid rid, size_t col, const util::Value& v,
+                           uint64_t epoch_after);
+
+  /// WAL replay: re-applies a delete (idempotent on the bitmap bit).
+  util::Status ApplyDelete(Rid rid, uint64_t epoch_after);
 
   /// Pins a data page. Const: reading mutates only the buffer pool.
   util::Result<PageGuard> FetchPage(uint32_t page_no) const {

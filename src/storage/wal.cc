@@ -1,0 +1,334 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace smadb::storage {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr char kWalMagic[8] = {'s', 'm', 'a', 'd', 'b', 'w', 'a', 'l'};
+constexpr uint32_t kWalVersion = 1;
+// magic[8] + version u32 + base_lsn u64.
+constexpr uint64_t kHeaderBytes = 8 + 4 + 8;
+// payload_len u32 + crc u32 + lsn u64 + type u8.
+constexpr uint64_t kFrameBytes = 4 + 4 + 8 + 1;
+// Sanity bound on a single payload; anything larger is a torn/corrupt frame.
+constexpr uint32_t kMaxPayload = 1u << 28;
+
+void EncodeU32(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+  out[2] = static_cast<uint8_t>(v >> 16);
+  out[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void EncodeU64(uint8_t* out, uint64_t v) {
+  EncodeU32(out, static_cast<uint32_t>(v));
+  EncodeU32(out + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t DecodeU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t DecodeU64(const uint8_t* p) {
+  return static_cast<uint64_t>(DecodeU32(p)) |
+         (static_cast<uint64_t>(DecodeU32(p + 4)) << 32);
+}
+
+Status ErrnoError(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+Status PReadFull(int fd, void* buf, size_t n, uint64_t off,
+                 const std::string& path, bool* hit_eof) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  *hit_eof = false;
+  while (done < n) {
+    const ssize_t r = ::pread(fd, p + done, n - done,
+                              static_cast<off_t>(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("pread", path);
+    }
+    if (r == 0) {
+      *hit_eof = true;
+      return Status::OK();
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status PWriteFull(int fd, const void* buf, size_t n, uint64_t off,
+                  const std::string& path) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pwrite(fd, p + done, n - done,
+                               static_cast<off_t>(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("pwrite", path);
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+/// CRC-32C over the protected part of one frame: lsn, type, payload.
+uint32_t FrameCrc(uint64_t lsn, uint8_t type, std::string_view payload) {
+  uint8_t head[9];
+  EncodeU64(head, lsn);
+  head[8] = type;
+  uint32_t crc = util::Crc32c(head, sizeof(head));
+  return util::Crc32c(payload.data(), payload.size(), crc);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Payload builders / reader.
+
+void WalPutU32(std::string* out, uint32_t v) {
+  uint8_t b[4];
+  EncodeU32(b, v);
+  out->append(reinterpret_cast<const char*>(b), sizeof(b));
+}
+
+void WalPutU64(std::string* out, uint64_t v) {
+  uint8_t b[8];
+  EncodeU64(b, v);
+  out->append(reinterpret_cast<const char*>(b), sizeof(b));
+}
+
+void WalPutI64(std::string* out, int64_t v) {
+  WalPutU64(out, static_cast<uint64_t>(v));
+}
+
+void WalPutString(std::string* out, std::string_view s) {
+  WalPutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool WalPayloadReader::GetU32(uint32_t* v) {
+  if (rest_.size() < 4) return false;
+  *v = DecodeU32(reinterpret_cast<const uint8_t*>(rest_.data()));
+  rest_.remove_prefix(4);
+  return true;
+}
+
+bool WalPayloadReader::GetU64(uint64_t* v) {
+  if (rest_.size() < 8) return false;
+  *v = DecodeU64(reinterpret_cast<const uint8_t*>(rest_.data()));
+  rest_.remove_prefix(8);
+  return true;
+}
+
+bool WalPayloadReader::GetI64(int64_t* v) {
+  uint64_t u;
+  if (!GetU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool WalPayloadReader::GetString(std::string* s) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  if (rest_.size() < len) return false;
+  s->assign(rest_.data(), len);
+  rest_.remove_prefix(len);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Wal.
+
+Wal::Wal(std::string path) : path_(std::move(path)) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(std::string path) {
+  auto wal = std::unique_ptr<Wal>(new Wal(std::move(path)));
+  wal->fd_ = ::open(wal->path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (wal->fd_ < 0) return ErrnoError("open", wal->path_);
+  struct stat st;
+  if (::fstat(wal->fd_, &st) != 0) return ErrnoError("fstat", wal->path_);
+  if (static_cast<uint64_t>(st.st_size) < kHeaderBytes) {
+    // Fresh (or torn-at-birth) log: lay down a clean header.
+    SMADB_RETURN_NOT_OK(wal->WriteHeader(1));
+    wal->base_lsn_ = 1;
+    wal->next_lsn_ = 1;
+    wal->file_bytes_ = kHeaderBytes;
+  } else {
+    SMADB_RETURN_NOT_OK(wal->ScanExisting());
+  }
+  return wal;
+}
+
+Status Wal::WriteHeader(uint64_t base_lsn) {
+  uint8_t header[kHeaderBytes];
+  std::memcpy(header, kWalMagic, sizeof(kWalMagic));
+  EncodeU32(header + 8, kWalVersion);
+  EncodeU64(header + 12, base_lsn);
+  return PWriteFull(fd_, header, sizeof(header), 0, path_);
+}
+
+Status Wal::ScanExisting() {
+  uint8_t header[kHeaderBytes];
+  bool eof = false;
+  SMADB_RETURN_NOT_OK(PReadFull(fd_, header, sizeof(header), 0, path_, &eof));
+  if (eof || std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption("bad WAL magic in '" + path_ + "'");
+  }
+  const uint32_t version = DecodeU32(header + 8);
+  if (version != kWalVersion) {
+    return Status::Corruption(
+        util::Format("unsupported WAL version %u in '%s'", version,
+                     path_.c_str()));
+  }
+  base_lsn_ = DecodeU64(header + 12);
+
+  // Walk the intact prefix. LSNs are dense, so a stale remnant beyond an
+  // overwritten torn tail fails the expected-LSN check even if its CRC
+  // happens to hold.
+  uint64_t off = kHeaderBytes;
+  uint64_t expected_lsn = base_lsn_;
+  std::string payload;
+  while (true) {
+    uint8_t frame[kFrameBytes];
+    SMADB_RETURN_NOT_OK(
+        PReadFull(fd_, frame, sizeof(frame), off, path_, &eof));
+    if (eof) break;
+    const uint32_t payload_len = DecodeU32(frame);
+    const uint32_t crc = DecodeU32(frame + 4);
+    const uint64_t lsn = DecodeU64(frame + 8);
+    const uint8_t type = frame[16];
+    if (payload_len > kMaxPayload || lsn != expected_lsn) break;
+    payload.resize(payload_len);
+    SMADB_RETURN_NOT_OK(
+        PReadFull(fd_, payload.data(), payload_len, off + kFrameBytes, path_,
+                  &eof));
+    if (eof) break;
+    if (FrameCrc(lsn, type, payload) != crc) break;
+    off += kFrameBytes + payload_len;
+    expected_lsn = lsn + 1;
+  }
+  file_bytes_ = off;
+  next_lsn_ = expected_lsn;
+  // Whatever survived in the file is by definition the durable prefix.
+  flushed_lsn_ = expected_lsn - 1;
+  synced_lsn_ = expected_lsn - 1;
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::Append(WalRecordType type, std::string_view payload) {
+  if (auto fk = util::fault::Hit("wal.append", path_)) {
+    return Status::IOError(util::Format(
+        "injected %s fault appending WAL record to '%s'",
+        std::string(util::FaultKindToString(*fk)).c_str(), path_.c_str()));
+  }
+  const uint64_t lsn = next_lsn_++;
+  uint8_t frame[kFrameBytes];
+  EncodeU32(frame, static_cast<uint32_t>(payload.size()));
+  EncodeU32(frame + 4, FrameCrc(lsn, static_cast<uint8_t>(type), payload));
+  EncodeU64(frame + 8, lsn);
+  frame[16] = static_cast<uint8_t>(type);
+  buffer_.append(reinterpret_cast<const char*>(frame), sizeof(frame));
+  buffer_.append(payload);
+  ++stats_.appends;
+  stats_.appended_bytes += kFrameBytes + payload.size();
+  return lsn;
+}
+
+Status Wal::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  SMADB_RETURN_NOT_OK(
+      PWriteFull(fd_, buffer_.data(), buffer_.size(), file_bytes_, path_));
+  file_bytes_ += buffer_.size();
+  buffer_.clear();
+  flushed_lsn_ = next_lsn_ - 1;
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (auto fk = util::fault::Hit("wal.sync", path_)) {
+    return Status::IOError(util::Format(
+        "injected %s fault syncing WAL '%s'",
+        std::string(util::FaultKindToString(*fk)).c_str(), path_.c_str()));
+  }
+  SMADB_RETURN_NOT_OK(Flush());
+  if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync", path_);
+  synced_lsn_ = flushed_lsn_;
+  ++stats_.syncs;
+  return Status::OK();
+}
+
+void Wal::DiscardUnflushed() {
+  buffer_.clear();
+  next_lsn_ = flushed_lsn_ + 1;
+}
+
+Status Wal::Replay(
+    const std::function<Status(uint64_t, WalRecordType, std::string_view)>&
+        apply) {
+  uint64_t off = kHeaderBytes;
+  uint64_t expected_lsn = base_lsn_;
+  std::string payload;
+  bool eof = false;
+  while (off < file_bytes_) {
+    uint8_t frame[kFrameBytes];
+    SMADB_RETURN_NOT_OK(
+        PReadFull(fd_, frame, sizeof(frame), off, path_, &eof));
+    if (eof) break;
+    const uint32_t payload_len = DecodeU32(frame);
+    const uint32_t crc = DecodeU32(frame + 4);
+    const uint64_t lsn = DecodeU64(frame + 8);
+    const uint8_t type = frame[16];
+    if (payload_len > kMaxPayload || lsn != expected_lsn) break;
+    payload.resize(payload_len);
+    SMADB_RETURN_NOT_OK(
+        PReadFull(fd_, payload.data(), payload_len, off + kFrameBytes, path_,
+                  &eof));
+    if (eof) break;
+    if (FrameCrc(lsn, type, payload) != crc) break;
+    SMADB_RETURN_NOT_OK(
+        apply(lsn, static_cast<WalRecordType>(type), payload));
+    off += kFrameBytes + payload_len;
+    expected_lsn = lsn + 1;
+  }
+  return Status::OK();
+}
+
+Status Wal::Reset(uint64_t base_lsn) {
+  buffer_.clear();
+  if (::ftruncate(fd_, 0) != 0) return ErrnoError("ftruncate", path_);
+  SMADB_RETURN_NOT_OK(WriteHeader(base_lsn));
+  if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync", path_);
+  base_lsn_ = base_lsn;
+  next_lsn_ = base_lsn;
+  flushed_lsn_ = base_lsn - 1;
+  synced_lsn_ = base_lsn - 1;
+  file_bytes_ = kHeaderBytes;
+  return Status::OK();
+}
+
+}  // namespace smadb::storage

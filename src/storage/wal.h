@@ -1,0 +1,157 @@
+// Write-ahead log: the durability spine of the file backend.
+//
+// The WAL is an append-only byte stream (NOT a paged DiskBackend file — log
+// appends are the one access pattern where page granularity only hurts).
+// Layout:
+//
+//   header   : magic "smadbwal" | version u32 | base_lsn u64
+//   records  : [payload_len u32][crc u32][lsn u64][type u8][payload...]
+//
+// The CRC-32C covers lsn + type + payload, so a torn tail write (crash mid
+// append) is detected and replay stops at the last intact record — exactly
+// the committed prefix. LSNs are assigned densely from base_lsn.
+//
+// Buffering contract: Append() only stages the record in a user-space
+// buffer; Flush() writes it to the file, Sync() flushes and fdatasyncs. A
+// record is COMMITTED once Sync() has covered it. Keeping unflushed bytes in
+// user space is what lets an in-process crash simulation
+// (Database::CrashForTesting -> DiscardUnflushed) model kill-9/power-loss
+// tail loss faithfully without actually killing the process.
+//
+// Checkpointing: Reset(base_lsn) truncates the log back to a fresh header
+// whose base_lsn continues the sequence; everything before it is captured by
+// the checkpoint manifest, so replay always starts at the header.
+//
+// Failpoints: "wal.append" fails record staging, "wal.sync" fails the
+// durability barrier — the crash-recovery torture tests arm these as
+// kill-points (see tests/durability_test.cc).
+
+#ifndef SMADB_STORAGE_WAL_H_
+#define SMADB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace smadb::storage {
+
+/// Logical record types the database layer logs. The WAL itself treats the
+/// type as an opaque byte; the vocabulary lives here so recovery and the
+/// design doc share one definition.
+enum class WalRecordType : uint8_t {
+  kCreateTable = 1,  ///< name, bucket_pages, schema fields
+  kDefineSma = 2,    ///< table name + the `define sma` statement text
+  kInsert = 3,       ///< table, rid, epoch_after, tuple bytes
+  kUpdate = 4,       ///< table, rid, column, typed value, epoch_after
+  kDelete = 5,       ///< table, rid, epoch_after
+};
+
+/// Little-endian payload builders (append to `out`).
+void WalPutU32(std::string* out, uint32_t v);
+void WalPutU64(std::string* out, uint64_t v);
+void WalPutI64(std::string* out, int64_t v);
+void WalPutString(std::string* out, std::string_view s);
+
+/// Cursor over a record payload; every Get* returns false on underrun.
+class WalPayloadReader {
+ public:
+  explicit WalPayloadReader(std::string_view payload) : rest_(payload) {}
+
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetString(std::string* s);
+  bool AtEnd() const { return rest_.empty(); }
+
+ private:
+  std::string_view rest_;
+};
+
+/// Cumulative WAL counters (mirrored into the obs registry by Database).
+struct WalStats {
+  uint64_t appends = 0;
+  uint64_t appended_bytes = 0;
+  uint64_t flushes = 0;
+  uint64_t syncs = 0;
+};
+
+/// The log itself. Thread-compatible: Database serializes writers under its
+/// own mutex.
+class Wal {
+ public:
+  /// Opens (or creates) the log at `path`. An existing log is scanned to the
+  /// end of its intact prefix: the append position lands there, so a torn
+  /// tail is silently overwritten by subsequent appends.
+  static util::Result<std::unique_ptr<Wal>> Open(std::string path);
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Stages one record in the user-space buffer and returns its LSN. Not
+  /// durable (or even visible to Replay) until Flush/Sync. Failpoint:
+  /// "wal.append".
+  util::Result<uint64_t> Append(WalRecordType type, std::string_view payload);
+
+  /// Writes all staged records to the file (still not durable).
+  util::Status Flush();
+
+  /// Flush + fdatasync: everything appended so far is committed when this
+  /// returns OK. Failpoint: "wal.sync".
+  util::Status Sync();
+
+  /// Drops staged-but-unflushed records — the in-process analogue of losing
+  /// the un-synced tail to a crash. For Database::CrashForTesting only.
+  void DiscardUnflushed();
+
+  /// Replays every intact record from the header on, in LSN order,
+  /// stopping cleanly at a torn or corrupt tail. Replays only what Flush
+  /// made visible; staged bytes are not seen.
+  util::Status Replay(
+      const std::function<util::Status(uint64_t lsn, WalRecordType type,
+                                       std::string_view payload)>& apply);
+
+  /// Checkpoint truncation: drops all records and starts a fresh header at
+  /// `base_lsn` (durably). LSNs continue from there.
+  util::Status Reset(uint64_t base_lsn);
+
+  /// LSN the next Append will receive.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// LSN of the newest record covered by a successful Sync (0 = none).
+  uint64_t synced_lsn() const { return synced_lsn_; }
+  /// First LSN of the current log generation (checkpoint horizon).
+  uint64_t base_lsn() const { return base_lsn_; }
+  /// Bytes in the log file plus staged bytes.
+  uint64_t size_bytes() const { return file_bytes_ + buffer_.size(); }
+
+  const WalStats& stats() const { return stats_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit Wal(std::string path);
+
+  util::Status WriteHeader(uint64_t base_lsn);
+  util::Status ScanExisting();
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t base_lsn_ = 1;
+  uint64_t next_lsn_ = 1;
+  uint64_t synced_lsn_ = 0;
+  uint64_t flushed_lsn_ = 0;
+  /// Bytes durably laid out in the file (header + flushed records).
+  uint64_t file_bytes_ = 0;
+  /// Staged records not yet written.
+  std::string buffer_;
+  WalStats stats_;
+};
+
+}  // namespace smadb::storage
+
+#endif  // SMADB_STORAGE_WAL_H_

@@ -72,4 +72,58 @@ std::string HumanBytes(double bytes) {
   return Format("%.2f %s", bytes, kUnits[u]);
 }
 
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+bool NeedsEscape(unsigned char c) {
+  return c <= ' ' || c >= 0x7f || c == '%' || c == '=';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EscapeToken(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (NeedsEscape(c)) {
+      out += '%';
+      out += kHexDigits[c >> 4];
+      out += kHexDigits[c & 0xf];
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeToken(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return Status::InvalidArgument("truncated %-escape in token");
+    }
+    const int hi = HexValue(s[i + 1]);
+    const int lo = HexValue(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("malformed %-escape in token");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
 }  // namespace smadb::util

@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
+
 namespace smadb::util {
 
 /// printf-style formatting into a std::string.
@@ -27,6 +29,14 @@ std::string WithThousands(long long v);
 
 /// Human-readable byte size ("33.78 MB").
 std::string HumanBytes(double bytes);
+
+/// Percent-encodes whitespace, '%', '=' and non-printable bytes so a token
+/// can live inside a whitespace-separated persistence line (superblock,
+/// recovery manifest) and round-trip exactly.
+std::string EscapeToken(std::string_view s);
+
+/// Inverse of EscapeToken. Malformed escapes fail the parse.
+util::Result<std::string> UnescapeToken(std::string_view s);
 
 }  // namespace smadb::util
 

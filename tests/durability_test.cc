@@ -1,0 +1,410 @@
+// Crash-recovery torture tests for the file backend (DESIGN.md §12).
+//
+// The contract under test: a mutation acknowledged after a WAL sync is
+// COMMITTED — it survives any crash (CrashForTesting models kill-9: staged
+// WAL bytes and dirty pages vanish) and reappears after Open() replays the
+// log. Un-synced tails are lost *cleanly* (a prefix of operations, never a
+// torn record), and SMAs whose maintenance the crash swallowed are detected
+// as stale at recovery — demoted by the planner, repaired by Rebuild() —
+// never silently served.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "sma/maintenance.h"
+#include "storage/file_disk.h"
+#include "tests/test_util.h"
+#include "util/fault.h"
+
+namespace smadb::db {
+namespace {
+
+using storage::BackendKind;
+using storage::FileId;
+using storage::Rid;
+using testing::ExpectOk;
+using testing::ScopedTempDir;
+using testing::Unwrap;
+using util::FaultKind;
+using util::Status;
+using util::StatusCode;
+
+// Aggregate over the first month of synthetic dates; touches SMA plans when
+// min/max SMAs on d exist.
+constexpr char kAggQuery[] =
+    "select grp, sum(v), count(*) from t where d <= '1970-01-31' group by grp";
+constexpr char kSumQuery[] = "select sum(k), count(*) from t";
+
+struct DurabilityTest : ::testing::Test {
+  ~DurabilityTest() override { util::fault::DisarmAll(); }
+
+  DatabaseOptions FileOptions(size_t wal_sync_interval = 1) const {
+    DatabaseOptions o;
+    o.storage_backend = BackendKind::kFile;
+    o.storage_path = tmpdir.path;
+    o.wal_sync_interval = wal_sync_interval;
+    return o;
+  }
+
+  std::unique_ptr<Database> OpenDb(size_t wal_sync_interval = 1) const {
+    return Unwrap(Database::Open(FileOptions(wal_sync_interval)));
+  }
+
+  /// Inserts rows [from, to) of the synthetic distribution through the
+  /// durable Insert path (d = i/8 days, v = 3i cents, grp cycles A..C).
+  static void Append(Database* db, int64_t from, int64_t to) {
+    storage::Table* t = Unwrap(db->GetTable("t"));
+    storage::TupleBuffer buf(&t->schema());
+    for (int64_t i = from; i < to; ++i) {
+      FillRow(&buf, i);
+      ExpectOk(db->Insert("t", buf));
+    }
+  }
+
+  static void FillRow(storage::TupleBuffer* buf, int64_t i) {
+    buf->SetInt64(0, i);
+    buf->SetDate(1, util::Date(static_cast<int32_t>(i / 8)));
+    buf->SetDecimal(2, util::Decimal(i * 3));
+    const char grp = static_cast<char>('A' + (i % 3));
+    buf->SetString(3, std::string_view(&grp, 1));
+    buf->SetString(4, "MAIL");
+  }
+
+  /// Creates table "t" with the synthetic schema and loads `n` rows.
+  static void Load(Database* db, int64_t n) {
+    Unwrap(db->CreateTable("t", testing::SyntheticSchema()));
+    Append(db, 0, n);
+  }
+
+  static std::string Answer(Database* db, const std::string& sql) {
+    return Unwrap(db->Query(sql)).ToString();
+  }
+
+  static uint64_t Tuples(Database* db) {
+    return Unwrap(db->GetTable("t"))->num_tuples();
+  }
+
+  ScopedTempDir tmpdir;
+};
+
+// ---------------------------------------------------------------------------
+// Clean shutdown: Close() checkpoints, so recovery replays nothing and the
+// SMAs come back from the manifest fully trusted.
+
+TEST_F(DurabilityTest, CleanCloseReopenPreservesAnswersAndSmaTrust) {
+  std::string expected;
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 200);
+    ExpectOk(db->Execute("define sma mn select min(d) from t"));
+    ExpectOk(db->Execute("define sma mx select max(d) from t"));
+    expected = Answer(db.get(), kAggQuery);
+    ExpectOk(db->Close());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(db->durability().recovered_tables, 1u);
+  EXPECT_EQ(db->durability().replayed_records, 0u);
+  EXPECT_EQ(db->durability().stale_smas, 0u);
+  EXPECT_EQ(Tuples(db.get()), 200u);
+  EXPECT_EQ(Answer(db.get(), kAggQuery), expected);
+  for (const sma::Sma* s : Unwrap(db->Smas("t"))->all()) {
+    EXPECT_TRUE(s->trusted()) << s->spec().name;
+    EXPECT_FALSE(s->stale()) << s->spec().name;
+  }
+}
+
+// A scoped Database (no explicit Close) checkpoints from the destructor.
+TEST_F(DurabilityTest, DestructorIsACleanShutdown) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 64);
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(db->durability().replayed_records, 0u);
+  EXPECT_EQ(Tuples(db.get()), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash + replay: with per-commit syncing every acknowledged mutation —
+// inserts, updates, deletes — reappears at the same Rid after recovery.
+
+TEST_F(DurabilityTest, CrashReplayRestoresCommittedMutations) {
+  std::string expected;
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Unwrap(db->CreateTable("t", testing::SyntheticSchema()));
+    storage::Table* t = Unwrap(db->GetTable("t"));
+    storage::TupleBuffer buf(&t->schema());
+    Rid victim{}, doomed{};
+    for (int64_t i = 0; i < 120; ++i) {
+      FillRow(&buf, i);
+      Rid rid{};
+      ExpectOk(db->Insert("t", buf, &rid));
+      if (i == 5) victim = rid;
+      if (i == 7) doomed = rid;
+    }
+    ExpectOk(db->Update("t", victim, 0, util::Value::Int64(424242)));
+    ExpectOk(db->Delete("t", doomed));
+    expected = Answer(db.get(), kSumQuery);
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  // create + 120 inserts + update + delete, all committed before the crash.
+  EXPECT_EQ(db->durability().replayed_records, 123u);
+  EXPECT_EQ(Tuples(db.get()), 120u);
+  EXPECT_EQ(Unwrap(db->GetTable("t"))->num_live_tuples(), 119u);
+  EXPECT_EQ(Answer(db.get(), kSumQuery), expected);
+}
+
+// Replay is idempotent against a crash landing *between* manifest write and
+// WAL reset: records below the checkpoint horizon are skipped, the tail
+// after it replays exactly once.
+TEST_F(DurabilityTest, CheckpointTruncatesWalAndReplayCoversOnlyTheTail) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 100);
+    ExpectOk(db->Execute("define sma mn select min(d) from t"));
+    ExpectOk(db->Checkpoint());
+    EXPECT_GT(db->wal()->base_lsn(), 1u);
+    EXPECT_EQ(db->durability().checkpoints, 1u);
+    Append(db.get(), 100, 110);  // the post-checkpoint tail
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(db->durability().recovered_tables, 1u);
+  EXPECT_EQ(db->durability().replayed_records, 10u);
+  EXPECT_EQ(Tuples(db.get()), 110u);
+  // The replayed tail outran the checkpointed SMA: stale, not wrong.
+  EXPECT_GE(db->durability().stale_smas, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tail-loss semantics: what a crash may take is exactly the un-synced
+// suffix, as a clean prefix of operations.
+
+TEST_F(DurabilityTest, UnsyncedTailIsLostCleanly) {
+  {
+    std::unique_ptr<Database> db = OpenDb(/*wal_sync_interval=*/0);  // manual
+    Load(db.get(), 50);
+    ExpectOk(db->SyncWal());     // commit the prefix: create + 50 inserts
+    Append(db.get(), 50, 80);    // staged only — never synced
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(Tuples(db.get()), 50u);
+  EXPECT_EQ(db->durability().replayed_records, 51u);
+}
+
+TEST_F(DurabilityTest, GroupCommitLosesAtMostTheWindow) {
+  constexpr size_t kInterval = 8;
+  {
+    std::unique_ptr<Database> db = OpenDb(kInterval);
+    Load(db.get(), 20);  // ops: 1 create + 20 inserts; syncs at op 8 and 16
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  const uint64_t recovered = Tuples(db.get());
+  EXPECT_EQ(recovered, 15u);  // synced through op 16 = create + 15 inserts
+  EXPECT_LE(20u - recovered, kInterval - 1)
+      << "group commit must bound tail loss to the sync window";
+}
+
+// ---------------------------------------------------------------------------
+// Kill-points on the durability spine itself.
+
+TEST_F(DurabilityTest, WalAppendKillPointRejectsTheOpWithoutSideEffects) {
+  std::unique_ptr<Database> db = OpenDb();
+  Load(db.get(), 10);
+  storage::TupleBuffer buf(&Unwrap(db->GetTable("t"))->schema());
+  FillRow(&buf, 10);
+  util::fault::Arm("wal.append", {.count = 1, .kind = FaultKind::kPermanent});
+  const Status s = db->Insert("t", buf);
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s.ToString();
+  // Log-before-apply: the rejected insert never reached the table.
+  EXPECT_EQ(Tuples(db.get()), 10u);
+  util::fault::DisarmAll();
+  ExpectOk(db->Insert("t", buf));  // the failpoint left no residue
+  ExpectOk(db->CrashForTesting());
+  db = OpenDb();
+  EXPECT_EQ(Tuples(db.get()), 11u);
+}
+
+TEST_F(DurabilityTest, WalSyncKillPointMeansNotCommitted) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 10);
+    storage::TupleBuffer buf(&Unwrap(db->GetTable("t"))->schema());
+    FillRow(&buf, 10);
+    util::fault::Arm("wal.sync", {.count = 1, .kind = FaultKind::kPermanent});
+    const Status s = db->Insert("t", buf);
+    EXPECT_EQ(s.code(), StatusCode::kIOError) << s.ToString();
+    util::fault::DisarmAll();
+    // The op failed its durability barrier; a crash now must erase it.
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(Tuples(db.get()), 10u);
+}
+
+TEST_F(DurabilityTest, DiskWriteKillPointSurfacesFromCheckpoint) {
+  std::unique_ptr<Database> db = OpenDb();
+  Load(db.get(), 200);
+  util::fault::Arm("disk.write",
+                   {.count = 1,
+                    .kind = FaultKind::kPermanent,
+                    .file_filter = "tbl."});
+  const Status s = db->Checkpoint();
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s.ToString();
+  util::fault::DisarmAll();
+  // The failed checkpoint must not have truncated the log: a crash + reopen
+  // still recovers everything from the WAL.
+  ExpectOk(db->CrashForTesting());
+  db = OpenDb();
+  EXPECT_EQ(Tuples(db.get()), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Torn and corrupt on-disk state.
+
+TEST_F(DurabilityTest, TornWalTailStopsReplayAtTheIntactPrefix) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 30);
+    ExpectOk(db->CrashForTesting());
+  }
+  // Shear a few bytes off the last record — a torn append at power loss.
+  const std::string wal_path = tmpdir.path + "/wal.smadb";
+  const uintmax_t size = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, size - 3);
+  std::unique_ptr<Database> db = OpenDb();
+  // create + 29 intact inserts; the torn 30th is cleanly dropped.
+  EXPECT_EQ(db->durability().replayed_records, 30u);
+  EXPECT_EQ(Tuples(db.get()), 29u);
+}
+
+TEST_F(DurabilityTest, CorruptStoredPageSurfacesAsTypedCorruption) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 100);
+    ExpectOk(db->Close());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  const FileId file = Unwrap(db->disk()->FindFile("tbl.t"));
+  ExpectOk(db->disk()->CorruptPageForTesting(file, 0, 0xff));
+  auto r = db->Query(kSumQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+      << r.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// SMA trust across recovery: replay redoes base data only, so SMAs whose
+// maintenance the crash swallowed come back stale — demoted by the planner,
+// never silently used — and Rebuild() repairs them.
+
+TEST_F(DurabilityTest, RecoveryFlagsStaleSmasAndRebuildRepairs) {
+  std::string expected;
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 160);
+    ExpectOk(db->Execute("define sma mn select min(d) from t"));
+    ExpectOk(db->Execute("define sma mx select max(d) from t"));
+    Append(db.get(), 160, 200);  // maintained live, but replay won't redo SMAs
+    expected = Answer(db.get(), kAggQuery);
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_GE(db->durability().stale_smas, 2u);
+  // The crash left both SMA-files on disk without a manifest entry; the
+  // orphan sweep must have removed them so the replayed defines could
+  // re-create them from base data.
+  EXPECT_EQ(db->durability().orphan_sma_files, 2u);
+  sma::SmaSet* smas = Unwrap(db->Smas("t"));
+  EXPECT_TRUE(Unwrap(smas->Find("mn"))->stale());
+  // Stale SMAs are detected, not served: the query still answers correctly
+  // (the planner demotes to a base-data scan under a stale SMA set).
+  EXPECT_EQ(Answer(db.get(), kAggQuery), expected);
+  // Rebuild() pays off the recovery debt and restores SMA trust.
+  ExpectOk(Unwrap(db->Maintainer("t"))->Rebuild());
+  EXPECT_FALSE(Unwrap(smas->Find("mn"))->stale());
+  EXPECT_TRUE(Unwrap(smas->Find("mn"))->trusted());
+  EXPECT_EQ(Answer(db.get(), kAggQuery), expected);
+}
+
+// RemoveFile is the primitive the orphan sweep stands on: the tombstone must
+// survive a reopen of the directory (as a superblock "free" line), keep the
+// surviving files' ids stable, and hand the slot back to the next create.
+TEST_F(DurabilityTest, RemoveFileTombstoneSurvivesReopen) {
+  using storage::FileDiskManager;
+  using storage::Page;
+  FileId kept = 0;
+  {
+    std::unique_ptr<FileDiskManager> disk =
+        Unwrap(FileDiskManager::Open(tmpdir.path));
+    FileId doomed = Unwrap(disk->CreateFile("doomed"));
+    kept = Unwrap(disk->CreateFile("kept"));
+    ExpectOk(disk->AllocatePage(doomed).status());
+    ExpectOk(disk->AllocatePage(kept).status());
+    Page p;
+    p.Zero();
+    p.WriteAt<uint64_t>(0, 0xC0FFEEull);
+    ExpectOk(disk->WritePage(kept, 0, p));
+    ExpectOk(disk->RemoveFile(doomed));
+    ExpectOk(disk->Sync());
+  }
+  std::unique_ptr<FileDiskManager> disk =
+      Unwrap(FileDiskManager::Open(tmpdir.path));
+  EXPECT_EQ(disk->FindFile("doomed").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Unwrap(disk->FindFile("kept")), kept);
+  storage::Page p;
+  ExpectOk(disk->ReadPage(kept, 0, &p));
+  EXPECT_EQ(p.ReadAt<uint64_t>(0), 0xC0FFEEull);
+  // The tombstoned id is handed back before the id space grows.
+  EXPECT_EQ(Unwrap(disk->CreateFile("replacement")), 0u);
+  EXPECT_EQ(*disk->NumPages(0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Statement surface: `set storage`, `set storage_path`, `show storage`.
+
+TEST_F(DurabilityTest, StorageStatementsSwitchBackendsAndReport) {
+  Database db;  // plain constructor = simulated backend
+  EXPECT_NE(Unwrap(db.Query("show storage")).ToString().find("sim"),
+            std::string::npos);
+  ExpectOk(db.Execute("set storage_path = '" + tmpdir.path + "'"));
+  ExpectOk(db.Execute("set storage = file"));
+  const std::string shown = Unwrap(db.Query("show storage")).ToString();
+  EXPECT_NE(shown.find("file"), std::string::npos) << shown;
+  EXPECT_NE(shown.find(tmpdir.path), std::string::npos) << shown;
+  ExpectOk(db.Execute("set wal_sync_interval = 8"));
+  EXPECT_EQ(db.options().wal_sync_interval, 8u);
+  // Re-pointing the path while the file backend is live is refused.
+  EXPECT_FALSE(db.Execute("set storage_path = '/tmp/elsewhere'").ok());
+  // Switching backends under existing tables is refused (no silent drop).
+  Unwrap(db.CreateTable("t", testing::SyntheticSchema()));
+  const Status s = db.Execute("set storage = sim");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+}
+
+// `set storage = file` against a directory holding an earlier database is an
+// attach: it runs the same recovery as Open().
+TEST_F(DurabilityTest, SetStorageFileAttachesAndRecoversExistingDirectory) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 40);
+    ExpectOk(db->Close());
+  }
+  Database db;
+  ExpectOk(db.Execute("set storage_path = '" + tmpdir.path + "'"));
+  ExpectOk(db.Execute("set storage = file"));
+  EXPECT_EQ(Unwrap(db.GetTable("t"))->num_tuples(), 40u);
+  EXPECT_EQ(db.durability().recovered_tables, 1u);
+}
+
+}  // namespace
+}  // namespace smadb::db

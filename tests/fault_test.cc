@@ -25,6 +25,7 @@ using expr::CmpOp;
 using expr::Predicate;
 using expr::PredicatePtr;
 using sma::SmaSpec;
+using storage::BackendKind;
 using storage::BufferPool;
 using storage::BufferPoolOptions;
 using storage::FileId;
@@ -90,8 +91,11 @@ TEST_F(FaultInjectorTest, ProbabilityScheduleIsSeedDeterministic) {
 
 // ---------------------------------------------------------------------------
 // Buffer-pool robustness: retry, checksum verification, frame exhaustion.
+// Parameterized over the backend: the failpoints live in DiskBackend, so the
+// identical matrix must hold against the simulated disk and real files.
 
-struct PoolFaultTest : ::testing::Test {
+struct PoolFaultTest : ::testing::TestWithParam<BackendKind> {
+  PoolFaultTest() : db(64, GetParam()) {}
   ~PoolFaultTest() override { util::fault::DisarmAll(); }
 
   // One file with one non-zero flushed page, nothing cached.
@@ -106,18 +110,26 @@ struct PoolFaultTest : ::testing::Test {
     db.pool.ResetStats();
   }
 
-  TestDb db{64};
+  TestDb db;
   FileId file = 0;
 };
 
-TEST_F(PoolFaultTest, TransientReadErrorsAreAbsorbedByRetry) {
+INSTANTIATE_TEST_SUITE_P(Backends, PoolFaultTest,
+                         ::testing::Values(BackendKind::kSimulated,
+                                           BackendKind::kFile),
+                         [](const auto& info) {
+                           return std::string(
+                               storage::BackendKindToString(info.param));
+                         });
+
+TEST_P(PoolFaultTest, TransientReadErrorsAreAbsorbedByRetry) {
   util::fault::Arm("disk.read", {.count = 2, .kind = FaultKind::kTransient});
   PageGuard guard = Unwrap(db.pool.Fetch(file, 0));
   EXPECT_EQ(guard.page()->ReadAt<uint64_t>(0), 0xabcdef01u);
   EXPECT_EQ(db.pool.stats().read_retries, 2u);
 }
 
-TEST_F(PoolFaultTest, PermanentReadErrorSurfacesTypedWithContext) {
+TEST_P(PoolFaultTest, PermanentReadErrorSurfacesTypedWithContext) {
   util::fault::Arm("disk.read", {.kind = FaultKind::kPermanent});
   auto r = db.pool.Fetch(file, 0);
   ASSERT_FALSE(r.ok());
@@ -129,7 +141,7 @@ TEST_F(PoolFaultTest, PermanentReadErrorSurfacesTypedWithContext) {
             static_cast<uint64_t>(db.pool.options().max_read_retries));
 }
 
-TEST_F(PoolFaultTest, ReadBitFlipIsCaughtByChecksumAndIsTransient) {
+TEST_P(PoolFaultTest, ReadBitFlipIsCaughtByChecksumAndIsTransient) {
   util::fault::Arm("disk.page_bitflip", {.count = 1});
   auto r = db.pool.Fetch(file, 0);
   ASSERT_FALSE(r.ok());
@@ -142,7 +154,7 @@ TEST_F(PoolFaultTest, ReadBitFlipIsCaughtByChecksumAndIsTransient) {
   EXPECT_EQ(guard.page()->ReadAt<uint64_t>(0), 0xabcdef01u);
 }
 
-TEST_F(PoolFaultTest, WriteBitFlipIsCaughtOnNextVerifiedRead) {
+TEST_P(PoolFaultTest, WriteBitFlipIsCaughtOnNextVerifiedRead) {
   // Dirty the page again and flush it through an armed write failpoint: the
   // intended bytes get checksummed, the stored bytes get flipped.
   {
@@ -157,7 +169,7 @@ TEST_F(PoolFaultTest, WriteBitFlipIsCaughtOnNextVerifiedRead) {
   EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
 }
 
-TEST_F(PoolFaultTest, VerificationOffDeliversFlippedBitsSilently) {
+TEST_P(PoolFaultTest, VerificationOffDeliversFlippedBitsSilently) {
   // What checksums buy: an unverified pool hands the flip to the query.
   BufferPool raw(&db.disk, BufferPoolOptions{.capacity_pages = 8,
                                              .verify_checksums = false});
@@ -167,7 +179,7 @@ TEST_F(PoolFaultTest, VerificationOffDeliversFlippedBitsSilently) {
   EXPECT_EQ(raw.stats().checksum_failures, 0u);
 }
 
-TEST_F(PoolFaultTest, AllFramesPinnedFailsTypedAfterBoundedWait) {
+TEST_P(PoolFaultTest, AllFramesPinnedFailsTypedAfterBoundedWait) {
   BufferPool tiny(&db.disk,
                   BufferPoolOptions{.capacity_pages = 2,
                                     .pinned_wait_rounds = 2,
@@ -186,7 +198,7 @@ TEST_F(PoolFaultTest, AllFramesPinnedFailsTypedAfterBoundedWait) {
   EXPECT_EQ(n.status().code(), StatusCode::kResourceExhausted);
 }
 
-TEST_F(PoolFaultTest, UnpinUnblocksAWaitingFetch) {
+TEST_P(PoolFaultTest, UnpinUnblocksAWaitingFetch) {
   BufferPool tiny(&db.disk,
                   BufferPoolOptions{.capacity_pages = 2,
                                     .pinned_wait_rounds = 1000,
@@ -210,8 +222,8 @@ TEST_F(PoolFaultTest, UnpinUnblocksAWaitingFetch) {
 // ---------------------------------------------------------------------------
 // Query-level fault matrix and the degradation ladder.
 
-struct FaultQueryTest : ::testing::Test {
-  FaultQueryTest() : db(16384) {}
+struct FaultQueryTest : ::testing::TestWithParam<BackendKind> {
+  FaultQueryTest() : db(16384, GetParam()) {}
   ~FaultQueryTest() override { util::fault::DisarmAll(); }
 
   void Setup(testing::Layout layout, const std::string& name) {
@@ -245,10 +257,18 @@ struct FaultQueryTest : ::testing::Test {
   AggQuery query;
 };
 
+INSTANTIATE_TEST_SUITE_P(Backends, FaultQueryTest,
+                         ::testing::Values(BackendKind::kSimulated,
+                                           BackendKind::kFile),
+                         [](const auto& info) {
+                           return std::string(
+                               storage::BackendKindToString(info.param));
+                         });
+
 // The central matrix: fault kind x access path x DOP. Every run must either
 // reproduce the fault-free rows exactly or fail with the scenario's typed
 // error — silently-wrong rows fail the test.
-TEST_F(FaultQueryTest, FaultMatrixCorrectRowsOrTypedError) {
+TEST_P(FaultQueryTest, FaultMatrixCorrectRowsOrTypedError) {
   Setup(testing::Layout::kNoisy, "fm");
   query.pred = DatePred(CmpOp::kLe, 120);
   Planner planner(smas.get());
@@ -300,7 +320,7 @@ TEST_F(FaultQueryTest, FaultMatrixCorrectRowsOrTypedError) {
 
 // Mid-scan base-table errors must surface as typed statuses through every
 // access path (serial and parallel), with the failing file in the message.
-TEST_F(FaultQueryTest, MidScanErrorsPropagateThroughAllAccessPaths) {
+TEST_P(FaultQueryTest, MidScanErrorsPropagateThroughAllAccessPaths) {
   Setup(testing::Layout::kNoisy, "mp");
   query.pred = DatePred(CmpOp::kLe, 120);
   Planner planner(smas.get());
@@ -354,7 +374,7 @@ TEST_F(FaultQueryTest, MidScanErrorsPropagateThroughAllAccessPaths) {
 // Tentpole scenario: a corrupt SMA-file page demotes the plan (recorded in
 // the explanation), the query still answers correctly from base data, the
 // bad SMA is condemned, and the next Rebuild() restores SMA plans.
-TEST_F(FaultQueryTest, CorruptSmaFileDemotesThenRebuildRestores) {
+TEST_P(FaultQueryTest, CorruptSmaFileDemotesThenRebuildRestores) {
   Setup(testing::Layout::kClustered, "dm");
   query.pred = DatePred(CmpOp::kLe, 40);
   Planner planner(smas.get());
@@ -395,7 +415,7 @@ TEST_F(FaultQueryTest, CorruptSmaFileDemotesThenRebuildRestores) {
 
 // A table mutated behind the maintainer's back makes every SMA stale; the
 // planner demotes until Rebuild() catches the SMAs up.
-TEST_F(FaultQueryTest, StaleSmasDemoteUntilRebuilt) {
+TEST_P(FaultQueryTest, StaleSmasDemoteUntilRebuilt) {
   Setup(testing::Layout::kClustered, "st");
   query.pred = DatePred(CmpOp::kLe, 40);
   Planner planner(smas.get());
@@ -428,7 +448,7 @@ TEST_F(FaultQueryTest, StaleSmasDemoteUntilRebuilt) {
 
 // Verify() catches a semantically-wrong entry that checksums cannot (the
 // write went through the pool, so the page checksum is valid).
-TEST_F(FaultQueryTest, VerifyCatchesSemanticCorruption) {
+TEST_P(FaultQueryTest, VerifyCatchesSemanticCorruption) {
   Setup(testing::Layout::kClustered, "vf");
   query.pred = DatePred(CmpOp::kLe, 40);
   Planner planner(smas.get());
@@ -464,7 +484,7 @@ TEST_F(FaultQueryTest, VerifyCatchesSemanticCorruption) {
 // only the pristine min/max SMAs), dies mid-run on a corrupt *aggregate*
 // SMA-file, and the query transparently reruns as a sequential scan —
 // condemning the corrupt SMA for the next Rebuild().
-TEST_F(FaultQueryTest, ExecuteFallsBackWhenSmaPlanDiesMidRun) {
+TEST_P(FaultQueryTest, ExecuteFallsBackWhenSmaPlanDiesMidRun) {
   Setup(testing::Layout::kClustered, "fb");
   query.pred = DatePred(CmpOp::kLe, 40);
   Planner planner(smas.get());
@@ -491,7 +511,7 @@ TEST_F(FaultQueryTest, ExecuteFallsBackWhenSmaPlanDiesMidRun) {
 // the bounded retries complete (stats prove they ran), and the query then
 // stops with kCancelled at its next checkpoint. Order matters: retry first,
 // cancel second, never a torn page surfacing as a different error.
-TEST_F(FaultQueryTest, CancelDuringTransientRetryFinishesRetryThenCancels) {
+TEST_P(FaultQueryTest, CancelDuringTransientRetryFinishesRetryThenCancels) {
   Setup(testing::Layout::kNoisy, "cr");
   query.pred = DatePred(CmpOp::kLe, 120);
   Planner planner(smas.get());
@@ -520,7 +540,7 @@ TEST_F(FaultQueryTest, CancelDuringTransientRetryFinishesRetryThenCancels) {
 // phase (component "GroupTable.merge") — after the workers finished their
 // partials. The failure is still the typed kResourceExhausted naming the
 // merge component; no partial merge escapes as a result.
-TEST_F(FaultQueryTest, BudgetExhaustedMidMergeFailsTypedNamingComponent) {
+TEST_P(FaultQueryTest, BudgetExhaustedMidMergeFailsTypedNamingComponent) {
   Setup(testing::Layout::kNoisy, "bm");
   query.pred = DatePred(CmpOp::kLe, 120);
   query.group_by = {0};  // unique key: every worker's partial must merge

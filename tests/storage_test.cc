@@ -120,6 +120,26 @@ TEST(DiskTest, TruncateResets) {
   EXPECT_EQ(*disk.NumPages(f), 0u);
 }
 
+TEST(DiskTest, RemoveFileTombstonesAndReusesId) {
+  SimulatedDisk disk;
+  FileId a = *disk.CreateFile("a");
+  FileId b = *disk.CreateFile("b");
+  ASSERT_TRUE(disk.AllocatePage(a).ok());
+  ASSERT_TRUE(disk.RemoveFile(a).ok());
+  // The name is free, the id is dead until reassigned.
+  EXPECT_EQ(disk.FindFile("a").status().code(), util::StatusCode::kNotFound);
+  EXPECT_FALSE(disk.AllocatePage(a).ok());
+  EXPECT_FALSE(disk.RemoveFile(a).ok());  // double remove
+  EXPECT_EQ(*disk.FindFile("b"), b);
+  // CreateFile reuses the lowest tombstoned id, and rejects empty names
+  // (empty marks the tombstone).
+  EXPECT_FALSE(disk.CreateFile("").ok());
+  FileId c = *disk.CreateFile("c");
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(*disk.NumPages(c), 0u);
+  EXPECT_EQ(disk.NumFiles(), 2u);
+}
+
 // ----------------------------------------------------------- BufferPool --
 
 TEST(BufferPoolTest, FetchCachesPages) {

@@ -6,7 +6,11 @@
 #define SMADB_TESTS_TEST_UTIL_H_
 
 #include <gtest/gtest.h>
+#include <stdlib.h>
 
+#include <filesystem>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "expr/predicate.h"
@@ -14,6 +18,7 @@
 #include "sma/grade.h"
 #include "sma/sma_set.h"
 #include "storage/catalog.h"
+#include "storage/file_disk.h"
 #include "util/rng.h"
 
 namespace smadb::testing {
@@ -33,12 +38,49 @@ inline void ExpectOk(const util::Status& s) {
   EXPECT_TRUE(s.ok()) << s.ToString();
 }
 
-/// In-memory database: disk + pool + catalog.
-struct TestDb {
-  explicit TestDb(size_t pool_pages = 4096)
-      : pool(&disk, pool_pages), catalog(&pool) {}
+/// RAII temp directory (mkdtemp; removed recursively on destruction). The
+/// scaffolding for file-backend fixtures and the durability suite.
+struct ScopedTempDir {
+  ScopedTempDir() {
+    char tmpl[] = "/tmp/smadb_test_XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    path = d != nullptr ? d : "";
+  }
+  ~ScopedTempDir() {
+    if (!path.empty()) {
+      std::error_code ec;  // best-effort; never throw from a destructor
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
 
-  storage::SimulatedDisk disk;
+  std::string path;
+};
+
+/// Storage + pool + catalog test fixture. Defaults to the simulated backend;
+/// pass BackendKind::kFile to run the identical test against real files in a
+/// scoped temp directory (the fault matrix does both).
+struct TestDb {
+  explicit TestDb(size_t pool_pages = 4096,
+                  storage::BackendKind kind = storage::BackendKind::kSimulated)
+      : backend(MakeBackend(kind, tmpdir.path)),
+        disk(*backend),
+        pool(backend.get(), pool_pages),
+        catalog(&pool) {}
+
+  static std::unique_ptr<storage::DiskBackend> MakeBackend(
+      storage::BackendKind kind, const std::string& dir) {
+    if (kind == storage::BackendKind::kFile) {
+      return Unwrap(storage::FileDiskManager::Open(dir + "/pages"));
+    }
+    return std::make_unique<storage::SimulatedDisk>();
+  }
+
+  ScopedTempDir tmpdir;  // must outlive (so: precede) the backend
+  std::unique_ptr<storage::DiskBackend> backend;
+  storage::DiskBackend& disk;
   storage::BufferPool pool;
   storage::Catalog catalog;
 };
