@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <unordered_set>
 
 #include "db/sql.h"
 #include "expr/parser.h"
@@ -159,6 +160,20 @@ Status Database::MaybeSyncWal() {
   return SyncWal();
 }
 
+Status Database::RollbackWalRecord(const storage::Wal::AppendMark& mark,
+                                   Status cause) {
+  if (wal_ == nullptr || wal_->TryRollback(mark)) return cause;
+  // The record reached the file (a buffer-pool eviction ran the WAL barrier
+  // mid-apply); stage an abort and make it durable before acknowledging the
+  // failure, so a crash can never replay the failed mutation un-aborted.
+  std::string payload;
+  storage::WalPutU64(&payload, mark.lsn);
+  SMADB_RETURN_NOT_OK(
+      wal_->Append(WalRecordType::kAbort, payload).status());
+  SMADB_RETURN_NOT_OK(SyncWal());
+  return cause;
+}
+
 Status Database::CrashForTesting() {
   crashed_ = true;
   if (wal_ != nullptr) wal_->DiscardUnflushed();
@@ -257,6 +272,7 @@ void Database::set_max_concurrent_queries(size_t n) {
 
 Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
                                      storage::TableOptions options) {
+  storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
     // Validate before logging so failed statements never poison replay.
     if (catalog_->GetTable(name).ok()) {
@@ -271,12 +287,14 @@ Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
       storage::WalPutString(&payload, util::TypeIdToString(f.type));
       storage::WalPutU32(&payload, f.capacity);
     }
+    mark = wal_->Mark();
     SMADB_RETURN_NOT_OK(
         wal_->Append(WalRecordType::kCreateTable, payload).status());
   }
-  SMADB_ASSIGN_OR_RETURN(
-      Table * table,
-      catalog_->CreateTable(name, std::move(schema), options));
+  Result<Table*> table_or =
+      catalog_->CreateTable(name, std::move(schema), options);
+  if (!table_or.ok()) return RollbackWalRecord(mark, table_or.status());
+  Table* table = *table_or;
   TableState state;
   state.smas = std::make_unique<sma::SmaSet>(table);
   state.maintainer =
@@ -305,6 +323,7 @@ Result<Database::TableState*> Database::StateFor(std::string_view table) {
 Status Database::Insert(std::string_view table,
                         const storage::TupleBuffer& tuple, Rid* rid) {
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+  storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
     SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
     if (tuple.size() != t->schema().tuple_size()) {
@@ -322,16 +341,20 @@ Status Database::Insert(std::string_view table,
         &payload,
         std::string_view(reinterpret_cast<const char*>(tuple.data()),
                          tuple.size()));
+    mark = wal_->Mark();
     SMADB_RETURN_NOT_OK(
         wal_->Append(WalRecordType::kInsert, payload).status());
   }
-  SMADB_RETURN_NOT_OK(state->maintainer->Insert(tuple, rid));
+  if (Status st = state->maintainer->Insert(tuple, rid); !st.ok()) {
+    return RollbackWalRecord(mark, std::move(st));
+  }
   return MaybeSyncWal();
 }
 
 Status Database::Update(std::string_view table, Rid rid, size_t col,
                         const util::Value& v) {
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+  storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
     SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
     if (col >= t->schema().num_fields()) {
@@ -351,15 +374,19 @@ Status Database::Update(std::string_view table, Rid rid, size_t col,
     storage::WalPutU32(&payload, static_cast<uint32_t>(col));
     storage::WalPutU64(&payload, t->epoch() + 1);
     storage::WalPutString(&payload, EncodeManifestValue(v));
+    mark = wal_->Mark();
     SMADB_RETURN_NOT_OK(
         wal_->Append(WalRecordType::kUpdate, payload).status());
   }
-  SMADB_RETURN_NOT_OK(state->maintainer->UpdateColumn(rid, col, v));
+  if (Status st = state->maintainer->UpdateColumn(rid, col, v); !st.ok()) {
+    return RollbackWalRecord(mark, std::move(st));
+  }
   return MaybeSyncWal();
 }
 
 Status Database::Delete(std::string_view table, Rid rid) {
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+  storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
     SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
     std::string payload;
@@ -367,10 +394,13 @@ Status Database::Delete(std::string_view table, Rid rid) {
     storage::WalPutU32(&payload, rid.page_no);
     storage::WalPutU32(&payload, rid.slot);
     storage::WalPutU64(&payload, t->epoch() + 1);
+    mark = wal_->Mark();
     SMADB_RETURN_NOT_OK(
         wal_->Append(WalRecordType::kDelete, payload).status());
   }
-  SMADB_RETURN_NOT_OK(state->maintainer->Delete(rid));
+  if (Status st = state->maintainer->Delete(rid); !st.ok()) {
+    return RollbackWalRecord(mark, std::move(st));
+  }
   return MaybeSyncWal();
 }
 
@@ -395,6 +425,7 @@ Status Database::Execute(std::string_view statement) {
     // `define sma ...` — find the from-table, then delegate.
     SMADB_ASSIGN_OR_RETURN(std::string table, ExtractTableName(statement));
     SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
+    storage::Wal::AppendMark mark;
     if (wal_ != nullptr) {
       // Parse first: a statement that cannot replay must not reach the log.
       SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
@@ -403,11 +434,15 @@ Status Database::Execute(std::string_view statement) {
       std::string payload;
       storage::WalPutString(&payload, table);
       storage::WalPutString(&payload, statement);
+      mark = wal_->Mark();
       SMADB_RETURN_NOT_OK(
           wal_->Append(WalRecordType::kDefineSma, payload).status());
     }
-    SMADB_RETURN_NOT_OK(
-        sma::DefineSma(catalog_.get(), state->smas.get(), statement));
+    if (Status st = sma::DefineSma(catalog_.get(), state->smas.get(),
+                                   statement);
+        !st.ok()) {
+      return RollbackWalRecord(mark, std::move(st));
+    }
     return MaybeSyncWal();
   }
   if (tokens[0].text == "set") {
@@ -918,10 +953,40 @@ Status Database::Recover() {
   // checkpoint horizon can exist after a crash between manifest write and
   // WAL reset; their effects are already in the checkpoint, so skip them.
   const uint64_t horizon = manifest.checkpoint_lsn;
+  // A crash inside Wal::Reset can tear the checkpoint truncation: the
+  // ftruncate persisted but the new header did not, so Wal::Open laid down
+  // a fresh header whose LSNs restart at 1 while the manifest horizon stays
+  // at the old value. Whether the log is that torn remnant or the pre-Reset
+  // original, if no record reaches the horizon it holds nothing the
+  // checkpoint lacks — re-seat it at the horizon before accepting writes,
+  // so post-recovery appends can never land below the horizon and be
+  // silently skipped by the next Recover.
+  if (wal_->base_lsn() < horizon && wal_->next_lsn() <= horizon) {
+    SMADB_RETURN_NOT_OK(wal_->Reset(horizon));
+  }
+  // Abort pre-pass: a record can reach the file (an eviction barrier ran
+  // mid-apply) even though its apply then failed and the live instance
+  // reported the mutation as failed; it logged a kAbort for it. Collect the
+  // aborted LSNs first so the redo pass skips them.
+  std::unordered_set<uint64_t> aborted;
+  SMADB_RETURN_NOT_OK(wal_->Replay(
+      [&](uint64_t, WalRecordType type, std::string_view payload) -> Status {
+        if (type != WalRecordType::kAbort) return Status::OK();
+        WalPayloadReader r(payload);
+        uint64_t target = 0;
+        if (!r.GetU64(&target)) {
+          return Status::Corruption("truncated WAL abort record payload");
+        }
+        aborted.insert(target);
+        return Status::OK();
+      }));
   SMADB_RETURN_NOT_OK(wal_->Replay(
       [&](uint64_t lsn, WalRecordType type,
           std::string_view payload) -> Status {
         if (lsn < horizon) return Status::OK();
+        if (type == WalRecordType::kAbort || aborted.count(lsn) > 0) {
+          return Status::OK();
+        }
         ++durability_.replayed_records;
         return ApplyWalRecord(type, payload);
       }));
@@ -1044,6 +1109,10 @@ Status Database::ApplyWalRecord(WalRecordType type, std::string_view payload) {
       SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(tname));
       return t->ApplyDelete(Rid{page, static_cast<uint16_t>(slot)}, epoch);
     }
+    case WalRecordType::kAbort:
+      // Replay filters abort records (and their targets) out before apply;
+      // reaching here is harmless — the record carries no redo work.
+      return Status::OK();
   }
   return Status::Corruption(
       util::Format("unknown WAL record type %u",

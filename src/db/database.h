@@ -299,6 +299,13 @@ class Database {
   util::Status Recover();
   util::Status ApplyWalRecord(storage::WalRecordType type,
                               std::string_view payload);
+  /// Unwinds the record staged at `mark` after its in-memory apply failed:
+  /// unstages it when still buffered, otherwise (it escaped to the file via
+  /// an eviction barrier inside the apply) logs and syncs a kAbort record so
+  /// recovery never redoes a mutation this instance reported as failed.
+  /// Returns `cause` so call sites can `return RollbackWalRecord(mark, st)`.
+  util::Status RollbackWalRecord(const storage::Wal::AppendMark& mark,
+                                 util::Status cause);
   /// `set storage = sim|file`: tears down the (empty) storage stack and
   /// rebuilds it over the requested backend, recovering from storage_path
   /// when switching to kFile. Refused when tables exist.

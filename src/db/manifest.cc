@@ -34,15 +34,7 @@ Result<std::string> Dec(const std::string& token) {
 }
 
 Result<uint64_t> ParseU64(const std::string& token) {
-  uint64_t v = 0;
-  for (char c : token) {
-    if (c < '0' || c > '9') {
-      return Status::Corruption("bad number '" + token + "' in manifest");
-    }
-    v = v * 10 + static_cast<uint64_t>(c - '0');
-  }
-  if (token.empty()) return Status::Corruption("empty number in manifest");
-  return v;
+  return util::ParseU64(token, "manifest");
 }
 
 Status ErrnoError(const std::string& op, const std::string& path) {

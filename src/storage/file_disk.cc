@@ -134,7 +134,9 @@ Status FileDiskManager::Load() {
     if (tok.size() == 2 && tok[0] == "free") {
       // A removed file's id, kept so ids stay contiguous; the slot is a
       // tombstone until CreateFile reuses it.
-      if (std::stoul(tok[1]) != files_.size()) {
+      SMADB_ASSIGN_OR_RETURN(uint64_t free_id,
+                             util::ParseU64(tok[1], "superblock"));
+      if (free_id != files_.size()) {
         return Status::Corruption(util::Format(
             "superblock file ids not contiguous: got %s, expected %zu",
             tok[1].c_str(), files_.size()));
@@ -145,11 +147,11 @@ Status FileDiskManager::Load() {
     if (tok.size() < 3 || tok[0] != "file") {
       return Status::Corruption("bad superblock line '" + line + "'");
     }
-    const unsigned long id = std::stoul(tok[1]);
+    SMADB_ASSIGN_OR_RETURN(uint64_t id, util::ParseU64(tok[1], "superblock"));
     if (id != files_.size()) {
       return Status::Corruption(util::Format(
-          "superblock file ids not contiguous: got %lu, expected %zu", id,
-          files_.size()));
+          "superblock file ids not contiguous: got %llu, expected %zu",
+          static_cast<unsigned long long>(id), files_.size()));
     }
     SMADB_ASSIGN_OR_RETURN(std::string name, util::UnescapeToken(tok[2]));
     File f;
@@ -196,7 +198,8 @@ Status FileDiskManager::Load() {
 
     // Free-list entries past the derived page count are stale; drop them.
     for (size_t i = 3; i < tok.size(); ++i) {
-      const unsigned long page_no = std::stoul(tok[i]);
+      SMADB_ASSIGN_OR_RETURN(uint64_t page_no,
+                             util::ParseU64(tok[i], "superblock"));
       if (page_no < f.num_pages) {
         f.free_pages.push_back(static_cast<uint32_t>(page_no));
       }

@@ -172,8 +172,13 @@ Result<std::unique_ptr<Wal>> Wal::Open(std::string path) {
   struct stat st;
   if (::fstat(wal->fd_, &st) != 0) return ErrnoError("fstat", wal->path_);
   if (static_cast<uint64_t>(st.st_size) < kHeaderBytes) {
-    // Fresh (or torn-at-birth) log: lay down a clean header.
+    // Fresh (or torn-at-birth) log: lay down a clean header, durably — a
+    // crash before the header's sync must not leave a garbage file the next
+    // Open rejects as corrupt.
     SMADB_RETURN_NOT_OK(wal->WriteHeader(1));
+    if (::fdatasync(wal->fd_) != 0) {
+      return ErrnoError("fdatasync", wal->path_);
+    }
     wal->base_lsn_ = 1;
     wal->next_lsn_ = 1;
     wal->file_bytes_ = kHeaderBytes;
@@ -196,6 +201,22 @@ Status Wal::ScanExisting() {
   bool eof = false;
   SMADB_RETURN_NOT_OK(PReadFull(fd_, header, sizeof(header), 0, path_, &eof));
   if (eof || std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
+    // A header-sized file with bad magic is a torn header write (a fresh
+    // Open or a Reset that crashed before its fdatasync). Such a log never
+    // held a record, so no committed data is at stake: rewrite it as empty
+    // rather than failing hard. Anything larger really is corruption.
+    struct stat st;
+    if (::fstat(fd_, &st) == 0 &&
+        static_cast<uint64_t>(st.st_size) == kHeaderBytes) {
+      SMADB_RETURN_NOT_OK(WriteHeader(1));
+      if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync", path_);
+      base_lsn_ = 1;
+      next_lsn_ = 1;
+      flushed_lsn_ = 0;
+      synced_lsn_ = 0;
+      file_bytes_ = kHeaderBytes;
+      return Status::OK();
+    }
     return Status::Corruption("bad WAL magic in '" + path_ + "'");
   }
   const uint32_t version = DecodeU32(header + 8);
@@ -285,6 +306,16 @@ Status Wal::Sync() {
 void Wal::DiscardUnflushed() {
   buffer_.clear();
   next_lsn_ = flushed_lsn_ + 1;
+}
+
+bool Wal::TryRollback(const AppendMark& mark) {
+  if (next_lsn_ <= mark.lsn) return true;  // nothing appended since the mark
+  if (flushed_lsn_ >= mark.lsn) return false;
+  stats_.appends -= next_lsn_ - mark.lsn;
+  stats_.appended_bytes -= buffer_.size() - mark.buffer_bytes;
+  buffer_.resize(mark.buffer_bytes);
+  next_lsn_ = mark.lsn;
+  return true;
 }
 
 Status Wal::Replay(

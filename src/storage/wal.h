@@ -48,6 +48,9 @@ enum class WalRecordType : uint8_t {
   kInsert = 3,       ///< table, rid, epoch_after, tuple bytes
   kUpdate = 4,       ///< table, rid, column, typed value, epoch_after
   kDelete = 5,       ///< table, rid, epoch_after
+  kAbort = 6,        ///< aborted lsn (u64): the target record's in-memory
+                     ///< apply failed after the record escaped to the file;
+                     ///< recovery must not redo it
 };
 
 /// Little-endian payload builders (append to `out`).
@@ -108,6 +111,20 @@ class Wal {
   /// Drops staged-but-unflushed records — the in-process analogue of losing
   /// the un-synced tail to a crash. For Database::CrashForTesting only.
   void DiscardUnflushed();
+
+  /// Position token for TryRollback; capture immediately before an Append.
+  struct AppendMark {
+    uint64_t lsn = 0;           ///< the LSN the next Append will assign
+    uint64_t buffer_bytes = 0;  ///< staged bytes at capture time
+  };
+  AppendMark Mark() const { return {next_lsn_, buffer_.size()}; }
+
+  /// Unstages every record appended since `mark` — the rollback path for a
+  /// record whose in-memory apply failed after it was logged. Returns false
+  /// (log untouched) when any of those records already reached the file (a
+  /// flush ran since the mark, e.g. an eviction barrier inside the apply);
+  /// the caller must then log a kAbort record instead.
+  bool TryRollback(const AppendMark& mark);
 
   /// Replays every intact record from the header on, in LSN order,
   /// stopping cleanly at a torn or corrupt tail. Replays only what Flush

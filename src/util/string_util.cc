@@ -1,5 +1,6 @@
 #include "util/string_util.h"
 
+#include <cstdint>
 #include <cstdio>
 
 namespace smadb::util {
@@ -102,6 +103,26 @@ std::string EscapeToken(std::string_view s) {
     }
   }
   return out;
+}
+
+Result<uint64_t> ParseU64(std::string_view token, std::string_view what) {
+  if (token.empty()) {
+    return Status::Corruption("empty number in " + std::string(what));
+  }
+  uint64_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::Corruption("bad number '" + std::string(token) + "' in " +
+                                std::string(what));
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return Status::Corruption("number '" + std::string(token) +
+                                "' overflows uint64 in " + std::string(what));
+    }
+    v = v * 10 + digit;
+  }
+  return v;
 }
 
 Result<std::string> UnescapeToken(std::string_view s) {

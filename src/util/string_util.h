@@ -4,6 +4,7 @@
 #define SMADB_UTIL_STRING_UTIL_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +38,14 @@ std::string EscapeToken(std::string_view s);
 
 /// Inverse of EscapeToken. Malformed escapes fail the parse.
 util::Result<std::string> UnescapeToken(std::string_view s);
+
+/// Parses a non-negative decimal integer from a persistence token
+/// (manifest, superblock). Exception-free by design — a corrupt file must
+/// surface as a Status, never an abort — and rejects empty tokens,
+/// non-digits, and values that overflow uint64 (a wrapped number can decode
+/// to a plausible small value and corrupt recovery decisions). `what` names
+/// the containing structure for the error message.
+util::Result<uint64_t> ParseU64(std::string_view token, std::string_view what);
 
 }  // namespace smadb::util
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -183,6 +184,126 @@ TEST_F(DurabilityTest, CheckpointTruncatesWalAndReplayCoversOnlyTheTail) {
   EXPECT_GE(db->durability().stale_smas, 1u);
 }
 
+// A crash inside Wal::Reset can persist the ftruncate but not the fresh
+// header, so the next Open lays down a header whose LSNs restart at 1 while
+// the manifest horizon stays at the old value. Recover must re-seat the log
+// at the horizon; otherwise every commit synced after that reopen lands
+// below the horizon and the *next* Recover silently drops it.
+TEST_F(DurabilityTest, TornCheckpointTruncationKeepsLaterCommitsVisible) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 50);
+    ExpectOk(db->Checkpoint());
+    EXPECT_GT(db->wal()->base_lsn(), 1u);
+    ExpectOk(db->CrashForTesting());
+  }
+  // Tear the checkpoint truncation: the log vanishes, the manifest keeps
+  // its large checkpoint_lsn.
+  std::filesystem::resize_file(tmpdir.path + "/wal.smadb", 0);
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    EXPECT_EQ(Tuples(db.get()), 50u);  // the checkpoint carries the data
+    // The reconciled log must continue at the manifest horizon.
+    EXPECT_GE(db->wal()->base_lsn(), 1u + 50u);
+    Append(db.get(), 50, 60);  // synced (interval 1): acknowledged commits
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(db->durability().replayed_records, 10u);
+  EXPECT_EQ(Tuples(db.get()), 60u);
+}
+
+// A crash between the fresh header's pwrite and its fdatasync can leave a
+// header-sized file of garbage. That log never held a record, so Open must
+// treat it as an empty log, not fail with Corruption.
+TEST_F(DurabilityTest, TornFreshWalHeaderIsTreatedAsEmptyLog) {
+  {
+    std::ofstream out(tmpdir.path + "/wal.smadb", std::ios::binary);
+    out << std::string(20, 'x');  // header-sized garbage
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  Load(db.get(), 5);
+  ExpectOk(db->CrashForTesting());
+  db = OpenDb();
+  EXPECT_EQ(Tuples(db.get()), 5u);
+  // A log that actually held records stays a hard error on bad magic.
+  {
+    std::ofstream out(tmpdir.path + "/wal.smadb",
+                      std::ios::binary | std::ios::trunc);
+    out << std::string(64, 'x');
+  }
+  auto r = Database::Open(FileOptions());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+      << r.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Failed applies must not replay: the staged WAL record is rolled back (or,
+// if it already escaped to the file, covered by an abort record).
+
+TEST_F(DurabilityTest, FailedApplyRollsBackTheStagedWalRecord) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 10);
+    // An update aimed at a nonexistent Rid passes the WAL-stage validation
+    // (column + type family) but fails the in-memory apply; its staged
+    // record must not survive to replay a mutation this instance rejected.
+    const Status s = db->Update("t", Rid{9999, 0}, 0, util::Value::Int64(1));
+    EXPECT_FALSE(s.ok()) << s.ToString();
+    Append(db.get(), 10, 11);  // a later commit flushes the WAL buffer
+    ExpectOk(db->CrashForTesting());
+  }
+  // Recovery must neither fail on nor materialize the rejected update.
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(db->durability().replayed_records, 12u);  // create + 11 inserts
+  EXPECT_EQ(Tuples(db.get()), 11u);
+}
+
+TEST_F(DurabilityTest, AbortRecordsSuppressReplayOfFailedApplies) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 20);
+    // Model the already-flushed case (an eviction barrier ran between the
+    // append and the apply failure): the record is in the file, so the
+    // rollback path covers it with a kAbort instead of unstaging it.
+    storage::Wal* wal = db->wal();
+    std::string payload;
+    storage::WalPutString(&payload, "t");
+    storage::WalPutString(&payload, "define sma ab select min(d) from t");
+    const uint64_t lsn =
+        Unwrap(wal->Append(storage::WalRecordType::kDefineSma, payload));
+    ExpectOk(wal->Sync());  // the doomed record is now durable
+    std::string abort_payload;
+    storage::WalPutU64(&abort_payload, lsn);
+    ExpectOk(
+        wal->Append(storage::WalRecordType::kAbort, abort_payload).status());
+    ExpectOk(wal->Sync());
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(Tuples(db.get()), 20u);
+  // The aborted define must not have replayed.
+  EXPECT_FALSE(Unwrap(db->Smas("t"))->Find("ab").ok());
+}
+
+// Wal::TryRollback: staged-only records unstage; flushed records refuse (the
+// caller then logs an abort).
+TEST_F(DurabilityTest, WalTryRollbackUnstagesOnlyBufferedRecords) {
+  std::unique_ptr<storage::Wal> wal =
+      Unwrap(storage::Wal::Open(tmpdir.path + "/wal.smadb"));
+  const storage::Wal::AppendMark staged = wal->Mark();
+  ExpectOk(wal->Append(storage::WalRecordType::kDelete, "x").status());
+  EXPECT_TRUE(wal->TryRollback(staged));
+  EXPECT_EQ(wal->next_lsn(), staged.lsn);
+  EXPECT_EQ(wal->stats().appends, 0u);
+  const storage::Wal::AppendMark flushed = wal->Mark();
+  ExpectOk(wal->Append(storage::WalRecordType::kDelete, "x").status());
+  ExpectOk(wal->Flush());
+  EXPECT_FALSE(wal->TryRollback(flushed));
+  EXPECT_EQ(wal->next_lsn(), flushed.lsn + 1);  // the log is untouched
+}
+
 // ---------------------------------------------------------------------------
 // Tail-loss semantics: what a crash may take is exactly the un-synced
 // suffix, as a clean prefix of operations.
@@ -297,6 +418,31 @@ TEST_F(DurabilityTest, CorruptStoredPageSurfacesAsTypedCorruption) {
   const FileId file = Unwrap(db->disk()->FindFile("tbl.t"));
   ExpectOk(db->disk()->CorruptPageForTesting(file, 0, 0xff));
   auto r = db->Query(kSumQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+      << r.status().ToString();
+}
+
+// Corrupt numbers in the persistence files surface as typed Corruption,
+// never as an uncaught exception (std::stoul) or a silently wrapped value.
+TEST_F(DurabilityTest, CorruptSuperblockNumberSurfacesAsCorruption) {
+  {
+    std::ofstream out(tmpdir.path + "/superblock.smadb", std::ios::trunc);
+    out << "smadb-superblock v1\nfile zzz t\n";
+  }
+  auto r = storage::FileDiskManager::Open(tmpdir.path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+      << r.status().ToString();
+}
+
+TEST_F(DurabilityTest, OverflowingManifestNumberSurfacesAsCorruption) {
+  const std::string path = tmpdir.path + "/manifest.smadb";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "smadb-manifest v1\ncheckpoint_lsn 99999999999999999999999\n";
+  }
+  auto r = ReadManifest(path);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
       << r.status().ToString();
