@@ -1,0 +1,120 @@
+// Experiment X12 — crash-recovery torture sweep (robustness, not a paper
+// figure): every durable-path failpoint x crash-on-hit-k x the scripted
+// workload from tests/recovery_oracle.h, each case checked against the
+// recovery oracle (recovered state == shadow model at the flushed LSN).
+//
+// Reports sweep size, how many cases actually crashed, and recovery-time
+// statistics over the crashed cases. Any oracle violation prints the case
+// and fails the binary — this is a correctness gate that happens to emit
+// timings, not a pure benchmark.
+//
+// Emits BENCH_x12_torture.json. All state lives in mkdtemp directories
+// under /tmp, removed as each case finishes.
+
+#include <stdlib.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "tests/recovery_oracle.h"
+#include "util/fault.h"
+
+using namespace smadb;  // NOLINT
+
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/smadb_bench_XXXXXX";
+  const char* d = ::mkdtemp(tmpl);
+  if (d == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int max_k = smoke ? 2 : 6;
+  const std::vector<size_t> intervals =
+      smoke ? std::vector<size_t>{1} : std::vector<size_t>{1, 4};
+
+  bench::PrintHeader(
+      util::Format("X12: crash-recovery torture sweep%s",
+                   smoke ? " (smoke)" : ""));
+
+  size_t cases = 0;
+  size_t crashes = 0;
+  size_t failures = 0;
+  double recover_ms_sum = 0.0;
+  double recover_ms_max = 0.0;
+  uint64_t replayed_sum = 0;
+
+  for (const size_t interval : intervals) {
+    for (const std::string& point : smadb::testing::TortureFailpoints()) {
+      for (int k = 1; k <= max_k; ++k) {
+        const std::string dir = MakeTempDir();
+        const smadb::testing::TortureResult r =
+            smadb::testing::RunTortureCase(dir, point, k, interval);
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        ++cases;
+        if (!r.error.empty()) {
+          ++failures;
+          std::fprintf(stderr,
+                       "ORACLE FAIL: failpoint=%s k=%d interval=%zu "
+                       "crashed=%d step=%d flushed=%llu: %s\n",
+                       point.c_str(), k, interval, r.crashed ? 1 : 0,
+                       r.step_reached,
+                       static_cast<unsigned long long>(r.flushed_lsn),
+                       r.error.c_str());
+          continue;
+        }
+        if (r.crashed) {
+          ++crashes;
+          recover_ms_sum += r.recover_ms;
+          recover_ms_max = std::max(recover_ms_max, r.recover_ms);
+          replayed_sum += r.replayed;
+        }
+      }
+    }
+  }
+  util::fault::DisarmAll();
+
+  const double mean_ms = crashes == 0 ? 0.0 : recover_ms_sum / crashes;
+  std::printf("sweep: %zu cases (%zu failpoints x k<=%d x %zu intervals)\n",
+              cases, smadb::testing::TortureFailpoints().size(), max_k,
+              intervals.size());
+  std::printf("crashed: %zu cases; every recovery matched the oracle\n",
+              crashes);
+  std::printf("recovery: mean %.2f ms, max %.2f ms, %llu records replayed\n",
+              mean_ms, recover_ms_max,
+              static_cast<unsigned long long>(replayed_sum));
+  report.Add("cases", static_cast<double>(cases));
+  report.Add("crashes", static_cast<double>(crashes));
+  report.Add("oracle_failures", static_cast<double>(failures));
+  report.Add("recover_ms_mean", mean_ms);
+  report.Add("recover_ms_max", recover_ms_max);
+  report.Add("replayed_records", static_cast<double>(replayed_sum));
+
+  bench::PrintPaperNote(
+      "not in the paper. The sweep prices what the durable stack promises: "
+      "a simulated power loss at every point on the commit and checkpoint "
+      "paths recovers to exactly the flushed WAL prefix — no lost synced "
+      "commit, no resurrected unsynced suffix, SMA trust consistent — and "
+      "recovery stays milliseconds even when the crash lands inside "
+      "checkpoint truncation.");
+
+  if (failures != 0) {
+    std::fprintf(stderr, "FAIL: %zu oracle violation(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 
 Usage:
     bench/compare.py BASELINE CURRENT [--threshold PCT] [--strict]
+    bench/compare.py BASELINE CURRENT --fail-on-regression PCT
 
 BASELINE and CURRENT are directories holding BENCH_*.json files (or single
 .json files). Reports are matched by their "bench" name, metrics by key.
@@ -14,10 +15,11 @@ Direction is inferred from the key: *_ms / *_us / *_s / *_seconds are
 lower-is-better; *_per_s / *_speedup / *x are higher-is-better; anything
 else is reported without judgement.
 
-The comparison is informational: the exit code is 0 unless --strict is
-given, in which case flagged regressions fail the run. Keep it advisory in
-CI — bench numbers from shared runners are noisy, and the tier-1 gates live
-in the test suite, not here.
+The comparison is informational: the exit code is 0 unless --strict (or its
+one-flag spelling --fail-on-regression PCT, which also sets the threshold)
+is given, in which case flagged regressions fail the run. Blocking use in CI
+should pick a generous PCT — bench numbers from shared runners are noisy,
+and the tier-1 gates live in the test suite, not here.
 """
 
 import argparse
@@ -71,7 +73,14 @@ def main():
                     help="regression flag threshold in percent (default 10)")
     ap.add_argument("--strict", action="store_true",
                     help="exit non-zero when regressions are flagged")
+    ap.add_argument("--fail-on-regression", type=float, metavar="PCT",
+                    default=None,
+                    help="blocking mode: shorthand for --threshold PCT "
+                         "--strict")
     args = ap.parse_args()
+    if args.fail_on_regression is not None:
+        args.threshold = args.fail_on_regression
+        args.strict = True
 
     base = load_reports(args.baseline)
     curr = load_reports(args.current)

@@ -8,6 +8,7 @@
 #include "expr/parser.h"
 #include "sma/parser.h"
 #include "storage/file_disk.h"
+#include "util/crc32c.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -122,30 +123,66 @@ Database::~Database() {
 
 Status Database::Close() {
   if (closed_ || crashed_) return Status::OK();
-  if (wal_ != nullptr) SMADB_RETURN_NOT_OK(Checkpoint());
+  // Read-only means a durable barrier already failed; retrying it at close
+  // (fsyncgate) could acknowledge data the kernel dropped. The recovered
+  // state after reopen is exactly the acknowledged prefix.
+  if (wal_ != nullptr && !read_only_) SMADB_RETURN_NOT_OK(Checkpoint());
   closed_ = true;
   return Status::OK();
 }
 
 Status Database::Checkpoint() {
   if (crashed_) return Status::Internal("database crashed; reopen to recover");
+  SMADB_RETURN_NOT_OK(CheckWritable());
   // FlushAll runs the WAL barrier before the first dirty write, so the
-  // log-before-data ordering holds here too.
-  SMADB_RETURN_NOT_OK(pool_->FlushAll());
-  SMADB_RETURN_NOT_OK(disk_->Sync());
+  // log-before-data ordering holds here too. Every step below is a durable
+  // write; an environmental failure in any of them degrades to read-only.
+  SMADB_RETURN_NOT_OK(NoteDurableFailure(pool_->FlushAll()));
+  SMADB_RETURN_NOT_OK(NoteDurableFailure(disk_->Sync()));
   if (wal_ == nullptr) return Status::OK();
   SMADB_RETURN_NOT_OK(SyncWal());
   const uint64_t lsn = wal_->next_lsn();
-  SMADB_RETURN_NOT_OK(
-      WriteManifest(ManifestPath(), BuildManifest(lsn)));
-  SMADB_RETURN_NOT_OK(wal_->Reset(lsn));
+  SMADB_RETURN_NOT_OK(NoteDurableFailure(
+      WriteManifest(ManifestPath(), BuildManifest(lsn))));
+  SMADB_RETURN_NOT_OK(NoteDurableFailure(wal_->Reset(lsn)));
   ++durability_.checkpoints;
   return Status::OK();
 }
 
+Status Database::CheckWritable() const {
+  if (!read_only_) return Status::OK();
+  return Status::Unavailable("database is in read-only degraded mode (" +
+                             read_only_reason_ +
+                             "); reads keep serving, reopen to recover");
+}
+
+void Database::EnterReadOnly(std::string reason) {
+  if (read_only_) return;  // first failure wins; never un-degrade in place
+  read_only_ = true;
+  read_only_reason_ = std::move(reason);
+}
+
+Status Database::NoteDurableFailure(Status st) {
+  if (st.code() == util::StatusCode::kIOError ||
+      st.code() == util::StatusCode::kDiskFull) {
+    EnterReadOnly(st.message());
+  }
+  return st;
+}
+
+Status Database::NoteDiskFull(Status st) {
+  if (st.code() == util::StatusCode::kDiskFull) EnterReadOnly(st.message());
+  return st;
+}
+
 Status Database::SyncWal() {
   if (wal_ == nullptr) return Status::OK();
-  SMADB_RETURN_NOT_OK(wal_->Sync());
+  // fsyncgate: after a failed fsync the kernel may have dropped the very
+  // dirty pages the failure covered — a later "successful" retry would
+  // acknowledge lost data. Refuse instead (this also blocks the buffer
+  // pool's pre-writeback barrier, so no dirty page escapes either).
+  SMADB_RETURN_NOT_OK(CheckWritable());
+  SMADB_RETURN_NOT_OK(NoteDurableFailure(wal_->Sync()));
   ops_since_sync_ = 0;
   return Status::OK();
 }
@@ -263,6 +300,18 @@ void Database::InitMetrics() {
   registry_->RegisterCallback(
       "smadb_memory_peak_bytes", "High-water mark of the global budget",
       [this] { return static_cast<int64_t>(global_memory_.peak()); });
+  registry_->RegisterCallback(
+      "smadb_storage_read_only",
+      "1 while the database is in read-only degraded mode",
+      [this] { return read_only_ ? int64_t{1} : int64_t{0}; });
+  m_.scrub_runs =
+      registry_->GetCounter("smadb_scrub_runs_total", "Scrub passes run");
+  m_.scrub_pages_scanned = registry_->GetCounter(
+      "smadb_scrub_pages_scanned_total", "Pages CRC-checked by scrubs");
+  m_.scrub_corrupt_pages = registry_->GetCounter(
+      "smadb_scrub_corrupt_pages_total", "Corrupt pages found by scrubs");
+  m_.scrub_smas_repaired = registry_->GetCounter(
+      "smadb_scrub_smas_repaired_total", "SMAs rebuilt by scrub repairs");
 }
 
 void Database::set_max_concurrent_queries(size_t n) {
@@ -272,6 +321,7 @@ void Database::set_max_concurrent_queries(size_t n) {
 
 Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
                                      storage::TableOptions options) {
+  SMADB_RETURN_NOT_OK(CheckWritable());
   storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
     // Validate before logging so failed statements never poison replay.
@@ -322,6 +372,7 @@ Result<Database::TableState*> Database::StateFor(std::string_view table) {
 
 Status Database::Insert(std::string_view table,
                         const storage::TupleBuffer& tuple, Rid* rid) {
+  SMADB_RETURN_NOT_OK(CheckWritable());
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
   storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
@@ -346,13 +397,14 @@ Status Database::Insert(std::string_view table,
         wal_->Append(WalRecordType::kInsert, payload).status());
   }
   if (Status st = state->maintainer->Insert(tuple, rid); !st.ok()) {
-    return RollbackWalRecord(mark, std::move(st));
+    return NoteDiskFull(RollbackWalRecord(mark, std::move(st)));
   }
   return MaybeSyncWal();
 }
 
 Status Database::Update(std::string_view table, Rid rid, size_t col,
                         const util::Value& v) {
+  SMADB_RETURN_NOT_OK(CheckWritable());
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
   storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
@@ -379,12 +431,13 @@ Status Database::Update(std::string_view table, Rid rid, size_t col,
         wal_->Append(WalRecordType::kUpdate, payload).status());
   }
   if (Status st = state->maintainer->UpdateColumn(rid, col, v); !st.ok()) {
-    return RollbackWalRecord(mark, std::move(st));
+    return NoteDiskFull(RollbackWalRecord(mark, std::move(st)));
   }
   return MaybeSyncWal();
 }
 
 Status Database::Delete(std::string_view table, Rid rid) {
+  SMADB_RETURN_NOT_OK(CheckWritable());
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
   storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
@@ -399,7 +452,7 @@ Status Database::Delete(std::string_view table, Rid rid) {
         wal_->Append(WalRecordType::kDelete, payload).status());
   }
   if (Status st = state->maintainer->Delete(rid); !st.ok()) {
-    return RollbackWalRecord(mark, std::move(st));
+    return NoteDiskFull(RollbackWalRecord(mark, std::move(st)));
   }
   return MaybeSyncWal();
 }
@@ -423,6 +476,7 @@ Status Database::Execute(std::string_view statement) {
   }
   if (tokens[0].text == "define") {
     // `define sma ...` — find the from-table, then delegate.
+    SMADB_RETURN_NOT_OK(CheckWritable());
     SMADB_ASSIGN_OR_RETURN(std::string table, ExtractTableName(statement));
     SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
     storage::Wal::AppendMark mark;
@@ -441,7 +495,7 @@ Status Database::Execute(std::string_view statement) {
     if (Status st = sma::DefineSma(catalog_.get(), state->smas.get(),
                                    statement);
         !st.ok()) {
-      return RollbackWalRecord(mark, std::move(st));
+      return NoteDiskFull(RollbackWalRecord(mark, std::move(st)));
     }
     return MaybeSyncWal();
   }
@@ -557,6 +611,38 @@ Result<plan::QueryResult> Database::Query(
   // `show metrics` / `show profile` / `show trace` — read-only, ungoverned.
   if (std::string_view what = StripKeyword(body, "show"); !what.empty()) {
     return RunShow(what);
+  }
+
+  // `scrub` — one pass of the online scrubber, findings as a text column.
+  if (body == "scrub") {
+    SMADB_ASSIGN_OR_RETURN(ScrubReport report, Scrub());
+    std::vector<std::string> lines;
+    lines.push_back(util::Format(
+        "scanned: files=%llu pages=%llu",
+        static_cast<unsigned long long>(report.files_scanned),
+        static_cast<unsigned long long>(report.pages_scanned)));
+    lines.push_back(util::Format(
+        "corrupt_pages: %llu",
+        static_cast<unsigned long long>(report.corrupt_pages)));
+    for (const auto& [fname, count] : report.corrupt_files) {
+      lines.push_back(util::Format(
+          "  %s: %llu corrupt page(s)", fname.c_str(),
+          static_cast<unsigned long long>(count)));
+    }
+    lines.push_back(util::Format(
+        "smas: verified=%llu distrusted=%llu repaired=%llu%s",
+        static_cast<unsigned long long>(report.smas_verified),
+        static_cast<unsigned long long>(report.smas_distrusted),
+        static_cast<unsigned long long>(report.smas_repaired),
+        report.repairs_skipped_read_only ? " (repairs skipped: read-only)"
+                                         : ""));
+    for (const std::string& note : report.notes) {
+      lines.push_back("note: " + note);
+    }
+    const bool clean = report.corrupt_pages == 0 &&
+                       report.smas_distrusted == 0 && report.notes.empty();
+    lines.push_back(clean ? "result: clean" : "result: findings reported");
+    return TextResult("scrub", lines);
   }
 
   // `explain select ...` runs the governed query and reports the plan;
@@ -734,6 +820,9 @@ Result<plan::QueryResult> Database::ShowStorage() const {
   lines.push_back("path: " + (options_.storage_path.empty()
                                   ? std::string("(in-memory)")
                                   : options_.storage_path));
+  lines.push_back(read_only_
+                      ? "mode: read-only (" + read_only_reason_ + ")"
+                      : std::string("mode: read-write"));
   const storage::IoStats& io = disk_->stats();
   lines.push_back(util::Format(
       "pages: reads=%llu writes=%llu fsyncs=%llu",
@@ -771,6 +860,112 @@ Result<plan::QueryResult> Database::ShowStorage() const {
       static_cast<unsigned long long>(durability_.orphan_sma_files),
       static_cast<unsigned long long>(durability_.recovery_us)));
   return TextResult("storage", lines);
+}
+
+Result<Database::ScrubReport> Database::Scrub() {
+  if (crashed_) return Status::Internal("database crashed; reopen to recover");
+  ScrubReport report;
+  // Pass 1: CRC-check the at-rest bytes of every backend file against the
+  // out-of-band sidecar. Reads bypass the buffer pool on purpose: the
+  // sidecar covers the *stored* bytes, so dirty pool pages cause no false
+  // positives, and a clean cache cannot mask rotted media either.
+  std::vector<uint64_t> corrupt_by_file(disk_->NumFiles(), 0);
+  for (storage::FileId id = 0; id < disk_->NumFiles(); ++id) {
+    const std::string& fname = disk_->FileName(id);
+    if (fname.empty()) continue;  // tombstone of a removed file
+    const Result<uint32_t> npages = disk_->NumPages(id);
+    if (!npages.ok()) {
+      report.notes.push_back("file '" + fname + "': " +
+                             std::string(npages.status().message()));
+      continue;
+    }
+    ++report.files_scanned;
+    for (uint32_t p = 0; p < *npages; ++p) {
+      ++report.pages_scanned;
+      storage::Page page;
+      if (Status st = disk_->ReadPage(id, p, &page); !st.ok()) {
+        ++corrupt_by_file[id];
+        report.notes.push_back(util::Format(
+            "file '%s' page %u unreadable: %s", fname.c_str(), p,
+            std::string(st.message()).c_str()));
+        continue;
+      }
+      const Result<uint32_t> want = disk_->PageChecksum(id, p);
+      if (!want.ok() ||
+          util::Crc32c(page.data, storage::kPageSize) != *want) {
+        ++corrupt_by_file[id];
+      }
+    }
+    if (corrupt_by_file[id] > 0) {
+      report.corrupt_pages += corrupt_by_file[id];
+      report.corrupt_files.emplace_back(fname, corrupt_by_file[id]);
+    }
+  }
+  // Pass 2: condemn SMAs whose backing files hold corrupt pages (their
+  // pool-cached pages may still read clean — the media copy is what rots;
+  // Verify never re-trusts, so the flag sticks), then run the maintainer's
+  // sampled content verification on every table.
+  for (auto& [tname, state] : states_) {
+    for (sma::Sma* s : state.smas->mutable_all()) {
+      for (size_t g = 0; g < s->num_groups(); ++g) {
+        const storage::FileId fid = s->group_file(g)->file();
+        if (fid < corrupt_by_file.size() && corrupt_by_file[fid] > 0) {
+          s->MarkDistrusted("scrub: corrupt page(s) in '" +
+                            disk_->FileName(fid) + "'");
+          break;
+        }
+      }
+    }
+    report.smas_verified += state.smas->all().size();
+    if (Result<size_t> failed = state.maintainer->VerifyAll(); !failed.ok()) {
+      report.notes.push_back("verify '" + tname + "': " +
+                             std::string(failed.status().message()));
+    }
+  }
+  // Pass 3: census + repair. Rebuild() re-materializes exactly the
+  // distrusted/stale SMAs; repairs are writes, so read-only mode reports
+  // the findings without touching anything.
+  for (auto& [tname, state] : states_) {
+    size_t broken = 0;
+    for (const sma::Sma* s : state.smas->all()) {
+      if (!s->trusted() || s->stale()) ++broken;
+    }
+    report.smas_distrusted += broken;
+    if (broken == 0) continue;
+    if (read_only_) {
+      report.repairs_skipped_read_only = true;
+      continue;
+    }
+    if (Status st = state.maintainer->Rebuild(); !st.ok()) {
+      report.notes.push_back("rebuild '" + tname + "': " +
+                             std::string(st.message()));
+      continue;
+    }
+    size_t still = 0;
+    for (const sma::Sma* s : state.smas->all()) {
+      if (!s->trusted() || s->stale()) ++still;
+    }
+    report.smas_repaired += broken - still;
+  }
+  // Mirror the findings into the registry: run counters plus one gauge per
+  // corrupt file (existing gauges zeroed first, so a later clean pass
+  // retires stale findings).
+  if (m_.scrub_runs != nullptr) {
+    m_.scrub_runs->Inc();
+    m_.scrub_pages_scanned->Add(static_cast<int64_t>(report.pages_scanned));
+    m_.scrub_corrupt_pages->Add(static_cast<int64_t>(report.corrupt_pages));
+    m_.scrub_smas_repaired->Add(static_cast<int64_t>(report.smas_repaired));
+    for (auto& [name, gauge] : scrub_gauges_) gauge->Set(0);
+    for (const auto& [fname, count] : report.corrupt_files) {
+      const std::string metric =
+          "smadb_scrub_corrupt_pages{file=\"" + fname + "\"}";
+      obs::Gauge* g = registry_->GetGauge(
+          metric, "Corrupt pages the last scrub found in this file");
+      g->Set(static_cast<int64_t>(count));
+      scrub_gauges_[metric] = g;
+    }
+  }
+  return report;
 }
 
 Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
@@ -1121,6 +1316,7 @@ Status Database::ApplyWalRecord(WalRecordType type, std::string_view payload) {
 
 Status Database::SetStorageBackend(BackendKind kind) {
   if (crashed_) return Status::Internal("database crashed; reopen to recover");
+  SMADB_RETURN_NOT_OK(CheckWritable());
   if (kind == disk_->kind()) return Status::OK();
   if (!catalog_->Tables().empty()) {
     return Status::InvalidArgument(

@@ -133,6 +133,45 @@ class Database {
   /// reopen the directory with Open() to exercise recovery.
   util::Status CrashForTesting();
 
+  // --- degraded mode -------------------------------------------------------
+  /// True once a durable-write failure (EIO/ENOSPC on a WAL fsync, segment
+  /// write-back, or checkpoint step) flipped the database into sticky
+  /// read-only mode: reads keep serving, mutations return kUnavailable, and
+  /// the failed fsync is never retried as if it had succeeded (the
+  /// "fsyncgate" rule — the kernel may have dropped the dirty pages the
+  /// failure covered). The only way out is reopening the directory, which
+  /// recovers exactly the acknowledged prefix.
+  bool read_only() const { return read_only_; }
+  /// Why the database is read-only (empty while writable).
+  const std::string& read_only_reason() const { return read_only_reason_; }
+
+  // --- scrubbing -----------------------------------------------------------
+  /// What one Database::Scrub() pass found (also rendered by the `scrub`
+  /// statement and mirrored into the metrics registry).
+  struct ScrubReport {
+    uint64_t files_scanned = 0;
+    uint64_t pages_scanned = 0;
+    uint64_t corrupt_pages = 0;
+    uint64_t smas_verified = 0;
+    uint64_t smas_distrusted = 0;  ///< distrusted/stale after verification
+    uint64_t smas_repaired = 0;    ///< rebuilt by the repair pass
+    /// Repairs need writes; in read-only mode findings are reported only.
+    bool repairs_skipped_read_only = false;
+    /// (file name, corrupt page count) for every file with findings.
+    std::vector<std::pair<std::string, uint64_t>> corrupt_files;
+    /// Non-fatal anomalies hit along the way (unreadable pages, failed
+    /// verifies/rebuilds) — the scrub itself keeps going.
+    std::vector<std::string> notes;
+  };
+
+  /// Online scrubber: re-reads every page of every backend file and checks
+  /// its CRC-32C against the out-of-band sidecar, distrusts SMAs whose files
+  /// hold corrupt pages, runs SmaMaintainer::VerifyAll, and (unless
+  /// read-only) repairs distrusted/stale SMAs via Rebuild. Reads the at-rest
+  /// bytes straight from the backend, so dirty pool pages cause no false
+  /// positives (the sidecar always covers the stored bytes).
+  util::Result<ScrubReport> Scrub();
+
   // --- schema & data -------------------------------------------------------
   util::Result<storage::Table*> CreateTable(
       std::string name, storage::Schema schema,
@@ -313,6 +352,20 @@ class Database {
   /// Handles `show storage`.
   util::Result<plan::QueryResult> ShowStorage() const;
 
+  // --- degraded-mode internals ---------------------------------------------
+  /// kUnavailable (with the degradation reason) while read-only; OK
+  /// otherwise. Every mutating entry point checks this first.
+  util::Status CheckWritable() const;
+  /// Flips the database into sticky read-only mode.
+  void EnterReadOnly(std::string reason);
+  /// Routes a durability-barrier result: environmental failures (kIOError /
+  /// kDiskFull) enter read-only mode; the status passes through unchanged.
+  util::Status NoteDurableFailure(util::Status st);
+  /// Same, but only for the typed kDiskFull failures that can surface from
+  /// a mutation's apply path (eviction write-back hitting ENOSPC) — plain
+  /// kIOError there may be a transient read fault and must not degrade.
+  util::Status NoteDiskFull(util::Status st);
+
   /// The governed body of Query(): parse, run under `ctx`; `query_id` keys
   /// the trace spans (sink may be null = tracing off).
   util::Result<plan::QueryResult> RunQuery(std::string_view sql,
@@ -341,6 +394,9 @@ class Database {
   /// Set by CrashForTesting: Close/destructor must not write anything.
   bool crashed_ = false;
   bool closed_ = false;
+  /// Sticky degraded mode (see read_only()).
+  bool read_only_ = false;
+  std::string read_only_reason_;
 
   // --- observability state -------------------------------------------------
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
@@ -359,7 +415,14 @@ class Database {
     obs::Counter* buckets_disqualifying = nullptr;
     obs::Counter* buckets_ambivalent = nullptr;
     obs::Histogram* query_latency_us = nullptr;
+    obs::Counter* scrub_runs = nullptr;
+    obs::Counter* scrub_pages_scanned = nullptr;
+    obs::Counter* scrub_corrupt_pages = nullptr;
+    obs::Counter* scrub_smas_repaired = nullptr;
   } m_;
+  /// Per-file corruption gauges a scrub has registered, so a later clean
+  /// scrub can zero them.
+  std::unordered_map<std::string, obs::Gauge*> scrub_gauges_;
   mutable std::mutex profile_mu_;  // guards last_profile_
   std::unique_ptr<obs::QueryProfile> last_profile_;
 };

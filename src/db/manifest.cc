@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace smadb::db {
@@ -38,7 +39,9 @@ Result<uint64_t> ParseU64(const std::string& token) {
 }
 
 Status ErrnoError(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " '" + path + "': " + std::strerror(errno));
+  const std::string msg = op + " '" + path + "': " + std::strerror(errno);
+  if (errno == ENOSPC || errno == EDQUOT) return Status::DiskFull(msg);
+  return Status::IOError(msg);
 }
 
 }  // namespace
@@ -122,6 +125,11 @@ Status WriteManifest(const std::string& path, const Manifest& m) {
   const std::string text = out.str();
 
   const std::string tmp = path + ".tmp";
+  // Kill-point before any byte of the new manifest exists (the old manifest
+  // must win recovery).
+  if (auto fk = util::fault::Hit("manifest.write", path)) {
+    return util::InjectedFaultStatus(*fk, "manifest.write '" + path + "'");
+  }
   const int fd =
       ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return ErrnoError("open", tmp);
@@ -139,6 +147,11 @@ Status WriteManifest(const std::string& path, const Manifest& m) {
   if (st.ok() && ::fsync(fd) != 0) st = ErrnoError("fsync", tmp);
   ::close(fd);
   SMADB_RETURN_NOT_OK(st);
+  // Kill-point between the synced tmp file and the atomic publish: recovery
+  // must still see the old manifest.
+  if (auto fk = util::fault::Hit("manifest.rename", path)) {
+    return util::InjectedFaultStatus(*fk, "manifest.rename '" + path + "'");
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     return ErrnoError("rename", tmp);
   }

@@ -56,11 +56,10 @@ Status DiskBackend::ConsultReadFaults(const std::string& file_name,
                                       uint32_t page_no, bool* flip_delivered) {
   *flip_delivered = false;
   auto fk = util::fault::Hit("disk.read", file_name);
-  if (fk == FaultKind::kTransient || fk == FaultKind::kPermanent) {
-    return Status::IOError(util::Format(
-        "injected %s fault reading file '%s' page %u",
-        std::string(util::FaultKindToString(*fk)).c_str(), file_name.c_str(),
-        page_no));
+  if (fk && *fk != FaultKind::kBitFlip) {
+    return util::InjectedFaultStatus(
+        *fk, util::Format("disk.read '%s' page %u", file_name.c_str(),
+                          page_no));
   }
   if (fk == FaultKind::kBitFlip ||
       util::fault::Hit("disk.page_bitflip", file_name).has_value()) {
@@ -73,13 +72,19 @@ Status DiskBackend::ConsultWriteFaults(const std::string& file_name,
                                        uint32_t page_no, bool* flip_stored) {
   *flip_stored = false;
   auto fk = util::fault::Hit("disk.write", file_name);
-  if (fk == FaultKind::kTransient || fk == FaultKind::kPermanent) {
-    return Status::IOError(util::Format(
-        "injected %s fault writing file '%s' page %u",
-        std::string(util::FaultKindToString(*fk)).c_str(), file_name.c_str(),
-        page_no));
+  if (fk && *fk != FaultKind::kBitFlip) {
+    return util::InjectedFaultStatus(
+        *fk, util::Format("disk.write '%s' page %u", file_name.c_str(),
+                          page_no));
   }
   if (fk == FaultKind::kBitFlip) *flip_stored = true;
+  return Status::OK();
+}
+
+Status DiskBackend::ConsultSyncFaults() {
+  if (auto fk = util::fault::Hit("disk.sync")) {
+    return util::InjectedFaultStatus(*fk, "disk.sync");
+  }
   return Status::OK();
 }
 
@@ -238,6 +243,7 @@ Status SimulatedDisk::WritePage(FileId file, uint32_t page_no,
 }
 
 Status SimulatedDisk::Sync() {
+  SMADB_RETURN_NOT_OK(ConsultSyncFaults());
   ++stats_.syncs;
   return Status::OK();
 }

@@ -227,6 +227,10 @@ class DiskBackend {
   util::Status ConsultWriteFaults(const std::string& file_name,
                                   uint32_t page_no, bool* flip_stored);
 
+  /// Consults the "disk.sync" failpoint at the top of every backend's
+  /// durability barrier (kill-point and ENOSPC scripting for Sync itself).
+  util::Status ConsultSyncFaults();
+
   /// Classifies one access against the file's last touched page and bumps
   /// the matching IoStats counters. `*last` is updated to `page_no`.
   void AccountRead(int64_t* last, uint32_t page_no);

@@ -25,7 +25,9 @@ constexpr const char kSuperblockName[] = "superblock.smadb";
 constexpr const char kSuperblockMagic[] = "smadb-superblock v1";
 
 Status ErrnoError(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " '" + path + "': " + std::strerror(errno));
+  const std::string msg = op + " '" + path + "': " + std::strerror(errno);
+  if (errno == ENOSPC || errno == EDQUOT) return Status::DiskFull(msg);
+  return Status::IOError(msg);
 }
 
 uint32_t ZeroPageCrc() {
@@ -433,6 +435,7 @@ Status FileDiskManager::TruncateFile(FileId file) {
 }
 
 Status FileDiskManager::Sync() {
+  SMADB_RETURN_NOT_OK(ConsultSyncFaults());
   for (size_t id = 0; id < files_.size(); ++id) {
     File& f = files_[id];
     if (!f.dirty) continue;

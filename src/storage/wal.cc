@@ -51,7 +51,9 @@ uint64_t DecodeU64(const uint8_t* p) {
 }
 
 Status ErrnoError(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " '" + path + "': " + std::strerror(errno));
+  const std::string msg = op + " '" + path + "': " + std::strerror(errno);
+  if (errno == ENOSPC || errno == EDQUOT) return Status::DiskFull(msg);
+  return Status::IOError(msg);
 }
 
 Status PReadFull(int fd, void* buf, size_t n, uint64_t off,
@@ -262,9 +264,7 @@ Status Wal::ScanExisting() {
 
 Result<uint64_t> Wal::Append(WalRecordType type, std::string_view payload) {
   if (auto fk = util::fault::Hit("wal.append", path_)) {
-    return Status::IOError(util::Format(
-        "injected %s fault appending WAL record to '%s'",
-        std::string(util::FaultKindToString(*fk)).c_str(), path_.c_str()));
+    return util::InjectedFaultStatus(*fk, "wal.append '" + path_ + "'");
   }
   const uint64_t lsn = next_lsn_++;
   uint8_t frame[kFrameBytes];
@@ -292,9 +292,7 @@ Status Wal::Flush() {
 
 Status Wal::Sync() {
   if (auto fk = util::fault::Hit("wal.sync", path_)) {
-    return Status::IOError(util::Format(
-        "injected %s fault syncing WAL '%s'",
-        std::string(util::FaultKindToString(*fk)).c_str(), path_.c_str()));
+    return util::InjectedFaultStatus(*fk, "wal.sync '" + path_ + "'");
   }
   SMADB_RETURN_NOT_OK(Flush());
   if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync", path_);
@@ -351,7 +349,19 @@ Status Wal::Replay(
 
 Status Wal::Reset(uint64_t base_lsn) {
   buffer_.clear();
+  if (auto fk = util::fault::Hit("wal.reset.truncate", path_)) {
+    return util::InjectedFaultStatus(*fk, "wal.reset.truncate '" + path_ +
+                                              "'");
+  }
   if (::ftruncate(fd_, 0) != 0) return ErrnoError("ftruncate", path_);
+  if (auto fk = util::fault::Hit("wal.reset.header", path_)) {
+    // The truncate already happened: model the torn state the next Open must
+    // repair (0-byte log, fresh header not yet written). The in-memory file
+    // position tracks the truncated reality so the object stays consistent,
+    // but the instance is expected to be discarded (this is a kill-point).
+    file_bytes_ = 0;
+    return util::InjectedFaultStatus(*fk, "wal.reset.header '" + path_ + "'");
+  }
   SMADB_RETURN_NOT_OK(WriteHeader(base_lsn));
   if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync", path_);
   base_lsn_ = base_lsn;

@@ -23,8 +23,11 @@
 // the checkpoint manifest, so replay always starts at the header.
 //
 // Failpoints: "wal.append" fails record staging, "wal.sync" fails the
-// durability barrier — the crash-recovery torture tests arm these as
-// kill-points (see tests/durability_test.cc).
+// durability barrier, "wal.reset.truncate" fails checkpoint truncation
+// before the ftruncate, and "wal.reset.header" fails it between the
+// ftruncate and the fresh header write (the torn-truncation state) — the
+// crash-recovery torture harness arms all of these as kill-points (see
+// tests/torture_test.cc and tests/durability_test.cc).
 
 #ifndef SMADB_STORAGE_WAL_H_
 #define SMADB_STORAGE_WAL_H_
@@ -141,6 +144,11 @@ class Wal {
   uint64_t next_lsn() const { return next_lsn_; }
   /// LSN of the newest record covered by a successful Sync (0 = none).
   uint64_t synced_lsn() const { return synced_lsn_; }
+  /// LSN of the newest record written to the file (>= synced_lsn). In the
+  /// in-process crash model, flushed-but-unsynced records survive
+  /// CrashForTesting — the recovery oracle uses this as the upper bound of
+  /// the recoverable prefix.
+  uint64_t flushed_lsn() const { return flushed_lsn_; }
   /// First LSN of the current log generation (checkpoint horizon).
   uint64_t base_lsn() const { return base_lsn_; }
   /// Bytes in the log file plus staged bytes.

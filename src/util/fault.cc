@@ -10,9 +10,36 @@ std::string_view FaultKindToString(FaultKind k) {
       return "permanent";
     case FaultKind::kBitFlip:
       return "bit-flip";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kDiskFull:
+      return "disk-full";
   }
   return "?";
 }
+
+Status InjectedFaultStatus(FaultKind k, std::string_view point) {
+  switch (k) {
+    case FaultKind::kDiskFull:
+      return Status::DiskFull("injected ENOSPC at " + std::string(point));
+    case FaultKind::kCrash:
+      return Status::IOError("injected crash (kill-point) at " +
+                             std::string(point));
+    default:
+      return Status::IOError("injected fault at " + std::string(point));
+  }
+}
+
+namespace {
+
+// Durable-path failpoints are poisoned after a simulated crash: once kCrash
+// has fired, nothing storage-related may succeed until the driver reopens.
+bool IsDurablePoint(std::string_view point) {
+  return point.rfind("wal.", 0) == 0 || point.rfind("disk.", 0) == 0 ||
+         point.rfind("manifest.", 0) == 0;
+}
+
+}  // namespace
 
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* instance = new FaultInjector();
@@ -40,10 +67,14 @@ void FaultInjector::DisarmAll() {
   std::lock_guard<std::mutex> lock(mu_);
   points_.clear();
   num_armed_.store(0, std::memory_order_release);
+  crashed_.store(false, std::memory_order_release);
 }
 
 std::optional<FaultKind> FaultInjector::Hit(std::string_view point,
                                             std::string_view context) {
+  if (crashed_.load(std::memory_order_acquire) && IsDurablePoint(point)) {
+    return FaultKind::kCrash;
+  }
   if (num_armed_.load(std::memory_order_acquire) == 0) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(std::string(point));
@@ -73,6 +104,9 @@ std::optional<FaultKind> FaultInjector::Hit(std::string_view point,
     if (u >= spec.probability) return std::nullopt;
   }
   ++armed.triggered;
+  if (spec.kind == FaultKind::kCrash) {
+    crashed_.store(true, std::memory_order_release);
+  }
   return spec.kind;
 }
 

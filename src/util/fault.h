@@ -28,6 +28,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "util/status.h"
+
 namespace smadb::util {
 
 /// What an armed failpoint does when it fires.
@@ -43,9 +45,25 @@ enum class FaultKind {
   /// No error is reported at the failpoint — detection is the checksum
   /// layer's job.
   kBitFlip,
+  /// Simulated power loss at the failpoint: the site fails with kIOError and
+  /// the injector enters a sticky "crashed" state in which every subsequent
+  /// durable-path hit (points prefixed "wal.", "disk.", "manifest.") also
+  /// fires kCrash, so no further durable write can slip through before the
+  /// test driver calls Database::CrashForTesting and reopens. Cleared by
+  /// ClearCrash()/DisarmAll().
+  kCrash,
+  /// Environmental out-of-space (ENOSPC/EDQUOT): the site fails with the
+  /// typed kDiskFull status. Used to script graceful read-only degradation.
+  kDiskFull,
 };
 
 std::string_view FaultKindToString(FaultKind k);
+
+/// The Status a durable-path failpoint should return for a fired error-kind
+/// fault: kDiskFull maps to the typed disk-full status, kCrash and the
+/// transient/permanent kinds map to kIOError. (kBitFlip is a data-level
+/// fault with no status; sites handle it before calling this.)
+Status InjectedFaultStatus(FaultKind k, std::string_view point);
 
 /// How an armed failpoint fires.
 struct FaultSpec {
@@ -86,6 +104,17 @@ class FaultInjector {
   /// Times `point` has actually fired since armed (diagnostics/tests).
   uint64_t Triggered(std::string_view point) const;
 
+  /// True once a kCrash fault has fired (and ClearCrash has not been called).
+  /// Torture drivers poll this after each workload step to detect the
+  /// simulated power loss.
+  bool crash_fired() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  /// Leaves the crashed state (also done by DisarmAll). Call before reopening
+  /// the database after a simulated crash.
+  void ClearCrash() { crashed_.store(false, std::memory_order_release); }
+
  private:
   struct Armed {
     FaultSpec spec;
@@ -100,6 +129,9 @@ class FaultInjector {
   uint64_t rng_ = 0x5eed5eed5eed5eedull;
   // Fast path: Hit() is a no-op load while nothing is armed.
   std::atomic<size_t> num_armed_{0};
+  // Sticky kill-switch set by the first kCrash firing; while set, every
+  // durable-path Hit() returns kCrash regardless of what is armed.
+  std::atomic<bool> crashed_{false};
 };
 
 namespace fault {
@@ -119,6 +151,8 @@ inline std::optional<FaultKind> Hit(std::string_view point,
 inline uint64_t Triggered(std::string_view point) {
   return FaultInjector::Global().Triggered(point);
 }
+inline bool CrashFired() { return FaultInjector::Global().crash_fired(); }
+inline void ClearCrash() { FaultInjector::Global().ClearCrash(); }
 
 /// RAII arm-for-this-scope (tests): disarms the point on destruction.
 class ScopedFault {

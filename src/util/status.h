@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kResourceExhausted = 9,
   kCancelled = 10,
   kDeadlineExceeded = 11,
+  kDiskFull = 12,
+  kUnavailable = 13,
 };
 
 /// Human-readable name of a status code ("OK", "Invalid argument", ...).
@@ -71,6 +73,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DiskFull(std::string msg) {
+    return Status(StatusCode::kDiskFull, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

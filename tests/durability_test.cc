@@ -15,6 +15,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "db/database.h"
 #include "sma/maintenance.h"
@@ -550,6 +551,404 @@ TEST_F(DurabilityTest, SetStorageFileAttachesAndRecoversExistingDirectory) {
   ExpectOk(db.Execute("set storage = file"));
   EXPECT_EQ(Unwrap(db.GetTable("t"))->num_tuples(), 40u);
   EXPECT_EQ(db.durability().recovered_tables, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// WAL torn-tail and bit-flip fuzz: Replay must stop cleanly at the first
+// damaged byte — never crash, never yield a record past the corruption.
+
+// A 4-record log with distinct payload sizes {5, 1, 9, 3}, synced to disk.
+// Layout: header 20 bytes, frame 17 bytes per record => record end offsets
+// 42, 60, 86, 106.
+std::string BuildFuzzLog(const std::string& dir) {
+  const std::string path = dir + "/fuzz-src.wal";
+  std::unique_ptr<storage::Wal> wal = Unwrap(storage::Wal::Open(path));
+  for (const std::string& payload :
+       {std::string(5, 'a'), std::string(1, 'b'), std::string(9, 'c'),
+        std::string(3, 'd')}) {
+    ExpectOk(wal->Append(storage::WalRecordType::kInsert, payload).status());
+  }
+  ExpectOk(wal->Sync());
+  return path;
+}
+
+std::string FuzzCopy(const std::string& src, const std::string& dir) {
+  const std::string victim = dir + "/fuzz-victim.wal";
+  std::filesystem::copy_file(src, victim,
+                             std::filesystem::copy_options::overwrite_existing);
+  return victim;
+}
+
+void FlipByteAt(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.get(b);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(b ^ 0xFF));
+}
+
+/// Replays `wal`, counting records and asserting LSNs stay dense from 1.
+size_t ReplayCount(storage::Wal* wal) {
+  size_t got = 0;
+  uint64_t last_lsn = 0;
+  ExpectOk(wal->Replay(
+      [&](uint64_t lsn, storage::WalRecordType, std::string_view) {
+        ++got;
+        EXPECT_EQ(lsn, last_lsn + 1);
+        last_lsn = lsn;
+        return Status::OK();
+      }));
+  return got;
+}
+
+TEST_F(DurabilityTest, TornTailFuzzTruncateAtEveryByteOffset) {
+  const std::string src = BuildFuzzLog(tmpdir.path);
+  const uintmax_t size = std::filesystem::file_size(src);
+  ASSERT_EQ(size, 106u);  // shape drifted? update kEnds below
+  constexpr uint64_t kEnds[] = {42, 60, 86, 106};
+  for (uintmax_t t = 0; t <= size; ++t) {
+    const std::string victim = FuzzCopy(src, tmpdir.path);
+    std::filesystem::resize_file(victim, t);
+    auto opened = storage::Wal::Open(victim);
+    if (!opened.ok()) {
+      // A file shorter than a header is refused as typed Corruption (it
+      // cannot be a torn header write of THIS log: those are header-sized).
+      EXPECT_LT(t, 20u) << opened.status().ToString();
+      EXPECT_EQ(opened.status().code(), StatusCode::kCorruption)
+          << opened.status().ToString();
+      continue;
+    }
+    size_t want = 0;
+    for (const uint64_t end : kEnds) want += end <= t ? 1 : 0;
+    EXPECT_EQ(ReplayCount(opened->get()), want) << "truncated at " << t;
+  }
+}
+
+TEST_F(DurabilityTest, HeaderBitFlipFuzzRefusesOrReplaysNothing) {
+  const std::string src = BuildFuzzLog(tmpdir.path);
+  for (uint64_t off = 0; off < 20; ++off) {
+    const std::string victim = FuzzCopy(src, tmpdir.path);
+    FlipByteAt(victim, off);
+    auto opened = storage::Wal::Open(victim);
+    if (!opened.ok()) {
+      // Magic/version damage on a log that held records: hard typed error.
+      EXPECT_EQ(opened.status().code(), StatusCode::kCorruption)
+          << "offset " << off << ": " << opened.status().ToString();
+      continue;
+    }
+    // base_lsn damage: every record now fails the dense-LSN check, so the
+    // intact-looking records after it must NOT replay.
+    EXPECT_EQ(ReplayCount(opened->get()), 0u) << "offset " << off;
+  }
+}
+
+TEST_F(DurabilityTest, FrameHeaderBitFlipFuzzStopsAtThePriorRecord) {
+  const std::string src = BuildFuzzLog(tmpdir.path);
+  // Record 2's frame header spans [42, 59): payload_len, crc, lsn, type.
+  // Whichever field is hit, replay must yield exactly record 1 — a flipped
+  // length is caught by bounds or by the CRC over the mis-framed payload.
+  for (uint64_t off = 42; off < 59; ++off) {
+    const std::string victim = FuzzCopy(src, tmpdir.path);
+    FlipByteAt(victim, off);
+    auto opened = storage::Wal::Open(victim);
+    ASSERT_TRUE(opened.ok()) << "offset " << off << ": "
+                             << opened.status().ToString();
+    EXPECT_EQ(ReplayCount(opened->get()), 1u) << "offset " << off;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit parameterization: the committed-prefix contract holds at
+// every sync interval; only the size of the lossable window changes.
+
+class DurabilitySyncTest : public DurabilityTest,
+                           public ::testing::WithParamInterface<size_t> {};
+
+TEST_P(DurabilitySyncTest, CrashKeepsExactlyTheSyncedPrefix) {
+  const size_t interval = GetParam();
+  {
+    std::unique_ptr<Database> db = OpenDb(interval);
+    Load(db.get(), 20);  // 21 ops: create + 20 inserts
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  const uint64_t synced_ops = (21 / interval) * interval;
+  if (synced_ops == 0) {
+    // Not even the create survived: the table must be absent, not partial.
+    EXPECT_FALSE(db->GetTable("t").ok());
+  } else {
+    EXPECT_EQ(db->durability().replayed_records, synced_ops);
+    EXPECT_EQ(Tuples(db.get()), synced_ops - 1);  // minus the create
+  }
+}
+
+TEST_P(DurabilitySyncTest, ExplicitSyncWalCommitsRegardlessOfInterval) {
+  const size_t interval = GetParam();
+  {
+    std::unique_ptr<Database> db = OpenDb(interval);
+    Load(db.get(), 20);
+    ExpectOk(db->SyncWal());   // manual barrier: all 21 ops committed
+    Append(db.get(), 20, 25);  // 5 trailing ops ride the group window
+    ExpectOk(db->CrashForTesting());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_EQ(Tuples(db.get()), 20u + (5 / interval) * interval);
+}
+
+INSTANTIATE_TEST_SUITE_P(SyncIntervals, DurabilitySyncTest,
+                         ::testing::Values(size_t{1}, size_t{4}, size_t{64}));
+
+// ---------------------------------------------------------------------------
+// `show storage` output shape: tools parse these lines; pin the field order
+// so additions are deliberate.
+
+void CheckLinePrefixes(const std::string& shown,
+                       const std::vector<std::string>& prefixes) {
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  while (pos < shown.size()) {
+    const std::string::size_type nl = shown.find('\n', pos);
+    lines.push_back(shown.substr(pos, nl - pos));
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), prefixes.size()) << shown;
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    EXPECT_EQ(lines[i].rfind(prefixes[i], 0), 0u)
+        << "line " << i << " = '" << lines[i] << "', want prefix '"
+        << prefixes[i] << "'";
+  }
+}
+
+TEST_F(DurabilityTest, ShowStorageShapeIsPinned) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 8);
+    const std::string shown = Answer(db.get(), "show storage");
+    CheckLinePrefixes(
+        shown,
+        {"storage",  // header row: the single text column's name
+         "backend: file", "path: " + tmpdir.path, "mode: read-write",
+         "pages: reads=", "wal: size_bytes=",
+         "sync_policy: every 1 mutation(s)", "checkpoint: last_lsn=",
+         "recovery: tables="});
+    // The WAL line carries the log position (next/synced LSN).
+    EXPECT_NE(shown.find("next_lsn="), std::string::npos) << shown;
+    EXPECT_NE(shown.find("synced_lsn="), std::string::npos) << shown;
+  }
+  // Simulated backend: no durable spine, and says so.
+  Database db;
+  CheckLinePrefixes(Unwrap(db.Query("show storage")).ToString(),
+                    {"storage", "backend: sim", "path: (in-memory)",
+                     "mode: read-write", "pages: reads=",
+                     "wal: (none; simulated backend is not durable)"});
+}
+
+// ---------------------------------------------------------------------------
+// Disk-full / EIO degradation: a failed durability barrier flips the
+// instance into sticky read-only mode. Reads keep serving; mutations are
+// refused as typed kUnavailable; a reopen (fresh fds, recovery) resets it.
+
+TEST_F(DurabilityTest, DiskFullOnWalSyncDegradesToStickyReadOnly) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 30);
+    storage::TupleBuffer buf(&Unwrap(db->GetTable("t"))->schema());
+    FillRow(&buf, 30);
+    util::fault::Arm("wal.sync", {.count = 1, .kind = FaultKind::kDiskFull});
+    const Status s = db->Insert("t", buf);
+    EXPECT_EQ(s.code(), StatusCode::kDiskFull) << s.ToString();
+    util::fault::DisarmAll();
+    // Sticky even after the fault clears: a failed fsync may have dropped
+    // dirty kernel state, so the instance never retries it (fsyncgate).
+    ASSERT_TRUE(db->read_only());
+    const Status again = db->Insert("t", buf);
+    EXPECT_EQ(again.code(), StatusCode::kUnavailable) << again.ToString();
+    EXPECT_EQ(db->SyncWal().code(), StatusCode::kUnavailable);
+    // Reads keep serving — including the applied-but-unacknowledged row.
+    EXPECT_EQ(Tuples(db.get()), 31u);
+    ExpectOk(db->Query(kSumQuery).status());
+    EXPECT_NE(Answer(db.get(), "show storage").find("mode: read-only"),
+              std::string::npos);
+    EXPECT_NE(
+        Answer(db.get(), "show metrics").find("smadb_storage_read_only = 1"),
+        std::string::npos);
+    // Close skips the checkpoint (it would need the refused barrier) but
+    // still succeeds: shutting down a degraded instance is not an error.
+    ExpectOk(db->Close());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  // Degradation is per-instance; recovery starts writable again, with the
+  // unacknowledged 31st insert gone (its sync barrier never succeeded).
+  EXPECT_FALSE(db->read_only());
+  EXPECT_EQ(Tuples(db.get()), 30u);
+  EXPECT_NE(Answer(db.get(), "show metrics").find("smadb_storage_read_only = 0"),
+            std::string::npos);
+}
+
+TEST_F(DurabilityTest, DiskFullOnCheckpointDegradesTheFileBackend) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 50);
+    util::fault::Arm("disk.write", {.count = 1,
+                                    .kind = FaultKind::kDiskFull,
+                                    .file_filter = "tbl."});
+    EXPECT_EQ(db->Checkpoint().code(), StatusCode::kDiskFull);
+    util::fault::DisarmAll();
+    ASSERT_TRUE(db->read_only());
+    storage::TupleBuffer buf(&Unwrap(db->GetTable("t"))->schema());
+    FillRow(&buf, 50);
+    EXPECT_EQ(db->Insert("t", buf).code(), StatusCode::kUnavailable);
+    ExpectOk(db->Query(kAggQuery).status());
+    ExpectOk(db->Close());
+  }
+  // The failed checkpoint never truncated the WAL: everything replays.
+  std::unique_ptr<Database> db = OpenDb();
+  EXPECT_FALSE(db->read_only());
+  EXPECT_EQ(Tuples(db.get()), 50u);
+}
+
+TEST_F(DurabilityTest, DiskFullDegradesTheSimulatedBackendToo) {
+  Database db;  // simulated backend: same contract, no WAL involved
+  Unwrap(db.CreateTable("t", testing::SyntheticSchema()));
+  Append(&db, 0, 10);
+  util::fault::Arm("disk.write", {.count = 1, .kind = FaultKind::kDiskFull});
+  EXPECT_EQ(db.Checkpoint().code(), StatusCode::kDiskFull);
+  util::fault::DisarmAll();
+  ASSERT_TRUE(db.read_only());
+  storage::TupleBuffer buf(&Unwrap(db.GetTable("t"))->schema());
+  FillRow(&buf, 10);
+  EXPECT_EQ(db.Insert("t", buf).code(), StatusCode::kUnavailable);
+  ExpectOk(db.Query(kSumQuery).status());
+  EXPECT_NE(Unwrap(db.Query("show storage")).ToString().find("read-only"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Online scrubber: at-rest CRC sweep + SMA verification + repair.
+
+TEST_F(DurabilityTest, CleanScrubReportsZeroFindings) {
+  std::unique_ptr<Database> db = OpenDb();
+  Load(db.get(), 100);
+  ExpectOk(db->Execute("define sma mn select min(d) from t"));
+  ExpectOk(db->Execute("define sma mx select max(d) from t"));
+  ExpectOk(db->Checkpoint());
+  const Database::ScrubReport r = Unwrap(db->Scrub());
+  EXPECT_GT(r.files_scanned, 0u);
+  EXPECT_GT(r.pages_scanned, 0u);
+  EXPECT_EQ(r.corrupt_pages, 0u);
+  EXPECT_TRUE(r.corrupt_files.empty());
+  EXPECT_EQ(r.smas_verified, 2u);
+  EXPECT_EQ(r.smas_distrusted, 0u);
+  EXPECT_EQ(r.smas_repaired, 0u);
+  EXPECT_TRUE(r.notes.empty()) << r.notes.front();
+  EXPECT_NE(Answer(db.get(), "scrub").find("result: clean"),
+            std::string::npos);
+}
+
+TEST_F(DurabilityTest, ScrubDetectsADeliveredBitFlipAndReportsMetrics) {
+  std::unique_ptr<Database> db = OpenDb();
+  Load(db.get(), 100);
+  ExpectOk(db->Checkpoint());
+  // One read of a table page is served with a flipped bit; the scrub's
+  // direct backend read catches the CRC mismatch against the sidecar.
+  util::fault::Arm("disk.page_bitflip", {.count = 1,
+                                         .kind = FaultKind::kBitFlip,
+                                         .file_filter = "tbl."});
+  const Database::ScrubReport r = Unwrap(db->Scrub());
+  util::fault::DisarmAll();
+  EXPECT_EQ(r.corrupt_pages, 1u);
+  ASSERT_EQ(r.corrupt_files.size(), 1u);
+  EXPECT_EQ(r.corrupt_files[0].first, "tbl.t");
+  EXPECT_EQ(r.corrupt_files[0].second, 1u);
+  const std::string metrics = Answer(db.get(), "show metrics");
+  EXPECT_NE(metrics.find("smadb_scrub_runs_total = 1"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("smadb_scrub_corrupt_pages_total = 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("smadb_scrub_corrupt_pages{file=\"tbl.t\"} = 1"),
+            std::string::npos);
+}
+
+TEST_F(DurabilityTest, ScrubRepairsAtRestSmaCorruption) {
+  std::string expected;
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 200);
+    ExpectOk(db->Execute("define sma mn select min(d) from t"));
+    ExpectOk(db->Execute("define sma mx select max(d) from t"));
+    expected = Answer(db.get(), kAggQuery);
+    ExpectOk(db->Close());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  // Rot a stored SMA page while the pool is still cold.
+  bool found = false;
+  FileId sma_file = 0;
+  for (size_t f = 0; f < db->disk()->NumFiles(); ++f) {
+    const FileId id = static_cast<FileId>(f);
+    if (db->disk()->FileName(id).rfind("sma.", 0) == 0 &&
+        Unwrap(db->disk()->NumPages(id)) > 0) {
+      sma_file = id;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  ExpectOk(db->disk()->CorruptPageForTesting(sma_file, 0, 0x3));
+  const Database::ScrubReport r = Unwrap(db->Scrub());
+  EXPECT_GE(r.corrupt_pages, 1u);
+  EXPECT_GE(r.smas_distrusted, 1u);
+  EXPECT_GE(r.smas_repaired, 1u);
+  EXPECT_FALSE(r.repairs_skipped_read_only);
+  // Repair = rebuild from base data; trust is restored in place.
+  for (const sma::Sma* s : Unwrap(db->Smas("t"))->all()) {
+    EXPECT_TRUE(s->trusted()) << s->spec().name;
+    EXPECT_FALSE(s->stale()) << s->spec().name;
+  }
+  // The rebuilt entries are dirty in the pool; checkpoint them to at-rest
+  // state, after which a second scrub must come back clean.
+  ExpectOk(db->Checkpoint());
+  EXPECT_NE(Answer(db.get(), "scrub").find("result: clean"),
+            std::string::npos);
+  EXPECT_EQ(Answer(db.get(), kAggQuery), expected);
+}
+
+TEST_F(DurabilityTest, ScrubInReadOnlyModeReportsButSkipsRepairs) {
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    Load(db.get(), 100);
+    ExpectOk(db->Execute("define sma mn select min(d) from t"));
+    ExpectOk(db->Close());
+  }
+  std::unique_ptr<Database> db = OpenDb();
+  bool found = false;
+  FileId sma_file = 0;
+  for (size_t f = 0; f < db->disk()->NumFiles(); ++f) {
+    const FileId id = static_cast<FileId>(f);
+    if (db->disk()->FileName(id).rfind("sma.", 0) == 0 &&
+        Unwrap(db->disk()->NumPages(id)) > 0) {
+      sma_file = id;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  ExpectOk(db->disk()->CorruptPageForTesting(sma_file, 0, 0x3));
+  // Degrade first: a read-only instance must still scrub (detection is a
+  // read path) but must not attempt repairs (Rebuild mutates).
+  util::fault::Arm("wal.sync", {.count = 1, .kind = FaultKind::kDiskFull});
+  EXPECT_EQ(db->SyncWal().code(), StatusCode::kDiskFull);
+  util::fault::DisarmAll();
+  ASSERT_TRUE(db->read_only());
+  const Database::ScrubReport r = Unwrap(db->Scrub());
+  EXPECT_GE(r.corrupt_pages, 1u);
+  EXPECT_GE(r.smas_distrusted, 1u);
+  EXPECT_EQ(r.smas_repaired, 0u);
+  EXPECT_TRUE(r.repairs_skipped_read_only);
+  EXPECT_NE(Answer(db.get(), "scrub").find("repairs skipped: read-only"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,498 @@
+// Recovery oracle + torture-case driver shared by tests/torture_test.cc and
+// bench/bench_x12_torture.cc (gtest-free on purpose: failures come back as
+// strings in TortureResult.error).
+//
+// One torture case = arm one durable-path failpoint with a kCrash fault on
+// its k-th hit, run a fixed scripted workload (create / define SMAs / insert
+// / checkpoint / update / delete / query) against a file-backed database
+// until the simulated power loss fires, kill the instance, reopen the
+// directory, and check the *recovery oracle*:
+//
+//   the recovered state equals the shadow model at exactly L = the WAL's
+//   flushed LSN at the crash. In-process crashes drop staged WAL bytes and
+//   dirty pages but keep flushed file bytes (pwrites are atomic here), so
+//   "flushed prefix" is the precise survival boundary — it includes every
+//   synced commit (synced <= flushed is asserted) and excludes every
+//   unflushed suffix.
+//
+// The oracle also re-derives the Q1/Q3 answers from the shadow state through
+// a scratch in-memory database and compares them (sorted row text, since
+// group-by output order is not canonical), checks SMA presence against the
+// defines' LSNs, and finally pays off the recovery debt with Rebuild() and
+// re-checks answers with restored trust.
+
+#ifndef SMADB_TESTS_RECOVERY_ORACLE_H_
+#define SMADB_TESTS_RECOVERY_ORACLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "sma/maintenance.h"
+#include "util/fault.h"
+#include "util/stopwatch.h"
+
+namespace smadb::testing {
+
+/// Every durable-path failpoint the torture sweep covers. wal.append and
+/// wal.sync hit on every committed mutation; disk.write / disk.sync /
+/// manifest.write / manifest.rename / wal.reset.* hit inside Checkpoint.
+inline const std::vector<std::string>& TortureFailpoints() {
+  static const std::vector<std::string> kPoints = {
+      "wal.append",     "wal.sync",        "wal.reset.truncate",
+      "wal.reset.header", "disk.write",    "disk.sync",
+      "manifest.write", "manifest.rename",
+  };
+  return kPoints;
+}
+
+struct TortureResult {
+  std::string failpoint;
+  int k = 0;                 ///< the hit index the crash was armed on
+  bool crashed = false;      ///< false = the failpoint never reached hit k
+  int step_reached = -1;     ///< workload step index at the crash (-1 = end)
+  uint64_t flushed_lsn = 0;  ///< survival boundary L at the crash
+  uint64_t synced_lsn = 0;
+  uint64_t replayed = 0;     ///< records the reopen replayed
+  double recover_ms = 0.0;   ///< wall time of the reopen (Open + Recover)
+  std::string error;         ///< empty = every oracle invariant held
+};
+
+namespace oracle_internal {
+
+// --- shadow model ----------------------------------------------------------
+
+/// The synthetic row of tests/durability_test.cc: k=i, d=i/8 days, v=3i
+/// cents, grp cycles A..C, tag "MAIL".
+inline void FillRow(storage::TupleBuffer* buf, int64_t i) {
+  buf->SetInt64(0, i);
+  buf->SetDate(1, util::Date(static_cast<int32_t>(i / 8)));
+  buf->SetDecimal(2, util::Decimal(i * 3));
+  const char grp = static_cast<char>('A' + (i % 3));
+  buf->SetString(3, std::string_view(&grp, 1));
+  buf->SetString(4, "MAIL");
+}
+
+inline storage::Schema OracleSchema() {
+  return storage::Schema({
+      storage::Field::Int64("k"),
+      storage::Field::Date("d"),
+      storage::Field::Decimal("v"),
+      storage::Field::String("grp", 1),
+      storage::Field::String("tag", 4),
+  });
+}
+
+constexpr char kQ1[] =
+    "select grp, sum(v), count(*) from t where d <= '1970-01-31' group by grp";
+constexpr char kQ3[] = "select sum(k), count(*) from t";
+
+/// One logged mutation, keyed by the LSN it consumed.
+struct ShadowOp {
+  enum Kind { kCreate, kDefine, kInsert, kUpdate, kDelete };
+  uint64_t lsn = 0;
+  Kind kind = kCreate;
+  int64_t row = 0;    ///< insert order index (kInsert/kUpdate/kDelete)
+  int64_t value = 0;  ///< new k value (kUpdate)
+  std::string name;   ///< SMA name (kDefine)
+
+  static ShadowOp Create() { return Make(kCreate, 0, 0, ""); }
+  static ShadowOp Define(std::string n) {
+    return Make(kDefine, 0, 0, std::move(n));
+  }
+  static ShadowOp Insert(int64_t row) { return Make(kInsert, row, 0, ""); }
+  static ShadowOp Update(int64_t row, int64_t value) {
+    return Make(kUpdate, row, value, "");
+  }
+  static ShadowOp Delete(int64_t row) { return Make(kDelete, row, 0, ""); }
+
+ private:
+  static ShadowOp Make(Kind kind, int64_t row, int64_t value,
+                       std::string name) {
+    ShadowOp op;
+    op.kind = kind;
+    op.row = row;
+    op.value = value;
+    op.name = std::move(name);
+    return op;
+  }
+};
+
+/// The state the shadow predicts at WAL horizon L: table presence, per-row
+/// liveness and final k value (rows indexed by insert order), SMA names.
+struct ShadowState {
+  bool table = false;
+  struct Row {
+    int64_t origin = 0;  ///< the i FillRow was called with
+    int64_t k = 0;       ///< possibly rewritten by an update
+    bool live = true;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> smas;
+
+  uint64_t live_rows() const {
+    uint64_t n = 0;
+    for (const Row& r : rows) n += r.live ? 1 : 0;
+    return n;
+  }
+};
+
+class Shadow {
+ public:
+  void Record(ShadowOp op) { ops_.push_back(std::move(op)); }
+
+  ShadowState At(uint64_t horizon) const {
+    ShadowState s;
+    for (const ShadowOp& op : ops_) {
+      if (op.lsn > horizon) continue;  // did not survive the crash
+      switch (op.kind) {
+        case ShadowOp::kCreate:
+          s.table = true;
+          break;
+        case ShadowOp::kDefine:
+          s.smas.push_back(op.name);
+          break;
+        case ShadowOp::kInsert:
+          s.rows.push_back({op.row, op.row, true});
+          break;
+        case ShadowOp::kUpdate:
+          s.rows[static_cast<size_t>(op.row)].k = op.value;
+          break;
+        case ShadowOp::kDelete:
+          s.rows[static_cast<size_t>(op.row)].live = false;
+          break;
+      }
+    }
+    return s;
+  }
+
+  uint64_t max_lsn() const { return ops_.empty() ? 0 : ops_.back().lsn; }
+
+ private:
+  std::vector<ShadowOp> ops_;
+};
+
+// --- answer comparison -----------------------------------------------------
+
+/// Rows of a query result as sorted text (group-by output order is a hash
+/// artifact, never part of the contract).
+inline std::string SortedAnswer(db::Database* db, const std::string& sql,
+                                std::string* error) {
+  util::Result<plan::QueryResult> r = db->Query(sql);
+  if (!r.ok()) {
+    *error += "query '" + sql + "' failed: " + r.status().ToString() + "; ";
+    return "";
+  }
+  std::vector<std::string> lines;
+  std::istringstream in(r->ToString());
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) out += l + "\n";
+  return out;
+}
+
+/// The oracle's own recomputation: replays the shadow state into a scratch
+/// in-memory database (live rows only, final k values) and answers the same
+/// queries through the identical engine path.
+inline std::string ExpectedAnswer(const ShadowState& state,
+                                  const std::string& sql,
+                                  std::string* error) {
+  db::Database scratch;  // simulated backend, no WAL
+  util::Result<storage::Table*> t = scratch.CreateTable("t", OracleSchema());
+  if (!t.ok()) {
+    *error += "scratch create failed: " + t.status().ToString() + "; ";
+    return "";
+  }
+  storage::TupleBuffer buf(&(*t)->schema());
+  for (const ShadowState::Row& row : state.rows) {
+    if (!row.live) continue;
+    FillRow(&buf, row.origin);
+    buf.SetInt64(0, row.k);
+    if (util::Status st = scratch.Insert("t", buf); !st.ok()) {
+      *error += "scratch insert failed: " + st.ToString() + "; ";
+      return "";
+    }
+  }
+  return SortedAnswer(&scratch, sql, error);
+}
+
+// --- the oracle ------------------------------------------------------------
+
+/// Asserts the recovered database equals the shadow state at `horizon`.
+/// Violations append to result->error.
+inline void CheckRecovered(db::Database* db, const Shadow& shadow,
+                           uint64_t horizon, TortureResult* result) {
+  std::string& err = result->error;
+  const ShadowState want = shadow.At(horizon);
+  util::Result<storage::Table*> table = db->GetTable("t");
+  if (!want.table) {
+    if (table.ok()) err += "table survived although its create was lost; ";
+    return;
+  }
+  if (!table.ok()) {
+    err += "committed create lost: " + table.status().ToString() + "; ";
+    return;
+  }
+  if ((*table)->num_tuples() != want.rows.size()) {
+    err += "tuples: recovered " + std::to_string((*table)->num_tuples()) +
+           " want " + std::to_string(want.rows.size()) + "; ";
+  }
+  if ((*table)->num_live_tuples() != want.live_rows()) {
+    err += "live tuples: recovered " +
+           std::to_string((*table)->num_live_tuples()) + " want " +
+           std::to_string(want.live_rows()) + "; ";
+  }
+  // SMA presence tracks the defines' LSNs; trust may be stale (replay redoes
+  // base data only) — staleness is legal, wrong answers are not.
+  util::Result<sma::SmaSet*> smas = db->Smas("t");
+  if (!smas.ok()) {
+    err += "SmaSet: " + smas.status().ToString() + "; ";
+    return;
+  }
+  for (const std::string& name : want.smas) {
+    if (!(*smas)->Find(name).ok()) {
+      err += "committed SMA '" + name + "' lost; ";
+    }
+  }
+  if ((*smas)->all().size() != want.smas.size()) {
+    err += "SMA count: recovered " + std::to_string((*smas)->all().size()) +
+           " want " + std::to_string(want.smas.size()) + "; ";
+  }
+  for (const std::string& sql : {std::string(kQ1), std::string(kQ3)}) {
+    const std::string got = SortedAnswer(db, sql, &err);
+    const std::string expect = ExpectedAnswer(want, sql, &err);
+    if (got != expect) {
+      err += "answer mismatch for '" + sql + "': got [" + got + "] want [" +
+             expect + "]; ";
+    }
+  }
+  // Pay off the recovery debt: Rebuild restores full trust and must not
+  // change any answer.
+  if (!want.smas.empty()) {
+    util::Result<sma::SmaMaintainer*> maint = db->Maintainer("t");
+    if (!maint.ok()) {
+      err += "maintainer: " + maint.status().ToString() + "; ";
+      return;
+    }
+    if (util::Status st = (*maint)->Rebuild(); !st.ok()) {
+      err += "rebuild: " + st.ToString() + "; ";
+      return;
+    }
+    for (const sma::Sma* s : (*smas)->all()) {
+      if (!s->trusted() || s->stale()) {
+        err += "SMA '" + s->spec().name + "' untrusted after Rebuild; ";
+      }
+    }
+    for (const std::string& sql : {std::string(kQ1), std::string(kQ3)}) {
+      if (SortedAnswer(db, sql, &err) != ExpectedAnswer(want, sql, &err)) {
+        err += "answer mismatch after Rebuild for '" + sql + "'; ";
+      }
+    }
+  }
+}
+
+// --- workload driver -------------------------------------------------------
+
+/// Runs one scripted mutation, recording it in the shadow iff it consumed a
+/// WAL LSN and succeeded. Returns false when the scripted run must stop (the
+/// crash fired).
+template <typename Op>
+bool Step(db::Database* db, Shadow* shadow, ShadowOp op, int* step,
+          TortureResult* result, Op&& body) {
+  ++*step;
+  const uint64_t lsn = db->wal()->next_lsn();
+  const util::Status st = body();
+  if (util::fault::CrashFired()) {
+    result->crashed = true;
+    result->step_reached = *step;
+    return false;
+  }
+  if (st.ok()) {
+    if (db->wal()->next_lsn() == lsn + 1) {
+      op.lsn = lsn;
+      shadow->Record(std::move(op));
+    }
+  } else {
+    // Without a crash the torture workload expects every op to succeed.
+    result->error += "step " + std::to_string(*step) +
+                     " failed without a crash: " + st.ToString() + "; ";
+  }
+  return result->error.empty();
+}
+
+}  // namespace oracle_internal
+
+/// Runs one torture case in `dir` (a fresh directory per case): arm
+/// `failpoint` to crash on hit `k`, run the scripted workload, kill, reopen,
+/// check the oracle. Deterministic: same (dir contents, failpoint, k,
+/// wal_sync_interval) always yields the same TortureResult fields.
+inline TortureResult RunTortureCase(const std::string& dir,
+                                    const std::string& failpoint, int k,
+                                    size_t wal_sync_interval = 1) {
+  namespace oi = oracle_internal;
+  using oi::ShadowOp;
+
+  TortureResult result;
+  result.failpoint = failpoint;
+  result.k = k;
+
+  util::fault::DisarmAll();
+  util::fault::Seed(0xD15EA5E);  // p == 1.0 throughout; fixed for hygiene
+
+  db::DatabaseOptions options;
+  options.storage_backend = storage::BackendKind::kFile;
+  options.storage_path = dir;
+  options.wal_sync_interval = wal_sync_interval;
+  // A big pool keeps eviction write-back out of the picture: "disk.write"
+  // then fires only inside Checkpoint's FlushAll, which the scripted
+  // checkpoints reach deterministically.
+  options.pool_pages = 2048;
+
+  oi::Shadow shadow;
+  {
+    util::Result<std::unique_ptr<db::Database>> opened =
+        db::Database::Open(options);
+    if (!opened.ok()) {
+      result.error = "initial open failed: " + opened.status().ToString();
+      util::fault::DisarmAll();
+      return result;
+    }
+    db::Database* db = opened->get();
+    util::fault::Arm(failpoint, {.count = 1,
+                                 .kind = util::FaultKind::kCrash,
+                                 .skip = k - 1});
+
+    int step = -1;
+    std::vector<storage::Rid> rids;
+    const auto insert = [&](int64_t i) {
+      return oi::Step(db, &shadow, ShadowOp::Insert(i), &step, &result, [&] {
+                        storage::TupleBuffer row(
+                            &(*db->GetTable("t"))->schema());
+                        oi::FillRow(&row, i);
+                        storage::Rid rid{};
+                        const util::Status st = db->Insert("t", row, &rid);
+                        if (st.ok()) rids.push_back(rid);
+                        return st;
+                      });
+    };
+    const auto checkpoint = [&] {
+      // Checkpoint consumes no LSN; only the crash outcome matters.
+      ++step;
+      const util::Status st = db->Checkpoint();
+      if (util::fault::CrashFired()) {
+        result.crashed = true;
+        result.step_reached = step;
+        return false;
+      }
+      if (!st.ok()) {
+        result.error += "checkpoint failed without a crash: " + st.ToString() +
+                        "; ";
+      }
+      return result.error.empty();
+    };
+    const auto queries = [&] {
+      // Mid-run reads must keep serving whatever happens later.
+      ++step;
+      std::string err;
+      oi::SortedAnswer(db, oi::kQ1, &err);
+      oi::SortedAnswer(db, oi::kQ3, &err);
+      if (!err.empty()) result.error += "mid-run " + err;
+      return result.error.empty();
+    };
+
+    const bool completed = [&] {
+      if (!oi::Step(db, &shadow, ShadowOp::Create(), &step, &result, [&] {
+            return db->CreateTable("t", oi::OracleSchema()).status();
+          })) {
+        return false;
+      }
+      if (!oi::Step(db, &shadow, ShadowOp::Define("mn"), &step, &result, [&] {
+            return db->Execute("define sma mn select min(d) from t");
+          })) {
+        return false;
+      }
+      if (!oi::Step(db, &shadow, ShadowOp::Define("mx"), &step, &result, [&] {
+            return db->Execute("define sma mx select max(d) from t");
+          })) {
+        return false;
+      }
+      for (int64_t i = 0; i < 40; ++i) {
+        if (!insert(i)) return false;
+      }
+      if (!checkpoint()) return false;
+      for (int64_t i = 40; i < 60; ++i) {
+        if (!insert(i)) return false;
+      }
+      if (!oi::Step(db, &shadow, ShadowOp::Update(5, 424242), &step, &result,
+                    [&] {
+                      return db->Update("t", rids[5], 0,
+                                        util::Value::Int64(424242));
+                    })) {
+        return false;
+      }
+      if (!oi::Step(db, &shadow, ShadowOp::Delete(7), &step, &result,
+                    [&] { return db->Delete("t", rids[7]); })) {
+        return false;
+      }
+      if (!queries()) return false;
+      if (!checkpoint()) return false;
+      for (int64_t i = 60; i < 70; ++i) {
+        if (!insert(i)) return false;
+      }
+      return queries();
+    }();
+    if (!result.error.empty()) {
+      util::fault::DisarmAll();
+      return result;
+    }
+
+    if (completed) {
+      // The failpoint never reached hit k. A clean close must preserve
+      // everything; the oracle then runs at the full horizon.
+      util::fault::DisarmAll();
+      if (util::Status st = db->Close(); !st.ok()) {
+        result.error = "clean close failed: " + st.ToString();
+        return result;
+      }
+      result.flushed_lsn = shadow.max_lsn();
+      result.synced_lsn = shadow.max_lsn();
+    } else {
+      // Kill -9: staged WAL bytes and dirty pages vanish; flushed file
+      // bytes survive. flushed_lsn is the exact survival boundary.
+      if (util::Status st = db->CrashForTesting(); !st.ok()) {
+        result.error = "crash teardown failed: " + st.ToString();
+        util::fault::DisarmAll();
+        return result;
+      }
+      result.flushed_lsn = db->wal()->flushed_lsn();
+      result.synced_lsn = db->wal()->synced_lsn();
+      if (result.synced_lsn > result.flushed_lsn) {
+        result.error += "synced_lsn > flushed_lsn; ";
+      }
+      util::fault::DisarmAll();  // also clears the sticky crashed state
+    }
+  }
+
+  util::Stopwatch recover_watch;
+  util::Result<std::unique_ptr<db::Database>> reopened =
+      db::Database::Open(options);
+  result.recover_ms = recover_watch.ElapsedSeconds() * 1e3;
+  if (!reopened.ok()) {
+    result.error +=
+        "reopen after crash failed: " + reopened.status().ToString() + "; ";
+    return result;
+  }
+  result.replayed = (*reopened)->durability().replayed_records;
+  oracle_internal::CheckRecovered(reopened->get(), shadow, result.flushed_lsn,
+                                  &result);
+  return result;
+}
+
+}  // namespace smadb::testing
+
+#endif  // SMADB_TESTS_RECOVERY_ORACLE_H_
