@@ -1,0 +1,232 @@
+// Experiment X13 — read latency under concurrent appends (extension, not
+// in the paper; DESIGN.md §14):
+//
+//   1. Quiet baseline: p50/p99 latency of a fixed SMA-graded range query
+//      over the seeded region, single reader, no writers.
+//   2. Concurrent: the same query from R reader sessions while A appender
+//      sessions stream inserts through the group-commit window. The
+//      predicate never covers the appended rows, so the answer is constant
+//      — what moves is only the latency, and the headline number is how
+//      far the streaming writers push the read p99. Bucket-granular
+//      latching plus snapshot reads should keep the two distributions
+//      close; a global writer lock on the read path would not.
+//   3. Latch economics: shared/exclusive acquire and contention counters
+//      from the bucket-latch table, and the append throughput sustained
+//      while the readers hammered — the governor's view of the same run.
+//
+// Emits BENCH_x13_concurrency.json. All state lives in mkdtemp directories
+// under /tmp, removed before exit.
+
+#include <stdlib.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "db/database.h"
+#include "db/session.h"
+#include "storage/latch.h"
+#include "util/stopwatch.h"
+
+using namespace smadb;  // NOLINT
+using bench::Check;
+
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/smadb_bench_XXXXXX";
+  const char* d = ::mkdtemp(tmpl);
+  if (d == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return d;
+}
+
+storage::Schema BenchSchema() {
+  return storage::Schema({
+      storage::Field::Int64("k"),
+      storage::Field::Date("d"),
+      storage::Field::Decimal("v"),
+      storage::Field::String("grp", 1),
+      storage::Field::String("tag", 4),
+  });
+}
+
+void FillRow(storage::TupleBuffer* buf, int64_t i, int32_t day) {
+  buf->SetInt64(0, i);
+  buf->SetDate(1, util::Date(day));
+  buf->SetDecimal(2, util::Decimal(i * 3));
+  const char grp = static_cast<char>('A' + (i % 3));
+  buf->SetString(3, std::string_view(&grp, 1));
+  buf->SetString(4, "MAIL");
+}
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  const size_t idx = static_cast<size_t>(p * (v->size() - 1) + 0.5);
+  return (*v)[std::min(idx, v->size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter report(argv[0]);
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int64_t n_seed = smoke ? 4000 : 40000;
+  const int64_t n_append_per_writer = smoke ? 3000 : 30000;
+  const int n_readers = smoke ? 2 : 4;
+  const int n_appenders = smoke ? 1 : 2;
+  const int quiet_queries = smoke ? 150 : 1000;
+
+  bench::PrintHeader(util::Format("X13: reads under concurrent appends%s",
+                                  smoke ? " (smoke)" : ""));
+
+  const std::string dir = MakeTempDir();
+  std::unique_ptr<db::Database> db = [&] {
+    db::DatabaseOptions options;
+    options.storage_backend = storage::BackendKind::kFile;
+    options.storage_path = dir;
+    options.wal_sync_interval = 8;  // group commit: the realistic setting
+    options.enable_metrics = false;
+    return Check(db::Database::Open(std::move(options)));
+  }();
+  storage::Table* table = Check(db->CreateTable("t", BenchSchema()));
+  {
+    storage::TupleBuffer buf(&table->schema());
+    for (int64_t i = 0; i < n_seed; ++i) {
+      FillRow(&buf, i, static_cast<int32_t>(i / 8));
+      Check(db->Insert("t", buf));
+    }
+  }
+  Check(db->Execute("define sma mn select min(d) from t"));
+  Check(db->Execute("define sma mx select max(d) from t"));
+  Check(db->SyncWal());
+
+  // The probe: an SMA-graded range over the seeded region only (appenders
+  // write day >= 100000), so its answer is invariant for the whole run.
+  const std::string probe =
+      "select sum(k), count(*) from t where d <= '2100-01-01'";
+  const int64_t want_count =
+      Check(db->Query(probe)).rows[0].AsRef().GetInt64(1);
+  if (want_count != n_seed) {
+    std::fprintf(stderr, "probe does not cover the seed (%lld != %lld)\n",
+                 static_cast<long long>(want_count),
+                 static_cast<long long>(n_seed));
+    return 1;
+  }
+
+  // ---- 1. quiet baseline --------------------------------------------------
+  std::vector<double> quiet_ms;
+  {
+    std::unique_ptr<db::Session> s = db->CreateSession();
+    for (int i = 0; i < quiet_queries; ++i) {
+      util::Stopwatch watch;
+      Check(s->Query(probe));
+      quiet_ms.push_back(watch.ElapsedSeconds() * 1e3);
+    }
+  }
+  const double quiet_p50 = Percentile(&quiet_ms, 0.50);
+  const double quiet_p99 = Percentile(&quiet_ms, 0.99);
+  std::printf("quiet:      %4zu reads   p50 %.3f ms   p99 %.3f ms\n",
+              quiet_ms.size(), quiet_p50, quiet_p99);
+
+  // ---- 2. reads while appends stream --------------------------------------
+  const storage::LatchStats latch_before = table->latches()->stats();
+  std::atomic<int> writers_running{n_appenders};
+  std::atomic<bool> read_failed{false};
+  std::vector<std::vector<double>> per_reader(n_readers);
+  double append_seconds = 0.0;
+
+  {
+    util::Stopwatch append_watch;
+    std::vector<std::thread> threads;
+    for (int a = 0; a < n_appenders; ++a) {
+      threads.emplace_back([&, a] {
+        std::unique_ptr<db::Session> s = db->CreateSession();
+        storage::TupleBuffer buf(&table->schema());
+        for (int64_t i = 0; i < n_append_per_writer; ++i) {
+          FillRow(&buf, n_seed + a * n_append_per_writer + i,
+                  static_cast<int32_t>(100000 + i / 8));
+          Check(s->Insert("t", buf));
+        }
+        writers_running.fetch_sub(1);
+      });
+    }
+    for (int r = 0; r < n_readers; ++r) {
+      threads.emplace_back([&, r] {
+        std::unique_ptr<db::Session> s = db->CreateSession();
+        while (writers_running.load(std::memory_order_acquire) > 0) {
+          util::Stopwatch watch;
+          auto res = s->Query(probe);
+          per_reader[r].push_back(watch.ElapsedSeconds() * 1e3);
+          if (!res.ok() ||
+              res->rows[0].AsRef().GetInt64(1) != want_count) {
+            read_failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (int a = 0; a < n_appenders; ++a) {
+      threads[a].join();
+      if (append_seconds == 0.0) {
+        append_seconds = append_watch.ElapsedSeconds();
+      }
+    }
+    for (size_t i = n_appenders; i < threads.size(); ++i) threads[i].join();
+  }
+  if (read_failed.load()) {
+    std::fprintf(stderr, "a concurrent read failed or drifted\n");
+    return 1;
+  }
+
+  std::vector<double> busy_ms;
+  for (auto& v : per_reader) {
+    busy_ms.insert(busy_ms.end(), v.begin(), v.end());
+  }
+  const double busy_p50 = Percentile(&busy_ms, 0.50);
+  const double busy_p99 = Percentile(&busy_ms, 0.99);
+  const int64_t appended =
+      static_cast<int64_t>(n_appenders) * n_append_per_writer;
+  const storage::LatchStats latch_after = table->latches()->stats();
+  std::printf("concurrent: %4zu reads   p50 %.3f ms   p99 %.3f ms\n",
+              busy_ms.size(), busy_p50, busy_p99);
+  std::printf("appends:    %lld rows in %.3f s  (%.0f rows/s)\n",
+              static_cast<long long>(appended), append_seconds,
+              appended / append_seconds);
+  std::printf("latches:    %llu shared, %llu exclusive, %llu contended\n",
+              static_cast<unsigned long long>(latch_after.shared_acquires -
+                                              latch_before.shared_acquires),
+              static_cast<unsigned long long>(
+                  latch_after.exclusive_acquires -
+                  latch_before.exclusive_acquires),
+              static_cast<unsigned long long>(latch_after.contended -
+                                              latch_before.contended));
+
+  report.Add("seed_rows", static_cast<double>(n_seed));
+  report.Add("readers", static_cast<double>(n_readers));
+  report.Add("appenders", static_cast<double>(n_appenders));
+  report.Add("read_quiet_p50_ms", quiet_p50);
+  report.Add("read_quiet_p99_ms", quiet_p99);
+  report.Add("read_concurrent_p50_ms", busy_p50);
+  report.Add("read_concurrent_p99_ms", busy_p99);
+  report.Add("concurrent_reads", static_cast<double>(busy_ms.size()));
+  report.Add("append_rows_per_s", appended / append_seconds);
+  report.Add("latch_contended",
+             static_cast<double>(latch_after.contended -
+                                 latch_before.contended));
+
+  Check(db->Close());
+  db.reset();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The client half of the smadb_server example: a line-oriented shell that
+// speaks the server's text protocol. Run several of these at once — each
+// gets its own server-side Session, so `set dop = 1` in one window never
+// touches the others while `set max_concurrent_queries = 2` governs all.
+//
+//   $ smadb_cli [port]
+//   smadb> select region, sum(amount), count(*) from sales group by region
+//   ...result table...
+//   smadb> set timeout_ms = 50
+//   OK
+//
+// Usage: smadb_cli [port]   (default 7878, connects to 127.0.0.1)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+bool SendLine(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Prints response lines until the `OK` / `ERR ...` terminator.
+bool DrainResponse(int fd, std::string* buf) {
+  char chunk[4096];
+  for (;;) {
+    size_t nl;
+    while ((nl = buf->find('\n')) != std::string::npos) {
+      const std::string line = buf->substr(0, nl);
+      buf->erase(0, nl + 1);
+      std::printf("%s\n", line.c_str());
+      if (line == "OK" || line.rfind("ERR ", 0) == 0) return true;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;  // server hung up
+    buf->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = argc > 1 ? std::atoi(argv[1]) : 7878;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "cannot reach smadb_server on 127.0.0.1:%d -- "
+                         "is it running?\n", port);
+    return 1;
+  }
+
+  std::string recv_buf;
+  char line[4096];
+  for (;;) {
+    std::printf("smadb> ");
+    std::fflush(stdout);
+    if (std::fgets(line, sizeof(line), stdin) == nullptr) break;
+    std::string stmt(line);
+    while (!stmt.empty() &&
+           (stmt.back() == '\n' || stmt.back() == '\r' ||
+            stmt.back() == ' ')) {
+      stmt.pop_back();
+    }
+    if (stmt.empty()) continue;
+    if (!SendLine(fd, stmt)) break;
+    if (stmt == "quit") break;
+    if (!DrainResponse(fd, &recv_buf)) {
+      std::fprintf(stderr, "server closed the connection\n");
+      break;
+    }
+  }
+  ::close(fd);
+  return 0;
+}

@@ -1,0 +1,169 @@
+// A minimal multi-session database server over the Session API
+// (DESIGN.md §14): one shared Database, one Session per TCP connection,
+// each connection served by its own thread. This is the smallest program
+// that exercises what the session layer promises — N independent clients
+// with private knobs, concurrent queries over one engine.
+//
+// Protocol (newline-delimited text, one statement per line):
+//   - lines starting with `select` or `explain` run as queries; the result
+//     table is written back line by line;
+//   - every other line (define sma ..., set ..., scrub, show storage) runs
+//     as a statement;
+//   - each request ends with a line `OK` or `ERR <message>`;
+//   - `quit` (or EOF) closes the connection.
+//
+// `set dop = 2` and friends scope to the issuing connection's session;
+// `set max_concurrent_queries = N` and other global knobs change the
+// shared engine — try it from two `smadb_cli` windows at once.
+//
+// Usage: smadb_server [port]   (default 7878, listens on 127.0.0.1)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "db/database.h"
+#include "db/session.h"
+#include "util/rng.h"
+
+using namespace smadb;  // NOLINT: example brevity
+
+namespace {
+
+void Check(const util::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(util::Result<T> r) {
+  Check(r.status());
+  return std::move(r).value();
+}
+
+/// The demo dataset: the quickstart's sales table, so a fresh client has
+/// something to query (and SMAs to define) immediately.
+void SeedSales(db::Database* db) {
+  storage::Schema schema({
+      storage::Field::Int64("id"),
+      storage::Field::Date("saledate"),
+      storage::Field::Decimal("amount"),
+      storage::Field::String("region", 8),
+  });
+  storage::Table* sales = Check(db->CreateTable("sales", schema));
+  util::Rng rng(1);
+  static const char* kRegions[] = {"NORTH", "SOUTH", "EAST", "WEST"};
+  storage::TupleBuffer row(&sales->schema());
+  for (int64_t i = 0; i < 50'000; ++i) {
+    row.SetInt64(0, i);
+    row.SetDate(1, util::Date::FromYmd(1996, 1, 1)
+                       .AddDays(static_cast<int32_t>(i / 150)));
+    row.SetDecimal(2, util::Decimal(rng.Uniform(100, 500000)));
+    row.SetString(3, kRegions[rng.Uniform(0, 3)]);
+    Check(db->Insert("sales", row));
+  }
+  Check(db->Execute("define sma mindate select min(saledate) from sales"));
+  Check(db->Execute("define sma maxdate select max(saledate) from sales"));
+}
+
+void SendLine(int fd, const std::string& line) {
+  std::string out = line + "\n";
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, 0);
+    if (n <= 0) return;  // client went away; the read side will notice
+    off += static_cast<size_t>(n);
+  }
+}
+
+bool IsQuery(const std::string& line) {
+  return line.rfind("select", 0) == 0 || line.rfind("explain", 0) == 0;
+}
+
+/// One connection: a private Session for its whole lifetime, so per-client
+/// `set` statements stick across requests.
+void Serve(db::Database* db, int fd) {
+  std::unique_ptr<db::Session> session = db->CreateSession();
+  std::fprintf(stderr, "[session %llu] connected (%zu active)\n",
+               static_cast<unsigned long long>(session->id()),
+               db->sessions_active());
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const size_t nl = buf.find('\n');
+    if (nl == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // EOF or error: hang up
+      buf.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line == "quit") break;
+
+    if (IsQuery(line)) {
+      auto result = session->Query(line);
+      if (result.ok()) {
+        SendLine(fd, result->ToString());
+        SendLine(fd, "OK");
+      } else {
+        SendLine(fd, "ERR " + result.status().ToString());
+      }
+    } else {
+      const util::Status st = session->Execute(line);
+      SendLine(fd, st.ok() ? "OK" : "ERR " + st.ToString());
+    }
+  }
+  std::fprintf(stderr, "[session %llu] closed\n",
+               static_cast<unsigned long long>(session->id()));
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = argc > 1 ? std::atoi(argv[1]) : 7878;
+
+  db::Database database;
+  SeedSales(&database);
+
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 16) < 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  std::printf("smadb_server: 50000 sales rows ready on 127.0.0.1:%d\n",
+              port);
+  std::printf("connect with: smadb_cli %d\n", port);
+
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::thread(Serve, &database, fd).detach();
+  }
+}

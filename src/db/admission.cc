@@ -10,27 +10,49 @@ using util::Result;
 using util::Status;
 
 void AdmissionController::Slot::Release() {
-  if (c_ != nullptr) c_->ReleaseSlot();
+  if (c_ != nullptr) c_->ReleaseSlot(session_id_);
   c_ = nullptr;
 }
 
-void AdmissionController::ReleaseSlot() {
+void AdmissionController::ReleaseSlot(uint64_t session_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (running_ > 0) --running_;
+    if (session_id != 0) {
+      auto it = session_slots_.find(session_id);
+      if (it != session_slots_.end() && --it->second == 0) {
+        session_slots_.erase(it);
+        if (running_ > 0) --running_;
+      }
+    } else if (running_ > 0) {
+      --running_;
+    }
   }
   cv_.notify_all();  // FIFO head re-checks its turn
 }
 
-Result<AdmissionController::Slot> AdmissionController::Admit() {
+Result<AdmissionController::Slot> AdmissionController::Admit(
+    uint64_t session_id) {
   std::unique_lock<std::mutex> lock(mu_);
   if (options_.max_concurrent == 0) return Slot();  // admission off: inert
+
+  // Re-entrant grant: a session already occupying a running_ unit admits
+  // its next query immediately — it cannot queue behind (and deadlock on)
+  // its own held slot, and it cannot be starved by the FIFO it is ahead of.
+  if (session_id != 0) {
+    auto it = session_slots_.find(session_id);
+    if (it != session_slots_.end()) {
+      ++it->second;
+      ++admitted_;
+      return Slot(this, session_id);
+    }
+  }
 
   // Fast path: free slot and nobody queued ahead of us.
   if (running_ < options_.max_concurrent && queue_.empty()) {
     ++running_;
     ++admitted_;
-    return Slot(this);
+    if (session_id != 0) session_slots_[session_id] = 1;
+    return Slot(this, session_id);
   }
 
   // Load shedding: a full queue rejects immediately rather than piling up
@@ -48,14 +70,28 @@ Result<AdmissionController::Slot> AdmissionController::Admit() {
   queue_.push_back(ticket);
   const auto deadline = std::chrono::steady_clock::now() + options_.max_wait;
   while (true) {
+    // A concurrent query of the same session may have won a slot while we
+    // queued — piggyback on it (re-entrant grant) instead of waiting for a
+    // second one the cap may never allow.
+    if (session_id != 0) {
+      auto it = session_slots_.find(session_id);
+      if (it != session_slots_.end()) {
+        queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+        ++it->second;
+        ++admitted_;
+        cv_.notify_all();  // our ticket may have been blocking the head
+        return Slot(this, session_id);
+      }
+    }
     // FIFO: only the head ticket may claim a freed slot.
     if (running_ < options_.max_concurrent && !queue_.empty() &&
         queue_.front() == ticket) {
       queue_.pop_front();
       ++running_;
       ++admitted_;
+      if (session_id != 0) session_slots_[session_id] = 1;
       cv_.notify_all();  // the next head may also fit
-      return Slot(this);
+      return Slot(this, session_id);
     }
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {

@@ -9,6 +9,13 @@
 // The paper's premise is predictable query latency; admission control is
 // what keeps that promise under concurrency: a bounded queue plus a bounded
 // wait means a query either runs promptly or fails promptly, never hangs.
+//
+// Admission is *session-aware*: the unit the cap counts is the session, not
+// the query. A session that already holds a slot is granted re-entrant
+// admission immediately (refcounted), so a session running its Nth query
+// cannot deadlock against — or be starved behind — its own earlier slot in
+// the FIFO. session_id 0 means "anonymous": every such call competes as its
+// own session (the pre-session behavior).
 
 #ifndef SMADB_DB_ADMISSION_H_
 #define SMADB_DB_ADMISSION_H_
@@ -18,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <unordered_map>
 
 #include "util/rng.h"
 #include "util/status.h"
@@ -44,12 +52,16 @@ class AdmissionController {
   class Slot {
    public:
     Slot() = default;
-    explicit Slot(AdmissionController* c) : c_(c) {}
-    Slot(Slot&& o) noexcept : c_(o.c_) { o.c_ = nullptr; }
+    Slot(AdmissionController* c, uint64_t session_id)
+        : c_(c), session_id_(session_id) {}
+    Slot(Slot&& o) noexcept : c_(o.c_), session_id_(o.session_id_) {
+      o.c_ = nullptr;
+    }
     Slot& operator=(Slot&& o) noexcept {
       if (this != &o) {
         Release();
         c_ = o.c_;
+        session_id_ = o.session_id_;
         o.c_ = nullptr;
       }
       return *this;
@@ -62,6 +74,7 @@ class AdmissionController {
 
    private:
     AdmissionController* c_ = nullptr;
+    uint64_t session_id_ = 0;
   };
 
   AdmissionController() : AdmissionController(Options()) {}
@@ -73,8 +86,11 @@ class AdmissionController {
 
   /// Blocks (bounded) until a slot frees up, FIFO order. Fails with
   /// kResourceExhausted when the queue is full on arrival (shed) or the
-  /// wait budget elapses (timeout) — never hangs.
-  util::Result<Slot> Admit();
+  /// wait budget elapses (timeout) — never hangs. A non-zero `session_id`
+  /// that already holds a slot is admitted immediately (re-entrant grant,
+  /// refcounted); its session frees the concurrency slot only when the last
+  /// of its Slots releases.
+  util::Result<Slot> Admit(uint64_t session_id = 0);
 
   /// Adjusts the concurrency cap; 0 turns admission control off for
   /// subsequent Admit() calls (already-held slots still release normally).
@@ -90,14 +106,17 @@ class AdmissionController {
   uint64_t timed_out_total() const;
 
  private:
-  void ReleaseSlot();
+  void ReleaseSlot(uint64_t session_id);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Options options_;
-  size_t running_ = 0;
+  size_t running_ = 0;  // sessions (or anonymous slots) currently admitted
   uint64_t next_ticket_ = 0;
   std::deque<uint64_t> queue_;  // waiting tickets, FIFO
+  // Slots held per non-zero session; a session occupies exactly one
+  // running_ unit while its refcount is > 0.
+  std::unordered_map<uint64_t, size_t> session_slots_;
   util::Rng jitter_;
   uint64_t admitted_ = 0;
   uint64_t shed_ = 0;

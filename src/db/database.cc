@@ -4,6 +4,7 @@
 #include <cctype>
 #include <unordered_set>
 
+#include "db/session.h"
 #include "db/sql.h"
 #include "expr/parser.h"
 #include "sma/parser.h"
@@ -122,16 +123,22 @@ Database::~Database() {
 }
 
 Status Database::Close() {
+  std::lock_guard<std::mutex> lock(write_mu_);
   if (closed_ || crashed_) return Status::OK();
   // Read-only means a durable barrier already failed; retrying it at close
   // (fsyncgate) could acknowledge data the kernel dropped. The recovered
   // state after reopen is exactly the acknowledged prefix.
-  if (wal_ != nullptr && !read_only_) SMADB_RETURN_NOT_OK(Checkpoint());
+  if (wal_ != nullptr && !read_only()) SMADB_RETURN_NOT_OK(CheckpointLocked());
   closed_ = true;
   return Status::OK();
 }
 
 Status Database::Checkpoint() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
   if (crashed_) return Status::Internal("database crashed; reopen to recover");
   SMADB_RETURN_NOT_OK(CheckWritable());
   // FlushAll runs the WAL barrier before the first dirty write, so the
@@ -150,16 +157,19 @@ Status Database::Checkpoint() {
 }
 
 Status Database::CheckWritable() const {
-  if (!read_only_) return Status::OK();
+  if (!read_only()) return Status::OK();
   return Status::Unavailable("database is in read-only degraded mode (" +
-                             read_only_reason_ +
+                             read_only_reason() +
                              "); reads keep serving, reopen to recover");
 }
 
 void Database::EnterReadOnly(std::string reason) {
-  if (read_only_) return;  // first failure wins; never un-degrade in place
-  read_only_ = true;
+  std::lock_guard<std::mutex> lock(read_only_mu_);
+  // First failure wins; never un-degrade in place. The flag is published
+  // after the reason so a reader that sees it set finds the reason written.
+  if (read_only_.load(std::memory_order_relaxed)) return;
   read_only_reason_ = std::move(reason);
+  read_only_.store(true, std::memory_order_release);
 }
 
 Status Database::NoteDurableFailure(Status st) {
@@ -183,17 +193,19 @@ Status Database::SyncWal() {
   // pool's pre-writeback barrier, so no dirty page escapes either).
   SMADB_RETURN_NOT_OK(CheckWritable());
   SMADB_RETURN_NOT_OK(NoteDurableFailure(wal_->Sync()));
-  ops_since_sync_ = 0;
+  ops_since_sync_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Database::MaybeSyncWal() {
   if (wal_ == nullptr) return Status::OK();
-  ++ops_since_sync_;
-  if (options_.wal_sync_interval == 0 ||
-      ops_since_sync_ < options_.wal_sync_interval) {
-    return Status::OK();
-  }
+  const size_t interval = [&] {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    return options_.wal_sync_interval;
+  }();
+  const size_t ops =
+      ops_since_sync_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (interval == 0 || ops < interval) return Status::OK();
   return SyncWal();
 }
 
@@ -212,6 +224,7 @@ Status Database::RollbackWalRecord(const storage::Wal::AppendMark& mark,
 }
 
 Status Database::CrashForTesting() {
+  std::lock_guard<std::mutex> lock(write_mu_);
   crashed_ = true;
   if (wal_ != nullptr) wal_->DiscardUnflushed();
   return pool_->DiscardAll();
@@ -236,6 +249,8 @@ void Database::InitMetrics() {
       "Queries answered through the degradation ladder");
   m_.rows_returned = registry_->GetCounter("smadb_rows_returned_total",
                                            "Result rows returned");
+  m_.appends = registry_->GetCounter("smadb_appends_total",
+                                     "Tuples appended through Insert");
   m_.buckets_qualifying =
       registry_->GetCounter("smadb_buckets_qualifying_total",
                             "Buckets graded qualifying (paper Fig. 4)");
@@ -246,6 +261,40 @@ void Database::InitMetrics() {
       "smadb_buckets_ambivalent_total", "Buckets graded ambivalent");
   m_.query_latency_us = registry_->GetHistogram(
       "smadb_query_latency_us", "End-to-end query latency (microseconds)");
+  m_.latch_wait_ns = registry_->GetHistogram(
+      "smadb_latch_wait_ns",
+      "Nanoseconds blocked per contended bucket-latch acquire");
+  registry_->RegisterCallback(
+      "smadb_sessions_active", "Client sessions currently open",
+      [this] { return static_cast<int64_t>(sessions_active()); });
+  // Latch counters summed over every table: how often readers and the
+  // writer actually collided on a bucket.
+  registry_->RegisterCallback(
+      "smadb_latch_shared_acquires", "Shared bucket-latch acquires", [this] {
+        int64_t n = 0;
+        for (Table* t : catalog_->Tables()) {
+          n += static_cast<int64_t>(t->latches()->stats().shared_acquires);
+        }
+        return n;
+      });
+  registry_->RegisterCallback(
+      "smadb_latch_exclusive_acquires", "Exclusive bucket-latch acquires",
+      [this] {
+        int64_t n = 0;
+        for (Table* t : catalog_->Tables()) {
+          n += static_cast<int64_t>(t->latches()->stats().exclusive_acquires);
+        }
+        return n;
+      });
+  registry_->RegisterCallback(
+      "smadb_latch_contended", "Bucket-latch acquires that had to block",
+      [this] {
+        int64_t n = 0;
+        for (Table* t : catalog_->Tables()) {
+          n += static_cast<int64_t>(t->latches()->stats().contended);
+        }
+        return n;
+      });
   // Existing stat structs fold in as callback gauges — sampled at snapshot
   // time, zero cost on the query path.
   registry_->RegisterCallback(
@@ -303,7 +352,7 @@ void Database::InitMetrics() {
   registry_->RegisterCallback(
       "smadb_storage_read_only",
       "1 while the database is in read-only degraded mode",
-      [this] { return read_only_ ? int64_t{1} : int64_t{0}; });
+      [this] { return read_only() ? int64_t{1} : int64_t{0}; });
   m_.scrub_runs =
       registry_->GetCounter("smadb_scrub_runs_total", "Scrub passes run");
   m_.scrub_pages_scanned = registry_->GetCounter(
@@ -315,12 +364,22 @@ void Database::InitMetrics() {
 }
 
 void Database::set_max_concurrent_queries(size_t n) {
-  options_.max_concurrent_queries = n;
+  {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    options_.max_concurrent_queries = n;
+  }
   admission_.SetMaxConcurrent(n);
+}
+
+void Database::AttachLatchMetrics(storage::Table* table) {
+  if (m_.latch_wait_ns != nullptr) {
+    table->latches()->set_wait_histogram(m_.latch_wait_ns);
+  }
 }
 
 Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
                                      storage::TableOptions options) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   SMADB_RETURN_NOT_OK(CheckWritable());
   storage::Wal::AppendMark mark;
   if (wal_ != nullptr) {
@@ -345,22 +404,29 @@ Result<Table*> Database::CreateTable(std::string name, storage::Schema schema,
       catalog_->CreateTable(name, std::move(schema), options);
   if (!table_or.ok()) return RollbackWalRecord(mark, table_or.status());
   Table* table = *table_or;
+  AttachLatchMetrics(table);
   TableState state;
   state.smas = std::make_unique<sma::SmaSet>(table);
   state.maintainer =
       std::make_unique<sma::SmaMaintainer>(table, state.smas.get());
-  states_.emplace(std::move(name), std::move(state));
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    states_.emplace(std::move(name), std::move(state));
+  }
   SMADB_RETURN_NOT_OK(MaybeSyncWal());
   return table;
 }
 
 Result<Database::TableState*> Database::StateFor(std::string_view table) {
+  std::lock_guard<std::mutex> lock(states_mu_);
   auto it = states_.find(std::string(table));
   if (it != states_.end()) return &it->second;
   // Tables loaded straight into the catalog (the tpch bulk loaders) get
   // their SMA state lazily on first reference, so they are queryable and
-  // `define sma` works on them like on CreateTable'd ones.
+  // `define sma` works on them like on CreateTable'd ones. The returned
+  // pointer stays valid without the lock: unordered_map values are stable.
   SMADB_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
+  AttachLatchMetrics(t);
   TableState state;
   state.smas = std::make_unique<sma::SmaSet>(t);
   state.maintainer =
@@ -372,6 +438,7 @@ Result<Database::TableState*> Database::StateFor(std::string_view table) {
 
 Status Database::Insert(std::string_view table,
                         const storage::TupleBuffer& tuple, Rid* rid) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   SMADB_RETURN_NOT_OK(CheckWritable());
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
   storage::Wal::AppendMark mark;
@@ -399,11 +466,13 @@ Status Database::Insert(std::string_view table,
   if (Status st = state->maintainer->Insert(tuple, rid); !st.ok()) {
     return NoteDiskFull(RollbackWalRecord(mark, std::move(st)));
   }
+  if (m_.appends != nullptr) m_.appends->Inc();
   return MaybeSyncWal();
 }
 
 Status Database::Update(std::string_view table, Rid rid, size_t col,
                         const util::Value& v) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   SMADB_RETURN_NOT_OK(CheckWritable());
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
   storage::Wal::AppendMark mark;
@@ -437,6 +506,7 @@ Status Database::Update(std::string_view table, Rid rid, size_t col,
 }
 
 Status Database::Delete(std::string_view table, Rid rid) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   SMADB_RETURN_NOT_OK(CheckWritable());
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(table));
   storage::Wal::AppendMark mark;
@@ -468,6 +538,9 @@ Result<sma::SmaMaintainer*> Database::Maintainer(std::string_view table) {
 }
 
 Status Database::Execute(std::string_view statement) {
+  // Statements either mutate durable state (define sma, backend swap) or
+  // the shared knob defaults — serialize them all with the writer lock.
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   // Dispatch on the first keyword.
   SMADB_ASSIGN_OR_RETURN(auto tokens,
                          expr::internal::Tokenize(statement));
@@ -555,10 +628,12 @@ Status Database::Execute(std::string_view statement) {
         return Status::OK();
       }
       if (tokens[1].text == "allow_degraded") {
+        std::lock_guard<std::mutex> lock(knobs_mu_);
         options_.planner.allow_degraded = n != 0;
         return Status::OK();
       }
       if (tokens[1].text == "wal_sync_interval") {
+        std::lock_guard<std::mutex> lock(knobs_mu_);
         options_.wal_sync_interval = static_cast<size_t>(n);
         return Status::OK();
       }
@@ -606,6 +681,30 @@ std::string_view Trim(std::string_view s) {
 
 Result<plan::QueryResult> Database::Query(
     std::string_view sql, std::shared_ptr<util::CancelToken> cancel) {
+  return QueryWithKnobs(sql, std::move(cancel), DefaultKnobs(), 0);
+}
+
+SessionKnobs Database::DefaultKnobs() const {
+  std::lock_guard<std::mutex> lock(knobs_mu_);
+  SessionKnobs k;
+  k.dop = options_.planner.degree_of_parallelism;
+  k.batch_size = options_.planner.batch_size;
+  k.timeout_ms = options_.timeout_ms;
+  k.query_memory_limit = options_.query_memory_limit;
+  k.allow_degraded = options_.planner.allow_degraded;
+  return k;
+}
+
+std::unique_ptr<Session> Database::CreateSession() {
+  const uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  sessions_active_.fetch_add(1, std::memory_order_acq_rel);
+  return std::unique_ptr<Session>(new Session(this, id, DefaultKnobs()));
+}
+
+Result<plan::QueryResult> Database::QueryWithKnobs(
+    std::string_view sql, std::shared_ptr<util::CancelToken> cancel,
+    const SessionKnobs& knobs, uint64_t session_id) {
   std::string_view body = Trim(sql);
 
   // `show metrics` / `show profile` / `show trace` — read-only, ungoverned.
@@ -665,9 +764,19 @@ Result<plan::QueryResult> Database::Query(
 
   // One governor per query: caller's cancel token (if any), the session
   // deadline, and a memory budget that is a child of the global tracker.
-  util::QueryContext ctx(&global_memory_, options_.query_memory_limit,
+  // Everything reads the caller's knob snapshot — a concurrent `set` on
+  // another session cannot change this query mid-flight.
+  util::QueryContext ctx(&global_memory_, knobs.query_memory_limit,
                          std::move(cancel));
-  if (options_.timeout_ms > 0) ctx.set_timeout_ms(options_.timeout_ms);
+  if (knobs.timeout_ms > 0) ctx.set_timeout_ms(knobs.timeout_ms);
+  plan::PlannerOptions popts;
+  {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    popts = options_.planner;
+  }
+  popts.degree_of_parallelism = knobs.dop;
+  popts.batch_size = knobs.batch_size;
+  popts.allow_degraded = knobs.allow_degraded;
 
   // `explain analyze` hangs a profile off the context; operators see the
   // non-null pointer and start feeding their nodes. Plain queries keep a
@@ -689,13 +798,13 @@ Result<plan::QueryResult> Database::Query(
     util::Stopwatch admit_watch;
     Result<AdmissionController::Slot> slot = [&] {
       obs::TraceSpan span(sink, query_id, "admission");
-      return admission_.Admit();
+      return admission_.Admit(session_id);
     }();
     SMADB_RETURN_NOT_OK(slot.status());
     obs::QueryProfile::Phase(
         profile.get(), "admission",
         static_cast<uint64_t>(admit_watch.ElapsedSeconds() * 1e9));
-    return RunQuery(body, &ctx, query_id, sink);
+    return RunQuery(body, &ctx, popts, query_id, sink);
   }();
 
   // Per-query metrics; a disabled registry leaves every pointer null.
@@ -820,8 +929,8 @@ Result<plan::QueryResult> Database::ShowStorage() const {
   lines.push_back("path: " + (options_.storage_path.empty()
                                   ? std::string("(in-memory)")
                                   : options_.storage_path));
-  lines.push_back(read_only_
-                      ? "mode: read-only (" + read_only_reason_ + ")"
+  lines.push_back(read_only()
+                      ? "mode: read-only (" + read_only_reason() + ")"
                       : std::string("mode: read-write"));
   const storage::IoStats& io = disk_->stats();
   lines.push_back(util::Format(
@@ -841,12 +950,15 @@ Result<plan::QueryResult> Database::ShowStorage() const {
       static_cast<unsigned long long>(wal_->stats().syncs),
       static_cast<unsigned long long>(wal_->next_lsn()),
       static_cast<unsigned long long>(wal_->synced_lsn())));
+  const size_t sync_interval = [&] {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    return options_.wal_sync_interval;
+  }();
   lines.push_back(util::Format(
       "sync_policy: %s",
-      options_.wal_sync_interval == 0
+      sync_interval == 0
           ? "manual (SyncWal/Checkpoint only)"
-          : util::Format("every %zu mutation(s)", options_.wal_sync_interval)
-                .c_str()));
+          : util::Format("every %zu mutation(s)", sync_interval).c_str()));
   lines.push_back(util::Format(
       "checkpoint: last_lsn=%llu checkpoints=%llu",
       static_cast<unsigned long long>(wal_->base_lsn()),
@@ -863,7 +975,21 @@ Result<plan::QueryResult> Database::ShowStorage() const {
 }
 
 Result<Database::ScrubReport> Database::Scrub() {
+  // The repair pass rebuilds SMAs — a write — and even the census must not
+  // race mutations, so a scrub runs as "the writer" for its duration.
+  // Concurrent queries keep streaming (they take bucket latches, not this).
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   if (crashed_) return Status::Internal("database crashed; reopen to recover");
+  // Stable view of the table states: pointers survive map growth, and
+  // lazy StateFor inserts from reader threads can't invalidate iteration.
+  std::vector<std::pair<std::string, TableState*>> table_states;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    table_states.reserve(states_.size());
+    for (auto& [tname, state] : states_) {
+      table_states.emplace_back(tname, &state);
+    }
+  }
   ScrubReport report;
   // Pass 1: CRC-check the at-rest bytes of every backend file against the
   // out-of-band sidecar. Reads bypass the buffer pool on purpose: the
@@ -905,8 +1031,8 @@ Result<Database::ScrubReport> Database::Scrub() {
   // pool-cached pages may still read clean — the media copy is what rots;
   // Verify never re-trusts, so the flag sticks), then run the maintainer's
   // sampled content verification on every table.
-  for (auto& [tname, state] : states_) {
-    for (sma::Sma* s : state.smas->mutable_all()) {
+  for (auto& [tname, state] : table_states) {
+    for (sma::Sma* s : state->smas->mutable_all()) {
       for (size_t g = 0; g < s->num_groups(); ++g) {
         const storage::FileId fid = s->group_file(g)->file();
         if (fid < corrupt_by_file.size() && corrupt_by_file[fid] > 0) {
@@ -916,8 +1042,8 @@ Result<Database::ScrubReport> Database::Scrub() {
         }
       }
     }
-    report.smas_verified += state.smas->all().size();
-    if (Result<size_t> failed = state.maintainer->VerifyAll(); !failed.ok()) {
+    report.smas_verified += state->smas->all().size();
+    if (Result<size_t> failed = state->maintainer->VerifyAll(); !failed.ok()) {
       report.notes.push_back("verify '" + tname + "': " +
                              std::string(failed.status().message()));
     }
@@ -925,24 +1051,24 @@ Result<Database::ScrubReport> Database::Scrub() {
   // Pass 3: census + repair. Rebuild() re-materializes exactly the
   // distrusted/stale SMAs; repairs are writes, so read-only mode reports
   // the findings without touching anything.
-  for (auto& [tname, state] : states_) {
+  for (auto& [tname, state] : table_states) {
     size_t broken = 0;
-    for (const sma::Sma* s : state.smas->all()) {
+    for (const sma::Sma* s : state->smas->all()) {
       if (!s->trusted() || s->stale()) ++broken;
     }
     report.smas_distrusted += broken;
     if (broken == 0) continue;
-    if (read_only_) {
+    if (read_only()) {
       report.repairs_skipped_read_only = true;
       continue;
     }
-    if (Status st = state.maintainer->Rebuild(); !st.ok()) {
+    if (Status st = state->maintainer->Rebuild(); !st.ok()) {
       report.notes.push_back("rebuild '" + tname + "': " +
                              std::string(st.message()));
       continue;
     }
     size_t still = 0;
-    for (const sma::Sma* s : state.smas->all()) {
+    for (const sma::Sma* s : state->smas->all()) {
       if (!s->trusted() || s->stale()) ++still;
     }
     report.smas_repaired += broken - still;
@@ -970,6 +1096,7 @@ Result<Database::ScrubReport> Database::Scrub() {
 
 Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
                                              util::QueryContext* ctx,
+                                             const plan::PlannerOptions& popts,
                                              uint64_t query_id,
                                              obs::TraceSink* sink) {
   util::Stopwatch parse_watch;
@@ -988,7 +1115,7 @@ Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(parsed.table));
 
   obs::TraceSpan run_span(sink, query_id, "execute");
-  plan::Planner planner(state->smas.get(), options_.planner);
+  plan::Planner planner(state->smas.get(), popts);
   Result<plan::QueryResult> run = [&] {
     if (parsed.select_star) {
       plan::SelectQuery query;
@@ -1029,6 +1156,7 @@ Manifest Database::BuildManifest(uint64_t checkpoint_lsn) const {
       mt.fields.push_back(ManifestField{
           f.name, std::string(util::TypeIdToString(f.type)), f.capacity});
     }
+    std::lock_guard<std::mutex> lock(states_mu_);
     if (auto it = states_.find(t->name()); it != states_.end()) {
       for (const sma::Sma* s : it->second.smas->all()) {
         ManifestSma ms;
@@ -1075,6 +1203,7 @@ Status Database::Recover() {
                        mt.num_deleted, mt.num_pages, mt.epoch));
     SMADB_ASSIGN_OR_RETURN(Table * table,
                            catalog_->AttachTable(std::move(restored)));
+    AttachLatchMetrics(table);
     TableState state;
     state.smas = std::make_unique<sma::SmaSet>(table);
     state.maintainer =
@@ -1116,7 +1245,10 @@ Status Database::Recover() {
                             ms.distrust_reason));
       SMADB_RETURN_NOT_OK(state.smas->Add(std::move(restored_sma)));
     }
-    states_.emplace(mt.name, std::move(state));
+    {
+      std::lock_guard<std::mutex> lock(states_mu_);
+      states_.emplace(mt.name, std::move(state));
+    }
     ++durability_.recovered_tables;
   }
   // Phase 1.5: sweep orphan SMA-files. SMA contents are derived data owned
@@ -1341,7 +1473,10 @@ Status Database::SetStorageBackend(BackendKind kind) {
   }
   // Tear down top-first (catalog holds pool pointers, pool holds the disk),
   // then rebuild over the new backend.
-  states_.clear();
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    states_.clear();
+  }
   catalog_.reset();
   pool_.reset();
   wal_ = std::move(wal);

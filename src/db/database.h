@@ -39,6 +39,20 @@
 
 namespace smadb::db {
 
+class Session;
+
+/// Per-session execution/governor knobs — the subset of `set` statements
+/// that scope to one session instead of the whole database. A Session gets
+/// a copy of the database defaults at creation; its `set` statements mutate
+/// only the copy.
+struct SessionKnobs {
+  size_t dop = 0;               ///< 0 = auto (hardware concurrency)
+  size_t batch_size = 0;        ///< 0 = row mode (filled from planner default)
+  int64_t timeout_ms = 0;       ///< 0 = no deadline
+  size_t query_memory_limit = 0;  ///< 0 = bounded only by the global budget
+  bool allow_degraded = true;
+};
+
 struct DatabaseOptions {
   /// Buffer pool capacity in 4 KiB frames (default 8 MB — the paper's).
   size_t pool_pages = 2048;
@@ -141,9 +155,12 @@ class Database {
   /// "fsyncgate" rule — the kernel may have dropped the dirty pages the
   /// failure covered). The only way out is reopening the directory, which
   /// recovers exactly the acknowledged prefix.
-  bool read_only() const { return read_only_; }
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
   /// Why the database is read-only (empty while writable).
-  const std::string& read_only_reason() const { return read_only_reason_; }
+  std::string read_only_reason() const {
+    std::lock_guard<std::mutex> lock(read_only_mu_);
+    return read_only_reason_;
+  }
 
   // --- scrubbing -----------------------------------------------------------
   /// What one Database::Scrub() pass found (also rendered by the `scrub`
@@ -207,32 +224,49 @@ class Database {
   /// (only while no tables exist) and `set storage_path = '<dir>'`.
   util::Status Execute(std::string_view statement);
 
-  /// Session degree of parallelism for subsequent queries; equivalent to
-  /// `set dop = <n>`. 0 = auto (hardware concurrency), 1 = serial.
+  /// Default degree of parallelism for subsequent queries; equivalent to
+  /// `set dop = <n>` at database scope. 0 = auto (hardware concurrency),
+  /// 1 = serial. Sessions copy this default at creation.
   void set_degree_of_parallelism(size_t dop) {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
     options_.planner.degree_of_parallelism = dop;
   }
   size_t degree_of_parallelism() const {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
     return options_.planner.degree_of_parallelism;
   }
 
-  /// Session batch size for aggregation plans; equivalent to
+  /// Default batch size for aggregation plans; equivalent to
   /// `set batch_size = <n>`. 0 = tuple-at-a-time (row mode).
   void set_batch_size(size_t batch_size) {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
     options_.planner.batch_size = batch_size;
   }
-  size_t batch_size() const { return options_.planner.batch_size; }
+  size_t batch_size() const {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    return options_.planner.batch_size;
+  }
 
-  /// Session query deadline; equivalent to `set timeout_ms = <n>`. 0 = none.
-  void set_timeout_ms(int64_t ms) { options_.timeout_ms = ms; }
-  int64_t timeout_ms() const { return options_.timeout_ms; }
+  /// Default query deadline; equivalent to `set timeout_ms = <n>`. 0 = none.
+  void set_timeout_ms(int64_t ms) {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    options_.timeout_ms = ms;
+  }
+  int64_t timeout_ms() const {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    return options_.timeout_ms;
+  }
 
-  /// Session per-query memory budget; equivalent to
+  /// Default per-query memory budget; equivalent to
   /// `set memory_limit = <bytes>`. 0 = bounded only by the global budget.
   void set_query_memory_limit(size_t bytes) {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
     options_.query_memory_limit = bytes;
   }
-  size_t query_memory_limit() const { return options_.query_memory_limit; }
+  size_t query_memory_limit() const {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    return options_.query_memory_limit;
+  }
 
   /// Concurrency cap; equivalent to `set max_concurrent_queries = <n>`.
   /// 0 = admission control off.
@@ -270,6 +304,21 @@ class Database {
   util::Result<plan::QueryResult> Query(std::string_view sql);
   util::Result<plan::QueryResult> Query(
       std::string_view sql, std::shared_ptr<util::CancelToken> cancel);
+
+  // --- sessions ------------------------------------------------------------
+  /// Opens a client session: a lightweight handle with its own copy of the
+  /// execution knobs (dop, batch_size, timeout_ms, memory_limit,
+  /// allow_degraded) whose `set` statements scope to the session, and whose
+  /// queries are admitted session-aware (a session already running a query
+  /// is never starved behind — or deadlocked on — its own admission slot).
+  /// Sessions are cheap; open one per client thread. The Database must
+  /// outlive every Session it created.
+  std::unique_ptr<Session> CreateSession();
+
+  /// Sessions currently open (the smadb_sessions_active gauge).
+  size_t sessions_active() const {
+    return sessions_active_.load(std::memory_order_acquire);
+  }
 
   // --- observability -------------------------------------------------------
   /// The metrics registry this database feeds (the private one unless
@@ -315,6 +364,8 @@ class Database {
   const DurabilityStats& durability() const { return durability_; }
 
  private:
+  friend class Session;
+
   struct TableState {
     std::unique_ptr<sma::SmaSet> smas;
     std::unique_ptr<sma::SmaMaintainer> maintainer;
@@ -325,6 +376,23 @@ class Database {
            std::unique_ptr<storage::Wal> wal);
 
   util::Result<TableState*> StateFor(std::string_view table);
+
+  /// Snapshot of the database-default session knobs (knobs_mu_).
+  SessionKnobs DefaultKnobs() const;
+
+  /// The full governed query path: admission (session-aware via
+  /// `session_id`; 0 = anonymous), context built from `knobs`, metrics,
+  /// tracing. Both Query() overloads and Session::Query funnel here.
+  util::Result<plan::QueryResult> QueryWithKnobs(
+      std::string_view sql, std::shared_ptr<util::CancelToken> cancel,
+      const SessionKnobs& knobs, uint64_t session_id);
+
+  /// Checkpoint body; caller holds write_mu_.
+  util::Status CheckpointLocked();
+
+  /// Hooks a freshly created/attached table's latch table up to the
+  /// latch-wait histogram (no-op with metrics off).
+  void AttachLatchMetrics(storage::Table* table);
 
   // --- durability internals ------------------------------------------------
   std::string ManifestPath() const;
@@ -366,10 +434,13 @@ class Database {
   /// kIOError there may be a transient read fault and must not degrade.
   util::Status NoteDiskFull(util::Status st);
 
-  /// The governed body of Query(): parse, run under `ctx`; `query_id` keys
-  /// the trace spans (sink may be null = tracing off).
+  /// The governed body of Query(): parse, run under `ctx` with the given
+  /// per-query planner options (a stable copy — session knobs must not read
+  /// the mutable defaults mid-flight); `query_id` keys the trace spans
+  /// (sink may be null = tracing off).
   util::Result<plan::QueryResult> RunQuery(std::string_view sql,
                                            util::QueryContext* ctx,
+                                           const plan::PlannerOptions& popts,
                                            uint64_t query_id,
                                            obs::TraceSink* sink);
 
@@ -389,14 +460,35 @@ class Database {
   std::unique_ptr<storage::Catalog> catalog_;
   std::unordered_map<std::string, TableState> states_;
   DurabilityStats durability_;
-  /// Logged mutations since the last WAL sync (group-commit window).
-  size_t ops_since_sync_ = 0;
+
+  // --- concurrency (DESIGN.md §14) -----------------------------------------
+  /// Serializes every mutating entry point (Insert/Update/Delete/
+  /// CreateTable/define sma/Checkpoint/Close/Scrub/backend swap): smadb is
+  /// single-writer by design — concurrency comes from readers overlapping
+  /// the writer via bucket latches, not from concurrent writers. First in
+  /// the lock order: write_mu_ -> bucket latch -> pool mutex -> WAL mutex.
+  mutable std::mutex write_mu_;
+  /// Guards the mutable session-default knobs inside options_ (planner
+  /// dop/batch_size/allow_degraded, timeout_ms, query_memory_limit,
+  /// wal_sync_interval, max_concurrent_queries). Leaf lock.
+  mutable std::mutex knobs_mu_;
+  /// Guards the states_ map itself (find/emplace). Values are stable across
+  /// rehash (unordered_map), so TableState pointers outlive the lock.
+  mutable std::mutex states_mu_;
+  /// Logged mutations since the last WAL sync (group-commit window). Atomic:
+  /// the pool's pre-writeback barrier resets it from reader threads.
+  std::atomic<size_t> ops_since_sync_{0};
   /// Set by CrashForTesting: Close/destructor must not write anything.
   bool crashed_ = false;
   bool closed_ = false;
-  /// Sticky degraded mode (see read_only()).
-  bool read_only_ = false;
+  /// Sticky degraded mode (see read_only()). The flag is checked lock-free
+  /// on every mutation and durable barrier; the reason string has its own
+  /// mutex (written once, on the failing thread).
+  std::atomic<bool> read_only_{false};
+  mutable std::mutex read_only_mu_;
   std::string read_only_reason_;
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<size_t> sessions_active_{0};
 
   // --- observability state -------------------------------------------------
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
@@ -411,10 +503,12 @@ class Database {
     obs::Counter* queries_deadline = nullptr;
     obs::Counter* queries_degraded = nullptr;
     obs::Counter* rows_returned = nullptr;
+    obs::Counter* appends = nullptr;
     obs::Counter* buckets_qualifying = nullptr;
     obs::Counter* buckets_disqualifying = nullptr;
     obs::Counter* buckets_ambivalent = nullptr;
     obs::Histogram* query_latency_us = nullptr;
+    obs::Histogram* latch_wait_ns = nullptr;
     obs::Counter* scrub_runs = nullptr;
     obs::Counter* scrub_pages_scanned = nullptr;
     obs::Counter* scrub_corrupt_pages = nullptr;

@@ -71,6 +71,13 @@ struct BucketUnit {
 /// Enumerates the buckets of a table for one predicate, grading each
 /// against the SMAs. Serial consumers pull `NextGraded` from one thread;
 /// parallel workers share `ClaimNext` and grade with per-worker graders.
+///
+/// Construction captures a TableSnapshot: the walk covers exactly the
+/// buckets of that consistent append prefix, and the one bucket a
+/// concurrent appender may still be folding into (snapshot boundary) is
+/// demoted to ambivalent — its SMA entries cover a superset of the
+/// snapshot's rows, which is sound for skip decisions but not for direct
+/// answers, so its rows are inspected (snapshot-clamped) instead.
 class BucketSource {
  public:
   /// `smas` may be null — every bucket then grades ambivalent.
@@ -79,7 +86,8 @@ class BucketSource {
 
   storage::Table* table() const { return table_; }
   const expr::PredicatePtr& pred() const { return pred_; }
-  uint64_t num_buckets() const { return table_->num_buckets(); }
+  const storage::TableSnapshot& snapshot() const { return snapshot_; }
+  uint64_t num_buckets() const { return snapshot_.buckets; }
 
   /// True when at least one predicate atom is backed by a SMA — otherwise
   /// every bucket grades ambivalent and grading is pure overhead.
@@ -114,11 +122,28 @@ class BucketSource {
     return sma::BucketGrader::Create(pred_, smas_);
   }
 
+  /// Demotes the snapshot-boundary bucket to ambivalent; identity for every
+  /// other bucket. Idempotent — operators may re-apply freely.
+  sma::Grade ApplySnapshot(uint64_t bucket, sma::Grade g) const {
+    if (snapshot_.demote_boundary && bucket == snapshot_.boundary_bucket) {
+      return sma::Grade::kAmbivalent;
+    }
+    return g;
+  }
+
+  /// Grades `bucket` with `grader` (null = ambivalent) under the bucket's
+  /// shared latch, then applies the snapshot demotion. The one grading
+  /// entry point every consumer — serial or worker — goes through, so all
+  /// censuses agree.
+  util::Result<sma::Grade> GradeLatched(sma::BucketGrader* grader,
+                                        uint64_t bucket) const;
+
  private:
   storage::Table* table_;
   expr::PredicatePtr pred_;
   const sma::SmaSet* smas_;
   std::unique_ptr<sma::BucketGrader> grader_;  // serial path
+  storage::TableSnapshot snapshot_;
   bool has_sma_support_ = false;
   uint64_t serial_next_ = 0;
   std::atomic<uint64_t> claim_next_{0};
@@ -126,9 +151,23 @@ class BucketSource {
 
 /// Streams the live tuples of a consecutive page range, keeping the current
 /// page pinned — the page/slot walk shared by TableScan and SmaScan.
+///
+/// The reader holds the shared latch of the bucket its current page belongs
+/// to (lock coupling: the old bucket's latch is released before the next
+/// bucket's is acquired, so at most one latch is ever held), which excludes
+/// concurrent writers of exactly that bucket. With a snapshot set, pages
+/// beyond the snapshot prefix are never opened and the snapshot's tail page
+/// exposes only its visible slots. Callers must NOT hold an explicit latch
+/// on the buckets they stream — shared_mutex is not reentrant.
 class BucketReader {
  public:
   explicit BucketReader(storage::Table* table) : table_(table) {}
+
+  /// Bounds every subsequent range by `snap` (copied).
+  void set_snapshot(const storage::TableSnapshot& snap) {
+    snapshot_ = snap;
+    has_snapshot_ = true;
+  }
 
   /// Positions on pages [first, end). May be called repeatedly (SmaScan
   /// opens one bucket at a time).
@@ -143,8 +182,11 @@ class BucketReader {
   /// rows were appended. Do not interleave with Next() within one range.
   util::Result<bool> NextBatch(storage::ColumnBatch* cols);
 
-  /// Drops the page pin.
-  void Close() { guard_.Release(); }
+  /// Drops the page pin and the bucket latch.
+  void Close() {
+    guard_.Release();
+    latch_.Release();
+  }
 
   /// Pages fetched through this reader since construction (cumulative
   /// across Open() calls) — the per-operator pages-read figure the query
@@ -153,13 +195,21 @@ class BucketReader {
   uint64_t pages_opened() const { return pages_opened_; }
 
  private:
+  /// Latches `page_`'s bucket (coupling from the previous one), pins the
+  /// page, and sets the snapshot-clamped slot count.
+  util::Status PinPage();
+
   storage::Table* table_;
   storage::PageGuard guard_;
+  storage::BucketLatchTable::SharedGuard latch_;
+  storage::TableSnapshot snapshot_;
   uint64_t pages_opened_ = 0;
+  uint64_t latched_bucket_ = 0;
   uint32_t page_ = 0;
   uint32_t page_end_ = 0;
   uint16_t slot_ = 0;
   uint16_t page_count_ = 0;
+  bool has_snapshot_ = false;
   bool open_ = false;
 };
 

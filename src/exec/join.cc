@@ -135,6 +135,10 @@ Status SmaSemiJoin::Init() {
   buckets_pruned_ = 0;
   buckets_unprobed_ = 0;
   s_values_.clear();
+  // Captured before the reduction is built, so every bucket structure sized
+  // off the live table covers at least the snapshot's buckets.
+  r_snap_ = r_->CaptureSnapshot();
+  r_reader_.set_snapshot(r_snap_);
 
   // Minimax of S.B — over the s_pred-filtered tuples when a filter is set
   // (the unfiltered shortcut via S's SMAs would be unsound for all_match).
@@ -145,15 +149,21 @@ Status SmaSemiJoin::Init() {
     s_min = range.first;
     s_max = range.second;
   } else {
-    for (uint32_t b = 0; b < s_->num_buckets(); ++b) {
-      SMADB_RETURN_NOT_OK(s_->ForEachTupleInBucket(
-          b, [&](const TupleRef& t, storage::Rid) {
-            if (s_pred_ != nullptr && !s_pred_->Eval(t)) return;
-            const int64_t v = t.GetRawInt(s_col_);
-            s_min = s_min.has_value() ? std::min(*s_min, v) : v;
-            s_max = s_max.has_value() ? std::max(*s_max, v) : v;
-            if (need_values) s_values_.insert(v);
-          }));
+    // One snapshot-clamped latched pass over S (concurrent appends past the
+    // snapshot stay invisible; the reader's latch excludes page writers).
+    const storage::TableSnapshot s_snap = s_->CaptureSnapshot();
+    BucketReader s_reader(s_);
+    s_reader.set_snapshot(s_snap);
+    SMADB_RETURN_NOT_OK(s_reader.Open(0, s_snap.pages));
+    TupleRef t;
+    while (true) {
+      SMADB_ASSIGN_OR_RETURN(bool has, s_reader.Next(&t));
+      if (!has) break;
+      if (s_pred_ != nullptr && !s_pred_->Eval(t)) continue;
+      const int64_t v = t.GetRawInt(s_col_);
+      s_min = s_min.has_value() ? std::min(*s_min, v) : v;
+      s_max = s_max.has_value() ? std::max(*s_max, v) : v;
+      if (need_values) s_values_.insert(v);
     }
   }
 
@@ -202,8 +212,8 @@ bool SmaSemiJoin::Matches(int64_t a) const {
 }
 
 Status SmaSemiJoin::NextBucket() {
-  guard_.Release();
-  const uint64_t buckets = r_->num_buckets();
+  r_reader_.Close();
+  const uint64_t buckets = r_snap_.buckets;
   while (true) {
     // Bucket-granular checkpoint (covers the prune loop too).
     SMADB_RETURN_NOT_OK(CheckRuntime("SmaSemiJoin"));
@@ -238,33 +248,17 @@ Status SmaSemiJoin::NextBucket() {
   }
   const auto [first, end] =
       r_->BucketPageRange(static_cast<uint32_t>(curr_bucket_));
-  page_ = first;
-  page_end_ = end;
-  slot_ = 0;
-  SMADB_ASSIGN_OR_RETURN(guard_, r_->FetchPage(page_));
-  page_count_ = storage::Table::PageTupleCount(*guard_.page());
-  return Status::OK();
+  return r_reader_.Open(first, end);
 }
 
 Result<bool> SmaSemiJoin::Next(TupleRef* out) {
   while (!done_) {
-    if (slot_ >= page_count_) {
-      if (page_ + 1 < page_end_) {
-        ++page_;
-        slot_ = 0;
-        SMADB_ASSIGN_OR_RETURN(guard_, r_->FetchPage(page_));
-        page_count_ = storage::Table::PageTupleCount(*guard_.page());
-      } else {
-        SMADB_RETURN_NOT_OK(NextBucket());
-      }
+    TupleRef t;
+    SMADB_ASSIGN_OR_RETURN(bool has, r_reader_.Next(&t));
+    if (!has) {
+      SMADB_RETURN_NOT_OK(NextBucket());
       continue;
     }
-    if (storage::Table::PageSlotDeleted(*guard_.page(), slot_)) {
-      ++slot_;
-      continue;
-    }
-    const TupleRef t = r_->PageTuple(*guard_.page(), slot_);
-    ++slot_;
     const bool r_ok = curr_r_grade_ == sma::Grade::kQualifies ||
                       r_pred_ == nullptr || r_pred_->Eval(t);
     if (r_ok && (curr_all_match_ || Matches(t.GetRawInt(r_col_)))) {

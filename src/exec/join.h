@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "exec/bucket_source.h"
 #include "exec/operator.h"
 #include "expr/predicate.h"
 #include "sma/semijoin.h"
@@ -119,7 +120,8 @@ class SmaSemiJoin final : public Operator {
         r_smas_(r_smas),
         s_smas_(s_smas),
         r_pred_(std::move(r_pred)),
-        s_pred_(std::move(s_pred)) {}
+        s_pred_(std::move(s_pred)),
+        r_reader_(r) {}
 
   /// Does value `a` join with some S tuple?
   bool Matches(int64_t a) const;
@@ -144,11 +146,11 @@ class SmaSemiJoin final : public Operator {
   int64_t curr_bucket_ = -1;
   bool curr_all_match_ = false;
   sma::Grade curr_r_grade_ = sma::Grade::kAmbivalent;
-  uint32_t page_ = 0;
-  uint32_t page_end_ = 0;
-  uint16_t slot_ = 0;
-  uint16_t page_count_ = 0;
-  storage::PageGuard guard_;
+  // Streams R's candidate buckets snapshot-clamped and latched; grading is
+  // superset-sound against the snapshot, so no boundary demotion is needed
+  // (§4 reduction never reads aggregate values directly).
+  BucketReader r_reader_;
+  storage::TableSnapshot r_snap_;
   bool done_ = false;
   uint64_t buckets_pruned_ = 0;
   uint64_t buckets_unprobed_ = 0;

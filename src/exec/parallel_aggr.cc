@@ -80,6 +80,9 @@ Status ParallelScanAggr::InitImpl() {
     // kQualifies, letting workers skip per-tuple checks), and the census
     // the workers tally stays identical across degrees of parallelism.
     ws.grader = source.NewGrader();
+    // Every worker reads the same consistent append prefix the source
+    // captured; pages appended mid-run stay invisible.
+    ws.reader.set_snapshot(source.snapshot());
     if (batch_size_ > 0) {
       ws.aggregator =
           std::make_unique<BatchAggregator>(&table_->schema(), &group_by_,
@@ -104,10 +107,10 @@ Status ParallelScanAggr::InitImpl() {
         // Bucket-granular checkpoint inside the morsel, so a deadline that
         // expires mid-run is observed even between claim-loop checks.
         SMADB_RETURN_NOT_OK(CheckRuntime("ParallelScanAggr"));
-        Grade g = Grade::kAmbivalent;
-        if (ws.grader != nullptr) {
-          SMADB_ASSIGN_OR_RETURN(g, ws.grader->GradeBucket(b));
-        }
+        // GradeLatched = shared latch during grading + boundary-bucket
+        // demotion, keeping the worker census identical to the serial path.
+        SMADB_ASSIGN_OR_RETURN(Grade g,
+                               source.GradeLatched(ws.grader.get(), b));
         ws.stats.Tally(g);
         if (g == Grade::kDisqualifies) return Status::OK();
 

@@ -166,6 +166,12 @@ Result<std::unique_ptr<SmaGAggr>> SmaGAggr::Make(
 
 Status SmaGAggr::ProcessQualifying(GroupTable* groups,
                                    BindingCursors* cursors, uint64_t b) {
+  // Direct answers read aggregate values straight out of the SMA entries, so
+  // the bucket's shared latch must exclude a concurrent maintainer folding a
+  // fresh append into those entries mid-read. (Grading only needs superset
+  // soundness; direct answers need the exact snapshot value — the boundary
+  // bucket was already demoted to ambivalent for that reason.)
+  auto latch = table_->latches()->LockShared(b);
   // Group cardinalities first: they establish which groups exist.
   for (size_t g = 0; g < cursors->count.size(); ++g) {
     SMADB_ASSIGN_OR_RETURN(int64_t count, cursors->count[g].Get(b));
@@ -212,15 +218,25 @@ Status SmaGAggr::ProcessAmbivalent(GroupTable* groups, uint64_t b,
     batch_state->reader.Close();
     return Status::OK();
   }
+  // Tuple-at-a-time through a snapshot-clamped reader: the reader's internal
+  // lock-coupled latch keeps writers out of the page being read, and the
+  // snapshot hides slots appended after this execution began.
+  const auto [first, end] = table_->BucketPageRange(static_cast<uint32_t>(b));
+  BucketReader reader(table_);
+  reader.set_snapshot(snapshot_);
+  SMADB_RETURN_NOT_OK(reader.Open(first, end));
   std::vector<Value> key(group_by_.size());
-  return table_->ForEachTupleInBucket(
-      static_cast<uint32_t>(b), [&](const TupleRef& t, storage::Rid) {
-        if (!pred_->Eval(t)) return;
-        for (size_t i = 0; i < group_by_.size(); ++i) {
-          key[i] = t.GetValue(group_by_[i]);
-        }
-        groups->Get(key)->AddTuple(t);
-      });
+  TupleRef t;
+  while (true) {
+    SMADB_ASSIGN_OR_RETURN(bool has, reader.Next(&t));
+    if (!has) break;
+    if (!pred_->Eval(t)) continue;
+    for (size_t i = 0; i < group_by_.size(); ++i) {
+      key[i] = t.GetValue(group_by_[i]);
+    }
+    groups->Get(key)->AddTuple(t);
+  }
+  return Status::OK();
 }
 
 Grade SmaGAggr::EffectiveGrade(Grade g, uint64_t b) const {
@@ -291,14 +307,17 @@ Status SmaGAggr::InitImpl() {
   buckets_skipped_.store(0, std::memory_order_relaxed);
 
   BucketSource source(table_, pred_, smas_);
+  snapshot_ = source.snapshot();
   GroupTable groups(&aggs_);
   const size_t dop =
       std::max<size_t>(1, options_.degree_of_parallelism);
 
   auto make_batch_state = [&]() -> std::unique_ptr<SmaGAggrBatchState> {
     if (options_.batch_size == 0) return nullptr;
-    return std::make_unique<SmaGAggrBatchState>(
+    auto state = std::make_unique<SmaGAggrBatchState>(
         table_, &group_by_, &aggs_, pred_, options_.batch_size);
+    state->reader.set_snapshot(snapshot_);
+    return state;
   };
 
   if (dop == 1) {
@@ -368,7 +387,10 @@ Status SmaGAggr::InitImpl() {
         0, source.num_buckets(), dop,
         [&](size_t w, uint64_t b) -> Status {
           WorkerState& ws = workers[w];
-          SMADB_ASSIGN_OR_RETURN(Grade g, ws.grader->GradeBucket(b));
+          // GradeLatched = shared latch during grading + boundary-bucket
+          // demotion, so worker censuses match the serial NextGraded path.
+          SMADB_ASSIGN_OR_RETURN(Grade g,
+                                 source.GradeLatched(ws.grader.get(), b));
           SMADB_RETURN_NOT_OK(ProcessBucket(g, b, &ws.groups, &ws.cursors,
                                             &ws.stats,
                                             ws.batch_state.get()));

@@ -165,6 +165,10 @@ class SmaGAggr final : public Operator {
   std::vector<storage::TupleBuffer> results_;
   size_t next_ = 0;
   SmaScanStats stats_;
+  // The consistent append prefix this execution runs against, captured by
+  // InitImpl's BucketSource. Ambivalent readers clamp to it; qualifying
+  // buckets answer from SMA entries under the bucket's shared latch.
+  storage::TableSnapshot snapshot_;
   // Atomic: bumped from parallel workers in sma_only mode.
   std::atomic<uint64_t> buckets_skipped_{0};
 };

@@ -11,6 +11,7 @@ Status SmaScan::Init() {
   obs::OpTimer timer(prof_);
   source_.Reset();
   reader_.Close();
+  reader_.set_snapshot(source_.snapshot());
   done_ = false;
   stats_ = SmaScanStats();
   return GetBucket();

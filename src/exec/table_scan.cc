@@ -9,8 +9,11 @@ using util::Status;
 Status TableScan::Init() {
   obs::OpTimer timer(prof_);
   rows_since_check_ = 0;
-  // One contiguous page range: the whole heap.
-  return reader_.Open(0, table_->num_pages());
+  // One contiguous page range: the snapshot's consistent append prefix
+  // (concurrent appends past it stay invisible to this scan).
+  const storage::TableSnapshot snap = table_->CaptureSnapshot();
+  reader_.set_snapshot(snap);
+  return reader_.Open(0, snap.pages);
 }
 
 Result<bool> TableScan::Next(TupleRef* out) {

@@ -10,58 +10,95 @@ using util::StatusCode;
 using util::Value;
 
 Status SmaMaintainer::Insert(const TupleBuffer& tuple, Rid* rid_out) {
+  // Latch the target bucket exclusively BEFORE the page write: the tuple
+  // bytes, the SMA folds, and the trust stamps form one atomic unit with
+  // respect to readers of that bucket. The target is stable because appends
+  // are single-writer (Database::write_mu_).
+  const uint64_t bucket = table_->AppendTargetBucket();
+  auto latch = table_->latches()->LockExclusive(bucket);
   Rid rid;
   SMADB_RETURN_NOT_OK(table_->Append(tuple, &rid));
   if (rid_out != nullptr) *rid_out = rid;
-  const uint64_t bucket = table_->BucketOfPage(rid.page_no);
   const storage::TupleRef ref = tuple.AsRef();
+  const uint64_t epoch = table_->epoch();
   for (Sma* sma : smas_->mutable_all()) {
     if (!sma->trusted()) continue;  // repaired wholesale by Rebuild()
-    SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
-    SMADB_ASSIGN_OR_RETURN(size_t g,
-                           sma->GetOrCreateGroup(sma->GroupKeyOf(ref)));
-    SmaFile* file = sma->group_file(g);
-    SMADB_ASSIGN_OR_RETURN(int64_t entry, file->Get(bucket));
-    SMADB_RETURN_NOT_OK(
-        file->Set(bucket, sma->Merge(entry, sma->ArgOf(ref))));
-    sma->MarkTrusted(table_->epoch());
+    // Pre-stamp the post-mutation epoch before folding: a planner checking
+    // staleness latch-free never transiently demotes, and graders serialize
+    // on the bucket latch so they cannot read the entry before the fold
+    // below lands. A failed fold revokes the stamp via MarkDistrusted.
+    const Status s = [&]() -> Status {
+      SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
+      sma->MarkTrusted(epoch);
+      SMADB_ASSIGN_OR_RETURN(size_t g,
+                             sma->GetOrCreateGroup(sma->GroupKeyOf(ref)));
+      SmaFile* file = sma->group_file(g);
+      SMADB_ASSIGN_OR_RETURN(int64_t entry, file->Get(bucket));
+      return file->Set(bucket, sma->Merge(entry, sma->ArgOf(ref)));
+    }();
+    if (!s.ok()) {
+      sma->MarkDistrusted("maintenance fold failed: " + s.ToString());
+      return s;
+    }
   }
   return Status::OK();
 }
 
 Status SmaMaintainer::Delete(Rid rid) {
-  SMADB_RETURN_NOT_OK(table_->DeleteTuple(rid));
   const uint64_t bucket = table_->BucketOfPage(rid.page_no);
+  auto latch = table_->latches()->LockExclusive(bucket);
+  SMADB_RETURN_NOT_OK(table_->DeleteTuple(rid));
+  const uint64_t epoch = table_->epoch();
   for (Sma* sma : smas_->mutable_all()) {
     if (!sma->trusted()) continue;
-    SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
-    SMADB_RETURN_NOT_OK(RecomputeBucket(table_, sma, bucket));
-    sma->MarkTrusted(table_->epoch());
+    const Status s = [&]() -> Status {
+      SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
+      sma->MarkTrusted(epoch);
+      return RecomputeBucket(table_, sma, bucket);
+    }();
+    if (!s.ok()) {
+      sma->MarkDistrusted("maintenance recompute failed: " + s.ToString());
+      return s;
+    }
   }
   return Status::OK();
 }
 
 Status SmaMaintainer::UpdateColumn(Rid rid, size_t col, const Value& v) {
-  SMADB_RETURN_NOT_OK(table_->UpdateColumn(rid, col, v));
   const uint64_t bucket = table_->BucketOfPage(rid.page_no);
+  auto latch = table_->latches()->LockExclusive(bucket);
+  SMADB_RETURN_NOT_OK(table_->UpdateColumn(rid, col, v));
+  const uint64_t epoch = table_->epoch();
   for (Sma* sma : smas_->mutable_all()) {
     if (!sma->trusted()) continue;
     const SmaSpec& spec = sma->spec();
     bool affected =
         spec.arg != nullptr && spec.arg->ReferencesColumn(col);
     for (size_t gcol : spec.group_by) affected |= gcol == col;
-    if (affected) {
-      SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
-      SMADB_RETURN_NOT_OK(RecomputeBucket(table_, sma, bucket));
+    const Status s = [&]() -> Status {
+      if (affected) {
+        SMADB_RETURN_NOT_OK(sma->EnsureBuckets(bucket + 1));
+        sma->MarkTrusted(epoch);
+        return RecomputeBucket(table_, sma, bucket);
+      }
+      // Unaffected SMAs stay valid across this mutation; stamp them too so
+      // the planner's staleness check keeps them usable.
+      sma->MarkTrusted(epoch);
+      return Status::OK();
+    }();
+    if (!s.ok()) {
+      sma->MarkDistrusted("maintenance recompute failed: " + s.ToString());
+      return s;
     }
-    // Unaffected SMAs stay valid across this mutation; stamp them too so
-    // the planner's staleness check keeps them usable.
-    sma->MarkTrusted(table_->epoch());
   }
   return Status::OK();
 }
 
 Result<size_t> SmaMaintainer::VerifyAll(uint64_t max_sample_buckets) {
+  // Whole-table exclusive hold: verification compares SMA entries against
+  // the base data bucket by bucket; mutations mid-census would produce
+  // false corruption verdicts.
+  auto all = table_->latches()->LockAllExclusive();
   size_t failed = 0;
   for (Sma* sma : smas_->mutable_all()) {
     const Status s = sma->Verify(max_sample_buckets);
@@ -76,6 +113,9 @@ Result<size_t> SmaMaintainer::VerifyAll(uint64_t max_sample_buckets) {
 }
 
 Status SmaMaintainer::Rebuild() {
+  // Whole-table exclusive hold (ascending shard order, see latch.h): a
+  // rebuild tears groups down and re-materializes them from the base data.
+  auto all = table_->latches()->LockAllExclusive();
   for (Sma* sma : smas_->mutable_all()) {
     if (sma->trusted() && !sma->stale()) continue;
     SMADB_RETURN_NOT_OK(sma->Rebuild());

@@ -21,13 +21,19 @@ Result<std::pair<std::optional<int64_t>, std::optional<int64_t>>> ColumnMinMax(
   if (min_sma != nullptr && max_sma != nullptr &&
       min_sma->num_buckets() >= s_table->num_buckets() &&
       max_sma->num_buckets() >= s_table->num_buckets()) {
-    // Fold the SMA-files: reads ~0.1% of the pages a scan would.
+    // Fold the SMA-files: reads ~0.1% of the pages a scan would. Each
+    // bucket's entries are read under its shared latch so a concurrent
+    // maintainer folding an append can't be observed mid-write; the result
+    // is read-committed (a widened range is sound — grading stays
+    // conservative).
     for (const Sma* sma : {min_sma, max_sma}) {
       const bool is_min = sma == min_sma;
       for (size_t g = 0; g < sma->num_groups(); ++g) {
         SmaFile::Cursor cur = sma->group_file(g)->NewCursor();
         for (uint64_t b = 0; b < sma->num_buckets(); ++b) {
+          auto latch = s_table->latches()->LockShared(b);
           SMADB_ASSIGN_OR_RETURN(int64_t e, cur.Get(b));
+          latch.Release();
           if (sma->IsUndefined(e)) continue;
           if (is_min) {
             mn = mn.has_value() ? std::min(*mn, e) : e;
@@ -40,8 +46,10 @@ Result<std::pair<std::optional<int64_t>, std::optional<int64_t>>> ColumnMinMax(
     return std::make_pair(mn, mx);
   }
 
-  // No SMA coverage: sequential scan of S.
+  // No SMA coverage: sequential scan of S, bucket-latched against page
+  // writers.
   for (uint32_t b = 0; b < s_table->num_buckets(); ++b) {
+    auto latch = s_table->latches()->LockShared(b);
     SMADB_RETURN_NOT_OK(s_table->ForEachTupleInBucket(
         b, [&](const storage::TupleRef& t, storage::Rid) {
           const int64_t v = t.GetRawInt(s_col);
@@ -97,6 +105,10 @@ Result<SemiJoinReduction> ReduceSemiJoinWithRange(
 
   for (uint64_t b = 0; b < buckets; ++b) {
     std::optional<int64_t> mn, mx;
+    // Shared latch: entry reads must not observe a maintainer's fold
+    // mid-write. Grading from the (possibly newer) entries is
+    // superset-sound for skip and all-match decisions alike.
+    auto latch = r_table->latches()->LockShared(b);
     if (min_sma != nullptr && b < min_sma->num_buckets()) {
       for (auto& cur : min_curs) {
         SMADB_ASSIGN_OR_RETURN(int64_t e, cur.Get(b));
@@ -111,6 +123,7 @@ Result<SemiJoinReduction> ReduceSemiJoinWithRange(
         mx = mx.has_value() ? std::max(*mx, e) : e;
       }
     }
+    latch.Release();
     // The semi-join predicate is existential: a tuple with value a matches
     // iff ∃ b ∈ S.B with a θ b. For the order comparisons that collapses to
     // a single constant comparison against S's extreme value:

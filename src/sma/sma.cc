@@ -40,6 +40,7 @@ Result<std::unique_ptr<Sma>> Sma::Restore(
     sma->group_index_[SerializeKey(group_keys[g])] = g;
     sma->groups_.push_back(Group{group_keys[g], std::move(file)});
   }
+  sma->num_groups_.store(sma->groups_.size(), std::memory_order_release);
   sma->num_buckets_ = num_buckets;
   sma->built_epoch_ = built_epoch;
   sma->trusted_ = trusted;
@@ -75,24 +76,28 @@ Result<size_t> Sma::GetOrCreateGroup(const std::vector<Value>& key) {
                          SmaFile::Create(pool_, file_name, spec_.EntryWidth()));
   // Backfill identity entries for the buckets this group missed.
   const int64_t identity = IdentityEntry();
-  for (uint64_t b = 0; b < num_buckets_; ++b) {
+  const uint64_t buckets = num_buckets();
+  for (uint64_t b = 0; b < buckets; ++b) {
     SMADB_RETURN_NOT_OK(file->Append(identity));
   }
   const size_t g = groups_.size();
   groups_.push_back(Group{key, std::move(file)});
   group_index_[skey] = g;
+  // Publish only after the file is complete: readers index up to here.
+  num_groups_.store(g + 1, std::memory_order_release);
   return g;
 }
 
 Status Sma::EnsureBuckets(uint64_t n) {
-  if (n <= num_buckets_) return Status::OK();
+  const uint64_t have = num_buckets();
+  if (n <= have) return Status::OK();
   const int64_t identity = IdentityEntry();
   for (Group& g : groups_) {
-    for (uint64_t b = num_buckets_; b < n; ++b) {
+    for (uint64_t b = have; b < n; ++b) {
       SMADB_RETURN_NOT_OK(g.file->Append(identity));
     }
   }
-  num_buckets_ = n;
+  num_buckets_.store(n, std::memory_order_release);
   return Status::OK();
 }
 
@@ -102,7 +107,7 @@ Status Sma::AppendBucket(const std::map<size_t, int64_t>& acc) {
     const int64_t entry = it == acc.end() ? IdentityEntry() : it->second;
     SMADB_RETURN_NOT_OK(groups_[g].file->Append(entry));
   }
-  ++num_buckets_;
+  num_buckets_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -130,23 +135,25 @@ Status Sma::AccumulateBucket(uint64_t bucket, std::map<size_t, int64_t>* acc) {
 }
 
 void Sma::MarkTrusted(uint64_t epoch) {
-  built_epoch_ = epoch;
-  trusted_ = true;
+  std::lock_guard<std::mutex> lock(trust_mu_);
+  built_epoch_.store(epoch, std::memory_order_release);
   distrust_reason_.clear();
+  trusted_.store(true, std::memory_order_release);
 }
 
 void Sma::MarkDistrusted(std::string reason) const {
+  std::lock_guard<std::mutex> lock(trust_mu_);
   // Keep the first diagnosis; later failures are usually consequences.
-  if (!trusted_) return;
-  trusted_ = false;
+  if (!trusted_.load(std::memory_order_relaxed)) return;
   distrust_reason_ = std::move(reason);
+  trusted_.store(false, std::memory_order_release);
 }
 
 Status Sma::Verify(uint64_t max_sample_buckets) const {
   if (max_sample_buckets == 0) max_sample_buckets = 1;
-  const uint64_t step =
-      std::max<uint64_t>(1, num_buckets_ / max_sample_buckets);
-  for (uint64_t b = 0; b < num_buckets_; b += step) {
+  const uint64_t buckets = num_buckets();
+  const uint64_t step = std::max<uint64_t>(1, buckets / max_sample_buckets);
+  for (uint64_t b = 0; b < buckets; b += step) {
     std::map<size_t, int64_t> acc;
     Status walk = Status::OK();
     SMADB_RETURN_NOT_OK(table_->ForEachTupleInBucket(
@@ -172,7 +179,7 @@ Status Sma::Verify(uint64_t max_sample_buckets) const {
       MarkDistrusted(walk.message());
       return walk;
     }
-    for (size_t g = 0; g < groups_.size(); ++g) {
+    for (size_t g = 0; g < num_groups(); ++g) {
       auto it = acc.find(g);
       const int64_t expected = it == acc.end() ? IdentityEntry() : it->second;
       util::Result<int64_t> stored = groups_[g].file->Get(b);
@@ -201,7 +208,7 @@ Status Sma::Rebuild() {
   for (Group& g : groups_) {
     SMADB_RETURN_NOT_OK(g.file->Clear());
   }
-  num_buckets_ = 0;
+  num_buckets_.store(0, std::memory_order_release);
   const uint64_t buckets = table_->num_buckets();
   std::map<size_t, int64_t> acc;
   for (uint64_t b = 0; b < buckets; ++b) {
@@ -255,8 +262,12 @@ std::vector<Value> Sma::GroupKeyOf(const storage::TupleRef& t) const {
 }
 
 uint64_t Sma::TotalPages() const {
+  // Index loop: deque iterators (unlike references) are invalidated by a
+  // concurrent group creation.
   uint64_t pages = 0;
-  for (const Group& g : groups_) pages += g.file->num_pages();
+  for (size_t g = 0; g < num_groups(); ++g) {
+    pages += groups_[g].file->num_pages();
+  }
   return pages;
 }
 
@@ -269,7 +280,8 @@ Result<std::optional<int64_t>> Sma::BucketExtreme(uint64_t bucket) const {
     return Status::InvalidArgument("BucketExtreme needs a min/max SMA");
   }
   std::optional<int64_t> extreme;
-  for (const Group& g : groups_) {
+  for (size_t gi = 0; gi < num_groups(); ++gi) {
+    const Group& g = groups_[gi];
     SMADB_ASSIGN_OR_RETURN(int64_t e, g.file->Get(bucket));
     if (IsUndefined(e)) continue;
     if (!extreme.has_value()) {

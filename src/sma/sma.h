@@ -5,10 +5,13 @@
 #ifndef SMADB_SMA_SMA_H_
 #define SMADB_SMA_SMA_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -55,9 +58,17 @@ class Sma {
   storage::BufferPool* pool() const { return pool_; }
 
   /// Buckets covered so far (entries per group file).
-  uint64_t num_buckets() const { return num_buckets_; }
+  uint64_t num_buckets() const {
+    return num_buckets_.load(std::memory_order_acquire);
+  }
 
-  size_t num_groups() const { return groups_.size(); }
+  /// Groups visible to readers. Published AFTER the group's file is fully
+  /// constructed, so indexing any g < num_groups() is always safe even while
+  /// a maintainer concurrently creates groups (the deque keeps references
+  /// stable).
+  size_t num_groups() const {
+    return num_groups_.load(std::memory_order_acquire);
+  }
   const std::vector<util::Value>& group_key(size_t g) const {
     return groups_[g].key;
   }
@@ -92,11 +103,16 @@ class Sma {
   // otherwise; SmaMaintainer::Rebuild() repairs unusable SMAs.
 
   /// Table modification epoch this SMA was built/maintained at.
-  uint64_t built_epoch() const { return built_epoch_; }
+  uint64_t built_epoch() const {
+    return built_epoch_.load(std::memory_order_acquire);
+  }
 
   /// False once corruption or a failed Verify() condemned this SMA.
-  bool trusted() const { return trusted_; }
-  const std::string& distrust_reason() const { return distrust_reason_; }
+  bool trusted() const { return trusted_.load(std::memory_order_acquire); }
+  std::string distrust_reason() const {
+    std::lock_guard<std::mutex> lock(trust_mu_);
+    return distrust_reason_;
+  }
 
   /// Records that the SMA reflects the table at `epoch` and clears any
   /// distrust.
@@ -106,8 +122,11 @@ class Sma {
   /// const pointers; trust is bookkeeping, not SMA content).
   void MarkDistrusted(std::string reason) const;
 
-  /// True when the table changed behind this SMA's back.
-  bool stale() const { return built_epoch_ != table_->epoch(); }
+  /// True when the table changed behind this SMA's back. Strictly-less:
+  /// the maintainer pre-stamps the built epoch to the post-mutation value
+  /// *before* folding the mutation in (both under the bucket latch), so a
+  /// concurrent planner never observes a transiently "stale" SMA mid-fold.
+  bool stale() const { return built_epoch() < table_->epoch(); }
 
   /// Self-check: recomputes up to `max_sample_buckets` evenly spaced bucket
   /// aggregates from the base data and compares them with the stored
@@ -163,13 +182,18 @@ class Sma {
   storage::BufferPool* pool_;
   const storage::Table* table_;
   SmaSpec spec_;
-  std::vector<Group> groups_;
+  // Deque: group creation must not invalidate references readers hold.
+  std::deque<Group> groups_;
+  // Readers' view of groups_.size(); see num_groups().
+  std::atomic<size_t> num_groups_{0};
+  // Writer-side only (mutations are serialized by the database writer lock).
   std::unordered_map<std::string, size_t> group_index_;
-  uint64_t num_buckets_ = 0;
-  uint64_t built_epoch_ = 0;
+  std::atomic<uint64_t> num_buckets_{0};
+  std::atomic<uint64_t> built_epoch_{0};
   // Trust is mutable: corruption is discovered on read-only paths (planner,
   // Verify) that hold const pointers.
-  mutable bool trusted_ = true;
+  mutable std::atomic<bool> trusted_{true};
+  mutable std::mutex trust_mu_;  ///< guards distrust_reason_
   mutable std::string distrust_reason_;
 };
 

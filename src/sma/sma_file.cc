@@ -32,14 +32,15 @@ Result<std::unique_ptr<SmaFile>> SmaFile::Open(storage::BufferPool* pool,
   }
   SMADB_ASSIGN_OR_RETURN(storage::FileId file, pool->disk()->FindFile(file_name));
   auto sma = std::unique_ptr<SmaFile>(new SmaFile(pool, file, entry_width));
-  sma->num_entries_ = num_entries;
-  sma->num_pages_ = static_cast<uint32_t>(
+  const uint32_t pages = static_cast<uint32_t>(
       (num_entries + sma->entries_per_page_ - 1) / sma->entries_per_page_);
+  sma->num_entries_.store(num_entries, std::memory_order_relaxed);
+  sma->num_pages_.store(pages, std::memory_order_relaxed);
   SMADB_ASSIGN_OR_RETURN(uint32_t disk_pages, pool->disk()->NumPages(file));
-  if (disk_pages < sma->num_pages_) {
+  if (disk_pages < pages) {
     return Status::Corruption(util::Format(
         "SMA-file '%s': manifest says %u pages but file holds %u",
-        file_name.c_str(), sma->num_pages_, disk_pages));
+        file_name.c_str(), pages, disk_pages));
   }
   return sma;
 }
@@ -63,44 +64,49 @@ void SmaFile::EncodeAt(Page* page, uint64_t idx, int64_t value) const {
 }
 
 Status SmaFile::Append(int64_t value) {
-  const uint64_t idx = num_entries_;
+  const uint64_t idx = num_entries_.load(std::memory_order_relaxed);
+  const uint32_t pages = num_pages_.load(std::memory_order_relaxed);
   PageGuard guard;
   if (idx % entries_per_page_ == 0) {
     SMADB_ASSIGN_OR_RETURN(guard, pool_->NewPage(file_, nullptr));
-    ++num_pages_;
+    num_pages_.store(pages + 1, std::memory_order_release);
   } else {
-    SMADB_ASSIGN_OR_RETURN(guard, pool_->Fetch(file_, num_pages_ - 1));
+    SMADB_ASSIGN_OR_RETURN(guard, pool_->Fetch(file_, pages - 1));
   }
   EncodeAt(guard.MutablePage(), idx, value);
-  ++num_entries_;
+  // Publish AFTER the entry bytes: a concurrent cursor that acquire-loads
+  // the new count is guaranteed to see the encoded value.
+  num_entries_.store(idx + 1, std::memory_order_release);
   return Status::OK();
 }
 
 Status SmaFile::Clear() {
   SMADB_RETURN_NOT_OK(pool_->DiscardFile(file_));
   SMADB_RETURN_NOT_OK(pool_->disk()->TruncateFile(file_));
-  num_entries_ = 0;
-  num_pages_ = 0;
+  num_entries_.store(0, std::memory_order_relaxed);
+  num_pages_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<int64_t> SmaFile::Get(uint64_t idx) const {
-  if (idx >= num_entries_) {
+  const uint64_t n = num_entries_.load(std::memory_order_acquire);
+  if (idx >= n) {
     return Status::OutOfRange(util::Format(
         "SMA entry %llu out of range (%llu entries)",
         static_cast<unsigned long long>(idx),
-        static_cast<unsigned long long>(num_entries_)));
+        static_cast<unsigned long long>(n)));
   }
   SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(file_, PageOfEntry(idx)));
   return DecodeAt(*guard.page(), idx);
 }
 
 Status SmaFile::Set(uint64_t idx, int64_t value) {
-  if (idx >= num_entries_) {
+  const uint64_t n = num_entries_.load(std::memory_order_acquire);
+  if (idx >= n) {
     return Status::OutOfRange(util::Format(
         "SMA entry %llu out of range (%llu entries)",
         static_cast<unsigned long long>(idx),
-        static_cast<unsigned long long>(num_entries_)));
+        static_cast<unsigned long long>(n)));
   }
   SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(file_, PageOfEntry(idx)));
   EncodeAt(guard.MutablePage(), idx, value);
@@ -108,11 +114,12 @@ Status SmaFile::Set(uint64_t idx, int64_t value) {
 }
 
 Result<int64_t> SmaFile::Cursor::Get(uint64_t idx) {
-  if (idx >= file_->num_entries_) {
+  const uint64_t n = file_->num_entries_.load(std::memory_order_acquire);
+  if (idx >= n) {
     return Status::OutOfRange(util::Format(
         "SMA entry %llu out of range (%llu entries)",
         static_cast<unsigned long long>(idx),
-        static_cast<unsigned long long>(file_->num_entries_)));
+        static_cast<unsigned long long>(n)));
   }
   const int64_t page = file_->PageOfEntry(idx);
   if (page != cached_page_) {

@@ -13,6 +13,7 @@
 #ifndef SMADB_SMA_SMA_FILE_H_
 #define SMADB_SMA_SMA_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -38,8 +39,12 @@ class SmaFile {
       uint32_t entry_width, uint64_t num_entries);
 
   uint32_t entry_width() const { return entry_width_; }
-  uint64_t num_entries() const { return num_entries_; }
-  uint32_t num_pages() const { return num_pages_; }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_acquire);
+  }
+  uint32_t num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
   storage::FileId file() const { return file_; }
 
   /// Entries that fit on one page (1024 for 4-byte, 512 for 8-byte).
@@ -84,7 +89,7 @@ class SmaFile {
 
   /// Total bytes occupied on the simulated disk.
   uint64_t SizeBytes() const {
-    return static_cast<uint64_t>(num_pages_) * storage::kPageSize;
+    return static_cast<uint64_t>(num_pages()) * storage::kPageSize;
   }
 
  private:
@@ -103,8 +108,13 @@ class SmaFile {
   storage::FileId file_;
   uint32_t entry_width_;
   uint32_t entries_per_page_;
-  uint64_t num_entries_ = 0;
-  uint32_t num_pages_ = 0;
+  // Appends are single-writer (the engine's write path is serialized above
+  // us), but graders read concurrently under OTHER buckets' latches, so the
+  // tail counters follow the publish discipline used by Table::append_state:
+  // entry bytes land first, then num_entries_ is store-released; readers
+  // acquire-load it and never index past what they loaded.
+  std::atomic<uint64_t> num_entries_{0};
+  std::atomic<uint32_t> num_pages_{0};
 };
 
 }  // namespace smadb::sma

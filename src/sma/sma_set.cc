@@ -8,6 +8,7 @@ using util::Result;
 using util::Status;
 
 Status SmaSet::Add(std::unique_ptr<Sma> sma) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (sma->table() != table_) {
     return Status::InvalidArgument("SMA belongs to a different table");
   }
@@ -22,6 +23,7 @@ Status SmaSet::Add(std::unique_ptr<Sma> sma) {
 }
 
 Result<Sma*> SmaSet::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& sma : smas_) {
     if (sma->spec().name == name) return sma.get();
   }
@@ -30,6 +32,7 @@ Result<Sma*> SmaSet::Find(std::string_view name) const {
 
 const Sma* SmaSet::FindMinMax(AggFunc func, size_t col) const {
   if (func != AggFunc::kMin && func != AggFunc::kMax) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string& col_name = table_->schema().field(col).name;
   const Sma* grouped_fallback = nullptr;
   for (const auto& sma : smas_) {
@@ -43,6 +46,7 @@ const Sma* SmaSet::FindMinMax(AggFunc func, size_t col) const {
 }
 
 const Sma* SmaSet::FindCountByValue(size_t col) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& sma : smas_) {
     const SmaSpec& spec = sma->spec();
     if (spec.func == AggFunc::kCount && spec.group_by.size() == 1 &&
@@ -54,6 +58,7 @@ const Sma* SmaSet::FindCountByValue(size_t col) const {
 }
 
 const Sma* SmaSet::FindBySignature(std::string_view signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& sma : smas_) {
     if (sma->spec().Signature(table_->schema()) == signature) {
       return sma.get();
@@ -63,6 +68,7 @@ const Sma* SmaSet::FindBySignature(std::string_view signature) const {
 }
 
 std::vector<const Sma*> SmaSet::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Sma*> out;
   out.reserve(smas_.size());
   for (const auto& sma : smas_) out.push_back(sma.get());
@@ -70,6 +76,7 @@ std::vector<const Sma*> SmaSet::all() const {
 }
 
 std::vector<Sma*> SmaSet::mutable_all() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Sma*> out;
   out.reserve(smas_.size());
   for (const auto& sma : smas_) out.push_back(sma.get());
@@ -77,6 +84,7 @@ std::vector<Sma*> SmaSet::mutable_all() {
 }
 
 std::string SmaSet::TrustIssue() const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& sma : smas_) {
     if (!sma->trusted()) {
       return "SMA '" + sma->spec().name +
@@ -94,6 +102,7 @@ std::string SmaSet::TrustIssue() const {
 }
 
 uint64_t SmaSet::TotalPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t pages = 0;
   for (const auto& sma : smas_) pages += sma->TotalPages();
   return pages;

@@ -7,6 +7,7 @@
 #define SMADB_SMA_SMA_SET_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,10 @@
 
 namespace smadb::sma {
 
+/// Thread-safe: `define sma` (Add) is serialized by the database writer
+/// lock but races planner lookups from query sessions, so the registry is
+/// guarded internally. The Sma objects themselves synchronize their own
+/// trust/extent state.
 class SmaSet {
  public:
   explicit SmaSet(const storage::Table* table) : table_(table) {}
@@ -45,7 +50,10 @@ class SmaSet {
   std::vector<const Sma*> all() const;
   /// Mutable view for maintenance.
   std::vector<Sma*> mutable_all();
-  size_t size() const { return smas_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return smas_.size();
+  }
 
   /// First trust problem across the set — a distrusted SMA or one whose
   /// built-epoch lags the table's modification epoch. Empty string when
@@ -60,6 +68,7 @@ class SmaSet {
 
  private:
   const storage::Table* table_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Sma>> smas_;
 };
 

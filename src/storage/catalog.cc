@@ -7,6 +7,7 @@ using util::Status;
 
 Result<Table*> Catalog::CreateTable(std::string name, Schema schema,
                                     TableOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (by_name_.count(name) != 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -20,6 +21,7 @@ Result<Table*> Catalog::CreateTable(std::string name, Schema schema,
 }
 
 Result<Table*> Catalog::AttachTable(std::unique_ptr<Table> table) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (by_name_.count(table->name()) != 0) {
     return Status::AlreadyExists("table '" + table->name() +
                                  "' already exists");
@@ -31,6 +33,7 @@ Result<Table*> Catalog::AttachTable(std::unique_ptr<Table> table) {
 }
 
 Result<Table*> Catalog::GetTable(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) {
     return Status::NotFound("no table named '" + std::string(name) + "'");
@@ -39,6 +42,7 @@ Result<Table*> Catalog::GetTable(std::string_view name) const {
 }
 
 std::vector<Table*> Catalog::Tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Table*> out;
   out.reserve(tables_.size());
   for (const auto& t : tables_) out.push_back(t.get());

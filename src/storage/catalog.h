@@ -4,6 +4,7 @@
 #define SMADB_STORAGE_CATALOG_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,7 +15,9 @@
 namespace smadb::storage {
 
 /// Name → Table registry. The SMA layer keeps its own per-table registry
-/// (sma::SmaSet); the catalog is deliberately index-agnostic.
+/// (sma::SmaSet); the catalog is deliberately index-agnostic. Thread-safe:
+/// DDL is serialized by the database writer lock, but lookups race with it
+/// from query sessions, so the registry is guarded internally.
 class Catalog {
  public:
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
@@ -39,6 +42,7 @@ class Catalog {
 
  private:
   BufferPool* pool_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, size_t> by_name_;
 };

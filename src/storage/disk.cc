@@ -118,6 +118,7 @@ void DiskBackend::AccountWrite(int64_t* last, uint32_t page_no) {
 // SimulatedDisk.
 
 Result<FileId> SimulatedDisk::CreateFile(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (name.empty()) {
     return Status::InvalidArgument(
         "file name must be non-empty (empty marks a removed file)");
@@ -142,6 +143,7 @@ Result<FileId> SimulatedDisk::CreateFile(std::string name) {
 }
 
 Result<FileId> SimulatedDisk::FindFile(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < files_.size(); ++i) {
     if (!files_[i].name.empty() && files_[i].name == name) {
       return static_cast<FileId>(i);
@@ -151,6 +153,7 @@ Result<FileId> SimulatedDisk::FindFile(std::string_view name) const {
 }
 
 Status SimulatedDisk::RemoveFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file >= files_.size() || files_[file].name.empty()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }
@@ -165,6 +168,7 @@ Status SimulatedDisk::RemoveFile(FileId file) {
 }
 
 Result<uint32_t> SimulatedDisk::AllocatePage(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file >= files_.size() || files_[file].name.empty()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }
@@ -184,6 +188,7 @@ Result<uint32_t> SimulatedDisk::AllocatePage(FileId file) {
 }
 
 Status SimulatedDisk::FreePage(FileId file, uint32_t page_no) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
   if (std::find(f.free_pages.begin(), f.free_pages.end(), page_no) !=
@@ -211,6 +216,7 @@ Status SimulatedDisk::CheckBounds(FileId file, uint32_t page_no) const {
 }
 
 Status SimulatedDisk::ReadPage(FileId file, uint32_t page_no, Page* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
   // Failpoints: errors abort the read before any transfer is accounted;
@@ -226,6 +232,7 @@ Status SimulatedDisk::ReadPage(FileId file, uint32_t page_no, Page* out) {
 
 Status SimulatedDisk::WritePage(FileId file, uint32_t page_no,
                                 const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
   bool flip = false;
@@ -243,6 +250,7 @@ Status SimulatedDisk::WritePage(FileId file, uint32_t page_no,
 }
 
 Status SimulatedDisk::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(ConsultSyncFaults());
   ++stats_.syncs;
   return Status::OK();
@@ -250,18 +258,21 @@ Status SimulatedDisk::Sync() {
 
 Result<uint32_t> SimulatedDisk::PageChecksum(FileId file,
                                              uint32_t page_no) const {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   return files_[file].checksums[page_no];
 }
 
 Status SimulatedDisk::CorruptPageForTesting(FileId file, uint32_t page_no,
                                             uint64_t bit) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   FaultFlipBit(files_[file].pages[page_no].get(), bit);
   return Status::OK();
 }
 
 Status SimulatedDisk::TruncateFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file >= files_.size()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }
@@ -274,6 +285,7 @@ Status SimulatedDisk::TruncateFile(FileId file) {
 }
 
 Result<uint32_t> SimulatedDisk::NumPages(FileId file) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file >= files_.size()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }

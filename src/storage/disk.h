@@ -25,7 +25,9 @@
 #define SMADB_STORAGE_DISK_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -133,8 +135,10 @@ void FaultFlipBit(Page* page, uint64_t bit);
 ///    classification (the modeled 1997 disk reads the same counters for
 ///    every backend).
 ///
-/// Thread-compatible (external synchronization); the buffer pool serializes
-/// all page traffic under its own mutex.
+/// Thread-safe: the buffer pool serializes page traffic under its own
+/// mutex, but DDL (CreateFile), metric callbacks (stats, FileBytes) and
+/// recovery helpers reach the backend directly from other threads, so every
+/// implementation guards its structures with the backend mutex `mu_`.
 class DiskBackend {
  public:
   DiskBackend() = default;
@@ -206,8 +210,15 @@ class DiskBackend {
   /// Total bytes across the given file.
   virtual uint64_t FileBytes(FileId file) const = 0;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats(); }
+  /// Snapshot of the counters (copy: metric readers race with I/O threads).
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = IoStats();
+  }
 
   /// Forgets per-file head positions so the next access of every file
   /// classifies independently of earlier runs (fair A/B timing).
@@ -233,9 +244,13 @@ class DiskBackend {
 
   /// Classifies one access against the file's last touched page and bumps
   /// the matching IoStats counters. `*last` is updated to `page_no`.
+  /// Caller must hold `mu_`.
   void AccountRead(int64_t* last, uint32_t page_no);
   void AccountWrite(int64_t* last, uint32_t page_no);
 
+  /// Guards `stats_` and every implementation's file table. Leaf lock: no
+  /// other engine mutex is acquired while held.
+  mutable std::mutex mu_;
   IoStats stats_;
 };
 
@@ -259,10 +274,16 @@ class SimulatedDisk final : public DiskBackend {
   util::Status Sync() override;
   util::Result<uint32_t> NumPages(FileId file) const override;
 
+  // Deque keeps File references stable across CreateFile, so the returned
+  // name cannot dangle when DDL races a diagnostic path.
   const std::string& FileName(FileId file) const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return files_[file].name;
   }
-  size_t NumFiles() const override { return files_.size(); }
+  size_t NumFiles() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.size();
+  }
 
   util::Result<uint32_t> PageChecksum(FileId file,
                                       uint32_t page_no) const override;
@@ -270,10 +291,12 @@ class SimulatedDisk final : public DiskBackend {
                                      uint64_t bit) override;
 
   uint64_t FileBytes(FileId file) const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint64_t>(files_[file].pages.size()) * kPageSize;
   }
 
   void ResetAccessPositions() override {
+    std::lock_guard<std::mutex> lock(mu_);
     for (File& f : files_) {
       f.last_read = -2;
       f.last_write = -2;
@@ -293,9 +316,10 @@ class SimulatedDisk final : public DiskBackend {
     int64_t last_write = -2;
   };
 
+  /// Caller must hold `mu_`.
   util::Status CheckBounds(FileId file, uint32_t page_no) const;
 
-  std::vector<File> files_;
+  std::deque<File> files_;
 };
 
 }  // namespace smadb::storage

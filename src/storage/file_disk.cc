@@ -255,6 +255,7 @@ Status FileDiskManager::CheckBounds(FileId file, uint32_t page_no) const {
 }
 
 Result<FileId> FileDiskManager::CreateFile(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (name.empty()) {
     return Status::InvalidArgument(
         "file name must be non-empty (empty marks a removed file)");
@@ -300,6 +301,7 @@ Result<FileId> FileDiskManager::CreateFile(std::string name) {
 }
 
 Result<FileId> FileDiskManager::FindFile(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < files_.size(); ++i) {
     if (!files_[i].name.empty() && files_[i].name == name) {
       return static_cast<FileId>(i);
@@ -309,6 +311,7 @@ Result<FileId> FileDiskManager::FindFile(std::string_view name) const {
 }
 
 Status FileDiskManager::RemoveFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file >= files_.size() || files_[file].name.empty()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }
@@ -329,10 +332,9 @@ Status FileDiskManager::RemoveFile(FileId file) {
   return WriteSuperblock();
 }
 
-Status FileDiskManager::RawWrite(File& f, uint32_t page_no, const Page& page,
-                                 uint32_t crc) {
-  const std::string base =
-      directory_ + "/seg" + std::to_string(static_cast<FileId>(&f - files_.data()));
+Status FileDiskManager::RawWrite(FileId id, File& f, uint32_t page_no,
+                                 const Page& page, uint32_t crc) {
+  const std::string base = directory_ + "/seg" + std::to_string(id);
   SMADB_RETURN_NOT_OK(PWriteFull(f.pages_fd, page.data, kPageSize,
                                  static_cast<uint64_t>(page_no) * kPageSize,
                                  base + ".pages"));
@@ -346,6 +348,7 @@ Status FileDiskManager::RawWrite(File& f, uint32_t page_no, const Page& page,
 }
 
 Result<uint32_t> FileDiskManager::AllocatePage(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file >= files_.size() || files_[file].name.empty()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }
@@ -355,16 +358,17 @@ Result<uint32_t> FileDiskManager::AllocatePage(FileId file) {
   if (!f.free_pages.empty()) {
     const uint32_t page_no = f.free_pages.back();
     f.free_pages.pop_back();
-    SMADB_RETURN_NOT_OK(RawWrite(f, page_no, zero, ZeroPageCrc()));
+    SMADB_RETURN_NOT_OK(RawWrite(file, f, page_no, zero, ZeroPageCrc()));
     return page_no;
   }
   const uint32_t page_no = f.num_pages;
-  SMADB_RETURN_NOT_OK(RawWrite(f, page_no, zero, ZeroPageCrc()));
+  SMADB_RETURN_NOT_OK(RawWrite(file, f, page_no, zero, ZeroPageCrc()));
   ++f.num_pages;
   return page_no;
 }
 
 Status FileDiskManager::FreePage(FileId file, uint32_t page_no) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
   if (std::find(f.free_pages.begin(), f.free_pages.end(), page_no) !=
@@ -375,12 +379,13 @@ Status FileDiskManager::FreePage(FileId file, uint32_t page_no) {
   }
   Page zero;
   zero.Zero();
-  SMADB_RETURN_NOT_OK(RawWrite(f, page_no, zero, ZeroPageCrc()));
+  SMADB_RETURN_NOT_OK(RawWrite(file, f, page_no, zero, ZeroPageCrc()));
   f.free_pages.push_back(page_no);
   return Status::OK();
 }
 
 Status FileDiskManager::ReadPage(FileId file, uint32_t page_no, Page* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
   bool flip = false;
@@ -395,6 +400,7 @@ Status FileDiskManager::ReadPage(FileId file, uint32_t page_no, Page* out) {
 
 Status FileDiskManager::WritePage(FileId file, uint32_t page_no,
                                   const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
   bool flip = false;
@@ -405,15 +411,16 @@ Status FileDiskManager::WritePage(FileId file, uint32_t page_no,
     // verified read detects the silent flip.
     Page corrupted = page;
     FaultFlipBit(&corrupted, FaultFlipBitOf(file, page_no));
-    SMADB_RETURN_NOT_OK(RawWrite(f, page_no, corrupted, crc));
+    SMADB_RETURN_NOT_OK(RawWrite(file, f, page_no, corrupted, crc));
   } else {
-    SMADB_RETURN_NOT_OK(RawWrite(f, page_no, page, crc));
+    SMADB_RETURN_NOT_OK(RawWrite(file, f, page_no, page, crc));
   }
   AccountWrite(&f.last_write, page_no);
   return Status::OK();
 }
 
 Status FileDiskManager::TruncateFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file >= files_.size()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }
@@ -435,6 +442,7 @@ Status FileDiskManager::TruncateFile(FileId file) {
 }
 
 Status FileDiskManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(ConsultSyncFaults());
   for (size_t id = 0; id < files_.size(); ++id) {
     File& f = files_[id];
@@ -450,6 +458,7 @@ Status FileDiskManager::Sync() {
 }
 
 Result<uint32_t> FileDiskManager::NumPages(FileId file) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file >= files_.size()) {
     return Status::InvalidArgument(util::Format("bad file id %u", file));
   }
@@ -458,12 +467,14 @@ Result<uint32_t> FileDiskManager::NumPages(FileId file) const {
 
 Result<uint32_t> FileDiskManager::PageChecksum(FileId file,
                                                uint32_t page_no) const {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   return files_[file].checksums[page_no];
 }
 
 Status FileDiskManager::CorruptPageForTesting(FileId file, uint32_t page_no,
                                               uint64_t bit) {
+  std::lock_guard<std::mutex> lock(mu_);
   SMADB_RETURN_NOT_OK(CheckBounds(file, page_no));
   File& f = files_[file];
   const std::string base = directory_ + "/seg" + std::to_string(file);
@@ -482,6 +493,7 @@ Status FileDiskManager::CorruptPageForTesting(FileId file, uint32_t page_no,
 }
 
 void FileDiskManager::ResetAccessPositions() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (File& f : files_) {
     f.last_read = -2;
     f.last_write = -2;

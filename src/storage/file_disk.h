@@ -32,6 +32,7 @@
 #ifndef SMADB_STORAGE_FILE_DISK_H_
 #define SMADB_STORAGE_FILE_DISK_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,8 +42,8 @@
 namespace smadb::storage {
 
 /// Durable page store over a directory of per-file segments. See file
-/// comment for the layout and crash contract. Thread-compatible, like every
-/// DiskBackend.
+/// comment for the layout and crash contract. Thread-safe, like every
+/// DiskBackend: all state is behind the backend mutex.
 class FileDiskManager final : public DiskBackend {
  public:
   /// Opens (or creates) the backend rooted at `directory`. An existing
@@ -67,10 +68,16 @@ class FileDiskManager final : public DiskBackend {
   util::Status Sync() override;
   util::Result<uint32_t> NumPages(FileId file) const override;
 
+  // Deque keeps File references stable across CreateFile, so the returned
+  // name cannot dangle when DDL races a diagnostic path.
   const std::string& FileName(FileId file) const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return files_[file].name;
   }
-  size_t NumFiles() const override { return files_.size(); }
+  size_t NumFiles() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.size();
+  }
 
   util::Result<uint32_t> PageChecksum(FileId file,
                                       uint32_t page_no) const override;
@@ -78,6 +85,7 @@ class FileDiskManager final : public DiskBackend {
                                      uint64_t bit) override;
 
   uint64_t FileBytes(FileId file) const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint64_t>(files_[file].num_pages) * kPageSize;
   }
 
@@ -102,6 +110,7 @@ class FileDiskManager final : public DiskBackend {
 
   explicit FileDiskManager(std::string directory);
 
+  /// Caller must hold `mu_` (as for every private helper below).
   util::Status CheckBounds(FileId file, uint32_t page_no) const;
 
   /// Opens (creating if needed) the two segment fds of `f` for file id `id`.
@@ -114,14 +123,14 @@ class FileDiskManager final : public DiskBackend {
   /// Writes the superblock atomically (tmp + rename + dir fsync).
   util::Status WriteSuperblock();
 
-  /// Writes `page` and its checksum at `page_no` without fault consultation
-  /// or accounting (allocation zero-fill, corruption helper).
-  util::Status RawWrite(File& f, uint32_t page_no, const Page& page,
+  /// Writes `page` and its checksum at `page_no` of file `id` without fault
+  /// consultation or accounting (allocation zero-fill, corruption helper).
+  util::Status RawWrite(FileId id, File& f, uint32_t page_no, const Page& page,
                         uint32_t crc);
 
   std::string directory_;
   int dir_fd_ = -1;
-  std::vector<File> files_;
+  std::deque<File> files_;
 };
 
 }  // namespace smadb::storage

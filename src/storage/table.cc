@@ -70,7 +70,42 @@ Result<std::unique_ptr<Table>> Table::Restore(BufferPool* pool,
   table->num_deleted_ = num_deleted;
   table->num_pages_ = num_pages;
   table->epoch_ = epoch;
+  SMADB_RETURN_NOT_OK(table->RefreshAppendState());
+  // The tail-page peek above must not leave the pool warm: a fresh open
+  // promises cold data reads (scrubbing and checksum verification rely on
+  // the next access faulting to disk, not hitting a cached frame).
+  SMADB_RETURN_NOT_OK(pool->DropFile(file));
   return table;
+}
+
+Status Table::RefreshAppendState() {
+  const uint32_t pages = num_pages_.load(std::memory_order_relaxed);
+  if (pages == 0) {
+    append_state_.store(0, std::memory_order_release);
+    return Status::OK();
+  }
+  SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(pages - 1));
+  const uint16_t tail = PageTupleCount(*guard.page());
+  append_state_.store((static_cast<uint64_t>(pages) << 16) | tail,
+                      std::memory_order_release);
+  return Status::OK();
+}
+
+TableSnapshot Table::CaptureSnapshot() const {
+  TableSnapshot snap;
+  const uint64_t word = append_state_.load(std::memory_order_acquire);
+  snap.pages = static_cast<uint32_t>(word >> 16);
+  snap.tail_count = static_cast<uint16_t>(word & 0xffff);
+  if (snap.pages == 0) return snap;
+  snap.buckets =
+      (snap.pages + options_.bucket_pages - 1) / options_.bucket_pages;
+  snap.boundary_bucket = (snap.pages - 1) / options_.bucket_pages;
+  // The tail bucket's SMA entries keep absorbing post-snapshot appends
+  // unless the snapshot ends exactly on a bucket boundary with a full tail
+  // page — only then is the last snapshot bucket closed for good.
+  snap.demote_boundary = !(snap.tail_count == tuples_per_page_ &&
+                           snap.pages % options_.bucket_pages == 0);
+  return snap;
 }
 
 Status Table::Append(const TupleBuffer& tuple, Rid* rid) {
@@ -78,40 +113,48 @@ Status Table::Append(const TupleBuffer& tuple, Rid* rid) {
     return Status::InvalidArgument("tuple schema mismatch for table '" +
                                    name_ + "'");
   }
+  uint32_t pages = num_pages_.load(std::memory_order_relaxed);
   PageGuard guard;
   uint32_t page_no;
   uint16_t slot;
-  if (num_pages_ > 0) {
-    page_no = num_pages_ - 1;
+  if (pages > 0) {
+    page_no = pages - 1;
     SMADB_ASSIGN_OR_RETURN(guard, FetchPage(page_no));
     slot = PageTupleCount(*guard.page());
     if (slot >= tuples_per_page_) {
       guard.Release();
       SMADB_ASSIGN_OR_RETURN(guard, pool_->NewPage(file_, &page_no));
-      ++num_pages_;
+      ++pages;
       slot = 0;
     }
   } else {
     SMADB_ASSIGN_OR_RETURN(guard, pool_->NewPage(file_, &page_no));
-    ++num_pages_;
+    ++pages;
     slot = 0;
   }
   Page* page = guard.MutablePage();
   std::memcpy(page->data + tuple_area_offset_ + slot * schema_.tuple_size(),
               tuple.data(), schema_.tuple_size());
   page->WriteAt<uint16_t>(0, static_cast<uint16_t>(slot + 1));
-  ++num_tuples_;
-  ++epoch_;
+  num_pages_.store(pages, std::memory_order_release);
+  num_tuples_.fetch_add(1, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  // Publish the new prefix AFTER the tuple bytes and header: a snapshot that
+  // sees this word sees the fully-written tuple it covers.
+  append_state_.store(
+      (static_cast<uint64_t>(pages) << 16) | static_cast<uint16_t>(slot + 1),
+      std::memory_order_release);
   if (rid != nullptr) *rid = Rid{page_no, slot};
   return Status::OK();
 }
 
 Result<Rid> Table::NextRid() const {
-  if (num_pages_ == 0) return Rid{0, 0};
-  const uint32_t tail = num_pages_ - 1;
+  const uint32_t pages = num_pages();
+  if (pages == 0) return Rid{0, 0};
+  const uint32_t tail = pages - 1;
   SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(tail));
   const uint16_t slot = PageTupleCount(*guard.page());
-  if (slot >= tuples_per_page_) return Rid{num_pages_, 0};
+  if (slot >= tuples_per_page_) return Rid{pages, 0};
   return Rid{tail, slot};
 }
 
@@ -135,7 +178,9 @@ Status Table::ApplyInsert(Rid rid, std::string_view tuple_bytes,
     SMADB_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage(file_, &page_no));
     ++disk_pages;
   }
-  num_pages_ = std::max(num_pages_, rid.page_no + 1);
+  num_pages_.store(std::max(num_pages_.load(std::memory_order_relaxed),
+                            rid.page_no + 1),
+                   std::memory_order_release);
   SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
   Page* page = guard.MutablePage();
   std::memcpy(page->data + tuple_area_offset_ + rid.slot * schema_.tuple_size(),
@@ -146,14 +191,14 @@ Status Table::ApplyInsert(Rid rid, std::string_view tuple_bytes,
   // Canonical insert state: live. A later delete record re-tombstones it.
   page->data[kPageHeaderSize + rid.slot / 8] &=
       static_cast<uint8_t>(~(1u << (rid.slot % 8)));
-  ++num_tuples_;
-  epoch_ = epoch_after;
-  return Status::OK();
+  num_tuples_.fetch_add(1, std::memory_order_release);
+  epoch_.store(epoch_after, std::memory_order_release);
+  return RefreshAppendState();
 }
 
 Status Table::ApplyUpdate(Rid rid, size_t col, const util::Value& v,
                           uint64_t epoch_after) {
-  if (rid.page_no >= num_pages_ || col >= schema_.num_fields()) {
+  if (rid.page_no >= num_pages() || col >= schema_.num_fields()) {
     return Status::Corruption(
         util::Format("replayed update outside table '%s' (page %u, col %zu)",
                      name_.c_str(), rid.page_no, col));
@@ -166,12 +211,12 @@ Status Table::ApplyUpdate(Rid rid, size_t col, const util::Value& v,
       page->data + tuple_area_offset_ + rid.slot * schema_.tuple_size();
   std::memcpy(tuple + schema_.offset(col),
               scratch.data() + schema_.offset(col), schema_.field(col).width());
-  epoch_ = epoch_after;
+  epoch_.store(epoch_after, std::memory_order_release);
   return Status::OK();
 }
 
 Status Table::ApplyDelete(Rid rid, uint64_t epoch_after) {
-  if (rid.page_no >= num_pages_) {
+  if (rid.page_no >= num_pages()) {
     return Status::Corruption(util::Format(
         "replayed delete outside table '%s' (page %u)", name_.c_str(),
         rid.page_no));
@@ -180,15 +225,15 @@ Status Table::ApplyDelete(Rid rid, uint64_t epoch_after) {
   Page* page = guard.MutablePage();
   page->data[kPageHeaderSize + rid.slot / 8] |=
       static_cast<uint8_t>(1u << (rid.slot % 8));
-  ++num_deleted_;
-  epoch_ = epoch_after;
+  num_deleted_.fetch_add(1, std::memory_order_release);
+  epoch_.store(epoch_after, std::memory_order_release);
   return Status::OK();
 }
 
 Result<TupleBuffer> Table::ReadTuple(Rid rid) {
-  if (rid.page_no >= num_pages_) {
+  if (rid.page_no >= num_pages()) {
     return Status::OutOfRange(util::Format("page %u >= %u", rid.page_no,
-                                           num_pages_));
+                                           num_pages()));
   }
   SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
   if (rid.slot >= PageTupleCount(*guard.page())) {
@@ -207,9 +252,9 @@ Result<TupleBuffer> Table::ReadTuple(Rid rid) {
 }
 
 Status Table::UpdateColumn(Rid rid, size_t col, const util::Value& v) {
-  if (rid.page_no >= num_pages_) {
+  if (rid.page_no >= num_pages()) {
     return Status::OutOfRange(util::Format("page %u >= %u", rid.page_no,
-                                           num_pages_));
+                                           num_pages()));
   }
   if (col >= schema_.num_fields()) {
     return Status::OutOfRange(util::Format("column %zu out of range", col));
@@ -230,14 +275,16 @@ Status Table::UpdateColumn(Rid rid, size_t col, const util::Value& v) {
       page->data + tuple_area_offset_ + rid.slot * schema_.tuple_size();
   std::memcpy(tuple + schema_.offset(col), scratch.data() + schema_.offset(col),
               schema_.field(col).width());
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 Status Table::Vacuum() {
-  if (num_deleted_ == 0) return Status::OK();
+  const uint64_t deleted = num_deleted_.load(std::memory_order_relaxed);
+  if (deleted == 0) return Status::OK();
   const size_t bitmap_bytes = (tuples_per_page_ + 7) / 8;
-  for (uint32_t p = 0; p < num_pages_; ++p) {
+  const uint32_t pages = num_pages();
+  for (uint32_t p = 0; p < pages; ++p) {
     SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(p));
     const uint16_t n = PageTupleCount(*guard.page());
     bool any_deleted = false;
@@ -260,15 +307,16 @@ Status Table::Vacuum() {
     std::memset(page->data + kPageHeaderSize, 0, bitmap_bytes);
     page->WriteAt<uint16_t>(0, write);
   }
-  num_tuples_ -= num_deleted_;
-  num_deleted_ = 0;
-  return Status::OK();
+  num_tuples_.fetch_sub(deleted, std::memory_order_release);
+  num_deleted_.store(0, std::memory_order_release);
+  // The tail page's slot count may have shrunk; re-derive the append word.
+  return RefreshAppendState();
 }
 
 Status Table::DeleteTuple(Rid rid) {
-  if (rid.page_no >= num_pages_) {
+  if (rid.page_no >= num_pages()) {
     return Status::OutOfRange(util::Format("page %u >= %u", rid.page_no,
-                                           num_pages_));
+                                           num_pages()));
   }
   SMADB_ASSIGN_OR_RETURN(PageGuard guard, FetchPage(rid.page_no));
   if (rid.slot >= PageTupleCount(*guard.page())) {
@@ -281,8 +329,8 @@ Status Table::DeleteTuple(Rid rid) {
   Page* page = guard.MutablePage();
   page->data[kPageHeaderSize + rid.slot / 8] |=
       static_cast<uint8_t>(1u << (rid.slot % 8));
-  ++num_deleted_;
-  ++epoch_;
+  num_deleted_.fetch_add(1, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

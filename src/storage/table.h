@@ -10,12 +10,14 @@
 #define SMADB_STORAGE_TABLE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 
 #include "storage/buffer_pool.h"
+#include "storage/latch.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 #include "util/status.h"
@@ -42,6 +44,36 @@ struct Rid {
 /// are skipped by iteration.
 inline constexpr size_t kPageHeaderSize = 8;
 
+/// A consistent prefix of the heap captured at one instant: everything up to
+/// slot `tail_count` of page `pages - 1`. Appends only ever grow the tail
+/// page's slot count or add pages beyond it, so the prefix stays stable
+/// while a scan runs — the scan never observes half-applied appends.
+///
+/// `demote_boundary` marks the one bucket whose SMA entries a concurrent
+/// appender may still be folding into (the bucket holding the snapshot's
+/// tail page, unless the snapshot ends exactly on a full bucket). Grading
+/// from such an entry is still sound for skip decisions (the entry covers a
+/// superset of the snapshot rows, and superset min/max bounds imply the
+/// subset's), but DIRECT answers from its values (SMA_GAggr reading
+/// count/sum out of the entry) would include post-snapshot rows — so scans
+/// grade that bucket ambivalent and inspect its (snapshot-clamped) rows
+/// instead.
+struct TableSnapshot {
+  uint32_t pages = 0;       ///< pages in the snapshot prefix
+  uint16_t tail_count = 0;  ///< slots visible on page pages-1
+  uint32_t buckets = 0;     ///< buckets covering those pages
+  uint32_t boundary_bucket = 0;  ///< meaningful iff demote_boundary
+  bool demote_boundary = false;
+
+  /// Slots of `page_no` inside the snapshot, given the page's live header
+  /// count (caller reads it under the bucket latch).
+  uint16_t VisibleSlots(uint32_t page_no, uint16_t header_count) const {
+    if (page_no + 1 > pages) return 0;
+    if (page_no + 1 == pages) return std::min(header_count, tail_count);
+    return header_count;
+  }
+};
+
 class Table {
  public:
   /// Creates an empty table backed by a fresh file named "tbl.<name>".
@@ -67,19 +99,45 @@ class Table {
   /// Tuples that fit on one page.
   uint32_t tuples_per_page() const { return tuples_per_page_; }
 
-  uint64_t num_tuples() const { return num_tuples_; }
-  uint32_t num_pages() const { return num_pages_; }
+  uint64_t num_tuples() const {
+    return num_tuples_.load(std::memory_order_acquire);
+  }
+  uint32_t num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
 
   /// Modification epoch: bumped by every Append/UpdateColumn/DeleteTuple.
-  /// SMAs record the epoch they were built/maintained at; a mismatch means
-  /// the SMA is stale (the table was mutated behind the maintainer's back)
-  /// and the planner demotes to a plain scan until it is rebuilt. Vacuum
-  /// does not bump it: compaction preserves live tuple contents and the
-  /// bucket ↔ SMA-entry correspondence.
-  uint64_t epoch() const { return epoch_; }
+  /// SMAs record the epoch they were built/maintained at; an SMA behind the
+  /// table epoch is stale (the table was mutated behind the maintainer's
+  /// back) and the planner demotes to a plain scan until it is rebuilt.
+  /// Vacuum does not bump it: compaction preserves live tuple contents and
+  /// the bucket ↔ SMA-entry correspondence.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   /// Buckets currently present (last one may be partial).
   uint32_t num_buckets() const {
-    return (num_pages_ + options_.bucket_pages - 1) / options_.bucket_pages;
+    return (num_pages() + options_.bucket_pages - 1) / options_.bucket_pages;
+  }
+
+  /// Captures the current consistent append prefix — one atomic load of the
+  /// (pages, tail slot count) word Append publishes after the tuple bytes.
+  /// Scans bound themselves by a snapshot instead of the live counters.
+  TableSnapshot CaptureSnapshot() const;
+
+  /// Bucket-granular reader-writer latches for this table. Writers latch
+  /// the single bucket a mutation lands in exclusively while splicing page
+  /// bytes and folding SMA entries; readers latch the bucket they are
+  /// scanning shared. See storage/latch.h for the lock-order contract.
+  BucketLatchTable* latches() const { return &latches_; }
+
+  /// Bucket the next Append will land in. Stable only under the writer
+  /// lock (appends are single-writer), where the maintainer uses it to
+  /// latch the target bucket exclusively *before* the page write.
+  uint64_t AppendTargetBucket() const {
+    const TableSnapshot snap = CaptureSnapshot();
+    if (snap.pages == 0 || snap.tail_count >= tuples_per_page_) {
+      return static_cast<uint64_t>(snap.pages) / options_.bucket_pages;
+    }
+    return static_cast<uint64_t>(snap.pages - 1) / options_.bucket_pages;
   }
 
   /// Appends one tuple at the tail (bulk-load path). Optionally reports the
@@ -144,8 +202,10 @@ class Table {
   util::Status DeleteTuple(Rid rid);
 
   /// Live tuples (appends minus deletes).
-  uint64_t num_live_tuples() const { return num_tuples_ - num_deleted_; }
-  uint64_t num_deleted() const { return num_deleted_; }
+  uint64_t num_live_tuples() const { return num_tuples() - num_deleted(); }
+  uint64_t num_deleted() const {
+    return num_deleted_.load(std::memory_order_acquire);
+  }
 
   /// Vacuum: compacts every page in place, squeezing out tombstoned slots.
   /// Pages keep their position, so the bucket ↔ SMA-entry correspondence —
@@ -161,13 +221,17 @@ class Table {
   std::pair<uint32_t, uint32_t> BucketPageRange(uint32_t bucket) const {
     const uint32_t first = bucket * options_.bucket_pages;
     const uint32_t end =
-        std::min(first + options_.bucket_pages, num_pages_);
+        std::min(first + options_.bucket_pages, num_pages());
     return {first, end};
   }
 
   /// Invokes `fn(TupleRef, Rid)` for every *live* tuple of `bucket`, in
   /// physical order. `fn` must not retain the TupleRef beyond the call.
   /// Const: a read-only walk (verification paths hold const Table*).
+  /// Unsynchronized: the caller must hold the bucket's latch or run in a
+  /// writer-serialized context (build/load/vacuum/verify); concurrent query
+  /// paths stream through exec::BucketReader instead, which latches and
+  /// snapshot-clamps.
   template <typename Fn>
   util::Status ForEachTupleInBucket(uint32_t bucket, Fn&& fn) const {
     const auto [first, end] = BucketPageRange(bucket);
@@ -184,12 +248,16 @@ class Table {
 
   /// Total base-data bytes (pages * page size).
   uint64_t SizeBytes() const {
-    return static_cast<uint64_t>(num_pages_) * kPageSize;
+    return static_cast<uint64_t>(num_pages()) * kPageSize;
   }
 
  private:
   Table(BufferPool* pool, FileId file, std::string name, Schema schema,
         TableOptions options);
+
+  /// Re-derives append_state_ from the tail page header (Restore, Vacuum,
+  /// replay — contexts where the word can't be maintained incrementally).
+  util::Status RefreshAppendState();
 
   BufferPool* pool_;
   FileId file_;
@@ -198,10 +266,16 @@ class Table {
   TableOptions options_;
   uint32_t tuples_per_page_;
   size_t tuple_area_offset_;
-  uint64_t num_tuples_ = 0;
-  uint64_t num_deleted_ = 0;
-  uint32_t num_pages_ = 0;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> num_tuples_{0};
+  std::atomic<uint64_t> num_deleted_{0};
+  std::atomic<uint32_t> num_pages_{0};
+  std::atomic<uint64_t> epoch_{0};
+  /// Packed (pages << 16) | tail_slot_count, release-published by Append
+  /// AFTER the tuple bytes and slot-count header land in the page — the one
+  /// word CaptureSnapshot acquire-loads. Readers that bound themselves by a
+  /// snapshot therefore always see fully-written tuples.
+  std::atomic<uint64_t> append_state_{0};
+  mutable BucketLatchTable latches_;
 };
 
 }  // namespace smadb::storage

@@ -263,6 +263,7 @@ Status Wal::ScanExisting() {
 }
 
 Result<uint64_t> Wal::Append(WalRecordType type, std::string_view payload) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (auto fk = util::fault::Hit("wal.append", path_)) {
     return util::InjectedFaultStatus(*fk, "wal.append '" + path_ + "'");
   }
@@ -279,7 +280,7 @@ Result<uint64_t> Wal::Append(WalRecordType type, std::string_view payload) {
   return lsn;
 }
 
-Status Wal::Flush() {
+Status Wal::FlushLocked() {
   if (buffer_.empty()) return Status::OK();
   SMADB_RETURN_NOT_OK(
       PWriteFull(fd_, buffer_.data(), buffer_.size(), file_bytes_, path_));
@@ -290,23 +291,58 @@ Status Wal::Flush() {
   return Status::OK();
 }
 
+Status Wal::Flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return FlushLocked();
+}
+
 Status Wal::Sync() {
+  std::unique_lock<std::mutex> lk(mu_);
   if (auto fk = util::fault::Hit("wal.sync", path_)) {
     return util::InjectedFaultStatus(*fk, "wal.sync '" + path_ + "'");
   }
-  SMADB_RETURN_NOT_OK(Flush());
-  if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync", path_);
-  synced_lsn_ = flushed_lsn_;
-  ++stats_.syncs;
-  return Status::OK();
+  // Everything this caller has appended so far is what it needs durable.
+  const uint64_t target = next_lsn_ - 1;
+  while (true) {
+    if (!fsync_error_.ok()) return fsync_error_;
+    if (synced_lsn_ >= target) return Status::OK();  // a leader covered us
+    if (!sync_in_progress_) break;                   // become the leader
+    sync_cv_.wait(lk);
+  }
+  // Leader: flush the staged bytes (ours plus any concurrent committer's)
+  // under the mutex, then run the barrier with the mutex released so those
+  // committers can keep staging while the disk works.
+  SMADB_RETURN_NOT_OK(FlushLocked());
+  const uint64_t covered = flushed_lsn_;
+  sync_in_progress_ = true;
+  lk.unlock();
+  const bool ok = ::fdatasync(fd_) == 0;
+  Status st = ok ? Status::OK() : ErrnoError("fdatasync", path_);
+  lk.lock();
+  sync_in_progress_ = false;
+  if (ok) {
+    if (covered > synced_lsn_) synced_lsn_ = covered;
+    ++stats_.syncs;
+  } else {
+    fsync_error_ = st;  // fsyncgate: the barrier is poisoned for good
+  }
+  sync_cv_.notify_all();
+  return st;
 }
 
 void Wal::DiscardUnflushed() {
+  std::lock_guard<std::mutex> lk(mu_);
   buffer_.clear();
   next_lsn_ = flushed_lsn_ + 1;
 }
 
+Wal::AppendMark Wal::Mark() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {next_lsn_, buffer_.size()};
+}
+
 bool Wal::TryRollback(const AppendMark& mark) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (next_lsn_ <= mark.lsn) return true;  // nothing appended since the mark
   if (flushed_lsn_ >= mark.lsn) return false;
   stats_.appends -= next_lsn_ - mark.lsn;
@@ -316,14 +352,52 @@ bool Wal::TryRollback(const AppendMark& mark) {
   return true;
 }
 
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::synced_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return synced_lsn_;
+}
+
+uint64_t Wal::flushed_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return flushed_lsn_;
+}
+
+uint64_t Wal::base_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return base_lsn_;
+}
+
+uint64_t Wal::size_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return file_bytes_ + buffer_.size();
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
 Status Wal::Replay(
     const std::function<Status(uint64_t, WalRecordType, std::string_view)>&
         apply) {
+  // Recovery-time only; the bounds snapshot keeps TSan honest if a metric
+  // callback polls the accessors concurrently.
   uint64_t off = kHeaderBytes;
-  uint64_t expected_lsn = base_lsn_;
+  uint64_t expected_lsn;
+  uint64_t bytes;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    expected_lsn = base_lsn_;
+    bytes = file_bytes_;
+  }
   std::string payload;
   bool eof = false;
-  while (off < file_bytes_) {
+  while (off < bytes) {
     uint8_t frame[kFrameBytes];
     SMADB_RETURN_NOT_OK(
         PReadFull(fd_, frame, sizeof(frame), off, path_, &eof));
@@ -348,6 +422,7 @@ Status Wal::Replay(
 }
 
 Status Wal::Reset(uint64_t base_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
   buffer_.clear();
   if (auto fk = util::fault::Hit("wal.reset.truncate", path_)) {
     return util::InjectedFaultStatus(*fk, "wal.reset.truncate '" + path_ +

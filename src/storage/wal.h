@@ -18,6 +18,17 @@
 // (Database::CrashForTesting -> DiscardUnflushed) model kill-9/power-loss
 // tail loss faithfully without actually killing the process.
 //
+// Threading: the log is internally synchronized. Appends/flushes take the
+// log mutex; Sync() implements leader-based group commit — the first caller
+// to need a barrier flushes under the mutex, then runs the fdatasync with
+// the mutex RELEASED while concurrent committers whose records that flush
+// covered wait on a condition variable instead of issuing their own sync.
+// One fdatasync thus amortizes over every session that committed inside its
+// window. A real fdatasync failure is sticky (fsyncgate: the kernel may
+// have dropped the very pages the barrier was for, so retrying can only
+// lie); injected failpoint errors are not sticky so fault tests keep their
+// per-call semantics.
+//
 // Checkpointing: Reset(base_lsn) truncates the log back to a fresh header
 // whose base_lsn continues the sequence; everything before it is captured by
 // the checkpoint manifest, so replay always starts at the header.
@@ -32,9 +43,11 @@
 #ifndef SMADB_STORAGE_WAL_H_
 #define SMADB_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -85,8 +98,10 @@ struct WalStats {
   uint64_t syncs = 0;
 };
 
-/// The log itself. Thread-compatible: Database serializes writers under its
-/// own mutex.
+/// The log itself. Thread-safe: appends are serialized by the Database's
+/// writer mutex, but Sync/Flush/accessors may race with them (eviction
+/// barriers, group-commit followers, metric callbacks), so every member
+/// locks the internal mutex.
 class Wal {
  public:
   /// Opens (or creates) the log at `path`. An existing log is scanned to the
@@ -108,7 +123,9 @@ class Wal {
   util::Status Flush();
 
   /// Flush + fdatasync: everything appended so far is committed when this
-  /// returns OK. Failpoint: "wal.sync".
+  /// returns OK. Group commit: when another caller's sync already covers
+  /// this caller's records, it waits for that barrier instead of issuing
+  /// its own — one fdatasync per commit window. Failpoint: "wal.sync".
   util::Status Sync();
 
   /// Drops staged-but-unflushed records — the in-process analogue of losing
@@ -120,7 +137,7 @@ class Wal {
     uint64_t lsn = 0;           ///< the LSN the next Append will assign
     uint64_t buffer_bytes = 0;  ///< staged bytes at capture time
   };
-  AppendMark Mark() const { return {next_lsn_, buffer_.size()}; }
+  AppendMark Mark() const;
 
   /// Unstages every record appended since `mark` — the rollback path for a
   /// record whose in-memory apply failed after it was logged. Returns false
@@ -141,20 +158,21 @@ class Wal {
   util::Status Reset(uint64_t base_lsn);
 
   /// LSN the next Append will receive.
-  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t next_lsn() const;
   /// LSN of the newest record covered by a successful Sync (0 = none).
-  uint64_t synced_lsn() const { return synced_lsn_; }
+  uint64_t synced_lsn() const;
   /// LSN of the newest record written to the file (>= synced_lsn). In the
   /// in-process crash model, flushed-but-unsynced records survive
   /// CrashForTesting — the recovery oracle uses this as the upper bound of
   /// the recoverable prefix.
-  uint64_t flushed_lsn() const { return flushed_lsn_; }
+  uint64_t flushed_lsn() const;
   /// First LSN of the current log generation (checkpoint horizon).
-  uint64_t base_lsn() const { return base_lsn_; }
+  uint64_t base_lsn() const;
   /// Bytes in the log file plus staged bytes.
-  uint64_t size_bytes() const { return file_bytes_ + buffer_.size(); }
+  uint64_t size_bytes() const;
 
-  const WalStats& stats() const { return stats_; }
+  /// Snapshot of the counters (copy: callers may race with committers).
+  WalStats stats() const;
 
   const std::string& path() const { return path_; }
 
@@ -163,9 +181,20 @@ class Wal {
 
   util::Status WriteHeader(uint64_t base_lsn);
   util::Status ScanExisting();
+  util::Status FlushLocked();
 
   std::string path_;
   int fd_ = -1;
+
+  /// Guards every mutable member below. fdatasync itself runs with the
+  /// mutex released (see Sync); `sync_in_progress_` marks that window so
+  /// group-commit followers wait on `sync_cv_` instead of double-syncing.
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
+  bool sync_in_progress_ = false;
+  /// Sticky result of a *real* failed fdatasync (fsyncgate: never retry).
+  util::Status fsync_error_;
+
   uint64_t base_lsn_ = 1;
   uint64_t next_lsn_ = 1;
   uint64_t synced_lsn_ = 0;

@@ -515,6 +515,66 @@ TEST_F(GovernorTest, AdmissionIsFifoByArrival) {
   EXPECT_EQ(admission.queued(), 0u);
 }
 
+TEST_F(GovernorTest, AdmissionSessionReentryCannotSelfDeadlock) {
+  AdmissionController admission(
+      {.max_concurrent = 1,
+       .max_queued = 4,
+       .max_wait = std::chrono::milliseconds(150),
+       .wait_quantum = std::chrono::milliseconds(1)});
+  auto first = Unwrap(admission.Admit(/*session_id=*/7));
+  EXPECT_EQ(admission.running(), 1u);
+
+  // The same session holds the only slot: a second Admit must be granted
+  // immediately (re-entrant), not queued behind itself until timeout.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto second = Unwrap(admission.Admit(7));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(100));
+  EXPECT_EQ(admission.running(), 1u) << "one session = one running slot";
+
+  // A different session still honors the cap.
+  const auto other = admission.Admit(9);
+  ASSERT_FALSE(other.ok());
+  EXPECT_EQ(other.status().code(), StatusCode::kResourceExhausted);
+
+  // The slot frees only when the session's last grant releases.
+  second.Release();
+  EXPECT_EQ(admission.running(), 1u);
+  first.Release();
+  EXPECT_EQ(admission.running(), 0u);
+  auto after = Unwrap(admission.Admit(9));
+  EXPECT_EQ(admission.running(), 1u);
+}
+
+TEST_F(GovernorTest, AdmissionSessionReentryDoesNotStarveTheQueue) {
+  AdmissionController admission(
+      {.max_concurrent = 1,
+       .max_queued = 4,
+       .max_wait = std::chrono::seconds(10),
+       .wait_quantum = std::chrono::milliseconds(1)});
+  auto held = Unwrap(admission.Admit(/*session_id=*/7));
+
+  std::atomic<bool> waiter_admitted{false};
+  std::thread waiter([&] {
+    auto slot = Unwrap(admission.Admit(/*session_id=*/9));
+    waiter_admitted.store(true);
+  });
+  while (admission.queued() < 1) std::this_thread::yield();
+
+  // Session 7 re-enters and releases repeatedly while 9 waits; re-entrant
+  // grants ride the held slot, so they neither jump the queue nor free it.
+  for (int i = 0; i < 16; ++i) {
+    auto again = Unwrap(admission.Admit(7));
+    EXPECT_FALSE(waiter_admitted.load());
+  }
+  EXPECT_EQ(admission.queued(), 1u);
+
+  held.Release();  // last grant gone: the queued session wins the slot
+  waiter.join();
+  EXPECT_TRUE(waiter_admitted.load());
+  EXPECT_EQ(admission.running(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Database facade: knobs, per-query governor, explain.
 

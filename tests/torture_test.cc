@@ -8,8 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "db/session.h"
 
 #include "tests/recovery_oracle.h"
 #include "tests/test_util.h"
@@ -86,6 +93,134 @@ TEST_F(TortureTest, FullSweep) {
       for (int k = 1; k <= 8; ++k) {
         RunCase(point, k, interval);
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent writers (DESIGN.md §14): three sessions stream disjoint key
+// ranges through the group-commit window while the main thread issues sync
+// barriers; a kill-point is armed on `wal.sync`, so the crash lands in the
+// middle of a group commit with writers in flight.
+//
+// The scripted shadow model above can't cover this — concurrent inserts
+// interleave LSNs nondeterministically — so the oracle is the per-writer
+// shape of the flushed prefix instead:
+//
+//   1. prefix: each writer's recovered keys are exactly [0, n_w) of its
+//      insert order — WAL replay applies records in LSN order and each
+//      writer's records are themselves ordered, so a gap or reordering
+//      means replay dropped or reshuffled a flushed record;
+//   2. floor: n_w >= every count acknowledged before a sync barrier that
+//      returned OK (acknowledged-durable rows survive);
+//   3. ceiling: n_w <= acknowledged + 1 (only the one in-flight insert per
+//      writer may additionally survive, when its record made the flushed
+//      prefix but its acknowledgement never came back).
+
+TEST_F(TortureTest, ConcurrentWritersHoldTheFlushedLsnOracle) {
+  constexpr int kWriters = 3;
+  constexpr int64_t kPerWriter = 300;
+  constexpr int64_t kStride = 1'000'000;  // writer w owns [w*kStride, ...)
+
+  for (int k : {1, 2, 4}) {  // which wal.sync hit becomes the kill-point
+    ScopedTempDir dir;
+    util::fault::Seed(0xD15EA5E);
+    std::array<std::atomic<int64_t>, kWriters> acked{};
+    std::array<int64_t, kWriters> synced_floor{};
+
+    {
+      db::DatabaseOptions options;
+      options.storage_backend = storage::BackendKind::kFile;
+      options.storage_path = dir.path;
+      options.wal_sync_interval = 8;  // a real group-commit window
+      auto opened = db::Database::Open(std::move(options));
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      db::Database* db = opened->get();
+      auto created = db->CreateTable("t", oracle_internal::OracleSchema());
+      ASSERT_TRUE(created.ok());
+      ASSERT_TRUE(db->Execute("define sma mn select min(d) from t").ok());
+      ASSERT_TRUE(db->Execute("define sma mx select max(d) from t").ok());
+      ASSERT_TRUE(db->SyncWal().ok());  // schema durable before the storm
+
+      util::fault::Arm("wal.sync", {.count = 1,
+                                    .kind = util::FaultKind::kCrash,
+                                    .skip = k - 1});
+
+      std::atomic<int> active{kWriters};
+      std::vector<std::thread> writers;
+      for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+          auto session = db->CreateSession();
+          storage::TupleBuffer buf(&(*created)->schema());
+          for (int64_t i = 0; i < kPerWriter; ++i) {
+            oracle_internal::FillRow(&buf, w * kStride + i);
+            if (!session->Insert("t", buf).ok()) break;
+            acked[w].fetch_add(1, std::memory_order_release);
+          }
+          active.fetch_sub(1, std::memory_order_release);
+        });
+      }
+
+      // Sync barriers record durable floors: rows acknowledged before an
+      // OK barrier are in the flushed prefix, whatever the crash does next.
+      while (active.load(std::memory_order_acquire) > 0 &&
+             !util::fault::CrashFired()) {
+        std::array<int64_t, kWriters> snap;
+        for (int w = 0; w < kWriters; ++w) {
+          snap[w] = acked[w].load(std::memory_order_acquire);
+        }
+        if (db->SyncWal().ok()) synced_floor = snap;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      for (auto& t : writers) t.join();
+
+      ASSERT_TRUE(util::fault::CrashFired())
+          << "k=" << k << ": the wal.sync kill-point never fired";
+      ASSERT_TRUE(db->CrashForTesting().ok());
+      util::fault::DisarmAll();
+    }
+
+    auto reopened = [&] {
+      db::DatabaseOptions options;
+      options.storage_backend = storage::BackendKind::kFile;
+      options.storage_path = dir.path;
+      return db::Database::Open(std::move(options));
+    }();
+    ASSERT_TRUE(reopened.ok())
+        << "k=" << k << ": " << reopened.status().ToString();
+    storage::Table* table = *(*reopened)->GetTable("t");
+
+    // Quiescent single-threaded walk, in physical (== replay LSN) order.
+    std::array<std::vector<int64_t>, kWriters> recovered;
+    const uint32_t buckets =
+        table->num_pages() == 0
+            ? 0
+            : table->BucketOfPage(table->num_pages() - 1) + 1;
+    for (uint32_t b = 0; b < buckets; ++b) {
+      ASSERT_TRUE(table
+                      ->ForEachTupleInBucket(
+                          b,
+                          [&](storage::TupleRef t, storage::Rid) {
+                            const int64_t key = t.GetInt64(0);
+                            const int64_t w = key / kStride;
+                            ASSERT_LT(w, kWriters) << "phantom key " << key;
+                            recovered[w].push_back(key % kStride);
+                          })
+                      .ok());
+    }
+    for (int w = 0; w < kWriters; ++w) {
+      const int64_t n = static_cast<int64_t>(recovered[w].size());
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(recovered[w][i], i)
+            << "k=" << k << " writer " << w
+            << ": recovered keys are not a prefix of the insert order";
+      }
+      EXPECT_GE(n, synced_floor[w])
+          << "k=" << k << " writer " << w << ": acknowledged-durable rows "
+          << "lost (acked " << acked[w].load() << ")";
+      EXPECT_LE(n, acked[w].load() + 1)
+          << "k=" << k << " writer " << w
+          << ": more rows recovered than were ever inserted";
     }
   }
 }
