@@ -6,13 +6,20 @@
 //   $ smadb_cli [port]
 //   smadb> select region, sum(amount), count(*) from sales group by region
 //   ...result table...
-//   smadb> set timeout_ms = 50
+//   smadb> ping
 //   OK
+//
+// Robustness: connection failures (initial connect, `ERR busy` shed, a
+// drained or crashed server) are retried with jittered exponential backoff
+// before giving up. Exit status is 0 when every statement succeeded, 1 when
+// any statement came back `ERR ...`, and 2 when the server was unreachable.
 //
 // Usage: smadb_cli [port]   (default 7878, connects to 127.0.0.1)
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,22 +27,102 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+
+#include "util/rng.h"
 
 namespace {
+
+constexpr int kMaxConnectAttempts = 5;
+
+/// One reconnect schedule for the process: 100 ms doubling to 1.6 s, each
+/// delay jittered by ±50% so a herd of scripted clients restarting against
+/// a recovering server doesn't stampede it.
+class Backoff {
+ public:
+  Backoff() : rng_(static_cast<uint64_t>(::getpid()) * 2654435761u + 1) {}
+
+  int DelayMs(int attempt) {
+    const int base = 100 << (attempt < 4 ? attempt : 4);
+    const double jitter = 0.5 + rng_.NextDouble();  // [0.5, 1.5)
+    return static_cast<int>(base * jitter);
+  }
+
+ private:
+  smadb::util::Rng rng_;
+};
+
+Backoff g_backoff;
 
 bool SendLine(int fd, const std::string& line) {
   const std::string out = line + "\n";
   size_t off = 0;
   while (off < out.size()) {
-    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, 0);
+    const ssize_t n =
+        ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     off += static_cast<size_t>(n);
   }
   return true;
 }
 
-/// Prints response lines until the `OK` / `ERR ...` terminator.
-bool DrainResponse(int fd, std::string* buf) {
+/// One connect attempt; -1 on failure.
+int TryConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Connects with jittered exponential backoff; -1 after the attempts run
+/// out. A connection the server immediately sheds with `ERR busy` counts
+/// as a failed attempt and is retried like any other.
+int ConnectWithBackoff(int port, std::string* recv_buf) {
+  for (int attempt = 0; attempt < kMaxConnectAttempts; ++attempt) {
+    if (attempt > 0) {
+      const int delay = g_backoff.DelayMs(attempt - 1);
+      std::fprintf(stderr, "smadb_cli: retrying in %d ms...\n", delay);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    const int fd = TryConnect(port);
+    if (fd < 0) {
+      std::fprintf(stderr,
+                   "smadb_cli: cannot reach smadb_server on 127.0.0.1:%d\n",
+                   port);
+      continue;
+    }
+    // Peek for an immediate shed (`ERR busy`) so the backoff — not the
+    // user's next statement — absorbs an overloaded server. The brief poll
+    // gives the shed line time to arrive; a healthy server sends nothing
+    // on connect, so this costs at most 50 ms once per (re)connect.
+    char probe[64];
+    pollfd p{fd, POLLIN, 0};
+    (void)::poll(&p, 1, 50);
+    const ssize_t n = ::recv(fd, probe, sizeof(probe), MSG_DONTWAIT);
+    if (n > 0 && std::strncmp(probe, "ERR busy", 8) == 0) {
+      std::fprintf(stderr, "smadb_cli: server busy (connection shed)\n");
+      ::close(fd);
+      continue;
+    }
+    if (n > 0) recv_buf->assign(probe, static_cast<size_t>(n));
+    return fd;
+  }
+  return -1;
+}
+
+/// Prints response lines until the `OK` / `ERR ...` terminator. Returns
+/// the terminator line, or "" when the server hung up first.
+std::string DrainResponse(int fd, std::string* buf) {
   char chunk[4096];
   for (;;) {
     size_t nl;
@@ -43,10 +130,13 @@ bool DrainResponse(int fd, std::string* buf) {
       const std::string line = buf->substr(0, nl);
       buf->erase(0, nl + 1);
       std::printf("%s\n", line.c_str());
-      if (line == "OK" || line.rfind("ERR ", 0) == 0) return true;
+      if (line == "OK" || line.rfind("ERR", 0) == 0) return line;
     }
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;  // server hung up
+    ssize_t n;
+    do {
+      n = ::recv(fd, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return "";  // server hung up
     buf->append(chunk, static_cast<size_t>(n));
   }
 }
@@ -56,23 +146,16 @@ bool DrainResponse(int fd, std::string* buf) {
 int main(int argc, char** argv) {
   const int port = argc > 1 ? std::atoi(argv[1]) : 7878;
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  std::string recv_buf;
+  int fd = ConnectWithBackoff(port, &recv_buf);
   if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::fprintf(stderr, "cannot reach smadb_server on 127.0.0.1:%d -- "
-                         "is it running?\n", port);
-    return 1;
+    std::fprintf(stderr, "smadb_cli: giving up after %d attempts\n",
+                 kMaxConnectAttempts);
+    return 2;
   }
 
-  std::string recv_buf;
-  char line[4096];
+  bool err_seen = false;
+  char line[65536];
   for (;;) {
     std::printf("smadb> ");
     std::fflush(stdout);
@@ -84,13 +167,46 @@ int main(int argc, char** argv) {
       stmt.pop_back();
     }
     if (stmt.empty()) continue;
-    if (!SendLine(fd, stmt)) break;
+
+    // Reconnect (with backoff) if the previous round lost the connection.
+    if (fd < 0) {
+      recv_buf.clear();
+      fd = ConnectWithBackoff(port, &recv_buf);
+      if (fd < 0) {
+        std::fprintf(stderr, "smadb_cli: server unavailable, giving up\n");
+        return 2;
+      }
+      std::fprintf(stderr, "smadb_cli: reconnected (fresh session — "
+                           "session-scoped `set`s were reset)\n");
+    }
+
+    if (!SendLine(fd, stmt)) {
+      std::fprintf(stderr, "smadb_cli: connection lost; statement NOT sent "
+                           "-- retry it after reconnect\n");
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
     if (stmt == "quit") break;
-    if (!DrainResponse(fd, &recv_buf)) {
-      std::fprintf(stderr, "server closed the connection\n");
-      break;
+
+    const std::string terminator = DrainResponse(fd, &recv_buf);
+    if (terminator.empty()) {
+      std::fprintf(stderr, "smadb_cli: server closed the connection "
+                           "(crashed or draining)\n");
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    if (terminator.rfind("ERR", 0) == 0) {
+      err_seen = true;
+      if (terminator == "ERR server draining") {
+        std::fprintf(stderr, "smadb_cli: server is draining; it will close "
+                             "this connection\n");
+        ::close(fd);
+        fd = -1;
+      }
     }
   }
-  ::close(fd);
-  return 0;
+  if (fd >= 0) ::close(fd);
+  return err_seen ? 1 : 0;
 }

@@ -1,15 +1,18 @@
-// A minimal multi-session database server over the Session API
-// (DESIGN.md §14): one shared Database, one Session per TCP connection,
-// each connection served by its own thread. This is the smallest program
-// that exercises what the session layer promises — N independent clients
-// with private knobs, concurrent queries over one engine.
+// The smadb network server: a thin main over net::Server (DESIGN.md §15).
+//
+// One shared Database, one Session per TCP connection, a poll-driven I/O
+// thread feeding a bounded worker pool — no detached threads, bounded
+// buffers, read/idle and write deadlines, a connection cap that sheds with
+// `ERR busy`, and graceful drain on SIGTERM/SIGINT (stop accepting, finish
+// or cancel in-flight requests, checkpoint, exit 0).
 //
 // Protocol (newline-delimited text, one statement per line):
 //   - lines starting with `select` or `explain` run as queries; the result
 //     table is written back line by line;
 //   - every other line (define sma ..., set ..., scrub, show storage) runs
 //     as a statement;
-//   - each request ends with a line `OK` or `ERR <message>`;
+//   - `ping` answers `OK`; `health` reports read-only/draining/session
+//     state; each request ends with a line `OK` or `ERR <message>`;
 //   - `quit` (or EOF) closes the connection.
 //
 // `set dop = 2` and friends scope to the issuing connection's session;
@@ -18,19 +21,15 @@
 //
 // Usage: smadb_server [port]   (default 7878, listens on 127.0.0.1)
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include <csignal>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "db/database.h"
-#include "db/session.h"
+#include "net/server.h"
+#include "storage/table.h"
 #include "util/rng.h"
 
 using namespace smadb;  // NOLINT: example brevity
@@ -75,61 +74,12 @@ void SeedSales(db::Database* db) {
   Check(db->Execute("define sma maxdate select max(saledate) from sales"));
 }
 
-void SendLine(int fd, const std::string& line) {
-  std::string out = line + "\n";
-  size_t off = 0;
-  while (off < out.size()) {
-    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, 0);
-    if (n <= 0) return;  // client went away; the read side will notice
-    off += static_cast<size_t>(n);
-  }
-}
+// SIGTERM/SIGINT request a drain; the handler must stay async-signal-safe,
+// which net::Server::RequestShutdown is (one atomic store + a pipe write).
+net::Server* g_server = nullptr;
 
-bool IsQuery(const std::string& line) {
-  return line.rfind("select", 0) == 0 || line.rfind("explain", 0) == 0;
-}
-
-/// One connection: a private Session for its whole lifetime, so per-client
-/// `set` statements stick across requests.
-void Serve(db::Database* db, int fd) {
-  std::unique_ptr<db::Session> session = db->CreateSession();
-  std::fprintf(stderr, "[session %llu] connected (%zu active)\n",
-               static_cast<unsigned long long>(session->id()),
-               db->sessions_active());
-  std::string buf;
-  char chunk[4096];
-  for (;;) {
-    const size_t nl = buf.find('\n');
-    if (nl == std::string::npos) {
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) break;  // EOF or error: hang up
-      buf.append(chunk, static_cast<size_t>(n));
-      continue;
-    }
-    std::string line = buf.substr(0, nl);
-    buf.erase(0, nl + 1);
-    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
-      line.pop_back();
-    }
-    if (line.empty()) continue;
-    if (line == "quit") break;
-
-    if (IsQuery(line)) {
-      auto result = session->Query(line);
-      if (result.ok()) {
-        SendLine(fd, result->ToString());
-        SendLine(fd, "OK");
-      } else {
-        SendLine(fd, "ERR " + result.status().ToString());
-      }
-    } else {
-      const util::Status st = session->Execute(line);
-      SendLine(fd, st.ok() ? "OK" : "ERR " + st.ToString());
-    }
-  }
-  std::fprintf(stderr, "[session %llu] closed\n",
-               static_cast<unsigned long long>(session->id()));
-  ::close(fd);
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();
 }
 
 }  // namespace
@@ -140,30 +90,26 @@ int main(int argc, char** argv) {
   db::Database database;
   SeedSales(&database);
 
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listener, 16) < 0) {
-    std::perror("bind/listen");
-    return 1;
-  }
-  std::printf("smadb_server: 50000 sales rows ready on 127.0.0.1:%d\n",
-              port);
-  std::printf("connect with: smadb_cli %d\n", port);
+  net::ServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.verbose = true;
+  net::Server server(&database, options);
+  g_server = &server;
 
-  for (;;) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) continue;
-    std::thread(Serve, &database, fd).detach();
-  }
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  Check(server.Start());
+  std::printf("smadb_server: 50000 sales rows ready on %s:%u\n",
+              options.host.c_str(), server.port());
+  std::printf("connect with: smadb_cli %u   (SIGTERM/Ctrl-C drains)\n",
+              server.port());
+
+  server.Wait();  // until a signal requests the drain
+  std::printf("smadb_server: draining...\n");
+  Check(server.Shutdown());  // joins every thread, checkpoints via Close()
+  std::printf("smadb_server: drained, checkpointed, bye\n");
+  return 0;
 }

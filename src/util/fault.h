@@ -14,6 +14,15 @@
 // are scripted. When no failpoint is armed the per-hit cost is one relaxed
 // atomic load, so shipping the hooks in production code is free.
 //
+// Failpoint families by prefix:
+//   * "disk." / "wal." / "manifest." — the durable path (DESIGN.md §12/§13).
+//     These are the points the sticky kCrash kill-switch poisons.
+//   * "governor." — cancellation/budget delivery at exact sites (§10).
+//   * "net." — the serving layer's socket syscalls (§15): "net.accept"
+//     kills a connection at accept, "net.recv" kills a read (kBitFlip
+//     instead corrupts the received bytes), "net.send" fails a response
+//     send. Socket chaos, not durability: a crash never poisons them.
+//
 // Thread safety: all state is behind one mutex; Hit() may be called from any
 // worker thread.
 

@@ -1,0 +1,731 @@
+// Network serving layer tests: the socket-facing contract of DESIGN.md §15.
+//
+// The contract under test: a client — cooperative, slow, dead, or actively
+// hostile — can make the server refuse it with a typed `ERR` line, but never
+// make it hang, leak a session, grow a buffer without bound, or crash. Every
+// test ends with the same invariants: connections_active() back to 0,
+// Database::sessions_active() back to 0, and a fresh connection served.
+//
+// The suite runs under ThreadSanitizer in CI (the I/O-thread/worker hand-off
+// is exactly the kind of code TSan referees); keep iteration counts modest.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "net/server.h"
+#include "tests/test_util.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace smadb {
+namespace {
+
+using testing::ExpectOk;
+using testing::SyntheticSchema;
+using testing::Unwrap;
+
+using Clock = std::chrono::steady_clock;
+
+/// Spins until `cond` holds or `timeout` elapses; true when it held.
+template <typename Cond>
+bool WaitFor(Cond cond, std::chrono::milliseconds timeout =
+                            std::chrono::milliseconds(5000)) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  while (!cond()) {
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+/// A deliberately low-level test client: raw fd, poll-based reads with
+/// deadlines, and the ability to misbehave (half-close, vanish, stall).
+class TestClient {
+ public:
+  TestClient() = default;
+  ~TestClient() { Close(); }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  bool Connect(uint16_t port, int rcvbuf_bytes = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    if (rcvbuf_bytes > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  bool SendRaw(const std::string& data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendLine(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Next '\n'-terminated line, or nullopt on EOF/timeout.
+  std::optional<std::string> ReadLine(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000)) {
+    const Clock::time_point deadline = Clock::now() + timeout;
+    for (;;) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      const int64_t left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                Clock::now())
+              .count();
+      if (left <= 0) return std::nullopt;
+      pollfd p{fd_, POLLIN, 0};
+      const int pr = ::poll(&p, 1, static_cast<int>(left));
+      if (pr <= 0) {
+        if (pr < 0 && errno == EINTR) continue;
+        return std::nullopt;  // timeout
+      }
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return std::nullopt;  // EOF / reset
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Reads lines until the `OK`/`ERR ...` terminator; returns the
+  /// terminator ("" on EOF/timeout) and collects body lines into `body`.
+  std::string ReadResponse(std::vector<std::string>* body = nullptr) {
+    for (;;) {
+      auto line = ReadLine();
+      if (!line.has_value()) return "";
+      if (*line == "OK" || line->rfind("ERR", 0) == 0) return *line;
+      if (body != nullptr) body->push_back(*line);
+    }
+  }
+
+  /// True when the server has closed the connection (recv sees EOF within
+  /// the timeout, with no stray bytes other than `allow_line` responses).
+  bool WaitForClose(std::chrono::milliseconds timeout =
+                        std::chrono::milliseconds(5000)) {
+    const Clock::time_point deadline = Clock::now() + timeout;
+    for (;;) {
+      const int64_t left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                Clock::now())
+              .count();
+      if (left <= 0) return false;
+      pollfd p{fd_, POLLIN, 0};
+      const int pr = ::poll(&p, 1, static_cast<int>(left));
+      if (pr <= 0) {
+        if (pr < 0 && errno == EINTR) continue;
+        return false;
+      }
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n == 0) return true;   // orderly EOF
+      if (n < 0) return true;    // reset also counts as closed
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buf_.clear();
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// One in-memory database (4000 synthetic rows) plus a server on an
+/// ephemeral port, torn down and invariant-checked after every test.
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = Unwrap(database_.CreateTable("t", SyntheticSchema()));
+    storage::TupleBuffer buf(&table_->schema());
+    util::Rng rng(7);
+    static const char* kTags[] = {"MAIL", "RAIL", "SHIP", "AIR"};
+    for (int64_t i = 0; i < 4000; ++i) {
+      buf.SetInt64(0, i);
+      buf.SetDate(1, util::Date(static_cast<int32_t>(rng.Uniform(0, 500))));
+      buf.SetDecimal(2, util::Decimal(i * 3));
+      const char grp[2] = {static_cast<char>('A' + rng.Uniform(0, 2)), 0};
+      buf.SetString(3, grp);
+      buf.SetString(4, kTags[rng.Uniform(0, 3)]);
+      ExpectOk(database_.Insert("t", buf));
+    }
+  }
+
+  void TearDown() override {
+    util::fault::DisarmAll();
+    if (server_ != nullptr) {
+      ExpectOk(server_->Shutdown());
+      // The end-state invariants every scenario must restore.
+      EXPECT_EQ(server_->connections_active(), 0u);
+      EXPECT_EQ(database_.sessions_active(), 0u);
+    }
+  }
+
+  net::Server* StartServer(net::ServerOptions options = {}) {
+    options.port = 0;  // ephemeral; server_->port() is the real one
+    options.checkpoint_on_drain = false;  // in-memory db, nothing to flush
+    server_ = std::make_unique<net::Server>(&database_, options);
+    ExpectOk(server_->Start());
+    return server_.get();
+  }
+
+  /// Connects and fails the test if the server is unreachable.
+  void Connect(TestClient* c, int rcvbuf_bytes = 0) {
+    ASSERT_TRUE(c->Connect(server_->port(), rcvbuf_bytes));
+  }
+
+  db::Database database_;
+  storage::Table* table_ = nullptr;
+  std::unique_ptr<net::Server> server_;
+};
+
+// ---------------------------------------------------------------------------
+// Request/response matrix: every protocol verb over a live socket.
+
+TEST_F(NetTest, RequestResponseMatrix) {
+  StartServer();
+  TestClient c;
+  Connect(&c);
+
+  // ping -> bare OK.
+  ASSERT_TRUE(c.SendLine("ping"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+
+  // health -> one status line + OK.
+  ASSERT_TRUE(c.SendLine("health"));
+  std::vector<std::string> health;
+  EXPECT_EQ(c.ReadResponse(&health), "OK");
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_NE(health[0].find("health: ok"), std::string::npos) << health[0];
+  EXPECT_NE(health[0].find("read_only=0"), std::string::npos);
+  EXPECT_NE(health[0].find("draining=0"), std::string::npos);
+
+  // A query -> result table then OK, identical to the in-process answer.
+  const std::string sql = "select grp, sum(v) as total from t group by grp";
+  const std::string want = Unwrap(database_.Query(sql)).ToString();
+  ASSERT_TRUE(c.SendLine(sql));
+  std::vector<std::string> body;
+  EXPECT_EQ(c.ReadResponse(&body), "OK");
+  std::string got;
+  for (const std::string& line : body) got += line + "\n";
+  EXPECT_EQ(got, want);
+
+  // A statement -> OK; a bad statement -> ERR with the engine status.
+  ASSERT_TRUE(c.SendLine("define sma mind select min(d) from t"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+  ASSERT_TRUE(c.SendLine("select nonsense"));
+  EXPECT_EQ(c.ReadResponse().rfind("ERR ", 0), 0u);
+  ASSERT_TRUE(c.SendLine("set no_such_knob = 1"));
+  EXPECT_EQ(c.ReadResponse().rfind("ERR ", 0), 0u);
+
+  // The connection survived every error above.
+  ASSERT_TRUE(c.SendLine("ping"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+
+  // quit -> orderly close.
+  ASSERT_TRUE(c.SendLine("quit"));
+  EXPECT_TRUE(c.WaitForClose());
+  EXPECT_TRUE(WaitFor([&] { return server_->connections_active() == 0; }));
+}
+
+TEST_F(NetTest, SessionScopedSetStaysPerConnection) {
+  StartServer();
+  TestClient a, b;
+  Connect(&a);
+  Connect(&b);
+  ASSERT_TRUE(a.SendLine("set dop = 1"));
+  EXPECT_EQ(a.ReadResponse(), "OK");
+  // B's session still has the default; the set above was session-scoped.
+  ASSERT_TRUE(b.SendLine("select grp, count(*) as n from t group by grp"));
+  EXPECT_EQ(b.ReadResponse(), "OK");
+  ASSERT_TRUE(a.SendLine("select grp, count(*) as n from t group by grp"));
+  EXPECT_EQ(a.ReadResponse(), "OK");
+}
+
+// ---------------------------------------------------------------------------
+// Bounded input: oversized lines get a typed error, never an OOM.
+
+TEST_F(NetTest, OversizedLineGetsTypedErrorAndConnectionSurvives) {
+  net::ServerOptions options;
+  options.max_line_bytes = 1024;
+  StartServer(options);
+  TestClient c;
+  Connect(&c);
+
+  // A complete line over the cap.
+  ASSERT_TRUE(c.SendLine(std::string(4096, 'x')));
+  EXPECT_EQ(c.ReadResponse(), "ERR request too long");
+
+  // The same connection keeps working afterwards.
+  ASSERT_TRUE(c.SendLine("ping"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+
+  // An *unterminated* flood: the typed error arrives while bytes are still
+  // streaming in (the server must not wait for the newline to bound its
+  // buffer), and the eventual newline plus a real request still works.
+  ASSERT_TRUE(c.SendRaw(std::string(16 * 1024, 'y')));
+  EXPECT_EQ(c.ReadResponse(), "ERR request too long");
+  ASSERT_TRUE(c.SendRaw(std::string(8 * 1024, 'y') + "\nping\n"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+
+  EXPECT_GE(server_->stats().overflows, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Torn lines and pipelining: the framing layer vs. TCP's stream-ness.
+
+TEST_F(NetTest, TornAndPipelinedRequestsAreReassembled) {
+  StartServer();
+  TestClient c;
+  Connect(&c);
+
+  // One request dribbled in four pieces.
+  ASSERT_TRUE(c.SendRaw("pi"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(c.SendRaw("ng"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(c.SendRaw("\nhea"));
+  EXPECT_EQ(c.ReadResponse(), "OK");  // the ping completed on its newline
+  ASSERT_TRUE(c.SendRaw("lth\n"));
+  std::vector<std::string> health;
+  EXPECT_EQ(c.ReadResponse(&health), "OK");
+  ASSERT_EQ(health.size(), 1u);
+
+  // Three requests in one write: served in order, one at a time.
+  ASSERT_TRUE(c.SendRaw("ping\nping\nping\n"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+  EXPECT_EQ(c.ReadResponse(), "OK");
+  EXPECT_EQ(c.ReadResponse(), "OK");
+
+  // CRLF and surrounding blank lines are tolerated.
+  ASSERT_TRUE(c.SendRaw("\r\n\r\nping\r\n"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol fuzz: seeded garbage must never crash, hang, or leak sessions.
+
+TEST_F(NetTest, SeededProtocolFuzzNeverCrashesOrLeaks) {
+  net::ServerOptions options;
+  options.max_line_bytes = 2048;
+  options.worker_threads = 2;
+  StartServer(options);
+  util::Rng rng(0xF422);
+
+  for (int round = 0; round < 24; ++round) {
+    TestClient c;
+    Connect(&c);
+    const int pieces = static_cast<int>(rng.Uniform(1, 6));
+    for (int p = 0; p < pieces; ++p) {
+      std::string blob;
+      const size_t len = static_cast<size_t>(rng.Uniform(1, 3000));
+      blob.reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        // Mostly printable noise, sprinkled newlines (torn framing), and
+        // raw bytes including NUL — the parser must treat it all as data.
+        const uint64_t roll = rng.Uniform(0, 99);
+        if (roll < 8) {
+          blob += '\n';
+        } else if (roll < 16) {
+          blob += static_cast<char>(rng.Uniform(0, 255));
+        } else {
+          blob += static_cast<char>(' ' + rng.Uniform(0, 94));
+        }
+      }
+      if (!c.SendRaw(blob)) break;  // server closed on us mid-blob: fine
+      // Drain whatever responses accumulated so the server is never the
+      // one blocked on a full socket.
+      while (c.ReadLine(std::chrono::milliseconds(1)).has_value()) {
+      }
+    }
+    if (rng.Uniform(0, 1) == 0) {
+      c.Close();  // vanish abruptly half the time
+    } else {
+      (void)c.SendLine("quit");
+      c.Close();
+    }
+  }
+
+  // Whatever the garbage did, every connection unwinds...
+  EXPECT_TRUE(WaitFor([&] { return server_->connections_active() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return database_.sessions_active() == 0; }));
+  // ...and the server still serves.
+  TestClient fresh;
+  Connect(&fresh);
+  ASSERT_TRUE(fresh.SendLine("ping"));
+  EXPECT_EQ(fresh.ReadResponse(), "OK");
+}
+
+// ---------------------------------------------------------------------------
+// Shed at the cap: connection max_connections+1 gets `ERR busy`.
+
+TEST_F(NetTest, ConnectionsBeyondCapAreShedWithTypedError) {
+  net::ServerOptions options;
+  options.max_connections = 2;
+  StartServer(options);
+
+  TestClient a, b;
+  Connect(&a);
+  Connect(&b);
+  // Ensure both are registered server-side before the third knocks.
+  ASSERT_TRUE(a.SendLine("ping"));
+  EXPECT_EQ(a.ReadResponse(), "OK");
+  ASSERT_TRUE(b.SendLine("ping"));
+  EXPECT_EQ(b.ReadResponse(), "OK");
+
+  TestClient shed;
+  ASSERT_TRUE(shed.Connect(server_->port()));  // TCP accept still succeeds
+  EXPECT_EQ(shed.ReadResponse(), "ERR busy");  // ...then the typed shed
+  EXPECT_TRUE(shed.WaitForClose());
+  EXPECT_GE(server_->stats().shed, 1u);
+
+  // A slot freed by quitting is immediately reusable.
+  ASSERT_TRUE(a.SendLine("quit"));
+  EXPECT_TRUE(a.WaitForClose());
+  EXPECT_TRUE(WaitFor([&] { return server_->connections_active() == 1; }));
+  TestClient again;
+  Connect(&again);
+  ASSERT_TRUE(again.SendLine("ping"));
+  EXPECT_EQ(again.ReadResponse(), "OK");
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines: idle connections are reaped; stalled readers are dropped.
+
+TEST_F(NetTest, IdleConnectionTimesOutWithTypedError) {
+  net::ServerOptions options;
+  options.idle_timeout_ms = 150;
+  StartServer(options);
+  TestClient c;
+  Connect(&c);
+  // Say nothing; the server reaps us with the typed line, then EOF.
+  const auto line = c.ReadLine(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "ERR idle timeout");
+  EXPECT_TRUE(c.WaitForClose());
+  EXPECT_GE(server_->stats().idle_timeouts, 1u);
+
+  // Activity resets the clock: a chatty client is never reaped.
+  TestClient chatty;
+  Connect(&chatty);
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_TRUE(chatty.SendLine("ping"));
+    EXPECT_EQ(chatty.ReadResponse(), "OK");
+  }
+}
+
+TEST_F(NetTest, StalledReaderTripsWriteDeadlineNotUnboundedBuffering) {
+  net::ServerOptions options;
+  options.write_timeout_ms = 200;
+  options.sndbuf_bytes = 4096;   // tiny kernel buffers so the big result
+  StartServer(options);          // actually blocks instead of being absorbed
+  TestClient c;
+  Connect(&c, /*rcvbuf_bytes=*/4096);
+
+  // Ask for every row, then refuse to read the response. The server must
+  // not queue the overflow — it blocks with a deadline, then disconnects.
+  ASSERT_TRUE(c.SendLine("select * from t"));
+  EXPECT_TRUE(
+      WaitFor([&] { return server_->stats().write_timeouts >= 1; }));
+  EXPECT_TRUE(WaitFor([&] { return server_->connections_active() == 0; }));
+
+  // The worker that was stuck is free again.
+  TestClient fresh;
+  Connect(&fresh);
+  ASSERT_TRUE(fresh.SendLine("ping"));
+  EXPECT_EQ(fresh.ReadResponse(), "OK");
+}
+
+// ---------------------------------------------------------------------------
+// Dead-client cancellation: a vanished client's request is cancelled, its
+// connection and session unwound, while other clients keep working.
+
+TEST_F(NetTest, VanishedClientCancelsItsInFlightRequest) {
+  net::ServerOptions options;
+  options.sndbuf_bytes = 4096;
+  options.write_timeout_ms = 30'000;  // the cancel must win, not this
+  StartServer(options);
+
+  TestClient victim;
+  Connect(&victim, /*rcvbuf_bytes=*/4096);
+  // A request whose response cannot fit the socket buffers keeps the
+  // request in flight for as long as we refuse to read...
+  ASSERT_TRUE(victim.SendLine("select * from t"));
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().requests_total >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...and then we vanish. The I/O thread must notice the hangup, trip the
+  // request's CancelToken, and unwind without waiting for any deadline.
+  victim.Close();
+
+  EXPECT_TRUE(WaitFor([&] {
+    return server_->stats().peer_disconnect_cancels >= 1 ||
+           server_->connections_active() == 0;
+  }));
+  EXPECT_TRUE(WaitFor([&] { return server_->connections_active() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return database_.sessions_active() == 0; }));
+
+  // An unrelated client was never disturbed.
+  TestClient bystander;
+  Connect(&bystander);
+  ASSERT_TRUE(bystander.SendLine("ping"));
+  EXPECT_EQ(bystander.ReadResponse(), "OK");
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain: SIGTERM semantics, exercised via RequestShutdown().
+
+TEST_F(NetTest, DrainUnderLoadFinishesWithinDeadlineAndUnwindsEverything) {
+  net::ServerOptions options;
+  options.drain_timeout_ms = 500;
+  options.write_timeout_ms = 30'000;  // the drain deadline must win
+  options.sndbuf_bytes = 4096;
+  StartServer(options);
+
+  // Load: one stuck in-flight request (stalled reader), several idle
+  // connections, and one mid-request well-behaved client.
+  TestClient stuck;
+  Connect(&stuck, /*rcvbuf_bytes=*/4096);
+  ASSERT_TRUE(stuck.SendLine("select * from t"));
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().requests_total >= 1; }));
+
+  std::vector<std::unique_ptr<TestClient>> idle;
+  for (int i = 0; i < 4; ++i) {
+    idle.push_back(std::make_unique<TestClient>());
+    ASSERT_TRUE(idle.back()->Connect(server_->port()));
+    ASSERT_TRUE(idle.back()->SendLine("ping"));
+    EXPECT_EQ(idle.back()->ReadResponse(), "OK");
+  }
+
+  const Clock::time_point t0 = Clock::now();
+  server_->RequestShutdown();
+
+  // Idle connections are told why and closed.
+  for (auto& c : idle) {
+    const auto line = c->ReadLine();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, "ERR server draining");
+    EXPECT_TRUE(c->WaitForClose());
+  }
+
+  // New connections are refused outright (the listener is gone).
+  TestClient late;
+  EXPECT_FALSE(late.Connect(server_->port()));
+
+  // The stuck request is cancelled at the drain deadline; Wait() returns
+  // within the budget plus slack, with everything unwound.
+  server_->Wait();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            t0);
+  EXPECT_LT(elapsed.count(), 5000) << "drain overran its deadline";
+  EXPECT_EQ(server_->connections_active(), 0u);
+  EXPECT_EQ(database_.sessions_active(), 0u);
+  EXPECT_GE(server_->stats().drain_cancels, 1u);
+  ExpectOk(server_->Shutdown());
+}
+
+TEST_F(NetTest, DrainOfQuietServerIsImmediate) {
+  StartServer();
+  TestClient c;
+  Connect(&c);
+  ASSERT_TRUE(c.SendLine("ping"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+  const Clock::time_point t0 = Clock::now();
+  server_->RequestShutdown();
+  server_->Wait();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            t0);
+  EXPECT_LT(elapsed.count(), 2000);
+  ExpectOk(server_->Shutdown());  // idempotent after Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Socket chaos: the net.* failpoint family.
+
+TEST_F(NetTest, ChaosAcceptFailureDropsOneConnectionServerSurvives) {
+  StartServer();
+  {
+    util::fault::ScopedFault f("net.accept", {.count = 1});
+    TestClient doomed;
+    ASSERT_TRUE(doomed.Connect(server_->port()));  // TCP-level connect wins
+    EXPECT_TRUE(doomed.WaitForClose());            // ...then the injected kill
+  }
+  TestClient fine;
+  Connect(&fine);
+  ASSERT_TRUE(fine.SendLine("ping"));
+  EXPECT_EQ(fine.ReadResponse(), "OK");
+  EXPECT_TRUE(WaitFor([&] { return database_.sessions_active() <= 1; }));
+}
+
+TEST_F(NetTest, ChaosRecvFailureClosesConnectionAndFreesSession) {
+  StartServer();
+  TestClient c;
+  Connect(&c);
+  ASSERT_TRUE(c.SendLine("ping"));
+  EXPECT_EQ(c.ReadResponse(), "OK");  // the connection is established & live
+  {
+    util::fault::ScopedFault f("net.recv", {.count = 1});
+    ASSERT_TRUE(c.SendLine("ping"));
+    EXPECT_TRUE(c.WaitForClose());  // injected read death: orderly close
+  }
+  EXPECT_TRUE(WaitFor([&] { return server_->connections_active() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return database_.sessions_active() == 0; }));
+  TestClient fresh;
+  Connect(&fresh);
+  ASSERT_TRUE(fresh.SendLine("ping"));
+  EXPECT_EQ(fresh.ReadResponse(), "OK");
+}
+
+TEST_F(NetTest, ChaosBitFlipCorruptsRequestIntoTypedErrorNotCrash) {
+  StartServer();
+  TestClient c;
+  Connect(&c);
+  {
+    util::fault::ScopedFault f(
+        "net.recv", {.count = 1, .kind = util::FaultKind::kBitFlip});
+    // The first byte is flipped in flight: "ping" arrives as "qing".
+    ASSERT_TRUE(c.SendLine("ping"));
+    EXPECT_EQ(c.ReadResponse().rfind("ERR ", 0), 0u);
+  }
+  // The connection survived the corruption; the next request is clean.
+  ASSERT_TRUE(c.SendLine("ping"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+}
+
+TEST_F(NetTest, ChaosSendFailureClosesConnectionNeverTruncatesSilently) {
+  StartServer();
+  TestClient c;
+  Connect(&c);
+  {
+    util::fault::ScopedFault f("net.send", {.count = 1});
+    // The response send fails; the server must close rather than let us
+    // mistake a truncated stream for a complete answer.
+    ASSERT_TRUE(c.SendLine("select grp, count(*) as n from t group by grp"));
+    EXPECT_TRUE(c.WaitForClose());
+  }
+  EXPECT_TRUE(WaitFor([&] { return server_->connections_active() == 0; }));
+  TestClient fresh;
+  Connect(&fresh);
+  ASSERT_TRUE(fresh.SendLine("ping"));
+  EXPECT_EQ(fresh.ReadResponse(), "OK");
+}
+
+TEST_F(NetTest, ChaosRecvStormUnderConcurrencyNeverLeaks) {
+  // Many clients, a probabilistic recv killer, all under TSan in CI: the
+  // acceptance shape for "chaos matrix green, sessions return to zero".
+  net::ServerOptions options;
+  options.worker_threads = 3;
+  StartServer(options);
+  util::fault::Seed(11);
+  util::fault::Arm("net.recv", {.probability = 0.3, .count = -1});
+
+  std::vector<std::thread> clients;
+  clients.reserve(6);
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([this, t] {
+      util::Rng rng(100 + t);
+      for (int i = 0; i < 8; ++i) {
+        TestClient c;
+        if (!c.Connect(server_->port())) continue;
+        for (int r = 0; r < 4; ++r) {
+          const uint64_t pick = rng.Uniform(0, 2);
+          const char* req = pick == 0 ? "ping"
+                            : pick == 1
+                                ? "health"
+                                : "select grp, count(*) as n from t group by grp";
+          if (!c.SendLine(req)) break;
+          if (c.ReadResponse().empty()) break;  // killed mid-request: fine
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  util::fault::DisarmAll();
+
+  EXPECT_TRUE(WaitFor([&] { return server_->connections_active() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return database_.sessions_active() == 0; }));
+  TestClient fresh;
+  Connect(&fresh);
+  ASSERT_TRUE(fresh.SendLine("ping"));
+  EXPECT_EQ(fresh.ReadResponse(), "OK");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: the smadb_net_* instruments mirror the stats the tests watch.
+
+TEST_F(NetTest, MetricsRegistryMirrorsServerCounters) {
+  StartServer();
+  TestClient c;
+  Connect(&c);
+  ASSERT_TRUE(c.SendLine("ping"));
+  EXPECT_EQ(c.ReadResponse(), "OK");
+
+  obs::MetricsRegistry* r = database_.metrics();
+  EXPECT_EQ(r->GetGauge("smadb_net_connections_active", "")->value(), 1);
+  EXPECT_GE(r->GetCounter("smadb_net_connections_total", "")->value(), 1);
+  EXPECT_GE(r->GetCounter("smadb_net_requests_total", "")->value(), 1);
+  EXPECT_GT(r->GetCounter("smadb_net_bytes_in_total", "")->value(), 0);
+  EXPECT_GT(r->GetCounter("smadb_net_bytes_out_total", "")->value(), 0);
+  // Latency is observed by the I/O thread when it processes the request's
+  // completion — after the worker sent `OK` — so wait rather than assert.
+  EXPECT_TRUE(WaitFor([&] {
+    return r->GetHistogram("smadb_net_request_latency_us", "")->count() >= 1;
+  }));
+
+  ASSERT_TRUE(c.SendLine("quit"));
+  EXPECT_TRUE(c.WaitForClose());
+  EXPECT_TRUE(WaitFor([&] {
+    return r->GetGauge("smadb_net_connections_active", "")->value() == 0;
+  }));
+}
+
+}  // namespace
+}  // namespace smadb
