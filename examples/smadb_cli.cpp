@@ -14,6 +14,13 @@
 // before giving up. Exit status is 0 when every statement succeeded, 1 when
 // any statement came back `ERR ...`, and 2 when the server was unreachable.
 //
+// Probe modes against the telemetry plane (DESIGN.md §16) — these talk to
+// the HTTP port (default SQL port + 1), print the body, and exit without
+// entering the shell:
+//   smadb_cli --health [http_port]   GET /healthz; exit 0 healthy,
+//                                    1 unhealthy (503), 2 unreachable
+//   smadb_cli --metrics [http_port]  GET /metrics; exit 0 on HTTP 200
+//
 // Usage: smadb_cli [port]   (default 7878, connects to 127.0.0.1)
 
 #include <arpa/inet.h>
@@ -141,9 +148,73 @@ std::string DrainResponse(int fd, std::string* buf) {
   }
 }
 
+/// Minimal HTTP GET against the telemetry endpoint: one request, read to
+/// EOF (the server closes after every response). Returns the status code,
+/// or -1 when the server was unreachable / the response was malformed.
+int HttpGet(int port, const char* path, std::string* body) {
+  const int fd = TryConnect(port);
+  if (fd < 0) return -1;
+  const std::string req = std::string("GET ") + path +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  if (!SendLine(fd, req)) {  // trailing extra '\n' is ignored by the server
+    ::close(fd);
+    return -1;
+  }
+  std::string resp;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n;
+    do {
+      n = ::recv(fd, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      ::close(fd);
+      return -1;
+    }
+    if (n == 0) break;
+    resp.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.1 <code> ..." then headers then a blank line then the body.
+  if (resp.rfind("HTTP/1.", 0) != 0) return -1;
+  const size_t sp = resp.find(' ');
+  if (sp == std::string::npos) return -1;
+  const int code = std::atoi(resp.c_str() + sp + 1);
+  size_t hdr_end = resp.find("\r\n\r\n");
+  size_t body_at = hdr_end + 4;
+  if (hdr_end == std::string::npos) {
+    hdr_end = resp.find("\n\n");
+    body_at = hdr_end + 2;
+  }
+  if (hdr_end != std::string::npos) body->assign(resp, body_at);
+  return code > 0 ? code : -1;
+}
+
+/// `--health` / `--metrics`: probe the HTTP endpoint and exit.
+int RunProbe(const char* mode, int http_port) {
+  const bool health = std::strcmp(mode, "--health") == 0;
+  std::string body;
+  const int code = HttpGet(http_port, health ? "/healthz" : "/metrics", &body);
+  if (code < 0) {
+    std::fprintf(stderr,
+                 "smadb_cli: telemetry endpoint unreachable on "
+                 "127.0.0.1:%d\n",
+                 http_port);
+    return 2;
+  }
+  std::fputs(body.c_str(), stdout);
+  return code == 200 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--health") == 0 ||
+                   std::strcmp(argv[1], "--metrics") == 0)) {
+    const int http_port = argc > 2 ? std::atoi(argv[2]) : 7879;
+    return RunProbe(argv[1], http_port);
+  }
   const int port = argc > 1 ? std::atoi(argv[1]) : 7878;
 
   std::string recv_buf;

@@ -7,23 +7,38 @@
 // or cancel in-flight requests, checkpoint, exit 0).
 //
 // Protocol (newline-delimited text, one statement per line):
-//   - lines starting with `select` or `explain` run as queries; the result
-//     table is written back line by line;
-//   - every other line (define sma ..., set ..., scrub, show storage) runs
+//   - lines starting with `select`, `explain`, `show`, `scrub`, or a
+//     `trace <hex>` prefix run as queries; the result table is written
+//     back line by line;
+//   - every other line (define sma ..., set ..., kill query <id>) runs
 //     as a statement;
 //   - `ping` answers `OK`; `health` reports read-only/draining/session
 //     state; each request ends with a line `OK` or `ERR <message>`;
 //   - `quit` (or EOF) closes the connection.
 //
+// Telemetry plane (DESIGN.md §16): a second HTTP listener on --http-port
+// serves GET /metrics, /healthz, /statusz, /debug/queries, /debug/trace.
+// Every query request carries a trace id (minted here or supplied by the
+// client as `trace <hex> select ...`) that links the request log line, the
+// trace spans, and the profile.
+//
 // `set dop = 2` and friends scope to the issuing connection's session;
 // `set max_concurrent_queries = N` and other global knobs change the
 // shared engine — try it from two `smadb_cli` windows at once.
 //
-// Usage: smadb_server [port]   (default 7878, listens on 127.0.0.1)
+// Usage: smadb_server [port] [--http-port N] [--rows N] [--slow-query-ms N]
+//   port            SQL port (default 7878; 0 = ephemeral, printed)
+//   --http-port N   telemetry port (default port+1; 0 = ephemeral, printed)
+//   --rows N        demo table size (default 50000; bigger = longer scans,
+//                   which is how the CI smoke test gets a query worth
+//                   killing)
+//   --slow-query-ms N  arm the WARN slow-query log at N milliseconds
+//   -q              quiet: connection lifecycle at DEBUG instead of INFO
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -51,7 +66,7 @@ T Check(util::Result<T> r) {
 
 /// The demo dataset: the quickstart's sales table, so a fresh client has
 /// something to query (and SMAs to define) immediately.
-void SeedSales(db::Database* db) {
+void SeedSales(db::Database* db, int64_t rows) {
   storage::Schema schema({
       storage::Field::Int64("id"),
       storage::Field::Date("saledate"),
@@ -62,7 +77,7 @@ void SeedSales(db::Database* db) {
   util::Rng rng(1);
   static const char* kRegions[] = {"NORTH", "SOUTH", "EAST", "WEST"};
   storage::TupleBuffer row(&sales->schema());
-  for (int64_t i = 0; i < 50'000; ++i) {
+  for (int64_t i = 0; i < rows; ++i) {
     row.SetInt64(0, i);
     row.SetDate(1, util::Date::FromYmd(1996, 1, 1)
                        .AddDays(static_cast<int32_t>(i / 150)));
@@ -85,14 +100,41 @@ void HandleSignal(int) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int port = argc > 1 ? std::atoi(argv[1]) : 7878;
+  int port = 7878;
+  int http_port = -1;  // default: port + 1
+  int64_t rows = 50'000;
+  int64_t slow_query_ms = 0;
+  bool verbose = true;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--http-port") == 0 && i + 1 < argc) {
+      http_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--rows") == 0 && i + 1 < argc) {
+      rows = std::atoll(argv[++i]);
+    } else if (std::strcmp(arg, "--slow-query-ms") == 0 && i + 1 < argc) {
+      slow_query_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(arg, "-q") == 0) {
+      verbose = false;
+    } else if (arg[0] != '-') {
+      port = std::atoi(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: smadb_server [port] [--http-port N] [--rows N] "
+                   "[--slow-query-ms N] [-q]\n");
+      return 2;
+    }
+  }
 
-  db::Database database;
-  SeedSales(&database);
+  db::DatabaseOptions db_options;
+  db_options.slow_query_ms = slow_query_ms;
+  db::Database database(db_options);
+  SeedSales(&database, rows);
 
   net::ServerOptions options;
   options.port = static_cast<uint16_t>(port);
-  options.verbose = true;
+  options.http_port = static_cast<uint16_t>(
+      http_port >= 0 ? http_port : (port == 0 ? 0 : port + 1));
+  options.verbose = verbose;
   net::Server server(&database, options);
   g_server = &server;
 
@@ -102,10 +144,15 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &sa, nullptr);
 
   Check(server.Start());
-  std::printf("smadb_server: 50000 sales rows ready on %s:%u\n",
-              options.host.c_str(), server.port());
+  std::printf("smadb_server: %lld sales rows ready on %s:%u\n",
+              static_cast<long long>(rows), options.host.c_str(),
+              server.port());
+  std::printf("telemetry: http://%s:%u/metrics (/healthz /statusz "
+              "/debug/queries /debug/trace)\n",
+              options.host.c_str(), server.http_port());
   std::printf("connect with: smadb_cli %u   (SIGTERM/Ctrl-C drains)\n",
               server.port());
+  std::fflush(stdout);  // CI smoke greps these lines through a pipe
 
   server.Wait();  // until a signal requests the drain
   std::printf("smadb_server: draining...\n");

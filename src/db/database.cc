@@ -87,7 +87,8 @@ Database::Database(DatabaseOptions options,
               .pre_writeback = [this] { return SyncWal(); }})),
       catalog_(std::make_unique<storage::Catalog>(pool_.get())),
       registry_(options_.metrics_registry),
-      trace_(options_.trace_capacity) {
+      trace_(options_.trace_capacity),
+      logger_(options_.log) {
   // The option mirrors whatever backend the instance actually got (the
   // plain constructor always builds the simulated one).
   options_.storage_backend = disk_->kind();
@@ -353,6 +354,18 @@ void Database::InitMetrics() {
       "smadb_storage_read_only",
       "1 while the database is in read-only degraded mode",
       [this] { return read_only() ? int64_t{1} : int64_t{0}; });
+  registry_->RegisterCallback(
+      "smadb_queries_inflight", "Queries currently executing",
+      [this] { return static_cast<int64_t>(query_registry_.size()); });
+  registry_->RegisterCallback(
+      "smadb_log_lines_total", "Structured log lines emitted",
+      [this] { return static_cast<int64_t>(logger_.emitted()); });
+  registry_->RegisterCallback(
+      "smadb_log_dropped_total", "Log lines dropped by the rate limiter",
+      [this] { return static_cast<int64_t>(logger_.dropped()); });
+  registry_->RegisterCallback(
+      "smadb_uptime_seconds", "Seconds since this database was opened",
+      [this] { return static_cast<int64_t>(uptime_us() / 1000000); });
   m_.scrub_runs =
       registry_->GetCounter("smadb_scrub_runs_total", "Scrub passes run");
   m_.scrub_pages_scanned = registry_->GetCounter(
@@ -538,6 +551,28 @@ Result<sma::SmaMaintainer*> Database::Maintainer(std::string_view table) {
 }
 
 Status Database::Execute(std::string_view statement) {
+  // `kill query <id>` is intercepted BEFORE the writer lock: the whole
+  // point of a kill switch is reaching a query while the writer (or the
+  // query itself, holding write_mu_ through a scrub) is wedged.
+  {
+    SMADB_ASSIGN_OR_RETURN(auto kill_tokens,
+                           expr::internal::Tokenize(statement));
+    if (kill_tokens.size() >= 2 &&
+        kill_tokens[0].kind == expr::internal::TokKind::kIdent &&
+        kill_tokens[0].text == "kill") {
+      const bool shape_ok =
+          kill_tokens.size() == 4 &&  // kill query <id> + kEnd sentinel
+          kill_tokens[1].kind == expr::internal::TokKind::kIdent &&
+          kill_tokens[1].text == "query" &&
+          kill_tokens[2].kind == expr::internal::TokKind::kInt &&
+          kill_tokens[2].value >= 0;
+      if (!shape_ok) {
+        return Status::InvalidArgument(
+            "malformed kill statement; expected 'kill query <id>'");
+      }
+      return KillQuery(static_cast<uint64_t>(kill_tokens[2].value));
+    }
+  }
   // Statements either mutate durable state (define sma, backend swap) or
   // the shared knob defaults — serialize them all with the writer lock.
   std::lock_guard<std::mutex> write_lock(write_mu_);
@@ -637,12 +672,25 @@ Status Database::Execute(std::string_view statement) {
         options_.wal_sync_interval = static_cast<size_t>(n);
         return Status::OK();
       }
+      if (tokens[1].text == "slow_query_ms") {
+        std::lock_guard<std::mutex> lock(knobs_mu_);
+        options_.slow_query_ms = n;
+        return Status::OK();
+      }
+      if (tokens[1].text == "log_level") {
+        if (n > 3) {
+          return Status::InvalidArgument(
+              "log_level is 0..3 (debug/info/warn/error)");
+        }
+        logger_.set_min_level(static_cast<obs::LogLevel>(n));
+        return Status::OK();
+      }
     }
     return Status::InvalidArgument(
         "malformed set statement; expected 'set <knob> = <value>' with knob "
         "in {dop, batch_size, timeout_ms, memory_limit, "
-        "max_concurrent_queries, allow_degraded, wal_sync_interval, storage, "
-        "storage_path}");
+        "max_concurrent_queries, allow_degraded, wal_sync_interval, "
+        "slow_query_ms, log_level, storage, storage_path}");
   }
   return Status::NotSupported(
       "unknown statement; supported: 'define sma' and 'set <knob> = <value>'");
@@ -707,7 +755,34 @@ Result<plan::QueryResult> Database::QueryWithKnobs(
     const SessionKnobs& knobs, uint64_t session_id) {
   std::string_view body = Trim(sql);
 
-  // `show metrics` / `show profile` / `show trace` — read-only, ungoverned.
+  // Optional request-scope prefix: `trace <hex> <statement>` (DESIGN.md
+  // §16). net::Server prepends one per request (or forwards the client's),
+  // so the id on the wire is the id on every span and profile line below.
+  uint64_t trace_id = 0;
+  if (std::string_view rest = StripKeyword(body, "trace"); !rest.empty()) {
+    size_t i = 0;
+    uint64_t id = 0;
+    for (; i < rest.size() && i < 16; ++i) {
+      const char c = rest[i];
+      if (c >= '0' && c <= '9') {
+        id = id * 16 + static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        id = id * 16 + static_cast<uint64_t>(c - 'a' + 10);
+      } else {
+        break;
+      }
+    }
+    if (i == 0 || i >= rest.size() ||
+        !std::isspace(static_cast<unsigned char>(rest[i]))) {
+      return Status::InvalidArgument(
+          "malformed trace prefix; expected 'trace <hex id> <statement>'");
+    }
+    trace_id = id;
+    body = Trim(rest.substr(i));
+  }
+
+  // `show metrics` / `show profile` / `show trace` / `show queries` —
+  // read-only, ungoverned.
   if (std::string_view what = StripKeyword(body, "show"); !what.empty()) {
     return RunShow(what);
   }
@@ -778,14 +853,26 @@ Result<plan::QueryResult> Database::QueryWithKnobs(
   popts.batch_size = knobs.batch_size;
   popts.allow_degraded = knobs.allow_degraded;
 
+  ctx.set_trace_id(trace_id);
+
   // `explain analyze` hangs a profile off the context; operators see the
   // non-null pointer and start feeding their nodes. Plain queries keep a
-  // null profile and the instrumentation costs one branch per feed site.
+  // null profile and the instrumentation costs one branch per feed site —
+  // unless the slow-query log is armed, which profiles every query so a
+  // slow one can be logged with its full report attached.
+  const int64_t slow_ms = slow_query_ms();
   std::unique_ptr<obs::QueryProfile> profile;
-  if (analyze) {
-    profile = std::make_unique<obs::QueryProfile>(query_id);
+  if (analyze || slow_ms > 0) {
+    profile = std::make_unique<obs::QueryProfile>(query_id, trace_id);
     ctx.set_profile(profile.get());
   }
+
+  // Live-query registration (declared after the profile so it unregisters
+  // first — the registry may read the profile's row counts mid-run).
+  obs::QueryRegistry::Guard live(
+      options_.enable_metrics ? &query_registry_ : nullptr, query_id,
+      trace_id, session_id, std::string(body), ctx.shared_cancel(),
+      profile.get());
 
   // Storage deltas around the run make the profile's pool/disk figures
   // consistent with PoolStats (shared counters: concurrent queries overlap).
@@ -797,14 +884,14 @@ Result<plan::QueryResult> Database::QueryWithKnobs(
     // Admission before any real work: run promptly or fail promptly.
     util::Stopwatch admit_watch;
     Result<AdmissionController::Slot> slot = [&] {
-      obs::TraceSpan span(sink, query_id, "admission");
+      obs::TraceSpan span(sink, query_id, "admission", trace_id);
       return admission_.Admit(session_id);
     }();
     SMADB_RETURN_NOT_OK(slot.status());
     obs::QueryProfile::Phase(
         profile.get(), "admission",
         static_cast<uint64_t>(admit_watch.ElapsedSeconds() * 1e9));
-    return RunQuery(body, &ctx, popts, query_id, sink);
+    return RunQuery(body, &ctx, popts, query_id, sink, trace_id, &live);
   }();
 
   // Per-query metrics; a disabled registry leaves every pointer null.
@@ -840,7 +927,8 @@ Result<plan::QueryResult> Database::QueryWithKnobs(
       obs::TraceSpan span(sink, query_id,
                           code == util::StatusCode::kCancelled
                               ? "cancelled"
-                              : "deadline_exceeded");
+                              : "deadline_exceeded",
+                          trace_id);
       span.set_note(std::string(result.status().message()));
     }
   }
@@ -856,19 +944,63 @@ Result<plan::QueryResult> Database::QueryWithKnobs(
           result->plan.dop,
           result->plan.degraded ? " (degraded: partial answer)" : ""));
     }
-    std::vector<std::string> report = profile->Render();
-    {
-      std::lock_guard<std::mutex> lock(profile_mu_);
-      last_profile_ = std::move(profile);
+    // Slow-query log: WARN with the full report attached, so the 3 a.m.
+    // grep lands on the plan and phase timings, not just "it was slow".
+    const double elapsed_ms = latency_watch.ElapsedMicros() / 1000.0;
+    if (slow_ms > 0 && elapsed_ms >= static_cast<double>(slow_ms)) {
+      std::string report_text;
+      for (const std::string& line : profile->Render()) {
+        if (!report_text.empty()) report_text += '\n';
+        report_text += line;
+      }
+      logger_.Warn(
+          "slow_query",
+          {{"query", query_id},
+           {"trace", util::Format("%llx",
+                                  static_cast<unsigned long long>(trace_id))},
+           {"session", session_id},
+           {"ms", elapsed_ms},
+           {"threshold_ms", slow_ms},
+           {"sql", std::string(body)},
+           {"status", result.ok() ? std::string("ok")
+                                  : std::string(result.status().message())},
+           {"profile", report_text}});
     }
-    if (!result.ok()) return result;  // report stays under `show profile`
-    plan::QueryResult out = TextResult("explain analyze", report);
-    out.plan = result->plan;
-    return out;
+    if (analyze) {
+      std::vector<std::string> report = profile->Render();
+      {
+        std::lock_guard<std::mutex> lock(profile_mu_);
+        last_profile_ = std::move(profile);
+      }
+      if (!result.ok()) return result;  // report stays under `show profile`
+      plan::QueryResult out = TextResult("explain analyze", report);
+      out.plan = result->plan;
+      return out;
+    }
+    // Profiled only for the slow-query log (plain statement): the profile
+    // dies here; `show profile` keeps reporting the last explain analyze.
   }
 
   if (!result.ok() || !explain) return result;
   return ExplainResult(result->plan);
+}
+
+Status Database::KillQuery(uint64_t query_id) {
+  if (!query_registry_.Kill(query_id)) {
+    return Status::NotFound(
+        util::Format("no in-flight query with id %llu",
+                     static_cast<unsigned long long>(query_id)));
+  }
+  logger_.Info("kill_query",
+               {{"query", query_id}, {"result", "cancel_requested"}});
+  return Status::OK();
+}
+
+uint64_t Database::uptime_us() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
 }
 
 std::vector<std::string> Database::LastProfile() const {
@@ -882,13 +1014,15 @@ Result<plan::QueryResult> Database::RunShow(std::string_view what) {
   if (what == "metrics") {
     std::vector<std::string> lines;
     for (const obs::MetricSnapshot& s : registry_->Snapshot()) {
+      const std::string name =
+          s.labels.empty() ? s.name : s.name + "{" + s.labels + "}";
       if (s.kind == obs::MetricSnapshot::Kind::kHistogram) {
         lines.push_back(util::Format(
             "%s: count=%lld sum=%lld p50=%.0f p95=%.0f p99=%.0f",
-            s.name.c_str(), static_cast<long long>(s.count),
+            name.c_str(), static_cast<long long>(s.count),
             static_cast<long long>(s.sum), s.p50, s.p95, s.p99));
       } else {
-        lines.push_back(util::Format("%s = %lld", s.name.c_str(),
+        lines.push_back(util::Format("%s = %lld", name.c_str(),
                                      static_cast<long long>(s.value)));
       }
     }
@@ -907,8 +1041,9 @@ Result<plan::QueryResult> Database::RunShow(std::string_view what) {
     std::vector<std::string> lines;
     for (const obs::TraceEvent& e : trace_.Events()) {
       lines.push_back(util::Format(
-          "[q%llu] %s start=%lluus dur=%lluus%s%s",
-          static_cast<unsigned long long>(e.query_id), e.name.c_str(),
+          "[q%llu t%llx] %s start=%lluus dur=%lluus%s%s",
+          static_cast<unsigned long long>(e.query_id),
+          static_cast<unsigned long long>(e.trace_id), e.name.c_str(),
           static_cast<unsigned long long>(e.start_us),
           static_cast<unsigned long long>(e.duration_us),
           e.note.empty() ? "" : " ", e.note.c_str()));
@@ -916,10 +1051,26 @@ Result<plan::QueryResult> Database::RunShow(std::string_view what) {
     if (lines.empty()) lines.push_back("(trace ring empty)");
     return TextResult("trace", lines);
   }
+  if (what == "queries") {
+    std::vector<std::string> lines;
+    for (const obs::QueryInfo& q : query_registry_.Snapshot()) {
+      lines.push_back(util::Format(
+          "[q%llu t%llx] session=%llu phase=%s elapsed=%lluus rows=%llu%s "
+          "sql=%s",
+          static_cast<unsigned long long>(q.query_id),
+          static_cast<unsigned long long>(q.trace_id),
+          static_cast<unsigned long long>(q.session_id), q.phase.c_str(),
+          static_cast<unsigned long long>(q.elapsed_us),
+          static_cast<unsigned long long>(q.rows),
+          q.cancel_requested ? " CANCELLING" : "", q.sql.c_str()));
+    }
+    if (lines.empty()) lines.push_back("(no queries in flight)");
+    return TextResult("queries", lines);
+  }
   if (what == "storage") return ShowStorage();
   return Status::NotSupported(
       "unknown show statement; supported: 'show metrics', 'show profile', "
-      "'show trace', 'show storage'");
+      "'show trace', 'show queries', 'show storage'");
 }
 
 Result<plan::QueryResult> Database::ShowStorage() const {
@@ -1083,12 +1234,13 @@ Result<Database::ScrubReport> Database::Scrub() {
     m_.scrub_smas_repaired->Add(static_cast<int64_t>(report.smas_repaired));
     for (auto& [name, gauge] : scrub_gauges_) gauge->Set(0);
     for (const auto& [fname, count] : report.corrupt_files) {
-      const std::string metric =
-          "smadb_scrub_corrupt_pages{file=\"" + fname + "\"}";
-      obs::Gauge* g = registry_->GetGauge(
-          metric, "Corrupt pages the last scrub found in this file");
+      // Labeled registration: the registry escapes the file name, so paths
+      // holding quotes or backslashes stay exposition-format-clean.
+      obs::Gauge* g = registry_->GetLabeledGauge(
+          "smadb_scrub_corrupt_pages", {{"file", fname}},
+          "Corrupt pages the last scrub found, per file");
       g->Set(static_cast<int64_t>(count));
-      scrub_gauges_[metric] = g;
+      scrub_gauges_[fname] = g;
     }
   }
   return report;
@@ -1098,11 +1250,14 @@ Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
                                              util::QueryContext* ctx,
                                              const plan::PlannerOptions& popts,
                                              uint64_t query_id,
-                                             obs::TraceSink* sink) {
+                                             obs::TraceSink* sink,
+                                             uint64_t trace_id,
+                                             obs::QueryRegistry::Guard* live) {
   util::Stopwatch parse_watch;
+  if (live != nullptr) live->SetPhase("parse");
   Table* table = nullptr;
   Result<ParsedQuery> parsed_or = [&]() -> Result<ParsedQuery> {
-    obs::TraceSpan span(sink, query_id, "parse");
+    obs::TraceSpan span(sink, query_id, "parse", trace_id);
     SMADB_ASSIGN_OR_RETURN(std::string table_name, ExtractTableName(sql));
     SMADB_ASSIGN_OR_RETURN(table, catalog_->GetTable(table_name));
     return ParseQuery(&table->schema(), sql);
@@ -1114,7 +1269,8 @@ Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
       static_cast<uint64_t>(parse_watch.ElapsedSeconds() * 1e9));
   SMADB_ASSIGN_OR_RETURN(TableState * state, StateFor(parsed.table));
 
-  obs::TraceSpan run_span(sink, query_id, "execute");
+  if (live != nullptr) live->SetPhase("execute");
+  obs::TraceSpan run_span(sink, query_id, "execute", trace_id);
   plan::Planner planner(state->smas.get(), popts);
   Result<plan::QueryResult> run = [&] {
     if (parsed.select_star) {
@@ -1134,7 +1290,7 @@ Result<plan::QueryResult> Database::RunQuery(std::string_view sql,
   // the trace so `show trace` tells the lifecycle story on its own.
   const std::string notes = ctx->DegradationNotes();
   if (!notes.empty() && sink != nullptr) {
-    obs::TraceSpan span(sink, query_id, "degraded");
+    obs::TraceSpan span(sink, query_id, "degraded", trace_id);
     span.set_note(notes);
   }
   if (!run.ok()) run_span.set_note(std::string(run.status().message()));

@@ -26,8 +26,10 @@
 
 #include "db/admission.h"
 #include "db/manifest.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "planner/planner.h"
 #include "sma/maintenance.h"
@@ -105,6 +107,16 @@ struct DatabaseOptions {
   obs::MetricsRegistry* metrics_registry = nullptr;
   /// Query-lifecycle trace ring capacity, in spans (overwrite-oldest).
   size_t trace_capacity = 256;
+
+  // --- telemetry plane (DESIGN.md §16) -------------------------------------
+  /// Structured-log configuration (level, logfmt/JSON, rate limit, sink).
+  /// Set log.sink = nullptr to mute the stream (the in-memory ring still
+  /// fills — tests read it back via logger()->Tail()).
+  obs::Logger::Options log;
+  /// Queries slower than this (milliseconds, end to end) are logged at WARN
+  /// with their full profile attached. 0 = off. Also settable at runtime
+  /// via `set slow_query_ms = <n>`.
+  int64_t slow_query_ms = 0;
 };
 
 class Database {
@@ -332,6 +344,31 @@ class Database {
   obs::TraceSink* trace() { return &trace_; }
   std::string DumpTrace() const { return trace_.DumpJson(); }
 
+  /// The structured logger (DESIGN.md §16). net::Server logs through this
+  /// instance so wire-level request lines and query-level lines land in one
+  /// stream.
+  obs::Logger* logger() { return &logger_; }
+
+  /// In-flight queries: the registry behind `show queries`, `kill query`,
+  /// and `/debug/queries`. DumpQueries() is the endpoint's JSON body.
+  obs::QueryRegistry* query_registry() { return &query_registry_; }
+  std::string DumpQueries() const { return query_registry_.DumpJson(); }
+
+  /// Trips the CancelToken of an in-flight query (the `kill query <id>`
+  /// statement funnels here). kNotFound when no such query is running.
+  /// Deliberately lock-free with respect to write_mu_: a wedged writer must
+  /// still be killable.
+  util::Status KillQuery(uint64_t query_id);
+
+  /// Microseconds since this Database was constructed (statusz uptime).
+  uint64_t uptime_us() const;
+
+  /// The slow-query threshold (`set slow_query_ms = <n>`); 0 = off.
+  int64_t slow_query_ms() const {
+    std::lock_guard<std::mutex> lock(knobs_mu_);
+    return options_.slow_query_ms;
+  }
+
   /// The report of the most recent `explain analyze` query (empty before
   /// the first one). Also surfaced by `show profile`.
   std::vector<std::string> LastProfile() const;
@@ -442,7 +479,9 @@ class Database {
                                            util::QueryContext* ctx,
                                            const plan::PlannerOptions& popts,
                                            uint64_t query_id,
-                                           obs::TraceSink* sink);
+                                           obs::TraceSink* sink,
+                                           uint64_t trace_id,
+                                           obs::QueryRegistry::Guard* live);
 
   /// Registers the per-query instruments and the callback gauges folding
   /// PoolStats / IoStats / MemoryTracker into the registry.
@@ -494,6 +533,10 @@ class Database {
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
   obs::MetricsRegistry* registry_;  // == own_registry_ unless supplied
   obs::TraceSink trace_;
+  obs::Logger logger_;
+  obs::QueryRegistry query_registry_;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   std::atomic<uint64_t> next_query_id_{1};
   // Cached instrument pointers; all null when enable_metrics is false.
   struct {

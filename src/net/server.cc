@@ -33,8 +33,67 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Lines that produce a result table and must run through Session::Query
+/// (everything QueryWithKnobs dispatches: selects, explains, the `show`
+/// family, `scrub`, and any of those behind a `trace <hex>` prefix).
 bool IsQuery(const std::string& line) {
-  return line.rfind("select", 0) == 0 || line.rfind("explain", 0) == 0;
+  return line.rfind("select", 0) == 0 || line.rfind("explain", 0) == 0 ||
+         line.rfind("show", 0) == 0 || line.rfind("scrub", 0) == 0 ||
+         line.rfind("trace ", 0) == 0;
+}
+
+/// Extracts the hex id from a client-supplied `trace <hex> ...` prefix, for
+/// the request log. 0 on malformed input — the engine rejects those with a
+/// typed error, so the log just shows trace=0.
+uint64_t ParseTraceHex(const std::string& line) {
+  uint64_t id = 0;
+  size_t i = 6;  // past "trace "
+  while (i < line.size() && line[i] == ' ') ++i;
+  size_t digits = 0;
+  for (; i < line.size() && digits < 16; ++i, ++digits) {
+    const char ch = line[i];
+    if (ch >= '0' && ch <= '9') {
+      id = id << 4 | static_cast<uint64_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      id = id << 4 | static_cast<uint64_t>(ch - 'a' + 10);
+    } else {
+      break;
+    }
+  }
+  return digits > 0 ? id : 0;
+}
+
+/// Minimal JSON string escaping for /healthz reason text.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += util::Format("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// One full HTTP/1.1 response with Connection: close framing (the endpoint
+/// serves exactly one request per connection; scrapers reconnect).
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string r = util::Format(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      code, reason, content_type, body.size());
+  r += body;
+  return r;
 }
 
 Status SetNonBlocking(int fd) {
@@ -44,6 +103,46 @@ Status SetNonBlocking(int fd) {
                            std::strerror(errno));
   }
   return Status::OK();
+}
+
+/// Binds + listens a non-blocking IPv4 TCP socket; reports the bound port
+/// (for port 0). Returns -1 with *status set on failure.
+int OpenListener(const std::string& host, uint16_t port, int backlog,
+                 uint16_t* bound_port, Status* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *status = Status::IOError(std::string("socket: ") + std::strerror(errno));
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *status = Status::InvalidArgument("bad listen address: " + host);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    *status =
+        Status::IOError(std::string("bind/listen: ") + std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *bound_port = ntohs(bound.sin_port);
+  }
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    ::close(fd);
+    *status = st;
+    return -1;
+  }
+  *status = Status::OK();
+  return fd;
 }
 
 }  // namespace
@@ -80,8 +179,21 @@ struct Server::Conn {
   std::atomic<bool> send_failed{false};  ///< response truncated: must close
 };
 
+/// One HTTP observability connection (DESIGN.md §16). Owned and touched by
+/// the I/O thread only: requests are parsed and answered inline in the poll
+/// loop (every handler renders from thread-safe snapshots, so the loop
+/// stalls for microseconds, not query-times). One request per connection.
+struct Server::HttpConn {
+  int fd = -1;
+  std::string in;       ///< request bytes until the blank line (8 KiB cap)
+  std::string out;      ///< full response; non-empty = writing phase
+  size_t out_off = 0;   ///< bytes of `out` already sent
+  Clock::time_point deadline{};  ///< read+write budget (http_timeout_ms)
+};
+
 struct Server::IoState {
   std::map<int, std::unique_ptr<Conn>> conns;
+  std::map<int, std::unique_ptr<HttpConn>> http;
   bool draining = false;
   bool drain_fired = false;  ///< drain deadline passed; tokens cancelled
   Clock::time_point drain_deadline{};
@@ -121,6 +233,9 @@ Server::Server(db::Database* db, ServerOptions options)
   m_.peer_cancels = r->GetCounter(
       "smadb_net_peer_disconnect_cancels_total",
       "In-flight queries cancelled because the client vanished");
+  m_.http_requests = r->GetCounter(
+      "smadb_net_http_requests_total",
+      "HTTP observability endpoint requests served");
   m_.request_latency_us = r->GetHistogram(
       "smadb_net_request_latency_us",
       "Dispatch-to-response-sent request latency (microseconds)");
@@ -132,47 +247,38 @@ Status Server::Start() {
   if (started_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("server already started");
   }
-  listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener_ < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listener_);
-    listener_ = -1;
-    return Status::InvalidArgument("bad listen address: " + options_.host);
-  }
-  if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listener_, options_.listen_backlog) < 0) {
-    const Status st =
-        Status::IOError(std::string("bind/listen: ") + std::strerror(errno));
-    ::close(listener_);
-    listener_ = -1;
-    return st;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listener_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
-    port_ = ntohs(bound.sin_port);
-  }
-  if (Status st = SetNonBlocking(listener_); !st.ok()) {
-    ::close(listener_);
-    listener_ = -1;
-    return st;
+  Status st;
+  listener_ = OpenListener(options_.host, options_.port,
+                           options_.listen_backlog, &port_, &st);
+  if (listener_ < 0) return st;
+  if (options_.enable_http) {
+    http_listener_ = OpenListener(options_.host, options_.http_port,
+                                  options_.listen_backlog, &http_port_, &st);
+    if (http_listener_ < 0) {
+      ::close(listener_);
+      listener_ = -1;
+      return st;
+    }
   }
   if (::pipe(wake_pipe_) < 0) {
     ::close(listener_);
     listener_ = -1;
+    if (http_listener_ >= 0) {
+      ::close(http_listener_);
+      http_listener_ = -1;
+    }
     return Status::IOError(std::string("pipe: ") + std::strerror(errno));
   }
   (void)SetNonBlocking(wake_pipe_[0]);
   (void)SetNonBlocking(wake_pipe_[1]);
+
+  // Seed for minted trace ids: wall clock + pid, mixed per id by
+  // MintTraceId(). Ids need to be distinguishable across restarts in
+  // aggregated logs, not cryptographically unique.
+  trace_seed_ = static_cast<uint64_t>(
+                    std::chrono::system_clock::now().time_since_epoch()
+                        .count()) ^
+                (static_cast<uint64_t>(::getpid()) << 32);
 
   started_.store(true, std::memory_order_release);
   io_thread_ = std::thread(&Server::IoLoop, this);
@@ -233,6 +339,7 @@ Server::Stats Server::stats() const {
   s.peer_disconnect_cancels =
       n_.peer_disconnect_cancels.load(std::memory_order_relaxed);
   s.drain_cancels = n_.drain_cancels.load(std::memory_order_relaxed);
+  s.http_requests = n_.http_requests.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -297,6 +404,15 @@ void Server::IoLoop() {
     if (!state.draining && listener_ >= 0) {
       pfds.push_back({listener_, POLLIN, 0});
     }
+    // The HTTP listener stays in the set during drain: /healthz keeps
+    // answering (503, "draining") while in-flight queries finish.
+    if (http_listener_ >= 0) {
+      pfds.push_back({http_listener_, POLLIN, 0});
+    }
+    for (auto& [fd, hc] : state.http) {
+      pfds.push_back(
+          {fd, static_cast<short>(hc->out.empty() ? POLLIN : POLLOUT), 0});
+    }
     for (auto& [fd, c] : state.conns) {
       if (c->running) {
         // No POLLIN while a request runs: not reading IS the backpressure
@@ -334,6 +450,7 @@ void Server::IoLoop() {
         }
       }
     }
+    for (auto& [fd, hc] : state.http) consider(hc->deadline);
 
     const int pr = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (pr < 0 && errno != EINTR) break;  // poll itself broken: give up
@@ -351,6 +468,14 @@ void Server::IoLoop() {
       if (p.revents == 0) continue;
       if (p.fd == listener_) {
         HandleAccept();
+        continue;
+      }
+      if (p.fd == http_listener_) {
+        HandleHttpAccept();
+        continue;
+      }
+      if (auto hit = state.http.find(p.fd); hit != state.http.end()) {
+        if (!HandleHttp(hit->second.get(), p.revents)) CloseHttpConn(p.fd);
         continue;
       }
       auto it = state.conns.find(p.fd);
@@ -387,6 +512,16 @@ void Server::IoLoop() {
         CloseConn(fd, "idle");
       }
     }
+
+    // 8. HTTP deadlines: one budget covers request read + response write.
+    {
+      const Clock::time_point http_now = Clock::now();
+      std::vector<int> expired;
+      for (auto& [fd, hc] : state.http) {
+        if (http_now >= hc->deadline) expired.push_back(fd);
+      }
+      for (int fd : expired) CloseHttpConn(fd);
+    }
   }
 
   // The normal exit leaves no connections; the defensive exit (poll itself
@@ -413,10 +548,18 @@ void Server::IoLoop() {
   leftover.reserve(state.conns.size());
   for (auto& [fd, c] : state.conns) leftover.push_back(fd);
   for (int fd : leftover) CloseConn(fd, "shutdown");
+  std::vector<int> http_leftover;
+  http_leftover.reserve(state.http.size());
+  for (auto& [fd, hc] : state.http) http_leftover.push_back(fd);
+  for (int fd : http_leftover) CloseHttpConn(fd);
 
   if (listener_ >= 0) {
     ::close(listener_);
     listener_ = -1;
+  }
+  if (http_listener_ >= 0) {
+    ::close(http_listener_);
+    http_listener_ = -1;
   }
   io_ = nullptr;
   {
@@ -474,11 +617,10 @@ void Server::HandleAccept() {
     m_.connections_active->Add(1);
     n_.connections_total.fetch_add(1, std::memory_order_relaxed);
     m_.connections_total->Inc();
-    if (options_.verbose) {
-      std::fprintf(stderr, "[conn %llu] connected (%zu active)\n",
-                   static_cast<unsigned long long>(c->id),
-                   connections_active_.load());
-    }
+    db_->logger()->Log(
+        options_.verbose ? obs::LogLevel::kInfo : obs::LogLevel::kDebug,
+        "conn_open",
+        {{"conn", c->id}, {"active", connections_active_.load()}});
     io_->conns.emplace(fd, std::move(c));
   }
 }
@@ -567,10 +709,9 @@ void Server::CloseConn(int fd, const char* why) {
   auto it = io_->conns.find(fd);
   if (it == io_->conns.end()) return;
   Conn* c = it->second.get();
-  if (options_.verbose) {
-    std::fprintf(stderr, "[conn %llu] closed (%s)\n",
-                 static_cast<unsigned long long>(c->id), why);
-  }
+  db_->logger()->Log(
+      options_.verbose ? obs::LogLevel::kInfo : obs::LogLevel::kDebug,
+      "conn_close", {{"conn", c->id}, {"reason", why}});
   c->session.reset();  // sessions_active falls with the connection
   c->slot.Release();   // frees one max_connections unit
   ::close(fd);
@@ -613,6 +754,171 @@ void Server::EnterDrain() {
   }
 }
 
+// --- HTTP observability endpoint (I/O thread only) -------------------------
+
+uint64_t Server::MintTraceId() {
+  // splitmix64 over a per-process seed: well-mixed 64-bit ids from a plain
+  // counter, distinguishable across restarts, never zero (0 = untraced).
+  uint64_t z = trace_seed_ +
+               0x9e3779b97f4a7c15ULL *
+                   (trace_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+void Server::HandleHttpAccept() {
+  for (;;) {
+    const int fd = ::accept(http_listener_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient: next poll retries
+    }
+    if (io_->http.size() >= options_.http_max_connections ||
+        !SetNonBlocking(fd).ok()) {
+      ::close(fd);  // scrapers are few; past the cap just reset
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto hc = std::make_unique<HttpConn>();
+    hc->fd = fd;
+    hc->deadline =
+        Clock::now() + std::chrono::milliseconds(options_.http_timeout_ms > 0
+                                                     ? options_.http_timeout_ms
+                                                     : int64_t{60'000});
+    io_->http.emplace(fd, std::move(hc));
+  }
+}
+
+bool Server::HandleHttp(HttpConn* hc, short revents) {
+  if (revents & (POLLERR | POLLNVAL)) return false;
+  if (hc->out.empty()) {
+    // Reading the request. Headers are ignored beyond the request line;
+    // the blank line just marks "request complete".
+    char chunk[2048];
+    ssize_t r;
+    do {
+      r = ::recv(hc->fd, chunk, sizeof(chunk), 0);
+    } while (r < 0 && errno == EINTR);
+    if (r == 0) return false;  // EOF before a full request
+    if (r < 0) return errno == EAGAIN || errno == EWOULDBLOCK;
+    hc->in.append(chunk, static_cast<size_t>(r));
+    if (hc->in.size() > 8192) return false;  // oversized request: reset
+    if (hc->in.find("\r\n\r\n") == std::string::npos &&
+        hc->in.find("\n\n") == std::string::npos) {
+      return true;  // need more bytes
+    }
+    const size_t eol = hc->in.find_first_of("\r\n");
+    const std::string req_line = hc->in.substr(0, eol);
+    const size_t sp1 = req_line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : req_line.find(' ', sp1 + 1);
+    const std::string method =
+        sp1 == std::string::npos ? req_line : req_line.substr(0, sp1);
+    std::string path = sp2 == std::string::npos
+                           ? ""
+                           : req_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const size_t q = path.find('?'); q != std::string::npos) {
+      path.resize(q);  // query strings are accepted and ignored
+    }
+    hc->out = RouteHttp(method, path);
+    n_.http_requests.fetch_add(1, std::memory_order_relaxed);
+    m_.http_requests->Inc();
+    // Fall through: usually the whole response fits the send buffer.
+  }
+  while (hc->out_off < hc->out.size()) {
+    const ssize_t n =
+        ::send(hc->fd, hc->out.data() + hc->out_off,
+               hc->out.size() - hc->out_off, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      hc->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // kernel buffer full: POLLOUT resumes us
+    }
+    return false;  // peer gone
+  }
+  return false;  // response fully sent: Connection: close
+}
+
+void Server::CloseHttpConn(int fd) {
+  auto it = io_->http.find(fd);
+  if (it == io_->http.end()) return;
+  ::close(fd);
+  io_->http.erase(it);
+}
+
+std::string Server::RouteHttp(std::string_view method, std::string_view path) {
+  if (method != "GET") {
+    return HttpResponse(405, "Method Not Allowed", "text/plain; charset=utf-8",
+                        "only GET is supported\n");
+  }
+  if (path == "/metrics") {
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                        db_->ExportMetrics());
+  }
+  if (path == "/healthz") {
+    const bool read_only = db_->read_only();
+    const bool draining = stop_requested_.load(std::memory_order_acquire);
+    std::string body = util::Format(
+        "{\"status\": \"%s\", \"read_only\": %s, \"draining\": %s, "
+        "\"sessions\": %zu, \"connections\": %zu",
+        draining ? "draining" : (read_only ? "read_only" : "ok"),
+        read_only ? "true" : "false", draining ? "true" : "false",
+        db_->sessions_active(), connections_active());
+    if (read_only) {
+      body += ", \"reason\": \"" + JsonEscape(db_->read_only_reason()) + "\"";
+    }
+    body += "}\n";
+    const bool healthy = !read_only && !draining;
+    return HttpResponse(healthy ? 200 : 503,
+                        healthy ? "OK" : "Service Unavailable",
+                        "application/json", body);
+  }
+  if (path == "/statusz") {
+    const std::string body = util::Format(
+        "{\"server\": \"smadb\", \"version\": \"1.0.0\", "
+        "\"build\": \"%s\", \"uptime_us\": %llu, "
+        "\"port\": %u, \"http_port\": %u, "
+        "\"knobs\": {\"dop\": %zu, \"batch_size\": %zu, "
+        "\"timeout_ms\": %lld, \"memory_limit\": %zu, "
+        "\"max_concurrent_queries\": %zu, \"slow_query_ms\": %lld}, "
+        "\"read_only\": %s, \"sessions\": %zu}\n",
+        __VERSION__,
+        static_cast<unsigned long long>(db_->uptime_us()),
+        static_cast<unsigned>(port_), static_cast<unsigned>(http_port_),
+        db_->degree_of_parallelism(), db_->batch_size(),
+        static_cast<long long>(db_->timeout_ms()), db_->query_memory_limit(),
+        db_->max_concurrent_queries(),
+        static_cast<long long>(db_->slow_query_ms()),
+        db_->read_only() ? "true" : "false", db_->sessions_active());
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/debug/queries") {
+    return HttpResponse(200, "OK", "application/json", db_->DumpQueries());
+  }
+  if (path == "/debug/trace") {
+    return HttpResponse(200, "OK", "application/json", db_->DumpTrace());
+  }
+  if (path == "/") {
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8",
+                        "smadb telemetry plane\n"
+                        "  /metrics        Prometheus exposition\n"
+                        "  /healthz        liveness (503 = read_only or "
+                        "draining)\n"
+                        "  /statusz        build info, uptime, knobs\n"
+                        "  /debug/queries  in-flight queries (JSON)\n"
+                        "  /debug/trace    recent trace spans (JSON)\n");
+  }
+  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                      "unknown path\n");
+}
+
 // --- worker pool -----------------------------------------------------------
 
 void Server::WorkerLoop() {
@@ -649,6 +955,8 @@ void Server::ProcessRequest(Conn* c) {
   const std::string& line = c->request;
   n_.requests_total.fetch_add(1, std::memory_order_relaxed);
   m_.requests_total->Inc();
+  uint64_t trace_id = 0;
+  std::string outcome = "ok";
   if (line == "ping") {
     SendLine(c, "OK");
   } else if (line == "health") {
@@ -662,7 +970,24 @@ void Server::ProcessRequest(Conn* c) {
     SendLine(c, h);
     SendLine(c, "OK");
   } else if (IsQuery(line)) {
-    auto result = c->session->Query(line, c->token);
+    // Every query request carries a trace id (DESIGN.md §16): honor a
+    // client-supplied `trace <hex>` prefix, mint one otherwise. The id
+    // rides the statement text into QueryWithKnobs, which threads it
+    // through every TraceSpan and the profile — so one grep over the log,
+    // the trace dump, and the profile output correlates a request
+    // end to end.
+    const std::string* stmt = &line;
+    std::string traced;
+    if (line.rfind("trace ", 0) == 0) {
+      trace_id = ParseTraceHex(line);
+    } else {
+      trace_id = MintTraceId();
+      traced = util::Format("trace %llx ",
+                            static_cast<unsigned long long>(trace_id));
+      traced += line;
+      stmt = &traced;
+    }
+    auto result = c->session->Query(*stmt, c->token);
     if (result.ok()) {
       std::string table = result->ToString();  // already '\n'-terminated
       if (table.empty() || table.back() != '\n') table += '\n';
@@ -672,11 +997,26 @@ void Server::ProcessRequest(Conn* c) {
       if (SendAll(c, table)) SendLine(c, "OK");
     } else {
       SendLine(c, "ERR " + result.status().ToString());
+      outcome = result.status().ToString();
     }
   } else {
     const Status st = c->session->Execute(line);
     SendLine(c, st.ok() ? "OK" : "ERR " + st.ToString());
+    if (!st.ok()) outcome = st.ToString();
   }
+  const double elapsed_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            c->dispatched_at)
+          .count() /
+      1000.0;
+  db_->logger()->Debug(
+      "request",
+      {{"conn", c->id},
+       {"trace", util::Format("%llx",
+                              static_cast<unsigned long long>(trace_id))},
+       {"ms", elapsed_ms},
+       {"status", outcome},
+       {"sql", line}});
 }
 
 bool Server::SendAll(Conn* c, const std::string& data) {

@@ -35,7 +35,8 @@
 // handled on every path (sends use MSG_NOSIGNAL; no SIGPIPE anywhere).
 //
 // Protocol (newline-delimited text, one statement per line):
-//   select/explain...  -> result table lines, then `OK`
+//   select/explain/show/scrub/trace...
+//                      -> result table lines, then `OK`
 //   other statements   -> `OK` or `ERR <message>`
 //   ping               -> `OK`
 //   health             -> one status line (read_only/draining/sessions/
@@ -43,6 +44,15 @@
 //   quit (or EOF)      -> connection closes
 // Error lines are typed: `ERR busy`, `ERR request too long`,
 // `ERR idle timeout`, `ERR server draining`, `ERR <engine status>`.
+//
+// Telemetry plane (DESIGN.md §16): every query request carries a 64-bit
+// trace id — taken from a client-supplied `trace <hex>` statement prefix
+// or minted here — that shows up in the structured request log, in every
+// TraceSpan the query records, and in its profile. A second in-loop HTTP
+// listener serves GET /metrics, /healthz, /statusz, /debug/queries and
+// /debug/trace for scrapers and humans; it is deliberately outside
+// max_connections so a saturated server can still be observed, and it
+// keeps answering (/healthz says "draining", 503) during drain.
 
 #ifndef SMADB_NET_SERVER_H_
 #define SMADB_NET_SERVER_H_
@@ -56,6 +66,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -101,8 +112,26 @@ struct ServerOptions {
   /// reader trips the write deadline on modest results instead of needing
   /// megabytes in flight. 0 = kernel default.
   int sndbuf_bytes = 0;
-  /// Per-connection connect/close lines on stderr (the example binary).
+  /// Per-connection connect/close lines at INFO instead of DEBUG (the
+  /// example binary's -v; all connection logging goes through the
+  /// database's structured Logger).
   bool verbose = false;
+
+  // --- telemetry plane (DESIGN.md §16) -------------------------------------
+  /// Serve the embedded HTTP observability endpoint (GET /metrics,
+  /// /healthz, /statusz, /debug/queries, /debug/trace) on a second
+  /// listener inside the same poll loop. Out-of-band by construction: HTTP
+  /// connections are not subject to max_connections, so a server saturated
+  /// with query traffic can still be scraped.
+  bool enable_http = true;
+  /// HTTP port; 0 = kernel-assigned ephemeral (see http_port()).
+  uint16_t http_port = 0;
+  /// Hard cap on concurrent HTTP connections (scrapers are few; anything
+  /// past the cap is closed without a response).
+  size_t http_max_connections = 16;
+  /// Per-HTTP-request budget: a connection that has neither delivered a
+  /// full request nor drained its response within this window is closed.
+  int64_t http_timeout_ms = 5'000;
 };
 
 /// Lifetime: construct, Start(), [serve...], Shutdown() (or let the
@@ -123,6 +152,9 @@ class Server {
 
   /// The bound port (after Start(); useful with options.port == 0).
   uint16_t port() const { return port_; }
+
+  /// The bound HTTP observability port (0 when enable_http is false).
+  uint16_t http_port() const { return http_port_; }
 
   /// Flags the server to drain. Async-signal-safe: one atomic store plus a
   /// self-pipe write. Returns immediately; pair with Wait()/Shutdown().
@@ -154,11 +186,13 @@ class Server {
     uint64_t write_timeouts = 0;  ///< connections dropped mid-send
     uint64_t peer_disconnect_cancels = 0;  ///< queries cancelled, client gone
     uint64_t drain_cancels = 0;   ///< queries cancelled at the drain deadline
+    uint64_t http_requests = 0;   ///< HTTP observability requests served
   };
   Stats stats() const;
 
  private:
   struct Conn;
+  struct HttpConn;
   /// Connection table + drain state. Lives on the IoLoop stack and is
   /// touched only by the I/O thread — no locking by construction.
   struct IoState;
@@ -180,6 +214,18 @@ class Server {
   void TrySendLine(int fd, const char* line);
   void EnterDrain();
 
+  // --- HTTP observability endpoint (I/O thread only) -----------------------
+  void HandleHttpAccept();
+  /// Advances one HTTP connection (read request / write response). Returns
+  /// false when the connection should close now.
+  bool HandleHttp(HttpConn* hc, short revents);
+  void CloseHttpConn(int fd);
+  /// Routes one parsed request to its handler and returns the full HTTP
+  /// response bytes.
+  std::string RouteHttp(std::string_view method, std::string_view path);
+  /// Mints a fresh nonzero request trace id.
+  uint64_t MintTraceId();
+
   // --- worker pool ---------------------------------------------------------
   void WorkerLoop();
   void ProcessRequest(Conn* c);
@@ -195,6 +241,10 @@ class Server {
 
   int listener_ = -1;
   uint16_t port_ = 0;
+  int http_listener_ = -1;
+  uint16_t http_port_ = 0;
+  std::atomic<uint64_t> trace_counter_{0};
+  uint64_t trace_seed_ = 0;      // mixed into minted trace ids (set at Start)
   int wake_pipe_[2] = {-1, -1};  // [0] read (I/O thread), [1] write (anyone)
   IoState* io_ = nullptr;        // valid only while IoLoop runs
 
@@ -233,6 +283,7 @@ class Server {
     std::atomic<uint64_t> write_timeouts{0};
     std::atomic<uint64_t> peer_disconnect_cancels{0};
     std::atomic<uint64_t> drain_cancels{0};
+    std::atomic<uint64_t> http_requests{0};
   } n_;
 
   // Registry instruments (always registered; the registry outlives us
@@ -248,6 +299,7 @@ class Server {
     obs::Counter* idle_timeouts = nullptr;
     obs::Counter* write_timeouts = nullptr;
     obs::Counter* peer_cancels = nullptr;
+    obs::Counter* http_requests = nullptr;
     obs::Histogram* request_latency_us = nullptr;
   } m_;
 };

@@ -1,0 +1,167 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <ctime>
+
+namespace smadb::obs {
+
+namespace {
+
+/// True when a logfmt value can be emitted bare (no quoting needed).
+bool IsBareValue(const std::string& v) {
+  if (v.empty()) return false;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '\\' || c == '=' || c == '\n') return false;
+  }
+  return true;
+}
+
+void AppendEscaped(std::string* out, const std::string& v) {
+  for (char c : v) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+/// "2026-08-08T12:34:56.789Z" — wall clock, UTC, millisecond resolution.
+std::string WallTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  ::gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  value = buf;
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::vector<LogField> fields) {
+  if (static_cast<int>(level) < min_level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+
+  // Render outside the mutex; the line is self-contained.
+  std::string line;
+  line.reserve(96);
+  if (opts_.json) {
+    line += "{\"ts\": \"";
+    line += WallTimestamp();
+    line += "\", \"level\": \"";
+    line += LogLevelName(level);
+    line += "\", \"event\": \"";
+    AppendEscaped(&line, std::string(event));
+    line += "\"";
+    for (const LogField& f : fields) {
+      line += ", \"";
+      AppendEscaped(&line, f.key);
+      line += "\": \"";
+      AppendEscaped(&line, f.value);
+      line += "\"";
+    }
+    line += "}";
+  } else {
+    line += "ts=";
+    line += WallTimestamp();
+    line += " level=";
+    line += LogLevelName(level);
+    line += " event=";
+    line += event;
+    for (const LogField& f : fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      if (IsBareValue(f.value)) {
+        line += f.value;
+      } else {
+        line += '"';
+        AppendEscaped(&line, f.value);
+        line += '"';
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Rate limit kInfo and below; warnings and errors are rare by contract
+    // and always pass (a saturated limiter must not eat the one line that
+    // explains the outage).
+    if (opts_.max_per_sec > 0 && level < LogLevel::kWarn) {
+      const int64_t now_s =
+          std::chrono::duration_cast<std::chrono::seconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      if (now_s != window_start_s_) {
+        window_start_s_ = now_s;
+        tokens_ = opts_.max_per_sec;
+      }
+      if (tokens_ <= 0) {
+        ++dropped_;
+        return;
+      }
+      --tokens_;
+    }
+    ++emitted_;
+    ring_.push_back(line);
+    while (ring_.size() > opts_.ring_capacity) ring_.pop_front();
+    if (opts_.sink != nullptr) {
+      std::fprintf(opts_.sink, "%s\n", line.c_str());
+      std::fflush(opts_.sink);
+    }
+  }
+}
+
+std::vector<std::string> Logger::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  const size_t start = ring_.size() > n ? ring_.size() - n : 0;
+  out.reserve(ring_.size() - start);
+  for (size_t i = start; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+uint64_t Logger::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t Logger::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+}  // namespace smadb::obs

@@ -1,0 +1,127 @@
+// Structured, leveled, rate-limited logging (DESIGN.md §16): the log plane
+// of the telemetry triad (metrics / traces / logs).
+//
+// Design points:
+//   * Structured only — every entry is an event name plus key=value fields.
+//     Rendered either logfmt-style (`ts=... level=warn event=slow_query
+//     query=12 ms=850`) or as one JSON object per line, switchable at
+//     construction. No printf-style free text: a log a human greps at
+//     3 a.m. must also be machine-parseable the next morning.
+//   * Leveled — kDebug < kInfo < kWarn < kError; entries below `min_level`
+//     are dropped before formatting (one branch, no allocation).
+//   * Rate-limited — a per-second token budget applies to kInfo and below
+//     so a misbehaving client cannot turn the log into the bottleneck.
+//     kWarn/kError always pass (they are rare by contract). Dropped lines
+//     are counted, never silently lost: `dropped()` is exported as a gauge.
+//   * Dual sink — lines go to a FILE* (stderr by default, null to mute) and
+//     into a bounded in-memory ring that tests and `/debug` surfaces can
+//     read back without scraping the process's stderr.
+//
+// The logger is process-agnostic: Database owns one (options via
+// DatabaseOptions) and net::Server logs through the database's instance so
+// a request's wire-level line and its query-level lines land in one stream.
+
+#ifndef SMADB_OBS_LOG_H_
+#define SMADB_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smadb::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// One key=value field. Values are strings at the API boundary; the
+/// convenience constructors format integers so call sites stay terse.
+struct LogField {
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, int64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, int v) : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, double v);
+
+  std::string key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  struct Options {
+    LogLevel min_level = LogLevel::kInfo;
+    bool json = false;          // logfmt (key=value) by default
+    size_t ring_capacity = 256; // in-memory tail kept for tests / /debug
+    int max_per_sec = 200;      // rate limit for kInfo and below; 0 = off
+    std::FILE* sink = stderr;   // null mutes the stream sink (ring still fills)
+  };
+
+  Logger() : Logger(Options{}) {}
+  explicit Logger(Options opts)
+      : opts_(opts), min_level_(static_cast<int>(opts.min_level)) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Emits one entry. Thread-safe. Below-min-level entries cost one branch;
+  /// rate-limited drops cost one mutex acquisition and bump dropped().
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields) {
+    Log(level, event, std::vector<LogField>(fields));
+  }
+  void Log(LogLevel level, std::string_view event, std::vector<LogField> fields);
+
+  void Debug(std::string_view event, std::initializer_list<LogField> fields) {
+    Log(LogLevel::kDebug, event, fields);
+  }
+  void Info(std::string_view event, std::initializer_list<LogField> fields) {
+    Log(LogLevel::kInfo, event, fields);
+  }
+  void Warn(std::string_view event, std::initializer_list<LogField> fields) {
+    Log(LogLevel::kWarn, event, fields);
+  }
+  void Error(std::string_view event, std::initializer_list<LogField> fields) {
+    Log(LogLevel::kError, event, fields);
+  }
+
+  /// Last `n` rendered lines, oldest first.
+  std::vector<std::string> Tail(size_t n) const;
+
+  /// Entries dropped by the rate limiter since construction.
+  uint64_t dropped() const;
+
+  /// Entries emitted (stream + ring) since construction.
+  uint64_t emitted() const;
+
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+ private:
+  Options opts_;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  mutable std::mutex mu_;
+  std::deque<std::string> ring_;
+  uint64_t dropped_ = 0;
+  uint64_t emitted_ = 0;
+  // Rate-limit window: tokens remaining in the second that began at
+  // window_start_ (steady-clock seconds).
+  int64_t window_start_s_ = -1;
+  int tokens_ = 0;
+};
+
+}  // namespace smadb::obs
+
+#endif  // SMADB_OBS_LOG_H_

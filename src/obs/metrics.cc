@@ -5,6 +5,37 @@
 
 namespace smadb::obs {
 
+std::string EscapeLabelValue(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelpText(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 double Histogram::Quantile(double q) const {
   q = std::min(1.0, std::max(0.0, q));
   int64_t counts[kBuckets];
@@ -42,6 +73,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
   counters_.emplace_back();
   Entry e;
   e.kind = MetricSnapshot::Kind::kCounter;
+  e.family = name;
   e.help = std::move(help);
   e.counter = &counters_.back();
   entries_.emplace(name, std::move(e));
@@ -55,9 +87,35 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, std::string help) {
   gauges_.emplace_back();
   Entry e;
   e.kind = MetricSnapshot::Kind::kGauge;
+  e.family = name;
   e.help = std::move(help);
   e.gauge = &gauges_.back();
   entries_.emplace(name, std::move(e));
+  return &gauges_.back();
+}
+
+Gauge* MetricsRegistry::GetLabeledGauge(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    std::string help) {
+  std::string rendered;
+  for (const auto& [k, v] : labels) {
+    if (!rendered.empty()) rendered += ',';
+    rendered += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  const std::string key =
+      rendered.empty() ? name : name + "{" + rendered + "}";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second.gauge;
+  gauges_.emplace_back();
+  Entry e;
+  e.kind = MetricSnapshot::Kind::kGauge;
+  e.family = name;
+  e.labels = std::move(rendered);
+  e.help = std::move(help);
+  e.gauge = &gauges_.back();
+  entries_.emplace(key, std::move(e));
   return &gauges_.back();
 }
 
@@ -69,6 +127,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   histograms_.emplace_back();
   Entry e;
   e.kind = MetricSnapshot::Kind::kHistogram;
+  e.family = name;
   e.help = std::move(help);
   e.histogram = &histograms_.back();
   entries_.emplace(name, std::move(e));
@@ -81,6 +140,7 @@ void MetricsRegistry::RegisterCallback(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[name];  // replaces an existing callback under the name
   e.kind = MetricSnapshot::Kind::kGauge;
+  e.family = name;
   e.help = std::move(help);
   e.callback = std::move(fn);
 }
@@ -91,7 +151,8 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {
     MetricSnapshot s;
-    s.name = name;
+    s.name = e.family.empty() ? name : e.family;
+    s.labels = e.labels;
     s.help = e.help;
     s.kind = e.kind;
     switch (e.kind) {
@@ -115,41 +176,76 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
+  // Group samples by family: the exposition format requires exactly one
+  // HELP/TYPE block per family with all its samples adjacent, and map
+  // iteration order alone cannot guarantee that ("name_total" sorts
+  // between "name" and "name{...}").
+  std::map<std::string, std::vector<MetricSnapshot>> families;
+  for (MetricSnapshot& s : Snapshot()) {
+    families[s.name].push_back(std::move(s));
+  }
+
   std::string out;
   char buf[256];
-  for (const MetricSnapshot& s : Snapshot()) {
-    if (!s.help.empty()) {
-      out += "# HELP " + s.name + " " + s.help + "\n";
+  for (const auto& [family, samples] : families) {
+    std::string help;
+    for (const MetricSnapshot& s : samples) {
+      if (!s.help.empty()) {
+        help = s.help;
+        break;
+      }
     }
-    switch (s.kind) {
+    if (!help.empty()) {
+      out += "# HELP " + family + " " + EscapeHelpText(help) + "\n";
+    }
+    const MetricSnapshot::Kind kind = samples.front().kind;
+    // A `_total` name promises counter semantics to Prometheus no matter
+    // which instrument backs it — several monotonic totals (WAL appends,
+    // checkpoints, log lines) are surfaced through callback *gauges*, and
+    // exposing them as `TYPE gauge` trips exposition linters.
+    const bool total_name =
+        family.size() > 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0;
+    switch (kind) {
       case MetricSnapshot::Kind::kCounter:
-        out += "# TYPE " + s.name + " counter\n";
-        std::snprintf(buf, sizeof(buf), "%s %lld\n", s.name.c_str(),
-                      static_cast<long long>(s.value));
-        out += buf;
+        out += "# TYPE " + family + " counter\n";
         break;
       case MetricSnapshot::Kind::kGauge:
-        out += "# TYPE " + s.name + " gauge\n";
-        std::snprintf(buf, sizeof(buf), "%s %lld\n", s.name.c_str(),
-                      static_cast<long long>(s.value));
-        out += buf;
+        out += "# TYPE " + family + (total_name ? " counter\n" : " gauge\n");
         break;
       case MetricSnapshot::Kind::kHistogram:
-        out += "# TYPE " + s.name + " summary\n";
-        std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.5\"} %.1f\n",
-                      s.name.c_str(), s.p50);
-        out += buf;
-        std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.95\"} %.1f\n",
-                      s.name.c_str(), s.p95);
-        out += buf;
-        std::snprintf(buf, sizeof(buf), "%s{quantile=\"0.99\"} %.1f\n",
-                      s.name.c_str(), s.p99);
-        out += buf;
-        std::snprintf(buf, sizeof(buf), "%s_sum %lld\n%s_count %lld\n",
-                      s.name.c_str(), static_cast<long long>(s.sum),
-                      s.name.c_str(), static_cast<long long>(s.count));
-        out += buf;
+        out += "# TYPE " + family + " summary\n";
         break;
+    }
+    for (const MetricSnapshot& s : samples) {
+      const std::string label_block =
+          s.labels.empty() ? "" : "{" + s.labels + "}";
+      switch (s.kind) {
+        case MetricSnapshot::Kind::kCounter:
+        case MetricSnapshot::Kind::kGauge:
+          std::snprintf(buf, sizeof(buf), " %lld\n",
+                        static_cast<long long>(s.value));
+          out += family + label_block + buf;
+          break;
+        case MetricSnapshot::Kind::kHistogram: {
+          // Quantile label joins any pre-existing labels on the sample.
+          const std::string joiner = s.labels.empty() ? "" : s.labels + ",";
+          const std::pair<const char*, double> quantiles[] = {
+              {"0.5", s.p50}, {"0.95", s.p95}, {"0.99", s.p99}};
+          for (const auto& [q, v] : quantiles) {
+            std::snprintf(buf, sizeof(buf), "{%squantile=\"%s\"} %.1f\n",
+                          joiner.c_str(), q, v);
+            out += family + buf;
+          }
+          std::snprintf(buf, sizeof(buf), " %lld\n",
+                        static_cast<long long>(s.sum));
+          out += family + "_sum" + label_block + buf;
+          std::snprintf(buf, sizeof(buf), " %lld\n",
+                        static_cast<long long>(s.count));
+          out += family + "_count" + label_block + buf;
+          break;
+        }
+      }
     }
   }
   return out;

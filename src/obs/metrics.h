@@ -31,10 +31,19 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace smadb::obs {
+
+/// Escapes a Prometheus label value per the exposition format: backslash,
+/// double quote, and newline get backslash-escaped. ("a\"b" → "a\\\"b".)
+std::string EscapeLabelValue(std::string_view v);
+
+/// Escapes HELP text: backslash and newline (quotes are legal in HELP).
+std::string EscapeHelpText(std::string_view v);
 
 /// Monotonic counter, sharded to keep concurrent writers off one cache line.
 class Counter {
@@ -116,7 +125,8 @@ class Histogram {
 /// One metric's state at snapshot time.
 struct MetricSnapshot {
   enum class Kind { kCounter, kGauge, kHistogram };
-  std::string name;
+  std::string name;    // family name (no label block)
+  std::string labels;  // rendered, escaped `key="value",...`; empty = none
   std::string help;
   Kind kind = Kind::kCounter;
   int64_t value = 0;          // counter / gauge (incl. callback gauges)
@@ -138,6 +148,17 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name, std::string help = "");
   Histogram* GetHistogram(const std::string& name, std::string help = "");
 
+  /// A gauge sample inside the family `name`, distinguished by `labels`
+  /// (raw key/value pairs — values are escaped here, never by the caller).
+  /// Registration is idempotent on (name, labels). All samples of a family
+  /// share one HELP/TYPE block in the rendered output, per the exposition
+  /// format. This is how per-file instruments (`smadb_scrub_corrupt_pages
+  /// {file="..."}`) stay well-formed for arbitrary paths.
+  Gauge* GetLabeledGauge(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& labels,
+      std::string help = "");
+
   /// Registers (or replaces) a gauge whose value is sampled at snapshot
   /// time — the bridge from existing stat structs (PoolStats, IoStats,
   /// MemoryTracker) into the registry.
@@ -158,6 +179,8 @@ class MetricsRegistry {
  private:
   struct Entry {
     MetricSnapshot::Kind kind;
+    std::string family;  // sample name without the label block
+    std::string labels;  // rendered, escaped; empty for unlabeled
     std::string help;
     // Exactly one of these is live, per kind. deque-stored so pointers are
     // stable across registrations.

@@ -75,6 +75,13 @@ std::vector<std::string> QueryProfile::events() const {
   return events_;
 }
 
+uint64_t QueryProfile::RootRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rows = 0;
+  for (const OperatorProfile* root : roots_) rows += root->rows();
+  return rows;
+}
+
 namespace {
 
 double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
@@ -122,8 +129,13 @@ void RenderNode(const OperatorProfile* node, size_t depth,
 std::vector<std::string> QueryProfile::Render() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  out.push_back(util::Format("query %llu",
-                             static_cast<unsigned long long>(query_id_)));
+  std::string head =
+      util::Format("query %llu", static_cast<unsigned long long>(query_id_));
+  if (trace_id_ != 0) {
+    head += util::Format(" trace=%llx",
+                         static_cast<unsigned long long>(trace_id_));
+  }
+  out.push_back(std::move(head));
   if (!summary_.empty()) out.push_back("plan: " + summary_);
   if (!phases_.empty()) {
     std::string line = "phases:";

@@ -126,7 +126,8 @@ class OperatorProfile {
 /// notable events (degradation, cancellation) + query-level storage deltas.
 class QueryProfile {
  public:
-  explicit QueryProfile(uint64_t query_id = 0) : query_id_(query_id) {}
+  explicit QueryProfile(uint64_t query_id = 0, uint64_t trace_id = 0)
+      : query_id_(query_id), trace_id_(trace_id) {}
   QueryProfile(const QueryProfile&) = delete;
   QueryProfile& operator=(const QueryProfile&) = delete;
 
@@ -146,7 +147,12 @@ class QueryProfile {
                        uint64_t pages_read);
 
   uint64_t query_id() const { return query_id_; }
+  uint64_t trace_id() const { return trace_id_; }
   const std::vector<OperatorProfile*>& roots() const { return roots_; }
+  /// Rows produced so far by the root operators — safe to call from another
+  /// thread mid-run (locks the structure mutex, reads relaxed atomics).
+  /// This is the "rows so far" column of `show queries`.
+  uint64_t RootRows() const;
   uint64_t pool_hits() const { return pool_hits_; }
   uint64_t pool_misses() const { return pool_misses_; }
   uint64_t pages_read() const { return pages_read_; }
@@ -169,6 +175,7 @@ class QueryProfile {
   friend class ProfileScope;
 
   const uint64_t query_id_;
+  const uint64_t trace_id_;
   mutable std::mutex mu_;  // guards nodes_/roots_/phases_/events_/summary_
   std::deque<OperatorProfile> nodes_;  // stable addresses
   std::vector<OperatorProfile*> roots_;

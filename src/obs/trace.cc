@@ -6,10 +6,11 @@ namespace smadb::obs {
 
 void TraceSink::Record(uint64_t query_id, std::string name,
                        std::chrono::steady_clock::time_point start,
-                       std::string note) {
+                       std::string note, uint64_t trace_id) {
   const auto now = std::chrono::steady_clock::now();
   TraceEvent e;
   e.query_id = query_id;
+  e.trace_id = trace_id;
   e.name = std::move(name);
   e.start_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(start - epoch_)
@@ -68,9 +69,10 @@ std::string TraceSink::DumpJson() const {
     if (!first) out += ",";
     first = false;
     out += util::Format(
-        "\n  {\"query\": %llu, \"span\": \"%s\", \"start_us\": %llu, "
-        "\"duration_us\": %llu",
+        "\n  {\"query\": %llu, \"trace\": \"%llx\", \"span\": \"%s\", "
+        "\"start_us\": %llu, \"duration_us\": %llu",
         static_cast<unsigned long long>(e.query_id),
+        static_cast<unsigned long long>(e.trace_id),
         JsonEscape(e.name).c_str(),
         static_cast<unsigned long long>(e.start_us),
         static_cast<unsigned long long>(e.duration_us));

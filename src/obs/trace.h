@@ -20,6 +20,7 @@ namespace smadb::obs {
 
 struct TraceEvent {
   uint64_t query_id = 0;
+  uint64_t trace_id = 0;     // request-scoped id (hex on the wire); 0 = none
   std::string name;          // "admission", "parse", "plan", "execute", ...
   uint64_t start_us = 0;     // steady-clock µs since the sink was created
   uint64_t duration_us = 0;
@@ -35,15 +36,20 @@ class TraceSink {
   TraceSink(const TraceSink&) = delete;
   TraceSink& operator=(const TraceSink&) = delete;
 
-  /// Records a span that started at `start` and just ended.
+  /// Records a span that started at `start` and just ended. `trace_id`
+  /// links the span to the request that minted it (0 = no request scope).
   void Record(uint64_t query_id, std::string name,
               std::chrono::steady_clock::time_point start,
-              std::string note = "");
+              std::string note = "", uint64_t trace_id = 0);
 
   /// Oldest-first copy of the ring.
   std::vector<TraceEvent> Events() const;
 
-  /// JSON array of span objects, oldest first.
+  /// JSON array of span objects, oldest first. The schema is pinned by a
+  /// golden test (observability_test) and documented in DESIGN.md §16 —
+  /// `/debug/trace` and `show trace` both serve exactly this output:
+  ///   [{"query": <u64>, "trace": "<hex>", "span": "<name>",
+  ///     "start_us": <u64>, "duration_us": <u64>[, "note": "<text>"]}, ...]
   std::string DumpJson() const;
 
   size_t capacity() const { return capacity_; }
@@ -59,13 +65,18 @@ class TraceSink {
 /// RAII span: records into the sink at destruction (null sink → no-op).
 class TraceSpan {
  public:
-  TraceSpan(TraceSink* sink, uint64_t query_id, std::string name)
-      : sink_(sink), query_id_(query_id), name_(std::move(name)) {
+  TraceSpan(TraceSink* sink, uint64_t query_id, std::string name,
+            uint64_t trace_id = 0)
+      : sink_(sink),
+        query_id_(query_id),
+        trace_id_(trace_id),
+        name_(std::move(name)) {
     if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
   ~TraceSpan() {
     if (sink_ != nullptr) {
-      sink_->Record(query_id_, std::move(name_), start_, std::move(note_));
+      sink_->Record(query_id_, std::move(name_), start_, std::move(note_),
+                    trace_id_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -76,6 +87,7 @@ class TraceSpan {
  private:
   TraceSink* sink_;
   uint64_t query_id_;
+  uint64_t trace_id_;
   std::string name_;
   std::string note_;
   std::chrono::steady_clock::time_point start_;

@@ -168,7 +168,17 @@ class QueryContext {
 
   CancelToken* cancel() { return owned_cancel_.get(); }
   const CancelToken* cancel() const { return owned_cancel_.get(); }
+  /// The shared handle to the query's token — what the live-query registry
+  /// keeps so `kill query <id>` stays safe even if the query finishes
+  /// while the killer still holds the snapshot.
+  std::shared_ptr<CancelToken> shared_cancel() const { return owned_cancel_; }
   MemoryTracker* memory() { return &memory_; }
+
+  /// Request-scoped trace id (DESIGN.md §16): minted by net::Server per
+  /// request or supplied by the client via the `trace <hex>` statement
+  /// prefix; 0 = no request scope. Set once before execution starts.
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+  uint64_t trace_id() const { return trace_id_; }
 
   /// Attaches the query's execution profile (`explain analyze`; DESIGN.md
   /// §11). Carried as an opaque pointer so util stays below obs in the
@@ -220,6 +230,7 @@ class QueryContext {
   std::shared_ptr<CancelToken> owned_cancel_;
   MemoryTracker memory_;
   obs::QueryProfile* profile_ = nullptr;
+  uint64_t trace_id_ = 0;
   uint64_t timeout_ms_ = 0;
   mutable std::mutex mu_;  // guards degradations_
   std::vector<std::string> degradations_;

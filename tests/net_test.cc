@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -725,6 +727,323 @@ TEST_F(NetTest, MetricsRegistryMirrorsServerCounters) {
   EXPECT_TRUE(WaitFor([&] {
     return r->GetGauge("smadb_net_connections_active", "")->value() == 0;
   }));
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane (DESIGN.md §16): trace ids, request logging, the HTTP
+// endpoint, and the wire routing of show/scrub/kill.
+
+/// GETs `path` from the HTTP observability port and returns the raw
+/// response (status line + headers + body), or "" when unreachable.
+std::string HttpGet(uint16_t port, const std::string& request) {
+  TestClient c;
+  if (!c.Connect(port)) return "";
+  if (!c.SendRaw(request)) return "";
+  std::string resp;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(5000);
+  for (;;) {
+    const int64_t left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now())
+            .count();
+    if (left <= 0) break;
+    pollfd p{c.fd(), POLLIN, 0};
+    const int pr = ::poll(&p, 1, static_cast<int>(left));
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) break;
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(c.fd(), chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) break;  // server closes after the response
+    resp.append(chunk, static_cast<size_t>(n));
+  }
+  return resp;
+}
+
+std::string SimpleGet(uint16_t port, const std::string& path) {
+  return HttpGet(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n"
+                                       "Connection: close\r\n\r\n");
+}
+
+/// NetTest with a ring-buffer debug logger (no stderr noise) so tests can
+/// assert on the structured request log.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  TelemetryTest() : database_(QuietDebugOptions()) {}
+
+  static db::DatabaseOptions QuietDebugOptions() {
+    db::DatabaseOptions o;
+    o.log.min_level = obs::LogLevel::kDebug;
+    o.log.sink = nullptr;
+    o.log.max_per_sec = 1'000'000;
+    o.log.ring_capacity = 1024;
+    return o;
+  }
+
+  void SetUp() override {
+    table_ = Unwrap(database_.CreateTable("t", SyntheticSchema()));
+    storage::TupleBuffer buf(&table_->schema());
+    util::Rng rng(7);
+    static const char* kTags[] = {"MAIL", "RAIL", "SHIP", "AIR"};
+    for (int64_t i = 0; i < 4000; ++i) {
+      buf.SetInt64(0, i);
+      buf.SetDate(1, util::Date(static_cast<int32_t>(rng.Uniform(0, 500))));
+      buf.SetDecimal(2, util::Decimal(i * 3));
+      const char grp[2] = {static_cast<char>('A' + rng.Uniform(0, 2)), 0};
+      buf.SetString(3, grp);
+      buf.SetString(4, kTags[rng.Uniform(0, 3)]);
+      ExpectOk(database_.Insert("t", buf));
+    }
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      ExpectOk(server_->Shutdown());
+      EXPECT_EQ(server_->connections_active(), 0u);
+      EXPECT_EQ(database_.sessions_active(), 0u);
+    }
+  }
+
+  net::Server* StartServer(net::ServerOptions options = {}) {
+    options.port = 0;
+    options.http_port = 0;
+    options.checkpoint_on_drain = false;
+    server_ = std::make_unique<net::Server>(&database_, options);
+    ExpectOk(server_->Start());
+    return server_.get();
+  }
+
+  /// The ring, newest-last, joined for simple substring asserts.
+  std::string LogTail() {
+    std::string joined;
+    for (const std::string& line : database_.logger()->Tail(1024)) {
+      joined += line;
+      joined += '\n';
+    }
+    return joined;
+  }
+
+  db::Database database_;
+  storage::Table* table_ = nullptr;
+  std::unique_ptr<net::Server> server_;
+};
+
+// The acceptance path: one client-supplied trace id observably links the
+// TCP request to the request log, the trace spans, and the profile.
+TEST_F(TelemetryTest, TraceIdLinksRequestLogSpansAndProfile) {
+  StartServer();
+  TestClient c;
+  ASSERT_TRUE(c.Connect(server_->port()));
+  ASSERT_TRUE(c.SendLine(
+      "trace deadbeef explain analyze select grp, sum(v) from t group by "
+      "grp"));
+  std::vector<std::string> body;
+  ASSERT_EQ(c.ReadResponse(&body), "OK");
+
+  // 1. The returned profile carries the id.
+  std::string profile;
+  for (const std::string& line : body) profile += line + "\n";
+  EXPECT_NE(profile.find("trace=deadbeef"), std::string::npos) << profile;
+
+  // 2. The structured request log carries it (logged after the response,
+  // so wait for the worker to get there).
+  EXPECT_TRUE(WaitFor([&] {
+    const std::string log = LogTail();
+    return log.find("event=request") != std::string::npos &&
+           log.find("trace=deadbeef") != std::string::npos;
+  })) << LogTail();
+
+  // 3. The trace spans carry it — parse/execute at minimum.
+  const std::string trace = database_.DumpTrace();
+  EXPECT_NE(trace.find("\"trace\": \"deadbeef\""), std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("\"span\": \"execute\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, MintedTraceIdsAreFreshAndReachTheTraceSink) {
+  StartServer();
+  TestClient c;
+  ASSERT_TRUE(c.Connect(server_->port()));
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(c.SendLine("select count(*) from t"));
+    ASSERT_EQ(c.ReadResponse(), "OK");
+  }
+  // Two request log lines, each with a fresh nonzero trace id.
+  ASSERT_TRUE(WaitFor([&] {
+    const std::string log = LogTail();
+    size_t n = 0;
+    for (size_t at = log.find("event=request"); at != std::string::npos;
+         at = log.find("event=request", at + 1)) {
+      ++n;
+    }
+    return n >= 2;
+  }));
+  std::vector<std::string> ids;
+  const std::string log = LogTail();
+  for (size_t at = log.find("trace="); at != std::string::npos;
+       at = log.find("trace=", at + 6)) {
+    const size_t start = at + 6;
+    size_t end = start;
+    while (end < log.size() && std::isxdigit(log[end])) ++end;
+    if (end > start) ids.push_back(log.substr(start, end - start));
+  }
+  ASSERT_GE(ids.size(), 2u) << log;
+  EXPECT_NE(ids[0], "0");
+  EXPECT_NE(ids[1], "0");
+  EXPECT_NE(ids[0], ids[1]);
+  // The minted id reached the engine's trace spans too.
+  EXPECT_NE(database_.DumpTrace().find("\"trace\": \"" + ids.back() + "\""),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, ShowScrubAndKillRouteOverTheWire) {
+  StartServer();
+  TestClient c;
+  ASSERT_TRUE(c.Connect(server_->port()));
+
+  // `show ...` lines produce tables, not `ERR unknown statement`.
+  ASSERT_TRUE(c.SendLine("show metrics"));
+  std::vector<std::string> metrics;
+  EXPECT_EQ(c.ReadResponse(&metrics), "OK");
+  EXPECT_FALSE(metrics.empty());
+
+  ASSERT_TRUE(c.SendLine("show queries"));
+  std::vector<std::string> queries;
+  EXPECT_EQ(c.ReadResponse(&queries), "OK");
+  ASSERT_FALSE(queries.empty());
+  EXPECT_NE(queries.back().find("no queries in flight"), std::string::npos);
+
+  ASSERT_TRUE(c.SendLine("scrub"));
+  std::vector<std::string> scrub;
+  EXPECT_EQ(c.ReadResponse(&scrub), "OK");
+  EXPECT_FALSE(scrub.empty());
+
+  // `kill query` is a statement; unknown ids come back as a typed error.
+  ASSERT_TRUE(c.SendLine("kill query 999999"));
+  const std::string kill = c.ReadResponse();
+  EXPECT_EQ(kill.rfind("ERR ", 0), 0u) << kill;
+  EXPECT_NE(kill.find("no in-flight query"), std::string::npos) << kill;
+}
+
+TEST_F(TelemetryTest, HttpEndpointsServeMetricsHealthStatusAndDebug) {
+  StartServer();
+  ASSERT_NE(server_->http_port(), 0);
+
+  // A query first so the scrape has content.
+  TestClient c;
+  ASSERT_TRUE(c.Connect(server_->port()));
+  ASSERT_TRUE(c.SendLine("select count(*) from t"));
+  ASSERT_EQ(c.ReadResponse(), "OK");
+
+  const std::string metrics = SimpleGet(server_->http_port(), "/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE smadb_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("smadb_net_http_requests_total"),
+            std::string::npos);
+
+  const std::string health = SimpleGet(server_->http_port(), "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200 OK", 0), 0u) << health;
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos);
+
+  const std::string status = SimpleGet(server_->http_port(), "/statusz");
+  EXPECT_EQ(status.rfind("HTTP/1.1 200 OK", 0), 0u) << status;
+  EXPECT_NE(status.find("\"knobs\""), std::string::npos);
+  EXPECT_NE(status.find("\"uptime_us\""), std::string::npos);
+  EXPECT_NE(status.find("\"version\": \"1.0.0\""), std::string::npos);
+
+  const std::string queries =
+      SimpleGet(server_->http_port(), "/debug/queries");
+  EXPECT_EQ(queries.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(queries.find("Content-Type: application/json"),
+            std::string::npos);
+
+  const std::string trace = SimpleGet(server_->http_port(), "/debug/trace");
+  EXPECT_EQ(trace.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(trace.find("\"span\""), std::string::npos) << trace;
+
+  const std::string index = SimpleGet(server_->http_port(), "/");
+  EXPECT_EQ(index.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(index.find("/metrics"), std::string::npos);
+
+  EXPECT_EQ(SimpleGet(server_->http_port(), "/nope")
+                .rfind("HTTP/1.1 404 Not Found", 0),
+            0u);
+  const std::string post =
+      HttpGet(server_->http_port(),
+              "POST /metrics HTTP/1.1\r\nHost: x\r\n"
+              "Connection: close\r\n\r\n");
+  EXPECT_EQ(post.rfind("HTTP/1.1 405", 0), 0u) << post;
+
+  EXPECT_GE(server_->stats().http_requests, 8u);
+}
+
+TEST_F(TelemetryTest, HttpScrapesStayCleanUnderConcurrentQueryLoad) {
+  StartServer();
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_scrapes{0};
+  std::vector<std::thread> scrapers;
+  for (int i = 0; i < 2; ++i) {
+    scrapers.emplace_back([&] {
+      while (!stop.load()) {
+        const std::string m = SimpleGet(server_->http_port(), "/metrics");
+        if (m.rfind("HTTP/1.1 200 OK", 0) != 0) bad_scrapes.fetch_add(1);
+        const std::string q =
+            SimpleGet(server_->http_port(), "/debug/queries");
+        if (q.rfind("HTTP/1.1 200 OK", 0) != 0) bad_scrapes.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&] {
+      TestClient c;
+      if (!c.Connect(server_->port())) return;
+      for (int j = 0; j < 25; ++j) {
+        if (!c.SendLine("select grp, count(*) from t group by grp")) break;
+        if (c.ReadResponse() != "OK") break;
+      }
+      c.SendLine("quit");
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(bad_scrapes.load(), 0);
+}
+
+TEST_F(TelemetryTest, HealthzReports503WhileDraining) {
+  net::ServerOptions options;
+  options.sndbuf_bytes = 4096;
+  options.drain_timeout_ms = 10'000;  // hold the drain open for the scrape
+  options.write_timeout_ms = 30'000;
+  StartServer(options);
+
+  // Healthy first.
+  const std::string before = SimpleGet(server_->http_port(), "/healthz");
+  EXPECT_EQ(before.rfind("HTTP/1.1 200 OK", 0), 0u);
+
+  // A stuck in-flight request keeps the server draining (not drained).
+  TestClient stuck;
+  ASSERT_TRUE(stuck.Connect(server_->port(), /*rcvbuf_bytes=*/4096));
+  ASSERT_TRUE(stuck.SendLine("select * from t"));
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().requests_total >= 1; }));
+
+  server_->RequestShutdown();
+  // The SQL listener is gone but the telemetry plane still answers, now
+  // with 503 + "draining" — load balancers stop routing, humans see why.
+  const std::string during = SimpleGet(server_->http_port(), "/healthz");
+  EXPECT_EQ(during.rfind("HTTP/1.1 503", 0), 0u) << during;
+  EXPECT_NE(during.find("\"draining\": true"), std::string::npos) << during;
+
+  stuck.Close();  // peer-gone cancels the request; the drain completes
+  server_->Wait();
+  ExpectOk(server_->Shutdown());
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text exposition format (version 0.0.4).
+
+Usage:
+    tools/promlint.py [FILE]            # default: stdin
+    curl -s localhost:7879/metrics | tools/promlint.py
+
+Checks the subset of the exposition format smadb emits (the same rules as
+the LintPrometheus() helper in tests/observability_test.cc):
+
+  * every non-comment line is `name{labels} value` or `name value`
+  * metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * label values are double-quoted with `\\`, `"`, and newline escaped
+  * values parse as floats (Inf/NaN included)
+  * every sample is preceded by # HELP and # TYPE lines for its family
+  * TYPE is one of counter/gauge/histogram/summary/untyped
+  * _total samples belong to counter families, quantile'd ones to summaries
+  * no duplicate samples (same name + label set)
+
+Exit code 0 when clean, 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(raw, errors, lineno):
+    """Parses the inside of {...}; returns the canonical label string."""
+    labels = []
+    i = 0
+    while i < len(raw):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[i:])
+        if not m:
+            errors.append(f"line {lineno}: bad label syntax at '{raw[i:]}'")
+            return None
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while i < len(raw):
+            c = raw[i]
+            if c == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in ('\\', '"', 'n'):
+                    errors.append(
+                        f"line {lineno}: invalid escape in label {name}")
+                    return None
+                value.append(raw[i:i + 2])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            elif c == "\n":
+                errors.append(
+                    f"line {lineno}: unescaped newline in label {name}")
+                return None
+            else:
+                value.append(c)
+                i += 1
+        else:
+            errors.append(f"line {lineno}: unterminated label value ({name})")
+            return None
+        labels.append(f'{name}="{"".join(value)}"')
+        if i < len(raw):
+            if raw[i] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels")
+                return None
+            i += 1
+    return ",".join(labels)
+
+
+def family_of(name):
+    """The family a sample belongs to (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text):
+    errors = []
+    helped, typed = {}, {}
+    seen_samples = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line != line.strip():
+            errors.append(f"line {lineno}: leading/trailing whitespace")
+            line = line.strip()
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) ([^ ]+)(?: (.*))?$", line)
+            if not m:
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+                continue
+            kind, name, rest = m.group(1), m.group(2), m.group(3) or ""
+            if not NAME_RE.match(name):
+                errors.append(f"line {lineno}: bad metric name {name!r}")
+            if kind == "HELP":
+                if name in helped:
+                    errors.append(f"line {lineno}: duplicate HELP for {name}")
+                helped[name] = rest
+            else:
+                if name in typed:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                if rest not in TYPES:
+                    errors.append(
+                        f"line {lineno}: TYPE {name} {rest!r} not in "
+                        f"{sorted(TYPES)}")
+                typed[name] = rest
+            continue
+
+        # Sample line: name[{labels}] value
+        m = re.match(r"^([^{ ]+)(\{(.*)\})? (.+)$", line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name, labels_raw, value = m.group(1), m.group(3), m.group(4)
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+        canon = ""
+        if labels_raw is not None:
+            canon = parse_labels(labels_raw, errors, lineno)
+            if canon is None:
+                continue
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {value!r}")
+        key = (name, canon)
+        if key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {name}{{{canon}}}")
+        seen_samples.add(key)
+
+        fam = family_of(name)
+        ftype = typed.get(fam) or typed.get(name)
+        if ftype is None:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE line")
+        if (typed.get(fam) or typed.get(name)) is not None and \
+                helped.get(fam) is None and helped.get(name) is None:
+            errors.append(f"line {lineno}: sample {name} has no # HELP line")
+        if name.endswith("_total") and ftype not in (None, "counter"):
+            errors.append(
+                f"line {lineno}: {name} ends in _total but TYPE is {ftype}")
+        if canon and "quantile=" in canon and ftype not in (None, "summary"):
+            errors.append(
+                f"line {lineno}: {name} has quantile label but TYPE is "
+                f"{ftype}")
+    return errors
+
+
+def main():
+    if len(sys.argv) > 1 and sys.argv[1] not in ("-", "--"):
+        with open(sys.argv[1]) as fp:
+            text = fp.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("promlint: empty input", file=sys.stderr)
+        return 1
+    errors = lint(text)
+    for e in errors:
+        print(f"promlint: {e}", file=sys.stderr)
+    n_samples = sum(
+        1 for l in text.splitlines() if l and not l.startswith("#"))
+    if errors:
+        print(f"promlint: FAILED — {len(errors)} violation(s) in "
+              f"{n_samples} samples", file=sys.stderr)
+        return 1
+    print(f"promlint: OK — {n_samples} samples clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
